@@ -1,0 +1,66 @@
+//===- bench/BenchUtil.h - Shared helpers for the table benches -*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting helpers shared by the bench binaries that regenerate the
+/// paper's tables.  Each bench prints rows in the same layout as the
+/// corresponding paper table so shapes can be compared side by side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_BENCH_BENCHUTIL_H
+#define BROPT_BENCH_BENCHUTIL_H
+
+#include "driver/Report.h"
+
+#include <cstdio>
+#include <string>
+
+namespace bropt {
+namespace bench {
+
+/// Formats a percentage like the paper: "-7.91%" / "+3.42%".
+inline std::string pct(double Value) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%+.2f%%", Value);
+  return Buffer;
+}
+
+/// Δ% from \p Before to \p After.
+inline double delta(uint64_t Before, uint64_t After) {
+  return WorkloadEvaluation::deltaPercent(Before, After);
+}
+
+/// Prints a horizontal rule of \p Width dashes.
+inline void rule(unsigned Width) {
+  for (unsigned Index = 0; Index < Width; ++Index)
+    std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+/// Evaluates all workloads under \p Set, aborting the bench on errors.
+inline std::vector<WorkloadEvaluation>
+evaluateSet(SwitchHeuristicSet Set,
+            const std::optional<PredictorConfig> &Predictor = std::nullopt,
+            ReorderOptions Reorder = {}) {
+  CompileOptions Options;
+  Options.HeuristicSet = Set;
+  Options.Reorder = Reorder;
+  std::vector<WorkloadEvaluation> Evals =
+      evaluateAllWorkloads(Options, Predictor);
+  for (const WorkloadEvaluation &Eval : Evals)
+    if (!Eval.ok()) {
+      std::fprintf(stderr, "bench error: %s\n", Eval.Error.c_str());
+      std::exit(1);
+    }
+  return Evals;
+}
+
+} // namespace bench
+} // namespace bropt
+
+#endif // BROPT_BENCH_BENCHUTIL_H

@@ -1,0 +1,74 @@
+//===- bench/bench_figures.cpp - Paper Figures 11-13: length histograms ---===//
+//
+// Regenerates paper Figures 11, 12, and 13: for each switch-translation
+// heuristic set, the distribution of sequence lengths (in conditional
+// branches) before and after reordering, aggregated over all programs.
+//
+// Expected shape vs. the paper: most original sequences have two or three
+// branches (the benefit comes from short hand-written chains, not big
+// switches); reordered sequences skew longer because default ranges become
+// explicit; Set III adds a long tail from switches translated to linear
+// searches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <map>
+
+using namespace bropt;
+using namespace bropt::bench;
+
+namespace {
+
+void printHistogram(const char *Title,
+                    const std::map<unsigned, unsigned> &Histogram) {
+  std::printf("%s\n", Title);
+  unsigned Max = 0;
+  for (const auto &[Length, Count] : Histogram)
+    Max = std::max(Max, Count);
+  for (const auto &[Length, Count] : Histogram) {
+    unsigned Bar = Max ? (Count * 50) / Max : 0;
+    std::printf("  %3u | %-50.*s %u\n", Length, Bar,
+                "##################################################",
+                Count);
+  }
+}
+
+} // namespace
+
+int main() {
+  struct FigureSpec {
+    SwitchHeuristicSet Set;
+    const char *Name;
+  };
+  const FigureSpec Figures[] = {
+      {SwitchHeuristicSet::SetI, "Figure 11 (Heuristic Set I)"},
+      {SwitchHeuristicSet::SetII, "Figure 12 (Heuristic Set II)"},
+      {SwitchHeuristicSet::SetIII, "Figure 13 (Heuristic Set III)"},
+  };
+
+  for (const FigureSpec &Figure : Figures) {
+    std::vector<WorkloadEvaluation> Evals = evaluateSet(Figure.Set);
+    std::map<unsigned, unsigned> Before, After;
+    double SumBefore = 0.0, SumAfter = 0.0;
+    unsigned Count = 0;
+    for (const WorkloadEvaluation &Eval : Evals)
+      for (const auto &[LenBefore, LenAfter] : Eval.Stats.Lengths) {
+        ++Before[LenBefore];
+        ++After[LenAfter];
+        SumBefore += LenBefore;
+        SumAfter += LenAfter;
+        ++Count;
+      }
+
+    std::printf("%s — sequence lengths in branches "
+                "(avg %.2f before, %.2f after, %u sequences)\n",
+                Figure.Name, Count ? SumBefore / Count : 0.0,
+                Count ? SumAfter / Count : 0.0, Count);
+    printHistogram("  original sequence length:", Before);
+    printHistogram("  reordered sequence length:", After);
+    std::printf("\n");
+  }
+  return 0;
+}

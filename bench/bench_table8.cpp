@@ -1,0 +1,66 @@
+//===- bench/bench_table8.cpp - Paper Table 8: static measurements --------===//
+//
+// Regenerates paper Table 8: per program and heuristic set, the static
+// code-size change from reordering, the number of reorderable sequences
+// detected, the percentage actually reordered, and the average sequence
+// length (in conditional branches) before and after.
+//
+// Expected shape vs. the paper: modest static growth (~5% there), a large
+// fraction of sequences reordered (unexecuted ones being the main
+// exception), reordered sequences *longer* than the originals (default
+// ranges become explicit), and fewer — but much longer — sequences under
+// Set III where big switches become linear searches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace bropt;
+using namespace bropt::bench;
+
+int main() {
+  std::printf("Table 8: Static Measurements\n\n");
+
+  for (SwitchHeuristicSet Set :
+       {SwitchHeuristicSet::SetI, SwitchHeuristicSet::SetII,
+        SwitchHeuristicSet::SetIII}) {
+    std::printf("Switch Translation Heuristic Set %s\n",
+                switchHeuristicSetName(Set));
+    std::printf("%-10s %10s %8s %10s %10s %10s\n", "program", "size",
+                "seqs", "reord%", "len orig", "len after");
+    rule(64);
+
+    std::vector<WorkloadEvaluation> Evals = evaluateSet(Set);
+    double SumSize = 0.0, SumReordPct = 0.0, SumLenB = 0.0, SumLenA = 0.0;
+    unsigned TotalSeqs = 0, LenCount = 0;
+    for (const WorkloadEvaluation &Eval : Evals) {
+      double SizeDelta =
+          delta(Eval.Baseline.CodeSize, Eval.Reordered.CodeSize);
+      double ReordPct =
+          Eval.Stats.Detected
+              ? 100.0 * Eval.Stats.Reordered / Eval.Stats.Detected
+              : 0.0;
+      std::printf("%-10s %10s %8u %9.2f%% %10.2f %10.2f\n",
+                  Eval.Name.c_str(), pct(SizeDelta).c_str(),
+                  Eval.Stats.Detected, ReordPct,
+                  Eval.Stats.averageLengthBefore(),
+                  Eval.Stats.averageLengthAfter());
+      SumSize += SizeDelta;
+      SumReordPct += ReordPct;
+      TotalSeqs += Eval.Stats.Detected;
+      if (!Eval.Stats.Lengths.empty()) {
+        SumLenB += Eval.Stats.averageLengthBefore();
+        SumLenA += Eval.Stats.averageLengthAfter();
+        ++LenCount;
+      }
+    }
+    rule(64);
+    std::printf("%-10s %10s %8u %9.2f%% %10.2f %10.2f\n\n", "average",
+                pct(SumSize / Evals.size()).c_str(),
+                TotalSeqs / static_cast<unsigned>(Evals.size()),
+                SumReordPct / Evals.size(),
+                LenCount ? SumLenB / LenCount : 0.0,
+                LenCount ? SumLenA / LenCount : 0.0);
+  }
+  return 0;
+}

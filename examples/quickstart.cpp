@@ -1,0 +1,88 @@
+//===- examples/quickstart.cpp - The paper's Figure 1, end to end ---------===//
+//
+// Compiles the character classifier from paper Figure 1, profiles it on
+// English-like text, applies branch reordering, and shows the effect:
+// the rebuilt code tests "greater than blank" first, exactly the
+// hand-optimization of Figure 1(c), found automatically.
+//
+// Build and run:  ./examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "ir/Printer.h"
+#include "sim/Interpreter.h"
+#include "workloads/Inputs.h"
+
+#include <cstdio>
+
+using namespace bropt;
+
+namespace {
+
+// The paper's Figure 1(a): classify characters read from input.  A human
+// would reorder these tests by hand (Figures 1(b) and 1(c)); bropt does it
+// from a profile.
+const char *Source = R"(
+  int newlines = 0; int blanks = 0; int others = 0;
+  int main() {
+    int c;
+    while ((c = getchar()) != -1) {
+      if (c == ' ')
+        blanks = blanks + 1;
+      else if (c == '\n')
+        newlines = newlines + 1;
+      else
+        others = others + 1;
+    }
+    printint(newlines); printint(blanks); printint(others);
+    return 0;
+  }
+)";
+
+void report(const char *Label, Module &M, std::string_view Input) {
+  Interpreter Interp(M);
+  Interp.setInput(Input);
+  RunResult Run = Interp.run();
+  std::printf("%-10s %9llu instructions, %8llu branches, %7llu jumps\n",
+              Label,
+              static_cast<unsigned long long>(Run.Counts.TotalInsts),
+              static_cast<unsigned long long>(Run.Counts.CondBranches),
+              static_cast<unsigned long long>(Run.Counts.UncondJumps));
+}
+
+} // namespace
+
+int main() {
+  std::printf("bropt quickstart: reordering the paper's Figure 1\n\n");
+
+  // Training and test inputs: mostly letters, some blanks, few newlines.
+  std::string Training = proseText(/*Seed=*/1, 20000);
+  std::string Test = proseText(/*Seed=*/2, 20000);
+
+  CompileOptions Options;
+  CompileResult Baseline = compileBaseline(Source, Options);
+  CompileResult Reordered = compileWithReordering(Source, Training, Options);
+  if (!Baseline.ok() || !Reordered.ok()) {
+    std::fprintf(stderr, "compile failed: %s%s\n", Baseline.Error.c_str(),
+                 Reordered.Error.c_str());
+    return 1;
+  }
+
+  std::printf("Detected %u reorderable sequence(s); reordered %u.\n",
+              Reordered.Stats.Detected, Reordered.Stats.Reordered);
+  for (auto [Before, After] : Reordered.Stats.Lengths)
+    std::printf("Sequence grew from %u to %u conditional branches "
+                "(default ranges became explicit, Figure 1(c)).\n\n",
+                Before, After);
+
+  std::printf("--- original hot loop ---\n%s\n",
+              printFunction(*Baseline.M->getFunction("main")).c_str());
+  std::printf("--- reordered hot loop ---\n%s\n",
+              printFunction(*Reordered.M->getFunction("main")).c_str());
+
+  std::printf("Dynamic counts on unseen test input:\n");
+  report("original", *Baseline.M, Test);
+  report("reordered", *Reordered.M, Test);
+  return 0;
+}

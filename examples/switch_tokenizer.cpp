@@ -1,0 +1,106 @@
+//===- examples/switch_tokenizer.cpp - Switch heuristics + reordering -----===//
+//
+// A small tokenizer whose hot switch is translated three ways (paper
+// Table 2): a jump table, a binary search, or a linear search.  The
+// example compiles it under each heuristic set, reorders, and compares
+// dynamic cost under the two machine models — showing why Set II exists
+// (indirect jumps were ~4x more expensive on the SPARC Ultra I) and why
+// reordered linear searches can beat tables there.
+//
+// Build and run:  ./examples/switch_tokenizer
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "sim/CostModel.h"
+#include "sim/Interpreter.h"
+#include "workloads/Inputs.h"
+
+#include <cstdio>
+
+using namespace bropt;
+
+namespace {
+
+const char *Source = R"(
+  int idents = 0; int numbers = 0; int ops = 0; int spaces = 0; int other = 0;
+  int main() {
+    int c;
+    while ((c = getchar()) != -1) {
+      switch (c) {
+      case '(': ops = ops + 1; break;
+      case ')': ops = ops + 1; break;
+      case '*': ops = ops + 1; break;
+      case '+': ops = ops + 1; break;
+      case ',': ops = ops + 1; break;
+      case '-': ops = ops + 1; break;
+      case '.': ops = ops + 1; break;
+      case '/': ops = ops + 1; break;
+      case ';': ops = ops + 1; break;
+      case '<': ops = ops + 1; break;
+      case '=': ops = ops + 1; break;
+      case '>': ops = ops + 1; break;
+      default:
+        if (c >= '0' && c <= '9')
+          numbers = numbers + 1;
+        else if (c >= 'a' && c <= 'z')
+          idents = idents + 1;
+        else
+          other = other + 1;
+      }
+    }
+    printint(idents); printint(numbers); printint(ops);
+    printint(spaces); printint(other);
+    return 0;
+  }
+)";
+
+} // namespace
+
+int main() {
+  std::printf("switch_tokenizer: one switch, three translations "
+              "(paper Table 2)\n\n");
+  std::string Training = cSourceText(/*Seed=*/11, 30000);
+  std::string Test = cSourceText(/*Seed=*/12, 30000);
+
+  std::printf("%-8s %12s %12s %14s %14s %10s\n", "set", "insts",
+              "branches", "cycles (ipc)", "cycles (ultra)", "ijmps");
+  for (SwitchHeuristicSet Set :
+       {SwitchHeuristicSet::SetI, SwitchHeuristicSet::SetII,
+        SwitchHeuristicSet::SetIII}) {
+    CompileOptions Options;
+    Options.HeuristicSet = Set;
+    CompileResult Result = compileWithReordering(Source, Training, Options);
+    if (!Result.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n", Result.Error.c_str());
+      return 1;
+    }
+    Interpreter Interp(*Result.M);
+    Interp.setInput(Test);
+    RunResult Run = Interp.run();
+    if (Run.Trapped) {
+      std::fprintf(stderr, "run trapped: %s\n", Run.TrapReason.c_str());
+      return 1;
+    }
+    std::printf("%-8s %12llu %12llu %14llu %14llu %10llu\n",
+                switchHeuristicSetName(Set),
+                static_cast<unsigned long long>(Run.Counts.TotalInsts),
+                static_cast<unsigned long long>(Run.Counts.CondBranches),
+                static_cast<unsigned long long>(computeCycles(
+                    MachineModel::sparcIPCLike(), Run.Counts)),
+                static_cast<unsigned long long>(computeCycles(
+                    MachineModel::sparcUltraLike(), Run.Counts)),
+                static_cast<unsigned long long>(Run.Counts.IndirectJumps));
+  }
+
+  std::printf(
+      "\nReading the rows: Set I emits a jump table (the only row with "
+      "indirect jumps) and pays a 4x dispatch premium on the ultra-like "
+      "machine; Set II refuses small tables and falls back to a binary "
+      "search; Set III turns the switch into a linear search that "
+      "reordering then optimizes for the profile — here most characters "
+      "miss the table entirely, so the reordered search wins on both "
+      "machines, exactly the method-selection opportunity §10 points "
+      "at (see examples/future_work).\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+//===- core/CommonSuccessor.h - §10 common-successor reordering -*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the paper's §10 future-work extension: reordering sequences
+/// of consecutive conditional branches that share a common successor
+/// (Figure 14) — the shape short-circuit `&&`/`||` chains lower to.
+///
+/// Unlike range-condition sequences, the branches may test *different*
+/// variables, so more than one branch could transfer to the common
+/// successor for the same input; the profile therefore records an array of
+/// 2^n outcome-combination counters (n <= 7), exactly as §10 proposes.
+/// The conditions must be pure compare/branch pairs (the paper notes such
+/// sequences cannot contain intervening side effects).
+///
+/// With the joint outcome distribution, the expected number of executed
+/// branches under any permutation is exact, and n <= 7 admits an
+/// exhaustive minimization over all n! orders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_CORE_COMMONSUCCESSOR_H
+#define BROPT_CORE_COMMONSUCCESSOR_H
+
+#include "core/SequenceDetection.h"
+#include "profile/ProfileData.h"
+
+#include <unordered_set>
+
+namespace bropt {
+
+/// One branch of a common-successor sequence.
+struct CommonBranchDesc {
+  BasicBlock *Block = nullptr;
+  /// The compare feeding the branch, in canonical form.
+  Operand Lhs;
+  Operand Rhs;
+  /// Predicate under which the branch exits to the common successor.
+  CondCode ExitPred = CondCode::EQ;
+};
+
+/// A detected sequence of branches with one common successor — or, after
+/// chain merging (paper Figure 14 d/e), a *chain of groups*: each group's
+/// exits lead to the next group's head, every group shares one fall-out
+/// block, and the last group's exits leave the chain.  GroupSizes
+/// partitions Branches; a single entry is the plain Figure 14 (b/c) case.
+///
+/// Viewing each group as "a single block containing a branch" (the
+/// paper's words), the chain is itself a reorderable sequence: groups may
+/// be permuted, and branches may be permuted within their group, because
+/// every condition is pure.
+struct CommonSuccessorSequence {
+  unsigned Id = 0; ///< shares the id space with range sequences
+  Function *F = nullptr;
+  std::vector<CommonBranchDesc> Branches; ///< 2..7 of them, in group order
+  /// Sizes of the consecutive groups; sums to Branches.size().
+  std::vector<unsigned> GroupSizes;
+  /// Where the last group's exits go (for a single group: where any
+  /// satisfied branch goes).
+  BasicBlock *CommonTarget = nullptr;
+  /// Reached from any group whose branches all fall through.
+  BasicBlock *FallOut = nullptr;
+
+  BasicBlock *head() const { return Branches.front().Block; }
+  size_t groupCount() const { return GroupSizes.size(); }
+  std::string signature() const;
+};
+
+/// A chosen evaluation order: groups in sequence, branch indices (into
+/// CommonSuccessorSequence::Branches) within each group.
+using ChainOrder = std::vector<std::vector<size_t>>;
+
+/// Detects common-successor sequences in \p F.  \p FirstId numbers the
+/// results; \p ClaimedBlocks excludes blocks already owned by
+/// range-condition sequences (a block joins at most one transformation).
+std::vector<CommonSuccessorSequence>
+detectCommonSuccessorSequences(Function &F, unsigned FirstId,
+                               const std::unordered_set<const BasicBlock *>
+                                   &ClaimedBlocks);
+
+/// Module-wide detection.
+std::vector<CommonSuccessorSequence> detectCommonSuccessorSequences(
+    Module &M, unsigned FirstId,
+    const std::unordered_set<const BasicBlock *> &ClaimedBlocks);
+
+/// Inserts a ComboProfile hook at each sequence head and registers 2^n
+/// bins with \p Data.
+void instrumentCommonSuccessorSequences(
+    const std::vector<CommonSuccessorSequence> &Sequences, ProfileData &Data);
+
+/// \returns the branch order (indices into Seq.Branches) minimizing the
+/// expected number of executed branches under the combination counts, and
+/// the expectations before/after in \p ExpectedBefore / \p ExpectedAfter.
+/// Only valid for single-group sequences.
+std::vector<size_t> selectCommonSuccessorOrder(
+    const CommonSuccessorSequence &Seq, const SequenceProfile &Prof,
+    double *ExpectedBefore = nullptr, double *ExpectedAfter = nullptr);
+
+/// General form: minimizes over every permutation of the groups crossed
+/// with every permutation within each group (Figure 14 d/e).
+ChainOrder selectChainOrder(const CommonSuccessorSequence &Seq,
+                            const SequenceProfile &Prof,
+                            double *ExpectedBefore = nullptr,
+                            double *ExpectedAfter = nullptr);
+
+/// Expected branches executed per head visit under \p Order, given the
+/// combination counters in \p Prof.  Exposed for tests.
+double expectedChainBranches(const CommonSuccessorSequence &Seq,
+                             const SequenceProfile &Prof,
+                             const ChainOrder &Order);
+
+/// Statistics over a module's common-successor transformations.
+struct CommonSuccessorStats {
+  unsigned Detected = 0;
+  unsigned Reordered = 0;
+  unsigned NeverExecuted = 0;
+  unsigned ProfileProblems = 0;
+  double SumExpectedBefore = 0.0;
+  double SumExpectedAfter = 0.0;
+};
+
+/// Applies the transformation to every sequence with usable profile data.
+/// The caller finalizes the touched functions afterwards.
+CommonSuccessorStats reorderCommonSuccessorSequences(
+    const std::vector<CommonSuccessorSequence> &Sequences,
+    const ProfileData &Profile, uint64_t MinExecutions = 1);
+
+} // namespace bropt
+
+#endif // BROPT_CORE_COMMONSUCCESSOR_H

@@ -1,0 +1,209 @@
+//===- core/OrderingSelection.cpp - Minimum-cost sequence ordering --------===//
+
+#include "core/OrderingSelection.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+
+using namespace bropt;
+
+double bropt::orderingCost(const std::vector<RangeInfo> &Infos,
+                           const std::vector<size_t> &Order,
+                           const std::vector<size_t> &Eliminated) {
+  double Cost = 0.0;
+  double Prefix = 0.0;
+  for (size_t Index : Order) {
+    Prefix += Infos[Index].C;
+    Cost += Infos[Index].P * Prefix;
+  }
+  double DefaultMass = 0.0;
+  for (size_t Index : Eliminated)
+    DefaultMass += Infos[Index].P;
+  // Equation 2: traffic that satisfies no tested condition pays for the
+  // entire sequence.
+  Cost += DefaultMass * Prefix;
+  return Cost;
+}
+
+namespace {
+
+/// Indices sorted by descending p/c, ties broken by original position so
+/// the result is deterministic.  Comparing p_i/c_i >= p_j/c_j as
+/// p_i*c_j >= p_j*c_i avoids the division entirely.
+std::vector<size_t> sortByBenefit(const std::vector<RangeInfo> &Infos) {
+  std::vector<size_t> Sorted(Infos.size());
+  for (size_t Index = 0; Index < Infos.size(); ++Index)
+    Sorted[Index] = Index;
+  std::sort(Sorted.begin(), Sorted.end(), [&](size_t A, size_t B) {
+    double Lhs = Infos[A].P * Infos[B].C;
+    double Rhs = Infos[B].P * Infos[A].C;
+    if (Lhs != Rhs)
+      return Lhs > Rhs;
+    return A < B;
+  });
+  return Sorted;
+}
+
+} // namespace
+
+OrderingDecision bropt::selectOrdering(const std::vector<RangeInfo> &Infos) {
+  assert(!Infos.empty() && "selecting an ordering over no ranges");
+  const size_t N = Infos.size();
+  std::vector<size_t> Sorted = sortByBenefit(Infos);
+
+  // Equation 1 over the fully explicit, optimally sorted sequence.
+  std::vector<double> P(N), C(N);
+  for (size_t K = 0; K < N; ++K) {
+    P[K] = Infos[Sorted[K]].P;
+    C[K] = Infos[Sorted[K]].C;
+  }
+  double ExplicitCost = 0.0;
+  {
+    double Prefix = 0.0;
+    for (size_t K = 0; K < N; ++K) {
+      Prefix += C[K];
+      ExplicitCost += P[K] * Prefix;
+    }
+  }
+
+  // tcost[k] = C[k+1] + ... + C[n-1]; tprob[k] = P[k] + ... + P[n-1].
+  std::vector<double> TCost(N), TProb(N);
+  TCost[N - 1] = 0.0;
+  TProb[N - 1] = P[N - 1];
+  for (size_t K = N - 1; K-- > 0;) {
+    TCost[K] = C[K + 1] + TCost[K + 1];
+    TProb[K] = P[K] + TProb[K + 1];
+  }
+
+  // Group ranges that may share a default continuation: same target, same
+  // owed side effects.  Groups are numbered in first-appearance order over
+  // the sorted positions so iteration (and tie-breaking) is deterministic.
+  std::vector<std::vector<size_t>> Groups;
+  {
+    std::map<std::pair<BasicBlock *, size_t>, size_t> GroupIds;
+    for (size_t K = 0; K < N; ++K) {
+      const RangeInfo &Info = Infos[Sorted[K]];
+      auto Key = std::make_pair(Info.Target, Info.ExitClass);
+      auto [It, Inserted] = GroupIds.emplace(Key, Groups.size());
+      if (Inserted)
+        Groups.emplace_back();
+      Groups[It->second].push_back(K); // ascending position
+    }
+  }
+
+  OrderingDecision Best;
+  Best.Cost = std::numeric_limits<double>::infinity();
+
+  for (const std::vector<size_t> &Positions : Groups) {
+    BasicBlock *Target = Infos[Sorted[Positions.front()]].Target;
+    // Eliminate this target's ranges from lowest p/c (largest sorted
+    // position) upward, updating the cost incrementally (Equation 4).
+    double Cost = ExplicitCost;
+    double ElimCost = 0.0;
+    std::vector<size_t> Eliminated;
+    for (size_t Step = Positions.size(); Step-- > 0;) {
+      size_t K = Positions[Step];
+      Cost += P[K] * (TCost[K] - ElimCost) - C[K] * TProb[K];
+      ElimCost += C[K];
+      Eliminated.push_back(K);
+      // Strictly cheaper wins; on a cost tie prefer leaving more ranges
+      // implicit, which emits fewer conditions and less code.
+      bool Better = Cost < Best.Cost - 1e-12;
+      bool TieButSmaller = Cost <= Best.Cost + 1e-12 &&
+                           Eliminated.size() > Best.Eliminated.size();
+      if (Better || TieButSmaller) {
+        Best.Cost = Cost;
+        Best.DefaultTarget = Target;
+        Best.Order.clear();
+        std::vector<bool> Gone(N, false);
+        for (size_t Position : Eliminated)
+          Gone[Position] = true;
+        Best.Eliminated.clear();
+        for (size_t Position = 0; Position < N; ++Position) {
+          if (Gone[Position])
+            Best.Eliminated.push_back(Sorted[Position]);
+          else
+            Best.Order.push_back(Sorted[Position]);
+        }
+      }
+    }
+  }
+  assert(Best.DefaultTarget && "no elimination candidate found");
+  return Best;
+}
+
+OrderingDecision
+bropt::selectOrderingExhaustive(const std::vector<RangeInfo> &Infos) {
+  assert(!Infos.empty() && "selecting an ordering over no ranges");
+  assert(Infos.size() <= 10 && "exhaustive search is exponential");
+  const size_t N = Infos.size();
+
+  std::vector<std::vector<size_t>> Groups;
+  {
+    std::map<std::pair<BasicBlock *, size_t>, size_t> GroupIds;
+    for (size_t Index = 0; Index < N; ++Index) {
+      auto Key = std::make_pair(Infos[Index].Target, Infos[Index].ExitClass);
+      auto [It, Inserted] = GroupIds.emplace(Key, Groups.size());
+      if (Inserted)
+        Groups.emplace_back();
+      Groups[It->second].push_back(Index);
+    }
+  }
+
+  OrderingDecision Best;
+  Best.Cost = std::numeric_limits<double>::infinity();
+
+  for (const std::vector<size_t> &Members : Groups) {
+    BasicBlock *Target = Infos[Members.front()].Target;
+    // Every nonempty subset of this target's ranges may become implicit.
+    for (uint32_t Mask = 1; Mask < (1u << Members.size()); ++Mask) {
+      std::vector<size_t> Eliminated;
+      std::vector<bool> Gone(N, false);
+      for (size_t Bit = 0; Bit < Members.size(); ++Bit)
+        if (Mask & (1u << Bit)) {
+          Eliminated.push_back(Members[Bit]);
+          Gone[Members[Bit]] = true;
+        }
+      std::vector<size_t> Order;
+      for (size_t Index = 0; Index < N; ++Index)
+        if (!Gone[Index])
+          Order.push_back(Index);
+      std::sort(Order.begin(), Order.end());
+      do {
+        double Cost = orderingCost(Infos, Order, Eliminated);
+        if (Cost + 1e-12 < Best.Cost) {
+          Best.Cost = Cost;
+          Best.Order = Order;
+          Best.Eliminated = Eliminated;
+          Best.DefaultTarget = Target;
+        }
+      } while (std::next_permutation(Order.begin(), Order.end()));
+    }
+  }
+  assert(Best.DefaultTarget && "no elimination candidate found");
+  return Best;
+}
+
+double bropt::probabilityBelow(const std::vector<RangeInfo> &Infos,
+                               const std::vector<size_t> &Indices,
+                               int64_t Lo) {
+  double Mass = 0.0;
+  for (size_t Index : Indices)
+    if (Infos[Index].R.hi() < Lo)
+      Mass += Infos[Index].P;
+  return Mass;
+}
+
+double bropt::probabilityAbove(const std::vector<RangeInfo> &Infos,
+                               const std::vector<size_t> &Indices,
+                               int64_t Hi) {
+  double Mass = 0.0;
+  for (size_t Index : Indices)
+    if (Infos[Index].R.lo() > Hi)
+      Mass += Infos[Index].P;
+  return Mass;
+}

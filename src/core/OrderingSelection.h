@@ -1,0 +1,101 @@
+//===- core/OrderingSelection.h - Minimum-cost sequence ordering -*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selects the minimum-cost ordering of a sequence's range conditions
+/// (paper §6).  Inputs are the sequence's ranges — explicit conditions and
+/// computed default ranges alike — each with an exit probability p_i from
+/// the profile (Def. 9) and an instruction-count cost c_i (Def. 10).
+///
+/// Theorem 3: two adjacent conditions are optimally ordered [Ri, Rj] when
+/// p_i/c_i >= p_j/c_j, so the optimal all-explicit order is the sort by
+/// descending p/c, with cost given by Equation 1.  One target's ranges may
+/// be left unchecked (becoming the default target); the selection algorithm
+/// of Figure 8 evaluates, for each target, eliminating its ranges in
+/// increasing p/c order using the incremental form of Equation 4, in O(n)
+/// after the sort.
+///
+/// selectOrderingExhaustive enumerates every permutation and elimination
+/// subset; the paper reports (and our property tests confirm) that the
+/// fast algorithm matched the exhaustive search on every sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_CORE_ORDERINGSELECTION_H
+#define BROPT_CORE_ORDERINGSELECTION_H
+
+#include "core/Range.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bropt {
+
+class BasicBlock;
+
+/// One candidate range condition offered to the ordering selector.
+struct RangeInfo {
+  Range R;
+  /// Exit target; default ranges carry the sequence's default target.
+  BasicBlock *Target = nullptr;
+  /// Probability the branch variable falls in R (from the profile bins).
+  double P = 0.0;
+  /// Estimated instructions to test R (2, or 4 for bounded multi-value).
+  unsigned C = 2;
+  /// True if this came from an explicit condition of the original
+  /// sequence, false for a default range.
+  bool WasExplicit = true;
+  /// Index of the profile bin / original position, for bookkeeping.
+  size_t OrigIndex = 0;
+  /// Identifies which intervening side effects (paper Theorem 2) an exit
+  /// through this range owes.  Ranges may share a default target only if
+  /// they share both Target and ExitClass: the untested traffic all flows
+  /// through one continuation, which can replay only one side-effect set.
+  size_t ExitClass = 0;
+};
+
+/// The chosen ordering.
+struct OrderingDecision {
+  /// Indices into the input vector, in the order the conditions should be
+  /// tested.  Ranges not listed were eliminated.
+  std::vector<size_t> Order;
+  /// Indices whose ranges are left unchecked; all share DefaultTarget.
+  std::vector<size_t> Eliminated;
+  /// Target control reaches when every tested condition fails.
+  BasicBlock *DefaultTarget = nullptr;
+  /// Expected cost of the sequence under this ordering (Equations 1-4).
+  double Cost = 0.0;
+};
+
+/// Expected cost of testing \p Infos[Order] in order, with \p Eliminated
+/// falling through everything (the oracle's cost function; Equations 1-3).
+double orderingCost(const std::vector<RangeInfo> &Infos,
+                    const std::vector<size_t> &Order,
+                    const std::vector<size_t> &Eliminated);
+
+/// The paper's Figure 8 selection algorithm.  \p Infos must cover the whole
+/// value space (probabilities summing to ~1) and share each target's
+/// ranges' Target pointer.  Requires at least one range.
+OrderingDecision selectOrdering(const std::vector<RangeInfo> &Infos);
+
+/// Exhaustive minimum over all permutations and all nonempty elimination
+/// subsets of a single target.  Exponential; intended for tests (n <= 8).
+OrderingDecision selectOrderingExhaustive(const std::vector<RangeInfo> &Infos);
+
+/// Probability mass of \p Infos entries whose range lies entirely below
+/// \p Lo (used to order the two branches inside a Form-4 condition,
+/// paper §7).
+double probabilityBelow(const std::vector<RangeInfo> &Infos,
+                        const std::vector<size_t> &Indices, int64_t Lo);
+
+/// Probability mass entirely above \p Hi.
+double probabilityAbove(const std::vector<RangeInfo> &Infos,
+                        const std::vector<size_t> &Indices, int64_t Hi);
+
+} // namespace bropt
+
+#endif // BROPT_CORE_ORDERINGSELECTION_H

@@ -1,0 +1,58 @@
+//===- core/Range.cpp - Integer value ranges -------------------------------===//
+
+#include "core/Range.h"
+
+#include "support/Debug.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bropt;
+
+std::string Range::toString() const {
+  if (isEmpty())
+    return "[empty]";
+  if (isSingle())
+    return formatString("[%lld]", static_cast<long long>(LoBound));
+  if (LoBound == MinValue && HiBound == MaxValue)
+    return "[..]";
+  if (LoBound == MinValue)
+    return formatString("[..%lld]", static_cast<long long>(HiBound));
+  if (HiBound == MaxValue)
+    return formatString("[%lld..]", static_cast<long long>(LoBound));
+  return formatString("[%lld..%lld]", static_cast<long long>(LoBound),
+                      static_cast<long long>(HiBound));
+}
+
+bool bropt::nonoverlapping(const Range &Candidate,
+                           const std::vector<Range> &Ranges) {
+  if (Candidate.isEmpty())
+    return false;
+  for (const Range &R : Ranges)
+    if (Candidate.overlaps(R))
+      return false;
+  return true;
+}
+
+std::vector<Range> bropt::computeDefaultRanges(std::vector<Range> Explicit) {
+  std::sort(Explicit.begin(), Explicit.end(),
+            [](const Range &A, const Range &B) { return A.lo() < B.lo(); });
+  std::vector<Range> Defaults;
+  int64_t Next = Range::MinValue; // lowest value not yet covered
+  bool Exhausted = false;
+  for (const Range &R : Explicit) {
+    assert(!R.isEmpty() && "explicit ranges must be nonempty");
+    assert(!Exhausted && R.lo() >= Next && "explicit ranges overlap");
+    if (R.lo() > Next)
+      Defaults.push_back(Range(Next, R.lo() - 1));
+    if (R.hi() == Range::MaxValue) {
+      Exhausted = true;
+      continue;
+    }
+    Next = R.hi() + 1;
+  }
+  if (!Exhausted)
+    Defaults.push_back(Range(Next, Range::MaxValue));
+  return Defaults;
+}

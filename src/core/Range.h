@@ -1,0 +1,102 @@
+//===- core/Range.h - Integer value ranges ----------------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Range is a set of contiguous integer values (paper Definition 1).
+/// Range conditions test whether the branch variable lies in a range
+/// (Definition 2); a sequence is reorderable only if its ranges are
+/// pairwise nonoverlapping (Definition 5, Theorem 1).  Default ranges
+/// (Definition 8) are the gaps that no explicit range condition checks;
+/// the compiler covers them with the minimum number of ranges (paper §5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_CORE_RANGE_H
+#define BROPT_CORE_RANGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bropt {
+
+/// An inclusive interval [Lo, Hi] of 64-bit signed values.
+class Range {
+public:
+  static constexpr int64_t MinValue = INT64_MIN;
+  static constexpr int64_t MaxValue = INT64_MAX;
+
+  Range() = default;
+  Range(int64_t Lo, int64_t Hi) : LoBound(Lo), HiBound(Hi) {}
+
+  /// The single-value range [V, V].
+  static Range single(int64_t Value) { return Range(Value, Value); }
+
+  /// [MinValue, Hi].
+  static Range upTo(int64_t Hi) { return Range(MinValue, Hi); }
+
+  /// [Lo, MaxValue].
+  static Range from(int64_t Lo) { return Range(Lo, MaxValue); }
+
+  /// The full value space.
+  static Range all() { return Range(MinValue, MaxValue); }
+
+  int64_t lo() const { return LoBound; }
+  int64_t hi() const { return HiBound; }
+
+  bool isEmpty() const { return LoBound > HiBound; }
+  bool isSingle() const { return LoBound == HiBound; }
+
+  /// True if both endpoints are finite (a Form-4 range needing two
+  /// conditional branches when it spans more than one value — Table 1).
+  bool isBounded() const {
+    return LoBound != MinValue && HiBound != MaxValue;
+  }
+
+  /// Number of conditional branches a range condition for this range
+  /// needs: 1 for a single value or a half-open range, 2 for a bounded
+  /// multi-value range (paper Table 1).
+  unsigned branchCount() const { return isBounded() && !isSingle() ? 2 : 1; }
+
+  bool contains(int64_t Value) const {
+    return Value >= LoBound && Value <= HiBound;
+  }
+
+  bool overlaps(const Range &Other) const {
+    return !isEmpty() && !Other.isEmpty() && LoBound <= Other.HiBound &&
+           Other.LoBound <= HiBound;
+  }
+
+  /// Intersection; may be empty.
+  Range intersect(const Range &Other) const {
+    return Range(LoBound > Other.LoBound ? LoBound : Other.LoBound,
+                 HiBound < Other.HiBound ? HiBound : Other.HiBound);
+  }
+
+  bool operator==(const Range &Other) const = default;
+
+  /// Renders like "[32..126]", "[..9]", "[48..]", or "[61]".
+  std::string toString() const;
+
+private:
+  int64_t LoBound = 0;
+  int64_t HiBound = -1; // default-constructed ranges are empty
+};
+
+/// \returns true if the ranges in \p Ranges are pairwise nonoverlapping
+/// with \p Candidate (paper's Nonoverlapping check, Figure 4).
+bool nonoverlapping(const Range &Candidate, const std::vector<Range> &Ranges);
+
+/// Computes the minimal set of ranges covering every value not in
+/// \p Explicit (paper §5: "sorting the explicit ranges and adding the
+/// minimum number of ranges to cover the remaining values").  The inputs
+/// must be pairwise nonoverlapping; the result is sorted ascending.
+std::vector<Range> computeDefaultRanges(std::vector<Range> Explicit);
+
+} // namespace bropt
+
+#endif // BROPT_CORE_RANGE_H

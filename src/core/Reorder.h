@@ -1,0 +1,106 @@
+//===- core/Reorder.h - Apply the branch-reordering transformation -*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Applies the transformation of paper §8 (Figure 10) to detected
+/// sequences: select the minimum-cost ordering from profile data, rebuild
+/// the sequence at its head in that order (promoting chosen default ranges
+/// to explicit conditions and demoting the new default target's ranges),
+/// duplicate intervening side effects onto the exit edges that originally
+/// executed them (Theorem 2), duplicate the default target's code up to the
+/// next unconditional transfer so no new jumps execute (Figure 10d), and
+/// order the two branches inside bounded Form-4 conditions by the
+/// probability that the value lies below versus above the range (§7).
+///
+/// Original non-head condition blocks become unreachable unless they had
+/// outside predecessors, exactly as in Figure 10(e), and are swept by the
+/// clean-up pipeline afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_CORE_REORDER_H
+#define BROPT_CORE_REORDER_H
+
+#include "core/OrderingSelection.h"
+#include "core/SequenceDetection.h"
+#include "profile/ProfileData.h"
+
+namespace bropt {
+
+/// Knobs for the transformation; the defaults reproduce the paper.
+struct ReorderOptions {
+  /// Duplicate default-target code up to an unconditional transfer
+  /// (paper Figure 10d).  Off: fall out through a jump instead.
+  bool DuplicateDefaultTarget = true;
+  /// Order the two branches of a Form-4 condition by the probability mass
+  /// below/above the range (paper §7).  Off: always test the lower bound
+  /// first.
+  bool OrderFormFourBranches = true;
+  /// Use the exhaustive ordering search instead of the Figure 8 algorithm
+  /// (only for sequences of <= 10 ranges; larger ones fall back).
+  bool UseExhaustiveSelection = false;
+  /// Sequences whose head executed fewer times than this in training are
+  /// left untouched (the paper's dominant reason a detected sequence was
+  /// not reordered).
+  uint64_t MinExecutions = 1;
+  /// Cap on instructions cloned when duplicating the default target.
+  size_t MaxDefaultCloneInsts = 48;
+
+  /// §10 extension: semi-static search-method selection.  When enabled,
+  /// each sequence is emitted as a bounds-checked jump table instead of a
+  /// reordered linear search whenever the table's expected cost (using
+  /// IndirectJumpCost for the dispatch) beats the best ordering's cost.
+  bool EnableMethodSelection = false;
+  /// Expected instruction-equivalent cost of an indirect jump, including
+  /// the table load.  ~2 on SPARC-IPC-like machines; ~8 Ultra-like (the
+  /// paper measured indirect jumps 4x more expensive there).
+  unsigned IndirectJumpCost = 2;
+  /// Jump tables wider than this are never considered.
+  uint64_t MaxTableSpan = 512;
+};
+
+/// Outcome of one sequence's transformation attempt.
+enum class SequenceOutcome {
+  Reordered,       ///< transformation applied
+  NeverExecuted,   ///< profile shows too few executions
+  ProfileMissing,  ///< no profile record for this id
+  ProfileMismatch, ///< signature differs: stale profile data
+};
+
+/// Aggregate statistics across a module.
+struct ReorderStats {
+  unsigned Detected = 0;
+  unsigned Reordered = 0;
+  unsigned NeverExecuted = 0;
+  unsigned ProfileProblems = 0;
+  /// Sequences emitted as jump tables by method selection (a subset of
+  /// Reordered).
+  unsigned JumpTables = 0;
+  /// (branches before, branches after) per reordered sequence.
+  std::vector<std::pair<unsigned, unsigned>> Lengths;
+
+  double averageLengthBefore() const;
+  double averageLengthAfter() const;
+};
+
+/// Transforms one sequence.  The caller must not reuse \p Seq (or any
+/// other sequence descriptor pointing into the same blocks) afterwards and
+/// should run finalizeFunction on the function when done with it.
+SequenceOutcome reorderSequence(const RangeSequence &Seq,
+                                const ProfileData &Profile,
+                                const ReorderOptions &Opts,
+                                ReorderStats *Stats = nullptr);
+
+/// Transforms every sequence and finalizes each affected function.
+ReorderStats reorderSequences(Module &M,
+                              const std::vector<RangeSequence> &Sequences,
+                              const ProfileData &Profile,
+                              const ReorderOptions &Opts = {});
+
+} // namespace bropt
+
+#endif // BROPT_CORE_REORDER_H

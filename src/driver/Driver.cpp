@@ -1,0 +1,178 @@
+//===- driver/Driver.cpp - The two-pass compilation pipeline --------------===//
+
+#include "driver/Driver.h"
+
+#include "core/Instrumentation.h"
+
+#include <unordered_set>
+#include "ir/Verifier.h"
+#include "lang/Lowering.h"
+#include "opt/Passes.h"
+#include "sim/Interpreter.h"
+
+using namespace bropt;
+
+namespace {
+
+/// Front end + switch lowering + conventional optimizations; the common
+/// prefix of every build.  \returns null and fills \p Error on failure.
+std::unique_ptr<Module> compileCommon(std::string_view Source,
+                                      const CompileOptions &Options,
+                                      SwitchLoweringStats *SwitchStats,
+                                      std::string &Error) {
+  std::unique_ptr<Module> M = compileSource(Source, &Error);
+  if (!M)
+    return nullptr;
+  lowerSwitches(*M, Options.HeuristicSet, SwitchStats);
+  // Conventional optimizations only: final code layout (repositioning)
+  // happens after detection/reordering, because its trampoline blocks and
+  // branch inversions would obscure the common-successor structure the
+  // detector looks for.  This mirrors the paper: reordering runs after all
+  // optimizations except delay-slot filling, and repositioning/chaining
+  // are reinvoked afterwards (paper §8).
+  for (auto &F : *M)
+    runCleanupPipeline(*F);
+  std::string VerifyErrors;
+  if (!verifyModule(*M, &VerifyErrors)) {
+    Error = "internal error: IR verification failed after optimization:\n" +
+            VerifyErrors;
+    return nullptr;
+  }
+  return M;
+}
+
+} // namespace
+
+CompileResult bropt::compileBaseline(std::string_view Source,
+                                     const CompileOptions &Options) {
+  CompileResult Result;
+  Result.M = compileCommon(Source, Options, &Result.SwitchStats,
+                           Result.Error);
+  if (Result.M)
+    optimizeModule(*Result.M);
+  return Result;
+}
+
+Pass1Result bropt::runPass1(std::string_view Source,
+                            std::string_view TrainingInput,
+                            const CompileOptions &Options) {
+  return runPass1(Source, std::vector<std::string_view>{TrainingInput},
+                  Options);
+}
+
+Pass1Result
+bropt::runPass1(std::string_view Source,
+                const std::vector<std::string_view> &TrainingInputs,
+                const CompileOptions &Options) {
+  Pass1Result Result;
+  Result.M =
+      compileCommon(Source, Options, &Result.SwitchStats, Result.Error);
+  if (!Result.M)
+    return Result;
+
+  Result.Sequences = detectSequences(*Result.M);
+  ProfileBinner Binner;
+  instrumentSequences(Result.Sequences, Result.Profile, Binner);
+  if (Options.EnableCommonSuccessorReordering) {
+    std::unordered_set<const BasicBlock *> ClaimedBlocks;
+    for (const RangeSequence &Seq : Result.Sequences)
+      for (const RangeConditionDesc &Cond : Seq.Conds)
+        for (const BasicBlock *Block : Cond.Blocks)
+          ClaimedBlocks.insert(Block);
+    Result.CommonSequences = detectCommonSuccessorSequences(
+        *Result.M, static_cast<unsigned>(Result.Sequences.size()),
+        ClaimedBlocks);
+    instrumentCommonSuccessorSequences(Result.CommonSequences,
+                                       Result.Profile);
+  }
+
+  // One run per training data set; the counters simply accumulate, which
+  // is equivalent to merging the per-set profiles.
+  Interpreter Interp(*Result.M);
+  Interp.setProfileCallback(Binner.callback(Result.Profile));
+  if (Options.EnableCommonSuccessorReordering) {
+    ProfileData *Profile = &Result.Profile;
+    Interp.setComboProfileCallback([Profile](unsigned Id, int64_t Mask) {
+      Profile->increment(Id, static_cast<size_t>(Mask));
+    });
+  }
+  for (std::string_view TrainingInput : TrainingInputs) {
+    Interp.setInput(TrainingInput);
+    RunResult Run = Interp.run();
+    if (Run.Trapped) {
+      Result.Error = "training run trapped: " + Run.TrapReason;
+      return Result;
+    }
+  }
+  return Result;
+}
+
+CompileResult bropt::compileWithReordering(std::string_view Source,
+                                           std::string_view TrainingInput,
+                                           const CompileOptions &Options) {
+  return compileWithReordering(
+      Source, std::vector<std::string_view>{TrainingInput}, Options);
+}
+
+CompileResult bropt::compileWithReordering(
+    std::string_view Source,
+    const std::vector<std::string_view> &TrainingInputs,
+    const CompileOptions &Options) {
+  CompileResult Result;
+
+  // Pass 1: instrumented build + training runs.
+  Pass1Result Pass1 = runPass1(Source, TrainingInputs, Options);
+  if (!Pass1.ok()) {
+    Result.Error = Pass1.Error;
+    return Result;
+  }
+  Result.ProfileText = Pass1.Profile.serialize();
+
+  // The profile crosses the pass boundary in serialized form, exactly like
+  // the on-disk profile file of the paper's tooling.
+  ProfileData Profile;
+  if (!Profile.deserialize(Result.ProfileText)) {
+    Result.Error = "internal error: profile round-trip failed";
+    return Result;
+  }
+
+  // Pass 2: fresh compilation; detection re-derives the same sequence ids.
+  Result.M = compileCommon(Source, Options, &Result.SwitchStats,
+                           Result.Error);
+  if (!Result.M)
+    return Result;
+  std::vector<RangeSequence> Sequences = detectSequences(*Result.M);
+  if (!Options.EnableCommonSuccessorReordering) {
+    Result.Stats =
+        reorderSequences(*Result.M, Sequences, Profile, Options.Reorder);
+  } else {
+    // Both transformations must run before any clean-up pass: clean-up
+    // erases the unreachable original blocks the descriptors point into.
+    std::unordered_set<const BasicBlock *> ClaimedBlocks;
+    for (const RangeSequence &Seq : Sequences)
+      for (const RangeConditionDesc &Cond : Seq.Conds)
+        for (const BasicBlock *Block : Cond.Blocks)
+          ClaimedBlocks.insert(Block);
+    std::vector<CommonSuccessorSequence> CommonSequences =
+        detectCommonSuccessorSequences(
+            *Result.M, static_cast<unsigned>(Sequences.size()),
+            ClaimedBlocks);
+    // Common-successor chains first: the range transformation may
+    // duplicate code *into* its exit edges (Figure 10c/d), and it must
+    // duplicate the already-reordered chain, not the stale one.
+    Result.CommonStats = reorderCommonSuccessorSequences(
+        CommonSequences, Profile, Options.Reorder.MinExecutions);
+    for (const RangeSequence &Seq : Sequences)
+      reorderSequence(Seq, Profile, Options.Reorder, &Result.Stats);
+  }
+  optimizeModule(*Result.M);
+
+  std::string VerifyErrors;
+  if (!verifyModule(*Result.M, &VerifyErrors)) {
+    Result.Error =
+        "internal error: IR verification failed after reordering:\n" +
+        VerifyErrors;
+    Result.M.reset();
+  }
+  return Result;
+}

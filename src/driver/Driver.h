@@ -1,0 +1,107 @@
+//===- driver/Driver.h - The two-pass compilation pipeline ------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the compilation process of paper Figure 2:
+///
+///   pass 1: front end -> conventional optimizations + switch lowering ->
+///           detect reorderable sequences -> instrument -> run on the
+///           training input -> profile data
+///   pass 2: recompile identically -> re-detect (ids match because
+///           compilation is deterministic) -> select orderings from the
+///           profile -> restructure -> clean up and finalize layout
+///
+/// compileBaseline() runs the same pipeline with reordering disabled; the
+/// benches diff the two against identical test inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_DRIVER_DRIVER_H
+#define BROPT_DRIVER_DRIVER_H
+
+#include "core/CommonSuccessor.h"
+#include "core/Reorder.h"
+#include "core/SequenceDetection.h"
+#include "opt/SwitchLowering.h"
+#include "profile/ProfileData.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace bropt {
+
+/// Pipeline configuration.
+struct CompileOptions {
+  SwitchHeuristicSet HeuristicSet = SwitchHeuristicSet::SetI;
+  ReorderOptions Reorder;
+  /// §10 extension: also profile and reorder common-successor branch
+  /// sequences (Figure 14).
+  bool EnableCommonSuccessorReordering = false;
+};
+
+/// Everything the evaluation wants to know about one compilation.
+struct CompileResult {
+  std::unique_ptr<Module> M;
+  /// Empty on success; front-end or pipeline diagnostics otherwise.
+  std::string Error;
+  SwitchLoweringStats SwitchStats;
+  /// Sequence statistics (zeroed for baseline compiles).
+  ReorderStats Stats;
+  /// §10 common-successor statistics (zeroed unless enabled).
+  CommonSuccessorStats CommonStats;
+  /// Serialized profile collected by pass 1 (empty for baseline).
+  std::string ProfileText;
+  /// Per reordered sequence (branches before, after) lives in Stats.
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Compiles without the reordering transformation: front end, switch
+/// lowering under \p Options.HeuristicSet, conventional optimizations,
+/// final layout.  This is the paper's "Original" measurement build.
+CompileResult compileBaseline(std::string_view Source,
+                              const CompileOptions &Options);
+
+/// Pass 1 only: returns the instrumented module and, after running it on
+/// \p TrainingInput, the profile.  Exposed for tests; most callers use
+/// compileWithReordering.
+struct Pass1Result {
+  std::unique_ptr<Module> M;
+  std::string Error;
+  std::vector<RangeSequence> Sequences;
+  std::vector<CommonSuccessorSequence> CommonSequences;
+  ProfileData Profile;
+  SwitchLoweringStats SwitchStats;
+  bool ok() const { return Error.empty(); }
+};
+Pass1Result runPass1(std::string_view Source, std::string_view TrainingInput,
+                     const CompileOptions &Options);
+
+/// Pass 1 over several training data sets: the instrumented binary runs
+/// once per input and the counters accumulate.  The paper (§9) points out
+/// that multiple training sets raise the fraction of detected sequences
+/// that actually get reordered.
+Pass1Result runPass1(std::string_view Source,
+                     const std::vector<std::string_view> &TrainingInputs,
+                     const CompileOptions &Options);
+
+/// The full two-pass pipeline: profile on \p TrainingInput, then recompile
+/// with reordering applied.
+CompileResult compileWithReordering(std::string_view Source,
+                                    std::string_view TrainingInput,
+                                    const CompileOptions &Options);
+
+/// Two-pass pipeline over several training data sets.
+CompileResult
+compileWithReordering(std::string_view Source,
+                      const std::vector<std::string_view> &TrainingInputs,
+                      const CompileOptions &Options);
+
+} // namespace bropt
+
+#endif // BROPT_DRIVER_DRIVER_H

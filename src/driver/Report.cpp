@@ -1,0 +1,95 @@
+//===- driver/Report.cpp - Workload evaluation for the benches ------------===//
+
+#include "driver/Report.h"
+
+#include "sim/CostModel.h"
+
+using namespace bropt;
+
+double WorkloadEvaluation::deltaPercent(uint64_t Before, uint64_t After) {
+  if (Before == 0)
+    return 0.0;
+  return 100.0 *
+         (static_cast<double>(After) - static_cast<double>(Before)) /
+         static_cast<double>(Before);
+}
+
+namespace {
+
+BuildMeasurement measureBuild(Module &M, std::string_view TestInput,
+                              const std::optional<PredictorConfig>
+                                  &PredictorConfiguration,
+                              std::string &Error) {
+  BuildMeasurement Result;
+  Result.CodeSize = M.codeSize();
+
+  Interpreter Interp(M);
+  Interp.setInput(TestInput);
+  std::optional<BranchPredictor> Predictor;
+  if (PredictorConfiguration) {
+    Predictor.emplace(*PredictorConfiguration);
+    Interp.attachPredictor(&*Predictor);
+  }
+  RunResult Run = Interp.run();
+  if (Run.Trapped) {
+    Error = "test run trapped: " + Run.TrapReason;
+    return Result;
+  }
+  Result.Counts = Run.Counts;
+  Result.Output = std::move(Run.Output);
+  Result.ExitValue = Run.ExitValue;
+  if (Predictor)
+    Result.Mispredictions = Predictor->getStats().Mispredictions;
+  Result.CyclesIPC = computeCycles(MachineModel::sparcIPCLike(), Run.Counts,
+                                   Result.Mispredictions);
+  Result.CyclesUltra = computeCycles(MachineModel::sparcUltraLike(),
+                                     Run.Counts, Result.Mispredictions);
+  return Result;
+}
+
+} // namespace
+
+WorkloadEvaluation
+bropt::evaluateWorkload(const Workload &W, const CompileOptions &Options,
+                        const std::optional<PredictorConfig> &Predictor) {
+  WorkloadEvaluation Eval;
+  Eval.Name = W.Name;
+
+  CompileResult Baseline = compileBaseline(W.Source, Options);
+  if (!Baseline.ok()) {
+    Eval.Error = W.Name + ": baseline compile failed: " + Baseline.Error;
+    return Eval;
+  }
+  CompileResult Reordered =
+      compileWithReordering(W.Source, W.TrainingInput, Options);
+  if (!Reordered.ok()) {
+    Eval.Error = W.Name + ": reordering compile failed: " + Reordered.Error;
+    return Eval;
+  }
+  Eval.Stats = Reordered.Stats;
+  Eval.SwitchStats = Reordered.SwitchStats;
+
+  Eval.Baseline = measureBuild(*Baseline.M, W.TestInput, Predictor,
+                               Eval.Error);
+  if (!Eval.ok())
+    return Eval;
+  Eval.Reordered = measureBuild(*Reordered.M, W.TestInput, Predictor,
+                                Eval.Error);
+  if (!Eval.ok())
+    return Eval;
+
+  Eval.OutputsMatch = Eval.Baseline.Output == Eval.Reordered.Output &&
+                      Eval.Baseline.ExitValue == Eval.Reordered.ExitValue;
+  if (!Eval.OutputsMatch)
+    Eval.Error = W.Name + ": baseline and reordered outputs differ";
+  return Eval;
+}
+
+std::vector<WorkloadEvaluation> bropt::evaluateAllWorkloads(
+    const CompileOptions &Options,
+    const std::optional<PredictorConfig> &Predictor) {
+  std::vector<WorkloadEvaluation> Evals;
+  for (const Workload &W : standardWorkloads())
+    Evals.push_back(evaluateWorkload(W, Options, Predictor));
+  return Evals;
+}

@@ -1,0 +1,72 @@
+//===- driver/Report.h - Workload evaluation for the benches ----*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one workload through baseline and reordered builds on its test
+/// input and gathers every quantity the paper's tables report: dynamic
+/// instructions and branches (Table 4), mispredictions under a configured
+/// predictor (Tables 5-6), model cycles under both machine models
+/// (Table 7's relative times), and static size / sequence statistics
+/// (Table 8, Figures 11-13).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_DRIVER_REPORT_H
+#define BROPT_DRIVER_REPORT_H
+
+#include "driver/Driver.h"
+#include "predict/BranchPredictor.h"
+#include "sim/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <optional>
+
+namespace bropt {
+
+/// Measurements for one build of one workload.
+struct BuildMeasurement {
+  DynamicCounts Counts;
+  uint64_t Mispredictions = 0;
+  uint64_t CyclesIPC = 0;   ///< SPARC IPC/20-like machine model
+  uint64_t CyclesUltra = 0; ///< SPARC Ultra-like (expensive ijmp)
+  size_t CodeSize = 0;
+  std::string Output;
+  int64_t ExitValue = 0;
+};
+
+/// Baseline vs. reordered comparison for one workload.
+struct WorkloadEvaluation {
+  std::string Name;
+  std::string Error; ///< empty on success
+  BuildMeasurement Baseline;
+  BuildMeasurement Reordered;
+  ReorderStats Stats;
+  SwitchLoweringStats SwitchStats;
+  bool OutputsMatch = false;
+
+  bool ok() const { return Error.empty(); }
+
+  /// Percentage change from baseline to reordered; negative is better.
+  static double deltaPercent(uint64_t Before, uint64_t After);
+};
+
+/// Evaluates \p W under \p Options; if \p Predictor is set, both builds
+/// also run through an (m,n) predictor of that configuration.
+WorkloadEvaluation evaluateWorkload(const Workload &W,
+                                    const CompileOptions &Options,
+                                    const std::optional<PredictorConfig>
+                                        &Predictor = std::nullopt);
+
+/// Evaluates every standard workload.
+std::vector<WorkloadEvaluation>
+evaluateAllWorkloads(const CompileOptions &Options,
+                     const std::optional<PredictorConfig> &Predictor =
+                         std::nullopt);
+
+} // namespace bropt
+
+#endif // BROPT_DRIVER_REPORT_H

@@ -1,0 +1,72 @@
+//===- ir/BasicBlock.cpp - Basic blocks ----------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include "support/Debug.h"
+#include "support/Strings.h"
+
+using namespace bropt;
+
+std::string BasicBlock::getLabel() const {
+  if (Name.empty())
+    return formatString("bb%u", Id);
+  return formatString("bb%u.%s", Id, Name.c_str());
+}
+
+Instruction *BasicBlock::getTerminator() {
+  if (Insts.empty() || !Insts.back()->isTerminator())
+    return nullptr;
+  return Insts.back().get();
+}
+
+const Instruction *BasicBlock::getTerminator() const {
+  if (Insts.empty() || !Insts.back()->isTerminator())
+    return nullptr;
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert(!hasTerminator() && "appending past a terminator");
+  I->setParent(this);
+  Insts.push_back(std::move(I));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertAt(size_t Index, std::unique_ptr<Instruction> I) {
+  assert(Index <= Insts.size() && "insertion index out of range");
+  I->setParent(this);
+  auto It = Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Index),
+                         std::move(I));
+  return It->get();
+}
+
+std::unique_ptr<Instruction> BasicBlock::removeAt(size_t Index) {
+  assert(Index < Insts.size() && "removal index out of range");
+  std::unique_ptr<Instruction> I =
+      std::move(Insts[Index]);
+  Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Index));
+  I->setParent(nullptr);
+  return I;
+}
+
+void BasicBlock::truncateFrom(size_t Index) {
+  assert(Index <= Insts.size() && "truncation index out of range");
+  Insts.resize(Index);
+}
+
+size_t BasicBlock::indexOf(const Instruction *I) const {
+  for (size_t Index = 0, E = Insts.size(); Index != E; ++Index)
+    if (Insts[Index].get() == I)
+      return Index;
+  BROPT_UNREACHABLE("instruction not in this block");
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Succs;
+  const Instruction *Term = getTerminator();
+  if (!Term)
+    return Succs;
+  for (unsigned I = 0, E = Term->getNumSuccessors(); I != E; ++I)
+    Succs.push_back(Term->getSuccessor(I));
+  return Succs;
+}

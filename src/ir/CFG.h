@@ -1,0 +1,50 @@
+//===- ir/CFG.h - Control-flow-graph utilities ------------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reachability, traversal orders, and the block-cloning machinery used by
+/// the reordering transformation to replicate range conditions and default
+/// target code (paper Figure 10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_IR_CFG_H
+#define BROPT_IR_CFG_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace bropt {
+
+/// \returns the set of blocks reachable from the entry block.
+std::unordered_set<const BasicBlock *> reachableBlocks(const Function &F);
+
+/// \returns the blocks reachable from entry in reverse post order.
+std::vector<BasicBlock *> reversePostOrder(Function &F);
+
+/// Clones \p BlocksToClone (in their given order) into \p F, appending the
+/// clones at the end of the layout.  Terminator edges that point into the
+/// cloned set are redirected to the corresponding clones; edges leaving the
+/// set keep pointing at the original blocks.  Registers are not renamed:
+/// the clones compute into the same virtual registers, which is correct in
+/// this non-SSA IR because a clone executes *instead of* its original, never
+/// in addition to it.
+///
+/// \returns the original-to-clone mapping.
+std::unordered_map<BasicBlock *, BasicBlock *>
+cloneBlocks(Function &F, const std::vector<BasicBlock *> &BlocksToClone);
+
+/// Redirects every edge in \p F that points at \p From so it points at
+/// \p To instead.  Does not touch predecessor caches; callers recompute.
+void replaceAllBranchesTo(Function &F, BasicBlock *From, BasicBlock *To);
+
+} // namespace bropt
+
+#endif // BROPT_IR_CFG_H

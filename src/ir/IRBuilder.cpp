@@ -1,0 +1,83 @@
+//===- ir/IRBuilder.cpp - Convenience IR construction ---------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "support/Debug.h"
+
+using namespace bropt;
+
+template <typename T, typename... ArgsT> T *IRBuilder::append(ArgsT &&...Args) {
+  assert(Block && "no insertion point set");
+  auto Inst = std::make_unique<T>(std::forward<ArgsT>(Args)...);
+  T *Raw = Inst.get();
+  Block->append(std::move(Inst));
+  return Raw;
+}
+
+MoveInst *IRBuilder::emitMove(unsigned Dest, Operand Src) {
+  return append<MoveInst>(Dest, Src);
+}
+
+BinaryInst *IRBuilder::emitBinary(BinaryOp Op, unsigned Dest, Operand Lhs,
+                                  Operand Rhs) {
+  return append<BinaryInst>(Op, Dest, Lhs, Rhs);
+}
+
+UnaryInst *IRBuilder::emitUnary(UnaryOp Op, unsigned Dest, Operand Src) {
+  return append<UnaryInst>(Op, Dest, Src);
+}
+
+LoadInst *IRBuilder::emitLoad(unsigned Dest, Operand Base, int64_t Offset) {
+  return append<LoadInst>(Dest, Base, Offset);
+}
+
+StoreInst *IRBuilder::emitStore(Operand Value, Operand Base, int64_t Offset) {
+  return append<StoreInst>(Value, Base, Offset);
+}
+
+CmpInst *IRBuilder::emitCmp(Operand Lhs, Operand Rhs) {
+  return append<CmpInst>(Lhs, Rhs);
+}
+
+CallInst *IRBuilder::emitCall(std::optional<unsigned> Dest, Function *Callee,
+                              std::vector<Operand> Args) {
+  return append<CallInst>(Dest, Callee, std::move(Args));
+}
+
+ReadCharInst *IRBuilder::emitReadChar(unsigned Dest) {
+  return append<ReadCharInst>(Dest);
+}
+
+PutCharInst *IRBuilder::emitPutChar(Operand Src) {
+  return append<PutCharInst>(Src);
+}
+
+PrintIntInst *IRBuilder::emitPrintInt(Operand Src) {
+  return append<PrintIntInst>(Src);
+}
+
+ProfileInst *IRBuilder::emitProfile(unsigned SequenceId, unsigned ValueReg) {
+  return append<ProfileInst>(SequenceId, ValueReg);
+}
+
+CondBrInst *IRBuilder::emitCondBr(CondCode Pred, BasicBlock *Taken,
+                                  BasicBlock *FallThrough) {
+  return append<CondBrInst>(Pred, Taken, FallThrough);
+}
+
+JumpInst *IRBuilder::emitJump(BasicBlock *Target) {
+  return append<JumpInst>(Target);
+}
+
+SwitchInst *IRBuilder::emitSwitch(Operand Value,
+                                  std::vector<SwitchInst::Case> Cases,
+                                  BasicBlock *Default) {
+  return append<SwitchInst>(Value, std::move(Cases), Default);
+}
+
+IndirectJumpInst *
+IRBuilder::emitIndirectJump(Operand Index, std::vector<BasicBlock *> Table) {
+  return append<IndirectJumpInst>(Index, std::move(Table));
+}
+
+RetInst *IRBuilder::emitRet(Operand Value) { return append<RetInst>(Value); }

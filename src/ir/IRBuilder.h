@@ -1,0 +1,64 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder that appends instructions to a current basic block.
+/// Used by the front end's lowering, the switch-lowering pass, and the
+/// reordering transformation when it emits replicated range conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_IR_IRBUILDER_H
+#define BROPT_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace bropt {
+
+/// Appends instructions at the end of a designated block.
+class IRBuilder {
+public:
+  IRBuilder() = default;
+  explicit IRBuilder(BasicBlock *Block) : Block(Block) {}
+
+  void setInsertionPoint(BasicBlock *B) { Block = B; }
+  BasicBlock *getInsertionPoint() const { return Block; }
+
+  /// True if the current block already ends in a terminator (further
+  /// appends would assert).
+  bool atTerminator() const { return Block && Block->hasTerminator(); }
+
+  MoveInst *emitMove(unsigned Dest, Operand Src);
+  BinaryInst *emitBinary(BinaryOp Op, unsigned Dest, Operand Lhs, Operand Rhs);
+  UnaryInst *emitUnary(UnaryOp Op, unsigned Dest, Operand Src);
+  LoadInst *emitLoad(unsigned Dest, Operand Base, int64_t Offset = 0);
+  StoreInst *emitStore(Operand Value, Operand Base, int64_t Offset = 0);
+  CmpInst *emitCmp(Operand Lhs, Operand Rhs);
+  CallInst *emitCall(std::optional<unsigned> Dest, Function *Callee,
+                     std::vector<Operand> Args);
+  ReadCharInst *emitReadChar(unsigned Dest);
+  PutCharInst *emitPutChar(Operand Src);
+  PrintIntInst *emitPrintInt(Operand Src);
+  ProfileInst *emitProfile(unsigned SequenceId, unsigned ValueReg);
+  CondBrInst *emitCondBr(CondCode Pred, BasicBlock *Taken,
+                         BasicBlock *FallThrough);
+  JumpInst *emitJump(BasicBlock *Target);
+  SwitchInst *emitSwitch(Operand Value, std::vector<SwitchInst::Case> Cases,
+                         BasicBlock *Default);
+  IndirectJumpInst *emitIndirectJump(Operand Index,
+                                     std::vector<BasicBlock *> Table);
+  RetInst *emitRet(Operand Value = Operand());
+
+private:
+  template <typename T, typename... ArgsT> T *append(ArgsT &&...Args);
+
+  BasicBlock *Block = nullptr;
+};
+
+} // namespace bropt
+
+#endif // BROPT_IR_IRBUILDER_H

@@ -1,0 +1,476 @@
+//===- ir/Instruction.cpp - Instruction class hierarchy ------------------===//
+
+#include "ir/Instruction.h"
+
+#include "support/Debug.h"
+
+using namespace bropt;
+
+//===----------------------------------------------------------------------===//
+// Opcode helpers
+//===----------------------------------------------------------------------===//
+
+CondCode bropt::invertCondCode(CondCode CC) {
+  switch (CC) {
+  case CondCode::EQ:
+    return CondCode::NE;
+  case CondCode::NE:
+    return CondCode::EQ;
+  case CondCode::LT:
+    return CondCode::GE;
+  case CondCode::LE:
+    return CondCode::GT;
+  case CondCode::GT:
+    return CondCode::LE;
+  case CondCode::GE:
+    return CondCode::LT;
+  }
+  BROPT_UNREACHABLE("unknown condition code");
+}
+
+CondCode bropt::swapCondCode(CondCode CC) {
+  switch (CC) {
+  case CondCode::EQ:
+    return CondCode::EQ;
+  case CondCode::NE:
+    return CondCode::NE;
+  case CondCode::LT:
+    return CondCode::GT;
+  case CondCode::LE:
+    return CondCode::GE;
+  case CondCode::GT:
+    return CondCode::LT;
+  case CondCode::GE:
+    return CondCode::LE;
+  }
+  BROPT_UNREACHABLE("unknown condition code");
+}
+
+bool bropt::evalCondCode(CondCode CC, int64_t Lhs, int64_t Rhs) {
+  switch (CC) {
+  case CondCode::EQ:
+    return Lhs == Rhs;
+  case CondCode::NE:
+    return Lhs != Rhs;
+  case CondCode::LT:
+    return Lhs < Rhs;
+  case CondCode::LE:
+    return Lhs <= Rhs;
+  case CondCode::GT:
+    return Lhs > Rhs;
+  case CondCode::GE:
+    return Lhs >= Rhs;
+  }
+  BROPT_UNREACHABLE("unknown condition code");
+}
+
+const char *bropt::condCodeName(CondCode CC) {
+  switch (CC) {
+  case CondCode::EQ:
+    return "eq";
+  case CondCode::NE:
+    return "ne";
+  case CondCode::LT:
+    return "lt";
+  case CondCode::LE:
+    return "le";
+  case CondCode::GT:
+    return "gt";
+  case CondCode::GE:
+    return "ge";
+  }
+  BROPT_UNREACHABLE("unknown condition code");
+}
+
+const char *bropt::binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "add";
+  case BinaryOp::Sub:
+    return "sub";
+  case BinaryOp::Mul:
+    return "mul";
+  case BinaryOp::Div:
+    return "div";
+  case BinaryOp::Rem:
+    return "rem";
+  case BinaryOp::And:
+    return "and";
+  case BinaryOp::Or:
+    return "or";
+  case BinaryOp::Xor:
+    return "xor";
+  case BinaryOp::Shl:
+    return "shl";
+  case BinaryOp::Shr:
+    return "shr";
+  }
+  BROPT_UNREACHABLE("unknown binary operator");
+}
+
+const char *bropt::unaryOpName(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "neg";
+  case UnaryOp::Not:
+    return "not";
+  }
+  BROPT_UNREACHABLE("unknown unary operator");
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction base
+//===----------------------------------------------------------------------===//
+
+Instruction::~Instruction() = default;
+
+bool Instruction::hasSideEffects() const {
+  switch (getKind()) {
+  case InstKind::Store:
+  case InstKind::Call:
+  case InstKind::ReadChar:
+  case InstKind::PutChar:
+  case InstKind::PrintInt:
+  case InstKind::Profile:
+  case InstKind::ComboProfile:
+    return true;
+  case InstKind::Binary:
+    return cast<BinaryInst>(this)->canTrap();
+  case InstKind::Move:
+  case InstKind::Unary:
+  case InstKind::Load:
+  case InstKind::Cmp:
+    return false;
+  case InstKind::CondBr:
+  case InstKind::Jump:
+  case InstKind::Switch:
+  case InstKind::IndirectJump:
+  case InstKind::Ret:
+    return true;
+  }
+  BROPT_UNREACHABLE("unknown instruction kind");
+}
+
+BasicBlock *Instruction::getSuccessor(unsigned Index) const {
+  BROPT_UNREACHABLE("instruction has no successors");
+}
+
+void Instruction::setSuccessor(unsigned Index, BasicBlock *B) {
+  BROPT_UNREACHABLE("instruction has no successors");
+}
+
+void Instruction::replaceSuccessor(BasicBlock *From, BasicBlock *To) {
+  for (unsigned I = 0, E = getNumSuccessors(); I != E; ++I)
+    if (getSuccessor(I) == From)
+      setSuccessor(I, To);
+}
+
+namespace {
+
+/// Applies a register map to an operand in place.
+void remapOperand(Operand &Op, unsigned (*Map)(unsigned, void *), void *Ctx) {
+  if (Op.isReg())
+    Op = Operand::reg(Map(Op.getReg(), Ctx));
+}
+
+void addUse(std::vector<unsigned> &Uses, Operand Op) {
+  if (Op.isReg())
+    Uses.push_back(Op.getReg());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// MoveInst
+//===----------------------------------------------------------------------===//
+
+void MoveInst::getUses(std::vector<unsigned> &Uses) const {
+  addUse(Uses, Src);
+}
+
+void MoveInst::remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) {
+  Dest = Map(Dest, Ctx);
+  remapOperand(Src, Map, Ctx);
+}
+
+std::unique_ptr<Instruction> MoveInst::clone() const {
+  return std::make_unique<MoveInst>(Dest, Src);
+}
+
+//===----------------------------------------------------------------------===//
+// BinaryInst
+//===----------------------------------------------------------------------===//
+
+void BinaryInst::getUses(std::vector<unsigned> &Uses) const {
+  addUse(Uses, Lhs);
+  addUse(Uses, Rhs);
+}
+
+void BinaryInst::remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) {
+  Dest = Map(Dest, Ctx);
+  remapOperand(Lhs, Map, Ctx);
+  remapOperand(Rhs, Map, Ctx);
+}
+
+std::unique_ptr<Instruction> BinaryInst::clone() const {
+  return std::make_unique<BinaryInst>(Op, Dest, Lhs, Rhs);
+}
+
+//===----------------------------------------------------------------------===//
+// UnaryInst
+//===----------------------------------------------------------------------===//
+
+void UnaryInst::getUses(std::vector<unsigned> &Uses) const {
+  addUse(Uses, Src);
+}
+
+void UnaryInst::remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) {
+  Dest = Map(Dest, Ctx);
+  remapOperand(Src, Map, Ctx);
+}
+
+std::unique_ptr<Instruction> UnaryInst::clone() const {
+  return std::make_unique<UnaryInst>(Op, Dest, Src);
+}
+
+//===----------------------------------------------------------------------===//
+// LoadInst / StoreInst
+//===----------------------------------------------------------------------===//
+
+void LoadInst::getUses(std::vector<unsigned> &Uses) const {
+  addUse(Uses, Base);
+}
+
+void LoadInst::remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) {
+  Dest = Map(Dest, Ctx);
+  remapOperand(Base, Map, Ctx);
+}
+
+std::unique_ptr<Instruction> LoadInst::clone() const {
+  return std::make_unique<LoadInst>(Dest, Base, Offset);
+}
+
+void StoreInst::getUses(std::vector<unsigned> &Uses) const {
+  addUse(Uses, Value);
+  addUse(Uses, Base);
+}
+
+void StoreInst::remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) {
+  remapOperand(Value, Map, Ctx);
+  remapOperand(Base, Map, Ctx);
+}
+
+std::unique_ptr<Instruction> StoreInst::clone() const {
+  return std::make_unique<StoreInst>(Value, Base, Offset);
+}
+
+//===----------------------------------------------------------------------===//
+// CmpInst
+//===----------------------------------------------------------------------===//
+
+void CmpInst::getUses(std::vector<unsigned> &Uses) const {
+  addUse(Uses, Lhs);
+  addUse(Uses, Rhs);
+}
+
+void CmpInst::remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) {
+  remapOperand(Lhs, Map, Ctx);
+  remapOperand(Rhs, Map, Ctx);
+}
+
+std::unique_ptr<Instruction> CmpInst::clone() const {
+  return std::make_unique<CmpInst>(Lhs, Rhs);
+}
+
+//===----------------------------------------------------------------------===//
+// CallInst
+//===----------------------------------------------------------------------===//
+
+void CallInst::getUses(std::vector<unsigned> &Uses) const {
+  for (const Operand &Arg : Args)
+    addUse(Uses, Arg);
+}
+
+void CallInst::remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) {
+  if (Dest)
+    Dest = Map(*Dest, Ctx);
+  for (Operand &Arg : Args)
+    remapOperand(Arg, Map, Ctx);
+}
+
+std::unique_ptr<Instruction> CallInst::clone() const {
+  return std::make_unique<CallInst>(Dest, Callee, Args);
+}
+
+//===----------------------------------------------------------------------===//
+// I/O and profiling instructions
+//===----------------------------------------------------------------------===//
+
+void ReadCharInst::remapRegisters(unsigned (*Map)(unsigned, void *),
+                                  void *Ctx) {
+  Dest = Map(Dest, Ctx);
+}
+
+std::unique_ptr<Instruction> ReadCharInst::clone() const {
+  return std::make_unique<ReadCharInst>(Dest);
+}
+
+void PutCharInst::getUses(std::vector<unsigned> &Uses) const {
+  addUse(Uses, Src);
+}
+
+void PutCharInst::remapRegisters(unsigned (*Map)(unsigned, void *),
+                                 void *Ctx) {
+  remapOperand(Src, Map, Ctx);
+}
+
+std::unique_ptr<Instruction> PutCharInst::clone() const {
+  return std::make_unique<PutCharInst>(Src);
+}
+
+void PrintIntInst::getUses(std::vector<unsigned> &Uses) const {
+  addUse(Uses, Src);
+}
+
+void PrintIntInst::remapRegisters(unsigned (*Map)(unsigned, void *),
+                                  void *Ctx) {
+  remapOperand(Src, Map, Ctx);
+}
+
+std::unique_ptr<Instruction> PrintIntInst::clone() const {
+  return std::make_unique<PrintIntInst>(Src);
+}
+
+void ComboProfileInst::getUses(std::vector<unsigned> &Uses) const {
+  for (const Condition &Cond : Conditions) {
+    addUse(Uses, Cond.Lhs);
+    addUse(Uses, Cond.Rhs);
+  }
+}
+
+void ComboProfileInst::remapRegisters(unsigned (*Map)(unsigned, void *),
+                                      void *Ctx) {
+  for (Condition &Cond : Conditions) {
+    remapOperand(Cond.Lhs, Map, Ctx);
+    remapOperand(Cond.Rhs, Map, Ctx);
+  }
+}
+
+std::unique_ptr<Instruction> ComboProfileInst::clone() const {
+  return std::make_unique<ComboProfileInst>(SequenceId, Conditions);
+}
+
+void ProfileInst::getUses(std::vector<unsigned> &Uses) const {
+  Uses.push_back(ValueReg);
+}
+
+void ProfileInst::remapRegisters(unsigned (*Map)(unsigned, void *),
+                                 void *Ctx) {
+  ValueReg = Map(ValueReg, Ctx);
+}
+
+std::unique_ptr<Instruction> ProfileInst::clone() const {
+  return std::make_unique<ProfileInst>(SequenceId, ValueReg);
+}
+
+//===----------------------------------------------------------------------===//
+// Terminators
+//===----------------------------------------------------------------------===//
+
+void CondBrInst::invert() {
+  Pred = invertCondCode(Pred);
+  std::swap(Succs[0], Succs[1]);
+}
+
+BasicBlock *CondBrInst::getSuccessor(unsigned Index) const {
+  assert(Index < 2 && "CondBr successor index out of range");
+  return Succs[Index];
+}
+
+void CondBrInst::setSuccessor(unsigned Index, BasicBlock *B) {
+  assert(Index < 2 && "CondBr successor index out of range");
+  Succs[Index] = B;
+}
+
+std::unique_ptr<Instruction> CondBrInst::clone() const {
+  return std::make_unique<CondBrInst>(Pred, Succs[0], Succs[1]);
+}
+
+BasicBlock *JumpInst::getSuccessor(unsigned Index) const {
+  assert(Index == 0 && "Jump successor index out of range");
+  return Target;
+}
+
+void JumpInst::setSuccessor(unsigned Index, BasicBlock *B) {
+  assert(Index == 0 && "Jump successor index out of range");
+  Target = B;
+}
+
+std::unique_ptr<Instruction> JumpInst::clone() const {
+  auto Copy = std::make_unique<JumpInst>(Target);
+  Copy->setIsFallThrough(FallThrough);
+  return Copy;
+}
+
+void SwitchInst::getUses(std::vector<unsigned> &Uses) const {
+  addUse(Uses, Value);
+}
+
+void SwitchInst::remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) {
+  remapOperand(Value, Map, Ctx);
+}
+
+BasicBlock *SwitchInst::getSuccessor(unsigned Index) const {
+  if (Index < Cases.size())
+    return Cases[Index].Target;
+  assert(Index == Cases.size() && "Switch successor index out of range");
+  return Default;
+}
+
+void SwitchInst::setSuccessor(unsigned Index, BasicBlock *B) {
+  if (Index < Cases.size()) {
+    Cases[Index].Target = B;
+    return;
+  }
+  assert(Index == Cases.size() && "Switch successor index out of range");
+  Default = B;
+}
+
+std::unique_ptr<Instruction> SwitchInst::clone() const {
+  return std::make_unique<SwitchInst>(Value, Cases, Default);
+}
+
+void IndirectJumpInst::getUses(std::vector<unsigned> &Uses) const {
+  addUse(Uses, Index);
+}
+
+void IndirectJumpInst::remapRegisters(unsigned (*Map)(unsigned, void *),
+                                      void *Ctx) {
+  remapOperand(Index, Map, Ctx);
+}
+
+BasicBlock *IndirectJumpInst::getSuccessor(unsigned SuccIndex) const {
+  assert(SuccIndex < Table.size() && "table index out of range");
+  return Table[SuccIndex];
+}
+
+void IndirectJumpInst::setSuccessor(unsigned SuccIndex, BasicBlock *B) {
+  assert(SuccIndex < Table.size() && "table index out of range");
+  Table[SuccIndex] = B;
+}
+
+std::unique_ptr<Instruction> IndirectJumpInst::clone() const {
+  return std::make_unique<IndirectJumpInst>(Index, Table);
+}
+
+void RetInst::getUses(std::vector<unsigned> &Uses) const {
+  addUse(Uses, Value);
+}
+
+void RetInst::remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) {
+  remapOperand(Value, Map, Ctx);
+}
+
+std::unique_ptr<Instruction> RetInst::clone() const {
+  return std::make_unique<RetInst>(Value);
+}

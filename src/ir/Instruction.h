@@ -1,0 +1,601 @@
+//===- ir/Instruction.h - Instruction class hierarchy -----------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR instruction hierarchy.  Instructions are owned by basic blocks.
+/// The hierarchy uses LLVM-style opt-in RTTI: every concrete class provides
+/// classof, and isa<>/cast<>/dyn_cast<> dispatch on InstKind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_IR_INSTRUCTION_H
+#define BROPT_IR_INSTRUCTION_H
+
+#include "ir/Opcodes.h"
+#include "ir/Operand.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bropt {
+
+class BasicBlock;
+class Function;
+
+/// Base class of all IR instructions.
+///
+/// An instruction knows its kind, its parent block, which register it
+/// defines (if any), which registers it reads, and — for terminators — its
+/// successor blocks.  Instructions are cloneable so that the reordering
+/// transformation can replicate range conditions, side effects, and default
+/// target code (paper Figure 10).
+class Instruction {
+public:
+  Instruction(const Instruction &) = delete;
+  Instruction &operator=(const Instruction &) = delete;
+  virtual ~Instruction();
+
+  InstKind getKind() const { return Kind; }
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *B) { Parent = B; }
+
+  bool isTerminator() const { return isTerminatorKind(Kind); }
+
+  /// \returns the virtual register this instruction defines, if any.
+  virtual std::optional<unsigned> getDef() const { return std::nullopt; }
+
+  /// Appends the registers this instruction reads to \p Uses.
+  virtual void getUses(std::vector<unsigned> &Uses) const {}
+
+  /// Rewrites every register the instruction reads or writes through \p F.
+  /// Used when cloning code into a context with renamed registers.
+  virtual void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) {}
+
+  /// True if the instruction has effects beyond defining its register:
+  /// memory writes, I/O, calls, possible traps, or control transfer.
+  /// Such instructions must never be deleted by dead-code elimination.
+  bool hasSideEffects() const;
+
+  /// True if this instruction writes the condition-code register.
+  bool writesCC() const { return Kind == InstKind::Cmp; }
+
+  /// True if this instruction reads the condition-code register.
+  bool readsCC() const { return Kind == InstKind::CondBr; }
+
+  /// Deep-copies the instruction.  Successor pointers are copied verbatim;
+  /// callers that clone whole subgraphs remap them afterwards.
+  virtual std::unique_ptr<Instruction> clone() const = 0;
+
+  /// Successor access; non-terminators have none.
+  virtual unsigned getNumSuccessors() const { return 0; }
+  virtual BasicBlock *getSuccessor(unsigned Index) const;
+  virtual void setSuccessor(unsigned Index, BasicBlock *B);
+
+  /// Replaces every successor edge pointing at \p From with \p To.
+  void replaceSuccessor(BasicBlock *From, BasicBlock *To);
+
+  /// Renders the instruction as assembly-like text (see Printer.cpp).
+  std::string toString() const;
+
+protected:
+  explicit Instruction(InstKind Kind) : Kind(Kind) {}
+
+private:
+  InstKind Kind;
+  BasicBlock *Parent = nullptr;
+};
+
+/// LLVM-style RTTI helpers.
+template <typename To> bool isa(const Instruction *I) {
+  assert(I && "isa<> on a null instruction");
+  return To::classof(I);
+}
+
+template <typename To> To *cast(Instruction *I) {
+  assert(isa<To>(I) && "cast<> to an incompatible instruction kind");
+  return static_cast<To *>(I);
+}
+
+template <typename To> const To *cast(const Instruction *I) {
+  assert(isa<To>(I) && "cast<> to an incompatible instruction kind");
+  return static_cast<const To *>(I);
+}
+
+template <typename To> To *dyn_cast(Instruction *I) {
+  return isa<To>(I) ? static_cast<To *>(I) : nullptr;
+}
+
+template <typename To> const To *dyn_cast(const Instruction *I) {
+  return isa<To>(I) ? static_cast<const To *>(I) : nullptr;
+}
+
+template <typename To> To *dyn_cast_or_null(Instruction *I) {
+  return I ? dyn_cast<To>(I) : nullptr;
+}
+
+template <typename To> const To *dyn_cast_or_null(const Instruction *I) {
+  return I ? dyn_cast<To>(I) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Ordinary instructions
+//===----------------------------------------------------------------------===//
+
+/// rd = src
+class MoveInst final : public Instruction {
+public:
+  MoveInst(unsigned Dest, Operand Src)
+      : Instruction(InstKind::Move), Dest(Dest), Src(Src) {}
+
+  unsigned getDest() const { return Dest; }
+  Operand getSrc() const { return Src; }
+  void setSrc(Operand Op) { Src = Op; }
+
+  std::optional<unsigned> getDef() const override { return Dest; }
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::Move;
+  }
+
+private:
+  unsigned Dest;
+  Operand Src;
+};
+
+/// rd = lhs op rhs
+class BinaryInst final : public Instruction {
+public:
+  BinaryInst(BinaryOp Op, unsigned Dest, Operand Lhs, Operand Rhs)
+      : Instruction(InstKind::Binary), Op(Op), Dest(Dest), Lhs(Lhs), Rhs(Rhs) {
+  }
+
+  BinaryOp getOp() const { return Op; }
+  unsigned getDest() const { return Dest; }
+  Operand getLhs() const { return Lhs; }
+  Operand getRhs() const { return Rhs; }
+  void setLhs(Operand Op) { Lhs = Op; }
+  void setRhs(Operand Op) { Rhs = Op; }
+
+  /// True for operators that trap on a zero right operand.
+  bool canTrap() const { return Op == BinaryOp::Div || Op == BinaryOp::Rem; }
+
+  std::optional<unsigned> getDef() const override { return Dest; }
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::Binary;
+  }
+
+private:
+  BinaryOp Op;
+  unsigned Dest;
+  Operand Lhs, Rhs;
+};
+
+/// rd = op src
+class UnaryInst final : public Instruction {
+public:
+  UnaryInst(UnaryOp Op, unsigned Dest, Operand Src)
+      : Instruction(InstKind::Unary), Op(Op), Dest(Dest), Src(Src) {}
+
+  UnaryOp getOp() const { return Op; }
+  unsigned getDest() const { return Dest; }
+  Operand getSrc() const { return Src; }
+  void setSrc(Operand Op) { Src = Op; }
+
+  std::optional<unsigned> getDef() const override { return Dest; }
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::Unary;
+  }
+
+private:
+  UnaryOp Op;
+  unsigned Dest;
+  Operand Src;
+};
+
+/// rd = memory[base + offset]
+class LoadInst final : public Instruction {
+public:
+  LoadInst(unsigned Dest, Operand Base, int64_t Offset)
+      : Instruction(InstKind::Load), Dest(Dest), Base(Base), Offset(Offset) {}
+
+  unsigned getDest() const { return Dest; }
+  Operand getBase() const { return Base; }
+  int64_t getOffset() const { return Offset; }
+
+  std::optional<unsigned> getDef() const override { return Dest; }
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::Load;
+  }
+
+private:
+  unsigned Dest;
+  Operand Base;
+  int64_t Offset;
+};
+
+/// memory[base + offset] = value
+class StoreInst final : public Instruction {
+public:
+  StoreInst(Operand Value, Operand Base, int64_t Offset)
+      : Instruction(InstKind::Store), Value(Value), Base(Base),
+        Offset(Offset) {}
+
+  Operand getValue() const { return Value; }
+  Operand getBase() const { return Base; }
+  int64_t getOffset() const { return Offset; }
+
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::Store;
+  }
+
+private:
+  Operand Value;
+  Operand Base;
+  int64_t Offset;
+};
+
+/// condition codes = compare(lhs, rhs)
+class CmpInst final : public Instruction {
+public:
+  CmpInst(Operand Lhs, Operand Rhs)
+      : Instruction(InstKind::Cmp), Lhs(Lhs), Rhs(Rhs) {}
+
+  Operand getLhs() const { return Lhs; }
+  Operand getRhs() const { return Rhs; }
+  void setLhs(Operand Op) { Lhs = Op; }
+  void setRhs(Operand Op) { Rhs = Op; }
+
+  /// True if \p Other compares exactly the same operands.
+  bool isIdenticalTo(const CmpInst &Other) const {
+    return Lhs == Other.Lhs && Rhs == Other.Rhs;
+  }
+
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::Cmp;
+  }
+
+private:
+  Operand Lhs, Rhs;
+};
+
+/// rd = callee(args...)
+class CallInst final : public Instruction {
+public:
+  CallInst(std::optional<unsigned> Dest, Function *Callee,
+           std::vector<Operand> Args)
+      : Instruction(InstKind::Call), Dest(Dest), Callee(Callee),
+        Args(std::move(Args)) {}
+
+  Function *getCallee() const { return Callee; }
+  const std::vector<Operand> &getArgs() const { return Args; }
+
+  std::optional<unsigned> getDef() const override { return Dest; }
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::Call;
+  }
+
+private:
+  std::optional<unsigned> Dest;
+  Function *Callee;
+  std::vector<Operand> Args;
+};
+
+/// rd = next input byte, or -1 at end of input
+class ReadCharInst final : public Instruction {
+public:
+  explicit ReadCharInst(unsigned Dest)
+      : Instruction(InstKind::ReadChar), Dest(Dest) {}
+
+  unsigned getDest() const { return Dest; }
+
+  std::optional<unsigned> getDef() const override { return Dest; }
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::ReadChar;
+  }
+
+private:
+  unsigned Dest;
+};
+
+/// Appends a byte to the output stream.
+class PutCharInst final : public Instruction {
+public:
+  explicit PutCharInst(Operand Src)
+      : Instruction(InstKind::PutChar), Src(Src) {}
+
+  Operand getSrc() const { return Src; }
+
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::PutChar;
+  }
+
+private:
+  Operand Src;
+};
+
+/// Appends a decimal rendering followed by a newline to the output stream.
+class PrintIntInst final : public Instruction {
+public:
+  explicit PrintIntInst(Operand Src)
+      : Instruction(InstKind::PrintInt), Src(Src) {}
+
+  Operand getSrc() const { return Src; }
+
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::PrintInt;
+  }
+
+private:
+  Operand Src;
+};
+
+/// Profiling hook inserted at the head of a detected sequence (paper §5).
+/// Reports the current value of the sequence's branch variable so the
+/// profile runtime can attribute the execution to one of the sequence's
+/// explicit or default ranges.  Never present in final (pass-2) code.
+class ProfileInst final : public Instruction {
+public:
+  ProfileInst(unsigned SequenceId, unsigned ValueReg)
+      : Instruction(InstKind::Profile), SequenceId(SequenceId),
+        ValueReg(ValueReg) {}
+
+  unsigned getSequenceId() const { return SequenceId; }
+  unsigned getValueReg() const { return ValueReg; }
+
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::Profile;
+  }
+
+private:
+  unsigned SequenceId;
+  unsigned ValueReg;
+};
+
+/// Profiling hook for a common-successor branch sequence (paper §10).
+/// Evaluates every recorded condition against the current register state
+/// and reports the outcome combination as a bitmask (bit i set = condition
+/// i would exit to the common successor).  The paper uses an array of 2^n
+/// counters for exactly this purpose, for n <= 7.
+class ComboProfileInst final : public Instruction {
+public:
+  struct Condition {
+    Operand Lhs;
+    Operand Rhs;
+    CondCode Pred; ///< true means "exits to the common successor"
+  };
+
+  ComboProfileInst(unsigned SequenceId, std::vector<Condition> Conditions)
+      : Instruction(InstKind::ComboProfile), SequenceId(SequenceId),
+        Conditions(std::move(Conditions)) {
+    assert(this->Conditions.size() <= 7 &&
+           "combination profiling is bounded to 2^7 counters");
+  }
+
+  unsigned getSequenceId() const { return SequenceId; }
+  const std::vector<Condition> &getConditions() const { return Conditions; }
+
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::ComboProfile;
+  }
+
+private:
+  unsigned SequenceId;
+  std::vector<Condition> Conditions;
+};
+
+//===----------------------------------------------------------------------===//
+// Terminators
+//===----------------------------------------------------------------------===//
+
+/// Conditional branch: if the condition codes satisfy the predicate,
+/// control transfers to the taken successor; otherwise to the fall-through
+/// successor.  Both successors are explicit; the repositioning pass lays
+/// blocks out so that the fall-through successor follows in memory.
+class CondBrInst final : public Instruction {
+public:
+  CondBrInst(CondCode Pred, BasicBlock *Taken, BasicBlock *FallThrough)
+      : Instruction(InstKind::CondBr), Pred(Pred), Succs{Taken, FallThrough} {}
+
+  CondCode getPred() const { return Pred; }
+  void setPred(CondCode CC) { Pred = CC; }
+  BasicBlock *getTaken() const { return Succs[0]; }
+  BasicBlock *getFallThrough() const { return Succs[1]; }
+  void setTaken(BasicBlock *B) { Succs[0] = B; }
+  void setFallThrough(BasicBlock *B) { Succs[1] = B; }
+
+  /// Inverts the predicate and swaps the successors, preserving semantics.
+  void invert();
+
+  unsigned getNumSuccessors() const override { return 2; }
+  BasicBlock *getSuccessor(unsigned Index) const override;
+  void setSuccessor(unsigned Index, BasicBlock *B) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::CondBr;
+  }
+
+private:
+  CondCode Pred;
+  BasicBlock *Succs[2];
+};
+
+/// Unconditional branch.
+///
+/// After the repositioning pass lays blocks out, a jump whose target is the
+/// next block in layout is flagged as a pure fall-through: it occupies no
+/// code space and executes for free, exactly like block adjacency in real
+/// machine code.  Any CFG mutation clears the flag (conservatively) by
+/// rerunning repositioning.
+class JumpInst final : public Instruction {
+public:
+  explicit JumpInst(BasicBlock *Target)
+      : Instruction(InstKind::Jump), Target(Target) {}
+
+  BasicBlock *getTarget() const { return Target; }
+  void setTarget(BasicBlock *B) {
+    Target = B;
+    FallThrough = false;
+  }
+
+  /// True if layout made this jump a free fall-through.
+  bool isFallThrough() const { return FallThrough; }
+  void setIsFallThrough(bool Value) { FallThrough = Value; }
+
+  unsigned getNumSuccessors() const override { return 1; }
+  BasicBlock *getSuccessor(unsigned Index) const override;
+  void setSuccessor(unsigned Index, BasicBlock *B) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::Jump;
+  }
+
+private:
+  BasicBlock *Target;
+  bool FallThrough = false;
+};
+
+/// High-level multiway branch produced by the front end for a C switch.
+/// SwitchLowering rewrites it into an indirect jump, a binary search, or a
+/// linear search according to the selected heuristic set (paper Table 2).
+class SwitchInst final : public Instruction {
+public:
+  struct Case {
+    int64_t Value;
+    BasicBlock *Target;
+  };
+
+  SwitchInst(Operand Value, std::vector<Case> Cases, BasicBlock *Default)
+      : Instruction(InstKind::Switch), Value(Value), Cases(std::move(Cases)),
+        Default(Default) {}
+
+  Operand getValue() const { return Value; }
+  const std::vector<Case> &getCases() const { return Cases; }
+  BasicBlock *getDefault() const { return Default; }
+
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  unsigned getNumSuccessors() const override {
+    return static_cast<unsigned>(Cases.size()) + 1;
+  }
+  BasicBlock *getSuccessor(unsigned Index) const override;
+  void setSuccessor(unsigned Index, BasicBlock *B) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::Switch;
+  }
+
+private:
+  Operand Value;
+  std::vector<Case> Cases;
+  BasicBlock *Default;
+};
+
+/// Indirect jump through a table of blocks: goto table[index].
+/// The index must already be range-checked; the interpreter traps on an
+/// out-of-bounds index.
+class IndirectJumpInst final : public Instruction {
+public:
+  IndirectJumpInst(Operand Index, std::vector<BasicBlock *> Table)
+      : Instruction(InstKind::IndirectJump), Index(Index),
+        Table(std::move(Table)) {}
+
+  Operand getIndex() const { return Index; }
+  const std::vector<BasicBlock *> &getTable() const { return Table; }
+
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  unsigned getNumSuccessors() const override {
+    return static_cast<unsigned>(Table.size());
+  }
+  BasicBlock *getSuccessor(unsigned Index) const override;
+  void setSuccessor(unsigned Index, BasicBlock *B) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::IndirectJump;
+  }
+
+private:
+  Operand Index;
+  std::vector<BasicBlock *> Table;
+};
+
+/// Function return with an optional value.
+class RetInst final : public Instruction {
+public:
+  explicit RetInst(Operand Value = Operand())
+      : Instruction(InstKind::Ret), Value(Value) {}
+
+  Operand getValue() const { return Value; }
+  bool hasValue() const { return !Value.isNone(); }
+
+  void getUses(std::vector<unsigned> &Uses) const override;
+  void remapRegisters(unsigned (*Map)(unsigned, void *), void *Ctx) override;
+  std::unique_ptr<Instruction> clone() const override;
+
+  static bool classof(const Instruction *I) {
+    return I->getKind() == InstKind::Ret;
+  }
+
+private:
+  Operand Value;
+};
+
+} // namespace bropt
+
+#endif // BROPT_IR_INSTRUCTION_H

@@ -1,0 +1,63 @@
+//===- ir/Module.cpp - Modules and global variables ----------------------===//
+
+#include "ir/Module.h"
+
+#include "support/Debug.h"
+
+using namespace bropt;
+
+Function *Module::createFunction(std::string Name, unsigned NumParams) {
+  assert(!getFunction(Name) && "duplicate function name");
+  Functions.push_back(
+      std::make_unique<Function>(this, std::move(Name), NumParams));
+  return Functions.back().get();
+}
+
+Function *Module::getFunction(const std::string &Name) {
+  for (auto &F : Functions)
+    if (F->getName() == Name)
+      return F.get();
+  return nullptr;
+}
+
+const Function *Module::getFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->getName() == Name)
+      return F.get();
+  return nullptr;
+}
+
+GlobalVariable *Module::createGlobal(std::string Name, uint32_t NumWords,
+                                     std::vector<int64_t> Init) {
+  assert(!getGlobal(Name) && "duplicate global name");
+  assert(Init.size() <= NumWords && "initializer larger than the global");
+  auto Global = std::make_unique<GlobalVariable>();
+  Global->Name = std::move(Name);
+  Global->NumWords = NumWords;
+  Global->BaseAddress = NextAddress;
+  Global->Init = std::move(Init);
+  NextAddress += NumWords;
+  Globals.push_back(std::move(Global));
+  return Globals.back().get();
+}
+
+const GlobalVariable *Module::getGlobal(const std::string &Name) const {
+  for (const auto &Global : Globals)
+    if (Global->Name == Name)
+      return Global.get();
+  return nullptr;
+}
+
+size_t Module::instructionCount() const {
+  size_t Count = 0;
+  for (const auto &F : Functions)
+    Count += F->instructionCount();
+  return Count;
+}
+
+size_t Module::codeSize() const {
+  size_t Count = 0;
+  for (const auto &F : Functions)
+    Count += F->codeSize();
+  return Count;
+}

@@ -1,0 +1,86 @@
+//===- ir/Module.h - Modules and global variables ---------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A module owns a set of functions and global variables.  Globals live in
+/// one flat word-addressed memory; each global is assigned a base address at
+/// creation time, so address computation is pure arithmetic in the IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_IR_MODULE_H
+#define BROPT_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bropt {
+
+/// A statically allocated array of 64-bit words.
+struct GlobalVariable {
+  std::string Name;
+  uint32_t NumWords;
+  uint32_t BaseAddress;
+  std::vector<int64_t> Init; ///< may be shorter than NumWords; rest is zero
+};
+
+/// Top-level container for a compiled program.
+class Module {
+public:
+  Module() = default;
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  /// Creates a function.  Names must be unique within the module.
+  Function *createFunction(std::string Name, unsigned NumParams);
+
+  /// \returns the function named \p Name, or null.
+  Function *getFunction(const std::string &Name);
+  const Function *getFunction(const std::string &Name) const;
+
+  auto begin() { return Functions.begin(); }
+  auto end() { return Functions.end(); }
+  auto begin() const { return Functions.begin(); }
+  auto end() const { return Functions.end(); }
+  size_t size() const { return Functions.size(); }
+
+  /// Allocates a global of \p NumWords words and returns it.
+  GlobalVariable *createGlobal(std::string Name, uint32_t NumWords,
+                               std::vector<int64_t> Init = {});
+
+  /// \returns the global named \p Name, or null.
+  const GlobalVariable *getGlobal(const std::string &Name) const;
+
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  /// Total number of words of global memory the module needs.
+  uint32_t memorySize() const { return NextAddress; }
+
+  /// Total static instruction count across all functions.
+  size_t instructionCount() const;
+
+  /// Static code size across all functions (see Function::codeSize).
+  size_t codeSize() const;
+
+  /// Renders the module as text.
+  std::string toString() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  uint32_t NextAddress = 0;
+};
+
+} // namespace bropt
+
+#endif // BROPT_IR_MODULE_H

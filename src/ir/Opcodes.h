@@ -1,0 +1,101 @@
+//===- ir/Opcodes.h - Instruction kinds and condition codes -----*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumerations shared by the IR: instruction kinds, binary/unary operators,
+/// and the condition codes read by conditional branches.
+///
+/// The IR mirrors the RTL level that vpo (the paper's compiler) works on:
+/// comparisons are separate instructions that set an implicit condition-code
+/// register, and conditional branches test that register.  This split is
+/// essential to the paper: range-condition costs count comparison and branch
+/// instructions separately, and the redundant-comparison elimination of
+/// paper Figure 9 removes a comparison while keeping its branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_IR_OPCODES_H
+#define BROPT_IR_OPCODES_H
+
+#include <cstdint>
+
+namespace bropt {
+
+/// Discriminator for the Instruction class hierarchy.
+enum class InstKind : uint8_t {
+  // Ordinary instructions.
+  Move,     ///< rd = src
+  Binary,   ///< rd = lhs op rhs
+  Unary,    ///< rd = op src
+  Load,     ///< rd = memory[base + offset]
+  Store,    ///< memory[base + offset] = value
+  Cmp,      ///< condition codes = compare(lhs, rhs)
+  Call,     ///< rd = callee(args...)
+  ReadChar, ///< rd = next input byte, or -1 at end of input
+  PutChar,  ///< append byte to the output stream
+  PrintInt, ///< append a decimal rendering to the output stream
+  Profile,  ///< profiling hook: report (sequence id, register value)
+  ComboProfile, ///< profiling hook: report a branch-outcome combination
+  // Terminators.
+  CondBr,       ///< conditional branch on the condition codes
+  Jump,         ///< unconditional branch
+  Switch,       ///< multiway branch (lowered by SwitchLowering)
+  IndirectJump, ///< jump through a table indexed by a register
+  Ret,          ///< return from the function
+};
+
+/// \returns true if \p Kind terminates a basic block.
+inline bool isTerminatorKind(InstKind Kind) {
+  return Kind >= InstKind::CondBr;
+}
+
+/// Binary arithmetic/logic operators.
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div, ///< signed division; traps on a zero divisor
+  Rem, ///< signed remainder; traps on a zero divisor
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr, ///< arithmetic shift right
+};
+
+/// Unary operators.
+enum class UnaryOp : uint8_t {
+  Neg,
+  Not, ///< logical not: rd = (src == 0)
+};
+
+/// Conditions a CondBr can test against the condition codes set by the most
+/// recent Cmp.  All comparisons are signed, as in the paper.
+enum class CondCode : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/// \returns the condition that is true exactly when \p CC is false.
+CondCode invertCondCode(CondCode CC);
+
+/// \returns the condition equivalent to \p CC with the compare operands
+/// swapped (e.g. LT becomes GT).
+CondCode swapCondCode(CondCode CC);
+
+/// Evaluates \p CC over the signed comparison of \p Lhs and \p Rhs.
+bool evalCondCode(CondCode CC, int64_t Lhs, int64_t Rhs);
+
+/// \returns a printable mnemonic ("eq", "lt", ...).
+const char *condCodeName(CondCode CC);
+
+/// \returns a printable mnemonic ("add", "shl", ...).
+const char *binaryOpName(BinaryOp Op);
+
+/// \returns a printable mnemonic ("neg", "not").
+const char *unaryOpName(UnaryOp Op);
+
+} // namespace bropt
+
+#endif // BROPT_IR_OPCODES_H

@@ -1,0 +1,73 @@
+//===- ir/Operand.h - Register or immediate operands ------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight value-type operand: either a virtual register or a 64-bit
+/// immediate.  The IR is not in SSA form (neither is vpo's RTL), so operands
+/// name registers rather than defining instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_IR_OPERAND_H
+#define BROPT_IR_OPERAND_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace bropt {
+
+/// A register or immediate operand of an instruction.
+class Operand {
+public:
+  enum class Kind : uint8_t { None, Reg, Imm };
+
+  Operand() = default;
+
+  /// Creates a virtual-register operand.
+  static Operand reg(unsigned Reg) {
+    Operand Op;
+    Op.OperandKind = Kind::Reg;
+    Op.Value = Reg;
+    return Op;
+  }
+
+  /// Creates an immediate operand.
+  static Operand imm(int64_t Imm) {
+    Operand Op;
+    Op.OperandKind = Kind::Imm;
+    Op.Value = Imm;
+    return Op;
+  }
+
+  Kind getKind() const { return OperandKind; }
+  bool isNone() const { return OperandKind == Kind::None; }
+  bool isReg() const { return OperandKind == Kind::Reg; }
+  bool isImm() const { return OperandKind == Kind::Imm; }
+
+  unsigned getReg() const {
+    assert(isReg() && "not a register operand");
+    return static_cast<unsigned>(Value);
+  }
+
+  int64_t getImm() const {
+    assert(isImm() && "not an immediate operand");
+    return Value;
+  }
+
+  /// True if this operand is the given register.
+  bool isRegister(unsigned Reg) const { return isReg() && getReg() == Reg; }
+
+  bool operator==(const Operand &Other) const = default;
+
+private:
+  Kind OperandKind = Kind::None;
+  int64_t Value = 0;
+};
+
+} // namespace bropt
+
+#endif // BROPT_IR_OPERAND_H

@@ -1,0 +1,191 @@
+//===- ir/Printer.cpp - Textual IR rendering ------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/Debug.h"
+#include "support/Strings.h"
+
+using namespace bropt;
+
+namespace {
+
+std::string printOperand(const Operand &Op) {
+  switch (Op.getKind()) {
+  case Operand::Kind::None:
+    return "<none>";
+  case Operand::Kind::Reg:
+    return formatString("r%u", Op.getReg());
+  case Operand::Kind::Imm:
+    return formatString("%lld", static_cast<long long>(Op.getImm()));
+  }
+  BROPT_UNREACHABLE("unknown operand kind");
+}
+
+std::string blockRef(const BasicBlock *B) {
+  if (!B)
+    return "<null>";
+  return B->getLabel();
+}
+
+} // namespace
+
+std::string bropt::printInstruction(const Instruction &I) {
+  switch (I.getKind()) {
+  case InstKind::Move: {
+    const auto &Move = *cast<MoveInst>(&I);
+    return formatString("mov r%u, %s", Move.getDest(),
+                        printOperand(Move.getSrc()).c_str());
+  }
+  case InstKind::Binary: {
+    const auto &Bin = *cast<BinaryInst>(&I);
+    return formatString("%s r%u, %s, %s", binaryOpName(Bin.getOp()),
+                        Bin.getDest(), printOperand(Bin.getLhs()).c_str(),
+                        printOperand(Bin.getRhs()).c_str());
+  }
+  case InstKind::Unary: {
+    const auto &Un = *cast<UnaryInst>(&I);
+    return formatString("%s r%u, %s", unaryOpName(Un.getOp()), Un.getDest(),
+                        printOperand(Un.getSrc()).c_str());
+  }
+  case InstKind::Load: {
+    const auto &Load = *cast<LoadInst>(&I);
+    return formatString("ld r%u, [%s + %lld]", Load.getDest(),
+                        printOperand(Load.getBase()).c_str(),
+                        static_cast<long long>(Load.getOffset()));
+  }
+  case InstKind::Store: {
+    const auto &Store = *cast<StoreInst>(&I);
+    return formatString("st %s, [%s + %lld]",
+                        printOperand(Store.getValue()).c_str(),
+                        printOperand(Store.getBase()).c_str(),
+                        static_cast<long long>(Store.getOffset()));
+  }
+  case InstKind::Cmp: {
+    const auto &Cmp = *cast<CmpInst>(&I);
+    return formatString("cmp %s, %s", printOperand(Cmp.getLhs()).c_str(),
+                        printOperand(Cmp.getRhs()).c_str());
+  }
+  case InstKind::Call: {
+    const auto &Call = *cast<CallInst>(&I);
+    std::string Text;
+    if (Call.getDef())
+      Text = formatString("call r%u, %s(", *Call.getDef(),
+                          Call.getCallee()->getName().c_str());
+    else
+      Text = formatString("call %s(", Call.getCallee()->getName().c_str());
+    for (size_t Index = 0; Index < Call.getArgs().size(); ++Index) {
+      if (Index)
+        Text += ", ";
+      Text += printOperand(Call.getArgs()[Index]);
+    }
+    Text += ")";
+    return Text;
+  }
+  case InstKind::ReadChar:
+    return formatString("readc r%u", cast<ReadCharInst>(&I)->getDest());
+  case InstKind::PutChar:
+    return formatString("putc %s",
+                        printOperand(cast<PutCharInst>(&I)->getSrc()).c_str());
+  case InstKind::PrintInt:
+    return formatString(
+        "printi %s", printOperand(cast<PrintIntInst>(&I)->getSrc()).c_str());
+  case InstKind::Profile: {
+    const auto &Prof = *cast<ProfileInst>(&I);
+    return formatString("profile seq%u, r%u", Prof.getSequenceId(),
+                        Prof.getValueReg());
+  }
+  case InstKind::ComboProfile: {
+    const auto &Prof = *cast<ComboProfileInst>(&I);
+    std::string Text = formatString("comboprofile seq%u, [",
+                                    Prof.getSequenceId());
+    for (size_t Index = 0; Index < Prof.getConditions().size(); ++Index) {
+      const auto &Cond = Prof.getConditions()[Index];
+      if (Index)
+        Text += ", ";
+      Text += formatString("%s %s %s", printOperand(Cond.Lhs).c_str(),
+                           condCodeName(Cond.Pred),
+                           printOperand(Cond.Rhs).c_str());
+    }
+    return Text + "]";
+  }
+  case InstKind::CondBr: {
+    const auto &Br = *cast<CondBrInst>(&I);
+    return formatString("br.%s %s, fall %s", condCodeName(Br.getPred()),
+                        blockRef(Br.getTaken()).c_str(),
+                        blockRef(Br.getFallThrough()).c_str());
+  }
+  case InstKind::Jump: {
+    const auto *Jump = cast<JumpInst>(&I);
+    return formatString("%s %s", Jump->isFallThrough() ? "fall" : "jmp",
+                        blockRef(Jump->getTarget()).c_str());
+  }
+  case InstKind::Switch: {
+    const auto &Sw = *cast<SwitchInst>(&I);
+    std::string Text =
+        formatString("switch %s [", printOperand(Sw.getValue()).c_str());
+    for (size_t Index = 0; Index < Sw.getCases().size(); ++Index) {
+      if (Index)
+        Text += ", ";
+      Text += formatString(
+          "%lld -> %s", static_cast<long long>(Sw.getCases()[Index].Value),
+          blockRef(Sw.getCases()[Index].Target).c_str());
+    }
+    Text += formatString("], default %s", blockRef(Sw.getDefault()).c_str());
+    return Text;
+  }
+  case InstKind::IndirectJump: {
+    const auto &Ind = *cast<IndirectJumpInst>(&I);
+    std::string Text =
+        formatString("ijmp %s, [", printOperand(Ind.getIndex()).c_str());
+    for (size_t Index = 0; Index < Ind.getTable().size(); ++Index) {
+      if (Index)
+        Text += ", ";
+      Text += blockRef(Ind.getTable()[Index]);
+    }
+    Text += "]";
+    return Text;
+  }
+  case InstKind::Ret: {
+    const auto &Ret = *cast<RetInst>(&I);
+    if (!Ret.hasValue())
+      return "ret";
+    return formatString("ret %s", printOperand(Ret.getValue()).c_str());
+  }
+  }
+  BROPT_UNREACHABLE("unknown instruction kind");
+}
+
+std::string Instruction::toString() const { return printInstruction(*this); }
+
+std::string bropt::printBlock(const BasicBlock &B) {
+  std::string Text = B.getLabel() + ":\n";
+  for (const auto &Inst : B)
+    Text += "  " + printInstruction(*Inst) + "\n";
+  return Text;
+}
+
+std::string BasicBlock::toString() const { return printBlock(*this); }
+
+std::string bropt::printFunction(const Function &F) {
+  std::string Text = formatString("func %s(%u params, %u regs) {\n",
+                                  F.getName().c_str(), F.getNumParams(),
+                                  F.getNumRegs());
+  for (const auto &Block : F)
+    Text += printBlock(*Block);
+  Text += "}\n";
+  return Text;
+}
+
+std::string Function::toString() const { return printFunction(*this); }
+
+std::string bropt::printModule(const Module &M) {
+  std::string Text;
+  for (const auto &Global : M.globals())
+    Text += formatString("global %s: %u words @ %u\n", Global->Name.c_str(),
+                         Global->NumWords, Global->BaseAddress);
+  for (const auto &F : M)
+    Text += printFunction(*F);
+  return Text;
+}
+
+std::string Module::toString() const { return printModule(*this); }

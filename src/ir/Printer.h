@@ -1,0 +1,38 @@
+//===- ir/Printer.h - Textual IR rendering ----------------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembly-like textual rendering of modules, functions, blocks, and
+/// instructions, used by tests, examples, and debugging output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_IR_PRINTER_H
+#define BROPT_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace bropt {
+
+/// Renders \p I as one line of text, e.g. "cmp r3, 32" or
+/// "br.le bb4, fall bb5".
+std::string printInstruction(const Instruction &I);
+
+/// Renders \p B with its label and one instruction per line.
+std::string printBlock(const BasicBlock &B);
+
+/// Renders \p F with a header and all blocks in layout order.
+std::string printFunction(const Function &F);
+
+/// Renders \p M: globals followed by functions.
+std::string printModule(const Module &M);
+
+} // namespace bropt
+
+#endif // BROPT_IR_PRINTER_H

@@ -1,0 +1,37 @@
+//===- ir/Verifier.h - IR structural validity checks ------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification run between passes in test builds:
+///  * every reachable block ends in exactly one terminator;
+///  * successor edges stay within the function;
+///  * register numbers are within the function's register space;
+///  * every executed CondBr observes condition codes set by a Cmp (either in
+///    its own block or guaranteed on every path into the block — the latter
+///    arises after redundant-comparison elimination, paper Figure 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_IR_VERIFIER_H
+#define BROPT_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace bropt {
+
+/// Verifies \p F.  \returns true if valid; otherwise false with a diagnostic
+/// appended to \p Errors (if non-null).
+bool verifyFunction(const Function &F, std::string *Errors = nullptr);
+
+/// Verifies every function in \p M.
+bool verifyModule(const Module &M, std::string *Errors = nullptr);
+
+} // namespace bropt
+
+#endif // BROPT_IR_VERIFIER_H

@@ -1,0 +1,19 @@
+//===- lang/AST.cpp - Mini-C abstract syntax tree --------------------------===//
+
+#include "lang/AST.h"
+
+using namespace bropt;
+
+bool bropt::isComparisonOp(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Eq:
+  case BinOpKind::Ne:
+  case BinOpKind::Lt:
+  case BinOpKind::Le:
+  case BinOpKind::Gt:
+  case BinOpKind::Ge:
+    return true;
+  default:
+    return false;
+  }
+}

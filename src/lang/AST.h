@@ -1,0 +1,507 @@
+//===- lang/AST.h - Mini-C abstract syntax tree -----------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node classes for Mini-C.  The tree is produced by the parser,
+/// validated by Sema, and consumed by Lowering.  Nodes use the same opt-in
+/// RTTI scheme as the IR (classof + isa/cast/dyn_cast free functions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_LANG_AST_H
+#define BROPT_LANG_AST_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bropt {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binary operators at the AST level (short-circuit logic included).
+enum class BinOpKind : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Shr,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  LogicalAnd,
+  LogicalOr,
+};
+
+/// \returns true for ==, !=, <, <=, >, >=.
+bool isComparisonOp(BinOpKind Op);
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  VarRef,
+  ArrayRef,
+  Call,
+  Unary,
+  Binary,
+  Assign,
+  IncDec,
+  Ternary,
+};
+
+/// Base class for expressions.
+class Expr {
+public:
+  Expr(const Expr &) = delete;
+  Expr &operator=(const Expr &) = delete;
+  virtual ~Expr() = default;
+
+  ExprKind getKind() const { return Kind; }
+  unsigned getLine() const { return Line; }
+
+protected:
+  Expr(ExprKind Kind, unsigned Line) : Kind(Kind), Line(Line) {}
+
+private:
+  ExprKind Kind;
+  unsigned Line;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+template <typename To> bool isa(const Expr *E) {
+  assert(E && "isa<> on a null expression");
+  return To::classof(E);
+}
+template <typename To> To *cast(Expr *E) {
+  assert(isa<To>(E) && "bad expression cast");
+  return static_cast<To *>(E);
+}
+template <typename To> const To *cast(const Expr *E) {
+  assert(isa<To>(E) && "bad expression cast");
+  return static_cast<const To *>(E);
+}
+template <typename To> To *dyn_cast(Expr *E) {
+  return isa<To>(E) ? static_cast<To *>(E) : nullptr;
+}
+template <typename To> const To *dyn_cast(const Expr *E) {
+  return isa<To>(E) ? static_cast<const To *>(E) : nullptr;
+}
+
+/// Integer or character literal.
+class IntLitExpr final : public Expr {
+public:
+  IntLitExpr(int64_t Value, unsigned Line)
+      : Expr(ExprKind::IntLit, Line), Value(Value) {}
+  int64_t getValue() const { return Value; }
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// Reference to a scalar variable (local, parameter, or global).
+class VarRefExpr final : public Expr {
+public:
+  VarRefExpr(std::string Name, unsigned Line)
+      : Expr(ExprKind::VarRef, Line), Name(std::move(Name)) {}
+  const std::string &getName() const { return Name; }
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::VarRef; }
+
+private:
+  std::string Name;
+};
+
+/// arr[index] where arr is a global array.
+class ArrayRefExpr final : public Expr {
+public:
+  ArrayRefExpr(std::string Name, ExprPtr Index, unsigned Line)
+      : Expr(ExprKind::ArrayRef, Line), Name(std::move(Name)),
+        Index(std::move(Index)) {}
+  const std::string &getName() const { return Name; }
+  const Expr *getIndex() const { return Index.get(); }
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::ArrayRef;
+  }
+
+private:
+  std::string Name;
+  ExprPtr Index;
+};
+
+/// Function call; getchar/putchar/printint are recognized by name.
+class CallExpr final : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, unsigned Line)
+      : Expr(ExprKind::Call, Line), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  const std::string &getCallee() const { return Callee; }
+  const std::vector<ExprPtr> &getArgs() const { return Args; }
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+enum class UnOpKind : uint8_t { Neg, Not };
+
+/// -e or !e.
+class UnaryExpr final : public Expr {
+public:
+  UnaryExpr(UnOpKind Op, ExprPtr Operand, unsigned Line)
+      : Expr(ExprKind::Unary, Line), Op(Op), Operand(std::move(Operand)) {}
+  UnOpKind getOp() const { return Op; }
+  const Expr *getOperand() const { return Operand.get(); }
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Unary; }
+
+private:
+  UnOpKind Op;
+  ExprPtr Operand;
+};
+
+/// e1 op e2.
+class BinaryExpr final : public Expr {
+public:
+  BinaryExpr(BinOpKind Op, ExprPtr Lhs, ExprPtr Rhs, unsigned Line)
+      : Expr(ExprKind::Binary, Line), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  BinOpKind getOp() const { return Op; }
+  const Expr *getLhs() const { return Lhs.get(); }
+  const Expr *getRhs() const { return Rhs.get(); }
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Binary;
+  }
+
+private:
+  BinOpKind Op;
+  ExprPtr Lhs, Rhs;
+};
+
+/// target = value, target += value, target -= value.
+class AssignExpr final : public Expr {
+public:
+  enum class OpKind : uint8_t { Plain, Add, Sub };
+
+  AssignExpr(OpKind Op, ExprPtr Target, ExprPtr Value, unsigned Line)
+      : Expr(ExprKind::Assign, Line), Op(Op), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  OpKind getOp() const { return Op; }
+  const Expr *getTarget() const { return Target.get(); }
+  const Expr *getValue() const { return Value.get(); }
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Assign;
+  }
+
+private:
+  OpKind Op;
+  ExprPtr Target, Value;
+};
+
+/// ++x, x++, --x, x--.
+class IncDecExpr final : public Expr {
+public:
+  IncDecExpr(bool IsIncrement, bool IsPrefix, ExprPtr Target, unsigned Line)
+      : Expr(ExprKind::IncDec, Line), Increment(IsIncrement),
+        Prefix(IsPrefix), Target(std::move(Target)) {}
+  bool isIncrement() const { return Increment; }
+  bool isPrefix() const { return Prefix; }
+  const Expr *getTarget() const { return Target.get(); }
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::IncDec;
+  }
+
+private:
+  bool Increment;
+  bool Prefix;
+  ExprPtr Target;
+};
+
+/// cond ? then : otherwise.
+class TernaryExpr final : public Expr {
+public:
+  TernaryExpr(ExprPtr Cond, ExprPtr Then, ExprPtr Else, unsigned Line)
+      : Expr(ExprKind::Ternary, Line), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  const Expr *getCond() const { return Cond.get(); }
+  const Expr *getThen() const { return Then.get(); }
+  const Expr *getElse() const { return Else.get(); }
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Ternary;
+  }
+
+private:
+  ExprPtr Cond, Then, Else;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  If,
+  While,
+  DoWhile,
+  For,
+  Switch,
+  Break,
+  Continue,
+  Return,
+  ExprStmt,
+  VarDecl,
+  Empty,
+};
+
+/// Base class for statements.
+class Stmt {
+public:
+  Stmt(const Stmt &) = delete;
+  Stmt &operator=(const Stmt &) = delete;
+  virtual ~Stmt() = default;
+
+  StmtKind getKind() const { return Kind; }
+  unsigned getLine() const { return Line; }
+
+protected:
+  Stmt(StmtKind Kind, unsigned Line) : Kind(Kind), Line(Line) {}
+
+private:
+  StmtKind Kind;
+  unsigned Line;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+template <typename To> bool isa(const Stmt *S) {
+  assert(S && "isa<> on a null statement");
+  return To::classof(S);
+}
+template <typename To> To *cast(Stmt *S) {
+  assert(isa<To>(S) && "bad statement cast");
+  return static_cast<To *>(S);
+}
+template <typename To> const To *cast(const Stmt *S) {
+  assert(isa<To>(S) && "bad statement cast");
+  return static_cast<const To *>(S);
+}
+template <typename To> const To *dyn_cast(const Stmt *S) {
+  return isa<To>(S) ? static_cast<const To *>(S) : nullptr;
+}
+
+/// { stmt* }
+class BlockStmt final : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Stmts, unsigned Line)
+      : Stmt(StmtKind::Block, Line), Stmts(std::move(Stmts)) {}
+  const std::vector<StmtPtr> &getStmts() const { return Stmts; }
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Block; }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+/// if (cond) then [else otherwise]
+class IfStmt final : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, unsigned Line)
+      : Stmt(StmtKind::If, Line), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  const Expr *getCond() const { return Cond.get(); }
+  const Stmt *getThen() const { return Then.get(); }
+  const Stmt *getElse() const { return Else.get(); }
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then, Else; ///< Else may be null
+};
+
+/// while (cond) body
+class WhileStmt final : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, unsigned Line)
+      : Stmt(StmtKind::While, Line), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  const Expr *getCond() const { return Cond.get(); }
+  const Stmt *getBody() const { return Body.get(); }
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::While; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+/// do body while (cond);
+class DoWhileStmt final : public Stmt {
+public:
+  DoWhileStmt(StmtPtr Body, ExprPtr Cond, unsigned Line)
+      : Stmt(StmtKind::DoWhile, Line), Body(std::move(Body)),
+        Cond(std::move(Cond)) {}
+  const Stmt *getBody() const { return Body.get(); }
+  const Expr *getCond() const { return Cond.get(); }
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::DoWhile;
+  }
+
+private:
+  StmtPtr Body;
+  ExprPtr Cond;
+};
+
+/// for (init; cond; step) body — any part may be absent.
+class ForStmt final : public Stmt {
+public:
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Step, StmtPtr Body,
+          unsigned Line)
+      : Stmt(StmtKind::For, Line), Init(std::move(Init)),
+        Cond(std::move(Cond)), Step(std::move(Step)), Body(std::move(Body)) {}
+  const Stmt *getInit() const { return Init.get(); }
+  const Expr *getCond() const { return Cond.get(); }
+  const Expr *getStep() const { return Step.get(); }
+  const Stmt *getBody() const { return Body.get(); }
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::For; }
+
+private:
+  StmtPtr Init; ///< VarDecl or ExprStmt or null
+  ExprPtr Cond; ///< null = always true
+  ExprPtr Step; ///< may be null
+  StmtPtr Body;
+};
+
+/// One labeled section of a switch body; control falls through to the next
+/// section exactly as in C.
+struct SwitchSection {
+  /// Case labels attached to this section; nullopt is 'default'.
+  std::vector<std::optional<int64_t>> Labels;
+  std::vector<StmtPtr> Stmts;
+};
+
+/// switch (value) { case ...: ... }
+class SwitchStmt final : public Stmt {
+public:
+  SwitchStmt(ExprPtr Value, std::vector<SwitchSection> Sections, unsigned Line)
+      : Stmt(StmtKind::Switch, Line), Value(std::move(Value)),
+        Sections(std::move(Sections)) {}
+  const Expr *getValue() const { return Value.get(); }
+  const std::vector<SwitchSection> &getSections() const { return Sections; }
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Switch;
+  }
+
+private:
+  ExprPtr Value;
+  std::vector<SwitchSection> Sections;
+};
+
+class BreakStmt final : public Stmt {
+public:
+  explicit BreakStmt(unsigned Line) : Stmt(StmtKind::Break, Line) {}
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Break; }
+};
+
+class ContinueStmt final : public Stmt {
+public:
+  explicit ContinueStmt(unsigned Line) : Stmt(StmtKind::Continue, Line) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Continue;
+  }
+};
+
+/// return [expr];
+class ReturnStmt final : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, unsigned Line)
+      : Stmt(StmtKind::Return, Line), Value(std::move(Value)) {}
+  const Expr *getValue() const { return Value.get(); } ///< may be null
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Return;
+  }
+
+private:
+  ExprPtr Value;
+};
+
+/// expr;
+class ExprStmt final : public Stmt {
+public:
+  ExprStmt(ExprPtr E, unsigned Line)
+      : Stmt(StmtKind::ExprStmt, Line), E(std::move(E)) {}
+  const Expr *getExpr() const { return E.get(); }
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::ExprStmt;
+  }
+
+private:
+  ExprPtr E;
+};
+
+/// int x [= init];  (local scalar declaration)
+class VarDeclStmt final : public Stmt {
+public:
+  VarDeclStmt(std::string Name, ExprPtr Init, unsigned Line)
+      : Stmt(StmtKind::VarDecl, Line), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+  const std::string &getName() const { return Name; }
+  const Expr *getInit() const { return Init.get(); } ///< may be null
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::VarDecl;
+  }
+
+private:
+  std::string Name;
+  ExprPtr Init;
+};
+
+class EmptyStmt final : public Stmt {
+public:
+  explicit EmptyStmt(unsigned Line) : Stmt(StmtKind::Empty, Line) {}
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Empty; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations and the translation unit
+//===----------------------------------------------------------------------===//
+
+/// A function definition.
+struct FunctionDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  bool ReturnsValue = true; ///< false for 'void'
+  StmtPtr Body;             ///< always a BlockStmt
+  unsigned Line = 0;
+};
+
+/// A global scalar or array definition.
+struct GlobalDecl {
+  std::string Name;
+  std::optional<uint32_t> ArraySize; ///< nullopt = scalar
+  std::vector<int64_t> Init;         ///< scalar: 0 or 1 entry
+  unsigned Line = 0;
+};
+
+/// A parsed Mini-C source file.
+struct TranslationUnit {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+};
+
+} // namespace bropt
+
+#endif // BROPT_LANG_AST_H

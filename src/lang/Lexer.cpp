@@ -1,0 +1,366 @@
+//===- lang/Lexer.cpp - Mini-C lexer ---------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Debug.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace bropt;
+
+const char *bropt::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwSwitch:
+    return "'switch'";
+  case TokenKind::KwCase:
+    return "'case'";
+  case TokenKind::KwDefault:
+    return "'default'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::MinusAssign:
+    return "'-='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Shl:
+    return "'<<'";
+  case TokenKind::Shr:
+    return "'>>'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  }
+  BROPT_UNREACHABLE("unknown token kind");
+}
+
+namespace {
+
+class LexerImpl {
+public:
+  explicit LexerImpl(std::string_view Source) : Source(Source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      Token Tok = next();
+      Tokens.push_back(Tok);
+      if (Tok.is(TokenKind::EndOfFile))
+        return Tokens;
+    }
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  bool atEnd() const { return Pos >= Source.size(); }
+
+  void skipWhitespaceAndComments() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (!atEnd()) {
+          advance();
+          advance();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokenKind Kind, size_t Start, unsigned TokLine,
+             unsigned TokColumn) {
+    Token Tok;
+    Tok.Kind = Kind;
+    Tok.Text = Source.substr(Start, Pos - Start);
+    Tok.Line = TokLine;
+    Tok.Column = TokColumn;
+    return Tok;
+  }
+
+  Token error(const char *Message, size_t Start, unsigned TokLine,
+              unsigned TokColumn) {
+    Token Tok = make(TokenKind::Error, Start, TokLine, TokColumn);
+    Tok.Text = Message;
+    return Tok;
+  }
+
+  Token next() {
+    skipWhitespaceAndComments();
+    size_t Start = Pos;
+    unsigned TokLine = Line, TokColumn = Column;
+    if (atEnd())
+      return make(TokenKind::EndOfFile, Start, TokLine, TokColumn);
+
+    char C = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_')
+        advance();
+      Token Tok = make(TokenKind::Identifier, Start, TokLine, TokColumn);
+      static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+          {"int", TokenKind::KwInt},         {"void", TokenKind::KwVoid},
+          {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+          {"while", TokenKind::KwWhile},     {"do", TokenKind::KwDo},
+          {"for", TokenKind::KwFor},         {"switch", TokenKind::KwSwitch},
+          {"case", TokenKind::KwCase},       {"default", TokenKind::KwDefault},
+          {"break", TokenKind::KwBreak},
+          {"continue", TokenKind::KwContinue},
+          {"return", TokenKind::KwReturn},
+      };
+      auto It = Keywords.find(Tok.Text);
+      if (It != Keywords.end())
+        Tok.Kind = It->second;
+      return Tok;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t Value = C - '0';
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Value = Value * 10 + (advance() - '0');
+      Token Tok = make(TokenKind::IntLiteral, Start, TokLine, TokColumn);
+      Tok.IntValue = Value;
+      return Tok;
+    }
+
+    if (C == '\'') {
+      if (atEnd())
+        return error("unterminated character literal", Start, TokLine,
+                     TokColumn);
+      int64_t Value;
+      char Ch = advance();
+      if (Ch == '\\') {
+        if (atEnd())
+          return error("unterminated character literal", Start, TokLine,
+                       TokColumn);
+        char Esc = advance();
+        switch (Esc) {
+        case 'n':
+          Value = '\n';
+          break;
+        case 't':
+          Value = '\t';
+          break;
+        case 'r':
+          Value = '\r';
+          break;
+        case '0':
+          Value = '\0';
+          break;
+        case '\\':
+          Value = '\\';
+          break;
+        case '\'':
+          Value = '\'';
+          break;
+        default:
+          return error("unknown escape in character literal", Start, TokLine,
+                       TokColumn);
+        }
+      } else {
+        Value = static_cast<unsigned char>(Ch);
+      }
+      if (atEnd() || advance() != '\'')
+        return error("unterminated character literal", Start, TokLine,
+                     TokColumn);
+      Token Tok = make(TokenKind::IntLiteral, Start, TokLine, TokColumn);
+      Tok.IntValue = Value;
+      return Tok;
+    }
+
+    auto twoChar = [&](char Next, TokenKind Two, TokenKind One) {
+      if (peek() == Next) {
+        advance();
+        return make(Two, Start, TokLine, TokColumn);
+      }
+      return make(One, Start, TokLine, TokColumn);
+    };
+
+    switch (C) {
+    case '(':
+      return make(TokenKind::LParen, Start, TokLine, TokColumn);
+    case ')':
+      return make(TokenKind::RParen, Start, TokLine, TokColumn);
+    case '{':
+      return make(TokenKind::LBrace, Start, TokLine, TokColumn);
+    case '}':
+      return make(TokenKind::RBrace, Start, TokLine, TokColumn);
+    case '[':
+      return make(TokenKind::LBracket, Start, TokLine, TokColumn);
+    case ']':
+      return make(TokenKind::RBracket, Start, TokLine, TokColumn);
+    case ';':
+      return make(TokenKind::Semicolon, Start, TokLine, TokColumn);
+    case ',':
+      return make(TokenKind::Comma, Start, TokLine, TokColumn);
+    case ':':
+      return make(TokenKind::Colon, Start, TokLine, TokColumn);
+    case '?':
+      return make(TokenKind::Question, Start, TokLine, TokColumn);
+    case '=':
+      return twoChar('=', TokenKind::EqEq, TokenKind::Assign);
+    case '!':
+      return twoChar('=', TokenKind::NotEq, TokenKind::Not);
+    case '<':
+      if (peek() == '<') {
+        advance();
+        return make(TokenKind::Shl, Start, TokLine, TokColumn);
+      }
+      return twoChar('=', TokenKind::LessEq, TokenKind::Less);
+    case '>':
+      if (peek() == '>') {
+        advance();
+        return make(TokenKind::Shr, Start, TokLine, TokColumn);
+      }
+      return twoChar('=', TokenKind::GreaterEq, TokenKind::Greater);
+    case '+':
+      if (peek() == '+') {
+        advance();
+        return make(TokenKind::PlusPlus, Start, TokLine, TokColumn);
+      }
+      return twoChar('=', TokenKind::PlusAssign, TokenKind::Plus);
+    case '-':
+      if (peek() == '-') {
+        advance();
+        return make(TokenKind::MinusMinus, Start, TokLine, TokColumn);
+      }
+      return twoChar('=', TokenKind::MinusAssign, TokenKind::Minus);
+    case '*':
+      return make(TokenKind::Star, Start, TokLine, TokColumn);
+    case '/':
+      return make(TokenKind::Slash, Start, TokLine, TokColumn);
+    case '%':
+      return make(TokenKind::Percent, Start, TokLine, TokColumn);
+    case '&':
+      return twoChar('&', TokenKind::AmpAmp, TokenKind::Amp);
+    case '|':
+      return twoChar('|', TokenKind::PipePipe, TokenKind::Pipe);
+    case '^':
+      return make(TokenKind::Caret, Start, TokLine, TokColumn);
+    default:
+      return error("unexpected character", Start, TokLine, TokColumn);
+    }
+  }
+
+  std::string_view Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace
+
+std::vector<Token> bropt::lexSource(std::string_view Source) {
+  return LexerImpl(Source).run();
+}

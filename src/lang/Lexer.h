@@ -1,0 +1,107 @@
+//===- lang/Lexer.h - Mini-C lexer ------------------------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Mini-C language the benchmark analogues are written
+/// in: a C subset with int scalars and arrays, functions, control flow
+/// (if/while/do/for/switch), short-circuit logic, and character literals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_LANG_LEXER_H
+#define BROPT_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bropt {
+
+/// Token kinds of Mini-C.
+enum class TokenKind : uint8_t {
+  EndOfFile,
+  Error,
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwInt,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Colon,
+  Question,
+  // Operators.
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Not,
+  AmpAmp,
+  PipePipe,
+  Amp,
+  Pipe,
+  Caret,
+  Shl,
+  Shr,
+  PlusPlus,
+  MinusMinus,
+};
+
+/// \returns a human-readable spelling for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string_view Text;  ///< source spelling (views into the source buffer)
+  int64_t IntValue = 0;   ///< value for IntLiteral (and char literals)
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Lexes a whole Mini-C source buffer.
+///
+/// The returned tokens view into \p Source, which must outlive them.
+/// Malformed input produces a Token with Kind == Error whose Text explains
+/// the problem; lexing continues afterwards so the parser can report
+/// multiple issues.
+std::vector<Token> lexSource(std::string_view Source);
+
+} // namespace bropt
+
+#endif // BROPT_LANG_LEXER_H

@@ -1,0 +1,38 @@
+//===- lang/Lowering.h - AST-to-IR lowering ---------------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a checked Mini-C TranslationUnit to IR.  Short-circuit control
+/// flow becomes compare/branch chains — the raw material the paper's
+/// detection algorithm mines for reorderable range-condition sequences —
+/// and switch statements become SwitchInst terminators that the
+/// SwitchLowering pass expands per the chosen heuristic set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_LANG_LOWERING_H
+#define BROPT_LANG_LOWERING_H
+
+#include "ir/Module.h"
+#include "lang/AST.h"
+
+#include <memory>
+
+namespace bropt {
+
+/// Lowers \p Unit into a fresh Module.  \p Unit must have passed
+/// analyzeUnit(); lowering asserts on violations rather than diagnosing.
+std::unique_ptr<Module> lowerUnit(const TranslationUnit &Unit);
+
+/// Convenience: parse + analyze + lower.  \returns null and fills
+/// \p ErrorText on any front-end failure.
+std::unique_ptr<Module> compileSource(std::string_view Source,
+                                      std::string *ErrorText = nullptr);
+
+} // namespace bropt
+
+#endif // BROPT_LANG_LOWERING_H

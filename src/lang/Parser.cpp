@@ -1,0 +1,684 @@
+//===- lang/Parser.cpp - Mini-C recursive-descent parser -------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "support/Strings.h"
+
+using namespace bropt;
+
+std::string bropt::renderDiagnostics(const std::vector<Diagnostic> &Diags) {
+  std::string Text;
+  for (const Diagnostic &D : Diags)
+    Text += formatString("line %u: %s\n", D.Line, D.Message.c_str());
+  return Text;
+}
+
+namespace {
+
+class ParserImpl {
+public:
+  ParserImpl(std::vector<Token> Tokens, std::vector<Diagnostic> &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  bool run(TranslationUnit &Unit) {
+    // Surface lexer errors first.
+    for (const Token &Tok : Tokens)
+      if (Tok.is(TokenKind::Error))
+        error(Tok.Line, std::string(Tok.Text));
+    if (!Diags.empty())
+      return false;
+
+    while (!peek().is(TokenKind::EndOfFile)) {
+      if (!parseTopLevel(Unit))
+        synchronizeTopLevel();
+    }
+    return !HadError;
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Token stream helpers
+  //===------------------------------------------------------------------===//
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t Index = Pos + Ahead;
+    if (Index >= Tokens.size())
+      Index = Tokens.size() - 1; // EndOfFile
+    return Tokens[Index];
+  }
+
+  const Token &advance() {
+    const Token &Tok = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return Tok;
+  }
+
+  bool match(TokenKind Kind) {
+    if (!peek().is(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokenKind Kind, const char *Context) {
+    if (match(Kind))
+      return true;
+    error(peek().Line, formatString("expected %s %s, found %s",
+                                    tokenKindName(Kind), Context,
+                                    tokenKindName(peek().Kind)));
+    return false;
+  }
+
+  void error(unsigned Line, std::string Message) {
+    HadError = true;
+    Diags.push_back({Line, std::move(Message)});
+  }
+
+  /// Skips ahead to something that can plausibly start a top-level decl.
+  void synchronizeTopLevel() {
+    while (!peek().is(TokenKind::EndOfFile)) {
+      if (peek().is(TokenKind::KwInt) || peek().is(TokenKind::KwVoid))
+        return;
+      advance();
+    }
+  }
+
+  /// Skips to the next ';' or '}' after a statement-level error.
+  void synchronizeStmt() {
+    while (!peek().is(TokenKind::EndOfFile)) {
+      if (match(TokenKind::Semicolon))
+        return;
+      if (peek().is(TokenKind::RBrace))
+        return;
+      advance();
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Declarations
+  //===------------------------------------------------------------------===//
+
+  bool parseTopLevel(TranslationUnit &Unit) {
+    bool IsVoid = peek().is(TokenKind::KwVoid);
+    if (!IsVoid && !peek().is(TokenKind::KwInt)) {
+      error(peek().Line, "expected 'int' or 'void' at top level");
+      return false;
+    }
+    advance();
+    if (!peek().is(TokenKind::Identifier)) {
+      error(peek().Line, "expected a name after the type");
+      return false;
+    }
+    Token NameTok = advance();
+    if (peek().is(TokenKind::LParen))
+      return parseFunction(Unit, NameTok, /*ReturnsValue=*/!IsVoid);
+    if (IsVoid) {
+      error(NameTok.Line, "global variables must have type 'int'");
+      return false;
+    }
+    return parseGlobal(Unit, NameTok);
+  }
+
+  bool parseGlobal(TranslationUnit &Unit, const Token &NameTok) {
+    GlobalDecl Global;
+    Global.Name = std::string(NameTok.Text);
+    Global.Line = NameTok.Line;
+    if (match(TokenKind::LBracket)) {
+      if (!peek().is(TokenKind::IntLiteral)) {
+        error(peek().Line, "array size must be an integer literal");
+        return false;
+      }
+      int64_t Size = advance().IntValue;
+      if (Size <= 0 || Size > (1 << 24)) {
+        error(NameTok.Line, "array size out of range");
+        return false;
+      }
+      Global.ArraySize = static_cast<uint32_t>(Size);
+      if (!expect(TokenKind::RBracket, "after the array size"))
+        return false;
+    }
+    if (match(TokenKind::Assign)) {
+      if (Global.ArraySize) {
+        if (!expect(TokenKind::LBrace, "to begin the array initializer"))
+          return false;
+        if (!peek().is(TokenKind::RBrace)) {
+          do {
+            int64_t Value;
+            if (!parseSignedLiteral(Value))
+              return false;
+            Global.Init.push_back(Value);
+          } while (match(TokenKind::Comma));
+        }
+        if (!expect(TokenKind::RBrace, "to end the array initializer"))
+          return false;
+        if (Global.Init.size() > *Global.ArraySize) {
+          error(NameTok.Line, "too many initializers for the array");
+          return false;
+        }
+      } else {
+        int64_t Value;
+        if (!parseSignedLiteral(Value))
+          return false;
+        Global.Init.push_back(Value);
+      }
+    }
+    if (!expect(TokenKind::Semicolon, "after the global declaration"))
+      return false;
+    Unit.Globals.push_back(std::move(Global));
+    return true;
+  }
+
+  bool parseSignedLiteral(int64_t &Value) {
+    bool Negate = match(TokenKind::Minus);
+    if (!peek().is(TokenKind::IntLiteral)) {
+      error(peek().Line, "expected an integer literal");
+      return false;
+    }
+    Value = advance().IntValue;
+    if (Negate)
+      Value = -Value;
+    return true;
+  }
+
+  bool parseFunction(TranslationUnit &Unit, const Token &NameTok,
+                     bool ReturnsValue) {
+    FunctionDecl Func;
+    Func.Name = std::string(NameTok.Text);
+    Func.ReturnsValue = ReturnsValue;
+    Func.Line = NameTok.Line;
+    expect(TokenKind::LParen, "to begin the parameter list");
+    if (!peek().is(TokenKind::RParen) && !peek().is(TokenKind::KwVoid)) {
+      do {
+        if (!expect(TokenKind::KwInt, "before the parameter name"))
+          return false;
+        if (!peek().is(TokenKind::Identifier)) {
+          error(peek().Line, "expected a parameter name");
+          return false;
+        }
+        Func.Params.push_back(std::string(advance().Text));
+      } while (match(TokenKind::Comma));
+    } else {
+      match(TokenKind::KwVoid); // allow f(void)
+    }
+    if (!expect(TokenKind::RParen, "to end the parameter list"))
+      return false;
+    if (!peek().is(TokenKind::LBrace)) {
+      error(peek().Line, "expected a function body");
+      return false;
+    }
+    Func.Body = parseBlock();
+    if (!Func.Body)
+      return false;
+    Unit.Functions.push_back(std::move(Func));
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  StmtPtr parseBlock() {
+    unsigned Line = peek().Line;
+    if (!expect(TokenKind::LBrace, "to begin a block"))
+      return nullptr;
+    std::vector<StmtPtr> Stmts;
+    while (!peek().is(TokenKind::RBrace) &&
+           !peek().is(TokenKind::EndOfFile)) {
+      StmtPtr S = parseStmt();
+      if (!S) {
+        synchronizeStmt();
+        continue;
+      }
+      Stmts.push_back(std::move(S));
+    }
+    if (!expect(TokenKind::RBrace, "to end the block"))
+      return nullptr;
+    return std::make_unique<BlockStmt>(std::move(Stmts), Line);
+  }
+
+  StmtPtr parseStmt() {
+    unsigned Line = peek().Line;
+    switch (peek().Kind) {
+    case TokenKind::LBrace:
+      return parseBlock();
+    case TokenKind::Semicolon:
+      advance();
+      return std::make_unique<EmptyStmt>(Line);
+    case TokenKind::KwInt:
+      return parseVarDecl();
+    case TokenKind::KwIf: {
+      advance();
+      if (!expect(TokenKind::LParen, "after 'if'"))
+        return nullptr;
+      ExprPtr Cond = parseExpr();
+      if (!Cond || !expect(TokenKind::RParen, "after the if condition"))
+        return nullptr;
+      StmtPtr Then = parseStmt();
+      if (!Then)
+        return nullptr;
+      StmtPtr Else;
+      if (match(TokenKind::KwElse)) {
+        Else = parseStmt();
+        if (!Else)
+          return nullptr;
+      }
+      return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                      std::move(Else), Line);
+    }
+    case TokenKind::KwWhile: {
+      advance();
+      if (!expect(TokenKind::LParen, "after 'while'"))
+        return nullptr;
+      ExprPtr Cond = parseExpr();
+      if (!Cond || !expect(TokenKind::RParen, "after the loop condition"))
+        return nullptr;
+      StmtPtr Body = parseStmt();
+      if (!Body)
+        return nullptr;
+      return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body),
+                                         Line);
+    }
+    case TokenKind::KwDo: {
+      advance();
+      StmtPtr Body = parseStmt();
+      if (!Body)
+        return nullptr;
+      if (!expect(TokenKind::KwWhile, "after a do body"))
+        return nullptr;
+      if (!expect(TokenKind::LParen, "after 'while'"))
+        return nullptr;
+      ExprPtr Cond = parseExpr();
+      if (!Cond || !expect(TokenKind::RParen, "after the loop condition") ||
+          !expect(TokenKind::Semicolon, "after the do-while statement"))
+        return nullptr;
+      return std::make_unique<DoWhileStmt>(std::move(Body), std::move(Cond),
+                                           Line);
+    }
+    case TokenKind::KwFor:
+      return parseFor();
+    case TokenKind::KwSwitch:
+      return parseSwitch();
+    case TokenKind::KwBreak:
+      advance();
+      if (!expect(TokenKind::Semicolon, "after 'break'"))
+        return nullptr;
+      return std::make_unique<BreakStmt>(Line);
+    case TokenKind::KwContinue:
+      advance();
+      if (!expect(TokenKind::Semicolon, "after 'continue'"))
+        return nullptr;
+      return std::make_unique<ContinueStmt>(Line);
+    case TokenKind::KwReturn: {
+      advance();
+      ExprPtr Value;
+      if (!peek().is(TokenKind::Semicolon)) {
+        Value = parseExpr();
+        if (!Value)
+          return nullptr;
+      }
+      if (!expect(TokenKind::Semicolon, "after 'return'"))
+        return nullptr;
+      return std::make_unique<ReturnStmt>(std::move(Value), Line);
+    }
+    default: {
+      ExprPtr E = parseExpr();
+      if (!E || !expect(TokenKind::Semicolon, "after the expression"))
+        return nullptr;
+      return std::make_unique<ExprStmt>(std::move(E), Line);
+    }
+    }
+  }
+
+  StmtPtr parseVarDecl() {
+    unsigned Line = peek().Line;
+    advance(); // int
+    if (!peek().is(TokenKind::Identifier)) {
+      error(peek().Line, "expected a variable name");
+      return nullptr;
+    }
+    std::string Name(advance().Text);
+    ExprPtr Init;
+    if (match(TokenKind::Assign)) {
+      Init = parseExpr();
+      if (!Init)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "after the declaration"))
+      return nullptr;
+    return std::make_unique<VarDeclStmt>(std::move(Name), std::move(Init),
+                                         Line);
+  }
+
+  StmtPtr parseFor() {
+    unsigned Line = peek().Line;
+    advance(); // for
+    if (!expect(TokenKind::LParen, "after 'for'"))
+      return nullptr;
+    StmtPtr Init;
+    if (!match(TokenKind::Semicolon)) {
+      if (peek().is(TokenKind::KwInt)) {
+        Init = parseVarDecl();
+        if (!Init)
+          return nullptr;
+      } else {
+        ExprPtr E = parseExpr();
+        if (!E || !expect(TokenKind::Semicolon, "after the for initializer"))
+          return nullptr;
+        Init = std::make_unique<ExprStmt>(std::move(E), Line);
+      }
+    }
+    ExprPtr Cond;
+    if (!peek().is(TokenKind::Semicolon)) {
+      Cond = parseExpr();
+      if (!Cond)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "after the for condition"))
+      return nullptr;
+    ExprPtr Step;
+    if (!peek().is(TokenKind::RParen)) {
+      Step = parseExpr();
+      if (!Step)
+        return nullptr;
+    }
+    if (!expect(TokenKind::RParen, "to end the for header"))
+      return nullptr;
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                     std::move(Step), std::move(Body), Line);
+  }
+
+  StmtPtr parseSwitch() {
+    unsigned Line = peek().Line;
+    advance(); // switch
+    if (!expect(TokenKind::LParen, "after 'switch'"))
+      return nullptr;
+    ExprPtr Value = parseExpr();
+    if (!Value || !expect(TokenKind::RParen, "after the switch value"))
+      return nullptr;
+    if (!expect(TokenKind::LBrace, "to begin the switch body"))
+      return nullptr;
+
+    std::vector<SwitchSection> Sections;
+    while (!peek().is(TokenKind::RBrace) &&
+           !peek().is(TokenKind::EndOfFile)) {
+      if (!peek().is(TokenKind::KwCase) && !peek().is(TokenKind::KwDefault)) {
+        error(peek().Line, "expected 'case' or 'default' in a switch body");
+        return nullptr;
+      }
+      SwitchSection Section;
+      // Gather consecutive labels.
+      while (peek().is(TokenKind::KwCase) || peek().is(TokenKind::KwDefault)) {
+        if (match(TokenKind::KwDefault)) {
+          Section.Labels.push_back(std::nullopt);
+        } else {
+          advance(); // case
+          int64_t LabelValue;
+          if (!parseSignedLiteral(LabelValue))
+            return nullptr;
+          Section.Labels.push_back(LabelValue);
+        }
+        if (!expect(TokenKind::Colon, "after the case label"))
+          return nullptr;
+      }
+      // Gather statements until the next label or the closing brace.
+      while (!peek().is(TokenKind::KwCase) &&
+             !peek().is(TokenKind::KwDefault) &&
+             !peek().is(TokenKind::RBrace) &&
+             !peek().is(TokenKind::EndOfFile)) {
+        StmtPtr S = parseStmt();
+        if (!S)
+          return nullptr;
+        Section.Stmts.push_back(std::move(S));
+      }
+      Sections.push_back(std::move(Section));
+    }
+    if (!expect(TokenKind::RBrace, "to end the switch body"))
+      return nullptr;
+    return std::make_unique<SwitchStmt>(std::move(Value), std::move(Sections),
+                                        Line);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===------------------------------------------------------------------===//
+
+  ExprPtr parseExpr() { return parseAssignment(); }
+
+  ExprPtr parseAssignment() {
+    ExprPtr Lhs = parseTernary();
+    if (!Lhs)
+      return nullptr;
+    unsigned Line = peek().Line;
+    AssignExpr::OpKind Op;
+    if (peek().is(TokenKind::Assign))
+      Op = AssignExpr::OpKind::Plain;
+    else if (peek().is(TokenKind::PlusAssign))
+      Op = AssignExpr::OpKind::Add;
+    else if (peek().is(TokenKind::MinusAssign))
+      Op = AssignExpr::OpKind::Sub;
+    else
+      return Lhs;
+    advance();
+    ExprPtr Rhs = parseAssignment();
+    if (!Rhs)
+      return nullptr;
+    return std::make_unique<AssignExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                        Line);
+  }
+
+  ExprPtr parseTernary() {
+    ExprPtr Cond = parseBinary(0);
+    if (!Cond)
+      return nullptr;
+    if (!match(TokenKind::Question))
+      return Cond;
+    unsigned Line = peek().Line;
+    ExprPtr Then = parseExpr();
+    if (!Then || !expect(TokenKind::Colon, "in the conditional expression"))
+      return nullptr;
+    ExprPtr Else = parseTernary();
+    if (!Else)
+      return nullptr;
+    return std::make_unique<TernaryExpr>(std::move(Cond), std::move(Then),
+                                         std::move(Else), Line);
+  }
+
+  /// Binary operator precedence; higher binds tighter.
+  static int precedenceOf(TokenKind Kind) {
+    switch (Kind) {
+    case TokenKind::PipePipe:
+      return 1;
+    case TokenKind::AmpAmp:
+      return 2;
+    case TokenKind::Pipe:
+      return 3;
+    case TokenKind::Caret:
+      return 4;
+    case TokenKind::Amp:
+      return 5;
+    case TokenKind::EqEq:
+    case TokenKind::NotEq:
+      return 6;
+    case TokenKind::Less:
+    case TokenKind::LessEq:
+    case TokenKind::Greater:
+    case TokenKind::GreaterEq:
+      return 7;
+    case TokenKind::Shl:
+    case TokenKind::Shr:
+      return 8;
+    case TokenKind::Plus:
+    case TokenKind::Minus:
+      return 9;
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent:
+      return 10;
+    default:
+      return -1;
+    }
+  }
+
+  static BinOpKind binOpFor(TokenKind Kind) {
+    switch (Kind) {
+    case TokenKind::PipePipe:
+      return BinOpKind::LogicalOr;
+    case TokenKind::AmpAmp:
+      return BinOpKind::LogicalAnd;
+    case TokenKind::Pipe:
+      return BinOpKind::BitOr;
+    case TokenKind::Caret:
+      return BinOpKind::BitXor;
+    case TokenKind::Amp:
+      return BinOpKind::BitAnd;
+    case TokenKind::EqEq:
+      return BinOpKind::Eq;
+    case TokenKind::NotEq:
+      return BinOpKind::Ne;
+    case TokenKind::Less:
+      return BinOpKind::Lt;
+    case TokenKind::LessEq:
+      return BinOpKind::Le;
+    case TokenKind::Greater:
+      return BinOpKind::Gt;
+    case TokenKind::GreaterEq:
+      return BinOpKind::Ge;
+    case TokenKind::Shl:
+      return BinOpKind::Shl;
+    case TokenKind::Shr:
+      return BinOpKind::Shr;
+    case TokenKind::Plus:
+      return BinOpKind::Add;
+    case TokenKind::Minus:
+      return BinOpKind::Sub;
+    case TokenKind::Star:
+      return BinOpKind::Mul;
+    case TokenKind::Slash:
+      return BinOpKind::Div;
+    case TokenKind::Percent:
+      return BinOpKind::Rem;
+    default:
+      return BinOpKind::Add; // unreachable; precedenceOf filtered
+    }
+  }
+
+  ExprPtr parseBinary(int MinPrecedence) {
+    ExprPtr Lhs = parseUnary();
+    if (!Lhs)
+      return nullptr;
+    while (true) {
+      int Precedence = precedenceOf(peek().Kind);
+      if (Precedence < 0 || Precedence < MinPrecedence)
+        return Lhs;
+      Token OpTok = advance();
+      ExprPtr Rhs = parseBinary(Precedence + 1);
+      if (!Rhs)
+        return nullptr;
+      Lhs = std::make_unique<BinaryExpr>(binOpFor(OpTok.Kind), std::move(Lhs),
+                                         std::move(Rhs), OpTok.Line);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    unsigned Line = peek().Line;
+    if (match(TokenKind::Minus)) {
+      ExprPtr Operand = parseUnary();
+      if (!Operand)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(UnOpKind::Neg, std::move(Operand),
+                                         Line);
+    }
+    if (match(TokenKind::Not)) {
+      ExprPtr Operand = parseUnary();
+      if (!Operand)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(UnOpKind::Not, std::move(Operand),
+                                         Line);
+    }
+    if (match(TokenKind::Plus))
+      return parseUnary();
+    if (peek().is(TokenKind::PlusPlus) || peek().is(TokenKind::MinusMinus)) {
+      bool IsIncrement = advance().is(TokenKind::PlusPlus);
+      ExprPtr Target = parseUnary();
+      if (!Target)
+        return nullptr;
+      return std::make_unique<IncDecExpr>(IsIncrement, /*IsPrefix=*/true,
+                                          std::move(Target), Line);
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    if (!E)
+      return nullptr;
+    while (peek().is(TokenKind::PlusPlus) ||
+           peek().is(TokenKind::MinusMinus)) {
+      Token OpTok = advance();
+      E = std::make_unique<IncDecExpr>(OpTok.is(TokenKind::PlusPlus),
+                                       /*IsPrefix=*/false, std::move(E),
+                                       OpTok.Line);
+    }
+    return E;
+  }
+
+  ExprPtr parsePrimary() {
+    unsigned Line = peek().Line;
+    if (peek().is(TokenKind::IntLiteral)) {
+      int64_t Value = advance().IntValue;
+      return std::make_unique<IntLitExpr>(Value, Line);
+    }
+    if (match(TokenKind::LParen)) {
+      ExprPtr E = parseExpr();
+      if (!E || !expect(TokenKind::RParen, "to close the parenthesis"))
+        return nullptr;
+      return E;
+    }
+    if (peek().is(TokenKind::Identifier)) {
+      std::string Name(advance().Text);
+      if (match(TokenKind::LParen)) {
+        std::vector<ExprPtr> Args;
+        if (!peek().is(TokenKind::RParen)) {
+          do {
+            ExprPtr Arg = parseExpr();
+            if (!Arg)
+              return nullptr;
+            Args.push_back(std::move(Arg));
+          } while (match(TokenKind::Comma));
+        }
+        if (!expect(TokenKind::RParen, "to end the argument list"))
+          return nullptr;
+        return std::make_unique<CallExpr>(std::move(Name), std::move(Args),
+                                          Line);
+      }
+      if (match(TokenKind::LBracket)) {
+        ExprPtr Index = parseExpr();
+        if (!Index || !expect(TokenKind::RBracket, "after the array index"))
+          return nullptr;
+        return std::make_unique<ArrayRefExpr>(std::move(Name),
+                                              std::move(Index), Line);
+      }
+      return std::make_unique<VarRefExpr>(std::move(Name), Line);
+    }
+    error(Line, formatString("expected an expression, found %s",
+                             tokenKindName(peek().Kind)));
+    return nullptr;
+  }
+
+  std::vector<Token> Tokens;
+  std::vector<Diagnostic> &Diags;
+  size_t Pos = 0;
+  bool HadError = false;
+};
+
+} // namespace
+
+bool bropt::parseSource(std::string_view Source, TranslationUnit &Unit,
+                        std::vector<Diagnostic> &Diags) {
+  return ParserImpl(lexSource(Source), Diags).run(Unit);
+}

@@ -1,0 +1,43 @@
+//===- lang/Parser.h - Mini-C recursive-descent parser ----------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses Mini-C source into a TranslationUnit.  Diagnostics are collected
+/// rather than thrown; the parser recovers at statement boundaries so one
+/// bad construct does not hide later errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_LANG_PARSER_H
+#define BROPT_LANG_PARSER_H
+
+#include "lang/AST.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bropt {
+
+/// One parse or semantic diagnostic.
+struct Diagnostic {
+  unsigned Line = 0;
+  std::string Message;
+};
+
+/// Renders diagnostics as "line N: message" lines.
+std::string renderDiagnostics(const std::vector<Diagnostic> &Diags);
+
+/// Parses \p Source.  On success, \p Unit is filled and true is returned.
+/// On failure, false is returned and \p Diags explains why (it may also
+/// contain warnings on success).
+bool parseSource(std::string_view Source, TranslationUnit &Unit,
+                 std::vector<Diagnostic> &Diags);
+
+} // namespace bropt
+
+#endif // BROPT_LANG_PARSER_H

@@ -1,0 +1,320 @@
+//===- lang/Sema.cpp - Mini-C semantic checks ------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "support/Strings.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace bropt;
+
+bool bropt::isBuiltinFunction(const std::string &Name) {
+  return Name == "getchar" || Name == "putchar" || Name == "printint";
+}
+
+namespace {
+
+/// What a name refers to at module scope.
+enum class GlobalSymbolKind { Scalar, Array, Function };
+
+class SemaImpl {
+public:
+  SemaImpl(const TranslationUnit &Unit, std::vector<Diagnostic> &Diags)
+      : Unit(Unit), Diags(Diags) {}
+
+  bool run() {
+    collectModuleSymbols();
+    for (const FunctionDecl &Func : Unit.Functions)
+      checkFunction(Func);
+    return !HadError;
+  }
+
+private:
+  void error(unsigned Line, std::string Message) {
+    HadError = true;
+    Diags.push_back({Line, std::move(Message)});
+  }
+
+  void collectModuleSymbols() {
+    for (const GlobalDecl &Global : Unit.Globals) {
+      if (isBuiltinFunction(Global.Name)) {
+        error(Global.Line, "'" + Global.Name + "' is a built-in name");
+        continue;
+      }
+      auto Kind = Global.ArraySize ? GlobalSymbolKind::Array
+                                   : GlobalSymbolKind::Scalar;
+      if (!ModuleSymbols.emplace(Global.Name, Kind).second)
+        error(Global.Line, "duplicate definition of '" + Global.Name + "'");
+    }
+    for (const FunctionDecl &Func : Unit.Functions) {
+      if (isBuiltinFunction(Func.Name)) {
+        error(Func.Line, "'" + Func.Name + "' is a built-in name");
+        continue;
+      }
+      if (!ModuleSymbols.emplace(Func.Name, GlobalSymbolKind::Function)
+               .second) {
+        error(Func.Line, "duplicate definition of '" + Func.Name + "'");
+        continue;
+      }
+      FunctionArity.emplace(Func.Name, Func.Params.size());
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Per-function state
+  //===------------------------------------------------------------------===//
+
+  bool isLocal(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It)
+      if (It->count(Name))
+        return true;
+    return false;
+  }
+
+  void declareLocal(const std::string &Name, unsigned Line) {
+    if (!Scopes.back().insert(Name).second)
+      error(Line, "redeclaration of '" + Name + "' in the same scope");
+  }
+
+  void checkFunction(const FunctionDecl &Func) {
+    Scopes.clear();
+    Scopes.emplace_back();
+    LoopDepth = 0;
+    SwitchDepth = 0;
+    std::unordered_set<std::string> Seen;
+    for (const std::string &Param : Func.Params) {
+      if (!Seen.insert(Param).second)
+        error(Func.Line, "duplicate parameter '" + Param + "'");
+      Scopes.back().insert(Param);
+    }
+    checkStmt(Func.Body.get());
+    Scopes.pop_back();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  void checkStmt(const Stmt *S) {
+    switch (S->getKind()) {
+    case StmtKind::Block: {
+      Scopes.emplace_back();
+      for (const StmtPtr &Child : cast<BlockStmt>(S)->getStmts())
+        checkStmt(Child.get());
+      Scopes.pop_back();
+      return;
+    }
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      checkExpr(If->getCond());
+      checkStmt(If->getThen());
+      if (If->getElse())
+        checkStmt(If->getElse());
+      return;
+    }
+    case StmtKind::While: {
+      const auto *While = cast<WhileStmt>(S);
+      checkExpr(While->getCond());
+      ++LoopDepth;
+      checkStmt(While->getBody());
+      --LoopDepth;
+      return;
+    }
+    case StmtKind::DoWhile: {
+      const auto *Do = cast<DoWhileStmt>(S);
+      ++LoopDepth;
+      checkStmt(Do->getBody());
+      --LoopDepth;
+      checkExpr(Do->getCond());
+      return;
+    }
+    case StmtKind::For: {
+      const auto *For = cast<ForStmt>(S);
+      Scopes.emplace_back(); // the for header opens a scope
+      if (For->getInit())
+        checkStmt(For->getInit());
+      if (For->getCond())
+        checkExpr(For->getCond());
+      if (For->getStep())
+        checkExpr(For->getStep());
+      ++LoopDepth;
+      checkStmt(For->getBody());
+      --LoopDepth;
+      Scopes.pop_back();
+      return;
+    }
+    case StmtKind::Switch: {
+      const auto *Switch = cast<SwitchStmt>(S);
+      checkExpr(Switch->getValue());
+      std::set<int64_t> Labels;
+      bool SawDefault = false;
+      for (const SwitchSection &Section : Switch->getSections())
+        for (const std::optional<int64_t> &Label : Section.Labels) {
+          if (!Label) {
+            if (SawDefault)
+              error(S->getLine(), "multiple 'default' labels in one switch");
+            SawDefault = true;
+          } else if (!Labels.insert(*Label).second) {
+            error(S->getLine(),
+                  formatString("duplicate case label %lld",
+                               static_cast<long long>(*Label)));
+          }
+        }
+      ++SwitchDepth;
+      Scopes.emplace_back();
+      for (const SwitchSection &Section : Switch->getSections())
+        for (const StmtPtr &Child : Section.Stmts)
+          checkStmt(Child.get());
+      Scopes.pop_back();
+      --SwitchDepth;
+      return;
+    }
+    case StmtKind::Break:
+      if (LoopDepth == 0 && SwitchDepth == 0)
+        error(S->getLine(), "'break' outside a loop or switch");
+      return;
+    case StmtKind::Continue:
+      if (LoopDepth == 0)
+        error(S->getLine(), "'continue' outside a loop");
+      return;
+    case StmtKind::Return: {
+      const auto *Ret = cast<ReturnStmt>(S);
+      if (Ret->getValue())
+        checkExpr(Ret->getValue());
+      return;
+    }
+    case StmtKind::ExprStmt:
+      checkExpr(cast<ExprStmt>(S)->getExpr());
+      return;
+    case StmtKind::VarDecl: {
+      const auto *Decl = cast<VarDeclStmt>(S);
+      if (Decl->getInit())
+        checkExpr(Decl->getInit());
+      declareLocal(Decl->getName(), S->getLine());
+      return;
+    }
+    case StmtKind::Empty:
+      return;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  void checkExpr(const Expr *E) {
+    switch (E->getKind()) {
+    case ExprKind::IntLit:
+      return;
+    case ExprKind::VarRef: {
+      const std::string &Name = cast<VarRefExpr>(E)->getName();
+      if (isLocal(Name))
+        return;
+      auto It = ModuleSymbols.find(Name);
+      if (It == ModuleSymbols.end()) {
+        error(E->getLine(), "use of undeclared identifier '" + Name + "'");
+        return;
+      }
+      if (It->second == GlobalSymbolKind::Array)
+        error(E->getLine(),
+              "array '" + Name + "' must be used with an index");
+      else if (It->second == GlobalSymbolKind::Function)
+        error(E->getLine(), "function '" + Name + "' used as a variable");
+      return;
+    }
+    case ExprKind::ArrayRef: {
+      const auto *Ref = cast<ArrayRefExpr>(E);
+      checkExpr(Ref->getIndex());
+      if (isLocal(Ref->getName())) {
+        error(E->getLine(),
+              "'" + Ref->getName() + "' is a scalar and cannot be indexed");
+        return;
+      }
+      auto It = ModuleSymbols.find(Ref->getName());
+      if (It == ModuleSymbols.end())
+        error(E->getLine(),
+              "use of undeclared identifier '" + Ref->getName() + "'");
+      else if (It->second != GlobalSymbolKind::Array)
+        error(E->getLine(), "'" + Ref->getName() + "' is not an array");
+      return;
+    }
+    case ExprKind::Call: {
+      const auto *Call = cast<CallExpr>(E);
+      for (const ExprPtr &Arg : Call->getArgs())
+        checkExpr(Arg.get());
+      const std::string &Name = Call->getCallee();
+      if (isBuiltinFunction(Name)) {
+        size_t Expected = Name == "getchar" ? 0 : 1;
+        if (Call->getArgs().size() != Expected)
+          error(E->getLine(),
+                formatString("'%s' takes %zu argument(s)", Name.c_str(),
+                             Expected));
+        return;
+      }
+      auto It = FunctionArity.find(Name);
+      if (It == FunctionArity.end()) {
+        error(E->getLine(), "call to undeclared function '" + Name + "'");
+        return;
+      }
+      if (Call->getArgs().size() != It->second)
+        error(E->getLine(),
+              formatString("'%s' takes %zu argument(s), %zu given",
+                           Name.c_str(), It->second, Call->getArgs().size()));
+      return;
+    }
+    case ExprKind::Unary:
+      checkExpr(cast<UnaryExpr>(E)->getOperand());
+      return;
+    case ExprKind::Binary: {
+      const auto *Bin = cast<BinaryExpr>(E);
+      checkExpr(Bin->getLhs());
+      checkExpr(Bin->getRhs());
+      return;
+    }
+    case ExprKind::Assign: {
+      const auto *Assign = cast<AssignExpr>(E);
+      checkLValue(Assign->getTarget());
+      checkExpr(Assign->getTarget());
+      checkExpr(Assign->getValue());
+      return;
+    }
+    case ExprKind::IncDec: {
+      const auto *IncDec = cast<IncDecExpr>(E);
+      checkLValue(IncDec->getTarget());
+      checkExpr(IncDec->getTarget());
+      return;
+    }
+    case ExprKind::Ternary: {
+      const auto *Ternary = cast<TernaryExpr>(E);
+      checkExpr(Ternary->getCond());
+      checkExpr(Ternary->getThen());
+      checkExpr(Ternary->getElse());
+      return;
+    }
+    }
+  }
+
+  void checkLValue(const Expr *E) {
+    if (E->getKind() != ExprKind::VarRef && E->getKind() != ExprKind::ArrayRef)
+      error(E->getLine(), "expression is not assignable");
+  }
+
+  const TranslationUnit &Unit;
+  std::vector<Diagnostic> &Diags;
+  bool HadError = false;
+
+  std::unordered_map<std::string, GlobalSymbolKind> ModuleSymbols;
+  std::unordered_map<std::string, size_t> FunctionArity;
+  std::vector<std::unordered_set<std::string>> Scopes;
+  unsigned LoopDepth = 0;
+  unsigned SwitchDepth = 0;
+};
+
+} // namespace
+
+bool bropt::analyzeUnit(const TranslationUnit &Unit,
+                        std::vector<Diagnostic> &Diags) {
+  return SemaImpl(Unit, Diags).run();
+}

@@ -1,0 +1,33 @@
+//===- lang/Sema.h - Mini-C semantic checks ---------------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and well-formedness checks over the Mini-C AST:
+/// duplicate definitions, unknown identifiers, call arity, lvalue rules,
+/// break/continue placement, and switch label uniqueness.  Lowering assumes
+/// a unit that passed these checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_LANG_SEMA_H
+#define BROPT_LANG_SEMA_H
+
+#include "lang/AST.h"
+#include "lang/Parser.h"
+
+namespace bropt {
+
+/// Checks \p Unit.  \returns true if it is well-formed; diagnostics are
+/// appended to \p Diags either way.
+bool analyzeUnit(const TranslationUnit &Unit, std::vector<Diagnostic> &Diags);
+
+/// Built-in function names with special lowering.
+bool isBuiltinFunction(const std::string &Name);
+
+} // namespace bropt
+
+#endif // BROPT_LANG_SEMA_H

@@ -1,0 +1,100 @@
+//===- opt/CopyPropagation.cpp - Block-local copy/constant propagation ----===//
+
+#include "opt/Passes.h"
+
+#include <unordered_map>
+
+using namespace bropt;
+
+namespace {
+
+/// Tracks, within one block, the operand each register is currently a copy
+/// of (an immediate or another register).
+class CopyTracker {
+public:
+  /// \returns the best replacement for reading \p Op.
+  Operand resolve(Operand Op) const {
+    if (!Op.isReg())
+      return Op;
+    auto It = Known.find(Op.getReg());
+    if (It == Known.end())
+      return Op;
+    return It->second;
+  }
+
+  /// Records the effect of defining \p Dest (and optionally that it now
+  /// holds \p Src).  Only immediates are propagated: rewriting a register
+  /// use into a different register is block-local here, and splitting the
+  /// uses of a variable between two registers would defeat the sequence
+  /// detector, which keys on one branch variable register (paper §4).
+  void define(unsigned Dest, std::optional<Operand> Src) {
+    Known.erase(Dest);
+    if (Src && Src->isImm())
+      Known.emplace(Dest, *Src);
+  }
+
+private:
+  std::unordered_map<unsigned, Operand> Known;
+};
+
+/// Rewrites the register reads of \p Inst through \p Tracker.
+/// \returns true if anything changed.
+bool rewriteUses(Instruction *Inst, const CopyTracker &Tracker) {
+  bool Changed = false;
+  auto replace = [&](Operand Current, auto Setter) {
+    Operand New = Tracker.resolve(Current);
+    if (!(New == Current)) {
+      Setter(New);
+      Changed = true;
+    }
+  };
+  switch (Inst->getKind()) {
+  case InstKind::Move: {
+    auto *Move = cast<MoveInst>(Inst);
+    replace(Move->getSrc(), [&](Operand Op) { Move->setSrc(Op); });
+    break;
+  }
+  case InstKind::Binary: {
+    auto *Bin = cast<BinaryInst>(Inst);
+    replace(Bin->getLhs(), [&](Operand Op) { Bin->setLhs(Op); });
+    replace(Bin->getRhs(), [&](Operand Op) { Bin->setRhs(Op); });
+    break;
+  }
+  case InstKind::Unary: {
+    auto *Un = cast<UnaryInst>(Inst);
+    replace(Un->getSrc(), [&](Operand Op) { Un->setSrc(Op); });
+    break;
+  }
+  case InstKind::Cmp: {
+    auto *Cmp = cast<CmpInst>(Inst);
+    replace(Cmp->getLhs(), [&](Operand Op) { Cmp->setLhs(Op); });
+    replace(Cmp->getRhs(), [&](Operand Op) { Cmp->setRhs(Op); });
+    break;
+  }
+  default:
+    // Loads/stores/calls/terminators: leave their operands alone.  They are
+    // not on the hot path the reordering transformation cares about, and
+    // keeping the rewrite narrow keeps this pass evidently correct.
+    break;
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool bropt::propagateCopies(Function &F) {
+  bool Changed = false;
+  for (auto &Block : F) {
+    CopyTracker Tracker;
+    for (auto &Inst : *Block) {
+      Changed |= rewriteUses(Inst.get(), Tracker);
+      if (auto Def = Inst->getDef()) {
+        if (const auto *Move = dyn_cast<MoveInst>(Inst.get()))
+          Tracker.define(*Def, Move->getSrc());
+        else
+          Tracker.define(*Def, std::nullopt);
+      }
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,40 @@
+//===- opt/PassManager.cpp - Fixed optimization pipelines ------------------===//
+
+#include "opt/Passes.h"
+
+#include "support/Debug.h"
+
+using namespace bropt;
+
+bool bropt::runCleanupPipeline(Function &F) {
+  bool EverChanged = false;
+  // The pipeline converges quickly; the bound is a backstop against a pass
+  // pair oscillating.
+  for (unsigned Round = 0; Round < 8; ++Round) {
+    bool Changed = false;
+    Changed |= foldConstants(F);
+    Changed |= propagateCopies(F);
+    Changed |= eliminateDeadCode(F);
+    Changed |= chainBranches(F);
+    Changed |= removeUnreachableBlocks(F);
+    if (!Changed)
+      return EverChanged;
+    EverChanged = true;
+  }
+  return EverChanged;
+}
+
+void bropt::finalizeFunction(Function &F) {
+  runCleanupPipeline(F);
+  repositionCode(F);
+  // Redundant-compare elimination works on the final block adjacency, then
+  // a last DCE sweep catches anything it exposed.
+  if (eliminateRedundantCompares(F))
+    eliminateDeadCode(F);
+  repositionCode(F);
+}
+
+void bropt::optimizeModule(Module &M) {
+  for (auto &F : M)
+    finalizeFunction(*F);
+}

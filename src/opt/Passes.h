@@ -1,0 +1,70 @@
+//===- opt/Passes.h - Conventional optimization passes ----------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "conventional optimizations" (paper §1, Figure 2) applied before
+/// sequence detection, and the clean-up passes reinvoked after the
+/// reordering transformation (paper §8: dead code elimination, branch
+/// chaining, code repositioning).  Each pass is a free function returning
+/// true if it changed the function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_OPT_PASSES_H
+#define BROPT_OPT_PASSES_H
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+namespace bropt {
+
+/// Evaluates constant-operand arithmetic, folds constant conditions into
+/// unconditional jumps, and simplifies algebraic identities (x+0, x*1, ...).
+bool foldConstants(Function &F);
+
+/// Block-local copy and constant propagation: replaces register reads with
+/// the immediate or register most recently moved into them.
+bool propagateCopies(Function &F);
+
+/// Removes pure instructions whose results are never used, including
+/// comparisons whose condition codes are never consumed.
+bool eliminateDeadCode(Function &F);
+
+/// Removes blocks unreachable from the entry block.
+bool removeUnreachableBlocks(Function &F);
+
+/// Collapses jump-to-jump chains, turns conditional branches with equal
+/// successors into jumps, and merges single-predecessor jump targets into
+/// their predecessor.
+bool chainBranches(Function &F);
+
+/// Orders blocks to maximize fall-through, inverts branch conditions where
+/// that saves a jump, inserts trampoline jumps where layout cannot satisfy
+/// a fall-through edge, and flags layout-satisfied jumps as free
+/// fall-throughs.  Run last; other passes invalidate its flags.
+bool repositionCode(Function &F);
+
+/// Removes comparisons that recompute the condition codes produced by an
+/// identical comparison, either earlier in the same block or at the tail of
+/// every predecessor (the paper's Figure 9 clean-up after reordering).
+bool eliminateRedundantCompares(Function &F);
+
+/// Runs {fold, propagate, DCE, chain, unreachable} to a fixpoint.
+/// \returns true if anything changed.
+bool runCleanupPipeline(Function &F);
+
+/// Cleanup pipeline followed by redundant-compare elimination and final
+/// repositioning; the function is in layout-finalized form afterwards.
+void finalizeFunction(Function &F);
+
+/// Runs the full conventional pipeline on every function and finalizes
+/// layout — the state the paper's pass 1 reaches before detection.
+void optimizeModule(Module &M);
+
+} // namespace bropt
+
+#endif // BROPT_OPT_PASSES_H

@@ -1,0 +1,67 @@
+//===- opt/SwitchLowering.h - Heuristic switch translation ------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expands SwitchInst terminators into one of three code shapes according
+/// to the heuristic sets of paper Table 2 (n = number of cases, m = value
+/// span between the first and last case):
+///
+///   Set I   (pcc front end, SPARC IPC / SPARC 20):
+///              indirect jump   when n >= 4 && m <= 3n
+///              binary search   when !indirect && n >= 8
+///              linear search   otherwise
+///   Set II  (SPARC Ultra I, indirect jumps ~4x as expensive):
+///              indirect jump   when n >= 16 && m <= 3n
+///              binary search   when !indirect && n >= 8
+///              linear search   otherwise
+///   Set III (maximum reordering exposure):
+///              linear search   always
+///
+/// Linear searches — and the leaf chains of binary searches — are exactly
+/// the compare/branch sequences the reordering transformation detects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_OPT_SWITCHLOWERING_H
+#define BROPT_OPT_SWITCHLOWERING_H
+
+#include "ir/Module.h"
+
+namespace bropt {
+
+/// The three translation policies of paper Table 2.
+enum class SwitchHeuristicSet { SetI, SetII, SetIII };
+
+/// \returns "I", "II", or "III".
+const char *switchHeuristicSetName(SwitchHeuristicSet Set);
+
+/// How each switch was translated.
+struct SwitchLoweringStats {
+  unsigned JumpTables = 0;
+  unsigned BinarySearches = 0;
+  unsigned LinearSearches = 0;
+};
+
+/// The shape chosen for one switch.
+enum class SwitchShape { JumpTable, BinarySearch, LinearSearch };
+
+/// Decides the shape for a switch with \p NumCases cases spanning \p Span
+/// consecutive values, per \p Set.  Exposed for unit tests.
+SwitchShape classifySwitch(SwitchHeuristicSet Set, size_t NumCases,
+                           uint64_t Span);
+
+/// Lowers every SwitchInst in \p F.  \returns true if anything changed.
+bool lowerSwitches(Function &F, SwitchHeuristicSet Set,
+                   SwitchLoweringStats *Stats = nullptr);
+
+/// Lowers every SwitchInst in \p M.
+bool lowerSwitches(Module &M, SwitchHeuristicSet Set,
+                   SwitchLoweringStats *Stats = nullptr);
+
+} // namespace bropt
+
+#endif // BROPT_OPT_SWITCHLOWERING_H

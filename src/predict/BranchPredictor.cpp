@@ -1,0 +1,61 @@
+//===- predict/BranchPredictor.cpp - (m,n) branch predictors -------------===//
+
+#include "predict/BranchPredictor.h"
+
+#include <cassert>
+
+using namespace bropt;
+
+BranchPredictor::BranchPredictor(PredictorConfig Config) : Config(Config) {
+  assert(Config.NumEntries > 0 &&
+         (Config.NumEntries & (Config.NumEntries - 1)) == 0 &&
+         "table size must be a power of two");
+  assert(Config.CounterBits >= 1 && Config.CounterBits <= 8 &&
+         "counter width out of range");
+  assert(Config.HistoryBits <= 16 && "history width out of range");
+  CounterMax = static_cast<uint8_t>((1u << Config.CounterBits) - 1);
+  NotTakenThreshold = static_cast<uint8_t>(1u << (Config.CounterBits - 1));
+  reset();
+}
+
+void BranchPredictor::reset() {
+  // Initialize to the weakest not-taken state, the conventional cold start.
+  Counters.assign(Config.NumEntries,
+                  static_cast<uint8_t>(NotTakenThreshold - 1));
+  History = 0;
+  Stats = PredictorStats();
+}
+
+unsigned BranchPredictor::indexFor(uint32_t BranchId) const {
+  // Branch ids stand in for instruction addresses.  Real branches are
+  // scattered through the text segment, so small tables see conflicts;
+  // a multiplicative (Fibonacci) hash reproduces that aliasing behaviour
+  // instead of letting dense ids map conflict-free into any table.
+  uint32_t Spread = BranchId * 2654435761u;
+  uint32_t HistoryMask = (Config.HistoryBits >= 32)
+                             ? ~0u
+                             : ((1u << Config.HistoryBits) - 1);
+  uint32_t Index = (Spread >> 16) ^ (History & HistoryMask);
+  return Index & (Config.NumEntries - 1);
+}
+
+bool BranchPredictor::observe(uint32_t BranchId, bool Taken) {
+  unsigned Index = indexFor(BranchId);
+  uint8_t &Counter = Counters[Index];
+  bool Predicted = Counter >= NotTakenThreshold;
+  bool Correct = Predicted == Taken;
+
+  ++Stats.Branches;
+  if (!Correct)
+    ++Stats.Mispredictions;
+
+  if (Taken) {
+    if (Counter < CounterMax)
+      ++Counter;
+  } else if (Counter > 0) {
+    --Counter;
+  }
+  if (Config.HistoryBits > 0)
+    History = (History << 1) | (Taken ? 1u : 0u);
+  return Correct;
+}

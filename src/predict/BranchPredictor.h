@@ -1,0 +1,80 @@
+//===- predict/BranchPredictor.h - (m,n) branch predictors ------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Yeh/Patt-style (m,n) two-level branch predictor simulator.  The paper
+/// evaluates reordering under the SPARC Ultra I's (0,2) predictor with 2048
+/// entries (Table 5) and sweeps (0,1) and (0,2) predictors over table sizes
+/// 32..2048 (Table 6).
+///
+/// An (m,n) predictor keeps m bits of global branch history; the table of
+/// n-bit saturating counters is indexed by the branch address XORed with the
+/// history (gshare indexing; with m = 0 this degenerates to the paper's
+/// per-address scheme).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_PREDICT_BRANCHPREDICTOR_H
+#define BROPT_PREDICT_BRANCHPREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bropt {
+
+/// Static configuration of an (m,n) predictor.
+struct PredictorConfig {
+  unsigned HistoryBits = 0;  ///< m: bits of global history
+  unsigned CounterBits = 2;  ///< n: width of each saturating counter
+  unsigned NumEntries = 2048; ///< table size; must be a power of two
+
+  /// The paper's Table 5 configuration: (0,2) with 2048 entries.
+  static PredictorConfig ultraSparc() { return {0, 2, 2048}; }
+};
+
+/// Running misprediction statistics.
+struct PredictorStats {
+  uint64_t Branches = 0;
+  uint64_t Mispredictions = 0;
+
+  double mispredictionRate() const {
+    return Branches ? static_cast<double>(Mispredictions) /
+                          static_cast<double>(Branches)
+                    : 0.0;
+  }
+};
+
+/// Simulates one (m,n) predictor.
+class BranchPredictor {
+public:
+  explicit BranchPredictor(PredictorConfig Config);
+
+  const PredictorConfig &getConfig() const { return Config; }
+  const PredictorStats &getStats() const { return Stats; }
+
+  /// Records the outcome of one executed conditional branch.
+  /// \p BranchId identifies the static branch (stands in for its address).
+  /// \returns true if the prediction was correct.
+  bool observe(uint32_t BranchId, bool Taken);
+
+  /// Clears the table, history, and statistics.
+  void reset();
+
+private:
+  unsigned indexFor(uint32_t BranchId) const;
+
+  PredictorConfig Config;
+  PredictorStats Stats;
+  std::vector<uint8_t> Counters;
+  uint32_t History = 0;
+  uint8_t CounterMax;
+  uint8_t NotTakenThreshold;
+};
+
+} // namespace bropt
+
+#endif // BROPT_PREDICT_BRANCHPREDICTOR_H

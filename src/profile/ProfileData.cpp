@@ -1,0 +1,129 @@
+//===- profile/ProfileData.cpp - Sequence profile counters ---------------===//
+
+#include "profile/ProfileData.h"
+
+#include "support/Debug.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bropt;
+
+uint64_t SequenceProfile::totalExecutions() const {
+  uint64_t Total = 0;
+  for (uint64_t Count : BinCounts)
+    Total += Count;
+  return Total;
+}
+
+SequenceProfile &ProfileData::registerSequence(unsigned SequenceId,
+                                               std::string FunctionName,
+                                               std::string Signature,
+                                               size_t NumBins) {
+  assert(!Records.count(SequenceId) && "sequence registered twice");
+  SequenceProfile Record;
+  Record.SequenceId = SequenceId;
+  Record.FunctionName = std::move(FunctionName);
+  Record.Signature = std::move(Signature);
+  Record.BinCounts.assign(NumBins, 0);
+  auto [It, Inserted] = Records.emplace(SequenceId, std::move(Record));
+  (void)Inserted;
+  return It->second;
+}
+
+void ProfileData::increment(unsigned SequenceId, size_t Bin, uint64_t Weight) {
+  auto It = Records.find(SequenceId);
+  assert(It != Records.end() && "incrementing an unregistered sequence");
+  assert(Bin < It->second.BinCounts.size() && "profile bin out of range");
+  It->second.BinCounts[Bin] += Weight;
+}
+
+const SequenceProfile *ProfileData::lookup(unsigned SequenceId) const {
+  auto It = Records.find(SequenceId);
+  if (It == Records.end())
+    return nullptr;
+  return &It->second;
+}
+
+bool ProfileData::merge(const ProfileData &Other) {
+  bool Ok = true;
+  for (const auto &[Id, Record] : Other.Records) {
+    auto It = Records.find(Id);
+    if (It == Records.end()) {
+      Records.emplace(Id, Record);
+      continue;
+    }
+    SequenceProfile &Mine = It->second;
+    if (Mine.Signature != Record.Signature ||
+        Mine.BinCounts.size() != Record.BinCounts.size()) {
+      Ok = false;
+      continue;
+    }
+    for (size_t Bin = 0; Bin < Mine.BinCounts.size(); ++Bin)
+      Mine.BinCounts[Bin] += Record.BinCounts[Bin];
+  }
+  return Ok;
+}
+
+std::string ProfileData::serialize() const {
+  // Emit in id order for deterministic output.
+  std::vector<const SequenceProfile *> Sorted;
+  Sorted.reserve(Records.size());
+  for (const auto &[Id, Record] : Records)
+    Sorted.push_back(&Record);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const SequenceProfile *A, const SequenceProfile *B) {
+              return A->SequenceId < B->SequenceId;
+            });
+  std::string Text;
+  for (const SequenceProfile *Record : Sorted) {
+    Text += formatString("seq %u %s %s", Record->SequenceId,
+                         Record->FunctionName.c_str(),
+                         Record->Signature.c_str());
+    for (uint64_t Count : Record->BinCounts)
+      Text += formatString(" %llu", static_cast<unsigned long long>(Count));
+    Text += "\n";
+  }
+  return Text;
+}
+
+bool ProfileData::deserialize(const std::string &Text) {
+  Records.clear();
+  for (std::string_view Line : splitString(Text, '\n')) {
+    Line = trimString(Line);
+    if (Line.empty())
+      continue;
+    std::vector<std::string_view> Fields;
+    for (std::string_view Field : splitString(Line, ' '))
+      if (!Field.empty())
+        Fields.push_back(Field);
+    if (Fields.size() < 4 || Fields[0] != "seq") {
+      Records.clear();
+      return false;
+    }
+    long long Id = 0;
+    if (!parseInteger(Fields[1], Id) || Id < 0) {
+      Records.clear();
+      return false;
+    }
+    SequenceProfile Record;
+    Record.SequenceId = static_cast<unsigned>(Id);
+    Record.FunctionName = std::string(Fields[2]);
+    Record.Signature = std::string(Fields[3]);
+    for (size_t Index = 4; Index < Fields.size(); ++Index) {
+      long long Count = 0;
+      if (!parseInteger(Fields[Index], Count) || Count < 0) {
+        Records.clear();
+        return false;
+      }
+      Record.BinCounts.push_back(static_cast<uint64_t>(Count));
+    }
+    if (Records.count(Record.SequenceId)) {
+      Records.clear();
+      return false;
+    }
+    Records.emplace(Record.SequenceId, std::move(Record));
+  }
+  return true;
+}

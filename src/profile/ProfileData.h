@@ -1,0 +1,94 @@
+//===- profile/ProfileData.h - Sequence profile counters --------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profile storage for the two-pass compilation scheme (paper Figure 2).
+///
+/// Pass 1 registers one record per detected sequence.  For a range-condition
+/// sequence the record has one *bin* per range — the explicit ranges first,
+/// then the computed default ranges (paper §5): because the ranges are
+/// nonoverlapping and the defaults cover the rest of the value space,
+/// exactly one bin is hit each time the sequence head executes, which is
+/// precisely the per-range exit probability the cost model needs (Def. 9).
+///
+/// For a common-successor branch sequence (paper §10) the record instead
+/// has 2^n bins, one per combination of branch outcomes.
+///
+/// Records carry a signature so that pass 2 — a fresh compilation — can
+/// check it is applying counts to the same sequence it profiled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_PROFILE_PROFILEDATA_H
+#define BROPT_PROFILE_PROFILEDATA_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bropt {
+
+/// Counter record for one instrumented sequence.
+struct SequenceProfile {
+  /// Module-wide sequence id (discovery order; stable across the two
+  /// compilation passes because detection is deterministic).
+  unsigned SequenceId = 0;
+  /// Name of the function the sequence lives in.
+  std::string FunctionName;
+  /// Sanity fingerprint of the sequence shape (range bounds etc.).
+  std::string Signature;
+  /// One counter per bin; bin layout is defined by the instrumenter.
+  std::vector<uint64_t> BinCounts;
+
+  /// Total number of times the sequence head executed.
+  uint64_t totalExecutions() const;
+};
+
+/// All profile records collected during a training run.
+class ProfileData {
+public:
+  /// Creates the record for \p SequenceId with \p NumBins zeroed counters.
+  /// Asserts the id is fresh.
+  SequenceProfile &registerSequence(unsigned SequenceId,
+                                    std::string FunctionName,
+                                    std::string Signature, size_t NumBins);
+
+  /// Adds \p Weight to a bin of a registered sequence.
+  void increment(unsigned SequenceId, size_t Bin, uint64_t Weight = 1);
+
+  /// \returns the record for \p SequenceId, or null if unknown.
+  const SequenceProfile *lookup(unsigned SequenceId) const;
+
+  /// Adds \p Other's counts into this profile.  Records unknown here are
+  /// copied; records present in both must agree on signature and bin
+  /// count.  \returns false (leaving this profile unchanged for the
+  /// offending record) on a mismatch.  This is how profiles from several
+  /// training data sets combine (paper §9 suggests exactly that to cover
+  /// more sequences).
+  bool merge(const ProfileData &Other);
+
+  size_t size() const { return Records.size(); }
+  bool empty() const { return Records.empty(); }
+
+  auto begin() const { return Records.begin(); }
+  auto end() const { return Records.end(); }
+
+  /// Serializes all records to a line-oriented text format.
+  std::string serialize() const;
+
+  /// Parses the output of serialize().  \returns false on malformed input
+  /// (the object is left empty in that case).
+  bool deserialize(const std::string &Text);
+
+private:
+  std::unordered_map<unsigned, SequenceProfile> Records;
+};
+
+} // namespace bropt
+
+#endif // BROPT_PROFILE_PROFILEDATA_H

@@ -1,0 +1,34 @@
+//===- sim/CostModel.cpp - Machine cycle-cost models ----------------------===//
+
+#include "sim/CostModel.h"
+
+#include "sim/Interpreter.h"
+
+using namespace bropt;
+
+MachineModel MachineModel::sparcIPCLike() {
+  MachineModel Model;
+  Model.Name = "sparc-ipc";
+  Model.IndirectJumpExtra = 1;
+  Model.MispredictPenalty = 2;
+  return Model;
+}
+
+MachineModel MachineModel::sparcUltraLike() {
+  MachineModel Model;
+  Model.Name = "sparc-ultra";
+  // The paper found Ultra I indirect jumps ~4x the IPC/20 cost.
+  Model.IndirectJumpExtra = 7;
+  Model.MispredictPenalty = 4;
+  return Model;
+}
+
+uint64_t bropt::computeCycles(const MachineModel &Model,
+                              const DynamicCounts &Counts,
+                              uint64_t Mispredictions) {
+  uint64_t Cycles = static_cast<uint64_t>(Model.BaseCost) * Counts.TotalInsts;
+  Cycles += static_cast<uint64_t>(Model.IndirectJumpExtra) *
+            Counts.IndirectJumps;
+  Cycles += static_cast<uint64_t>(Model.MispredictPenalty) * Mispredictions;
+  return Cycles;
+}

@@ -1,0 +1,19 @@
+//===- support/Debug.cpp - Assertions and fatal-error helpers ------------===//
+
+#include "support/Debug.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace bropt;
+
+void bropt::reportUnreachable(const char *Msg, const char *File,
+                              unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+void bropt::reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "bropt fatal error: %s\n", Msg);
+  std::abort();
+}

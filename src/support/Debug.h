@@ -1,0 +1,37 @@
+//===- support/Debug.h - Assertions and fatal-error helpers ----*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight assertion and unreachable helpers used throughout bropt.
+/// The library is built without exceptions; unrecoverable conditions abort
+/// with a diagnostic instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_SUPPORT_DEBUG_H
+#define BROPT_SUPPORT_DEBUG_H
+
+#include <cassert>
+
+namespace bropt {
+
+/// Prints \p Msg with source location info to stderr and aborts.
+///
+/// Used to mark points in the code that must never be reached.  Unlike
+/// assert, this is active in all build configurations.
+[[noreturn]] void reportUnreachable(const char *Msg, const char *File,
+                                    unsigned Line);
+
+/// Prints a fatal diagnostic for an unrecoverable user-facing error (bad
+/// input file, malformed profile, ...) and aborts.
+[[noreturn]] void reportFatalError(const char *Msg);
+
+} // namespace bropt
+
+#define BROPT_UNREACHABLE(MSG) ::bropt::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // BROPT_SUPPORT_DEBUG_H

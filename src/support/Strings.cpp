@@ -1,0 +1,68 @@
+//===- support/Strings.cpp - Small string/formatting utilities -----------===//
+
+#include "support/Strings.h"
+
+#include <cassert>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace bropt;
+
+std::string bropt::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  assert(Size >= 0 && "invalid format string");
+  std::string Result(static_cast<size_t>(Size), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::vector<std::string_view> bropt::splitString(std::string_view Text,
+                                                 char Sep) {
+  std::vector<std::string_view> Fields;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Fields.push_back(Text.substr(Start));
+      return Fields;
+    }
+    Fields.push_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view bropt::trimString(std::string_view Text) {
+  while (!Text.empty() && std::isspace(static_cast<unsigned char>(Text.front())))
+    Text.remove_prefix(1);
+  while (!Text.empty() && std::isspace(static_cast<unsigned char>(Text.back())))
+    Text.remove_suffix(1);
+  return Text;
+}
+
+bool bropt::parseInteger(std::string_view Text, long long &Result) {
+  Text = trimString(Text);
+  if (Text.empty())
+    return false;
+  std::string Buffer(Text);
+  errno = 0;
+  char *End = nullptr;
+  long long Value = std::strtoll(Buffer.c_str(), &End, 10);
+  if (errno != 0 || End != Buffer.c_str() + Buffer.size())
+    return false;
+  Result = Value;
+  return true;
+}
+
+std::string bropt::formatPercent(double Delta, double Base) {
+  assert(Base != 0.0 && "cannot compute a percentage of a zero base");
+  double Pct = 100.0 * Delta / Base;
+  return formatString("%+.2f%%", Pct);
+}

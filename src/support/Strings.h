@@ -1,0 +1,44 @@
+//===- support/Strings.h - Small string/formatting utilities ---*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style std::string formatting and tiny parsing helpers shared by
+/// printers, the profile serializer, and the bench report writers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_SUPPORT_STRINGS_H
+#define BROPT_SUPPORT_STRINGS_H
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bropt {
+
+/// Returns a std::string produced from a printf-style format.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string_view> splitString(std::string_view Text, char Sep);
+
+/// Trims ASCII whitespace from both ends of \p Text.
+std::string_view trimString(std::string_view Text);
+
+/// Parses a signed decimal integer.  \returns true on success and stores the
+/// value in \p Result; false if \p Text is not a well-formed integer.
+bool parseInteger(std::string_view Text, long long &Result);
+
+/// Formats \p Delta as a signed percentage string like the paper's tables,
+/// e.g. -7.91% or +3.42%.  \p Base must be nonzero.
+std::string formatPercent(double Delta, double Base);
+
+} // namespace bropt
+
+#endif // BROPT_SUPPORT_STRINGS_H

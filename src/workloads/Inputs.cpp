@@ -1,0 +1,141 @@
+//===- workloads/Inputs.cpp - Synthetic input generators -------------------===//
+
+#include "workloads/Inputs.h"
+
+#include <random>
+
+using namespace bropt;
+
+namespace {
+
+/// Letter frequencies roughly follow English so reordering decisions face
+/// realistic skew (e is common, z is rare).
+const char LetterPool[] = "eeeeeeeeeeeetttttttttaaaaaaaaoooooooiiiiiiinnnnnnn"
+                          "sssssshhhhhhrrrrrrddddllllccuummwwffggyyppbbvkjxqz";
+
+char randomLetter(std::mt19937 &Rng) {
+  return LetterPool[Rng() % (sizeof(LetterPool) - 1)];
+}
+
+std::string randomWord(std::mt19937 &Rng, unsigned MinLen, unsigned MaxLen) {
+  unsigned Length = MinLen + Rng() % (MaxLen - MinLen + 1);
+  std::string Word;
+  for (unsigned Index = 0; Index < Length; ++Index)
+    Word.push_back(randomLetter(Rng));
+  return Word;
+}
+
+} // namespace
+
+std::string bropt::proseText(unsigned Seed, size_t Length) {
+  std::mt19937 Rng(Seed);
+  std::string Text;
+  unsigned Column = 0;
+  while (Text.size() < Length) {
+    std::string Word = randomWord(Rng, 2, 9);
+    if (Rng() % 12 == 0)
+      Word[0] = static_cast<char>(Word[0] - 'a' + 'A');
+    if (Rng() % 20 == 0)
+      Word = std::to_string(Rng() % 1000);
+    Text += Word;
+    Column += static_cast<unsigned>(Word.size());
+    unsigned Roll = Rng() % 100;
+    if (Roll < 8)
+      Text += ", ";
+    else if (Roll < 12)
+      Text += ". ";
+    else if (Roll < 14)
+      Text.push_back('-'); // keeps the hyphen analogue honest
+    else
+      Text.push_back(' ');
+    ++Column;
+    if (Column > 60) {
+      Text.push_back('\n');
+      Column = 0;
+    }
+  }
+  Text.push_back('\n');
+  return Text;
+}
+
+std::string bropt::cSourceText(unsigned Seed, size_t Length) {
+  std::mt19937 Rng(Seed);
+  std::string Text = "#include <stdio.h>\n";
+  unsigned Depth = 0;
+  while (Text.size() < Length) {
+    unsigned Roll = Rng() % 100;
+    std::string Indent(Depth * 2, ' ');
+    if (Roll < 8) {
+      Text += "#define " + randomWord(Rng, 3, 8) + " " +
+              std::to_string(Rng() % 100) + "\n";
+    } else if (Roll < 16 && Depth < 5) {
+      Text += Indent + "if (" + randomWord(Rng, 1, 4) + " == " +
+              std::to_string(Rng() % 10) + ") {\n";
+      ++Depth;
+    } else if (Roll < 24 && Depth > 0) {
+      --Depth;
+      Text += std::string(Depth * 2, ' ') + "}\n";
+    } else if (Roll < 32) {
+      Text += Indent + "/* " + randomWord(Rng, 2, 6) + " " +
+              randomWord(Rng, 2, 6) + " */\n";
+    } else if (Roll < 40) {
+      Text += Indent + randomWord(Rng, 2, 6) + " = \"" +
+              randomWord(Rng, 1, 8) + "\";\n";
+    } else {
+      Text += Indent + randomWord(Rng, 2, 8) + "(" + randomWord(Rng, 1, 5) +
+              ", " + std::to_string(Rng() % 256) + ");\n";
+    }
+  }
+  while (Depth-- > 0)
+    Text += "}\n";
+  return Text;
+}
+
+std::string bropt::roffText(unsigned Seed, size_t Length) {
+  std::mt19937 Rng(Seed);
+  std::string Text;
+  const char *Commands[] = {".pp", ".br", ".sp", ".ft B", ".ce", ".in +2"};
+  while (Text.size() < Length) {
+    if (Rng() % 6 == 0) {
+      Text += Commands[Rng() % 6];
+      Text.push_back('\n');
+      continue;
+    }
+    unsigned Words = 4 + Rng() % 9;
+    for (unsigned Index = 0; Index < Words; ++Index) {
+      if (Rng() % 15 == 0)
+        Text += "\\fB" + randomWord(Rng, 2, 7) + "\\fR";
+      else
+        Text += randomWord(Rng, 2, 9);
+      Text.push_back(Index + 1 == Words ? '\n' : ' ');
+    }
+  }
+  return Text;
+}
+
+std::string bropt::tabularText(unsigned Seed, size_t Lines, unsigned Fields) {
+  std::mt19937 Rng(Seed);
+  std::string Text;
+  for (size_t Line = 0; Line < Lines; ++Line) {
+    for (unsigned Field = 0; Field < Fields; ++Field) {
+      if (Field)
+        Text.push_back(' ');
+      Text += std::to_string(Rng() % 10000);
+    }
+    Text.push_back('\n');
+  }
+  return Text;
+}
+
+std::string bropt::wordList(unsigned Seed, size_t Words) {
+  std::mt19937 Rng(Seed);
+  std::string Text;
+  for (size_t Index = 0; Index < Words; ++Index) {
+    std::string Word = randomWord(Rng, 2, 11);
+    if (Rng() % 7 == 0)
+      Word += "-" + randomWord(Rng, 2, 6); // hyphenated entries
+    Text += Word;
+    Text.push_back('\n');
+  }
+  return Text;
+}

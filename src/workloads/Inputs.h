@@ -1,0 +1,49 @@
+//===- workloads/Inputs.h - Synthetic input generators ----------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic inputs standing in for the real files the paper
+/// fed its Unix-utility benchmarks.  Character frequencies follow English
+/// text: most characters are letters, which is exactly the distribution
+/// that makes the Figure 1(c) reordering profitable (letters compare
+/// greater than blank, newline, and EOF).
+///
+/// Training and test inputs use different seeds, mirroring the paper's
+/// distinct training/test data sets (their hyphen benchmark regressed for
+/// precisely this reason).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_WORKLOADS_INPUTS_H
+#define BROPT_WORKLOADS_INPUTS_H
+
+#include <cstddef>
+#include <string>
+
+namespace bropt {
+
+/// English-like prose: words of lowercase letters (some capitalized), with
+/// blanks, newlines, digits, and light punctuation.
+std::string proseText(unsigned Seed, size_t Length);
+
+/// C-source-like text: identifiers, braces, parentheses, semicolons,
+/// operators, string literals, comments, and preprocessor lines.
+std::string cSourceText(unsigned Seed, size_t Length);
+
+/// roff-like text: prose interleaved with dot-command lines (".pp",
+/// ".br" ...) and backslash escapes.
+std::string roffText(unsigned Seed, size_t Length);
+
+/// Lines of space-separated decimal fields, for the sort/join analogues.
+std::string tabularText(unsigned Seed, size_t Lines, unsigned Fields);
+
+/// Lines of single words, for dictionary-style consumers.
+std::string wordList(unsigned Seed, size_t Words);
+
+} // namespace bropt
+
+#endif // BROPT_WORKLOADS_INPUTS_H

@@ -1,0 +1,870 @@
+//===- workloads/Workloads.cpp - The 17 benchmark analogues ---------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/Inputs.h"
+
+using namespace bropt;
+
+namespace {
+
+// awk: pattern scanning — field splitting plus numeric-field detection.
+const char *AwkSource = R"(
+int records = 0;
+int fields = 0;
+int numeric = 0;
+int actions = 0;
+int errors = 0;
+int value = 0;
+// Cold path: diagnoses malformed bytes.  Synthetic inputs are 7-bit
+// ASCII, so this chain is detected but never executed (the paper's
+// dominant reason a sequence went unreordered).
+int diagnose(int code) {
+  if (code == 256) return 1;
+  if (code == 257) return 2;
+  if (code == 258) return 3;
+  if (code == 259) return 4;
+  return 0;
+}
+int main() {
+  int c;
+  int infield = 0;
+  int isnum = 1;
+  int sawdigit = 0;
+  while ((c = getchar()) != -1) {
+    if (c == ' ') {
+      if (infield == 1) {
+        fields = fields + 1;
+        if (isnum == 1)
+          if (sawdigit == 1)
+            numeric = numeric + 1;
+      }
+      infield = 0; isnum = 1; sawdigit = 0;
+    } else if (c == '\n') {
+      if (infield == 1) {
+        fields = fields + 1;
+        if (isnum == 1)
+          if (sawdigit == 1)
+            numeric = numeric + 1;
+      }
+      records = records + 1;
+      infield = 0; isnum = 1; sawdigit = 0;
+    } else if (c >= '0' && c <= '9') {
+      infield = 1; sawdigit = 1;
+      value = (value * 10 + c - '0') % 100000;
+    } else if (c == '$') {
+      actions = actions + 1; infield = 1; isnum = 0;
+    } else {
+      if (c > 255)
+        errors = errors + diagnose(c);
+      infield = 1; isnum = 0;
+    }
+  }
+  printint(records); printint(fields); printint(numeric); printint(actions);
+  printint(errors); printint(value);
+  return fields;
+}
+)";
+
+// cb: C program beautifier — switch over structural characters.
+const char *CbSource = R"(
+int depth = 0;
+int emitted = 0;
+int strings = 0;
+int newlines = 0;
+int main() {
+  int c;
+  int instring = 0;
+  while ((c = getchar()) != -1) {
+    if (instring == 1) {
+      putchar(c); emitted = emitted + 1;
+      if (c == '"')
+        instring = 0;
+    } else {
+      switch (c) {
+      case '{':
+        depth = depth + 1;
+        putchar(c); putchar('\n');
+        emitted = emitted + 2;
+        break;
+      case '}':
+        depth = depth - 1;
+        putchar(c); putchar('\n');
+        emitted = emitted + 2;
+        break;
+      case ';':
+        putchar(c); putchar('\n');
+        emitted = emitted + 2;
+        break;
+      case '"':
+        instring = 1; strings = strings + 1;
+        putchar(c); emitted = emitted + 1;
+        break;
+      case '\n':
+        newlines = newlines + 1;
+        break;
+      case '\t':
+        putchar(' '); emitted = emitted + 1;
+        break;
+      default:
+        putchar(c); emitted = emitted + 1;
+      }
+    }
+  }
+  printint(depth); printint(emitted); printint(strings); printint(newlines);
+  return emitted;
+}
+)";
+
+// cpp: preprocessor — directive detection and comment stripping.
+const char *CppSource = R"(
+int directives = 0;
+int comments = 0;
+int copied = 0;
+int blanklines = 0;
+int main() {
+  int c;
+  int bol = 1;
+  int incomment = 0;
+  int prev = 0;
+  while ((c = getchar()) != -1) {
+    if (incomment == 1) {
+      if (c == '/') {
+        if (prev == '*') {
+          incomment = 0;
+          comments = comments + 1;
+        }
+      }
+      prev = c;
+    } else if (c == '#') {
+      if (bol == 1)
+        directives = directives + 1;
+      bol = 0; prev = c;
+    } else if (c == '\n') {
+      if (bol == 1)
+        blanklines = blanklines + 1;
+      bol = 1; prev = c;
+    } else if (c == '*') {
+      if (prev == '/')
+        incomment = 1;
+      bol = 0; prev = c;
+    } else if (c == ' ') {
+      prev = c;
+    } else {
+      copied = copied + 1;
+      bol = 0; prev = c;
+    }
+  }
+  printint(directives); printint(comments); printint(copied);
+  printint(blanklines);
+  return copied;
+}
+)";
+
+// ctags: tag generation — identifiers that open a line.
+const char *CtagsSource = R"(
+int tags = 0;
+int lines = 0;
+int identchars = 0;
+int parens = 0;
+int namehash = 0;
+int main() {
+  int c;
+  int bol = 1;
+  int inident = 0;
+  while ((c = getchar()) != -1) {
+    if (c == '\n') {
+      lines = lines + 1;
+      bol = 1; inident = 0;
+    } else if (c == ' ') {
+      bol = 0; inident = 0;
+    } else if (c == '\t') {
+      bol = 0; inident = 0;
+    } else if (c >= 'a' && c <= 'z') {
+      identchars = identchars + 1;
+      namehash = (namehash * 33 + c) % 49157;
+      if (bol == 1)
+        if (inident == 0)
+          tags = tags + 1;
+      inident = 1;
+    } else if (c >= 'A' && c <= 'Z') {
+      identchars = identchars + 1;
+      namehash = (namehash * 33 + c) % 49157;
+      inident = 1;
+    } else if (c == '(') {
+      parens = parens + 1;
+      bol = 0; inident = 0;
+    } else {
+      bol = 0; inident = 0;
+    }
+  }
+  printint(tags); printint(lines); printint(identchars); printint(parens);
+  printint(namehash);
+  return tags;
+}
+)";
+
+// deroff: removes roff constructs — dot commands and font escapes.
+const char *DeroffSource = R"(
+int removedlines = 0;
+int escapes = 0;
+int kept = 0;
+int main() {
+  int c;
+  int bol = 1;
+  int skipping = 0;
+  int inescape = 0;
+  while ((c = getchar()) != -1) {
+    if (skipping == 1) {
+      if (c == '\n') {
+        skipping = 0;
+        bol = 1;
+      }
+    } else if (inescape > 0) {
+      inescape = inescape - 1;
+    } else if (c == '.') {
+      if (bol == 1) {
+        skipping = 1;
+        removedlines = removedlines + 1;
+      } else {
+        putchar(c); kept = kept + 1;
+      }
+      bol = 0;
+    } else if (c == '\\') {
+      escapes = escapes + 1;
+      inescape = 2;
+      bol = 0;
+    } else if (c == '\n') {
+      putchar(c); kept = kept + 1;
+      bol = 1;
+    } else {
+      putchar(c); kept = kept + 1;
+      bol = 0;
+    }
+  }
+  printint(removedlines); printint(escapes); printint(kept);
+  return kept;
+}
+)";
+
+// grep: literal search for "the" plus line accounting.
+const char *GrepSource = R"(
+int matches = 0;
+int lines = 0;
+int matchlines = 0;
+int shortlines = 0;
+int longlines = 0;
+int badflags = 0;
+// Warm helper: its length classification chain is a second reorderable
+// sequence, exercised once per line.
+int classifyLength(int len) {
+  if (len == 0) return 0;
+  if (len < 20) return 1;
+  if (len < 60) return 2;
+  return 3;
+}
+// Cold: flag diagnostics, detected but never executed on clean input.
+int flagError(int flag) {
+  if (flag == 500) return 1;
+  if (flag == 501) return 2;
+  if (flag == 502) return 3;
+  return 0;
+}
+int main() {
+  int c;
+  int state = 0;
+  int hit = 0;
+  int linelen = 0;
+  while ((c = getchar()) != -1) {
+    if (c == 't') {
+      state = 1;
+    } else if (c == 'h') {
+      if (state == 1)
+        state = 2;
+      else
+        state = 0;
+    } else if (c == 'e') {
+      if (state == 2) {
+        matches = matches + 1;
+        hit = 1;
+      }
+      state = 0;
+    } else if (c == '\n') {
+      lines = lines + 1;
+      if (hit == 1)
+        matchlines = matchlines + 1;
+      int kind = classifyLength(linelen);
+      if (kind == 1)
+        shortlines = shortlines + 1;
+      else if (kind == 3)
+        longlines = longlines + 1;
+      linelen = 0;
+      hit = 0; state = 0;
+    } else {
+      if (c > 255)
+        badflags = badflags + flagError(c);
+      state = 0;
+    }
+    linelen = linelen + 1;
+  }
+  printint(matches); printint(lines); printint(matchlines);
+  printint(shortlines); printint(longlines); printint(badflags);
+  return matches;
+}
+)";
+
+// hyphen: finds hyphenated words; vowel chain mirrors syllable logic.
+const char *HyphenSource = R"(
+int hyphens = 0;
+int lines = 0;
+int vowels = 0;
+int consonants = 0;
+int hyphenated = 0;
+int main() {
+  int c;
+  int sawhyphen = 0;
+  while ((c = getchar()) != -1) {
+    if (c == '-') {
+      hyphens = hyphens + 1;
+      sawhyphen = 1;
+    } else if (c == '\n') {
+      lines = lines + 1;
+      if (sawhyphen == 1)
+        hyphenated = hyphenated + 1;
+      sawhyphen = 0;
+    } else if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') {
+      vowels = vowels + 1;
+    } else if (c >= 'b' && c <= 'z') {
+      consonants = consonants + 1;
+    }
+  }
+  printint(hyphens); printint(lines); printint(vowels);
+  printint(consonants); printint(hyphenated);
+  return hyphens;
+}
+)";
+
+// join: relational join on the first field of consecutive lines.
+const char *JoinSource = R"(
+int joined = 0;
+int lines = 0;
+int fieldtotal = 0;
+int main() {
+  int c;
+  int key = 0;
+  int prevkey = -1;
+  int infirst = 1;
+  int fields = 0;
+  while ((c = getchar()) != -1) {
+    if (c >= '0' && c <= '9') {
+      if (infirst == 1)
+        key = key * 10 + (c - '0');
+    } else if (c == ' ') {
+      if (infirst == 1)
+        infirst = 0;
+      fields = fields + 1;
+    } else if (c == '\n') {
+      lines = lines + 1;
+      fieldtotal = fieldtotal + fields + 1;
+      if (key == prevkey)
+        joined = joined + 1;
+      prevkey = key;
+      key = 0; infirst = 1; fields = 0;
+    }
+  }
+  printint(joined); printint(lines); printint(fieldtotal);
+  return joined;
+}
+)";
+
+// lex: scanner generator — token classification with an operator switch.
+const char *LexSource = R"(
+int idents = 0;
+int numbers = 0;
+int operators = 0;
+int whitespace = 0;
+int others = 0;
+int main() {
+  int c;
+  int intoken = 0;
+  while ((c = getchar()) != -1) {
+    if (c >= 'a' && c <= 'z') {
+      if (intoken == 0)
+        idents = idents + 1;
+      intoken = 1;
+    } else if (c >= 'A' && c <= 'Z') {
+      if (intoken == 0)
+        idents = idents + 1;
+      intoken = 1;
+    } else if (c >= '0' && c <= '9') {
+      if (intoken == 0)
+        numbers = numbers + 1;
+      intoken = 1;
+    } else if (c == ' ' || c == '\n' || c == '\t') {
+      whitespace = whitespace + 1;
+      intoken = 0;
+    } else {
+      intoken = 0;
+      switch (c) {
+      case '+': operators = operators + 1; break;
+      case '-': operators = operators + 1; break;
+      case '*': operators = operators + 1; break;
+      case '/': operators = operators + 1; break;
+      case '=': operators = operators + 1; break;
+      case '<': operators = operators + 1; break;
+      case '>': operators = operators + 1; break;
+      case ';': operators = operators + 1; break;
+      default: others = others + 1;
+      }
+    }
+  }
+  printint(idents); printint(numbers); printint(operators);
+  printint(whitespace); printint(others);
+  return idents;
+}
+)";
+
+// nroff: line filling to a fixed width.
+const char *NroffSource = R"(
+int outlines = 0;
+int commands = 0;
+int wordcount = 0;
+int weight = 0;
+int main() {
+  int c;
+  int col = 0;
+  int bol = 1;
+  int inword = 0;
+  while ((c = getchar()) != -1) {
+    if (c == ' ') {
+      if (inword == 1)
+        wordcount = wordcount + 1;
+      inword = 0;
+      col = col + 1;
+      if (col > 65) {
+        putchar('\n');
+        outlines = outlines + 1;
+        col = 0;
+      } else {
+        putchar(' ');
+      }
+      bol = 0;
+    } else if (c == '\n') {
+      if (inword == 1)
+        wordcount = wordcount + 1;
+      inword = 0;
+      putchar(' ');
+      col = col + 1;
+      bol = 1;
+    } else if (c == '.') {
+      if (bol == 1) {
+        commands = commands + 1;
+        putchar('\n');
+        outlines = outlines + 1;
+        col = 0;
+      } else {
+        putchar(c);
+        col = col + 1;
+      }
+      bol = 0;
+    } else if (c == '\\') {
+      bol = 0;
+    } else {
+      putchar(c);
+      col = col + 1;
+      inword = 1;
+      bol = 0;
+      weight = (weight + c * 3) % 10007;
+    }
+  }
+  printint(outlines); printint(commands); printint(wordcount);
+  printint(weight);
+  return outlines;
+}
+)";
+
+// pr: pagination — line, tab, and form-feed accounting.
+const char *PrSource = R"(
+int pages = 1;
+int outcols = 0;
+int tabstops = 0;
+int headerstyle = 0;
+int body = 0;
+// Cold: header-option handling, detected but unexecuted under defaults.
+int headerOption(int opt) {
+  if (opt == 700) return 1;
+  if (opt == 701) return 2;
+  if (opt == 702) return 3;
+  if (opt == 703) return 4;
+  return 0;
+}
+int main() {
+  int c;
+  int line = 0;
+  int col = 0;
+  while ((c = getchar()) != -1) {
+    if (c == '\n') {
+      line = line + 1;
+      col = 0;
+      if (line >= 56) {
+        pages = pages + 1;
+        line = 0;
+      }
+    } else if (c == '\t') {
+      tabstops = tabstops + 1;
+      col = col + 8 - col % 8;
+    } else if (c == 12) {
+      pages = pages + 1;
+      line = 0; col = 0;
+    } else {
+      if (c > 255)
+        headerstyle = headerstyle + headerOption(c);
+      col = col + 1;
+      outcols = outcols + 1;
+      body = (body * 17 + c) % 32768;
+    }
+  }
+  printint(pages); printint(outcols); printint(tabstops); printint(body);
+  printint(headerstyle);
+  return pages;
+}
+)";
+
+// ptx: permuted index — word boundary detection over several classes.
+const char *PtxSource = R"(
+int words = 0;
+int lines = 0;
+int letters = 0;
+int breaks = 0;
+int main() {
+  int c;
+  int inword = 0;
+  while ((c = getchar()) != -1) {
+    if (c >= 'a' && c <= 'z') {
+      letters = letters + 1;
+      if (inword == 0)
+        words = words + 1;
+      inword = 1;
+    } else if (c >= 'A' && c <= 'Z') {
+      letters = letters + 1;
+      if (inword == 0)
+        words = words + 1;
+      inword = 1;
+    } else if (c == ' ') {
+      inword = 0; breaks = breaks + 1;
+    } else if (c == '\n') {
+      inword = 0; lines = lines + 1;
+    } else if (c == '\t') {
+      inword = 0; breaks = breaks + 1;
+    } else {
+      inword = 0;
+    }
+  }
+  printint(words); printint(lines); printint(letters); printint(breaks);
+  return words;
+}
+)";
+
+// sdiff: side-by-side compare of consecutive lines via a line buffer.
+const char *SdiffSource = R"(
+int prevline[512];
+int samelines = 0;
+int difflines = 0;
+int longlines = 0;
+int main() {
+  int c;
+  int pos = 0;
+  int prevlen = -1;
+  int differs = 0;
+  while ((c = getchar()) != -1) {
+    if (c == '\n') {
+      if (prevlen == pos) {
+        if (differs == 0)
+          samelines = samelines + 1;
+        else
+          difflines = difflines + 1;
+      } else if (prevlen >= 0) {
+        difflines = difflines + 1;
+      }
+      prevlen = pos;
+      pos = 0;
+      differs = 0;
+    } else if (pos >= 511) {
+      longlines = longlines + 1;
+    } else {
+      if (pos < prevlen)
+        if (prevline[pos] != c)
+          differs = 1;
+      prevline[pos] = c;
+      pos = pos + 1;
+    }
+  }
+  printint(samelines); printint(difflines); printint(longlines);
+  return difflines;
+}
+)";
+
+// sed: stream editing — substitute 'e'->'E', join continuation lines.
+const char *SedSource = R"(
+int substitutions = 0;
+int lines = 0;
+int continuations = 0;
+int copied = 0;
+int cmdkinds = 0;
+// Command dispatch, run once per program for the built-in script; its
+// switch becomes a detected sequence that barely executes.
+int command(int ch) {
+  switch (ch) {
+  case 's': return 1;
+  case 'd': return 2;
+  case 'p': return 3;
+  case 'q': return 4;
+  case 'g': return 5;
+  }
+  return 0;
+}
+int main() {
+  cmdkinds = command('s') + command('p');
+  int c;
+  int escaped = 0;
+  while ((c = getchar()) != -1) {
+    if (escaped == 1) {
+      escaped = 0;
+      if (c == '\n')
+        continuations = continuations + 1;
+      else {
+        putchar(c);
+        copied = copied + 1;
+      }
+    } else if (c == 'e') {
+      putchar('E');
+      substitutions = substitutions + 1;
+    } else if (c == '\n') {
+      putchar(c);
+      lines = lines + 1;
+    } else if (c == '\\') {
+      escaped = 1;
+    } else {
+      putchar(c);
+      copied = copied + 1;
+    }
+  }
+  printint(substitutions); printint(lines); printint(continuations);
+  printint(copied); printint(cmdkinds);
+  return substitutions;
+}
+)";
+
+// sort: line keys bucketed by leading character class; the per-character
+// classification loop dominates, as in the paper's sort (-47%).
+const char *SortSource = R"(
+int buckets[16];
+int lines = 0;
+int keychars = 0;
+int opterrors = 0;
+int keyhash = 0;
+// Cold: option diagnostics.
+int optionError(int opt) {
+  if (opt == 800) return 1;
+  if (opt == 801) return 2;
+  if (opt == 802) return 3;
+  return 0;
+}
+int main() {
+  int c;
+  int bol = 1;
+  int bucket = 0;
+  while ((c = getchar()) != -1) {
+    if (c == '\n') {
+      buckets[bucket] = buckets[bucket] + 1;
+      lines = lines + 1;
+      bol = 1;
+      bucket = 0;
+    } else if (c == ' ') {
+      bol = 0;
+    } else if (c == '\t') {
+      bol = 0;
+    } else if (c >= 'a' && c <= 'm') {
+      keychars = keychars + 1;
+      keyhash = (keyhash * 131 + c) % 92821;
+      if (bol == 1)
+        bucket = 1;
+      bol = 0;
+    } else if (c >= 'n' && c <= 'z') {
+      keychars = keychars + 1;
+      keyhash = (keyhash * 131 + c) % 92821;
+      if (bol == 1)
+        bucket = 2;
+      bol = 0;
+    } else if (c >= 'A' && c <= 'Z') {
+      keychars = keychars + 1;
+      keyhash = (keyhash * 131 + c) % 92821;
+      if (bol == 1)
+        bucket = 3;
+      bol = 0;
+    } else if (c >= '0' && c <= '9') {
+      if (bol == 1)
+        bucket = 4;
+      bol = 0;
+    } else {
+      if (c > 255)
+        opterrors = opterrors + optionError(c);
+      if (bol == 1)
+        bucket = 5;
+      bol = 0;
+    }
+  }
+  int i = 0;
+  while (i < 6) {
+    printint(buckets[i]);
+    i = i + 1;
+  }
+  printint(lines); printint(keychars); printint(opterrors);
+  printint(keyhash);
+  return lines;
+}
+)";
+
+// wc: canonical line/word/character counting (paper Figure 1 idiom).
+const char *WcSource = R"(
+int lines = 0;
+int words = 0;
+int chars = 0;
+int checksum = 0;
+int main() {
+  int c;
+  int inword = 0;
+  while ((c = getchar()) != -1) {
+    chars = chars + 1;
+    checksum = (checksum * 31 + c) % 65536;
+    if (c == ' ') {
+      inword = 0;
+    } else if (c == '\n') {
+      lines = lines + 1;
+      inword = 0;
+    } else if (c == '\t') {
+      inword = 0;
+    } else {
+      if (inword == 0) {
+        words = words + 1;
+        inword = 1;
+      }
+    }
+  }
+  printint(lines); printint(words); printint(chars); printint(checksum);
+  return chars;
+}
+)";
+
+// yacc: grammar reader — rule/alternative/symbol accounting.
+const char *YaccSource = R"(
+int rules = 0;
+int alternatives = 0;
+int symbols = 0;
+int actions = 0;
+int conflicts = 0;
+// Cold: conflict diagnostics, never triggered by the synthetic grammars.
+int conflictKind(int kind) {
+  if (kind == 900) return 1;
+  if (kind == 901) return 2;
+  if (kind == 902) return 3;
+  return 0;
+}
+int main() {
+  int c;
+  int insymbol = 0;
+  while ((c = getchar()) != -1) {
+    if (c >= 'a' && c <= 'z') {
+      if (insymbol == 0)
+        symbols = symbols + 1;
+      insymbol = 1;
+    } else if (c == ' ') {
+      insymbol = 0;
+    } else if (c == '\n') {
+      insymbol = 0;
+    } else if (c == ':') {
+      rules = rules + 1;
+      alternatives = alternatives + 1;
+      insymbol = 0;
+    } else if (c == '|') {
+      alternatives = alternatives + 1;
+      insymbol = 0;
+    } else if (c == ';') {
+      insymbol = 0;
+    } else if (c == '{') {
+      actions = actions + 1;
+      insymbol = 0;
+    } else {
+      if (c > 255)
+        conflicts = conflicts + conflictKind(c);
+      insymbol = 0;
+    }
+  }
+  printint(rules); printint(alternatives); printint(symbols);
+  printint(actions); printint(conflicts);
+  return rules;
+}
+)";
+
+std::vector<Workload> buildWorkloads() {
+  // Sizes keep every bench run in the tens of milliseconds while giving
+  // each sequence thousands of training observations.
+  constexpr size_t TextSize = 40000;
+  std::vector<Workload> Workloads;
+
+  auto add = [&](const char *Name, const char *Description,
+                 const char *Source, std::string Train, std::string Test) {
+    Workloads.push_back(Workload{Name, Description, Source, std::move(Train),
+                                 std::move(Test)});
+  };
+
+  add("awk", "Pattern Scanning and Processing Language", AwkSource,
+      tabularText(101, 2500, 4), tabularText(201, 2500, 4));
+  add("cb", "A Simple C Program Beautifier", CbSource,
+      cSourceText(102, TextSize), cSourceText(202, TextSize));
+  add("cpp", "C Compiler Preprocessor", CppSource,
+      cSourceText(103, TextSize), cSourceText(203, TextSize));
+  add("ctags", "Generates Tag File for vi", CtagsSource,
+      cSourceText(104, TextSize), cSourceText(204, TextSize));
+  add("deroff", "Removes nroff Constructs", DeroffSource,
+      roffText(105, TextSize), roffText(205, TextSize));
+  add("grep", "Searches a File for a String or Regular Expression",
+      GrepSource, proseText(106, TextSize), proseText(206, TextSize));
+  add("hyphen", "Lists Hyphenated Words in a File", HyphenSource,
+      proseText(107, TextSize), wordList(207, 5000));
+  add("join", "Relational Database Operator", JoinSource,
+      tabularText(108, 3000, 3), tabularText(208, 3000, 3));
+  add("lex", "Lexical Analysis Program Generator", LexSource,
+      cSourceText(109, TextSize), cSourceText(209, TextSize));
+  add("nroff", "Text Formatter", NroffSource, roffText(110, TextSize),
+      roffText(210, TextSize));
+  add("pr", "Prepares File(s) for Printing", PrSource,
+      proseText(111, TextSize), proseText(211, TextSize));
+  add("ptx", "Generates a Permuted Index", PtxSource,
+      proseText(112, TextSize), proseText(212, TextSize));
+  add("sdiff", "Displays Files Side-by-Side", SdiffSource,
+      proseText(113, TextSize), proseText(213, TextSize));
+  add("sed", "Stream Editor", SedSource, proseText(114, TextSize),
+      proseText(214, TextSize));
+  add("sort", "Sorts and Collates Lines", SortSource, wordList(115, 6000),
+      wordList(215, 6000));
+  add("wc", "Displays Count of Lines, Words, and Characters", WcSource,
+      proseText(116, TextSize), proseText(216, TextSize));
+  add("yacc", "Parsing Program Generator", YaccSource,
+      cSourceText(117, TextSize), cSourceText(217, TextSize));
+  return Workloads;
+}
+
+} // namespace
+
+const std::vector<Workload> &bropt::standardWorkloads() {
+  static const std::vector<Workload> Workloads = buildWorkloads();
+  return Workloads;
+}
+
+const Workload *bropt::findWorkload(const std::string &Name) {
+  for (const Workload &W : standardWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}

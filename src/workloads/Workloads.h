@@ -1,0 +1,48 @@
+//===- workloads/Workloads.h - The 17 benchmark analogues -------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mini-C analogues of the paper's seventeen Unix-utility benchmarks
+/// (paper Table 3).  Each program reproduces the control-flow idiom that
+/// made the original reorderable — character-classification loops, switch
+/// tokenisers, field splitting — on synthetic inputs with realistic
+/// character distributions.  Training and test inputs differ (distinct
+/// seeds), as in the paper.
+///
+/// Every program writes its counters with printint so differential tests
+/// can compare baseline and reordered builds byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_WORKLOADS_WORKLOADS_H
+#define BROPT_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace bropt {
+
+/// One benchmark program plus its inputs.
+struct Workload {
+  std::string Name;        ///< the paper's program name (awk, cb, ...)
+  std::string Description; ///< paper Table 3 description
+  std::string Source;      ///< Mini-C source
+  std::string TrainingInput;
+  std::string TestInput;
+};
+
+/// The seventeen analogues in the paper's Table 3/4 order.  Inputs are
+/// generated once, lazily, and sized so dynamic counts are statistically
+/// stable while keeping the benches fast.
+const std::vector<Workload> &standardWorkloads();
+
+/// \returns the workload named \p Name, or null.
+const Workload *findWorkload(const std::string &Name);
+
+} // namespace bropt
+
+#endif // BROPT_WORKLOADS_WORKLOADS_H

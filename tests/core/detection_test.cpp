@@ -1,0 +1,292 @@
+//===- tests/core/detection_test.cpp - Sequence detection tests -----------===//
+
+#include "core/SequenceDetection.h"
+
+#include "ir/Printer.h"
+#include "lang/Lowering.h"
+#include "opt/Passes.h"
+#include "opt/SwitchLowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace bropt;
+
+namespace {
+
+/// Compiles, lowers switches under \p Set, and optimizes — the state
+/// pass 1 reaches before detection.
+std::unique_ptr<Module> prepare(std::string_view Source,
+                                SwitchHeuristicSet Set =
+                                    SwitchHeuristicSet::SetI) {
+  std::string Errors;
+  std::unique_ptr<Module> M = compileSource(Source, &Errors);
+  EXPECT_TRUE(M) << Errors;
+  if (!M)
+    return nullptr;
+  lowerSwitches(*M, Set);
+  // Cleanup only, no final layout — detection runs before repositioning in
+  // the driver pipeline.
+  for (auto &F : *M)
+    runCleanupPipeline(*F);
+  return M;
+}
+
+TEST(DetectionTest, Figure1CharacterClassifier) {
+  // The paper's Figure 1: three comparisons of the same variable.
+  auto M = prepare(R"(
+    int x = 0; int y = 0; int z = 0;
+    int main() {
+      int c;
+      while ((c = getchar()) != -1) {
+        if (c == ' ')
+          y = y + 1;
+        else if (c == '\n')
+          x = x + 1;
+        else
+          z = z + 1;
+      }
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(M);
+  std::vector<RangeSequence> Seqs = detectSequences(*M);
+  ASSERT_EQ(Seqs.size(), 1u) << printModule(*M);
+  const RangeSequence &Seq = Seqs[0];
+  // The EOF test, the blank test, and the newline test chain together.
+  ASSERT_EQ(Seq.Conds.size(), 3u);
+  EXPECT_EQ(Seq.Conds[0].R, Range::single(-1)); // EOF exits the loop
+  EXPECT_EQ(Seq.Conds[1].R, Range::single(' '));
+  EXPECT_EQ(Seq.Conds[2].R, Range::single('\n'));
+  EXPECT_EQ(Seq.branchCount(), 3u);
+  // Defaults: below -1, 0..9, 11..31, and above 32.
+  EXPECT_EQ(Seq.DefaultRanges.size(), 4u);
+}
+
+TEST(DetectionTest, RelationalChainWithBoundedPair) {
+  // Figure 5 flavor: mixed relational tests forming nonoverlapping ranges,
+  // including a bounded Form-4 condition from &&.
+  auto M = prepare(R"(
+    int a = 0; int b = 0; int d = 0;
+    int main() {
+      int c = getchar();
+      if (c >= 48 && c <= 57)
+        a = 1;
+      else if (c == 61)
+        b = 1;
+      else
+        d = 1;
+      return a + b + d;
+    }
+  )");
+  ASSERT_TRUE(M);
+  std::vector<RangeSequence> Seqs = detectSequences(*M);
+  ASSERT_EQ(Seqs.size(), 1u) << printModule(*M);
+  const RangeSequence &Seq = Seqs[0];
+  ASSERT_EQ(Seq.Conds.size(), 2u);
+  EXPECT_EQ(Seq.Conds[0].R, Range(48, 57));
+  EXPECT_EQ(Seq.Conds[0].branchCount(), 2u); // Form 4: two branches
+  EXPECT_EQ(Seq.Conds[0].Cost, 4u);
+  EXPECT_EQ(Seq.Conds[1].R, Range::single(61));
+  EXPECT_EQ(Seq.branchCount(), 3u);
+}
+
+TEST(DetectionTest, LinearSwitchProducesLongSequence) {
+  auto M = prepare(R"(
+    int main() {
+      int total = 0;
+      int c;
+      while ((c = getchar()) != -1) {
+        switch (c) {
+        case 10: total += 1; break;
+        case 32: total += 2; break;
+        case 48: total += 3; break;
+        case 65: total += 4; break;
+        case 97: total += 5; break;
+        }
+      }
+      return total;
+    }
+  )",
+                   SwitchHeuristicSet::SetIII);
+  ASSERT_TRUE(M);
+  std::vector<RangeSequence> Seqs = detectSequences(*M);
+  ASSERT_EQ(Seqs.size(), 1u) << printModule(*M);
+  // The EOF loop test chains into the five case tests.
+  EXPECT_EQ(Seqs[0].Conds.size(), 6u);
+  for (const RangeConditionDesc &Cond : Seqs[0].Conds)
+    EXPECT_TRUE(Cond.R.isSingle());
+}
+
+TEST(DetectionTest, BinarySearchYieldsSequences) {
+  // Under Set I, nine sparse cases become a binary search whose node and
+  // leaf chains are reorderable sequences (paper §9 observes this).
+  std::string Source = "int main() { int t = 0; int c;\n"
+                       "while ((c = getchar()) != -1) {\nswitch (c) {\n";
+  for (int Index = 0; Index < 9; ++Index)
+    Source += "case " + std::to_string(Index * 100) +
+              ": t += " + std::to_string(Index + 1) + "; break;\n";
+  Source += "} }\nreturn t; }\n";
+  auto M = prepare(Source, SwitchHeuristicSet::SetI);
+  ASSERT_TRUE(M);
+  std::vector<RangeSequence> Seqs = detectSequences(*M);
+  EXPECT_GE(Seqs.size(), 2u) << printModule(*M);
+  size_t TotalConds = 0;
+  for (const RangeSequence &Seq : Seqs)
+    TotalConds += Seq.Conds.size();
+  EXPECT_GE(TotalConds, 5u);
+}
+
+TEST(DetectionTest, SideEffectPrefixRecorded) {
+  // A store between two conditions is an intervening side effect
+  // (Definition 6); the sequence stays detectable with the prefix noted.
+  auto M = prepare(R"(
+    int g = 0;
+    int main() {
+      int c = getchar();
+      if (c == 1)
+        return 10;
+      g = g + 1;          // side effect between the conditions
+      if (c == 2)
+        return 20;
+      return 30;
+    }
+  )");
+  ASSERT_TRUE(M);
+  std::vector<RangeSequence> Seqs = detectSequences(*M);
+  ASSERT_EQ(Seqs.size(), 1u) << printModule(*M);
+  ASSERT_EQ(Seqs[0].Conds.size(), 2u);
+  EXPECT_EQ(Seqs[0].Conds[0].PrefixLength, 0u);
+  EXPECT_GT(Seqs[0].Conds[1].PrefixLength, 0u);
+}
+
+TEST(DetectionTest, RedefinitionOfVariableEndsSequence) {
+  // c changes between the tests, so the second test cannot join.
+  auto M = prepare(R"(
+    int main() {
+      int c = getchar();
+      if (c == 1)
+        return 10;
+      c = getchar();
+      if (c == 2)
+        return 20;
+      if (c == 3)
+        return 30;
+      return 40;
+    }
+  )");
+  ASSERT_TRUE(M);
+  std::vector<RangeSequence> Seqs = detectSequences(*M);
+  // Only the second pair (c==2, c==3) forms a sequence.
+  ASSERT_EQ(Seqs.size(), 1u) << printModule(*M);
+  EXPECT_EQ(Seqs[0].Conds.size(), 2u);
+  EXPECT_EQ(Seqs[0].Conds[0].R, Range::single(2));
+}
+
+TEST(DetectionTest, OverlappingRangesDoNotChain) {
+  // c < 10 overlaps c < 100: after the first test fails, the second range
+  // [MIN..99] overlaps nothing claimed... actually [10..] remains, and
+  // [MIN..99] overlaps the claimed [..9]; only the inverse [100..] fits,
+  // continuing the chain.  c == 5 then overlaps nothing reachable but its
+  // range overlaps [..9], ending the sequence.
+  auto M = prepare(R"(
+    int main() {
+      int c = getchar();
+      if (c < 10)
+        return 1;
+      if (c < 100)
+        return 2;
+      if (c == 5)
+        return 3;
+      return 4;
+    }
+  )");
+  ASSERT_TRUE(M);
+  std::vector<RangeSequence> Seqs = detectSequences(*M);
+  ASSERT_EQ(Seqs.size(), 1u);
+  EXPECT_EQ(Seqs[0].Conds.size(), 2u);
+  EXPECT_EQ(Seqs[0].Conds[0].R, Range::upTo(9));
+  // Second condition: the 'not taken' reading continues the chain.
+  EXPECT_EQ(Seqs[0].Conds[1].R, Range(100, Range::MaxValue));
+}
+
+TEST(DetectionTest, DifferentVariablesDoNotChain) {
+  auto M = prepare(R"(
+    int main() {
+      int a = getchar();
+      int b = getchar();
+      if (a == 1)
+        return 1;
+      if (b == 2)
+        return 2;
+      return 3;
+    }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(detectSequences(*M).empty());
+}
+
+TEST(DetectionTest, SequencesDoNotShareBlocks) {
+  auto M = prepare(R"(
+    int f(int c) {
+      if (c == 1) return 1;
+      if (c == 2) return 2;
+      if (c == 3) return 3;
+      return 0;
+    }
+    int main() {
+      int c = getchar();
+      if (c == 65) return f(1);
+      if (c == 66) return f(2);
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(M);
+  std::vector<RangeSequence> Seqs = detectSequences(*M);
+  ASSERT_EQ(Seqs.size(), 2u);
+  std::set<const BasicBlock *> Used;
+  for (const RangeSequence &Seq : Seqs)
+    for (const RangeConditionDesc &Cond : Seq.Conds)
+      for (const BasicBlock *Block : Cond.Blocks)
+        EXPECT_TRUE(Used.insert(Block).second)
+            << "block reused across sequences";
+}
+
+TEST(DetectionTest, IdsAreStableAcrossRecompilation) {
+  const char *Source = R"(
+    int main() {
+      int c = getchar();
+      if (c == 1) return 1;
+      if (c == 2) return 2;
+      if (c == 3) return 3;
+      return 0;
+    }
+  )";
+  auto M1 = prepare(Source);
+  auto M2 = prepare(Source);
+  ASSERT_TRUE(M1 && M2);
+  std::vector<RangeSequence> Seqs1 = detectSequences(*M1);
+  std::vector<RangeSequence> Seqs2 = detectSequences(*M2);
+  ASSERT_EQ(Seqs1.size(), Seqs2.size());
+  for (size_t Index = 0; Index < Seqs1.size(); ++Index) {
+    EXPECT_EQ(Seqs1[Index].Id, Seqs2[Index].Id);
+    EXPECT_EQ(Seqs1[Index].signature(), Seqs2[Index].signature());
+  }
+}
+
+TEST(DetectionTest, SignatureEncodesRanges) {
+  auto M = prepare(R"(
+    int main() {
+      int c = getchar();
+      if (c == 7) return 1;
+      if (c == 9) return 2;
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(M);
+  std::vector<RangeSequence> Seqs = detectSequences(*M);
+  ASSERT_EQ(Seqs.size(), 1u);
+  EXPECT_NE(Seqs[0].signature().find("[7]"), std::string::npos);
+  EXPECT_NE(Seqs[0].signature().find("[9]"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,465 @@
+//===- tests/core/extensions_test.cpp - §10 future-work extension tests ---===//
+
+#include "core/CommonSuccessor.h"
+#include "core/Reorder.h"
+
+#include "driver/Driver.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "sim/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace bropt;
+
+namespace {
+
+RunResult runOn(Module &M, std::string_view Input) {
+  Interpreter Interp(M);
+  Interp.setInput(Input);
+  RunResult Result = Interp.run();
+  EXPECT_FALSE(Result.Trapped) << Result.TrapReason;
+  return Result;
+}
+
+bool hasIndirectJump(const Module &M) {
+  for (const auto &F : M)
+    for (const auto &Block : *F)
+      for (const auto &Inst : *Block)
+        if (Inst->getKind() == InstKind::IndirectJump)
+          return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Common-successor branch sequences (paper Figure 14)
+//===----------------------------------------------------------------------===//
+
+/// Figure 14 flavor: a && chain over different variables.  All three
+/// branches share the "else" block as common successor.
+const char *AndChainSource = R"(
+  int pass = 0; int fail = 0;
+  int main() {
+    int a;
+    while ((a = getchar()) != -1) {
+      int b = getchar();
+      int d = getchar();
+      if (a == 'x' && b == 'y' && d == 'z')
+        pass = pass + 1;
+      else
+        fail = fail + 1;
+    }
+    printint(pass); printint(fail);
+    return pass;
+  }
+)";
+
+std::string tripleStream(unsigned Seed, size_t Triples, int MatchPercent) {
+  std::mt19937 Rng(Seed);
+  std::string Text;
+  for (size_t Index = 0; Index < Triples; ++Index) {
+    bool Match = static_cast<int>(Rng() % 100) < MatchPercent;
+    if (Match) {
+      Text += "xyz";
+    } else {
+      // Mismatch usually in the *last* position: a bad static order tests
+      // a and b first for nothing.
+      Text.push_back('x');
+      Text.push_back('y');
+      Text.push_back(static_cast<char>('a' + Rng() % 25));
+    }
+  }
+  return Text;
+}
+
+TEST(CommonSuccessorTest, DetectsAndChain) {
+  CompileOptions Options;
+  Options.EnableCommonSuccessorReordering = true;
+  Pass1Result Pass1 =
+      runPass1(AndChainSource, tripleStream(1, 50, 50), Options);
+  ASSERT_TRUE(Pass1.ok()) << Pass1.Error;
+  ASSERT_EQ(Pass1.CommonSequences.size(), 1u);
+  const CommonSuccessorSequence &Seq = Pass1.CommonSequences[0];
+  EXPECT_EQ(Seq.Branches.size(), 2u); // a-test belongs to the range sequence
+  // Ids continue after the range sequences.
+  EXPECT_EQ(Seq.Id, static_cast<unsigned>(Pass1.Sequences.size()));
+  // The profile recorded 2^n combination bins.
+  const SequenceProfile *Prof = Pass1.Profile.lookup(Seq.Id);
+  ASSERT_TRUE(Prof);
+  EXPECT_EQ(Prof->BinCounts.size(), 4u);
+  EXPECT_EQ(Prof->totalExecutions(), 50u);
+}
+
+TEST(CommonSuccessorTest, OrderSelectionPrefersDiscriminatingBranch) {
+  // Mismatches concentrate in the third condition, so testing it first
+  // minimizes expected branches.
+  CompileOptions Options;
+  Options.EnableCommonSuccessorReordering = true;
+  Pass1Result Pass1 =
+      runPass1(AndChainSource, tripleStream(2, 400, 10), Options);
+  ASSERT_TRUE(Pass1.ok()) << Pass1.Error;
+  ASSERT_EQ(Pass1.CommonSequences.size(), 1u);
+  const CommonSuccessorSequence &Seq = Pass1.CommonSequences[0];
+  const SequenceProfile *Prof = Pass1.Profile.lookup(Seq.Id);
+  ASSERT_TRUE(Prof);
+  // The range-sequence detector claims the a-test (it chains with the
+  // loop's EOF test), leaving the b/d tests as the common-successor
+  // sequence.  Mismatches concentrate in d, so the d-test moves first.
+  double Before = 0.0, After = 0.0;
+  std::vector<size_t> Order =
+      selectCommonSuccessorOrder(Seq, *Prof, &Before, &After);
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order.front(), 1u) << "the z-test discriminates most";
+  EXPECT_LT(After, Before);
+}
+
+TEST(CommonSuccessorTest, EndToEndImprovesAndPreservesBehaviour) {
+  CompileOptions Plain;
+  CompileOptions WithCS;
+  WithCS.EnableCommonSuccessorReordering = true;
+
+  std::string Train = tripleStream(3, 2000, 10);
+  std::string Test = tripleStream(4, 2000, 10);
+
+  CompileResult Baseline = compileBaseline(AndChainSource, Plain);
+  CompileResult Reordered =
+      compileWithReordering(AndChainSource, Train, WithCS);
+  ASSERT_TRUE(Baseline.ok() && Reordered.ok())
+      << Baseline.Error << Reordered.Error;
+  EXPECT_GE(Reordered.CommonStats.Reordered, 1u);
+  EXPECT_LT(Reordered.CommonStats.SumExpectedAfter,
+            Reordered.CommonStats.SumExpectedBefore);
+
+  RunResult Base = runOn(*Baseline.M, Test);
+  RunResult Reord = runOn(*Reordered.M, Test);
+  EXPECT_EQ(Base.Output, Reord.Output);
+  EXPECT_LT(Reord.Counts.CondBranches, Base.Counts.CondBranches);
+}
+
+TEST(CommonSuccessorTest, SideEffectingChainIsRejected) {
+  // The second condition calls a function: Figure 14's rule says such
+  // sequences cannot be reordered (no interprocedural analysis).
+  const char *Source = R"(
+    int calls = 0;
+    int probe(int v) { calls = calls + 1; return v; }
+    int main() {
+      int total = 0;
+      int c;
+      while ((c = getchar()) != -1) {
+        if (c == 'a' && probe(c) == 97 && c != 'q')
+          total = total + 1;
+      }
+      printint(calls);
+      return total;
+    }
+  )";
+  CompileOptions Options;
+  Options.EnableCommonSuccessorReordering = true;
+  Pass1Result Pass1 = runPass1(Source, "abcaaa", Options);
+  ASSERT_TRUE(Pass1.ok()) << Pass1.Error;
+  for (const CommonSuccessorSequence &Seq : Pass1.CommonSequences)
+    EXPECT_LE(Seq.Branches.size(), 2u)
+        << "the call must split the chain:\n"
+        << printModule(*Pass1.M);
+}
+
+TEST(CommonSuccessorTest, NeverExecutedChainSkipped) {
+  CompileOptions Options;
+  Options.EnableCommonSuccessorReordering = true;
+  CompileResult Result = compileWithReordering(AndChainSource, "", Options);
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  EXPECT_EQ(Result.CommonStats.Reordered, 0u);
+}
+
+TEST(CommonSuccessorTest, RandomDifferentialAgreement) {
+  // Random or/and chains over several variables; baseline and transformed
+  // builds must agree byte-for-byte.
+  for (unsigned Seed = 1; Seed <= 8; ++Seed) {
+    std::mt19937 Rng(Seed);
+    std::string Cond;
+    int NumTerms = 2 + static_cast<int>(Rng() % 4);
+    const char *Vars[] = {"a", "b", "d"};
+    for (int Term = 0; Term < NumTerms; ++Term) {
+      if (Term)
+        Cond += Rng() % 2 ? " && " : " || ";
+      Cond += std::string(Vars[Rng() % 3]) +
+              (Rng() % 2 ? " == " : " != ") + std::to_string(Rng() % 6);
+    }
+    std::string Source = "int hits = 0;\nint main() {\n  int a;\n"
+                         "  while ((a = getchar()) != -1) {\n"
+                         "    int b = getchar();\n    int d = getchar();\n"
+                         "    if (" + Cond + ")\n      hits = hits + 1;\n"
+                         "  }\n  printint(hits);\n  return hits;\n}\n";
+    auto stream = [&](unsigned S) {
+      std::mt19937 R(S);
+      std::string Text;
+      for (int Index = 0; Index < 900; ++Index)
+        Text.push_back(static_cast<char>(R() % 6));
+      return Text;
+    };
+    CompileOptions Options;
+    Options.EnableCommonSuccessorReordering = true;
+    CompileResult Baseline = compileBaseline(Source, CompileOptions{});
+    CompileResult Reordered =
+        compileWithReordering(Source, stream(Seed * 31), Options);
+    ASSERT_TRUE(Baseline.ok() && Reordered.ok())
+        << Baseline.Error << Reordered.Error << Source;
+    std::string Test = stream(Seed * 57 + 1);
+    RunResult Base = runOn(*Baseline.M, Test);
+    RunResult Reord = runOn(*Reordered.M, Test);
+    EXPECT_EQ(Base.Output, Reord.Output) << Source;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sequence-of-sequences reordering (paper Figure 14 d/e)
+//===----------------------------------------------------------------------===//
+
+/// An || of two && groups over distinct variables: the groups share the
+/// "then" fall-out, and each group's exits feed the next group — the
+/// exact shape of Figure 14(d).
+const char *OrOfAndsSource = R"(
+  int hits = 0; int misses = 0;
+  int main() {
+    int t;
+    while ((t = getchar()) != -1) {
+      int a = getchar();
+      int b = getchar();
+      int d = getchar();
+      int e = getchar();
+      if (a == 'p' && b == 'q' || d == 'r' && e == 's')
+        hits = hits + 1;
+      else
+        misses = misses + 1;
+    }
+    printint(hits); printint(misses);
+    return 0;
+  }
+)";
+
+/// Input where the second && group almost always decides the outcome.
+std::string groupStream(unsigned Seed, size_t Records, int SecondWins) {
+  std::mt19937 Rng(Seed);
+  std::string Text;
+  for (size_t Index = 0; Index < Records; ++Index) {
+    Text.push_back('#'); // the loop variable t
+    bool Second = static_cast<int>(Rng() % 100) < SecondWins;
+    Text.push_back(Second ? 'x' : 'p');
+    Text.push_back(Second ? 'x' : 'q');
+    Text.push_back(Second ? 'r' : 'x');
+    Text.push_back(Second ? 's' : 'x');
+  }
+  return Text;
+}
+
+TEST(ChainReorderTest, DetectsGroupChain) {
+  CompileOptions Options;
+  Options.EnableCommonSuccessorReordering = true;
+  Pass1Result Pass1 =
+      runPass1(OrOfAndsSource, groupStream(1, 50, 50), Options);
+  ASSERT_TRUE(Pass1.ok()) << Pass1.Error;
+  ASSERT_EQ(Pass1.CommonSequences.size(), 1u);
+  const CommonSuccessorSequence &Seq = Pass1.CommonSequences[0];
+  EXPECT_EQ(Seq.Branches.size(), 4u);
+  EXPECT_EQ(Seq.GroupSizes, (std::vector<unsigned>{2, 2}));
+  const SequenceProfile *Prof = Pass1.Profile.lookup(Seq.Id);
+  ASSERT_TRUE(Prof);
+  EXPECT_EQ(Prof->BinCounts.size(), 16u);
+}
+
+TEST(ChainReorderTest, GroupPermutationChosenWhenSecondGroupDecides) {
+  CompileOptions Options;
+  Options.EnableCommonSuccessorReordering = true;
+  Pass1Result Pass1 =
+      runPass1(OrOfAndsSource, groupStream(2, 500, 95), Options);
+  ASSERT_TRUE(Pass1.ok()) << Pass1.Error;
+  ASSERT_EQ(Pass1.CommonSequences.size(), 1u);
+  const CommonSuccessorSequence &Seq = Pass1.CommonSequences[0];
+  const SequenceProfile *Prof = Pass1.Profile.lookup(Seq.Id);
+  ASSERT_TRUE(Prof);
+
+  double Before = 0.0, After = 0.0;
+  ChainOrder Order = selectChainOrder(Seq, *Prof, &Before, &After);
+  ASSERT_EQ(Order.size(), 2u);
+  // The (d, e) group — original indices 2 and 3 — should be tested first.
+  EXPECT_EQ(Order.front().front(), 2u);
+  EXPECT_LT(After, Before);
+
+  // The reported expectation matches the cost function on the result.
+  EXPECT_NEAR(After, expectedChainBranches(Seq, *Prof, Order), 1e-12);
+}
+
+TEST(ChainReorderTest, EndToEndGroupSwapImprovesAndAgrees) {
+  CompileOptions Plain;
+  CompileOptions WithCS;
+  WithCS.EnableCommonSuccessorReordering = true;
+
+  std::string Train = groupStream(3, 2000, 92);
+  std::string Test = groupStream(4, 2000, 92);
+  CompileResult Baseline = compileBaseline(OrOfAndsSource, Plain);
+  CompileResult Reordered =
+      compileWithReordering(OrOfAndsSource, Train, WithCS);
+  ASSERT_TRUE(Baseline.ok() && Reordered.ok())
+      << Baseline.Error << Reordered.Error;
+  EXPECT_GE(Reordered.CommonStats.Reordered, 1u);
+
+  RunResult Base = runOn(*Baseline.M, Test);
+  RunResult Reord = runOn(*Reordered.M, Test);
+  EXPECT_EQ(Base.Output, Reord.Output);
+  EXPECT_LT(Reord.Counts.CondBranches, Base.Counts.CondBranches);
+}
+
+TEST(ChainReorderTest, MixedPolarityChainsStayCorrect) {
+  // && of || groups: same structure with the opposite polarity; the
+  // template must transform it without changing behaviour.
+  const char *Source = R"(
+    int hits = 0;
+    int main() {
+      int t;
+      while ((t = getchar()) != -1) {
+        int a = getchar();
+        int b = getchar();
+        int d = getchar();
+        int e = getchar();
+        if ((a == 1 || b == 2) && (d == 3 || e == 4))
+          hits = hits + 1;
+      }
+      printint(hits);
+      return hits;
+    }
+  )";
+  auto stream = [](unsigned Seed) {
+    std::mt19937 Rng(Seed);
+    std::string Text;
+    for (int Index = 0; Index < 1000; ++Index) {
+      Text.push_back('#');
+      for (int Byte = 0; Byte < 4; ++Byte)
+        Text.push_back(static_cast<char>(Rng() % 6));
+    }
+    return Text;
+  };
+  CompileOptions Options;
+  Options.EnableCommonSuccessorReordering = true;
+  CompileResult Baseline = compileBaseline(Source, CompileOptions{});
+  CompileResult Reordered =
+      compileWithReordering(Source, stream(7), Options);
+  ASSERT_TRUE(Baseline.ok() && Reordered.ok())
+      << Baseline.Error << Reordered.Error;
+  std::string Test = stream(8);
+  RunResult Base = runOn(*Baseline.M, Test);
+  RunResult Reord = runOn(*Reordered.M, Test);
+  EXPECT_EQ(Base.Output, Reord.Output);
+  EXPECT_EQ(Base.ExitValue, Reord.ExitValue);
+}
+
+//===----------------------------------------------------------------------===//
+// Profile-guided search-method selection (paper §10)
+//===----------------------------------------------------------------------===//
+
+/// A dense uniform switch: a jump table beats any linear order when every
+/// case is equally likely and the dispatch is cheap.
+const char *DenseSwitchSource = R"(
+  int counts[10];
+  int main() {
+    int c;
+    while ((c = getchar()) != -1) {
+      switch (c) {
+      case 0: counts[0] = counts[0] + 1; break;
+      case 1: counts[1] = counts[1] + 1; break;
+      case 2: counts[2] = counts[2] + 1; break;
+      case 3: counts[3] = counts[3] + 1; break;
+      case 4: counts[4] = counts[4] + 1; break;
+      case 5: counts[5] = counts[5] + 1; break;
+      case 6: counts[6] = counts[6] + 1; break;
+      case 7: counts[7] = counts[7] + 1; break;
+      }
+    }
+    int i = 0;
+    while (i < 8) { printint(counts[i]); i = i + 1; }
+    return 0;
+  }
+)";
+
+std::string uniformBytes(unsigned Seed, size_t Length, int Range) {
+  std::mt19937 Rng(Seed);
+  std::string Text;
+  for (size_t Index = 0; Index < Length; ++Index)
+    Text.push_back(static_cast<char>(Rng() % Range));
+  return Text;
+}
+
+TEST(MethodSelectionTest, UniformDenseSwitchBecomesJumpTable) {
+  CompileOptions Options;
+  Options.HeuristicSet = SwitchHeuristicSet::SetIII; // forces linear source
+  Options.Reorder.EnableMethodSelection = true;
+  Options.Reorder.IndirectJumpCost = 2; // IPC-like: cheap dispatch
+  std::string Train = uniformBytes(5, 4000, 8);
+  CompileResult Result =
+      compileWithReordering(DenseSwitchSource, Train, Options);
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  EXPECT_GE(Result.Stats.JumpTables, 1u);
+  EXPECT_TRUE(hasIndirectJump(*Result.M)) << printModule(*Result.M);
+
+  // Behaviour must be identical to the baseline.
+  CompileResult Baseline = compileBaseline(DenseSwitchSource, Options);
+  std::string Test = uniformBytes(6, 4000, 8);
+  RunResult Base = runOn(*Baseline.M, Test);
+  RunResult Reord = runOn(*Result.M, Test);
+  EXPECT_EQ(Base.Output, Reord.Output);
+}
+
+TEST(MethodSelectionTest, ExpensiveIndirectJumpKeepsLinearSearch) {
+  CompileOptions Options;
+  Options.HeuristicSet = SwitchHeuristicSet::SetIII;
+  Options.Reorder.EnableMethodSelection = true;
+  Options.Reorder.IndirectJumpCost = 8; // Ultra-like: 4x dispatch cost
+  std::string Train = uniformBytes(7, 4000, 8);
+  CompileResult Result =
+      compileWithReordering(DenseSwitchSource, Train, Options);
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  // With a cost of 8 the table costs ~12+; even a uniform 8-way linear
+  // search averages under 9 instructions, so reordering wins.
+  EXPECT_EQ(Result.Stats.JumpTables, 0u);
+  EXPECT_FALSE(hasIndirectJump(*Result.M));
+}
+
+TEST(MethodSelectionTest, SkewedProfileKeepsLinearSearch) {
+  // One case dominates: a reordered linear search answers in ~2
+  // instructions, beating any table dispatch.
+  CompileOptions Options;
+  Options.HeuristicSet = SwitchHeuristicSet::SetIII;
+  Options.Reorder.EnableMethodSelection = true;
+  Options.Reorder.IndirectJumpCost = 2;
+  std::string Train(4000, static_cast<char>(3));
+  CompileResult Result =
+      compileWithReordering(DenseSwitchSource, Train, Options);
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  EXPECT_EQ(Result.Stats.JumpTables, 0u);
+}
+
+TEST(MethodSelectionTest, JumpTableRunsFasterOnUniformInput) {
+  CompileOptions Linear;
+  Linear.HeuristicSet = SwitchHeuristicSet::SetIII;
+  CompileOptions Table = Linear;
+  Table.Reorder.EnableMethodSelection = true;
+  Table.Reorder.IndirectJumpCost = 2;
+
+  std::string Train = uniformBytes(8, 4000, 8);
+  std::string Test = uniformBytes(9, 4000, 8);
+  CompileResult LinearResult =
+      compileWithReordering(DenseSwitchSource, Train, Linear);
+  CompileResult TableResult =
+      compileWithReordering(DenseSwitchSource, Train, Table);
+  ASSERT_TRUE(LinearResult.ok() && TableResult.ok());
+  ASSERT_GE(TableResult.Stats.JumpTables, 1u);
+
+  RunResult LinearRun = runOn(*LinearResult.M, Test);
+  RunResult TableRun = runOn(*TableResult.M, Test);
+  EXPECT_EQ(LinearRun.Output, TableRun.Output);
+  EXPECT_LT(TableRun.Counts.TotalInsts, LinearRun.Counts.TotalInsts)
+      << "uniform dispatch should favor the table";
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- tests/core/invariants_test.cpp - Structural detection invariants ---===//
+//
+// Checks, over every standard workload and heuristic set, the structural
+// invariants the paper's definitions demand of any detected sequence:
+//
+//  * Definition 4/5: explicit ranges are pairwise nonoverlapping;
+//  * explicit + default ranges partition the whole value space;
+//  * blocks belong to at most one sequence and at most one condition;
+//  * the conditions chain: block 0 of each condition is reachable from
+//    the previous condition's continuation;
+//  * no exit target (or the default boundary) consumes inherited
+//    condition codes (the reordered code would break it);
+//  * non-head side-effect prefixes never write the branch variable
+//    (Theorem 2's precondition).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SequenceDetection.h"
+
+#include "ir/Printer.h"
+#include "lang/Lowering.h"
+#include "opt/Passes.h"
+#include "opt/SwitchLowering.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace bropt;
+
+namespace {
+
+bool needsCCOnEntry(const BasicBlock *B) {
+  for (const auto &Inst : *B) {
+    if (Inst->writesCC())
+      return false;
+    if (Inst->readsCC())
+      return true;
+  }
+  return false;
+}
+
+void checkSequenceInvariants(const RangeSequence &Seq,
+                             std::set<const BasicBlock *> &GlobalBlocks) {
+  SCOPED_TRACE("sequence " + std::to_string(Seq.Id) + " in " +
+               Seq.F->getName());
+  ASSERT_GE(Seq.Conds.size(), 2u);
+  ASSERT_NE(Seq.DefaultTarget, nullptr);
+
+  // Nonoverlap (Definition 5) and partition with the default cover.
+  std::vector<Range> Explicit;
+  for (const RangeConditionDesc &Cond : Seq.Conds) {
+    EXPECT_FALSE(Cond.R.isEmpty());
+    EXPECT_TRUE(nonoverlapping(Cond.R, Explicit))
+        << Cond.R.toString() << " overlaps an earlier range";
+    Explicit.push_back(Cond.R);
+  }
+  std::vector<Range> All = Explicit;
+  All.insert(All.end(), Seq.DefaultRanges.begin(), Seq.DefaultRanges.end());
+  for (int64_t Probe = -300; Probe <= 300; ++Probe) {
+    int Hits = 0;
+    for (const Range &R : All)
+      if (R.contains(Probe))
+        ++Hits;
+    EXPECT_EQ(Hits, 1) << "probe " << Probe
+                       << " not covered exactly once";
+  }
+
+  // Block ownership and shape.
+  for (const RangeConditionDesc &Cond : Seq.Conds) {
+    EXPECT_GE(Cond.Blocks.size(), 1u);
+    EXPECT_LE(Cond.Blocks.size(), 2u);
+    EXPECT_EQ(Cond.Cost, Cond.Blocks.size() * 2);
+    for (const BasicBlock *Block : Cond.Blocks) {
+      EXPECT_TRUE(GlobalBlocks.insert(Block).second)
+          << Block->getLabel() << " owned by two conditions/sequences";
+      EXPECT_TRUE(Block->getTerminator() &&
+                  Block->getTerminator()->getKind() == InstKind::CondBr);
+    }
+    ASSERT_NE(Cond.Target, nullptr);
+    EXPECT_FALSE(needsCCOnEntry(Cond.Target))
+        << "exit target inherits condition codes";
+  }
+  EXPECT_FALSE(needsCCOnEntry(Seq.DefaultTarget));
+
+  // Theorem 2 precondition: prefixes never write the branch variable.
+  for (size_t Index = 1; Index < Seq.Conds.size(); ++Index) {
+    const RangeConditionDesc &Cond = Seq.Conds[Index];
+    for (size_t Pos = 0; Pos < Cond.PrefixLength; ++Pos) {
+      auto Def = Cond.Blocks.front()->getInstruction(Pos)->getDef();
+      EXPECT_FALSE(Def && *Def == Seq.ValueReg)
+          << "prefix writes the branch variable";
+    }
+  }
+  // The head never records a prefix (it stays in place).
+  EXPECT_EQ(Seq.Conds.front().PrefixLength, 0u);
+
+  // Chain connectivity: each condition's blocks connect via successors,
+  // and some successor of each condition reaches the next condition or
+  // the default target.
+  for (size_t Index = 0; Index < Seq.Conds.size(); ++Index) {
+    const RangeConditionDesc &Cond = Seq.Conds[Index];
+    const BasicBlock *Expected =
+        Index + 1 < Seq.Conds.size()
+            ? Seq.Conds[Index + 1].Blocks.front()
+            : Seq.DefaultTarget;
+    bool Connected = false;
+    for (const BasicBlock *Block : Cond.Blocks)
+      for (const BasicBlock *Succ : Block->successors())
+        Connected |= Succ == Expected;
+    EXPECT_TRUE(Connected)
+        << "condition " << Index << " does not reach its continuation";
+  }
+}
+
+class DetectionInvariantsTest
+    : public ::testing::TestWithParam<SwitchHeuristicSet> {};
+
+TEST_P(DetectionInvariantsTest, HoldOnAllWorkloads) {
+  for (const Workload &W : standardWorkloads()) {
+    SCOPED_TRACE(W.Name);
+    std::string Errors;
+    std::unique_ptr<Module> M = compileSource(W.Source, &Errors);
+    ASSERT_TRUE(M) << Errors;
+    lowerSwitches(*M, GetParam());
+    for (auto &F : *M)
+      runCleanupPipeline(*F);
+    std::vector<RangeSequence> Seqs = detectSequences(*M);
+    EXPECT_FALSE(Seqs.empty());
+    std::set<const BasicBlock *> GlobalBlocks;
+    unsigned LastId = 0;
+    for (const RangeSequence &Seq : Seqs) {
+      checkSequenceInvariants(Seq, GlobalBlocks);
+      if (&Seq != &Seqs.front())
+        EXPECT_GT(Seq.Id, LastId) << "ids must be strictly increasing";
+      LastId = Seq.Id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSets, DetectionInvariantsTest,
+                         ::testing::Values(SwitchHeuristicSet::SetI,
+                                           SwitchHeuristicSet::SetII,
+                                           SwitchHeuristicSet::SetIII),
+                         [](const auto &Info) {
+                           return std::string("Set") +
+                                  switchHeuristicSetName(Info.param);
+                         });
+
+} // namespace

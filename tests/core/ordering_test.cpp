@@ -1,0 +1,205 @@
+//===- tests/core/ordering_test.cpp - Figure 8 selection algorithm tests --===//
+
+#include "core/OrderingSelection.h"
+
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace bropt;
+
+namespace {
+
+/// Provides dummy blocks to stand in for targets.
+class OrderingTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    F = M.createFunction("f", 0);
+    for (int Index = 0; Index < 8; ++Index)
+      Targets.push_back(F->createBlock());
+  }
+
+  RangeInfo info(Range R, unsigned TargetIdx, double P, unsigned C,
+                 size_t OrigIndex) {
+    RangeInfo Info;
+    Info.R = R;
+    Info.Target = Targets[TargetIdx];
+    Info.P = P;
+    Info.C = C;
+    Info.OrigIndex = OrigIndex;
+    return Info;
+  }
+
+  Module M;
+  Function *F = nullptr;
+  std::vector<BasicBlock *> Targets;
+};
+
+TEST_F(OrderingTest, Theorem3PairOrder) {
+  // p1/c1 = 0.8/2 > p2/c2 = 0.2/2: R1 must be tested first.
+  std::vector<RangeInfo> Infos = {
+      info(Range::single(1), 0, 0.8, 2, 0),
+      info(Range::single(2), 1, 0.15, 2, 1),
+      info(Range(3, Range::MaxValue), 2, 0.05, 2, 2),
+      info(Range(Range::MinValue, 0), 2, 0.0, 2, 3),
+  };
+  OrderingDecision Decision = selectOrdering(Infos);
+  ASSERT_FALSE(Decision.Order.empty());
+  EXPECT_EQ(Decision.Order.front(), 0u);
+  // The ordering must agree with the exhaustive search.
+  OrderingDecision Oracle = selectOrderingExhaustive(Infos);
+  EXPECT_NEAR(Decision.Cost, Oracle.Cost, 1e-9);
+}
+
+TEST_F(OrderingTest, HighProbabilityCheapConditionGoesFirst) {
+  // A cheap high-probability range beats an expensive one of equal mass.
+  std::vector<RangeInfo> Infos = {
+      info(Range(10, 20), 0, 0.45, 4, 0),      // bounded: two branches
+      info(Range::single(5), 1, 0.45, 2, 1),   // single: one branch
+      info(Range(21, Range::MaxValue), 2, 0.05, 2, 2),
+      info(Range(Range::MinValue, 4), 2, 0.03, 2, 3),
+      info(Range(6, 9), 2, 0.02, 4, 4),
+  };
+  OrderingDecision Decision = selectOrdering(Infos);
+  ASSERT_FALSE(Decision.Order.empty());
+  EXPECT_EQ(Decision.Order.front(), 1u);
+}
+
+TEST_F(OrderingTest, EliminationPrefersDominantDefaultTarget) {
+  // Target 2 owns the low-benefit (low p/c) ranges; leaving them implicit
+  // and making target 2 the default is the cheapest configuration.
+  std::vector<RangeInfo> Infos = {
+      info(Range::single(0), 0, 0.45, 2, 0),
+      info(Range::single(1), 1, 0.45, 2, 1),
+      info(Range(2, Range::MaxValue), 2, 0.05, 2, 2),
+      info(Range(Range::MinValue, -1), 2, 0.05, 2, 3),
+  };
+  OrderingDecision Decision = selectOrdering(Infos);
+  EXPECT_EQ(Decision.DefaultTarget, Targets[2]);
+  // Both of target 2's ranges should be implicit.
+  EXPECT_EQ(Decision.Eliminated.size(), 2u);
+  OrderingDecision Oracle = selectOrderingExhaustive(Infos);
+  EXPECT_NEAR(Decision.Cost, Oracle.Cost, 1e-9);
+}
+
+TEST_F(OrderingTest, CostMatchesHandComputedEquationOne)
+{
+  // Two explicit conditions then a default: Equation 1 + Equation 2.
+  std::vector<RangeInfo> Infos = {
+      info(Range::single(1), 0, 0.5, 2, 0),
+      info(Range::single(2), 1, 0.3, 2, 1),
+      info(Range(3, Range::MaxValue), 2, 0.15, 2, 2),
+      info(Range(Range::MinValue, 0), 2, 0.05, 2, 3),
+  };
+  // Order [0,1] explicit, ranges 2 and 3 eliminated:
+  // cost = .5*2 + .3*4 + (.15+.05)*4 = 1.0 + 1.2 + 0.8 = 3.0
+  double Cost = orderingCost(Infos, {0, 1}, {2, 3});
+  EXPECT_NEAR(Cost, 3.0, 1e-12);
+}
+
+TEST_F(OrderingTest, ZeroProbabilityStillProducesADecision) {
+  std::vector<RangeInfo> Infos = {
+      info(Range::single(1), 0, 0.0, 2, 0),
+      info(Range::single(2), 1, 0.0, 2, 1),
+      info(Range(3, Range::MaxValue), 2, 0.0, 2, 2),
+      info(Range(Range::MinValue, 0), 2, 0.0, 2, 3),
+  };
+  OrderingDecision Decision = selectOrdering(Infos);
+  EXPECT_NE(Decision.DefaultTarget, nullptr);
+  EXPECT_FALSE(Decision.Eliminated.empty());
+}
+
+TEST_F(OrderingTest, SingleTargetDegeneratesToNoTests) {
+  std::vector<RangeInfo> Infos = {
+      info(Range(Range::MinValue, 0), 3, 0.4, 2, 0),
+      info(Range(1, Range::MaxValue), 3, 0.6, 2, 1),
+  };
+  OrderingDecision Decision = selectOrdering(Infos);
+  EXPECT_EQ(Decision.DefaultTarget, Targets[3]);
+  EXPECT_TRUE(Decision.Order.empty());
+  EXPECT_NEAR(Decision.Cost, 0.0, 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: Figure 8 matches the exhaustive oracle (paper §6 reports
+// the same result over all their benchmarks).
+//===----------------------------------------------------------------------===//
+
+struct RandomCaseParams {
+  unsigned Seed;
+  size_t NumRanges;
+};
+
+class OrderingPropertyTest
+    : public ::testing::TestWithParam<RandomCaseParams> {};
+
+TEST_P(OrderingPropertyTest, GreedyMatchesExhaustive) {
+  const auto &Params = GetParam();
+  std::mt19937 Rng(Params.Seed);
+
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  std::vector<BasicBlock *> Targets;
+  for (int Index = 0; Index < 4; ++Index)
+    Targets.push_back(F->createBlock());
+
+  // Build a random partition of the value space into N ranges.
+  size_t N = Params.NumRanges;
+  std::vector<int64_t> Cuts;
+  std::uniform_int_distribution<int64_t> ValueDist(-50, 50);
+  while (Cuts.size() + 1 < N) {
+    int64_t Cut = ValueDist(Rng);
+    if (std::find(Cuts.begin(), Cuts.end(), Cut) == Cuts.end())
+      Cuts.push_back(Cut);
+  }
+  std::sort(Cuts.begin(), Cuts.end());
+  std::vector<Range> Ranges;
+  int64_t Lo = Range::MinValue;
+  for (int64_t Cut : Cuts) {
+    Ranges.push_back(Range(Lo, Cut));
+    Lo = Cut + 1;
+  }
+  Ranges.push_back(Range(Lo, Range::MaxValue));
+
+  // Random weights and targets; ensure at least two targets exist so a
+  // default choice is meaningful.
+  std::uniform_int_distribution<unsigned> TargetDist(0, 3);
+  std::uniform_real_distribution<double> WeightDist(0.0, 1.0);
+  std::vector<RangeInfo> Infos;
+  double TotalWeight = 0.0;
+  for (size_t Index = 0; Index < Ranges.size(); ++Index) {
+    RangeInfo Info;
+    Info.R = Ranges[Index];
+    Info.Target = Targets[Index == 0 ? 0 : TargetDist(Rng)];
+    Info.P = WeightDist(Rng);
+    Info.C = Info.R.branchCount() * 2;
+    Info.OrigIndex = Index;
+    TotalWeight += Info.P;
+    Infos.push_back(Info);
+  }
+  for (RangeInfo &Info : Infos)
+    Info.P /= TotalWeight;
+
+  OrderingDecision Greedy = selectOrdering(Infos);
+  OrderingDecision Oracle = selectOrderingExhaustive(Infos);
+  EXPECT_NEAR(Greedy.Cost, Oracle.Cost, 1e-9)
+      << "greedy ordering is not optimal for seed " << Params.Seed;
+  // The reported cost must also equal the cost function evaluated on the
+  // decision itself.
+  EXPECT_NEAR(Greedy.Cost,
+              orderingCost(Infos, Greedy.Order, Greedy.Eliminated), 1e-9);
+}
+
+std::vector<RandomCaseParams> makeRandomCases() {
+  std::vector<RandomCaseParams> Cases;
+  for (unsigned Seed = 1; Seed <= 40; ++Seed)
+    Cases.push_back({Seed, 2 + Seed % 7}); // 2..8 ranges
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPartitions, OrderingPropertyTest,
+                         ::testing::ValuesIn(makeRandomCases()));
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- tests/core/range_test.cpp - Range and default-cover tests ----------===//
+
+#include "core/Range.h"
+
+#include <gtest/gtest.h>
+
+using namespace bropt;
+
+namespace {
+
+TEST(RangeTest, BasicPredicates) {
+  Range Single = Range::single(42);
+  EXPECT_TRUE(Single.isSingle());
+  EXPECT_TRUE(Single.isBounded());
+  EXPECT_TRUE(Single.contains(42));
+  EXPECT_FALSE(Single.contains(41));
+  EXPECT_EQ(Single.branchCount(), 1u);
+
+  Range Low = Range::upTo(9);
+  EXPECT_FALSE(Low.isBounded());
+  EXPECT_TRUE(Low.contains(Range::MinValue));
+  EXPECT_TRUE(Low.contains(9));
+  EXPECT_FALSE(Low.contains(10));
+  EXPECT_EQ(Low.branchCount(), 1u);
+
+  Range High = Range::from(100);
+  EXPECT_TRUE(High.contains(Range::MaxValue));
+  EXPECT_FALSE(High.contains(99));
+  EXPECT_EQ(High.branchCount(), 1u);
+
+  // Form 4 of paper Table 1: a bounded multi-value range needs two
+  // conditional branches.
+  Range Bounded(10, 20);
+  EXPECT_TRUE(Bounded.isBounded());
+  EXPECT_EQ(Bounded.branchCount(), 2u);
+
+  EXPECT_TRUE(Range().isEmpty());
+  EXPECT_FALSE(Range().contains(0));
+}
+
+TEST(RangeTest, OverlapAndIntersection) {
+  EXPECT_TRUE(Range(1, 10).overlaps(Range(10, 20)));
+  EXPECT_FALSE(Range(1, 9).overlaps(Range(10, 20)));
+  EXPECT_TRUE(Range(5, 6).overlaps(Range(1, 100)));
+  EXPECT_FALSE(Range().overlaps(Range(1, 100)));
+
+  Range Meet = Range(1, 10).intersect(Range(5, 20));
+  EXPECT_EQ(Meet, Range(5, 10));
+  EXPECT_TRUE(Range(1, 3).intersect(Range(5, 9)).isEmpty());
+}
+
+TEST(RangeTest, NonoverlappingHelper) {
+  std::vector<Range> Claimed = {Range::single(32), Range::single(10)};
+  EXPECT_TRUE(nonoverlapping(Range::single(-1), Claimed));
+  EXPECT_FALSE(nonoverlapping(Range(5, 32), Claimed));
+  EXPECT_FALSE(nonoverlapping(Range(), Claimed));
+  EXPECT_TRUE(nonoverlapping(Range(33, Range::MaxValue), Claimed));
+}
+
+TEST(RangeTest, ToStringFormats) {
+  EXPECT_EQ(Range::single(61).toString(), "[61]");
+  EXPECT_EQ(Range(48, 57).toString(), "[48..57]");
+  EXPECT_EQ(Range::upTo(9).toString(), "[..9]");
+  EXPECT_EQ(Range::from(48).toString(), "[48..]");
+  EXPECT_EQ(Range::all().toString(), "[..]");
+  EXPECT_EQ(Range().toString(), "[empty]");
+}
+
+//===----------------------------------------------------------------------===//
+// Default-range cover (paper §5, Figure 7)
+//===----------------------------------------------------------------------===//
+
+TEST(DefaultRangesTest, PaperFigure7Shape) {
+  // Explicit ranges [c1..c2] and [c3..c4] with gaps on both sides and in
+  // the middle produce exactly three default ranges.
+  std::vector<Range> Defaults =
+      computeDefaultRanges({Range(10, 20), Range(30, 40)});
+  ASSERT_EQ(Defaults.size(), 3u);
+  EXPECT_EQ(Defaults[0], Range(Range::MinValue, 9));
+  EXPECT_EQ(Defaults[1], Range(21, 29));
+  EXPECT_EQ(Defaults[2], Range(41, Range::MaxValue));
+}
+
+TEST(DefaultRangesTest, UnsortedInputIsSorted) {
+  std::vector<Range> Defaults =
+      computeDefaultRanges({Range(30, 40), Range(10, 20)});
+  ASSERT_EQ(Defaults.size(), 3u);
+  EXPECT_EQ(Defaults[1], Range(21, 29));
+}
+
+TEST(DefaultRangesTest, AdjacentRangesLeaveNoGap) {
+  std::vector<Range> Defaults =
+      computeDefaultRanges({Range(10, 20), Range(21, 30)});
+  ASSERT_EQ(Defaults.size(), 2u);
+  EXPECT_EQ(Defaults[0], Range(Range::MinValue, 9));
+  EXPECT_EQ(Defaults[1], Range(31, Range::MaxValue));
+}
+
+TEST(DefaultRangesTest, CoversEdgesOfTheValueSpace) {
+  std::vector<Range> Defaults = computeDefaultRanges(
+      {Range(Range::MinValue, 0), Range(100, Range::MaxValue)});
+  ASSERT_EQ(Defaults.size(), 1u);
+  EXPECT_EQ(Defaults[0], Range(1, 99));
+}
+
+TEST(DefaultRangesTest, FullCoverYieldsNothing) {
+  EXPECT_TRUE(computeDefaultRanges({Range::all()}).empty());
+}
+
+TEST(DefaultRangesTest, EmptyExplicitCoversEverything) {
+  std::vector<Range> Defaults = computeDefaultRanges({});
+  ASSERT_EQ(Defaults.size(), 1u);
+  EXPECT_EQ(Defaults[0], Range::all());
+}
+
+TEST(DefaultRangesTest, PartitionProperty) {
+  // Explicit + default ranges partition the space: every probe value lies
+  // in exactly one range.
+  std::vector<Range> Explicit = {Range::single(32), Range(48, 57),
+                                 Range::single(10), Range(65, 90)};
+  std::vector<Range> Defaults = computeDefaultRanges(Explicit);
+  std::vector<Range> All = Explicit;
+  All.insert(All.end(), Defaults.begin(), Defaults.end());
+  for (int64_t Probe : {Range::MinValue, int64_t{-1}, int64_t{0},
+                        int64_t{10}, int64_t{11}, int64_t{32}, int64_t{47},
+                        int64_t{48}, int64_t{57}, int64_t{58}, int64_t{64},
+                        int64_t{65}, int64_t{90}, int64_t{91},
+                        Range::MaxValue}) {
+    int Hits = 0;
+    for (const Range &R : All)
+      if (R.contains(Probe))
+        ++Hits;
+    EXPECT_EQ(Hits, 1) << "probe " << Probe;
+  }
+}
+
+} // namespace

@@ -1,0 +1,399 @@
+//===- tests/core/reorder_test.cpp - End-to-end reordering tests ----------===//
+
+#include "core/Reorder.h"
+
+#include "driver/Driver.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "sim/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace bropt;
+
+namespace {
+
+RunResult runOn(Module &M, std::string_view Input) {
+  Interpreter Interp(M);
+  Interp.setInput(Input);
+  RunResult Result = Interp.run();
+  EXPECT_FALSE(Result.Trapped) << Result.TrapReason;
+  return Result;
+}
+
+/// Compiles baseline and reordered variants, checks they agree on the test
+/// input, and returns (baseline counts, reordered counts).
+struct Comparison {
+  RunResult Baseline;
+  RunResult Reordered;
+  ReorderStats Stats;
+};
+
+Comparison compare(std::string_view Source, std::string_view TrainInput,
+                   std::string_view TestInput,
+                   CompileOptions Options = {}) {
+  Comparison Result;
+  CompileResult Baseline = compileBaseline(Source, Options);
+  EXPECT_TRUE(Baseline.ok()) << Baseline.Error;
+  CompileResult Reordered =
+      compileWithReordering(Source, TrainInput, Options);
+  EXPECT_TRUE(Reordered.ok()) << Reordered.Error;
+  if (!Baseline.ok() || !Reordered.ok())
+    return Result;
+
+  Result.Baseline = runOn(*Baseline.M, TestInput);
+  Result.Reordered = runOn(*Reordered.M, TestInput);
+  Result.Stats = Reordered.Stats;
+  EXPECT_EQ(Result.Baseline.ExitValue, Result.Reordered.ExitValue);
+  EXPECT_EQ(Result.Baseline.Output, Result.Reordered.Output);
+  return Result;
+}
+
+/// The paper's Figure 1 program: classify characters from input.
+const char *Figure1Source = R"(
+  int x = 0; int y = 0; int z = 0;
+  int main() {
+    int c;
+    while ((c = getchar()) != -1) {
+      if (c == ' ')
+        y = y + 1;
+      else if (c == '\n')
+        x = x + 1;
+      else
+        z = z + 1;
+    }
+    printint(x); printint(y); printint(z);
+    return 0;
+  }
+)";
+
+/// Text where ordinary characters dominate blanks and newlines — the
+/// distribution that motivates Figure 1(c).
+std::string ordinaryText(unsigned Seed, size_t Length) {
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<int> Dist(0, 99);
+  std::string Text;
+  for (size_t Index = 0; Index < Length; ++Index) {
+    int Roll = Dist(Rng);
+    if (Roll < 15)
+      Text.push_back(' ');
+    else if (Roll < 18)
+      Text.push_back('\n');
+    else
+      Text.push_back(static_cast<char>('a' + Roll % 26));
+  }
+  return Text;
+}
+
+TEST(ReorderTest, Figure1ImprovesAndPreservesBehaviour) {
+  std::string Train = ordinaryText(1, 4000);
+  std::string Test = ordinaryText(2, 4000);
+  Comparison Result = compare(Figure1Source, Train, Test);
+  ASSERT_EQ(Result.Stats.Reordered, 1u);
+  // Ordinary characters dominate, so testing "> blank" first must reduce
+  // both executed branches and instructions, as the paper's Figure 1(c)
+  // argues.
+  EXPECT_LT(Result.Reordered.Counts.CondBranches,
+            Result.Baseline.Counts.CondBranches);
+  EXPECT_LT(Result.Reordered.Counts.TotalInsts,
+            Result.Baseline.Counts.TotalInsts);
+}
+
+TEST(ReorderTest, SkewedTrainingMatchesSkewedTest) {
+  // Input that is almost all blanks: the blank test should go first and
+  // the reordered program should still win.
+  std::string Blanky(5000, ' ');
+  for (size_t Index = 0; Index < Blanky.size(); Index += 100)
+    Blanky[Index] = 'q';
+  Comparison Result = compare(Figure1Source, Blanky, Blanky);
+  ASSERT_EQ(Result.Stats.Reordered, 1u);
+  EXPECT_LE(Result.Reordered.Counts.CondBranches,
+            Result.Baseline.Counts.CondBranches);
+}
+
+TEST(ReorderTest, MismatchedTrainingCanRegressButStaysCorrect) {
+  // Train on blanks, test on letters: correctness must hold regardless
+  // (the paper's hyphen datapoint shows small regressions are possible).
+  std::string Train(3000, ' ');
+  std::string Test = ordinaryText(7, 3000);
+  compare(Figure1Source, Train, Test);
+}
+
+TEST(ReorderTest, NeverExecutedSequenceIsSkipped) {
+  // The guarded classifier never runs under the training input; the paper
+  // notes unexecuted sequences were the main reason detection did not
+  // lead to reordering.
+  const char *Source = R"(
+    int main() {
+      int flag = getchar();
+      int c = getchar();
+      if (flag == 1000) {     // bytes are 0..255: never true
+        if (c == 'a') return 1;
+        if (c == 'b') return 2;
+        if (c == 'c') return 3;
+      }
+      return 0;
+    }
+  )";
+  CompileResult Result = compileWithReordering(Source, "xy", {});
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  EXPECT_EQ(Result.Stats.Reordered, 0u);
+  EXPECT_EQ(Result.Stats.NeverExecuted, Result.Stats.Detected);
+  EXPECT_GT(Result.Stats.Detected, 0u);
+}
+
+TEST(ReorderTest, SideEffectsAreDuplicatedCorrectly) {
+  // A store and an I/O call sit between the conditions; Theorem 2 moves
+  // them onto the exit edges.  Differential output checks every path.
+  const char *Source = R"(
+    int effects = 0;
+    int main() {
+      int c;
+      while ((c = getchar()) != -1) {
+        if (c == 'a') {
+          putchar('A');
+        } else {
+          effects = effects + 1;    // side effect before the second test
+          if (c == 'b')
+            putchar('B');
+          else if (c == 'c')
+            putchar('C');
+          else
+            putchar('.');
+        }
+      }
+      printint(effects);
+      return effects;
+    }
+  )";
+  // Train so that 'c' dominates: the reordered sequence must still run the
+  // side effect exactly once per non-'a' character.
+  std::string Train(2000, 'c');
+  std::string Test = "abcabcxyzccc";
+  Comparison Result = compare(Source, Train, Test);
+  EXPECT_GE(Result.Stats.Reordered, 1u);
+}
+
+TEST(ReorderTest, ReadCharSideEffectsKeepInputPosition) {
+  // getchar() between conditions consumes input; duplication must keep
+  // exactly one consumption per path.
+  const char *Source = R"(
+    int main() {
+      int total = 0;
+      int c;
+      int d;
+      while ((c = getchar()) != -1) {
+        if (c == 'q')
+          break;
+        d = getchar();          // side effect: belongs between tests
+        if (c == 'x')
+          total += d;
+        else if (c == 'y')
+          total -= d;
+      }
+      return total;
+    }
+  )";
+  std::string Train = "xaybxcq";
+  std::string Test = "x1y2x3zzy4q";
+  compare(Source, Train, Test);
+}
+
+TEST(ReorderTest, DefaultRangeBecomesExplicit) {
+  // Characters above blank dominate; the winning order tests a default
+  // range first, exactly the Figure 1(c) trick.  That shows up as the
+  // reordered sequence being longer than the original.
+  std::string Train = ordinaryText(3, 4000);
+  CompileResult Result = compileWithReordering(Figure1Source, Train, {});
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  ASSERT_EQ(Result.Stats.Lengths.size(), 1u);
+  auto [Before, After] = Result.Stats.Lengths[0];
+  EXPECT_EQ(Before, 3u);
+  EXPECT_GT(After, Before)
+      << "expected promoted default ranges to lengthen the sequence";
+}
+
+TEST(ReorderTest, ExhaustiveSelectionAgreesWithGreedy) {
+  std::string Train = ordinaryText(4, 3000);
+  std::string Test = ordinaryText(5, 3000);
+  CompileOptions Greedy;
+  CompileOptions Exhaustive;
+  Exhaustive.Reorder.UseExhaustiveSelection = true;
+
+  CompileResult A = compileWithReordering(Figure1Source, Train, Greedy);
+  CompileResult B = compileWithReordering(Figure1Source, Train, Exhaustive);
+  ASSERT_TRUE(A.ok() && B.ok()) << A.Error << B.Error;
+  RunResult RunA = runOn(*A.M, Test);
+  RunResult RunB = runOn(*B.M, Test);
+  EXPECT_EQ(RunA.Output, RunB.Output);
+  EXPECT_EQ(RunA.Counts.TotalInsts, RunB.Counts.TotalInsts)
+      << "greedy and exhaustive selection should pick equal-cost orders";
+}
+
+TEST(ReorderTest, SwitchLinearSearchGetsReordered) {
+  const char *Source = R"(
+    int main() {
+      int hist0 = 0; int hist1 = 0; int hist2 = 0; int other = 0;
+      int c;
+      while ((c = getchar()) != -1) {
+        switch (c) {
+        case 'a': hist0 += 1; break;
+        case 'e': hist1 += 1; break;
+        case 'z': hist2 += 1; break;
+        default: other += 1;
+        }
+      }
+      printint(hist0); printint(hist1); printint(hist2); printint(other);
+      return 0;
+    }
+  )";
+  // 'z' dominates although it is tested last in source order.
+  std::string Train;
+  std::mt19937 Rng(11);
+  for (int Index = 0; Index < 3000; ++Index) {
+    int Roll = std::uniform_int_distribution<int>(0, 9)(Rng);
+    Train.push_back(Roll < 7 ? 'z' : (Roll < 8 ? 'a' : 'e'));
+  }
+  CompileOptions Options;
+  Options.HeuristicSet = SwitchHeuristicSet::SetIII;
+  Comparison Result = compare(Source, Train, Train, Options);
+  ASSERT_GE(Result.Stats.Reordered, 1u);
+  EXPECT_LT(Result.Reordered.Counts.CondBranches,
+            Result.Baseline.Counts.CondBranches);
+}
+
+TEST(ReorderTest, BoundedRangeConditionsSurviveRoundTrip) {
+  const char *Source = R"(
+    int digits = 0; int lowers = 0; int uppers = 0; int others = 0;
+    int main() {
+      int c;
+      while ((c = getchar()) != -1) {
+        if (c >= '0' && c <= '9')
+          digits += 1;
+        else if (c >= 'a' && c <= 'z')
+          lowers += 1;
+        else if (c >= 'A' && c <= 'Z')
+          uppers += 1;
+        else
+          others += 1;
+      }
+      printint(digits); printint(lowers); printint(uppers); printint(others);
+      return 0;
+    }
+  )";
+  std::string Train = ordinaryText(21, 5000); // lowercase dominates
+  std::string Test = ordinaryText(22, 5000);
+  Comparison Result = compare(Source, Train, Test);
+  ASSERT_GE(Result.Stats.Reordered, 1u);
+  // Lowercase dominating means testing [a..z] first wins.
+  EXPECT_LT(Result.Reordered.Counts.CondBranches,
+            Result.Baseline.Counts.CondBranches);
+}
+
+TEST(ReorderTest, ProfileRoundTripSurvivesSerialization) {
+  std::string Train = ordinaryText(31, 1000);
+  CompileResult Result = compileWithReordering(Figure1Source, Train, {});
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  EXPECT_FALSE(Result.ProfileText.empty());
+  ProfileData Profile;
+  EXPECT_TRUE(Profile.deserialize(Result.ProfileText));
+  EXPECT_EQ(Profile.serialize(), Result.ProfileText);
+}
+
+TEST(ReorderTest, StaleProfileIsRejectedNotMisapplied) {
+  // Collect a profile for one program and apply it to a different one by
+  // abusing the pass-2 entry points directly.
+  CompileOptions Options;
+  Pass1Result Pass1 = runPass1(Figure1Source, ordinaryText(41, 500), Options);
+  ASSERT_TRUE(Pass1.ok()) << Pass1.Error;
+
+  const char *OtherSource = R"(
+    int main() {
+      int c = getchar();
+      if (c == 5) return 1;
+      if (c == 6) return 2;
+      return 3;
+    }
+  )";
+  CompileResult Other = compileBaseline(OtherSource, Options);
+  ASSERT_TRUE(Other.ok());
+  std::vector<RangeSequence> Seqs = detectSequences(*Other.M);
+  ASSERT_EQ(Seqs.size(), 1u);
+  ReorderStats Stats;
+  SequenceOutcome Outcome =
+      reorderSequence(Seqs[0], Pass1.Profile, ReorderOptions{}, &Stats);
+  EXPECT_EQ(Outcome, SequenceOutcome::ProfileMismatch);
+  EXPECT_EQ(Stats.Reordered, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized differential property test
+//===----------------------------------------------------------------------===//
+
+class RandomClassifierTest : public ::testing::TestWithParam<unsigned> {};
+
+/// Generates a random classifier over single characters and ranges, with
+/// random side effects between conditions, then checks baseline and
+/// reordered builds agree on fresh random input.
+TEST_P(RandomClassifierTest, DifferentialAgreement) {
+  unsigned Seed = GetParam();
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<int> CharDist(1, 120);
+  std::uniform_int_distribution<int> KindDist(0, 3);
+
+  std::string Source = "int fx = 0;\nint main() {\n  int c;\n  int acc = 0;\n"
+                       "  while ((c = getchar()) != -1) {\n";
+  // Build 3-6 nonoverlapping tests over ASCII.
+  int NumTests = 3 + static_cast<int>(Rng() % 4);
+  std::vector<std::pair<int, int>> Used;
+  std::string Chain;
+  for (int Index = 0; Index < NumTests; ++Index) {
+    int Lo = CharDist(Rng);
+    int Hi = KindDist(Rng) == 0 ? Lo + static_cast<int>(Rng() % 8) : Lo;
+    bool Overlapping = false;
+    for (auto [ULo, UHi] : Used)
+      if (Lo <= UHi && ULo <= Hi)
+        Overlapping = true;
+    if (Overlapping) {
+      --Index;
+      continue;
+    }
+    Used.push_back({Lo, Hi});
+    std::string Cond =
+        Lo == Hi ? "c == " + std::to_string(Lo)
+                 : "c >= " + std::to_string(Lo) +
+                       " && c <= " + std::to_string(Hi);
+    Chain += std::string(Index == 0 ? "    if (" : "    else if (") + Cond +
+             ")\n      acc += " + std::to_string(Index + 1) + ";\n";
+    // Random side effect between some conditions (kept outside the if/else
+    // chain to stay a side effect of the *sequence* head instead).
+  }
+  Chain += "    else\n      acc -= 1;\n";
+  Source += "    fx = fx + 1;\n" + Chain + "  }\n"
+            "  printint(acc); printint(fx);\n  return acc;\n}\n";
+
+  auto randomInput = [&](unsigned InputSeed) {
+    std::mt19937 InputRng(InputSeed);
+    std::string Text;
+    // Skew toward values in the used ranges so training is informative.
+    for (int Index = 0; Index < 2000; ++Index) {
+      if (!Used.empty() && InputRng() % 3 == 0) {
+        auto [Lo, Hi] = Used[InputRng() % Used.size()];
+        Text.push_back(static_cast<char>(
+            Lo + static_cast<int>(InputRng() % (Hi - Lo + 1))));
+      } else {
+        Text.push_back(static_cast<char>(1 + InputRng() % 120));
+      }
+    }
+    return Text;
+  };
+
+  compare(Source, randomInput(Seed * 2 + 1), randomInput(Seed * 2 + 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomClassifierTest,
+                         ::testing::Range(1u, 25u));
+
+} // namespace

@@ -1,0 +1,321 @@
+//===- tests/lang/frontend_test.cpp - Front-end + interpreter smoke tests -===//
+
+#include "lang/Lowering.h"
+
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "sim/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace bropt;
+
+namespace {
+
+/// Compiles \p Source, asserting front-end success and verifier cleanliness.
+std::unique_ptr<Module> compileOrDie(std::string_view Source) {
+  std::string Errors;
+  std::unique_ptr<Module> M = compileSource(Source, &Errors);
+  EXPECT_TRUE(M) << Errors;
+  if (!M)
+    return nullptr;
+  std::string VerifyErrors;
+  EXPECT_TRUE(verifyModule(*M, &VerifyErrors))
+      << VerifyErrors << "\n"
+      << printModule(*M);
+  return M;
+}
+
+RunResult runProgram(Module &M, std::string_view Input = "") {
+  Interpreter Interp(M);
+  Interp.setInput(Input);
+  RunResult Result = Interp.run();
+  EXPECT_FALSE(Result.Trapped) << Result.TrapReason;
+  return Result;
+}
+
+TEST(FrontendTest, ReturnsConstant) {
+  auto M = compileOrDie("int main() { return 42; }");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 42);
+}
+
+TEST(FrontendTest, ArithmeticAndLocals) {
+  auto M = compileOrDie(R"(
+    int main() {
+      int a = 6;
+      int b = 7;
+      int c = a * b + 1;
+      c -= 1;
+      return c / 1;
+    }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 42);
+}
+
+TEST(FrontendTest, WhileLoopSum) {
+  auto M = compileOrDie(R"(
+    int main() {
+      int i = 0;
+      int sum = 0;
+      while (i < 10) {
+        sum += i;
+        i++;
+      }
+      return sum;
+    }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 45);
+}
+
+TEST(FrontendTest, ForLoopWithBreakContinue) {
+  auto M = compileOrDie(R"(
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0)
+          continue;
+        if (i > 10)
+          break;
+        sum += i;
+      }
+      return sum;   // 1+3+5+7+9 = 25
+    }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 25);
+}
+
+TEST(FrontendTest, DoWhileRunsBodyOnce) {
+  auto M = compileOrDie(R"(
+    int main() {
+      int n = 0;
+      do { n++; } while (n < 0);
+      return n;
+    }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 1);
+}
+
+TEST(FrontendTest, ShortCircuitAndOr) {
+  auto M = compileOrDie(R"(
+    int g = 0;
+    int bump() { g = g + 1; return 1; }
+    int main() {
+      if (0 && bump()) { }
+      if (1 || bump()) { }
+      return g;   // neither call should run
+    }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 0);
+}
+
+TEST(FrontendTest, ComparisonAsValue) {
+  auto M = compileOrDie(R"(
+    int main() {
+      int a = (3 < 5) + (5 < 3) + (7 == 7);
+      return a;
+    }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 2);
+}
+
+TEST(FrontendTest, TernaryExpression) {
+  auto M = compileOrDie(R"(
+    int pick(int x) { return x > 0 ? 10 : 20; }
+    int main() { return pick(5) + pick(-5); }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 30);
+}
+
+TEST(FrontendTest, GlobalScalarsAndArrays) {
+  auto M = compileOrDie(R"(
+    int counter = 5;
+    int table[4] = { 10, 20, 30 };
+    int main() {
+      table[3] = counter;
+      counter = counter + table[0];
+      return counter * 100 + table[3];   // 1500 + 5
+    }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 1505);
+}
+
+TEST(FrontendTest, FunctionCallsAndRecursion) {
+  auto M = compileOrDie(R"(
+    int fib(int n) {
+      if (n < 2) return n;
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(10); }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 55);
+}
+
+TEST(FrontendTest, CharIOEcho) {
+  auto M = compileOrDie(R"(
+    int main() {
+      int c;
+      while ((c = getchar()) != -1)
+        putchar(c);
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(M);
+  RunResult Result = runProgram(*M, "hello");
+  EXPECT_EQ(Result.Output, "hello");
+}
+
+TEST(FrontendTest, PrintIntOutputsDecimal) {
+  auto M = compileOrDie("int main() { printint(-37); return 0; }");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).Output, "-37\n");
+}
+
+TEST(FrontendTest, SwitchWithFallthroughAndDefault) {
+  auto M = compileOrDie(R"(
+    int classify(int c) {
+      int kind = 0;
+      switch (c) {
+      case 1:
+      case 2:
+        kind = 12;
+        break;
+      case 3:
+        kind = 3;
+        // falls through
+      case 4:
+        kind += 100;
+        break;
+      default:
+        kind = -1;
+      }
+      return kind;
+    }
+    int main() {
+      return classify(1) * 1000000 + classify(3) * 1000 + classify(9);
+    }
+  )");
+  ASSERT_TRUE(M);
+  // classify(1)=12, classify(3)=103, classify(9)=-1
+  EXPECT_EQ(runProgram(*M).ExitValue, 12 * 1000000 + 103 * 1000 - 1);
+}
+
+TEST(FrontendTest, SwitchInterpretedDirectly) {
+  auto M = compileOrDie(R"(
+    int main() {
+      int total = 0;
+      for (int i = 0; i < 6; i++)
+        switch (i) {
+        case 0: total += 1; break;
+        case 2: total += 10; break;
+        case 5: total += 100; break;
+        }
+      return total;
+    }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 111);
+}
+
+TEST(FrontendTest, ReorderableComparisonChainFromFigure1) {
+  // The paper's Figure 1 idiom: classify characters read from input.
+  auto M = compileOrDie(R"(
+    int blanks = 0;
+    int newlines = 0;
+    int others = 0;
+    int main() {
+      int c;
+      while ((c = getchar()) != -1) {
+        if (c == ' ')
+          blanks++;
+        else if (c == '\n')
+          newlines++;
+        else
+          others++;
+      }
+      return blanks * 100 + newlines * 10 + others;
+    }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M, "a b\ncd e\n").ExitValue, 2 * 100 + 2 * 10 + 5);
+}
+
+TEST(FrontendTest, IncDecSemantics) {
+  auto M = compileOrDie(R"(
+    int main() {
+      int x = 5;
+      int a = x++;   // a=5 x=6
+      int b = ++x;   // b=7 x=7
+      int c = x--;   // c=7 x=6
+      int d = --x;   // d=5 x=5
+      return a * 1000 + b * 100 + c * 10 + d - x * 10000;  // 5775 - 50000
+    }
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runProgram(*M).ExitValue, 5 * 1000 + 7 * 100 + 7 * 10 + 5 - 50000);
+}
+
+TEST(FrontendTest, DivisionByZeroTraps) {
+  auto M = compileOrDie("int main() { int z = 0; return 5 / z; }");
+  ASSERT_TRUE(M);
+  Interpreter Interp(*M);
+  RunResult Result = Interp.run();
+  EXPECT_TRUE(Result.Trapped);
+  EXPECT_NE(Result.TrapReason.find("zero"), std::string::npos);
+}
+
+TEST(FrontendTest, ParseErrorReported) {
+  std::string Errors;
+  EXPECT_FALSE(compileSource("int main( { return 0; }", &Errors));
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(FrontendTest, SemaRejectsUndeclared) {
+  std::string Errors;
+  EXPECT_FALSE(compileSource("int main() { return nope; }", &Errors));
+  EXPECT_NE(Errors.find("undeclared"), std::string::npos);
+}
+
+TEST(FrontendTest, SemaRejectsDuplicateCase) {
+  std::string Errors;
+  EXPECT_FALSE(compileSource(
+      "int main() { switch (1) { case 1: break; case 1: break; } return 0; }",
+      &Errors));
+  EXPECT_NE(Errors.find("duplicate case"), std::string::npos);
+}
+
+TEST(FrontendTest, SemaRejectsBreakOutsideLoop) {
+  std::string Errors;
+  EXPECT_FALSE(compileSource("int main() { break; return 0; }", &Errors));
+  EXPECT_NE(Errors.find("break"), std::string::npos);
+}
+
+TEST(FrontendTest, DynamicCountsAreTracked) {
+  auto M = compileOrDie(R"(
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 5; i++)
+        sum += i;
+      return sum;
+    }
+  )");
+  ASSERT_TRUE(M);
+  Interpreter Interp(*M);
+  RunResult Result = Interp.run();
+  EXPECT_FALSE(Result.Trapped);
+  EXPECT_GT(Result.Counts.TotalInsts, 0u);
+  EXPECT_EQ(Result.Counts.CondBranches, 6u); // 5 iterations + 1 exit test
+}
+
+} // namespace

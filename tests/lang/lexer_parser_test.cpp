@@ -1,0 +1,254 @@
+//===- tests/lang/lexer_parser_test.cpp - Front-end unit tests ------------===//
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace bropt;
+
+namespace {
+
+std::vector<Token> lexNoEOF(std::string_view Source) {
+  std::vector<Token> Tokens = lexSource(Source);
+  EXPECT_FALSE(Tokens.empty());
+  EXPECT_TRUE(Tokens.back().is(TokenKind::EndOfFile));
+  Tokens.pop_back();
+  return Tokens;
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Tokens = lexNoEOF("int foo while whileX _x switch default");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::KwInt));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Identifier));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::KwWhile));
+  EXPECT_TRUE(Tokens[3].is(TokenKind::Identifier)); // not a keyword prefix
+  EXPECT_TRUE(Tokens[4].is(TokenKind::Identifier));
+  EXPECT_TRUE(Tokens[5].is(TokenKind::KwSwitch));
+  EXPECT_TRUE(Tokens[6].is(TokenKind::KwDefault));
+}
+
+TEST(LexerTest, NumbersAndCharLiterals) {
+  auto Tokens = lexNoEOF("0 42 'a' '\\n' '\\t' '\\\\' '\\''");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 'a');
+  EXPECT_EQ(Tokens[3].IntValue, '\n');
+  EXPECT_EQ(Tokens[4].IntValue, '\t');
+  EXPECT_EQ(Tokens[5].IntValue, '\\');
+  EXPECT_EQ(Tokens[6].IntValue, '\'');
+  for (const Token &Tok : Tokens)
+    EXPECT_TRUE(Tok.is(TokenKind::IntLiteral));
+}
+
+TEST(LexerTest, OperatorsMaximalMunch) {
+  auto Tokens = lexNoEOF("<= < << >= > >> == = != ! && & || | ++ + -- - += -=");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LessEq,    TokenKind::Less,      TokenKind::Shl,
+      TokenKind::GreaterEq, TokenKind::Greater,   TokenKind::Shr,
+      TokenKind::EqEq,      TokenKind::Assign,    TokenKind::NotEq,
+      TokenKind::Not,       TokenKind::AmpAmp,    TokenKind::Amp,
+      TokenKind::PipePipe,  TokenKind::Pipe,      TokenKind::PlusPlus,
+      TokenKind::Plus,      TokenKind::MinusMinus, TokenKind::Minus,
+      TokenKind::PlusAssign, TokenKind::MinusAssign};
+  ASSERT_EQ(Tokens.size(), Expected.size());
+  for (size_t Index = 0; Index < Expected.size(); ++Index)
+    EXPECT_TRUE(Tokens[Index].is(Expected[Index])) << Index;
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Tokens = lexNoEOF("a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto Tokens = lexNoEOF("a\nb\n\nc");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[1].Line, 2u);
+  EXPECT_EQ(Tokens[2].Line, 4u);
+}
+
+TEST(LexerTest, ErrorsAreTokensNotCrashes) {
+  std::vector<Token> Tokens = lexSource("a @ b '");
+  bool SawError = false;
+  for (const Token &Tok : Tokens)
+    SawError |= Tok.is(TokenKind::Error);
+  EXPECT_TRUE(SawError);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TranslationUnit parseOK(std::string_view Source) {
+  TranslationUnit Unit;
+  std::vector<Diagnostic> Diags;
+  EXPECT_TRUE(parseSource(Source, Unit, Diags)) << renderDiagnostics(Diags);
+  return Unit;
+}
+
+std::vector<Diagnostic> parseFail(std::string_view Source) {
+  TranslationUnit Unit;
+  std::vector<Diagnostic> Diags;
+  EXPECT_FALSE(parseSource(Source, Unit, Diags));
+  EXPECT_FALSE(Diags.empty());
+  return Diags;
+}
+
+TEST(ParserTest, GlobalsAndFunctions) {
+  TranslationUnit Unit = parseOK(R"(
+    int x;
+    int y = -3;
+    int arr[8] = { 1, 2, -3 };
+    void act(int a) { }
+    int f(int a, int b) { return a + b; }
+    int main() { return f(1, 2); }
+  )");
+  ASSERT_EQ(Unit.Globals.size(), 3u);
+  EXPECT_FALSE(Unit.Globals[0].ArraySize.has_value());
+  EXPECT_EQ(Unit.Globals[1].Init, (std::vector<int64_t>{-3}));
+  EXPECT_EQ(*Unit.Globals[2].ArraySize, 8u);
+  EXPECT_EQ(Unit.Globals[2].Init, (std::vector<int64_t>{1, 2, -3}));
+  ASSERT_EQ(Unit.Functions.size(), 3u);
+  EXPECT_FALSE(Unit.Functions[0].ReturnsValue);
+  EXPECT_EQ(Unit.Functions[1].Params.size(), 2u);
+}
+
+TEST(ParserTest, PrecedenceShapesTheTree) {
+  TranslationUnit Unit = parseOK("int main() { return 1 + 2 * 3; }");
+  const auto *Ret = dyn_cast<ReturnStmt>(
+      cast<BlockStmt>(Unit.Functions[0].Body.get())->getStmts()[0].get());
+  ASSERT_TRUE(Ret);
+  const auto *Add = dyn_cast<BinaryExpr>(Ret->getValue());
+  ASSERT_TRUE(Add);
+  EXPECT_EQ(Add->getOp(), BinOpKind::Add);
+  const auto *Mul = dyn_cast<BinaryExpr>(Add->getRhs());
+  ASSERT_TRUE(Mul);
+  EXPECT_EQ(Mul->getOp(), BinOpKind::Mul);
+}
+
+TEST(ParserTest, LogicalBindsLooserThanComparison) {
+  TranslationUnit Unit =
+      parseOK("int main() { return 1 < 2 && 3 == 3 || 0; }");
+  const auto *Ret = dyn_cast<ReturnStmt>(
+      cast<BlockStmt>(Unit.Functions[0].Body.get())->getStmts()[0].get());
+  const auto *Or = dyn_cast<BinaryExpr>(Ret->getValue());
+  ASSERT_TRUE(Or);
+  EXPECT_EQ(Or->getOp(), BinOpKind::LogicalOr);
+  const auto *And = dyn_cast<BinaryExpr>(Or->getLhs());
+  ASSERT_TRUE(And);
+  EXPECT_EQ(And->getOp(), BinOpKind::LogicalAnd);
+}
+
+TEST(ParserTest, SwitchSectionsAndLabels) {
+  TranslationUnit Unit = parseOK(R"(
+    int main() {
+      switch (3) {
+      case 1:
+      case 2:
+        return 12;
+      default:
+      case -5:
+        return 0;
+      }
+    }
+  )");
+  const auto *Switch = dyn_cast<SwitchStmt>(
+      cast<BlockStmt>(Unit.Functions[0].Body.get())->getStmts()[0].get());
+  ASSERT_TRUE(Switch);
+  ASSERT_EQ(Switch->getSections().size(), 2u);
+  EXPECT_EQ(Switch->getSections()[0].Labels.size(), 2u);
+  EXPECT_FALSE(Switch->getSections()[1].Labels[0].has_value()); // default
+  EXPECT_EQ(*Switch->getSections()[1].Labels[1], -5);
+}
+
+TEST(ParserTest, RecoversAndReportsMultipleErrors) {
+  std::vector<Diagnostic> Diags = parseFail(R"(
+    int main() {
+      int a = ;
+      int b = 3;
+      return * 2;
+    }
+  )");
+  EXPECT_GE(Diags.size(), 2u) << renderDiagnostics(Diags);
+}
+
+TEST(ParserTest, RejectsTopLevelGarbage) {
+  parseFail("banana;");
+  parseFail("int 5x;");
+  parseFail("int f(int) { }"); // parameter needs a name
+}
+
+//===----------------------------------------------------------------------===//
+// Sema
+//===----------------------------------------------------------------------===//
+
+std::string semaErrors(std::string_view Source) {
+  TranslationUnit Unit;
+  std::vector<Diagnostic> Diags;
+  if (!parseSource(Source, Unit, Diags))
+    return "parse failed";
+  analyzeUnit(Unit, Diags);
+  return renderDiagnostics(Diags);
+}
+
+TEST(SemaTest, DetectsDuplicatesAndShadowRules) {
+  EXPECT_NE(semaErrors("int x; int x; int main() { return 0; }")
+                .find("duplicate"),
+            std::string::npos);
+  EXPECT_NE(semaErrors("int f() { return 0; } int f() { return 1; } "
+                       "int main() { return 0; }")
+                .find("duplicate"),
+            std::string::npos);
+  EXPECT_NE(semaErrors("int main() { int a; int a; return 0; }")
+                .find("redeclaration"),
+            std::string::npos);
+  // Shadowing in a nested scope is allowed.
+  EXPECT_EQ(semaErrors("int main() { int a; { int a; } return 0; }"), "");
+}
+
+TEST(SemaTest, ChecksCallsAndArrays) {
+  EXPECT_NE(semaErrors("int f(int a) { return a; } "
+                       "int main() { return f(); }")
+                .find("argument"),
+            std::string::npos);
+  EXPECT_NE(semaErrors("int main() { return getchar(1); }").find("argument"),
+            std::string::npos);
+  EXPECT_NE(semaErrors("int a[4]; int main() { return a; }").find("index"),
+            std::string::npos);
+  EXPECT_NE(semaErrors("int main() { int s; return s[0]; }").find("scalar"),
+            std::string::npos);
+  EXPECT_NE(
+      semaErrors("int main() { return nothere(); }").find("undeclared"),
+      std::string::npos);
+}
+
+TEST(SemaTest, ChecksLValuesAndBuiltins) {
+  EXPECT_NE(semaErrors("int main() { 3 = 4; return 0; }").find("assignable"),
+            std::string::npos);
+  EXPECT_NE(semaErrors("int main() { (1 + 2)++; return 0; }")
+                .find("assignable"),
+            std::string::npos);
+  EXPECT_NE(semaErrors("int getchar; int main() { return 0; }")
+                .find("built-in"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ContinueRequiresLoopButBreakAllowsSwitch) {
+  EXPECT_NE(semaErrors("int main() { switch (1) { case 1: continue; } "
+                       "return 0; }")
+                .find("continue"),
+            std::string::npos);
+  EXPECT_EQ(semaErrors("int main() { switch (1) { case 1: break; } "
+                       "return 0; }"),
+            "");
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+//===- tests/profile/profile_test.cpp - Profile storage tests -------------===//
+
+#include "profile/ProfileData.h"
+
+#include "core/Instrumentation.h"
+#include "core/SequenceDetection.h"
+#include "support/Strings.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace bropt;
+
+namespace {
+
+TEST(ProfileDataTest, RegisterIncrementLookup) {
+  ProfileData Data;
+  Data.registerSequence(3, "main", "sig3", 4);
+  Data.increment(3, 0);
+  Data.increment(3, 2, 10);
+  const SequenceProfile *Record = Data.lookup(3);
+  ASSERT_TRUE(Record);
+  EXPECT_EQ(Record->FunctionName, "main");
+  EXPECT_EQ(Record->Signature, "sig3");
+  EXPECT_EQ(Record->BinCounts,
+            (std::vector<uint64_t>{1, 0, 10, 0}));
+  EXPECT_EQ(Record->totalExecutions(), 11u);
+  EXPECT_EQ(Data.lookup(99), nullptr);
+}
+
+TEST(ProfileDataTest, SerializationRoundTrip) {
+  ProfileData Data;
+  Data.registerSequence(0, "main", "main/r0[1][2]", 3);
+  Data.registerSequence(7, "helper", "helper/r2[..5][9..]", 2);
+  Data.increment(0, 1, 12345);
+  Data.increment(7, 0, 1);
+  Data.increment(7, 1, 99999999);
+
+  std::string Text = Data.serialize();
+  ProfileData Loaded;
+  ASSERT_TRUE(Loaded.deserialize(Text));
+  EXPECT_EQ(Loaded.size(), 2u);
+  const SequenceProfile *Record = Loaded.lookup(7);
+  ASSERT_TRUE(Record);
+  EXPECT_EQ(Record->BinCounts, (std::vector<uint64_t>{1, 99999999}));
+  EXPECT_EQ(Record->Signature, "helper/r2[..5][9..]");
+  // Serialization is stable.
+  EXPECT_EQ(Loaded.serialize(), Text);
+}
+
+TEST(ProfileDataTest, DeserializeRejectsGarbage) {
+  ProfileData Data;
+  EXPECT_FALSE(Data.deserialize("not a profile"));
+  EXPECT_TRUE(Data.empty());
+  EXPECT_FALSE(Data.deserialize("seq x main sig 1 2"));
+  EXPECT_FALSE(Data.deserialize("seq 1 main sig -2"));
+  EXPECT_FALSE(Data.deserialize("seq 1 main"));
+  // Duplicate ids are malformed.
+  EXPECT_FALSE(Data.deserialize("seq 1 main sig 1\nseq 1 main sig 2\n"));
+  // Empty input is a valid empty profile.
+  EXPECT_TRUE(Data.deserialize(""));
+  EXPECT_TRUE(Data.empty());
+}
+
+TEST(ProfileDataTest, RandomRoundTripProperty) {
+  std::mt19937 Rng(99);
+  for (int Round = 0; Round < 20; ++Round) {
+    ProfileData Data;
+    unsigned NumSeqs = 1 + Rng() % 8;
+    for (unsigned Id = 0; Id < NumSeqs; ++Id) {
+      size_t Bins = 1 + Rng() % 9;
+      Data.registerSequence(Id, formatString("f%u", Id % 3),
+                            formatString("sig%u", Id), Bins);
+      for (size_t Bin = 0; Bin < Bins; ++Bin)
+        Data.increment(Id, Bin, Rng() % 100000);
+    }
+    ProfileData Loaded;
+    ASSERT_TRUE(Loaded.deserialize(Data.serialize()));
+    EXPECT_EQ(Loaded.serialize(), Data.serialize());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileBinner: the value-to-bin mapping used by instrumentation
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileBinnerTest, BinsPartitionTheValueSpace) {
+  // Build a synthetic sequence descriptor with known ranges.
+  Module M;
+  Function *F = M.createFunction("main", 0);
+  BasicBlock *T = F->createBlock();
+  RangeSequence Seq;
+  Seq.Id = 0;
+  Seq.F = F;
+  Seq.ValueReg = 0;
+  RangeConditionDesc C1;
+  C1.R = Range::single(32);
+  C1.Target = T;
+  C1.Blocks = {T};
+  RangeConditionDesc C2;
+  C2.R = Range(48, 57);
+  C2.Target = T;
+  C2.Blocks = {T};
+  Seq.Conds = {C1, C2};
+  Seq.DefaultTarget = T;
+  Seq.DefaultRanges = computeDefaultRanges({C1.R, C2.R});
+
+  ProfileBinner Binner;
+  Binner.addSequence(Seq);
+  size_t NumBins = Binner.numBins(0);
+  EXPECT_EQ(NumBins, 2u + Seq.DefaultRanges.size());
+
+  // Explicit bins come first, in condition order.
+  EXPECT_EQ(Binner.binFor(0, 32), 0u);
+  EXPECT_EQ(Binner.binFor(0, 48), 1u);
+  EXPECT_EQ(Binner.binFor(0, 57), 1u);
+  EXPECT_EQ(Binner.binFor(0, 50), 1u);
+
+  // Every probe value maps to exactly one in-range bin.
+  for (int64_t Probe :
+       {Range::MinValue, int64_t{-1}, int64_t{0}, int64_t{31},
+        int64_t{33}, int64_t{47}, int64_t{58}, int64_t{1000},
+        Range::MaxValue}) {
+    size_t Bin = Binner.binFor(0, Probe);
+    EXPECT_LT(Bin, NumBins) << "probe " << Probe;
+    EXPECT_GE(Bin, 2u) << "probe " << Probe << " is a default value";
+  }
+}
+
+TEST(ProfileBinnerTest, CallbackCountsIntoProfileData) {
+  Module M;
+  Function *F = M.createFunction("main", 0);
+  BasicBlock *T = F->createBlock();
+  RangeSequence Seq;
+  Seq.Id = 5;
+  Seq.F = F;
+  Seq.ValueReg = 0;
+  RangeConditionDesc C1;
+  C1.R = Range::single(10);
+  C1.Target = T;
+  C1.Blocks = {T};
+  RangeConditionDesc C2;
+  C2.R = Range::single(20);
+  C2.Target = T;
+  C2.Blocks = {T};
+  Seq.Conds = {C1, C2};
+  Seq.DefaultTarget = T;
+  Seq.DefaultRanges = computeDefaultRanges({C1.R, C2.R});
+
+  ProfileData Data;
+  ProfileBinner Binner;
+  Binner.addSequence(Seq);
+  Data.registerSequence(5, "main", Seq.signature(), Binner.numBins(5));
+  auto Callback = Binner.callback(Data);
+  Callback(5, 10);
+  Callback(5, 10);
+  Callback(5, 20);
+  Callback(5, 999);
+  const SequenceProfile *Record = Data.lookup(5);
+  ASSERT_TRUE(Record);
+  EXPECT_EQ(Record->BinCounts[0], 2u);
+  EXPECT_EQ(Record->BinCounts[1], 1u);
+  EXPECT_EQ(Record->totalExecutions(), 4u);
+}
+
+} // namespace

@@ -1,0 +1,60 @@
+//===- tests/support/support_test.cpp - Support utility tests -------------===//
+
+#include "support/Strings.h"
+
+#include <gtest/gtest.h>
+
+using namespace bropt;
+
+namespace {
+
+TEST(StringsTest, FormatString) {
+  EXPECT_EQ(formatString("plain"), "plain");
+  EXPECT_EQ(formatString("%d + %d = %d", 2, 2, 4), "2 + 2 = 4");
+  EXPECT_EQ(formatString("%s/%c", "abc", 'x'), "abc/x");
+  // Long outputs are not truncated.
+  std::string Long = formatString("%0200d", 7);
+  EXPECT_EQ(Long.size(), 200u);
+  EXPECT_EQ(Long.back(), '7');
+}
+
+TEST(StringsTest, SplitString) {
+  auto Fields = splitString("a,b,,c", ',');
+  ASSERT_EQ(Fields.size(), 4u);
+  EXPECT_EQ(Fields[0], "a");
+  EXPECT_EQ(Fields[2], "");
+  EXPECT_EQ(Fields[3], "c");
+  EXPECT_EQ(splitString("", ',').size(), 1u);
+  EXPECT_EQ(splitString("no-sep", ',').size(), 1u);
+  EXPECT_EQ(splitString(",", ',').size(), 2u);
+}
+
+TEST(StringsTest, TrimString) {
+  EXPECT_EQ(trimString("  hi  "), "hi");
+  EXPECT_EQ(trimString("\t\nhi"), "hi");
+  EXPECT_EQ(trimString("hi"), "hi");
+  EXPECT_EQ(trimString("   "), "");
+  EXPECT_EQ(trimString(""), "");
+}
+
+TEST(StringsTest, ParseInteger) {
+  long long Value = 0;
+  EXPECT_TRUE(parseInteger("42", Value));
+  EXPECT_EQ(Value, 42);
+  EXPECT_TRUE(parseInteger("  -17 ", Value));
+  EXPECT_EQ(Value, -17);
+  EXPECT_TRUE(parseInteger("9223372036854775807", Value));
+  EXPECT_EQ(Value, INT64_MAX);
+  EXPECT_FALSE(parseInteger("", Value));
+  EXPECT_FALSE(parseInteger("abc", Value));
+  EXPECT_FALSE(parseInteger("12x", Value));
+  EXPECT_FALSE(parseInteger("9999999999999999999999", Value)); // overflow
+}
+
+TEST(StringsTest, FormatPercent) {
+  EXPECT_EQ(formatPercent(-10.0, 100.0), "-10.00%");
+  EXPECT_EQ(formatPercent(5.0, 200.0), "+2.50%");
+  EXPECT_EQ(formatPercent(0.0, 50.0), "+0.00%");
+}
+
+} // namespace

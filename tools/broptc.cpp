@@ -1,0 +1,218 @@
+//===- tools/broptc.cpp - Command-line driver for bropt --------------------===//
+//
+// Compiles a Mini-C source file through the two-pass branch-reordering
+// pipeline and optionally runs it:
+//
+//   broptc program.mc --train train.txt --input test.txt --run --stats
+//
+// Options:
+//   --train FILE          training input for the profiling pass; may be
+//                         given several times to merge training sets
+//                         (no --train means no reordering: baseline build)
+//   --input FILE          input for --run (default: empty)
+//   --set I|II|III        switch-translation heuristic set (default I)
+//   --common-successor    also reorder common-successor chains (paper §10)
+//   --method-selection    allow profile-guided jump tables (paper §10)
+//   --ijmp-cost N         indirect-jump cost estimate for method selection
+//   --emit-ir             print the final IR
+//   --profile FILE        write the collected profile (pass-1 output)
+//   --stats               print detection/reordering statistics
+//   --run                 interpret the program and echo its output
+//   --predict             with --run: report (0,2)/2048 mispredictions
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "ir/Printer.h"
+#include "sim/Interpreter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace bropt;
+
+namespace {
+
+[[noreturn]] void usageError(const char *Message) {
+  std::fprintf(stderr, "broptc: %s\n", Message);
+  std::fprintf(stderr,
+               "usage: broptc FILE.mc [--train FILE] [--input FILE] "
+               "[--set I|II|III]\n"
+               "              [--common-successor] [--method-selection] "
+               "[--ijmp-cost N]\n"
+               "              [--emit-ir] [--profile FILE] [--stats] "
+               "[--run] [--predict]\n");
+  std::exit(2);
+}
+
+std::string readFileOrDie(const std::string &Path) {
+  std::ifstream Stream(Path, std::ios::binary);
+  if (!Stream) {
+    std::fprintf(stderr, "broptc: cannot read '%s'\n", Path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  return Buffer.str();
+}
+
+struct CliOptions {
+  std::string SourcePath;
+  std::vector<std::string> TrainPaths;
+  std::string InputPath;
+  std::string ProfilePath;
+  CompileOptions Compile;
+  bool EmitIR = false;
+  bool Stats = false;
+  bool Run = false;
+  bool Predict = false;
+};
+
+CliOptions parseArgs(int Argc, char **Argv) {
+  CliOptions Options;
+  for (int Index = 1; Index < Argc; ++Index) {
+    std::string Arg = Argv[Index];
+    auto nextValue = [&]() -> std::string {
+      if (Index + 1 >= Argc)
+        usageError(("missing value after " + Arg).c_str());
+      return Argv[++Index];
+    };
+    if (Arg == "--train") {
+      Options.TrainPaths.push_back(nextValue());
+    } else if (Arg == "--input") {
+      Options.InputPath = nextValue();
+    } else if (Arg == "--set") {
+      std::string Set = nextValue();
+      if (Set == "I")
+        Options.Compile.HeuristicSet = SwitchHeuristicSet::SetI;
+      else if (Set == "II")
+        Options.Compile.HeuristicSet = SwitchHeuristicSet::SetII;
+      else if (Set == "III")
+        Options.Compile.HeuristicSet = SwitchHeuristicSet::SetIII;
+      else
+        usageError("--set expects I, II, or III");
+    } else if (Arg == "--common-successor") {
+      Options.Compile.EnableCommonSuccessorReordering = true;
+    } else if (Arg == "--method-selection") {
+      Options.Compile.Reorder.EnableMethodSelection = true;
+    } else if (Arg == "--ijmp-cost") {
+      Options.Compile.Reorder.IndirectJumpCost =
+          static_cast<unsigned>(std::atoi(nextValue().c_str()));
+    } else if (Arg == "--emit-ir") {
+      Options.EmitIR = true;
+    } else if (Arg == "--profile") {
+      Options.ProfilePath = nextValue();
+    } else if (Arg == "--stats") {
+      Options.Stats = true;
+    } else if (Arg == "--run") {
+      Options.Run = true;
+    } else if (Arg == "--predict") {
+      Options.Predict = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      usageError(("unknown option " + Arg).c_str());
+    } else if (Options.SourcePath.empty()) {
+      Options.SourcePath = Arg;
+    } else {
+      usageError("more than one source file given");
+    }
+  }
+  if (Options.SourcePath.empty())
+    usageError("no source file given");
+  return Options;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Options = parseArgs(Argc, Argv);
+  std::string Source = readFileOrDie(Options.SourcePath);
+
+  CompileResult Result;
+  if (Options.TrainPaths.empty()) {
+    Result = compileBaseline(Source, Options.Compile);
+  } else {
+    std::vector<std::string> TrainingSets;
+    for (const std::string &Path : Options.TrainPaths)
+      TrainingSets.push_back(readFileOrDie(Path));
+    std::vector<std::string_view> Views(TrainingSets.begin(),
+                                        TrainingSets.end());
+    Result = compileWithReordering(Source, Views, Options.Compile);
+  }
+  if (!Result.ok()) {
+    std::fprintf(stderr, "broptc: %s\n", Result.Error.c_str());
+    return 1;
+  }
+
+  if (!Options.ProfilePath.empty()) {
+    std::ofstream Stream(Options.ProfilePath, std::ios::binary);
+    if (!Stream) {
+      std::fprintf(stderr, "broptc: cannot write '%s'\n",
+                   Options.ProfilePath.c_str());
+      return 1;
+    }
+    Stream << Result.ProfileText;
+  }
+
+  if (Options.Stats) {
+    std::printf("switch translation: %u jump table(s), %u binary "
+                "search(es), %u linear search(es)\n",
+                Result.SwitchStats.JumpTables,
+                Result.SwitchStats.BinarySearches,
+                Result.SwitchStats.LinearSearches);
+    std::printf("sequences: %u detected, %u reordered, %u never executed, "
+                "%u profile problems, %u emitted as jump tables\n",
+                Result.Stats.Detected, Result.Stats.Reordered,
+                Result.Stats.NeverExecuted, Result.Stats.ProfileProblems,
+                Result.Stats.JumpTables);
+    if (Options.Compile.EnableCommonSuccessorReordering)
+      std::printf("common-successor: %u detected, %u reordered "
+                  "(expected branches %.2f -> %.2f)\n",
+                  Result.CommonStats.Detected, Result.CommonStats.Reordered,
+                  Result.CommonStats.SumExpectedBefore,
+                  Result.CommonStats.SumExpectedAfter);
+    for (auto [Before, After] : Result.Stats.Lengths)
+      std::printf("  sequence length %u -> %u branches\n", Before, After);
+    std::printf("static code size: %zu instructions\n",
+                Result.M->codeSize());
+  }
+
+  if (Options.EmitIR)
+    std::printf("%s", printModule(*Result.M).c_str());
+
+  if (Options.Run) {
+    std::string Input;
+    if (!Options.InputPath.empty())
+      Input = readFileOrDie(Options.InputPath);
+    Interpreter Interp(*Result.M);
+    Interp.setInput(Input);
+    std::optional<BranchPredictor> Predictor;
+    if (Options.Predict) {
+      Predictor.emplace(PredictorConfig::ultraSparc());
+      Interp.attachPredictor(&*Predictor);
+    }
+    RunResult Run = Interp.run();
+    if (Run.Trapped) {
+      std::fprintf(stderr, "broptc: program trapped: %s\n",
+                   Run.TrapReason.c_str());
+      return 1;
+    }
+    std::fwrite(Run.Output.data(), 1, Run.Output.size(), stdout);
+    std::fprintf(stderr,
+                 "exit %lld; %llu instructions, %llu branches, "
+                 "%llu jumps, %llu indirect\n",
+                 static_cast<long long>(Run.ExitValue),
+                 static_cast<unsigned long long>(Run.Counts.TotalInsts),
+                 static_cast<unsigned long long>(Run.Counts.CondBranches),
+                 static_cast<unsigned long long>(Run.Counts.UncondJumps),
+                 static_cast<unsigned long long>(Run.Counts.IndirectJumps));
+    if (Predictor)
+      std::fprintf(stderr, "mispredictions: %llu of %llu branches\n",
+                   static_cast<unsigned long long>(
+                       Predictor->getStats().Mispredictions),
+                   static_cast<unsigned long long>(
+                       Predictor->getStats().Branches));
+  }
+  return 0;
+}
