@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6.cpp" "bench/CMakeFiles/bench_table6.dir/bench_table6.cpp.o" "gcc" "bench/CMakeFiles/bench_table6.dir/bench_table6.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bropt_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_tokenizer.dir/switch_tokenizer.cpp.o"
+  "CMakeFiles/switch_tokenizer.dir/switch_tokenizer.cpp.o.d"
+  "switch_tokenizer"
+  "switch_tokenizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

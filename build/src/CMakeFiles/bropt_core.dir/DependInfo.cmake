@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/CommonSuccessor.cpp" "src/CMakeFiles/bropt_core.dir/core/CommonSuccessor.cpp.o" "gcc" "src/CMakeFiles/bropt_core.dir/core/CommonSuccessor.cpp.o.d"
+  "/root/repo/src/core/Instrumentation.cpp" "src/CMakeFiles/bropt_core.dir/core/Instrumentation.cpp.o" "gcc" "src/CMakeFiles/bropt_core.dir/core/Instrumentation.cpp.o.d"
+  "/root/repo/src/core/OrderingSelection.cpp" "src/CMakeFiles/bropt_core.dir/core/OrderingSelection.cpp.o" "gcc" "src/CMakeFiles/bropt_core.dir/core/OrderingSelection.cpp.o.d"
+  "/root/repo/src/core/Range.cpp" "src/CMakeFiles/bropt_core.dir/core/Range.cpp.o" "gcc" "src/CMakeFiles/bropt_core.dir/core/Range.cpp.o.d"
+  "/root/repo/src/core/Reorder.cpp" "src/CMakeFiles/bropt_core.dir/core/Reorder.cpp.o" "gcc" "src/CMakeFiles/bropt_core.dir/core/Reorder.cpp.o.d"
+  "/root/repo/src/core/SequenceDetection.cpp" "src/CMakeFiles/bropt_core.dir/core/SequenceDetection.cpp.o" "gcc" "src/CMakeFiles/bropt_core.dir/core/SequenceDetection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bropt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bropt_core.dir/core/CommonSuccessor.cpp.o"
+  "CMakeFiles/bropt_core.dir/core/CommonSuccessor.cpp.o.d"
+  "CMakeFiles/bropt_core.dir/core/Instrumentation.cpp.o"
+  "CMakeFiles/bropt_core.dir/core/Instrumentation.cpp.o.d"
+  "CMakeFiles/bropt_core.dir/core/OrderingSelection.cpp.o"
+  "CMakeFiles/bropt_core.dir/core/OrderingSelection.cpp.o.d"
+  "CMakeFiles/bropt_core.dir/core/Range.cpp.o"
+  "CMakeFiles/bropt_core.dir/core/Range.cpp.o.d"
+  "CMakeFiles/bropt_core.dir/core/Reorder.cpp.o"
+  "CMakeFiles/bropt_core.dir/core/Reorder.cpp.o.d"
+  "CMakeFiles/bropt_core.dir/core/SequenceDetection.cpp.o"
+  "CMakeFiles/bropt_core.dir/core/SequenceDetection.cpp.o.d"
+  "libbropt_core.a"
+  "libbropt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bropt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bropt_driver.dir/driver/Driver.cpp.o"
+  "CMakeFiles/bropt_driver.dir/driver/Driver.cpp.o.d"
+  "CMakeFiles/bropt_driver.dir/driver/Report.cpp.o"
+  "CMakeFiles/bropt_driver.dir/driver/Report.cpp.o.d"
+  "libbropt_driver.a"
+  "libbropt_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bropt_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

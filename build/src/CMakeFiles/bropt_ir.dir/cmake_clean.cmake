@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bropt_ir.dir/ir/BasicBlock.cpp.o"
+  "CMakeFiles/bropt_ir.dir/ir/BasicBlock.cpp.o.d"
+  "CMakeFiles/bropt_ir.dir/ir/CFG.cpp.o"
+  "CMakeFiles/bropt_ir.dir/ir/CFG.cpp.o.d"
+  "CMakeFiles/bropt_ir.dir/ir/Function.cpp.o"
+  "CMakeFiles/bropt_ir.dir/ir/Function.cpp.o.d"
+  "CMakeFiles/bropt_ir.dir/ir/IRBuilder.cpp.o"
+  "CMakeFiles/bropt_ir.dir/ir/IRBuilder.cpp.o.d"
+  "CMakeFiles/bropt_ir.dir/ir/Instruction.cpp.o"
+  "CMakeFiles/bropt_ir.dir/ir/Instruction.cpp.o.d"
+  "CMakeFiles/bropt_ir.dir/ir/Module.cpp.o"
+  "CMakeFiles/bropt_ir.dir/ir/Module.cpp.o.d"
+  "CMakeFiles/bropt_ir.dir/ir/Printer.cpp.o"
+  "CMakeFiles/bropt_ir.dir/ir/Printer.cpp.o.d"
+  "CMakeFiles/bropt_ir.dir/ir/Verifier.cpp.o"
+  "CMakeFiles/bropt_ir.dir/ir/Verifier.cpp.o.d"
+  "libbropt_ir.a"
+  "libbropt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bropt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

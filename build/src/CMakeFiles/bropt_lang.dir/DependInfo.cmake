@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/AST.cpp" "src/CMakeFiles/bropt_lang.dir/lang/AST.cpp.o" "gcc" "src/CMakeFiles/bropt_lang.dir/lang/AST.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/CMakeFiles/bropt_lang.dir/lang/Lexer.cpp.o" "gcc" "src/CMakeFiles/bropt_lang.dir/lang/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Lowering.cpp" "src/CMakeFiles/bropt_lang.dir/lang/Lowering.cpp.o" "gcc" "src/CMakeFiles/bropt_lang.dir/lang/Lowering.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/CMakeFiles/bropt_lang.dir/lang/Parser.cpp.o" "gcc" "src/CMakeFiles/bropt_lang.dir/lang/Parser.cpp.o.d"
+  "/root/repo/src/lang/Sema.cpp" "src/CMakeFiles/bropt_lang.dir/lang/Sema.cpp.o" "gcc" "src/CMakeFiles/bropt_lang.dir/lang/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bropt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bropt_lang.dir/lang/AST.cpp.o"
+  "CMakeFiles/bropt_lang.dir/lang/AST.cpp.o.d"
+  "CMakeFiles/bropt_lang.dir/lang/Lexer.cpp.o"
+  "CMakeFiles/bropt_lang.dir/lang/Lexer.cpp.o.d"
+  "CMakeFiles/bropt_lang.dir/lang/Lowering.cpp.o"
+  "CMakeFiles/bropt_lang.dir/lang/Lowering.cpp.o.d"
+  "CMakeFiles/bropt_lang.dir/lang/Parser.cpp.o"
+  "CMakeFiles/bropt_lang.dir/lang/Parser.cpp.o.d"
+  "CMakeFiles/bropt_lang.dir/lang/Sema.cpp.o"
+  "CMakeFiles/bropt_lang.dir/lang/Sema.cpp.o.d"
+  "libbropt_lang.a"
+  "libbropt_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bropt_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

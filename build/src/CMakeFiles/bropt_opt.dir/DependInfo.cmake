@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/BranchChaining.cpp" "src/CMakeFiles/bropt_opt.dir/opt/BranchChaining.cpp.o" "gcc" "src/CMakeFiles/bropt_opt.dir/opt/BranchChaining.cpp.o.d"
+  "/root/repo/src/opt/ConstantFolding.cpp" "src/CMakeFiles/bropt_opt.dir/opt/ConstantFolding.cpp.o" "gcc" "src/CMakeFiles/bropt_opt.dir/opt/ConstantFolding.cpp.o.d"
+  "/root/repo/src/opt/CopyPropagation.cpp" "src/CMakeFiles/bropt_opt.dir/opt/CopyPropagation.cpp.o" "gcc" "src/CMakeFiles/bropt_opt.dir/opt/CopyPropagation.cpp.o.d"
+  "/root/repo/src/opt/DeadCodeElimination.cpp" "src/CMakeFiles/bropt_opt.dir/opt/DeadCodeElimination.cpp.o" "gcc" "src/CMakeFiles/bropt_opt.dir/opt/DeadCodeElimination.cpp.o.d"
+  "/root/repo/src/opt/Liveness.cpp" "src/CMakeFiles/bropt_opt.dir/opt/Liveness.cpp.o" "gcc" "src/CMakeFiles/bropt_opt.dir/opt/Liveness.cpp.o.d"
+  "/root/repo/src/opt/PassManager.cpp" "src/CMakeFiles/bropt_opt.dir/opt/PassManager.cpp.o" "gcc" "src/CMakeFiles/bropt_opt.dir/opt/PassManager.cpp.o.d"
+  "/root/repo/src/opt/RedundantCompareElimination.cpp" "src/CMakeFiles/bropt_opt.dir/opt/RedundantCompareElimination.cpp.o" "gcc" "src/CMakeFiles/bropt_opt.dir/opt/RedundantCompareElimination.cpp.o.d"
+  "/root/repo/src/opt/Repositioning.cpp" "src/CMakeFiles/bropt_opt.dir/opt/Repositioning.cpp.o" "gcc" "src/CMakeFiles/bropt_opt.dir/opt/Repositioning.cpp.o.d"
+  "/root/repo/src/opt/SwitchLowering.cpp" "src/CMakeFiles/bropt_opt.dir/opt/SwitchLowering.cpp.o" "gcc" "src/CMakeFiles/bropt_opt.dir/opt/SwitchLowering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bropt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

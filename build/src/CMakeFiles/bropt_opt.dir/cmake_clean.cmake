@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bropt_opt.dir/opt/BranchChaining.cpp.o"
+  "CMakeFiles/bropt_opt.dir/opt/BranchChaining.cpp.o.d"
+  "CMakeFiles/bropt_opt.dir/opt/ConstantFolding.cpp.o"
+  "CMakeFiles/bropt_opt.dir/opt/ConstantFolding.cpp.o.d"
+  "CMakeFiles/bropt_opt.dir/opt/CopyPropagation.cpp.o"
+  "CMakeFiles/bropt_opt.dir/opt/CopyPropagation.cpp.o.d"
+  "CMakeFiles/bropt_opt.dir/opt/DeadCodeElimination.cpp.o"
+  "CMakeFiles/bropt_opt.dir/opt/DeadCodeElimination.cpp.o.d"
+  "CMakeFiles/bropt_opt.dir/opt/Liveness.cpp.o"
+  "CMakeFiles/bropt_opt.dir/opt/Liveness.cpp.o.d"
+  "CMakeFiles/bropt_opt.dir/opt/PassManager.cpp.o"
+  "CMakeFiles/bropt_opt.dir/opt/PassManager.cpp.o.d"
+  "CMakeFiles/bropt_opt.dir/opt/RedundantCompareElimination.cpp.o"
+  "CMakeFiles/bropt_opt.dir/opt/RedundantCompareElimination.cpp.o.d"
+  "CMakeFiles/bropt_opt.dir/opt/Repositioning.cpp.o"
+  "CMakeFiles/bropt_opt.dir/opt/Repositioning.cpp.o.d"
+  "CMakeFiles/bropt_opt.dir/opt/SwitchLowering.cpp.o"
+  "CMakeFiles/bropt_opt.dir/opt/SwitchLowering.cpp.o.d"
+  "libbropt_opt.a"
+  "libbropt_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bropt_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bropt_predict.dir/predict/BranchPredictor.cpp.o"
+  "CMakeFiles/bropt_predict.dir/predict/BranchPredictor.cpp.o.d"
+  "libbropt_predict.a"
+  "libbropt_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bropt_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bropt_profile.dir/profile/ProfileData.cpp.o"
+  "CMakeFiles/bropt_profile.dir/profile/ProfileData.cpp.o.d"
+  "libbropt_profile.a"
+  "libbropt_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bropt_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

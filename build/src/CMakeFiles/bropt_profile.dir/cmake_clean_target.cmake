@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbropt_profile.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/CostModel.cpp" "src/CMakeFiles/bropt_sim.dir/sim/CostModel.cpp.o" "gcc" "src/CMakeFiles/bropt_sim.dir/sim/CostModel.cpp.o.d"
+  "/root/repo/src/sim/Interpreter.cpp" "src/CMakeFiles/bropt_sim.dir/sim/Interpreter.cpp.o" "gcc" "src/CMakeFiles/bropt_sim.dir/sim/Interpreter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bropt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bropt_sim.dir/sim/CostModel.cpp.o"
+  "CMakeFiles/bropt_sim.dir/sim/CostModel.cpp.o.d"
+  "CMakeFiles/bropt_sim.dir/sim/Interpreter.cpp.o"
+  "CMakeFiles/bropt_sim.dir/sim/Interpreter.cpp.o.d"
+  "libbropt_sim.a"
+  "libbropt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bropt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

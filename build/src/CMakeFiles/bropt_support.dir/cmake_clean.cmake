@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bropt_support.dir/support/Debug.cpp.o"
+  "CMakeFiles/bropt_support.dir/support/Debug.cpp.o.d"
+  "CMakeFiles/bropt_support.dir/support/Strings.cpp.o"
+  "CMakeFiles/bropt_support.dir/support/Strings.cpp.o.d"
+  "libbropt_support.a"
+  "libbropt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bropt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

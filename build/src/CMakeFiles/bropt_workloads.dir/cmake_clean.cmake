@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bropt_workloads.dir/workloads/Inputs.cpp.o"
+  "CMakeFiles/bropt_workloads.dir/workloads/Inputs.cpp.o.d"
+  "CMakeFiles/bropt_workloads.dir/workloads/Workloads.cpp.o"
+  "CMakeFiles/bropt_workloads.dir/workloads/Workloads.cpp.o.d"
+  "libbropt_workloads.a"
+  "libbropt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bropt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt/passes_test.cpp" "tests/CMakeFiles/opt_test.dir/opt/passes_test.cpp.o" "gcc" "tests/CMakeFiles/opt_test.dir/opt/passes_test.cpp.o.d"
+  "/root/repo/tests/opt/switch_lowering_test.cpp" "tests/CMakeFiles/opt_test.dir/opt/switch_lowering_test.cpp.o" "gcc" "tests/CMakeFiles/opt_test.dir/opt/switch_lowering_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bropt_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bropt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/predict_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+add_test(broptc_baseline "/root/repo/build/tools/broptc" "/root/repo/examples/mini/wc.mc" "--emit-ir" "--stats")
+set_tests_properties(broptc_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;67;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(broptc_two_pass "/root/repo/build/tools/broptc" "/root/repo/examples/mini/tokens.mc" "--train" "/root/repo/examples/mini/tokens.mc" "--input" "/root/repo/examples/mini/wc.mc" "--set" "III" "--method-selection" "--common-successor" "--run" "--stats" "--predict")
+set_tests_properties(broptc_two_pass PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;69;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;75;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_switch_tokenizer "/root/repo/build/examples/switch_tokenizer")
+set_tests_properties(example_switch_tokenizer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;76;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_profile_explorer "/root/repo/build/examples/profile_explorer")
+set_tests_properties(example_profile_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;77;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_future_work "/root/repo/build/examples/future_work")
+set_tests_properties(example_future_work PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;78;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broptc.dir/broptc.cpp.o"
+  "CMakeFiles/broptc.dir/broptc.cpp.o.d"
+  "broptc"
+  "broptc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broptc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
