@@ -10,14 +10,21 @@
 /// paper's tables.  Each bench prints rows in the same layout as the
 /// corresponding paper table so shapes can be compared side by side.
 ///
+/// All benches evaluate through one process-wide Evaluator: workloads run
+/// concurrently on the decoded engine and compiled modules are cached, so
+/// sweeps that revisit a heuristic set (Tables 5/6, the ablations) stop
+/// recompiling identical inputs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BROPT_BENCH_BENCHUTIL_H
 #define BROPT_BENCH_BENCHUTIL_H
 
+#include "driver/Evaluator.h"
 #include "driver/Report.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace bropt {
@@ -42,6 +49,28 @@ inline void rule(unsigned Width) {
   std::fputc('\n', stdout);
 }
 
+/// The process-wide evaluation harness.  Living for the whole bench run
+/// lets the compile cache span every sweep the bench performs.
+inline Evaluator &sharedEvaluator() {
+  static Evaluator Eval;
+  return Eval;
+}
+
+/// Aborts the bench with a diagnostic unless every evaluation succeeded
+/// and at least one workload was evaluated (averages divide by the count).
+inline void
+checkEvaluations(const std::vector<WorkloadEvaluation> &Evals) {
+  if (Evals.empty()) {
+    std::fprintf(stderr, "bench error: no workloads were evaluated\n");
+    std::exit(1);
+  }
+  for (const WorkloadEvaluation &Eval : Evals)
+    if (!Eval.ok()) {
+      std::fprintf(stderr, "bench error: %s\n", Eval.Error.c_str());
+      std::exit(1);
+    }
+}
+
 /// Evaluates all workloads under \p Set, aborting the bench on errors.
 inline std::vector<WorkloadEvaluation>
 evaluateSet(SwitchHeuristicSet Set,
@@ -51,12 +80,8 @@ evaluateSet(SwitchHeuristicSet Set,
   Options.HeuristicSet = Set;
   Options.Reorder = Reorder;
   std::vector<WorkloadEvaluation> Evals =
-      evaluateAllWorkloads(Options, Predictor);
-  for (const WorkloadEvaluation &Eval : Evals)
-    if (!Eval.ok()) {
-      std::fprintf(stderr, "bench error: %s\n", Eval.Error.c_str());
-      std::exit(1);
-    }
+      sharedEvaluator().evaluateAll(Options, Predictor);
+  checkEvaluations(Evals);
   return Evals;
 }
 

@@ -29,6 +29,10 @@ struct AblationResult {
 
 AblationResult summarize(const std::vector<WorkloadEvaluation> &Evals) {
   AblationResult Result;
+  if (Evals.empty()) {
+    std::fprintf(stderr, "bench error: no evaluations to average\n");
+    std::exit(1);
+  }
   for (const WorkloadEvaluation &Eval : Evals) {
     Result.AvgInstDelta += delta(Eval.Baseline.Counts.TotalInsts,
                                  Eval.Reordered.Counts.TotalInsts);

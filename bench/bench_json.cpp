@@ -1,0 +1,244 @@
+//===- bench/bench_json.cpp - Machine-readable bench-suite output ---------===//
+//
+// Runs the sweeps behind the table benches (heuristic sets I-III, the
+// Table 5 predictor, and the Table 6 predictor sweep) and emits one JSON
+// document — BENCH_tables.json by default — with per-workload dynamic
+// instruction counts, branch counts, and wall-clock times, so the perf
+// trajectory of the suite can be tracked across PRs.
+//
+// By default the suite runs twice: once on the current engine (decoded
+// dispatch, parallel workloads, compile caching) and once on the legacy
+// configuration (tree-walking interpreter, serial, no cache).  Dynamic
+// counts must agree between the two; the wall-clock ratio is reported as
+// "speedup".  Pass --no-compare to skip the legacy pass.
+//
+// Usage: bench_json [--out FILE] [--threads N] [--no-compare]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+using namespace bropt;
+using namespace bropt::bench;
+
+namespace {
+
+/// One sweep = one (heuristic set, predictor) evaluation of all workloads.
+struct SweepSpec {
+  std::string Label;
+  SwitchHeuristicSet Set;
+  std::optional<PredictorConfig> Predictor;
+};
+
+std::vector<SweepSpec> suiteSweeps() {
+  std::vector<SweepSpec> Sweeps;
+  Sweeps.push_back({"table4/setI", SwitchHeuristicSet::SetI, std::nullopt});
+  Sweeps.push_back({"table4/setII", SwitchHeuristicSet::SetII, std::nullopt});
+  Sweeps.push_back(
+      {"table4/setIII", SwitchHeuristicSet::SetIII, std::nullopt});
+  Sweeps.push_back({"table5/ultrasparc", SwitchHeuristicSet::SetI,
+                    PredictorConfig::ultraSparc()});
+  for (unsigned Entries : {32u, 64u, 128u, 256u, 512u, 1024u, 2048u})
+    for (unsigned Width = 1; Width <= 2; ++Width) {
+      PredictorConfig Config;
+      Config.HistoryBits = 0;
+      Config.CounterBits = Width;
+      Config.NumEntries = Entries;
+      char Label[64];
+      std::snprintf(Label, sizeof(Label), "table6/(0,%u)x%u", Width,
+                    Entries);
+      Sweeps.push_back({Label, SwitchHeuristicSet::SetI, Config});
+    }
+  return Sweeps;
+}
+
+struct SuiteResult {
+  double WallSeconds = 0.0;
+  /// Records per sweep, in suiteSweeps() order.
+  std::vector<std::vector<WorkloadRecord>> Sweeps;
+  EvaluatorStats CacheStats;
+};
+
+SuiteResult runSuite(const EvaluatorOptions &Options) {
+  SuiteResult Result;
+  Evaluator Eval(Options);
+  auto Start = std::chrono::steady_clock::now();
+  for (const SweepSpec &Sweep : suiteSweeps()) {
+    CompileOptions CompileOpts;
+    CompileOpts.HeuristicSet = Sweep.Set;
+    std::vector<WorkloadRecord> Records =
+        Eval.evaluateAllRecorded(CompileOpts, Sweep.Predictor);
+    for (const WorkloadRecord &Record : Records)
+      if (!Record.Eval.ok()) {
+        std::fprintf(stderr, "bench error: %s\n",
+                     Record.Eval.Error.c_str());
+        std::exit(1);
+      }
+    Result.Sweeps.push_back(std::move(Records));
+  }
+  Result.WallSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
+  Result.CacheStats = Eval.stats();
+  return Result;
+}
+
+void writeCounts(std::ofstream &Out, const BuildMeasurement &Build) {
+  Out << "{\"insts\": " << Build.Counts.TotalInsts
+      << ", \"cond_branches\": " << Build.Counts.CondBranches
+      << ", \"taken_branches\": " << Build.Counts.TakenBranches
+      << ", \"uncond_jumps\": " << Build.Counts.UncondJumps
+      << ", \"indirect_jumps\": " << Build.Counts.IndirectJumps
+      << ", \"mispredictions\": " << Build.Mispredictions
+      << ", \"cycles_ipc\": " << Build.CyclesIPC
+      << ", \"cycles_ultra\": " << Build.CyclesUltra
+      << ", \"code_size\": " << Build.CodeSize << "}";
+}
+
+void writeSuite(std::ofstream &Out, const char *Name,
+                const SuiteResult &Suite,
+                const std::vector<SweepSpec> &Sweeps, bool Detailed) {
+  Out << "  \"" << Name << "\": {\n";
+  Out << "    \"wall_seconds\": " << Suite.WallSeconds << ",\n";
+  Out << "    \"cache\": {\"baseline_hits\": "
+      << Suite.CacheStats.BaselineHits
+      << ", \"baseline_misses\": " << Suite.CacheStats.BaselineMisses
+      << ", \"reordered_hits\": " << Suite.CacheStats.ReorderedHits
+      << ", \"reordered_misses\": " << Suite.CacheStats.ReorderedMisses
+      << "},\n";
+  Out << "    \"sweeps\": [\n";
+  for (size_t SweepIndex = 0; SweepIndex < Suite.Sweeps.size();
+       ++SweepIndex) {
+    const std::vector<WorkloadRecord> &Records = Suite.Sweeps[SweepIndex];
+    double CompileSeconds = 0.0, RunSeconds = 0.0;
+    for (const WorkloadRecord &Record : Records) {
+      CompileSeconds += Record.CompileSeconds;
+      RunSeconds += Record.RunSeconds;
+    }
+    Out << "      {\"label\": \"" << Sweeps[SweepIndex].Label << "\""
+        << ", \"compile_seconds\": " << CompileSeconds
+        << ", \"run_seconds\": " << RunSeconds;
+    if (Detailed) {
+      Out << ", \"workloads\": [\n";
+      for (size_t Index = 0; Index < Records.size(); ++Index) {
+        const WorkloadRecord &Record = Records[Index];
+        Out << "        {\"name\": \"" << Record.Eval.Name << "\""
+            << ", \"compile_seconds\": " << Record.CompileSeconds
+            << ", \"run_seconds\": " << Record.RunSeconds
+            << ", \"baseline_cached\": "
+            << (Record.BaselineCacheHit ? "true" : "false")
+            << ", \"reordered_cached\": "
+            << (Record.ReorderedCacheHit ? "true" : "false")
+            << ", \"baseline\": ";
+        writeCounts(Out, Record.Eval.Baseline);
+        Out << ", \"reordered\": ";
+        writeCounts(Out, Record.Eval.Reordered);
+        Out << "}" << (Index + 1 < Records.size() ? "," : "") << "\n";
+      }
+      Out << "      ]";
+    }
+    Out << "}" << (SweepIndex + 1 < Suite.Sweeps.size() ? "," : "")
+        << "\n";
+  }
+  Out << "    ]\n";
+  Out << "  }";
+}
+
+/// Dynamic counts must not depend on engine, schedule, or caching; abort
+/// loudly if the two suites ever disagree.
+void checkSuitesAgree(const SuiteResult &Engine, const SuiteResult &Legacy) {
+  for (size_t SweepIndex = 0; SweepIndex < Engine.Sweeps.size();
+       ++SweepIndex)
+    for (size_t Index = 0; Index < Engine.Sweeps[SweepIndex].size();
+         ++Index) {
+      const WorkloadEvaluation &A = Engine.Sweeps[SweepIndex][Index].Eval;
+      const WorkloadEvaluation &B = Legacy.Sweeps[SweepIndex][Index].Eval;
+      if (A.Baseline.Counts.TotalInsts != B.Baseline.Counts.TotalInsts ||
+          A.Reordered.Counts.TotalInsts != B.Reordered.Counts.TotalInsts ||
+          A.Baseline.Mispredictions != B.Baseline.Mispredictions ||
+          A.Reordered.Mispredictions != B.Reordered.Mispredictions ||
+          A.Baseline.Output != B.Baseline.Output) {
+        std::fprintf(stderr,
+                     "bench error: decoded and tree engines disagree on "
+                     "%s (sweep %zu)\n",
+                     A.Name.c_str(), SweepIndex);
+        std::exit(1);
+      }
+    }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = "BENCH_tables.json";
+  unsigned Threads = 0;
+  bool Compare = true;
+  for (int Index = 1; Index < Argc; ++Index) {
+    if (!std::strcmp(Argv[Index], "--out") && Index + 1 < Argc) {
+      OutPath = Argv[++Index];
+    } else if (!std::strcmp(Argv[Index], "--threads") && Index + 1 < Argc) {
+      Threads = static_cast<unsigned>(std::atoi(Argv[++Index]));
+    } else if (!std::strcmp(Argv[Index], "--no-compare")) {
+      Compare = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_json [--out FILE] [--threads N] "
+                   "[--no-compare]\n");
+      return 2;
+    }
+  }
+
+  std::vector<SweepSpec> Sweeps = suiteSweeps();
+
+  EvaluatorOptions EngineOptions;
+  EngineOptions.Threads = Threads;
+  EngineOptions.Mode = Interpreter::Mode::Decoded;
+  EngineOptions.CacheCompiles = true;
+  std::printf("running %zu sweeps x %zu workloads (decoded, parallel, "
+              "cached)...\n",
+              Sweeps.size(), standardWorkloads().size());
+  SuiteResult Engine = runSuite(EngineOptions);
+  std::printf("  engine suite: %.3fs\n", Engine.WallSeconds);
+
+  SuiteResult Legacy;
+  if (Compare) {
+    EvaluatorOptions LegacyOptions;
+    LegacyOptions.Threads = 1;
+    LegacyOptions.Mode = Interpreter::Mode::Tree;
+    LegacyOptions.CacheCompiles = false;
+    std::printf("running the same sweeps (tree-walking, serial, "
+                "uncached)...\n");
+    Legacy = runSuite(LegacyOptions);
+    std::printf("  legacy suite: %.3fs\n", Legacy.WallSeconds);
+    checkSuitesAgree(Engine, Legacy);
+    std::printf("  dynamic counts identical; speedup: %.2fx\n",
+                Legacy.WallSeconds / Engine.WallSeconds);
+  }
+
+  std::ofstream Out(OutPath, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "bench error: cannot write '%s'\n",
+                 OutPath.c_str());
+    return 1;
+  }
+  Out << "{\n";
+  Out << "  \"suite\": \"bropt table benches\",\n";
+  Out << "  \"workloads\": " << standardWorkloads().size() << ",\n";
+  Out << "  \"sweep_count\": " << Sweeps.size() << ",\n";
+  writeSuite(Out, "engine", Engine, Sweeps, /*Detailed=*/true);
+  if (Compare) {
+    Out << ",\n";
+    writeSuite(Out, "legacy", Legacy, Sweeps, /*Detailed=*/false);
+    Out << ",\n  \"speedup\": " << Legacy.WallSeconds / Engine.WallSeconds
+        << "\n";
+  } else {
+    Out << "\n";
+  }
+  Out << "}\n";
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}

@@ -31,6 +31,10 @@ int main() {
     rule(52);
 
     std::vector<WorkloadEvaluation> Evals = evaluateSet(Set);
+    if (Evals.empty()) {
+      std::fprintf(stderr, "bench error: no evaluations to average\n");
+      return 1;
+    }
     double SumInstDelta = 0.0, SumBranchDelta = 0.0;
     uint64_t SumInsts = 0;
     for (const WorkloadEvaluation &Eval : Evals) {

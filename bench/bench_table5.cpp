@@ -28,6 +28,10 @@ int main() {
 
   std::vector<WorkloadEvaluation> Evals =
       evaluateSet(SwitchHeuristicSet::SetI, Config);
+  if (Evals.empty()) {
+    std::fprintf(stderr, "bench error: no evaluations to average\n");
+    return 1;
+  }
   double SumDelta = 0.0;
   unsigned Regressions = 0;
   double RatioSum = 0.0;

@@ -31,6 +31,10 @@ int main() {
     rule(64);
 
     std::vector<WorkloadEvaluation> Evals = evaluateSet(Set);
+    if (Evals.empty()) {
+      std::fprintf(stderr, "bench error: no evaluations to average\n");
+      return 1;
+    }
     double SumSize = 0.0, SumReordPct = 0.0, SumLenB = 0.0, SumLenA = 0.0;
     unsigned TotalSeqs = 0, LenCount = 0;
     for (const WorkloadEvaluation &Eval : Evals) {

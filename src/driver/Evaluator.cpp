@@ -1,0 +1,189 @@
+//===- driver/Evaluator.cpp - Parallel cached workload evaluation ---------===//
+
+#include "driver/Evaluator.h"
+
+#include "support/Strings.h"
+
+#include <chrono>
+
+using namespace bropt;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Stable textual signature of everything a baseline compile depends on.
+std::string baselineKey(const Workload &W, const CompileOptions &Options) {
+  return formatString("set=%d;src=", static_cast<int>(Options.HeuristicSet)) +
+         W.Source;
+}
+
+/// Stable textual signature of everything a reordered compile depends on.
+std::string reorderedKey(const Workload &W, const CompileOptions &Options) {
+  const ReorderOptions &R = Options.Reorder;
+  return formatString(
+             "set=%d;cs=%d;dup=%d;f4=%d;ex=%d;min=%llu;clone=%zu;ms=%d;"
+             "ijmp=%u;span=%llu;train=%zu;",
+             static_cast<int>(Options.HeuristicSet),
+             Options.EnableCommonSuccessorReordering ? 1 : 0,
+             R.DuplicateDefaultTarget ? 1 : 0, R.OrderFormFourBranches ? 1 : 0,
+             R.UseExhaustiveSelection ? 1 : 0,
+             static_cast<unsigned long long>(R.MinExecutions),
+             R.MaxDefaultCloneInsts, R.EnableMethodSelection ? 1 : 0,
+             R.IndirectJumpCost,
+             static_cast<unsigned long long>(R.MaxTableSpan),
+             W.TrainingInput.size()) +
+         W.TrainingInput + ";src=" + W.Source;
+}
+
+} // namespace
+
+Evaluator::Evaluator(EvaluatorOptions Options)
+    : Options(Options), Pool(Options.Threads) {}
+
+EvaluatorStats Evaluator::stats() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return Counters;
+}
+
+void Evaluator::clearCache() {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  BaselineCache.clear();
+  ReorderedCache.clear();
+}
+
+std::shared_ptr<const CompileResult>
+Evaluator::baselineFor(const Workload &W, const CompileOptions &CompileOpts,
+                       bool &Hit, double &Seconds) {
+  std::string Key;
+  if (Options.CacheCompiles) {
+    Key = baselineKey(W, CompileOpts);
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = BaselineCache.find(Key);
+    if (It != BaselineCache.end()) {
+      ++Counters.BaselineHits;
+      Hit = true;
+      return It->second;
+    }
+  }
+  auto Start = std::chrono::steady_clock::now();
+  auto Result = std::make_shared<CompileResult>(
+      compileBaseline(W.Source, CompileOpts));
+  Seconds += secondsSince(Start);
+  Hit = false;
+  if (Options.CacheCompiles) {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    ++Counters.BaselineMisses;
+    BaselineCache.emplace(std::move(Key), Result);
+  }
+  return Result;
+}
+
+std::shared_ptr<const CompileResult>
+Evaluator::reorderedFor(const Workload &W, const CompileOptions &CompileOpts,
+                        bool &Hit, double &Seconds) {
+  std::string Key;
+  if (Options.CacheCompiles) {
+    Key = reorderedKey(W, CompileOpts);
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = ReorderedCache.find(Key);
+    if (It != ReorderedCache.end()) {
+      ++Counters.ReorderedHits;
+      Hit = true;
+      return It->second;
+    }
+  }
+  auto Start = std::chrono::steady_clock::now();
+  auto Result = std::make_shared<CompileResult>(
+      compileWithReordering(W.Source, W.TrainingInput, CompileOpts));
+  Seconds += secondsSince(Start);
+  Hit = false;
+  if (Options.CacheCompiles) {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    ++Counters.ReorderedMisses;
+    ReorderedCache.emplace(std::move(Key), Result);
+  }
+  return Result;
+}
+
+WorkloadRecord
+Evaluator::evaluateWorkload(const Workload &W,
+                            const CompileOptions &CompileOpts,
+                            const std::optional<PredictorConfig> &Predictor) {
+  WorkloadRecord Record;
+  WorkloadEvaluation &Eval = Record.Eval;
+  Eval.Name = W.Name;
+
+  std::shared_ptr<const CompileResult> Baseline = baselineFor(
+      W, CompileOpts, Record.BaselineCacheHit, Record.CompileSeconds);
+  if (!Baseline->ok()) {
+    Eval.Error = W.Name + ": baseline compile failed: " + Baseline->Error;
+    return Record;
+  }
+  std::shared_ptr<const CompileResult> Reordered = reorderedFor(
+      W, CompileOpts, Record.ReorderedCacheHit, Record.CompileSeconds);
+  if (!Reordered->ok()) {
+    Eval.Error = W.Name + ": reordering compile failed: " + Reordered->Error;
+    return Record;
+  }
+  Eval.Stats = Reordered->Stats;
+  Eval.SwitchStats = Reordered->SwitchStats;
+
+  auto RunStart = std::chrono::steady_clock::now();
+  Eval.Baseline = measureBuild(*Baseline->M, W.TestInput, Predictor,
+                               Eval.Error, Options.Mode);
+  if (!Eval.ok()) {
+    Record.RunSeconds = secondsSince(RunStart);
+    return Record;
+  }
+  Eval.Reordered = measureBuild(*Reordered->M, W.TestInput, Predictor,
+                                Eval.Error, Options.Mode);
+  Record.RunSeconds = secondsSince(RunStart);
+  if (!Eval.ok())
+    return Record;
+
+  Eval.OutputsMatch = Eval.Baseline.Output == Eval.Reordered.Output &&
+                      Eval.Baseline.ExitValue == Eval.Reordered.ExitValue;
+  if (!Eval.OutputsMatch)
+    Eval.Error = W.Name + ": baseline and reordered outputs differ";
+  return Record;
+}
+
+std::vector<WorkloadRecord> Evaluator::evaluateWorkloads(
+    const std::vector<Workload> &Workloads, const CompileOptions &CompileOpts,
+    const std::optional<PredictorConfig> &Predictor) {
+  std::vector<WorkloadRecord> Records(Workloads.size());
+  std::vector<std::future<void>> Pending;
+  Pending.reserve(Workloads.size());
+  for (size_t Index = 0; Index < Workloads.size(); ++Index)
+    Pending.push_back(Pool.submit([this, &Workloads, &Records, &CompileOpts,
+                                   &Predictor, Index] {
+      Records[Index] =
+          evaluateWorkload(Workloads[Index], CompileOpts, Predictor);
+    }));
+  for (std::future<void> &Future : Pending)
+    Future.get();
+  return Records;
+}
+
+std::vector<WorkloadRecord> Evaluator::evaluateAllRecorded(
+    const CompileOptions &CompileOpts,
+    const std::optional<PredictorConfig> &Predictor) {
+  return evaluateWorkloads(standardWorkloads(), CompileOpts, Predictor);
+}
+
+std::vector<WorkloadEvaluation>
+Evaluator::evaluateAll(const CompileOptions &CompileOpts,
+                       const std::optional<PredictorConfig> &Predictor) {
+  std::vector<WorkloadRecord> Records =
+      evaluateAllRecorded(CompileOpts, Predictor);
+  std::vector<WorkloadEvaluation> Evals;
+  Evals.reserve(Records.size());
+  for (WorkloadRecord &Record : Records)
+    Evals.push_back(std::move(Record.Eval));
+  return Evals;
+}

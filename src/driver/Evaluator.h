@@ -1,0 +1,126 @@
+//===- driver/Evaluator.h - Parallel cached workload evaluation -*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation harness the bench binaries run on.  It wraps the
+/// per-workload pipeline of driver/Report.h with three additions:
+///
+///  * workloads are compiled and interpreted concurrently on a ThreadPool
+///    (one task per workload; compiled modules are immutable during
+///    measurement, so concurrent interpretation is safe);
+///  * CompileResults are cached across evaluateSet() calls.  Baseline
+///    builds depend only on (source, heuristic set) and reordered builds
+///    on (source, training input, full options), so the predictor sweeps
+///    of Tables 5/6 — which re-evaluate identical builds under many
+///    predictor configurations — stop recompiling identical inputs;
+///  * every evaluation carries wall-clock records (compile seconds, run
+///    seconds, cache hits) so the bench suite's perf trajectory can be
+///    tracked across PRs (bench/bench_json.cpp).
+///
+/// DynamicCounts and PredictorStats never depend on wall clock or thread
+/// schedule: interpretation is deterministic, so the records produced here
+/// equal the serial path's bit for bit (see docs/SIM.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_DRIVER_EVALUATOR_H
+#define BROPT_DRIVER_EVALUATOR_H
+
+#include "driver/Report.h"
+#include "support/ThreadPool.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace bropt {
+
+/// Harness configuration.
+struct EvaluatorOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  unsigned Threads = 0;
+  /// Cache CompileResults across calls (keyed by source + options).
+  bool CacheCompiles = true;
+  /// Execution engine for every interpreter run.
+  Interpreter::Mode Mode = Interpreter::Mode::Decoded;
+};
+
+/// A WorkloadEvaluation plus the harness-level measurements around it.
+struct WorkloadRecord {
+  WorkloadEvaluation Eval;
+  double CompileSeconds = 0.0; ///< baseline + reordered compiles (0 if cached)
+  double RunSeconds = 0.0;     ///< interpretation of both builds
+  bool BaselineCacheHit = false;
+  bool ReorderedCacheHit = false;
+};
+
+/// Aggregate cache counters (monotonic over the Evaluator's lifetime).
+struct EvaluatorStats {
+  uint64_t BaselineHits = 0;
+  uint64_t BaselineMisses = 0;
+  uint64_t ReorderedHits = 0;
+  uint64_t ReorderedMisses = 0;
+};
+
+/// Compiles and evaluates workloads concurrently with compile caching.
+/// One Evaluator is meant to live for a whole bench process so the cache
+/// spans every sweep; all public methods are safe to call from one thread
+/// at a time (the concurrency is internal).
+class Evaluator {
+public:
+  explicit Evaluator(EvaluatorOptions Options = {});
+
+  const EvaluatorOptions &options() const { return Options; }
+  EvaluatorStats stats() const;
+
+  /// Evaluates one workload, reusing cached compiles when possible.
+  WorkloadRecord
+  evaluateWorkload(const Workload &W, const CompileOptions &Options,
+                   const std::optional<PredictorConfig> &Predictor =
+                       std::nullopt);
+
+  /// Evaluates \p Workloads concurrently, preserving input order.
+  std::vector<WorkloadRecord> evaluateWorkloads(
+      const std::vector<Workload> &Workloads, const CompileOptions &Options,
+      const std::optional<PredictorConfig> &Predictor = std::nullopt);
+
+  /// Evaluates every standard workload concurrently (records form).
+  std::vector<WorkloadRecord> evaluateAllRecorded(
+      const CompileOptions &Options,
+      const std::optional<PredictorConfig> &Predictor = std::nullopt);
+
+  /// Drop-in replacement for evaluateAllWorkloads(): every standard
+  /// workload, concurrently, without the harness-level records.
+  std::vector<WorkloadEvaluation> evaluateAll(
+      const CompileOptions &Options,
+      const std::optional<PredictorConfig> &Predictor = std::nullopt);
+
+  /// Empties the compile cache (counters keep accumulating).
+  void clearCache();
+
+private:
+  std::shared_ptr<const CompileResult>
+  baselineFor(const Workload &W, const CompileOptions &Options, bool &Hit,
+              double &Seconds);
+  std::shared_ptr<const CompileResult>
+  reorderedFor(const Workload &W, const CompileOptions &Options, bool &Hit,
+               double &Seconds);
+
+  EvaluatorOptions Options;
+  ThreadPool Pool;
+
+  mutable std::mutex CacheMutex;
+  // Keys embed the full source text: no hash collisions, and the map stays
+  // tiny (17 workloads x a few option signatures).
+  std::map<std::string, std::shared_ptr<const CompileResult>> BaselineCache;
+  std::map<std::string, std::shared_ptr<const CompileResult>> ReorderedCache;
+  EvaluatorStats Counters;
+};
+
+} // namespace bropt
+
+#endif // BROPT_DRIVER_EVALUATOR_H

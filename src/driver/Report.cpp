@@ -14,16 +14,15 @@ double WorkloadEvaluation::deltaPercent(uint64_t Before, uint64_t After) {
          static_cast<double>(Before);
 }
 
-namespace {
-
-BuildMeasurement measureBuild(Module &M, std::string_view TestInput,
-                              const std::optional<PredictorConfig>
-                                  &PredictorConfiguration,
-                              std::string &Error) {
+BuildMeasurement
+bropt::measureBuild(const Module &M, std::string_view TestInput,
+                    const std::optional<PredictorConfig>
+                        &PredictorConfiguration,
+                    std::string &Error, Interpreter::Mode Mode) {
   BuildMeasurement Result;
   Result.CodeSize = M.codeSize();
 
-  Interpreter Interp(M);
+  Interpreter Interp(M, Mode);
   Interp.setInput(TestInput);
   std::optional<BranchPredictor> Predictor;
   if (PredictorConfiguration) {
@@ -46,8 +45,6 @@ BuildMeasurement measureBuild(Module &M, std::string_view TestInput,
                                      Run.Counts, Result.Mispredictions);
   return Result;
 }
-
-} // namespace
 
 WorkloadEvaluation
 bropt::evaluateWorkload(const Workload &W, const CompileOptions &Options,

@@ -54,6 +54,16 @@ struct WorkloadEvaluation {
   static double deltaPercent(uint64_t Before, uint64_t After);
 };
 
+/// Interprets one build of \p M on \p TestInput under \p Mode and collects
+/// every per-build quantity the tables report.  On a trap, \p Error is
+/// filled and the measurement is partial.  Thread-safe for concurrent
+/// callers sharing one (immutable) module.
+BuildMeasurement
+measureBuild(const Module &M, std::string_view TestInput,
+             const std::optional<PredictorConfig> &Predictor,
+             std::string &Error,
+             Interpreter::Mode Mode = Interpreter::Mode::Decoded);
+
 /// Evaluates \p W under \p Options; if \p Predictor is set, both builds
 /// also run through an (m,n) predictor of that configuration.
 WorkloadEvaluation evaluateWorkload(const Workload &W,

@@ -25,37 +25,3 @@ void BranchPredictor::reset() {
   History = 0;
   Stats = PredictorStats();
 }
-
-unsigned BranchPredictor::indexFor(uint32_t BranchId) const {
-  // Branch ids stand in for instruction addresses.  Real branches are
-  // scattered through the text segment, so small tables see conflicts;
-  // a multiplicative (Fibonacci) hash reproduces that aliasing behaviour
-  // instead of letting dense ids map conflict-free into any table.
-  uint32_t Spread = BranchId * 2654435761u;
-  uint32_t HistoryMask = (Config.HistoryBits >= 32)
-                             ? ~0u
-                             : ((1u << Config.HistoryBits) - 1);
-  uint32_t Index = (Spread >> 16) ^ (History & HistoryMask);
-  return Index & (Config.NumEntries - 1);
-}
-
-bool BranchPredictor::observe(uint32_t BranchId, bool Taken) {
-  unsigned Index = indexFor(BranchId);
-  uint8_t &Counter = Counters[Index];
-  bool Predicted = Counter >= NotTakenThreshold;
-  bool Correct = Predicted == Taken;
-
-  ++Stats.Branches;
-  if (!Correct)
-    ++Stats.Mispredictions;
-
-  if (Taken) {
-    if (Counter < CounterMax)
-      ++Counter;
-  } else if (Counter > 0) {
-    --Counter;
-  }
-  if (Config.HistoryBits > 0)
-    History = (History << 1) | (Taken ? 1u : 0u);
-  return Correct;
-}

@@ -59,13 +59,46 @@ public:
   /// Records the outcome of one executed conditional branch.
   /// \p BranchId identifies the static branch (stands in for its address).
   /// \returns true if the prediction was correct.
-  bool observe(uint32_t BranchId, bool Taken);
+  ///
+  /// Defined inline: the interpreter calls this once per executed branch,
+  /// which makes an out-of-line call measurable on branchy programs.
+  bool observe(uint32_t BranchId, bool Taken) {
+    unsigned Index = indexFor(BranchId);
+    uint8_t &Counter = Counters[Index];
+    bool Predicted = Counter >= NotTakenThreshold;
+    bool Correct = Predicted == Taken;
+
+    ++Stats.Branches;
+    if (!Correct)
+      ++Stats.Mispredictions;
+
+    if (Taken) {
+      if (Counter < CounterMax)
+        ++Counter;
+    } else if (Counter > 0) {
+      --Counter;
+    }
+    if (Config.HistoryBits > 0)
+      History = (History << 1) | (Taken ? 1u : 0u);
+    return Correct;
+  }
 
   /// Clears the table, history, and statistics.
   void reset();
 
 private:
-  unsigned indexFor(uint32_t BranchId) const;
+  unsigned indexFor(uint32_t BranchId) const {
+    // Branch ids stand in for instruction addresses.  Real branches are
+    // scattered through the text segment, so small tables see conflicts;
+    // a multiplicative (Fibonacci) hash reproduces that aliasing behaviour
+    // instead of letting dense ids map conflict-free into any table.
+    uint32_t Spread = BranchId * 2654435761u;
+    uint32_t HistoryMask = (Config.HistoryBits >= 32)
+                               ? ~0u
+                               : ((1u << Config.HistoryBits) - 1);
+    uint32_t Index = (Spread >> 16) ^ (History & HistoryMask);
+    return Index & (Config.NumEntries - 1);
+  }
 
   PredictorConfig Config;
   PredictorStats Stats;

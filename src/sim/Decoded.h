@@ -1,0 +1,187 @@
+//===- sim/Decoded.h - Pre-decoded flat instruction format ------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flattened, pre-decoded representation of a Module built for fast
+/// interpretation.  Each function becomes one contiguous array of
+/// fixed-size DecodedInst records:
+///
+///  * operands are pre-resolved to frame-slot indices: registers occupy
+///    the first NumRegs slots and immediates are interned into a
+///    per-function constant pool materialized after them, so an operand
+///    read is one branchless array access and the dispatch loop never
+///    touches the Operand class or the Instruction hierarchy's virtual
+///    methods;
+///  * branch targets are instruction indices into the same array, so a
+///    transfer of control is a single index assignment rather than a
+///    BasicBlock pointer chase;
+///  * every static conditional branch carries its pre-assigned branch id
+///    (the same ids Interpreter::branchIdOf reports), eliminating the
+///    per-execution hash lookup the tree-walking loop pays to feed the
+///    branch predictor;
+///  * variable-length payloads (call arguments, jump tables, switch cases,
+///    combination-profile conditions) live in per-function side tables
+///    addressed by (offset, count) slices.
+///
+/// Decoding is a pure function of the Module: DynamicCounts, predictor
+/// behaviour, output bytes, and trap diagnostics of the decoded dispatch
+/// loop are bit-identical to the tree-walking interpreter (enforced by
+/// tests/sim/decoded_test.cpp).  See docs/SIM.md for the full format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_SIM_DECODED_H
+#define BROPT_SIM_DECODED_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bropt {
+
+/// Decoded opcode: InstKind split by the execution-time distinctions the
+/// tree walker re-derives on every visit (free fall-through jumps, blocks
+/// that fall off their end).
+enum class DecodedOp : uint8_t {
+  Move,
+  Binary,
+  Unary,
+  Load,
+  Store,
+  Cmp,
+  Call,
+  ReadChar,
+  PutChar,
+  PrintInt,
+  Profile,      ///< instrumentation hook; never counted in TotalInsts
+  ComboProfile, ///< combination-profiling hook (paper §10)
+  CondBr,
+  Jump,
+  FallThrough, ///< layout fall-through jump: free control transfer
+  Switch,
+  IndirectJump,
+  Ret,
+  TrapFellOff, ///< synthetic: block had no terminator; traps on execution
+};
+
+/// A pre-resolved operand: an index into the execution frame.  Registers
+/// occupy slots [0, NumRegs); interned immediates follow at
+/// [NumRegs, NumRegs + Constants.size()).
+struct DecodedOperand {
+  uint32_t Slot = 0;
+
+  /// Reads the operand against a frame (registers + constant pool).
+  int64_t read(const int64_t *Frame) const { return Frame[Slot]; }
+};
+
+/// One switch case in a side table.
+struct DecodedCase {
+  int64_t Value;
+  uint32_t Target; ///< instruction index
+};
+
+/// One combination-profile condition in a side table.
+struct DecodedCondition {
+  DecodedOperand Lhs, Rhs;
+  CondCode Pred;
+};
+
+/// A fixed-size decoded instruction.  Field meaning depends on Op:
+///
+///   Move         Dest = dest reg; A = src
+///   Binary       SubOp = BinaryOp; Dest; A, B = operands
+///   Unary        SubOp = UnaryOp; Dest; A = src
+///   Load         Dest; A = base; Imm = offset
+///   Store        A = base; B = value; Imm = offset
+///   Cmp          A, B = operands
+///   Call         Dest = dest reg or NoReg; Target0 = callee function
+///                index; Extra/ExtraCount = argument slice
+///   ReadChar     Dest
+///   PutChar      A = src
+///   PrintInt     A = src
+///   Profile      Dest = sequence id; A = value register
+///   ComboProfile Dest = sequence id; Extra/ExtraCount = condition slice
+///   CondBr       SubOp = CondCode; Dest = branch id; Target0 = taken,
+///                Target1 = fall-through (instruction indices)
+///   Jump         Target0
+///   FallThrough  Target0
+///   Switch       A = value; Target0 = default; Extra/ExtraCount = cases
+///   IndirectJump A = index; Extra/ExtraCount = jump-table slice
+///   Ret          SubOp = 1 if a value is returned; A = value
+///   TrapFellOff  Dest = index into the label side table
+struct DecodedInst {
+  DecodedOp Op = DecodedOp::Ret;
+  uint8_t SubOp = 0;
+  uint32_t Dest = 0;
+  DecodedOperand A, B;
+  int64_t Imm = 0;
+  uint32_t Target0 = 0, Target1 = 0;
+  uint32_t Extra = 0, ExtraCount = 0;
+
+  /// Sentinel for "call defines no register".
+  static constexpr uint32_t NoReg = UINT32_MAX;
+};
+
+/// One flattened function.
+struct DecodedFunction {
+  std::string Name;
+  unsigned NumParams = 0;
+  unsigned NumRegs = 0;
+  bool HasBody = false;
+  std::vector<DecodedInst> Insts;
+
+  /// Interned immediates; the dispatch loop copies them into the frame
+  /// after the registers so operand reads never branch on operand kind.
+  std::vector<int64_t> Constants;
+
+  /// Execution-frame size: registers plus materialized constants.
+  size_t numSlots() const { return NumRegs + Constants.size(); }
+
+  // Side tables addressed by DecodedInst::Extra slices.
+  std::vector<DecodedOperand> CallArgs;
+  std::vector<DecodedCase> Cases;
+  std::vector<uint32_t> JumpTables;
+  std::vector<DecodedCondition> Conditions;
+  std::vector<std::string> Labels; ///< diagnostics for TrapFellOff
+};
+
+/// A fully decoded module.  Function order (and therefore branch-id
+/// assignment) matches module order, so ids agree with
+/// Interpreter::branchIdOf on the source Module.
+class DecodedModule {
+public:
+  /// Flattens \p M.  Pure: does not mutate the module and depends only on
+  /// its current state; re-decode after any IR mutation.
+  static DecodedModule decode(const Module &M);
+
+  const DecodedFunction *getFunction(const std::string &Name) const {
+    auto It = Index.find(Name);
+    return It == Index.end() ? nullptr : &Functions[It->second];
+  }
+
+  const DecodedFunction &function(uint32_t FuncIndex) const {
+    assert(FuncIndex < Functions.size() && "function index out of range");
+    return Functions[FuncIndex];
+  }
+
+  size_t size() const { return Functions.size(); }
+
+  /// Total number of static conditional branches (== branch ids assigned).
+  uint32_t numBranchIds() const { return NumBranchIds; }
+
+private:
+  std::vector<DecodedFunction> Functions;
+  std::unordered_map<std::string, uint32_t> Index;
+  uint32_t NumBranchIds = 0;
+};
+
+} // namespace bropt
+
+#endif // BROPT_SIM_DECODED_H

@@ -7,7 +7,8 @@
 
 using namespace bropt;
 
-Interpreter::Interpreter(const Module &M) : M(M) {
+Interpreter::Interpreter(const Module &M, Mode ExecMode)
+    : M(M), ExecutionMode(ExecMode) {
   // Number every static conditional branch in layout order; the id stands
   // in for the branch's address when indexing the predictor table.
   uint32_t NextId = 0;
@@ -53,6 +54,25 @@ RunResult Interpreter::run(const std::string &EntryName,
     for (size_t Index = 0; Index < Global->Init.size(); ++Index)
       Memory[Global->BaseAddress + Index] = Global->Init[Index];
 
+  if (ExecutionMode == Mode::Decoded) {
+    // Re-decode on every run: decoding is O(static size) — noise next to
+    // the dynamic counts — and passes mutate modules between runs.
+    DecodedModule DM = DecodedModule::decode(M);
+    const DecodedFunction *Entry = DM.getFunction(EntryName);
+    if (!Entry) {
+      trap(formatString("entry function '%s' not found", EntryName.c_str()));
+      return Result;
+    }
+    if (Args.size() != Entry->NumParams) {
+      trap("argument count mismatch for entry function");
+      return Result;
+    }
+    Result.ExitValue = execDecoded(DM, *Entry, Args, 0);
+    if (Predictor)
+      Result.Prediction = Predictor->getStats();
+    return Result;
+  }
+
   const Function *Entry = M.getFunction(EntryName);
   if (!Entry) {
     trap(formatString("entry function '%s' not found", EntryName.c_str()));
@@ -67,6 +87,319 @@ RunResult Interpreter::run(const std::string &EntryName,
   if (Predictor)
     Result.Prediction = Predictor->getStats();
   return Result;
+}
+
+namespace {
+
+/// Local inline copy of evalCondCode: the dispatch loop evaluates one
+/// condition per branch, and an out-of-line call there is measurable.
+inline bool evalCC(CondCode CC, int64_t Lhs, int64_t Rhs) {
+  switch (CC) {
+  case CondCode::EQ:
+    return Lhs == Rhs;
+  case CondCode::NE:
+    return Lhs != Rhs;
+  case CondCode::LT:
+    return Lhs < Rhs;
+  case CondCode::LE:
+    return Lhs <= Rhs;
+  case CondCode::GT:
+    return Lhs > Rhs;
+  case CondCode::GE:
+    return Lhs >= Rhs;
+  }
+  BROPT_UNREACHABLE("unknown condition code");
+}
+
+} // namespace
+
+int64_t Interpreter::execDecoded(const DecodedModule &DM,
+                                 const DecodedFunction &F,
+                                 const std::vector<int64_t> &Args,
+                                 unsigned Depth) {
+  if (Depth > MaxCallDepth) {
+    trap("call depth limit exceeded");
+    return 0;
+  }
+  assert(Args.size() == F.NumParams && "bad argument count");
+  if (!F.HasBody) {
+    trap(formatString("function '%s' has no body", F.Name.c_str()));
+    return 0;
+  }
+
+  // The execution frame: registers (zeroed, parameters first) followed by
+  // the function's interned constants, so every operand read is one
+  // branchless slot load.
+  std::vector<int64_t> Frame(F.numSlots(), 0);
+  int64_t *Regs = Frame.data();
+  std::copy(Args.begin(), Args.end(), Regs);
+  std::copy(F.Constants.begin(), F.Constants.end(), Regs + F.NumRegs);
+
+  // Counters accumulate in locals and flush to Result.Counts at every
+  // exit, keeping per-instruction increments out of memory.  Flushing must
+  // also happen around recursive calls so callees see (and extend) exact
+  // global totals.
+  DynamicCounts LC;
+  auto flush = [&] {
+    DynamicCounts &C = Result.Counts;
+    C.TotalInsts += LC.TotalInsts;
+    C.CondBranches += LC.CondBranches;
+    C.TakenBranches += LC.TakenBranches;
+    C.UncondJumps += LC.UncondJumps;
+    C.IndirectJumps += LC.IndirectJumps;
+    C.Compares += LC.Compares;
+    C.Loads += LC.Loads;
+    C.Stores += LC.Stores;
+    C.Calls += LC.Calls;
+    C.ProfileHooks += LC.ProfileHooks;
+    LC = DynamicCounts();
+  };
+  // Instructions this frame may still execute before the limit trips;
+  // LC.TotalInsts counts against it.  Recomputed after every call.
+  uint64_t Budget = InstructionLimit - Result.Counts.TotalInsts;
+
+// Equivalent to the tree walker's `++Counts.TotalInsts > InstructionLimit`
+// (the final count lands one past the limit, like the tree walker's).
+#define BROPT_COUNT_INST()                                                     \
+  do {                                                                         \
+    if (++LC.TotalInsts > Budget) {                                            \
+      flush();                                                                 \
+      trap("instruction limit exceeded");                                      \
+      return 0;                                                                \
+    }                                                                          \
+  } while (0)
+
+  int64_t CCLhs = 0, CCRhs = 0;
+  const DecodedInst *Insts = F.Insts.data();
+  size_t Index = 0;
+
+  for (;;) {
+    const DecodedInst &Inst = Insts[Index];
+    switch (Inst.Op) {
+    case DecodedOp::Move:
+      BROPT_COUNT_INST();
+      Regs[Inst.Dest] = Inst.A.read(Regs);
+      break;
+    case DecodedOp::Binary: {
+      BROPT_COUNT_INST();
+      int64_t Lhs = Inst.A.read(Regs);
+      int64_t Rhs = Inst.B.read(Regs);
+      int64_t Value = 0;
+      uint64_t UL = static_cast<uint64_t>(Lhs), UR = static_cast<uint64_t>(Rhs);
+      switch (static_cast<BinaryOp>(Inst.SubOp)) {
+      case BinaryOp::Add:
+        Value = static_cast<int64_t>(UL + UR);
+        break;
+      case BinaryOp::Sub:
+        Value = static_cast<int64_t>(UL - UR);
+        break;
+      case BinaryOp::Mul:
+        Value = static_cast<int64_t>(UL * UR);
+        break;
+      case BinaryOp::Div:
+        if (Rhs == 0) {
+          flush();
+          trap("division by zero");
+          return 0;
+        }
+        if (Lhs == INT64_MIN && Rhs == -1) {
+          flush();
+          trap("division overflow");
+          return 0;
+        }
+        Value = Lhs / Rhs;
+        break;
+      case BinaryOp::Rem:
+        if (Rhs == 0) {
+          flush();
+          trap("remainder by zero");
+          return 0;
+        }
+        if (Lhs == INT64_MIN && Rhs == -1) {
+          flush();
+          trap("remainder overflow");
+          return 0;
+        }
+        Value = Lhs % Rhs;
+        break;
+      case BinaryOp::And:
+        Value = Lhs & Rhs;
+        break;
+      case BinaryOp::Or:
+        Value = Lhs | Rhs;
+        break;
+      case BinaryOp::Xor:
+        Value = Lhs ^ Rhs;
+        break;
+      case BinaryOp::Shl:
+        Value = static_cast<int64_t>(UL << (UR & 63));
+        break;
+      case BinaryOp::Shr:
+        Value = Lhs >> (UR & 63);
+        break;
+      }
+      Regs[Inst.Dest] = Value;
+      break;
+    }
+    case DecodedOp::Unary: {
+      BROPT_COUNT_INST();
+      int64_t Src = Inst.A.read(Regs);
+      Regs[Inst.Dest] =
+          static_cast<UnaryOp>(Inst.SubOp) == UnaryOp::Neg
+              ? static_cast<int64_t>(-static_cast<uint64_t>(Src))
+              : (Src == 0 ? 1 : 0);
+      break;
+    }
+    case DecodedOp::Load: {
+      BROPT_COUNT_INST();
+      ++LC.Loads;
+      int64_t Address = Inst.A.read(Regs) + Inst.Imm;
+      if (Address < 0 || static_cast<uint64_t>(Address) >= Memory.size()) {
+        flush();
+        trap(formatString("load from invalid address %lld",
+                          static_cast<long long>(Address)));
+        return 0;
+      }
+      Regs[Inst.Dest] = Memory[static_cast<size_t>(Address)];
+      break;
+    }
+    case DecodedOp::Store: {
+      BROPT_COUNT_INST();
+      ++LC.Stores;
+      int64_t Address = Inst.A.read(Regs) + Inst.Imm;
+      if (Address < 0 || static_cast<uint64_t>(Address) >= Memory.size()) {
+        flush();
+        trap(formatString("store to invalid address %lld",
+                          static_cast<long long>(Address)));
+        return 0;
+      }
+      Memory[static_cast<size_t>(Address)] = Inst.B.read(Regs);
+      break;
+    }
+    case DecodedOp::Cmp:
+      BROPT_COUNT_INST();
+      ++LC.Compares;
+      CCLhs = Inst.A.read(Regs);
+      CCRhs = Inst.B.read(Regs);
+      break;
+    case DecodedOp::Call: {
+      BROPT_COUNT_INST();
+      ++LC.Calls;
+      std::vector<int64_t> CallArgs;
+      CallArgs.reserve(Inst.ExtraCount);
+      const DecodedOperand *ArgSlice =
+          Inst.ExtraCount ? &F.CallArgs[Inst.Extra] : nullptr;
+      for (uint32_t ArgIndex = 0; ArgIndex < Inst.ExtraCount; ++ArgIndex)
+        CallArgs.push_back(ArgSlice[ArgIndex].read(Regs));
+      flush();
+      int64_t Value =
+          execDecoded(DM, DM.function(Inst.Target0), CallArgs, Depth + 1);
+      if (Aborted)
+        return 0;
+      Budget = InstructionLimit - Result.Counts.TotalInsts;
+      if (Inst.Dest != DecodedInst::NoReg)
+        Regs[Inst.Dest] = Value;
+      break;
+    }
+    case DecodedOp::ReadChar:
+      BROPT_COUNT_INST();
+      if (InputCursor < Input.size())
+        Regs[Inst.Dest] = static_cast<unsigned char>(Input[InputCursor++]);
+      else
+        Regs[Inst.Dest] = -1;
+      break;
+    case DecodedOp::PutChar:
+      BROPT_COUNT_INST();
+      Result.Output.push_back(static_cast<char>(Inst.A.read(Regs) & 0xff));
+      break;
+    case DecodedOp::PrintInt:
+      BROPT_COUNT_INST();
+      Result.Output += formatString(
+          "%lld\n", static_cast<long long>(Inst.A.read(Regs)));
+      break;
+    case DecodedOp::Profile:
+      // Instrumentation hooks never count toward TotalInsts or the limit.
+      ++LC.ProfileHooks;
+      if (OnProfile)
+        OnProfile(Inst.Dest, Inst.A.read(Regs));
+      break;
+    case DecodedOp::ComboProfile:
+      ++LC.ProfileHooks;
+      if (OnComboProfile) {
+        int64_t Mask = 0;
+        const DecodedCondition *Conds =
+            Inst.ExtraCount ? &F.Conditions[Inst.Extra] : nullptr;
+        for (uint32_t Bit = 0; Bit < Inst.ExtraCount; ++Bit)
+          if (evalCC(Conds[Bit].Pred, Conds[Bit].Lhs.read(Regs),
+                     Conds[Bit].Rhs.read(Regs)))
+            Mask |= int64_t{1} << Bit;
+        OnComboProfile(Inst.Dest, Mask);
+      }
+      break;
+    case DecodedOp::CondBr: {
+      BROPT_COUNT_INST();
+      ++LC.CondBranches;
+      bool Taken = evalCC(static_cast<CondCode>(Inst.SubOp), CCLhs, CCRhs);
+      if (Taken)
+        ++LC.TakenBranches;
+      if (Predictor)
+        Predictor->observe(Inst.Dest, Taken);
+      Index = Taken ? Inst.Target0 : Inst.Target1;
+      continue;
+    }
+    case DecodedOp::Jump:
+      BROPT_COUNT_INST();
+      ++LC.UncondJumps;
+      Index = Inst.Target0;
+      continue;
+    case DecodedOp::FallThrough:
+      // A layout fall-through executes for free, like in the tree walker.
+      Index = Inst.Target0;
+      continue;
+    case DecodedOp::Switch: {
+      BROPT_COUNT_INST();
+      int64_t Value = Inst.A.read(Regs);
+      uint32_t Target = Inst.Target0;
+      const DecodedCase *CaseSlice =
+          Inst.ExtraCount ? &F.Cases[Inst.Extra] : nullptr;
+      for (uint32_t CaseIndex = 0; CaseIndex < Inst.ExtraCount; ++CaseIndex)
+        if (CaseSlice[CaseIndex].Value == Value) {
+          Target = CaseSlice[CaseIndex].Target;
+          break;
+        }
+      Index = Target;
+      continue;
+    }
+    case DecodedOp::IndirectJump: {
+      BROPT_COUNT_INST();
+      ++LC.IndirectJumps;
+      int64_t TableIndex = Inst.A.read(Regs);
+      if (TableIndex < 0 ||
+          static_cast<uint64_t>(TableIndex) >= Inst.ExtraCount) {
+        flush();
+        trap(formatString("indirect jump index %lld out of range",
+                          static_cast<long long>(TableIndex)));
+        return 0;
+      }
+      Index = F.JumpTables[Inst.Extra + static_cast<size_t>(TableIndex)];
+      continue;
+    }
+    case DecodedOp::Ret: {
+      BROPT_COUNT_INST();
+      int64_t Value = Inst.SubOp ? Inst.A.read(Regs) : 0;
+      flush();
+      return Value;
+    }
+    case DecodedOp::TrapFellOff:
+      // The tree walker traps after exhausting the block's instructions
+      // without executing anything further, so this must not count.
+      flush();
+      trap(F.Labels[Inst.Dest] + " fell off the end (no terminator)");
+      return 0;
+    }
+    ++Index;
+  }
+#undef BROPT_COUNT_INST
 }
 
 int64_t Interpreter::execFunction(const Function &F,

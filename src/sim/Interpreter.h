@@ -23,6 +23,7 @@
 #include "ir/Module.h"
 #include "predict/BranchPredictor.h"
 #include "sim/CostModel.h"
+#include "sim/Decoded.h"
 
 #include <cstdint>
 #include <functional>
@@ -65,7 +66,23 @@ struct RunResult {
 /// ReadChar.
 class Interpreter {
 public:
-  explicit Interpreter(const Module &M);
+  /// Execution strategies.  Both produce bit-identical RunResults; the
+  /// decoded engine exists purely for speed, the tree walker purely as the
+  /// differential-testing reference (see docs/SIM.md).
+  enum class Mode : uint8_t {
+    /// Flatten the module into DecodedInst arrays and dispatch over them
+    /// (the default: several times faster than walking the IR).
+    Decoded,
+    /// Walk the Instruction hierarchy block by block, as the original
+    /// implementation did.
+    Tree,
+  };
+
+  explicit Interpreter(const Module &M, Mode ExecMode = Mode::Decoded);
+
+  /// Selects the execution engine for subsequent run() calls.
+  void setMode(Mode ExecMode) { ExecutionMode = ExecMode; }
+  Mode getMode() const { return ExecutionMode; }
 
   /// Sets the byte stream ReadChar consumes.  The view must stay valid for
   /// the duration of run().
@@ -100,12 +117,15 @@ public:
 private:
   int64_t execFunction(const Function &F, const std::vector<int64_t> &Args,
                        unsigned Depth);
+  int64_t execDecoded(const DecodedModule &DM, const DecodedFunction &F,
+                      const std::vector<int64_t> &Args, unsigned Depth);
   void trap(std::string Reason);
 
   int64_t readOperand(const Operand &Op,
                       const std::vector<int64_t> &Regs) const;
 
   const Module &M;
+  Mode ExecutionMode;
   std::string_view Input;
   size_t InputCursor = 0;
   BranchPredictor *Predictor = nullptr;

@@ -1,0 +1,82 @@
+//===- support/ThreadPool.h - A small fixed-size thread pool ----*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size worker pool used by the evaluation harness to
+/// compile and interpret workloads concurrently.  Tasks are opaque
+/// std::function<void()> thunks; submit() wraps a callable in a
+/// packaged_task and returns its future.
+///
+/// The pool is deliberately simple: no work stealing, no task priorities,
+/// no nested-task draining.  Tasks must not enqueue further tasks and then
+/// block on them from inside the pool (with one worker that deadlocks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_SUPPORT_THREADPOOL_H
+#define BROPT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bropt {
+
+class ThreadPool {
+public:
+  /// Creates a pool of \p NumThreads workers; 0 means one worker per
+  /// hardware thread (and always at least one).
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Waits for queued and running tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues a task for execution on some worker.
+  void enqueue(std::function<void()> Task);
+
+  /// Enqueues \p Fn and returns a future for its result.
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> submit(Fn &&Callable) {
+    using Result = std::invoke_result_t<Fn>;
+    auto Task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(Callable));
+    std::future<Result> Future = Task->get_future();
+    enqueue([Task]() { (*Task)(); });
+    return Future;
+  }
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable; ///< workers wait on this
+  std::condition_variable AllIdle;       ///< wait() blocks on this
+  unsigned Running = 0;                  ///< tasks currently executing
+  bool ShuttingDown = false;
+};
+
+} // namespace bropt
+
+#endif // BROPT_SUPPORT_THREADPOOL_H

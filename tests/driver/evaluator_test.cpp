@@ -1,0 +1,167 @@
+//===- tests/driver/evaluator_test.cpp - Evaluation harness tests ---------===//
+
+#include "driver/Evaluator.h"
+
+#include <gtest/gtest.h>
+
+using namespace bropt;
+
+namespace {
+
+const char *TinySource = R"(
+int total = 0;
+int main() {
+  int c;
+  while ((c = getchar()) != -1) {
+    if (c == 'a') { total = total + 2; }
+    else if (c == 'b') { total = total + 1; }
+    else { total = total; }
+  }
+  printint(total);
+  return 0;
+}
+)";
+
+Workload tinyWorkload() {
+  Workload W;
+  W.Name = "tiny";
+  W.Description = "caching unit-test program";
+  W.Source = TinySource;
+  W.TrainingInput = "aababab aab";
+  W.TestInput = "babba abba";
+  return W;
+}
+
+void expectSameMeasurement(const BuildMeasurement &A,
+                           const BuildMeasurement &B) {
+  EXPECT_EQ(A.Counts.TotalInsts, B.Counts.TotalInsts);
+  EXPECT_EQ(A.Counts.CondBranches, B.Counts.CondBranches);
+  EXPECT_EQ(A.Counts.UncondJumps, B.Counts.UncondJumps);
+  EXPECT_EQ(A.Mispredictions, B.Mispredictions);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST(EvaluatorTest, CachesBaselineAndReorderedCompiles) {
+  Evaluator Eval;
+  Workload W = tinyWorkload();
+  CompileOptions Options;
+
+  WorkloadRecord First = Eval.evaluateWorkload(W, Options);
+  ASSERT_TRUE(First.Eval.ok()) << First.Eval.Error;
+  EXPECT_FALSE(First.BaselineCacheHit);
+  EXPECT_FALSE(First.ReorderedCacheHit);
+  EXPECT_EQ(Eval.stats().BaselineMisses, 1u);
+  EXPECT_EQ(Eval.stats().BaselineHits, 0u);
+  EXPECT_EQ(Eval.stats().ReorderedMisses, 1u);
+
+  WorkloadRecord Second = Eval.evaluateWorkload(W, Options);
+  ASSERT_TRUE(Second.Eval.ok()) << Second.Eval.Error;
+  EXPECT_TRUE(Second.BaselineCacheHit);
+  EXPECT_TRUE(Second.ReorderedCacheHit);
+  EXPECT_EQ(Eval.stats().BaselineHits, 1u);
+  EXPECT_EQ(Eval.stats().BaselineMisses, 1u);
+  EXPECT_EQ(Eval.stats().ReorderedHits, 1u);
+  EXPECT_EQ(Eval.stats().ReorderedMisses, 1u);
+
+  // Cached compiles must yield identical measurements.
+  expectSameMeasurement(First.Eval.Baseline, Second.Eval.Baseline);
+  expectSameMeasurement(First.Eval.Reordered, Second.Eval.Reordered);
+}
+
+TEST(EvaluatorTest, OptionChangesMissTheCache) {
+  Evaluator Eval;
+  Workload W = tinyWorkload();
+
+  CompileOptions SetI;
+  SetI.HeuristicSet = SwitchHeuristicSet::SetI;
+  CompileOptions SetIII;
+  SetIII.HeuristicSet = SwitchHeuristicSet::SetIII;
+
+  ASSERT_TRUE(Eval.evaluateWorkload(W, SetI).Eval.ok());
+  WorkloadRecord Other = Eval.evaluateWorkload(W, SetIII);
+  ASSERT_TRUE(Other.Eval.ok()) << Other.Eval.Error;
+  EXPECT_FALSE(Other.BaselineCacheHit);
+  EXPECT_FALSE(Other.ReorderedCacheHit);
+  EXPECT_EQ(Eval.stats().BaselineMisses, 2u);
+
+  // Reorder-option changes invalidate reordered builds but reuse the
+  // baseline, which does not depend on them.
+  CompileOptions NoDup = SetI;
+  NoDup.Reorder.DuplicateDefaultTarget = false;
+  WorkloadRecord Third = Eval.evaluateWorkload(W, NoDup);
+  ASSERT_TRUE(Third.Eval.ok()) << Third.Eval.Error;
+  EXPECT_TRUE(Third.BaselineCacheHit);
+  EXPECT_FALSE(Third.ReorderedCacheHit);
+}
+
+TEST(EvaluatorTest, ClearCacheForcesRecompilation) {
+  Evaluator Eval;
+  Workload W = tinyWorkload();
+  CompileOptions Options;
+  ASSERT_TRUE(Eval.evaluateWorkload(W, Options).Eval.ok());
+  Eval.clearCache();
+  WorkloadRecord Record = Eval.evaluateWorkload(W, Options);
+  EXPECT_FALSE(Record.BaselineCacheHit);
+  EXPECT_EQ(Eval.stats().BaselineMisses, 2u);
+}
+
+TEST(EvaluatorTest, CachingCanBeDisabled) {
+  EvaluatorOptions Options;
+  Options.CacheCompiles = false;
+  Evaluator Eval(Options);
+  Workload W = tinyWorkload();
+  CompileOptions CompileOpts;
+  ASSERT_TRUE(Eval.evaluateWorkload(W, CompileOpts).Eval.ok());
+  WorkloadRecord Second = Eval.evaluateWorkload(W, CompileOpts);
+  EXPECT_FALSE(Second.BaselineCacheHit);
+  EXPECT_FALSE(Second.ReorderedCacheHit);
+  EXPECT_EQ(Eval.stats().BaselineHits, 0u);
+}
+
+TEST(EvaluatorTest, ParallelEvaluationPreservesOrderAndResults) {
+  // The batched path must return records in input order with the same
+  // measurements the serial path produces, regardless of thread count.
+  std::vector<Workload> Batch;
+  for (char Tag = 'a'; Tag < 'e'; ++Tag) {
+    Workload W = tinyWorkload();
+    W.Name = std::string("tiny-") + Tag;
+    W.TestInput += Tag; // distinct inputs -> distinct counts
+    Batch.push_back(W);
+  }
+  CompileOptions Options;
+
+  EvaluatorOptions Serial;
+  Serial.Threads = 1;
+  Evaluator SerialEval(Serial);
+  std::vector<WorkloadRecord> Expected =
+      SerialEval.evaluateWorkloads(Batch, Options);
+
+  EvaluatorOptions Parallel;
+  Parallel.Threads = 4;
+  Evaluator ParallelEval(Parallel);
+  std::vector<WorkloadRecord> Actual =
+      ParallelEval.evaluateWorkloads(Batch, Options);
+
+  ASSERT_EQ(Expected.size(), Batch.size());
+  ASSERT_EQ(Actual.size(), Batch.size());
+  for (size_t Index = 0; Index < Batch.size(); ++Index) {
+    EXPECT_EQ(Actual[Index].Eval.Name, Batch[Index].Name);
+    ASSERT_TRUE(Actual[Index].Eval.ok()) << Actual[Index].Eval.Error;
+    expectSameMeasurement(Expected[Index].Eval.Baseline,
+                          Actual[Index].Eval.Baseline);
+    expectSameMeasurement(Expected[Index].Eval.Reordered,
+                          Actual[Index].Eval.Reordered);
+  }
+}
+
+TEST(EvaluatorTest, FrontEndErrorsAreReported) {
+  Evaluator Eval;
+  Workload Broken = tinyWorkload();
+  Broken.Source = "int main( {";
+  CompileOptions Options;
+  WorkloadRecord Record = Eval.evaluateWorkload(Broken, Options);
+  EXPECT_FALSE(Record.Eval.ok());
+  EXPECT_FALSE(Record.Eval.Error.empty());
+}
+
+} // namespace

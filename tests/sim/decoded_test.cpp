@@ -1,0 +1,314 @@
+//===- tests/sim/decoded_test.cpp - Decoded-engine differential tests -----===//
+//
+// The pre-decoded flat-dispatch engine must be observationally identical
+// to the tree-walking reference interpreter: same DynamicCounts, same
+// predictor statistics, same output bytes, same exit values, and same trap
+// diagnostics, on every workload and example program, with and without an
+// attached predictor.  These tests run both engines over everything and
+// assert bitwise equality.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "ir/IRBuilder.h"
+#include "sim/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace bropt;
+
+namespace {
+
+void expectCountsEqual(const DynamicCounts &Tree, const DynamicCounts &Flat) {
+  EXPECT_EQ(Tree.TotalInsts, Flat.TotalInsts);
+  EXPECT_EQ(Tree.CondBranches, Flat.CondBranches);
+  EXPECT_EQ(Tree.TakenBranches, Flat.TakenBranches);
+  EXPECT_EQ(Tree.UncondJumps, Flat.UncondJumps);
+  EXPECT_EQ(Tree.IndirectJumps, Flat.IndirectJumps);
+  EXPECT_EQ(Tree.Compares, Flat.Compares);
+  EXPECT_EQ(Tree.Loads, Flat.Loads);
+  EXPECT_EQ(Tree.Stores, Flat.Stores);
+  EXPECT_EQ(Tree.Calls, Flat.Calls);
+  EXPECT_EQ(Tree.ProfileHooks, Flat.ProfileHooks);
+}
+
+/// Runs \p M under both engines (optionally with a fresh predictor each)
+/// and asserts every observable field matches.  \returns the tree result.
+RunResult expectIdenticalRuns(const Module &M, std::string_view Input,
+                              bool WithPredictor,
+                              const std::string &Context) {
+  SCOPED_TRACE(Context);
+  RunResult Results[2];
+  const Interpreter::Mode Modes[2] = {Interpreter::Mode::Tree,
+                                      Interpreter::Mode::Decoded};
+  for (int Index = 0; Index < 2; ++Index) {
+    Interpreter Interp(M, Modes[Index]);
+    Interp.setInput(Input);
+    std::optional<BranchPredictor> Predictor;
+    if (WithPredictor) {
+      Predictor.emplace(PredictorConfig::ultraSparc());
+      Interp.attachPredictor(&*Predictor);
+    }
+    Results[Index] = Interp.run();
+  }
+  const RunResult &Tree = Results[0], &Flat = Results[1];
+  EXPECT_EQ(Tree.Trapped, Flat.Trapped);
+  EXPECT_EQ(Tree.TrapReason, Flat.TrapReason);
+  EXPECT_EQ(Tree.ExitValue, Flat.ExitValue);
+  EXPECT_EQ(Tree.Output, Flat.Output);
+  expectCountsEqual(Tree.Counts, Flat.Counts);
+  EXPECT_EQ(Tree.Prediction.Branches, Flat.Prediction.Branches);
+  EXPECT_EQ(Tree.Prediction.Mispredictions, Flat.Prediction.Mispredictions);
+  return Results[0];
+}
+
+TEST(DecodedDifferentialTest, AllWorkloadsAllHeuristicSets) {
+  for (SwitchHeuristicSet Set :
+       {SwitchHeuristicSet::SetI, SwitchHeuristicSet::SetII,
+        SwitchHeuristicSet::SetIII}) {
+    CompileOptions Options;
+    Options.HeuristicSet = Set;
+    // Predict only under Set I to bound runtime; the predictor path is
+    // engine-independent apart from branch-id assignment, which Set I's
+    // jump tables, binary searches, and linear searches all exercise.
+    bool WithPredictor = Set == SwitchHeuristicSet::SetI;
+    for (const Workload &W : standardWorkloads()) {
+      std::string Context =
+          W.Name + "/set" + switchHeuristicSetName(Set);
+      CompileResult Baseline = compileBaseline(W.Source, Options);
+      ASSERT_TRUE(Baseline.ok()) << Baseline.Error;
+      expectIdenticalRuns(*Baseline.M, W.TestInput, false,
+                          Context + "/baseline");
+      if (WithPredictor)
+        expectIdenticalRuns(*Baseline.M, W.TestInput, true,
+                            Context + "/baseline/predict");
+
+      CompileResult Reordered =
+          compileWithReordering(W.Source, W.TrainingInput, Options);
+      ASSERT_TRUE(Reordered.ok()) << Reordered.Error;
+      expectIdenticalRuns(*Reordered.M, W.TestInput, false,
+                          Context + "/reordered");
+      if (WithPredictor)
+        expectIdenticalRuns(*Reordered.M, W.TestInput, true,
+                            Context + "/reordered/predict");
+    }
+  }
+}
+
+std::string readFileOrFail(const std::string &Path) {
+  std::ifstream Stream(Path, std::ios::binary);
+  EXPECT_TRUE(Stream.good()) << "cannot read " << Path;
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  return Buffer.str();
+}
+
+TEST(DecodedDifferentialTest, ExamplePrograms) {
+  const std::string Root = BROPT_SOURCE_DIR;
+  const char *Sources[] = {
+      "/examples/mini/wc.mc",
+      "/examples/mini/tokens.mc",
+  };
+  // Feed each program realistic byte streams: its own source text and
+  // another program's.
+  std::string InputA = readFileOrFail(Root + "/examples/mini/wc.mc");
+  std::string InputB = readFileOrFail(Root + "/examples/mini/tokens.mc");
+  for (const char *Relative : Sources) {
+    std::string Source = readFileOrFail(Root + Relative);
+    CompileOptions Options;
+
+    CompileResult Baseline = compileBaseline(Source, Options);
+    ASSERT_TRUE(Baseline.ok()) << Relative << ": " << Baseline.Error;
+    expectIdenticalRuns(*Baseline.M, InputA, true,
+                        std::string(Relative) + "/baseline");
+
+    CompileResult Reordered =
+        compileWithReordering(Source, InputB, Options);
+    ASSERT_TRUE(Reordered.ok()) << Relative << ": " << Reordered.Error;
+    expectIdenticalRuns(*Reordered.M, InputA, true,
+                        std::string(Relative) + "/reordered");
+  }
+}
+
+TEST(DecodedDifferentialTest, CommonSuccessorInstrumentationRuns) {
+  // The §10 extension adds ComboProfile hooks; run an instrumented build
+  // through both engines via the driver's pass-1 on a switch-heavy
+  // workload and make sure the collected profiles agree.
+  const Workload *W = findWorkload("sort");
+  ASSERT_NE(W, nullptr);
+  CompileOptions Options;
+  Options.EnableCommonSuccessorReordering = true;
+  Options.HeuristicSet = SwitchHeuristicSet::SetIII;
+  CompileResult Reordered =
+      compileWithReordering(W->Source, W->TrainingInput, Options);
+  ASSERT_TRUE(Reordered.ok()) << Reordered.Error;
+  expectIdenticalRuns(*Reordered.M, W->TestInput, true,
+                      "sort/common-successor");
+}
+
+TEST(DecodedDifferentialTest, ProfileHookCallbacksMatch) {
+  // Hand-built module with a Profile hook in a counted loop: callback
+  // sequences must be identical and hooks must stay out of TotalInsts.
+  Module M;
+  Function *F = M.createFunction("main", 0);
+  BasicBlock *Entry = F->createBlock();
+  BasicBlock *Loop = F->createBlock();
+  BasicBlock *Exit = F->createBlock();
+  unsigned Counter = F->newReg();
+  IRBuilder Builder(Entry);
+  Builder.emitMove(Counter, Operand::imm(0));
+  Builder.emitJump(Loop);
+  Builder.setInsertionPoint(Loop);
+  Builder.emitProfile(7, Counter);
+  Builder.emitBinary(BinaryOp::Add, Counter, Operand::reg(Counter),
+                     Operand::imm(1));
+  Builder.emitCmp(Operand::reg(Counter), Operand::imm(5));
+  Builder.emitCondBr(CondCode::LT, Loop, Exit);
+  Builder.setInsertionPoint(Exit);
+  Builder.emitRet(Operand::reg(Counter));
+
+  std::vector<std::pair<unsigned, int64_t>> Seen[2];
+  const Interpreter::Mode Modes[2] = {Interpreter::Mode::Tree,
+                                      Interpreter::Mode::Decoded};
+  for (int Index = 0; Index < 2; ++Index) {
+    Interpreter Interp(M, Modes[Index]);
+    Interp.setProfileCallback([&Seen, Index](unsigned Id, int64_t Value) {
+      Seen[Index].emplace_back(Id, Value);
+    });
+    RunResult Result = Interp.run();
+    EXPECT_FALSE(Result.Trapped) << Result.TrapReason;
+    EXPECT_EQ(Result.Counts.ProfileHooks, 5u);
+  }
+  EXPECT_EQ(Seen[0], Seen[1]);
+  ASSERT_EQ(Seen[0].size(), 5u);
+  EXPECT_EQ(Seen[0][0], (std::pair<unsigned, int64_t>{7, 0}));
+  EXPECT_EQ(Seen[0][4], (std::pair<unsigned, int64_t>{7, 4}));
+}
+
+TEST(DecodedDifferentialTest, TrapDiagnosticsMatch) {
+  // Block without a terminator: both engines must report the same
+  // fell-off-the-end diagnostic, with all preceding work counted.
+  {
+    Module M;
+    Function *F = M.createFunction("main", 0);
+    BasicBlock *Entry = F->createBlock("open");
+    IRBuilder Builder(Entry);
+    unsigned R = F->newReg();
+    Builder.emitMove(R, Operand::imm(1));
+    RunResult Result =
+        expectIdenticalRuns(M, "", false, "no-terminator");
+    EXPECT_TRUE(Result.Trapped);
+    EXPECT_NE(Result.TrapReason.find("fell off the end"),
+              std::string::npos);
+    EXPECT_EQ(Result.Counts.TotalInsts, 1u);
+  }
+  // Division by zero reached through control flow.
+  {
+    Module M;
+    Function *F = M.createFunction("main", 1);
+    BasicBlock *Entry = F->createBlock();
+    unsigned R = F->newReg();
+    IRBuilder Builder(Entry);
+    Builder.emitBinary(BinaryOp::Div, R, Operand::imm(10), Operand::reg(0));
+    Builder.emitRet(Operand::reg(R));
+    Interpreter Tree(M, Interpreter::Mode::Tree);
+    Interpreter Flat(M, Interpreter::Mode::Decoded);
+    RunResult TreeResult = Tree.run("main", {0});
+    RunResult FlatResult = Flat.run("main", {0});
+    EXPECT_TRUE(TreeResult.Trapped);
+    EXPECT_EQ(TreeResult.TrapReason, FlatResult.TrapReason);
+  }
+  // Missing entry point and argument-count mismatch.
+  {
+    Module M;
+    Function *F = M.createFunction("main", 2);
+    BasicBlock *Entry = F->createBlock();
+    IRBuilder(Entry).emitRet();
+    for (Interpreter::Mode Mode :
+         {Interpreter::Mode::Tree, Interpreter::Mode::Decoded}) {
+      RunResult Missing = Interpreter(M, Mode).run("nonexistent");
+      EXPECT_TRUE(Missing.Trapped);
+      EXPECT_NE(Missing.TrapReason.find("not found"), std::string::npos);
+      RunResult BadArgs = Interpreter(M, Mode).run("main", {1});
+      EXPECT_TRUE(BadArgs.Trapped);
+      EXPECT_NE(BadArgs.TrapReason.find("argument count"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(DecodedDifferentialTest, InstructionLimitMatches) {
+  Module M;
+  Function *F = M.createFunction("main", 0);
+  BasicBlock *Loop = F->createBlock();
+  IRBuilder Builder(Loop);
+  unsigned R = F->newReg();
+  Builder.emitMove(R, Operand::imm(0));
+  Builder.emitJump(Loop);
+  for (Interpreter::Mode Mode :
+       {Interpreter::Mode::Tree, Interpreter::Mode::Decoded}) {
+    Interpreter Interp(M, Mode);
+    Interp.setInstructionLimit(999);
+    RunResult Result = Interp.run();
+    EXPECT_TRUE(Result.Trapped);
+    EXPECT_EQ(Result.TrapReason, "instruction limit exceeded");
+    EXPECT_EQ(Result.Counts.TotalInsts, 1000u);
+  }
+}
+
+TEST(DecodedDifferentialTest, ModuleMutationsAreObserved) {
+  // The decoded engine re-decodes per run, so IR mutations between runs —
+  // here a jump becoming a layout fall-through — must take effect.
+  Module M;
+  Function *F = M.createFunction("main", 0);
+  BasicBlock *A = F->createBlock();
+  BasicBlock *B = F->createBlock();
+  IRBuilder Builder(A);
+  JumpInst *Jump = Builder.emitJump(B);
+  Builder.setInsertionPoint(B);
+  Builder.emitRet();
+
+  Interpreter Interp(M);
+  EXPECT_EQ(Interp.run().Counts.UncondJumps, 1u);
+  Jump->setIsFallThrough(true);
+  EXPECT_EQ(Interp.run().Counts.UncondJumps, 0u);
+}
+
+TEST(DecodedDifferentialTest, BranchIdsMatchTreeNumbering) {
+  // Predictor behaviour depends on branch ids; decode numbers them in the
+  // same module order the tree interpreter does.
+  Module M;
+  Function *F = M.createFunction("main", 1);
+  BasicBlock *Entry = F->createBlock();
+  BasicBlock *Mid = F->createBlock();
+  BasicBlock *Exit = F->createBlock();
+  IRBuilder Builder(Entry);
+  Builder.emitCmp(Operand::reg(0), Operand::imm(1));
+  Builder.emitCondBr(CondCode::LT, Exit, Mid);
+  Builder.setInsertionPoint(Mid);
+  Builder.emitCmp(Operand::reg(0), Operand::imm(2));
+  Builder.emitCondBr(CondCode::LT, Exit, Exit);
+  Builder.setInsertionPoint(Exit);
+  Builder.emitRet(Operand::reg(0));
+
+  DecodedModule DM = DecodedModule::decode(M);
+  EXPECT_EQ(DM.numBranchIds(), 2u);
+  const DecodedFunction *DF = DM.getFunction("main");
+  ASSERT_NE(DF, nullptr);
+  std::vector<uint32_t> Ids;
+  for (const DecodedInst &Inst : DF->Insts)
+    if (Inst.Op == DecodedOp::CondBr)
+      Ids.push_back(Inst.Dest);
+  Interpreter Tree(M, Interpreter::Mode::Tree);
+  std::vector<uint32_t> TreeIds;
+  for (const auto &Block : *M.getFunction("main"))
+    for (const auto &Inst : *Block)
+      if (Inst->getKind() == InstKind::CondBr)
+        TreeIds.push_back(Tree.branchIdOf(Inst.get()));
+  EXPECT_EQ(Ids, TreeIds);
+}
+
+} // namespace

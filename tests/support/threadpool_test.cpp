@@ -1,0 +1,78 @@
+//===- tests/support/threadpool_test.cpp - ThreadPool tests ---------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <numeric>
+
+using namespace bropt;
+
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryEnqueuedTask) {
+  ThreadPool Pool(4);
+  std::atomic<int> Counter{0};
+  for (int Index = 0; Index < 100; ++Index)
+    Pool.enqueue([&Counter] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureValues) {
+  ThreadPool Pool(2);
+  std::vector<std::future<int>> Futures;
+  for (int Index = 0; Index < 32; ++Index)
+    Futures.push_back(Pool.submit([Index] { return Index * Index; }));
+  for (int Index = 0; Index < 32; ++Index)
+    EXPECT_EQ(Futures[Index].get(), Index * Index);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool Pool(1);
+  std::future<int> Future =
+      Pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool Pool(3);
+  std::atomic<int> Counter{0};
+  for (int Round = 0; Round < 5; ++Round) {
+    for (int Index = 0; Index < 10; ++Index)
+      Pool.enqueue([&Counter] { ++Counter; });
+    Pool.wait();
+    EXPECT_EQ(Counter.load(), (Round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
+  std::atomic<int> Counter{0};
+  {
+    ThreadPool Pool(2);
+    for (int Index = 0; Index < 50; ++Index)
+      Pool.enqueue([&Counter] { ++Counter; });
+  }
+  EXPECT_EQ(Counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansAtLeastOne) {
+  ThreadPool Pool(0);
+  EXPECT_GE(Pool.numThreads(), 1u);
+  std::future<int> Future = Pool.submit([] { return 7; });
+  EXPECT_EQ(Future.get(), 7);
+}
+
+TEST(ThreadPoolTest, TasksCanEnqueueMoreTasks) {
+  ThreadPool Pool(2);
+  std::atomic<int> Counter{0};
+  for (int Index = 0; Index < 8; ++Index)
+    Pool.enqueue([&Pool, &Counter] {
+      ++Counter;
+      Pool.enqueue([&Counter] { ++Counter; });
+    });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 16);
+}
+
+} // namespace

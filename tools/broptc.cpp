@@ -19,6 +19,9 @@
 //   --stats               print detection/reordering statistics
 //   --run                 interpret the program and echo its output
 //   --predict             with --run: report (0,2)/2048 mispredictions
+//   --interp MODE         execution engine for --run: 'decoded' (default,
+//                         pre-decoded flat dispatch) or 'tree' (reference
+//                         tree-walking interpreter)
 //
 //===----------------------------------------------------------------------===//
 
@@ -43,7 +46,8 @@ namespace {
                "              [--common-successor] [--method-selection] "
                "[--ijmp-cost N]\n"
                "              [--emit-ir] [--profile FILE] [--stats] "
-               "[--run] [--predict]\n");
+               "[--run] [--predict]\n"
+               "              [--interp decoded|tree]\n");
   std::exit(2);
 }
 
@@ -68,6 +72,7 @@ struct CliOptions {
   bool Stats = false;
   bool Run = false;
   bool Predict = false;
+  Interpreter::Mode InterpMode = Interpreter::Mode::Decoded;
 };
 
 CliOptions parseArgs(int Argc, char **Argv) {
@@ -110,6 +115,14 @@ CliOptions parseArgs(int Argc, char **Argv) {
       Options.Run = true;
     } else if (Arg == "--predict") {
       Options.Predict = true;
+    } else if (Arg == "--interp") {
+      std::string Mode = nextValue();
+      if (Mode == "decoded")
+        Options.InterpMode = Interpreter::Mode::Decoded;
+      else if (Mode == "tree")
+        Options.InterpMode = Interpreter::Mode::Tree;
+      else
+        usageError("--interp expects 'decoded' or 'tree'");
     } else if (!Arg.empty() && Arg[0] == '-') {
       usageError(("unknown option " + Arg).c_str());
     } else if (Options.SourcePath.empty()) {
@@ -185,7 +198,7 @@ int main(int Argc, char **Argv) {
     std::string Input;
     if (!Options.InputPath.empty())
       Input = readFileOrDie(Options.InputPath);
-    Interpreter Interp(*Result.M);
+    Interpreter Interp(*Result.M, Options.InterpMode);
     Interp.setInput(Input);
     std::optional<BranchPredictor> Predictor;
     if (Options.Predict) {
