@@ -28,6 +28,46 @@ double ReorderStats::averageLengthAfter() const {
   return Total / static_cast<double>(Lengths.size());
 }
 
+std::vector<RangeInfo> bropt::buildRangeInfos(const RangeSequence &Seq,
+                                              const SequenceProfile &Prof) {
+  std::vector<RangeInfo> Infos;
+  const double Total = static_cast<double>(Prof.totalExecutions());
+  size_t Bin = 0;
+  // ExitClass counts the prefix-bearing conditions whose side effects an
+  // exit owes; exits owing different side effects must not share a
+  // default continuation.
+  size_t PrefixClass = 0;
+  for (size_t Index = 0; Index < Seq.Conds.size(); ++Index, ++Bin) {
+    const RangeConditionDesc &Cond = Seq.Conds[Index];
+    if (Index > 0 && Cond.PrefixLength > 0)
+      ++PrefixClass;
+    RangeInfo Info;
+    Info.R = Cond.R;
+    Info.Target = Cond.Target;
+    Info.P = static_cast<double>(Prof.BinCounts[Bin]) / Total;
+    Info.C = Cond.Cost;
+    Info.WasExplicit = true;
+    Info.OrigIndex = Index;
+    Info.ExitClass = PrefixClass;
+    Infos.push_back(Info);
+  }
+  for (const Range &R : Seq.DefaultRanges) {
+    RangeInfo Info;
+    Info.R = R;
+    Info.Target = Seq.DefaultTarget;
+    Info.P = static_cast<double>(Prof.BinCounts[Bin++]) / Total;
+    // Cost a default range the same way an emitted condition will cost:
+    // one compare+branch for single values and half-open ranges, two
+    // pairs for bounded multi-value ranges (Table 1).
+    Info.C = R.branchCount() * 2;
+    Info.WasExplicit = false;
+    Info.OrigIndex = SIZE_MAX;
+    Info.ExitClass = PrefixClass; // default traffic owes everything
+    Infos.push_back(Info);
+  }
+  return Infos;
+}
+
 namespace {
 
 /// Emits the rebuilt sequence for one transformation.
@@ -39,7 +79,7 @@ public:
     for (const RangeConditionDesc &Cond : Seq.Conds)
       for (BasicBlock *Block : Cond.Blocks)
         SequenceBlocks.insert(Block);
-    buildInfos(Prof);
+    Infos = buildRangeInfos(Seq, Prof);
   }
 
   struct RewriteOutcome {
@@ -71,44 +111,6 @@ public:
   }
 
 private:
-  void buildInfos(const SequenceProfile &Prof) {
-    const double Total =
-        static_cast<double>(Prof.totalExecutions());
-    size_t Bin = 0;
-    // ExitClass counts the prefix-bearing conditions whose side effects an
-    // exit owes; exits owing different side effects must not share a
-    // default continuation.
-    size_t PrefixClass = 0;
-    for (size_t Index = 0; Index < Seq.Conds.size(); ++Index, ++Bin) {
-      const RangeConditionDesc &Cond = Seq.Conds[Index];
-      if (Index > 0 && Cond.PrefixLength > 0)
-        ++PrefixClass;
-      RangeInfo Info;
-      Info.R = Cond.R;
-      Info.Target = Cond.Target;
-      Info.P = static_cast<double>(Prof.BinCounts[Bin]) / Total;
-      Info.C = Cond.Cost;
-      Info.WasExplicit = true;
-      Info.OrigIndex = Index;
-      Info.ExitClass = PrefixClass;
-      Infos.push_back(Info);
-    }
-    for (const Range &R : Seq.DefaultRanges) {
-      RangeInfo Info;
-      Info.R = R;
-      Info.Target = Seq.DefaultTarget;
-      Info.P = static_cast<double>(Prof.BinCounts[Bin++]) / Total;
-      // Cost a default range the same way an emitted condition will cost:
-      // one compare+branch for single values and half-open ranges, two
-      // pairs for bounded multi-value ranges (Table 1).
-      Info.C = R.branchCount() * 2;
-      Info.WasExplicit = false;
-      Info.OrigIndex = SIZE_MAX;
-      Info.ExitClass = PrefixClass; // default traffic owes everything
-      Infos.push_back(Info);
-    }
-  }
-
   /// Side-effect prefixes that ran, in original order, before control
   /// could exit past original condition \p UpTo (paper Theorem 2).
   std::vector<std::pair<BasicBlock *, size_t>>
@@ -437,6 +439,7 @@ SequenceOutcome bropt::reorderSequence(const RangeSequence &Seq,
   unsigned Before = Seq.branchCount();
   SequenceRewriter Rewriter(Seq, *Prof, Opts);
   auto Outcome = Rewriter.run();
+  notifyPassObserver("branch-reordering", *Seq.F);
   if (Stats) {
     ++Stats->Reordered;
     if (Outcome.UsedJumpTable)

@@ -87,6 +87,16 @@ struct ReorderStats {
   double averageLengthAfter() const;
 };
 
+/// Builds the ordering-selector inputs for \p Seq under profile record
+/// \p Prof: one RangeInfo per explicit condition (profile bins in original
+/// order) followed by one per default range, with probabilities normalized
+/// by the head's total executions.  \p Prof must have one bin per range and
+/// a nonzero total; callers check the signature and execution count first
+/// (as reorderSequence does).  Exposed so oracles can evaluate Equations
+/// 1-4 on exactly the inputs the transformation used.
+std::vector<RangeInfo> buildRangeInfos(const RangeSequence &Seq,
+                                       const SequenceProfile &Prof);
+
 /// Transforms one sequence.  The caller must not reuse \p Seq (or any
 /// other sequence descriptor pointing into the same blocks) afterwards and
 /// should run finalizeFunction on the function when done with it.

@@ -1,0 +1,383 @@
+//===- fuzz/AstRender.cpp - Render a Mini-C AST back to source ------------===//
+
+#include "fuzz/AstRender.h"
+
+#include "support/Debug.h"
+#include "support/Strings.h"
+
+using namespace bropt;
+
+namespace {
+
+const char *binOpToken(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "/";
+  case BinOpKind::Rem:
+    return "%";
+  case BinOpKind::BitAnd:
+    return "&";
+  case BinOpKind::BitOr:
+    return "|";
+  case BinOpKind::BitXor:
+    return "^";
+  case BinOpKind::Shl:
+    return "<<";
+  case BinOpKind::Shr:
+    return ">>";
+  case BinOpKind::Eq:
+    return "==";
+  case BinOpKind::Ne:
+    return "!=";
+  case BinOpKind::Lt:
+    return "<";
+  case BinOpKind::Le:
+    return "<=";
+  case BinOpKind::Gt:
+    return ">";
+  case BinOpKind::Ge:
+    return ">=";
+  case BinOpKind::LogicalAnd:
+    return "&&";
+  case BinOpKind::LogicalOr:
+    return "||";
+  }
+  BROPT_UNREACHABLE("unknown binary operator");
+}
+
+class Renderer {
+public:
+  std::string run(const TranslationUnit &Unit) {
+    for (const GlobalDecl &G : Unit.Globals) {
+      Out += "int " + G.Name;
+      if (G.ArraySize)
+        Out += formatString("[%u]", *G.ArraySize);
+      if (!G.Init.empty()) {
+        if (G.ArraySize) {
+          Out += " = {";
+          for (size_t Index = 0; Index < G.Init.size(); ++Index) {
+            if (Index)
+              Out += ", ";
+            Out += formatString("%lld", (long long)G.Init[Index]);
+          }
+          Out += "}";
+        } else {
+          Out += formatString(" = %lld", (long long)G.Init[0]);
+        }
+      }
+      Out += ";\n";
+    }
+    for (const FunctionDecl &F : Unit.Functions) {
+      Out += F.ReturnsValue ? "int " : "void ";
+      Out += F.Name + "(";
+      for (size_t Index = 0; Index < F.Params.size(); ++Index) {
+        if (Index)
+          Out += ", ";
+        Out += "int " + F.Params[Index];
+      }
+      Out += ") ";
+      renderStmt(F.Body.get());
+      Out += "\n";
+    }
+    return std::move(Out);
+  }
+
+private:
+  void renderExpr(const Expr *E) {
+    switch (E->getKind()) {
+    case ExprKind::IntLit:
+      Out += formatString("%lld", (long long)cast<IntLitExpr>(E)->getValue());
+      return;
+    case ExprKind::VarRef:
+      Out += cast<VarRefExpr>(E)->getName();
+      return;
+    case ExprKind::ArrayRef: {
+      const auto *A = cast<ArrayRefExpr>(E);
+      Out += A->getName() + "[";
+      renderExpr(A->getIndex());
+      Out += "]";
+      return;
+    }
+    case ExprKind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      Out += C->getCallee() + "(";
+      for (size_t Index = 0; Index < C->getArgs().size(); ++Index) {
+        if (Index)
+          Out += ", ";
+        renderExpr(C->getArgs()[Index].get());
+      }
+      Out += ")";
+      return;
+    }
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      Out += U->getOp() == UnOpKind::Neg ? "(-" : "(!";
+      renderExpr(U->getOperand());
+      Out += ")";
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      Out += "(";
+      renderExpr(B->getLhs());
+      Out += " ";
+      Out += binOpToken(B->getOp());
+      Out += " ";
+      renderExpr(B->getRhs());
+      Out += ")";
+      return;
+    }
+    case ExprKind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      Out += "(";
+      renderExpr(A->getTarget());
+      switch (A->getOp()) {
+      case AssignExpr::OpKind::Plain:
+        Out += " = ";
+        break;
+      case AssignExpr::OpKind::Add:
+        Out += " += ";
+        break;
+      case AssignExpr::OpKind::Sub:
+        Out += " -= ";
+        break;
+      }
+      renderExpr(A->getValue());
+      Out += ")";
+      return;
+    }
+    case ExprKind::IncDec: {
+      const auto *I = cast<IncDecExpr>(E);
+      const char *Tok = I->isIncrement() ? "++" : "--";
+      Out += "(";
+      if (I->isPrefix())
+        Out += Tok;
+      renderExpr(I->getTarget());
+      if (!I->isPrefix())
+        Out += Tok;
+      Out += ")";
+      return;
+    }
+    case ExprKind::Ternary: {
+      const auto *T = cast<TernaryExpr>(E);
+      Out += "(";
+      renderExpr(T->getCond());
+      Out += " ? ";
+      renderExpr(T->getThen());
+      Out += " : ";
+      renderExpr(T->getElse());
+      Out += ")";
+      return;
+    }
+    }
+    BROPT_UNREACHABLE("unknown expression kind");
+  }
+
+  void indent() { Out.append(2 * Depth, ' '); }
+
+  /// Renders \p S at the current indentation.  Non-block statements used as
+  /// a loop or branch body are wrapped in braces by the callers below, so
+  /// dangling-else never arises.
+  void renderStmt(const Stmt *S) {
+    switch (S->getKind()) {
+    case StmtKind::Block: {
+      Out += "{\n";
+      ++Depth;
+      for (const StmtPtr &Child : cast<BlockStmt>(S)->getStmts()) {
+        indent();
+        renderStmt(Child.get());
+        Out += "\n";
+      }
+      --Depth;
+      indent();
+      Out += "}";
+      return;
+    }
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      Out += "if (";
+      renderExpr(If->getCond());
+      Out += ") ";
+      renderBody(If->getThen());
+      if (If->getElse()) {
+        Out += " else ";
+        renderBody(If->getElse());
+      }
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      Out += "while (";
+      renderExpr(W->getCond());
+      Out += ") ";
+      renderBody(W->getBody());
+      return;
+    }
+    case StmtKind::DoWhile: {
+      const auto *D = cast<DoWhileStmt>(S);
+      Out += "do ";
+      renderBody(D->getBody());
+      Out += " while (";
+      renderExpr(D->getCond());
+      Out += ");";
+      return;
+    }
+    case StmtKind::For: {
+      const auto *F = cast<ForStmt>(S);
+      Out += "for (";
+      if (F->getInit())
+        renderStmt(F->getInit()); // VarDecl/ExprStmt render their own ';'
+      else
+        Out += ";";
+      Out += " ";
+      if (F->getCond())
+        renderExpr(F->getCond());
+      Out += "; ";
+      if (F->getStep())
+        renderExpr(F->getStep());
+      Out += ") ";
+      renderBody(F->getBody());
+      return;
+    }
+    case StmtKind::Switch: {
+      const auto *Sw = cast<SwitchStmt>(S);
+      Out += "switch (";
+      renderExpr(Sw->getValue());
+      Out += ") {\n";
+      for (const SwitchSection &Section : Sw->getSections()) {
+        for (const std::optional<int64_t> &Label : Section.Labels) {
+          indent();
+          if (Label)
+            Out += formatString("case %lld:\n", (long long)*Label);
+          else
+            Out += "default:\n";
+        }
+        ++Depth;
+        for (const StmtPtr &Child : Section.Stmts) {
+          indent();
+          renderStmt(Child.get());
+          Out += "\n";
+        }
+        --Depth;
+      }
+      indent();
+      Out += "}";
+      return;
+    }
+    case StmtKind::Break:
+      Out += "break;";
+      return;
+    case StmtKind::Continue:
+      Out += "continue;";
+      return;
+    case StmtKind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      if (R->getValue()) {
+        Out += "return ";
+        renderExpr(R->getValue());
+        Out += ";";
+      } else {
+        Out += "return;";
+      }
+      return;
+    }
+    case StmtKind::ExprStmt:
+      renderExpr(cast<ExprStmt>(S)->getExpr());
+      Out += ";";
+      return;
+    case StmtKind::VarDecl: {
+      const auto *V = cast<VarDeclStmt>(S);
+      Out += "int " + V->getName();
+      if (V->getInit()) {
+        Out += " = ";
+        renderExpr(V->getInit());
+      }
+      Out += ";";
+      return;
+    }
+    case StmtKind::Empty:
+      Out += ";";
+      return;
+    }
+    BROPT_UNREACHABLE("unknown statement kind");
+  }
+
+  /// Renders a branch/loop body, always braced.
+  void renderBody(const Stmt *S) {
+    if (isa<BlockStmt>(S)) {
+      renderStmt(S);
+      return;
+    }
+    Out += "{\n";
+    ++Depth;
+    indent();
+    renderStmt(S);
+    Out += "\n";
+    --Depth;
+    indent();
+    Out += "}";
+  }
+
+  std::string Out;
+  unsigned Depth = 0;
+};
+
+size_t countStmt(const Stmt *S) {
+  if (!S)
+    return 0;
+  switch (S->getKind()) {
+  case StmtKind::Block: {
+    size_t Count = 0;
+    for (const StmtPtr &Child : cast<BlockStmt>(S)->getStmts())
+      Count += countStmt(Child.get());
+    return Count;
+  }
+  case StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    return 1 + countStmt(If->getThen()) + countStmt(If->getElse());
+  }
+  case StmtKind::While:
+    return 1 + countStmt(cast<WhileStmt>(S)->getBody());
+  case StmtKind::DoWhile:
+    return 1 + countStmt(cast<DoWhileStmt>(S)->getBody());
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(S);
+    return 1 + countStmt(F->getInit()) + countStmt(F->getBody());
+  }
+  case StmtKind::Switch: {
+    size_t Count = 1;
+    for (const SwitchSection &Section : cast<SwitchStmt>(S)->getSections())
+      for (const StmtPtr &Child : Section.Stmts)
+        Count += countStmt(Child.get());
+    return Count;
+  }
+  case StmtKind::Empty:
+    return 0;
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Return:
+  case StmtKind::ExprStmt:
+  case StmtKind::VarDecl:
+    return 1;
+  }
+  BROPT_UNREACHABLE("unknown statement kind");
+}
+
+} // namespace
+
+std::string bropt::renderUnit(const TranslationUnit &Unit) {
+  return Renderer().run(Unit);
+}
+
+size_t bropt::countStatements(const TranslationUnit &Unit) {
+  size_t Count = 0;
+  for (const FunctionDecl &F : Unit.Functions)
+    Count += countStmt(F.Body.get());
+  return Count;
+}

@@ -1,0 +1,34 @@
+//===- fuzz/AstRender.h - Render a Mini-C AST back to source ----*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a TranslationUnit as compilable Mini-C source.  Expressions are
+/// fully parenthesized, so rendering never has to reason about operator
+/// precedence and render(parse(S)) is always semantics-preserving.  The
+/// minimizer shrinks programs by mutating the AST and re-rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_FUZZ_ASTRENDER_H
+#define BROPT_FUZZ_ASTRENDER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace bropt {
+
+/// Renders \p Unit as Mini-C source text.
+std::string renderUnit(const TranslationUnit &Unit);
+
+/// Number of statements in \p Unit, excluding blocks and empty statements
+/// (the minimizer's size metric).
+size_t countStatements(const TranslationUnit &Unit);
+
+} // namespace bropt
+
+#endif // BROPT_FUZZ_ASTRENDER_H

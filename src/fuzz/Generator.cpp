@@ -1,0 +1,358 @@
+//===- fuzz/Generator.cpp - Seeded random Mini-C program generator --------===//
+
+#include "fuzz/Generator.h"
+
+#include "fuzz/Rng.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+
+using namespace bropt;
+
+namespace {
+
+/// A closed byte interval a branch condition tests.
+struct Interval {
+  int Lo;
+  int Hi;
+};
+
+/// Builds one program's source text.  Emission is append-only; Indent
+/// tracks the current nesting depth for readable output (the minimizer
+/// reparses, so layout is cosmetic).
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(uint64_t Seed) : Seed(Seed), R(Seed) {}
+
+  GeneratedProgram run() {
+    NumCounters = static_cast<unsigned>(R.range(2, 5));
+    ArrayWords = static_cast<unsigned>(R.range(8, 32));
+    emitGlobals();
+    if (R.pct(55))
+      emitClassifier();
+    emitMain();
+
+    GeneratedProgram P;
+    P.Seed = Seed;
+    P.Source = std::move(Out);
+    P.TrainingInputs = makeInputs(/*Salt=*/1, /*Count=*/2, /*BiasPct=*/70);
+    P.HeldOutInputs = makeInputs(/*Salt=*/2, /*Count=*/3, /*BiasPct=*/40);
+    // Boundary inputs: no bytes at all, and a single interesting byte.
+    P.HeldOutInputs.push_back("");
+    if (!Interesting.empty())
+      P.HeldOutInputs.push_back(
+          std::string(1, static_cast<char>(R.pick(Interesting))));
+    return P;
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Text emission helpers
+  //===------------------------------------------------------------------===//
+
+  void line(const std::string &Text) {
+    Out.append(2 * Indent, ' ');
+    Out += Text;
+    Out += "\n";
+  }
+
+  void open(const std::string &Head) {
+    line(Head + " {");
+    ++Indent;
+  }
+
+  void close(const std::string &Tail = "}") {
+    --Indent;
+    line(Tail);
+  }
+
+  std::string counter(unsigned Index) { return formatString("g%u", Index); }
+
+  std::string randomCounter() {
+    return counter(static_cast<unsigned>(R.range(0, NumCounters - 1)));
+  }
+
+  /// Remembers byte values that make conditions go both ways, clamped to
+  /// the generator's byte space.
+  void interesting(int Value) {
+    if (Value >= 0 && Value <= 127)
+      Interesting.push_back(static_cast<unsigned char>(Value));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Intervals: nonoverlapping range allocation
+  //===------------------------------------------------------------------===//
+
+  /// Carves \p Count pairwise-disjoint intervals out of [0, 127] with
+  /// random gaps, at most \p MaxWidth wide each, then shuffles them so the
+  /// emitted test order is independent of the value order.  Nonoverlap is
+  /// what makes the chain a reorderable sequence (paper Definition 5).
+  std::vector<Interval> carveIntervals(unsigned Count, int MaxWidth) {
+    std::vector<Interval> Result;
+    int Cursor = static_cast<int>(R.range(0, 8));
+    for (unsigned Index = 0; Index < Count && Cursor <= 126; ++Index) {
+      int Width = static_cast<int>(R.range(0, MaxWidth - 1));
+      int Lo = Cursor;
+      int Hi = std::min(Lo + Width, 127);
+      Result.push_back({Lo, Hi});
+      interesting(Lo - 1);
+      interesting(Lo);
+      interesting((Lo + Hi) / 2);
+      interesting(Hi);
+      interesting(Hi + 1);
+      Cursor = Hi + 1 + static_cast<int>(R.range(1, 9));
+    }
+    R.shuffle(Result);
+    return Result;
+  }
+
+  /// Renders the Mini-C test for \p I against variable \p Var, choosing
+  /// among the forms of paper Table 1.
+  std::string conditionFor(const Interval &I, const std::string &Var) {
+    if (I.Lo == I.Hi)
+      return formatString("%s == %d", Var.c_str(), I.Lo);
+    // Bounded range: the two-branch Form 4 condition.
+    return formatString("%s >= %d && %s <= %d", Var.c_str(), I.Lo,
+                        Var.c_str(), I.Hi);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Actions: trap-free side effects
+  //===------------------------------------------------------------------===//
+
+  /// One statement with an observable effect.  \p Var is the in-scope byte
+  /// variable.  Array indices are wrapped into bounds and divisors are
+  /// nonzero constants, so no action can trap.
+  std::string action(const std::string &Var) {
+    switch (R.range(0, 5)) {
+    case 0:
+      return randomCounter() + " = " + randomCounter() + " + 1;";
+    case 1:
+      return formatString("%s = %s + %lld;", randomCounter().c_str(),
+                          Var.c_str(), (long long)R.range(1, 9));
+    case 2:
+      return formatString("tab[%s %% %u] = tab[%s %% %u] + 1;", Var.c_str(),
+                          ArrayWords, Var.c_str(), ArrayWords);
+    case 3:
+      return formatString("%s = %s + (%s / %lld);", randomCounter().c_str(),
+                          randomCounter().c_str(), Var.c_str(),
+                          (long long)R.range(2, 7));
+    case 4:
+      return formatString("putchar(%lld);", (long long)R.range(33, 126));
+    default:
+      return formatString("%s = (%s * %lld) %% %lld;",
+                          randomCounter().c_str(), Var.c_str(),
+                          (long long)R.range(2, 6),
+                          (long long)R.range(11, 97));
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Top-level pieces
+  //===------------------------------------------------------------------===//
+
+  void emitGlobals() {
+    for (unsigned Index = 0; Index < NumCounters; ++Index)
+      line(formatString("int g%u = 0;", Index));
+    std::string Init;
+    unsigned InitCount = static_cast<unsigned>(R.range(0, 4));
+    for (unsigned Index = 0; Index < InitCount; ++Index) {
+      if (Index)
+        Init += ", ";
+      Init += formatString("%lld", (long long)R.range(0, 99));
+    }
+    if (InitCount)
+      line(formatString("int tab[%u] = {%s};", ArrayWords, Init.c_str()));
+    else
+      line(formatString("int tab[%u];", ArrayWords));
+    line("");
+  }
+
+  /// A helper whose body is itself a reorderable shape; main calls it so
+  /// sequences in non-entry functions are exercised too.
+  void emitClassifier() {
+    HaveClassifier = true;
+    open("int classify(int v)");
+    if (R.pct(50))
+      emitIfChain("v", /*Returning=*/true);
+    else
+      emitSwitch("v", /*Returning=*/true);
+    line(formatString("return %lld;", (long long)R.range(-3, 9)));
+    close();
+    line("");
+  }
+
+  void emitMain() {
+    open("int main()");
+    line("int c;");
+    line("int acc = 0;");
+    line("int t = 0;");
+    open("while ((c = getchar()) != -1)");
+    unsigned Constructs = static_cast<unsigned>(R.range(1, 3));
+    for (unsigned Index = 0; Index < Constructs; ++Index)
+      emitConstruct();
+    close();
+    for (unsigned Index = 0; Index < NumCounters; ++Index)
+      line(formatString("printint(g%u);", Index));
+    line("printint(acc);");
+    line("printint(t);");
+    line(formatString("printint(tab[%u]);", ArrayWords / 2));
+    line(formatString("return %lld;", (long long)R.range(0, 9)));
+    close();
+  }
+
+  void emitConstruct() {
+    switch (R.range(0, HaveClassifier ? 4 : 3)) {
+    case 0:
+      emitIfChain("c", /*Returning=*/false);
+      break;
+    case 1:
+      emitSwitch("c", /*Returning=*/false);
+      break;
+    case 2:
+      line(formatString("acc = acc + tab[c %% %u];", ArrayWords));
+      line("t = (t + c) % 1000;");
+      break;
+    case 3:
+      open(formatString("for (t = 0; t < %lld; t = t + 1)",
+                        (long long)R.range(2, 4)));
+      line(formatString("tab[(t + c) %% %u] = tab[(t + c) %% %u] + 1;",
+                        ArrayWords, ArrayWords));
+      close();
+      break;
+    default:
+      line("acc = acc + classify(c);");
+      break;
+    }
+  }
+
+  /// An else-if chain over nonoverlapping intervals of \p Var — the
+  /// paper's canonical reorderable sequence.  A fraction of the else arms
+  /// interpose a side effect before the next test (paper Definition 6),
+  /// which the transformation must replay on the right exit edges.
+  void emitIfChain(const std::string &Var, bool Returning) {
+    std::vector<Interval> Arms =
+        carveIntervals(static_cast<unsigned>(R.range(2, 7)), 6);
+    unsigned Closes = 0;
+    for (size_t Index = 0; Index < Arms.size(); ++Index) {
+      bool First = Index == 0;
+      bool Interpose = !First && R.pct(30);
+      if (First) {
+        open("if (" + conditionFor(Arms[Index], Var) + ")");
+      } else if (Interpose) {
+        close("} else {");
+        ++Indent;
+        line(action(Var));
+        open("if (" + conditionFor(Arms[Index], Var) + ")");
+        ++Closes;
+      } else {
+        close("} else if (" + conditionFor(Arms[Index], Var) + ") {");
+        ++Indent;
+      }
+      line(action(Var));
+      if (Returning && R.pct(50))
+        line(formatString("return %lld;", (long long)R.range(0, 20)));
+    }
+    if (R.pct(60)) {
+      close("} else {");
+      ++Indent;
+      line(action(Var));
+    }
+    close();
+    while (Closes--)
+      close();
+  }
+
+  /// A switch over \p Var.  Density and case count are chosen to cover the
+  /// jump-table, binary-search, and linear-search shapes of the Table 2
+  /// heuristics regardless of which set the oracle compiles under.
+  void emitSwitch(const std::string &Var, bool Returning) {
+    unsigned Count = static_cast<unsigned>(R.range(3, 14));
+    int Step;
+    switch (R.range(0, 2)) {
+    case 0:
+      Step = 1; // dense: Set I tables at >= 4 cases
+      break;
+    case 1:
+      Step = static_cast<int>(R.range(2, 3)); // borderline density
+      break;
+    default:
+      Step = static_cast<int>(R.range(5, 12)); // sparse: search shapes
+      break;
+    }
+    int Value = static_cast<int>(R.range(0, 20));
+    std::vector<int> Labels;
+    for (unsigned Index = 0; Index < Count && Value <= 127; ++Index) {
+      Labels.push_back(Value);
+      interesting(Value);
+      interesting(Value + 1);
+      Value += Step + (Step > 1 ? static_cast<int>(R.range(0, 1)) : 0);
+    }
+    open("switch (" + Var + ")");
+    --Indent; // case labels sit at switch depth, bodies one deeper
+    for (size_t Index = 0; Index < Labels.size(); ++Index) {
+      line(formatString("case %d:", Labels[Index]));
+      ++Indent;
+      line(action(Var));
+      if (Returning && R.pct(40))
+        line(formatString("return %lld;", (long long)R.range(0, 20)));
+      // Occasional fall-through into the next case, as real scanners have.
+      if (Index + 1 == Labels.size() || R.pct(85))
+        line("break;");
+      --Indent;
+    }
+    if (R.pct(70)) {
+      line("default:");
+      ++Indent;
+      if (R.pct(35)) {
+        // Nested work in the default arm: another reorderable chain.
+        emitIfChain(Var, Returning);
+      } else {
+        line(action(Var));
+      }
+      line("break;");
+      --Indent;
+    }
+    ++Indent;
+    close();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Input synthesis
+  //===------------------------------------------------------------------===//
+
+  /// Builds \p Count byte strings.  \p BiasPct percent of bytes come from
+  /// the interesting pool (condition boundaries), the rest are uniform.
+  std::vector<std::string> makeInputs(uint64_t Salt, unsigned Count,
+                                      unsigned BiasPct) {
+    Rng InputRng(Rng::mix(Seed, Salt));
+    std::vector<std::string> Inputs;
+    for (unsigned Index = 0; Index < Count; ++Index) {
+      std::string Bytes;
+      size_t Length = static_cast<size_t>(InputRng.range(30, 200));
+      for (size_t B = 0; B < Length; ++B) {
+        if (!Interesting.empty() && InputRng.pct(BiasPct))
+          Bytes += static_cast<char>(InputRng.pick(Interesting));
+        else
+          Bytes += static_cast<char>(InputRng.range(0, 127));
+      }
+      Inputs.push_back(std::move(Bytes));
+    }
+    return Inputs;
+  }
+
+  uint64_t Seed;
+  Rng R;
+  std::string Out;
+  unsigned Indent = 0;
+  unsigned NumCounters = 0;
+  unsigned ArrayWords = 0;
+  bool HaveClassifier = false;
+  std::vector<unsigned char> Interesting;
+};
+
+} // namespace
+
+GeneratedProgram bropt::generateProgram(uint64_t Seed) {
+  return ProgramBuilder(Seed).run();
+}

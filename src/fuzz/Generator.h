@@ -1,0 +1,52 @@
+//===- fuzz/Generator.h - Seeded random Mini-C program generator -*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random Mini-C programs biased toward the shapes the paper's
+/// transformation targets: if/else-if chains testing one variable against
+/// nonoverlapping constants and bounded (Form 4) ranges, switch statements
+/// sized and spaced to hit all three Table 2 heuristic-set shapes,
+/// intervening side effects between conditions, and nested work in default
+/// arms.  Programs are trap-free and terminating by construction (the only
+/// unbounded loop consumes the finite input), so every oracle disagreement
+/// is a real bug, not a generator artifact.
+///
+/// Each program comes with seeded training and held-out input sets.  The
+/// two sets draw from different mixtures of the program's own branch
+/// constants, so the profile the transformation trains on is deliberately
+/// not the distribution it is judged on — behavior must be preserved under
+/// distribution shift, only performance may vary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_FUZZ_GENERATOR_H
+#define BROPT_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bropt {
+
+/// One generated test case: everything derives from Seed.
+struct GeneratedProgram {
+  uint64_t Seed = 0;
+  std::string Source;
+  /// Inputs the instrumented pass-1 binary trains on.
+  std::vector<std::string> TrainingInputs;
+  /// Inputs the oracle compares baseline vs. reordered executables on;
+  /// includes the empty input and other boundary cases.
+  std::vector<std::string> HeldOutInputs;
+};
+
+/// Generates the program and inputs for \p Seed.  Pure: equal seeds give
+/// equal programs.
+GeneratedProgram generateProgram(uint64_t Seed);
+
+} // namespace bropt
+
+#endif // BROPT_FUZZ_GENERATOR_H

@@ -1,0 +1,218 @@
+//===- fuzz/Minimizer.cpp - Delta-debugging failure minimizer -------------===//
+
+#include "fuzz/Minimizer.h"
+
+#include "fuzz/AstRender.h"
+#include "lang/Parser.h"
+
+using namespace bropt;
+
+namespace {
+
+/// One minimization session over a parsed unit.  AST nodes are move-only,
+/// so every attempted reduction moves the victim out, tests the rendered
+/// program, and moves it back on failure.
+class Shrinker {
+public:
+  Shrinker(TranslationUnit &Unit, const FailurePredicate &StillFails)
+      : Unit(Unit), StillFails(StillFails) {}
+
+  unsigned Probes = 0;
+
+  /// One full reduction pass.  \returns true if anything shrank.
+  bool pass() {
+    bool Changed = shrinkGlobals();
+    Changed |= shrinkFunctions();
+    for (FunctionDecl &F : Unit.Functions)
+      Changed |= shrinkSlot(F.Body);
+    return Changed;
+  }
+
+private:
+  bool test() {
+    ++Probes;
+    return StillFails(renderUnit(Unit));
+  }
+
+  bool shrinkGlobals() {
+    bool Changed = false;
+    for (size_t Index = 0; Index < Unit.Globals.size();) {
+      GlobalDecl Saved = std::move(Unit.Globals[Index]);
+      Unit.Globals.erase(Unit.Globals.begin() + Index);
+      if (test()) {
+        Changed = true;
+        continue;
+      }
+      Unit.Globals.insert(Unit.Globals.begin() + Index, std::move(Saved));
+      ++Index;
+    }
+    return Changed;
+  }
+
+  bool shrinkFunctions() {
+    bool Changed = false;
+    for (size_t Index = 0; Index < Unit.Functions.size();) {
+      if (Unit.Functions[Index].Name == "main") {
+        ++Index;
+        continue;
+      }
+      FunctionDecl Saved = std::move(Unit.Functions[Index]);
+      Unit.Functions.erase(Unit.Functions.begin() + Index);
+      if (test()) {
+        Changed = true;
+        continue;
+      }
+      Unit.Functions.insert(Unit.Functions.begin() + Index,
+                            std::move(Saved));
+      ++Index;
+    }
+    return Changed;
+  }
+
+  /// Tries to delete each statement of \p List, then shrinks survivors.
+  bool shrinkList(std::vector<StmtPtr> &List) {
+    bool Changed = false;
+    for (size_t Index = 0; Index < List.size();) {
+      StmtPtr Saved = std::move(List[Index]);
+      List.erase(List.begin() + Index);
+      if (test()) {
+        Changed = true;
+        continue;
+      }
+      List.insert(List.begin() + Index, std::move(Saved));
+      ++Index;
+    }
+    for (StmtPtr &Slot : List)
+      Changed |= shrinkSlot(Slot);
+    return Changed;
+  }
+
+  /// Replaces \p Slot with child \p Replacement (taken from the node that
+  /// \p Slot owns); restores via \p Restore on predicate failure.
+  template <typename TakeFn, typename RestoreFn>
+  bool tryHoist(StmtPtr &Slot, TakeFn Take, RestoreFn Restore) {
+    StmtPtr Saved = std::move(Slot);
+    Slot = Take(Saved.get());
+    if (!Slot) {
+      Slot = std::move(Saved);
+      return false;
+    }
+    if (test())
+      return true;
+    Restore(Saved.get(), std::move(Slot));
+    Slot = std::move(Saved);
+    return false;
+  }
+
+  /// Structural reductions on the statement \p Slot owns, recursing into
+  /// children.  The slot reference stays valid throughout because every
+  /// test() happens with the tree whole.
+  bool shrinkSlot(StmtPtr &Slot) {
+    if (!Slot)
+      return false;
+    bool Changed = false;
+
+    if (auto *If = dyn_cast<IfStmt>(Slot.get())) {
+      // if (c) A else B -> A, or -> B, or -> if (c) A.
+      if (tryHoist(
+              Slot, [](Stmt *S) { return cast<IfStmt>(S)->takeThen(); },
+              [](Stmt *S, StmtPtr Old) {
+                cast<IfStmt>(S)->setThen(std::move(Old));
+              }))
+        return shrinkSlot(Slot), true;
+      if (If->getElse() &&
+          tryHoist(
+              Slot, [](Stmt *S) { return cast<IfStmt>(S)->takeElse(); },
+              [](Stmt *S, StmtPtr Old) {
+                cast<IfStmt>(S)->setElse(std::move(Old));
+              }))
+        return shrinkSlot(Slot), true;
+      if (If->getElse()) {
+        StmtPtr Saved = If->takeElse();
+        if (test())
+          Changed = true;
+        else
+          If->setElse(std::move(Saved));
+      }
+      Changed |= shrinkSlot(If->thenSlot());
+      Changed |= shrinkSlot(If->elseSlot());
+      return Changed;
+    }
+
+    if (isa<WhileStmt>(Slot.get()) || isa<DoWhileStmt>(Slot.get()) ||
+        isa<ForStmt>(Slot.get())) {
+      auto Take = [](Stmt *S) -> StmtPtr {
+        if (auto *W = dyn_cast<WhileStmt>(S))
+          return W->takeBody();
+        if (auto *D = dyn_cast<DoWhileStmt>(S))
+          return D->takeBody();
+        return cast<ForStmt>(S)->takeBody();
+      };
+      auto Restore = [](Stmt *S, StmtPtr Old) {
+        if (auto *W = dyn_cast<WhileStmt>(S))
+          W->setBody(std::move(Old));
+        else if (auto *D = dyn_cast<DoWhileStmt>(S))
+          D->setBody(std::move(Old));
+        else
+          cast<ForStmt>(S)->setBody(std::move(Old));
+      };
+      if (tryHoist(Slot, Take, Restore))
+        return shrinkSlot(Slot), true;
+      StmtPtr &Body = isa<WhileStmt>(Slot.get())
+                          ? cast<WhileStmt>(Slot.get())->bodySlot()
+                      : isa<DoWhileStmt>(Slot.get())
+                          ? cast<DoWhileStmt>(Slot.get())->bodySlot()
+                          : cast<ForStmt>(Slot.get())->bodySlot();
+      return shrinkSlot(Body);
+    }
+
+    if (auto *Block = dyn_cast<BlockStmt>(Slot.get()))
+      return shrinkList(Block->stmts());
+
+    if (auto *Switch = dyn_cast<SwitchStmt>(Slot.get())) {
+      auto &Sections = Switch->sections();
+      for (size_t Index = 0; Index < Sections.size();) {
+        SwitchSection Saved = std::move(Sections[Index]);
+        Sections.erase(Sections.begin() + Index);
+        if (test()) {
+          Changed = true;
+          continue;
+        }
+        Sections.insert(Sections.begin() + Index, std::move(Saved));
+        ++Index;
+      }
+      for (SwitchSection &Section : Sections)
+        Changed |= shrinkList(Section.Stmts);
+      return Changed;
+    }
+
+    return Changed;
+  }
+
+  TranslationUnit &Unit;
+  const FailurePredicate &StillFails;
+};
+
+} // namespace
+
+MinimizeResult bropt::minimizeSource(const std::string &Source,
+                                     const FailurePredicate &StillFails,
+                                     unsigned MaxRounds) {
+  MinimizeResult Result;
+  Result.Source = Source;
+
+  TranslationUnit Unit;
+  std::vector<Diagnostic> Diags;
+  if (!parseSource(Source, Unit, Diags) || !StillFails(Source)) {
+    Result.Statements = countStatements(Unit);
+    return Result;
+  }
+
+  Shrinker S(Unit, StillFails);
+  while (Result.Rounds < MaxRounds && S.pass())
+    ++Result.Rounds;
+  Result.Probes = S.Probes;
+  Result.Source = renderUnit(Unit);
+  Result.Statements = countStatements(Unit);
+  return Result;
+}

@@ -1,0 +1,52 @@
+//===- fuzz/Minimizer.h - Delta-debugging failure minimizer -----*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing Mini-C program while preserving its failure.  The
+/// minimizer parses the source, repeatedly applies structural reductions —
+/// delete a statement, hoist a branch or loop body over its parent, drop a
+/// switch section, drop a global or helper function — and keeps each
+/// reduction only if the caller's predicate still reports the failure on
+/// the re-rendered source.  Reductions that break compilation simply make
+/// the predicate return false (the oracle reports CompileError, a distinct
+/// kind), so the minimizer never needs its own validity checking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_FUZZ_MINIMIZER_H
+#define BROPT_FUZZ_MINIMIZER_H
+
+#include <functional>
+#include <string>
+
+namespace bropt {
+
+/// \returns true if \p Source still exhibits the failure being chased.
+/// Must be deterministic; the minimizer calls it hundreds of times.
+using FailurePredicate = std::function<bool(const std::string &Source)>;
+
+struct MinimizeResult {
+  /// The smallest failing source found.
+  std::string Source;
+  /// Statement count of the result (blocks and empties excluded).
+  size_t Statements = 0;
+  /// Full reduction passes performed.
+  unsigned Rounds = 0;
+  /// Predicate invocations — the cost driver.
+  unsigned Probes = 0;
+};
+
+/// Minimizes \p Source under \p StillFails, iterating reduction passes to
+/// a fixpoint or \p MaxRounds.  \p Source must satisfy the predicate;
+/// if it does not (or does not parse), it is returned unchanged.
+MinimizeResult minimizeSource(const std::string &Source,
+                              const FailurePredicate &StillFails,
+                              unsigned MaxRounds = 16);
+
+} // namespace bropt
+
+#endif // BROPT_FUZZ_MINIMIZER_H

@@ -1,0 +1,249 @@
+//===- fuzz/Oracle.cpp - Pipeline-wide differential-testing oracle --------===//
+
+#include "fuzz/Oracle.h"
+
+#include "core/Reorder.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+#include "sim/Interpreter.h"
+#include "support/Strings.h"
+
+#include <cmath>
+
+using namespace bropt;
+
+const char *bropt::violationKindName(ViolationKind Kind) {
+  switch (Kind) {
+  case ViolationKind::None:
+    return "none";
+  case ViolationKind::CompileError:
+    return "compile-error";
+  case ViolationKind::BehaviorMismatch:
+    return "behavior-mismatch";
+  case ViolationKind::EngineMismatch:
+    return "engine-mismatch";
+  case ViolationKind::VerifierFailure:
+    return "verifier-failure";
+  case ViolationKind::CostRegression:
+    return "cost-regression";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool countsEqual(const DynamicCounts &A, const DynamicCounts &B) {
+  return A.TotalInsts == B.TotalInsts && A.CondBranches == B.CondBranches &&
+         A.TakenBranches == B.TakenBranches &&
+         A.UncondJumps == B.UncondJumps &&
+         A.IndirectJumps == B.IndirectJumps && A.Compares == B.Compares &&
+         A.Loads == B.Loads && A.Stores == B.Stores && A.Calls == B.Calls &&
+         A.ProfileHooks == B.ProfileHooks;
+}
+
+RunResult runOne(const Module &M, Interpreter::Mode Mode,
+                 const std::string &Input, uint64_t Limit) {
+  Interpreter Interp(M, Mode);
+  Interp.setInput(Input);
+  Interp.setInstructionLimit(Limit);
+  return Interp.run();
+}
+
+std::string describeRun(const RunResult &R) {
+  if (R.Trapped)
+    return "trap: " + R.TrapReason;
+  return formatString("exit %lld, %zu output bytes", (long long)R.ExitValue,
+                      R.Output.size());
+}
+
+/// Invariant 2: the engines must agree on everything, counters included.
+bool enginesAgree(const RunResult &Tree, const RunResult &Decoded,
+                  std::string &Detail) {
+  if (Tree.Trapped != Decoded.Trapped ||
+      Tree.TrapReason != Decoded.TrapReason ||
+      Tree.ExitValue != Decoded.ExitValue || Tree.Output != Decoded.Output) {
+    Detail = "tree: " + describeRun(Tree) +
+             "; decoded: " + describeRun(Decoded);
+    return false;
+  }
+  if (!countsEqual(Tree.Counts, Decoded.Counts)) {
+    Detail = formatString(
+        "dynamic counters diverge: tree %llu insts / %llu branches, "
+        "decoded %llu insts / %llu branches",
+        (unsigned long long)Tree.Counts.TotalInsts,
+        (unsigned long long)Tree.Counts.CondBranches,
+        (unsigned long long)Decoded.Counts.TotalInsts,
+        (unsigned long long)Decoded.Counts.CondBranches);
+    return false;
+  }
+  return true;
+}
+
+/// Invariant 1: same input -> same observable behavior.  Counters are
+/// allowed — expected — to differ; that is the optimization working.
+bool behaviorsAgree(const RunResult &Base, const RunResult &Opt,
+                    std::string &Detail) {
+  if (Base.Trapped != Opt.Trapped ||
+      (Base.Trapped && Base.TrapReason != Opt.TrapReason) ||
+      (!Base.Trapped &&
+       (Base.ExitValue != Opt.ExitValue || Base.Output != Opt.Output))) {
+    Detail = "baseline: " + describeRun(Base) +
+             "; reordered: " + describeRun(Opt);
+    return false;
+  }
+  return true;
+}
+
+/// Test-only fault: flip the predicate of the first conditional branch in
+/// a block the reorderer created, without swapping the successors.  The
+/// corruption only fires when reordering actually restructured something,
+/// so un-reordered programs stay clean (and the minimizer must preserve a
+/// reorderable shape to keep the failure alive).
+bool corruptReorderedBlock(Module &M) {
+  for (auto &F : M)
+    for (auto &Block : *F) {
+      if (Block->getLabel().find("reord") == std::string::npos)
+        continue;
+      if (auto *Br = dyn_cast_or_null<CondBrInst>(Block->getTerminator())) {
+        Br->setPred(invertCondCode(Br->getPred()));
+        return true;
+      }
+    }
+  return false;
+}
+
+/// Invariant 4 over every sequence the profile covers: the Figure 8
+/// selection must never pick an ordering costing more (Equations 1-4)
+/// than the original one.
+OracleReport checkCosts(std::string_view Source,
+                        const std::vector<std::string_view> &Training,
+                        const OracleOptions &Opts) {
+  OracleReport Report;
+  Pass1Result Pass1 = runPass1(Source, Training, Opts.Compile);
+  if (!Pass1.ok()) {
+    Report.Kind = ViolationKind::CompileError;
+    Report.Detail = "pass 1 failed: " + Pass1.Error;
+    return Report;
+  }
+  for (const RangeSequence &Seq : Pass1.Sequences) {
+    const SequenceProfile *Prof = Pass1.Profile.lookup(Seq.Id);
+    size_t NumBins = Seq.Conds.size() + Seq.DefaultRanges.size();
+    if (!Prof || Prof->Signature != Seq.signature() ||
+        Prof->BinCounts.size() != NumBins ||
+        Prof->totalExecutions() < Opts.Compile.Reorder.MinExecutions ||
+        Prof->totalExecutions() == 0)
+      continue; // reorderSequence skips these too
+    std::vector<RangeInfo> Infos = buildRangeInfos(Seq, *Prof);
+    OrderingDecision Decision =
+        Opts.Compile.Reorder.UseExhaustiveSelection && Infos.size() <= 10
+            ? selectOrderingExhaustive(Infos)
+            : selectOrdering(Infos);
+    // The original ordering tests the explicit conditions in source order
+    // and leaves every default range unchecked.
+    std::vector<size_t> OriginalOrder, OriginalEliminated;
+    for (size_t Index = 0; Index < Seq.Conds.size(); ++Index)
+      OriginalOrder.push_back(Index);
+    for (size_t Index = Seq.Conds.size(); Index < Infos.size(); ++Index)
+      OriginalEliminated.push_back(Index);
+    double OriginalCost =
+        orderingCost(Infos, OriginalOrder, OriginalEliminated);
+    bool Regressed = Decision.Cost > OriginalCost + 1e-9;
+    if (Opts.Fault == FaultKind::PretendCostRegression)
+      Regressed = !Regressed;
+    if (Regressed) {
+      Report.Kind = ViolationKind::CostRegression;
+      Report.Detail = formatString(
+          "sequence %u in %s: selected cost %.6f > original %.6f "
+          "(%zu ranges, %llu executions)",
+          Seq.Id, Seq.F->getName().c_str(), Decision.Cost, OriginalCost,
+          Infos.size(), (unsigned long long)Prof->totalExecutions());
+      return Report;
+    }
+  }
+  return Report;
+}
+
+} // namespace
+
+OracleReport bropt::runOracle(std::string_view Source,
+                              const std::vector<std::string> &TrainingInputs,
+                              const std::vector<std::string> &HeldOutInputs,
+                              const OracleOptions &Opts) {
+  OracleReport Report;
+
+  // Invariant 3: verify after every pass of every compilation below.
+  std::string VerifierErrors;
+  PassObserverScope Observer([&VerifierErrors](const char *Pass,
+                                               Function &F) {
+    std::string Errors;
+    if (!verifyFunction(F, &Errors))
+      VerifierErrors += formatString("after %s in %s: %s; ", Pass,
+                                     F.getName().c_str(), Errors.c_str());
+  });
+
+  CompileResult Base = compileBaseline(Source, Opts.Compile);
+  if (!Base.ok()) {
+    Report.Kind = ViolationKind::CompileError;
+    Report.Detail = "baseline compile failed: " + Base.Error;
+    return Report;
+  }
+
+  std::vector<std::string_view> Training(TrainingInputs.begin(),
+                                         TrainingInputs.end());
+  CompileResult Optimized =
+      compileWithReordering(Source, Training, Opts.Compile);
+  if (!Optimized.ok()) {
+    Report.Kind = ViolationKind::CompileError;
+    Report.Detail = "reordering compile failed: " + Optimized.Error;
+    return Report;
+  }
+
+  if (!VerifierErrors.empty()) {
+    Report.Kind = ViolationKind::VerifierFailure;
+    Report.Detail = VerifierErrors;
+    return Report;
+  }
+
+  if (Opts.Fault == FaultKind::CorruptReorderedBlock)
+    corruptReorderedBlock(*Optimized.M);
+
+  Report = checkCosts(Source, Training, Opts);
+  if (!Report.ok())
+    return Report;
+
+  for (size_t InputIndex = 0; InputIndex < HeldOutInputs.size();
+       ++InputIndex) {
+    const std::string &Input = HeldOutInputs[InputIndex];
+    RunResult BaseTree =
+        runOne(*Base.M, Interpreter::Mode::Tree, Input, Opts.InstructionLimit);
+    RunResult BaseDecoded = runOne(*Base.M, Interpreter::Mode::Decoded, Input,
+                                   Opts.InstructionLimit);
+    RunResult OptTree = runOne(*Optimized.M, Interpreter::Mode::Tree, Input,
+                               Opts.InstructionLimit);
+    RunResult OptDecoded = runOne(*Optimized.M, Interpreter::Mode::Decoded,
+                                  Input, Opts.InstructionLimit);
+
+    std::string Detail;
+    if (!enginesAgree(BaseTree, BaseDecoded, Detail)) {
+      Report.Kind = ViolationKind::EngineMismatch;
+      Report.Detail = formatString("baseline module, held-out input %zu: ",
+                                   InputIndex) +
+                      Detail;
+      return Report;
+    }
+    if (!enginesAgree(OptTree, OptDecoded, Detail)) {
+      Report.Kind = ViolationKind::EngineMismatch;
+      Report.Detail = formatString("reordered module, held-out input %zu: ",
+                                   InputIndex) +
+                      Detail;
+      return Report;
+    }
+    if (!behaviorsAgree(BaseTree, OptTree, Detail)) {
+      Report.Kind = ViolationKind::BehaviorMismatch;
+      Report.Detail =
+          formatString("held-out input %zu: ", InputIndex) + Detail;
+      return Report;
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,72 @@
+//===- fuzz/Rng.h - Deterministic PRNG for the fuzzer -----------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A splitmix64-based PRNG.  Every fuzzer artifact — program, training
+/// input, option matrix — derives purely from a 64-bit seed through this
+/// generator, so any failure reproduces from its seed alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_FUZZ_RNG_H
+#define BROPT_FUZZ_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace bropt {
+
+/// splitmix64: tiny, fast, and statistically solid for fuzzing purposes.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [Lo, Hi], inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    next() % static_cast<uint64_t>(Hi - Lo + 1));
+  }
+
+  /// True with probability \p Percent / 100.
+  bool pct(unsigned Percent) {
+    return next() % 100 < Percent;
+  }
+
+  /// Uniformly chosen element of \p Pool.
+  template <typename T> const T &pick(const std::vector<T> &Pool) {
+    assert(!Pool.empty() && "pick from an empty pool");
+    return Pool[next() % Pool.size()];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t Index = Items.size(); Index > 1; --Index)
+      std::swap(Items[Index - 1], Items[next() % Index]);
+  }
+
+  /// Derives an independent stream for sub-task \p Salt of this seed.
+  static uint64_t mix(uint64_t Seed, uint64_t Salt) {
+    Rng R(Seed ^ (0x5851f42d4c957f2dULL * (Salt + 1)));
+    return R.next();
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace bropt
+
+#endif // BROPT_FUZZ_RNG_H

@@ -12,6 +12,16 @@ BasicBlock *Function::createBlock(std::string BlockName) {
   return Blocks.back().get();
 }
 
+BasicBlock *Function::createBlockWithId(unsigned Id, std::string BlockName) {
+  for ([[maybe_unused]] const auto &Block : Blocks)
+    assert(Block->getId() != Id && "block id already in use");
+  Blocks.push_back(
+      std::make_unique<BasicBlock>(this, Id, std::move(BlockName)));
+  if (Id >= NextBlockId)
+    NextBlockId = Id + 1;
+  return Blocks.back().get();
+}
+
 BasicBlock *Function::createBlockAfter(BasicBlock *After,
                                        std::string BlockName) {
   size_t Index = blockIndex(After);

@@ -81,6 +81,11 @@ public:
   /// Appends a new block at the end of the layout.
   BasicBlock *createBlock(std::string BlockName = "");
 
+  /// Appends a block with an explicit id, for tools that must reproduce an
+  /// existing function exactly (the IR text parser).  The id must not be in
+  /// use; future automatic ids continue past it.
+  BasicBlock *createBlockWithId(unsigned Id, std::string BlockName = "");
+
   /// Creates a new block placed immediately after \p After in the layout.
   BasicBlock *createBlockAfter(BasicBlock *After, std::string BlockName = "");
 

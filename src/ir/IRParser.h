@@ -1,0 +1,37 @@
+//===- ir/IRParser.h - Parse printed IR back into a Module ------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual rendering produced by ir/Printer back into a Module.
+/// The grammar is exactly the printer's output — one instruction per line,
+/// `label:` block headers, `func name(N params, M regs) {` — so
+/// parse(print(M)) rebuilds a module that prints identically and runs
+/// identically.  The golden round-trip tests rely on this to prove the
+/// printer loses no information; tools use it to reload dumped IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_IR_IRPARSER_H
+#define BROPT_IR_IRPARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace bropt {
+
+/// Parses \p Text, the output of printModule().  \returns the rebuilt
+/// module, or null with a diagnostic (including the line number) appended
+/// to \p Error.
+std::unique_ptr<Module> parseModuleText(std::string_view Text,
+                                        std::string *Error = nullptr);
+
+} // namespace bropt
+
+#endif // BROPT_IR_IRPARSER_H

@@ -180,9 +180,21 @@ std::string Function::toString() const { return printFunction(*this); }
 
 std::string bropt::printModule(const Module &M) {
   std::string Text;
-  for (const auto &Global : M.globals())
-    Text += formatString("global %s: %u words @ %u\n", Global->Name.c_str(),
+  for (const auto &Global : M.globals()) {
+    Text += formatString("global %s: %u words @ %u", Global->Name.c_str(),
                          Global->NumWords, Global->BaseAddress);
+    if (!Global->Init.empty()) {
+      Text += " = [";
+      for (size_t Index = 0; Index < Global->Init.size(); ++Index) {
+        if (Index)
+          Text += ", ";
+        Text += formatString(
+            "%lld", static_cast<long long>(Global->Init[Index]));
+      }
+      Text += "]";
+    }
+    Text += "\n";
+  }
   for (const auto &F : M)
     Text += printFunction(*F);
   return Text;

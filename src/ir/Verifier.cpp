@@ -71,26 +71,42 @@ private:
   }
 
   /// Forward dataflow: a CondBr is valid if a Cmp precedes it in its block,
-  /// or condition codes are definitely set on entry from every predecessor.
+  /// or condition codes are definitely set on entry from every reachable
+  /// predecessor.  Unreachable predecessors are excluded: a pass like
+  /// branch chaining can orphan a jump-only block before the next
+  /// unreachable-block sweep deletes it, and a dead edge cannot deliver
+  /// condition codes (or anything else) at run time.
   void checkConditionCodes() {
+    auto Reachable = reachableBlocks(F);
     // CCAtExit[B] = true if CC is definitely set when B's terminator runs.
     std::unordered_map<const BasicBlock *, bool> CCAtExit;
     for (const auto &Block : F)
       CCAtExit[Block.get()] = true; // optimistic for the fixpoint
     const_cast<Function &>(F).recomputePredecessors();
 
+    // Entry state of a reachable block: it has at least one reachable
+    // predecessor and all of them provide CC.
+    auto ccOnEntry = [&](const BasicBlock &Block) {
+      if (&Block == &F.getEntryBlock())
+        return false;
+      bool AnyPred = false;
+      bool Entry = true;
+      for (const BasicBlock *Pred : Block.predecessors()) {
+        if (!Reachable.count(Pred))
+          continue;
+        AnyPred = true;
+        Entry = Entry && CCAtExit[Pred];
+      }
+      return AnyPred && Entry;
+    };
+
     bool Changed = true;
     while (Changed) {
       Changed = false;
       for (const auto &Block : F) {
-        bool Entry = !Block->predecessors().empty() &&
-                     Block.get() != &F.getEntryBlock();
-        for (const BasicBlock *Pred : Block->predecessors())
-          Entry = Entry && CCAtExit[Pred];
-        if (Block.get() == &F.getEntryBlock() ||
-            Block->predecessors().empty())
-          Entry = false;
-        bool Exit = Entry;
+        if (!Reachable.count(Block.get()))
+          continue;
+        bool Exit = ccOnEntry(*Block);
         for (const auto &Inst : *Block)
           if (Inst->writesCC())
             Exit = true;
@@ -101,7 +117,6 @@ private:
       }
     }
 
-    auto Reachable = reachableBlocks(F);
     for (const auto &Block : F) {
       if (!Reachable.count(Block.get()))
         continue;
@@ -114,12 +129,7 @@ private:
           SetLocally = true;
       if (SetLocally)
         continue;
-      bool OnEntry = true;
-      if (Block->predecessors().empty() || Block.get() == &F.getEntryBlock())
-        OnEntry = false;
-      for (const BasicBlock *Pred : Block->predecessors())
-        OnEntry = OnEntry && CCAtExit[Pred];
-      if (!OnEntry)
+      if (!ccOnEntry(*Block))
         fail(Block->getLabel() +
              " ends in a conditional branch with no dominating cmp");
     }

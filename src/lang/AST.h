@@ -110,6 +110,7 @@ public:
   IntLitExpr(int64_t Value, unsigned Line)
       : Expr(ExprKind::IntLit, Line), Value(Value) {}
   int64_t getValue() const { return Value; }
+  void setValue(int64_t V) { Value = V; }
   static bool classof(const Expr *E) { return E->getKind() == ExprKind::IntLit; }
 
 private:
@@ -301,6 +302,9 @@ template <typename To> const To *cast(const Stmt *S) {
   assert(isa<To>(S) && "bad statement cast");
   return static_cast<const To *>(S);
 }
+template <typename To> To *dyn_cast(Stmt *S) {
+  return isa<To>(S) ? static_cast<To *>(S) : nullptr;
+}
 template <typename To> const To *dyn_cast(const Stmt *S) {
   return isa<To>(S) ? static_cast<const To *>(S) : nullptr;
 }
@@ -311,6 +315,8 @@ public:
   BlockStmt(std::vector<StmtPtr> Stmts, unsigned Line)
       : Stmt(StmtKind::Block, Line), Stmts(std::move(Stmts)) {}
   const std::vector<StmtPtr> &getStmts() const { return Stmts; }
+  /// Mutable access for tools that shrink programs (fuzz minimizer).
+  std::vector<StmtPtr> &stmts() { return Stmts; }
   static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Block; }
 
 private:
@@ -326,6 +332,13 @@ public:
   const Expr *getCond() const { return Cond.get(); }
   const Stmt *getThen() const { return Then.get(); }
   const Stmt *getElse() const { return Else.get(); }
+  /// Minimizer hooks: extract or drop branches in place.
+  StmtPtr takeThen() { return std::move(Then); }
+  StmtPtr takeElse() { return std::move(Else); }
+  void setThen(StmtPtr S) { Then = std::move(S); }
+  void setElse(StmtPtr S) { Else = std::move(S); }
+  StmtPtr &thenSlot() { return Then; }
+  StmtPtr &elseSlot() { return Else; }
   static bool classof(const Stmt *S) { return S->getKind() == StmtKind::If; }
 
 private:
@@ -341,6 +354,9 @@ public:
         Body(std::move(Body)) {}
   const Expr *getCond() const { return Cond.get(); }
   const Stmt *getBody() const { return Body.get(); }
+  StmtPtr takeBody() { return std::move(Body); }
+  void setBody(StmtPtr S) { Body = std::move(S); }
+  StmtPtr &bodySlot() { return Body; }
   static bool classof(const Stmt *S) { return S->getKind() == StmtKind::While; }
 
 private:
@@ -356,6 +372,9 @@ public:
         Cond(std::move(Cond)) {}
   const Stmt *getBody() const { return Body.get(); }
   const Expr *getCond() const { return Cond.get(); }
+  StmtPtr takeBody() { return std::move(Body); }
+  void setBody(StmtPtr S) { Body = std::move(S); }
+  StmtPtr &bodySlot() { return Body; }
   static bool classof(const Stmt *S) {
     return S->getKind() == StmtKind::DoWhile;
   }
@@ -376,6 +395,9 @@ public:
   const Expr *getCond() const { return Cond.get(); }
   const Expr *getStep() const { return Step.get(); }
   const Stmt *getBody() const { return Body.get(); }
+  StmtPtr takeBody() { return std::move(Body); }
+  void setBody(StmtPtr S) { Body = std::move(S); }
+  StmtPtr &bodySlot() { return Body; }
   static bool classof(const Stmt *S) { return S->getKind() == StmtKind::For; }
 
 private:
@@ -401,6 +423,8 @@ public:
         Sections(std::move(Sections)) {}
   const Expr *getValue() const { return Value.get(); }
   const std::vector<SwitchSection> &getSections() const { return Sections; }
+  /// Mutable access for tools that shrink programs (fuzz minimizer).
+  std::vector<SwitchSection> &sections() { return Sections; }
   static bool classof(const Stmt *S) {
     return S->getKind() == StmtKind::Switch;
   }

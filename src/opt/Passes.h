@@ -20,7 +20,38 @@
 #include "ir/Function.h"
 #include "ir/Module.h"
 
+#include <functional>
+
 namespace bropt {
+
+/// Observer invoked after every individual pass application with the pass
+/// name and the function it just transformed.  The differential-testing
+/// harness installs a verifier here so structural damage is pinned to the
+/// exact pass that caused it instead of surfacing at the pipeline end.
+///
+/// There is one process-wide observer and it is not synchronized: install
+/// only from single-threaded test/tool code, never while the parallel
+/// evaluation harness is compiling.
+using PassObserver = std::function<void(const char *PassName, Function &F)>;
+
+/// Installs \p Observer (replacing any previous one); pass an empty
+/// function to remove it.
+void setPassObserver(PassObserver Observer);
+
+/// Invokes the installed observer, if any.  Pass implementations and the
+/// pipelines below call this after each pass that ran.
+void notifyPassObserver(const char *PassName, Function &F);
+
+/// RAII installer that restores the empty observer on destruction.
+class PassObserverScope {
+public:
+  explicit PassObserverScope(PassObserver Observer) {
+    setPassObserver(std::move(Observer));
+  }
+  ~PassObserverScope() { setPassObserver({}); }
+  PassObserverScope(const PassObserverScope &) = delete;
+  PassObserverScope &operator=(const PassObserverScope &) = delete;
+};
 
 /// Evaluates constant-operand arithmetic, folds constant conditions into
 /// unconditional jumps, and simplifies algebraic identities (x+0, x*1, ...).

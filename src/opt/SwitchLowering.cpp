@@ -3,6 +3,7 @@
 #include "opt/SwitchLowering.h"
 
 #include "ir/IRBuilder.h"
+#include "opt/Passes.h"
 #include "support/Debug.h"
 
 #include <algorithm>
@@ -205,7 +206,10 @@ private:
 
 bool bropt::lowerSwitches(Function &F, SwitchHeuristicSet Set,
                           SwitchLoweringStats *Stats) {
-  return SwitchExpander(F, Set, Stats).run();
+  if (!SwitchExpander(F, Set, Stats).run())
+    return false;
+  notifyPassObserver("switch-lowering", F);
+  return true;
 }
 
 bool bropt::lowerSwitches(Module &M, SwitchHeuristicSet Set,

@@ -1,0 +1,170 @@
+//===- tests/core/ordering_edge_test.cpp - Selection edge cases -----------===//
+//
+// Edge cases of the Figure 8 ordering selection: single-condition
+// sequences, tied probabilities, zero-count ranges, and promotion or
+// demotion of default ranges.  Each decision is also checked for internal
+// consistency: Order and Eliminated partition the ranges, the eliminated
+// ranges share the default target, and the reported cost matches an
+// independent evaluation of Equations 1-3.
+
+#include "core/OrderingSelection.h"
+
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace bropt;
+
+namespace {
+
+class OrderingEdgeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    F = M.createFunction("f", 0);
+    for (int Index = 0; Index < 8; ++Index)
+      Targets.push_back(F->createBlock());
+  }
+
+  RangeInfo info(Range R, unsigned TargetIdx, double P, unsigned C,
+                 size_t OrigIndex, bool WasExplicit = true) {
+    RangeInfo Info;
+    Info.R = R;
+    Info.Target = Targets[TargetIdx];
+    Info.P = P;
+    Info.C = C;
+    Info.OrigIndex = OrigIndex;
+    Info.WasExplicit = WasExplicit;
+    return Info;
+  }
+
+  /// Structural checks every decision must satisfy, plus the cost cross
+  /// check against orderingCost.
+  void checkConsistent(const OrderingDecision &Decision,
+                       const std::vector<RangeInfo> &Infos) {
+    EXPECT_EQ(Decision.Order.size() + Decision.Eliminated.size(),
+              Infos.size());
+    std::vector<size_t> All = Decision.Order;
+    All.insert(All.end(), Decision.Eliminated.begin(),
+               Decision.Eliminated.end());
+    std::sort(All.begin(), All.end());
+    for (size_t Index = 0; Index < All.size(); ++Index)
+      EXPECT_EQ(All[Index], Index) << "indices must partition the ranges";
+    for (size_t Index : Decision.Eliminated)
+      EXPECT_EQ(Infos[Index].Target, Decision.DefaultTarget)
+          << "eliminated ranges must share the default target";
+    EXPECT_NEAR(Decision.Cost,
+                orderingCost(Infos, Decision.Order, Decision.Eliminated),
+                1e-9);
+  }
+
+  Module M;
+  Function *F = nullptr;
+  std::vector<BasicBlock *> Targets;
+};
+
+TEST_F(OrderingEdgeTest, SingleConditionSequence) {
+  // One explicit condition plus the two default ranges around it — the
+  // smallest shape the selector ever sees from a real sequence.
+  std::vector<RangeInfo> Infos = {
+      info(Range::single(10), 0, 0.6, 2, 0),
+      info(Range(Range::MinValue, 9), 1, 0.25, 2, 1, false),
+      info(Range(11, Range::MaxValue), 1, 0.15, 2, 2, false),
+  };
+  OrderingDecision Decision = selectOrdering(Infos);
+  checkConsistent(Decision, Infos);
+  // No ordering can beat the exhaustive minimum, and the selection must
+  // not be worse than leaving the sequence alone.
+  OrderingDecision Exhaustive = selectOrderingExhaustive(Infos);
+  EXPECT_NEAR(Decision.Cost, Exhaustive.Cost, 1e-9);
+  EXPECT_LE(Decision.Cost, orderingCost(Infos, {0}, {1, 2}) + 1e-9);
+}
+
+TEST_F(OrderingEdgeTest, TiedProbabilitiesAreStillOptimal) {
+  // Equal p and c everywhere: every order costs the same, so the only
+  // requirement is consistency and agreement with the exhaustive search.
+  std::vector<RangeInfo> Infos = {
+      info(Range::single(1), 0, 0.25, 2, 0),
+      info(Range::single(2), 1, 0.25, 2, 1),
+      info(Range(3, Range::MaxValue), 2, 0.25, 2, 2, false),
+      info(Range(Range::MinValue, 0), 2, 0.25, 2, 3, false),
+  };
+  OrderingDecision Decision = selectOrdering(Infos);
+  checkConsistent(Decision, Infos);
+  OrderingDecision Exhaustive = selectOrderingExhaustive(Infos);
+  EXPECT_NEAR(Decision.Cost, Exhaustive.Cost, 1e-9);
+}
+
+TEST_F(OrderingEdgeTest, ZeroCountRangesAreHandled) {
+  // A training run that never exercised two of the ranges produces
+  // zero-probability bins; the selection must stay well-formed and the
+  // zero-mass ranges must not displace profitable ones from the front.
+  std::vector<RangeInfo> Infos = {
+      info(Range::single(1), 0, 0.0, 2, 0),
+      info(Range::single(2), 1, 0.9, 2, 1),
+      info(Range::single(3), 2, 0.0, 2, 2),
+      info(Range(4, Range::MaxValue), 3, 0.1, 2, 3, false),
+      info(Range(Range::MinValue, 0), 3, 0.0, 2, 4, false),
+  };
+  OrderingDecision Decision = selectOrdering(Infos);
+  checkConsistent(Decision, Infos);
+  ASSERT_FALSE(Decision.Order.empty());
+  EXPECT_EQ(Decision.Order.front(), 1u);
+  OrderingDecision Exhaustive = selectOrderingExhaustive(Infos);
+  EXPECT_NEAR(Decision.Cost, Exhaustive.Cost, 1e-9);
+}
+
+TEST_F(OrderingEdgeTest, AllZeroButOneDegeneratesGracefully) {
+  // Everything but one default range has zero mass.
+  std::vector<RangeInfo> Infos = {
+      info(Range::single(5), 0, 0.0, 2, 0),
+      info(Range(6, Range::MaxValue), 1, 1.0, 2, 1, false),
+      info(Range(Range::MinValue, 4), 1, 0.0, 2, 2, false),
+  };
+  OrderingDecision Decision = selectOrdering(Infos);
+  checkConsistent(Decision, Infos);
+  EXPECT_LE(Decision.Cost, orderingCost(Infos, {0}, {1, 2}) + 1e-9);
+}
+
+TEST_F(OrderingEdgeTest, DominantDefaultRangeIsPromoted) {
+  // The default target owns 90% of the mass.  Testing its big range
+  // explicitly (promotion, paper §8) beats the original arrangement where
+  // every probe must fail before reaching it.
+  std::vector<RangeInfo> Infos = {
+      info(Range::single(1), 0, 0.05, 2, 0),
+      info(Range::single(2), 1, 0.05, 2, 1),
+      info(Range(3, Range::MaxValue), 2, 0.6, 2, 2, false),
+      info(Range(Range::MinValue, 0), 2, 0.3, 2, 3, false),
+  };
+  OrderingDecision Decision = selectOrdering(Infos);
+  checkConsistent(Decision, Infos);
+  // The 0.6-mass default range must now be tested, and first.
+  ASSERT_FALSE(Decision.Order.empty());
+  EXPECT_EQ(Decision.Order.front(), 2u);
+  EXPECT_FALSE(Infos[Decision.Order.front()].WasExplicit);
+  OrderingDecision Exhaustive = selectOrderingExhaustive(Infos);
+  EXPECT_NEAR(Decision.Cost, Exhaustive.Cost, 1e-9);
+}
+
+TEST_F(OrderingEdgeTest, ColdExplicitRangesAreDemoted) {
+  // Mirror image: the explicit conditions are nearly never taken, so the
+  // cheapest arrangement demotes them to untested default ranges and
+  // promotes the old default ranges to explicit tests.
+  std::vector<RangeInfo> Infos = {
+      info(Range::single(1), 0, 0.02, 2, 0),
+      info(Range::single(2), 0, 0.03, 2, 1),
+      info(Range(Range::MinValue, 0), 1, 0.5, 2, 2, false),
+      info(Range(3, Range::MaxValue), 1, 0.45, 2, 3, false),
+  };
+  OrderingDecision Decision = selectOrdering(Infos);
+  checkConsistent(Decision, Infos);
+  EXPECT_EQ(Decision.DefaultTarget, Targets[0]);
+  EXPECT_EQ(Decision.Eliminated.size(), 2u);
+  for (size_t Index : Decision.Eliminated)
+    EXPECT_TRUE(Infos[Index].WasExplicit);
+  OrderingDecision Exhaustive = selectOrderingExhaustive(Infos);
+  EXPECT_NEAR(Decision.Cost, Exhaustive.Cost, 1e-9);
+}
+
+} // namespace

@@ -356,4 +356,29 @@ TEST(VerifierTest, AcceptsInheritedConditionCodes) {
   EXPECT_TRUE(verifyFunction(*F, &Errors)) << Errors;
 }
 
+TEST(VerifierTest, IgnoresUnreachablePredecessorsInCCDataflow) {
+  // Regression for a fuzzer find (fuzz/corpus/case-10454...): branch
+  // chaining can orphan a jump-only block whose jump still targets a
+  // block that inherits condition codes.  The dead edge must not poison
+  // the CC dataflow — every *reachable* path into C carries a cmp.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  BasicBlock *A = F->createBlock();
+  BasicBlock *B = F->createBlock();
+  BasicBlock *C = F->createBlock();
+  BasicBlock *Dead = F->createBlock("dead");
+  unsigned R = F->newReg();
+  IRBuilder Builder(A);
+  Builder.emitMove(R, Operand::imm(1));
+  Builder.emitCmp(Operand::reg(R), Operand::imm(0));
+  Builder.emitCondBr(CondCode::GT, B, C);
+  Builder.setInsertionPoint(B);
+  Builder.emitRet();
+  Builder.setInsertionPoint(C);
+  Builder.emitCondBr(CondCode::EQ, B, B); // inherits A's condition codes
+  Dead->append(std::make_unique<JumpInst>(C)); // unreachable, no cmp
+  std::string Errors;
+  EXPECT_TRUE(verifyFunction(*F, &Errors)) << Errors;
+}
+
 } // namespace
