@@ -1,26 +1,41 @@
 //===- bench/bench_json.cpp - Machine-readable bench-suite output ---------===//
 //
 // Runs the sweeps behind the table benches (heuristic sets I-III, the
-// Table 5 predictor, and the Table 6 predictor sweep) and emits one JSON
-// document — BENCH_tables.json by default — with per-workload dynamic
-// instruction counts, branch counts, and wall-clock times, so the perf
-// trajectory of the suite can be tracked across PRs.
+// Table 5 predictor, and the Table 6 predictor sweep) across the engine
+// matrix — fused (threaded dispatch + superinstructions) and decoded
+// (PR-1 flat dispatch), each under the serial and the threaded harness —
+// and emits two JSON documents:
 //
-// By default the suite runs twice: once on the current engine (decoded
-// dispatch, parallel workloads, compile caching) and once on the legacy
-// configuration (tree-walking interpreter, serial, no cache).  Dynamic
-// counts must agree between the two; the wall-clock ratio is reported as
-// "speedup".  Pass --no-compare to skip the legacy pass.
+//  * BENCH_tables.json (--out): per-workload dynamic counts and timings
+//    from the fused/threaded configuration, regenerated locally, not
+//    committed;
+//  * BENCH_engine.json (--engine-out): the engine perf trajectory —
+//    warmup + median-of-N wall times per configuration, dynamic
+//    instruction rates, fused-over-decoded speedups, fuse and cache
+//    statistics.  This file IS committed so speedups persist across PRs.
 //
-// Usage: bench_json [--out FILE] [--threads N] [--no-compare]
+// Every configuration replays identical logical work: dynamic counts are
+// engine-invariant, so the wall-clock ratios are pure dispatch/fusion
+// wins.  --verify-engines re-runs sweeps on the tree-walking reference
+// and aborts on any observable divergence (counts, mispredictions,
+// output bytes, exit values); "smoke" checks a representative subset,
+// "all" every sweep, "off" none.
+//
+// Usage: bench_json [--out FILE] [--engine-out FILE] [--threads N]
+//                   [--reps N] [--warmup N] [--smoke]
+//                   [--verify-engines all|smoke|off] [--no-compare]
+//                   [--fail-if-slower]
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
-#include <chrono>
+#include "profile/ProfileData.h"
+#include "sim/Fuse.h"
+
 #include <cstring>
 #include <fstream>
+#include <memory>
 
 using namespace bropt;
 using namespace bropt::bench;
@@ -56,18 +71,32 @@ std::vector<SweepSpec> suiteSweeps() {
   return Sweeps;
 }
 
+/// The CI/verification subset: one plain sweep, the Table 5 predictor,
+/// and one Table 6 point, so both predictor-free and predictor-attached
+/// dispatch paths are exercised.
+bool isSmokeSweep(const std::string &Label) {
+  return Label == "table4/setI" || Label == "table5/ultrasparc" ||
+         Label == "table6/(0,2)x256";
+}
+
+std::vector<SweepSpec> filterSmoke(const std::vector<SweepSpec> &Sweeps) {
+  std::vector<SweepSpec> Subset;
+  for (const SweepSpec &Sweep : Sweeps)
+    if (isSmokeSweep(Sweep.Label))
+      Subset.push_back(Sweep);
+  return Subset;
+}
+
 struct SuiteResult {
   double WallSeconds = 0.0;
-  /// Records per sweep, in suiteSweeps() order.
+  /// Records per sweep, in the given sweep order.
   std::vector<std::vector<WorkloadRecord>> Sweeps;
-  EvaluatorStats CacheStats;
 };
 
-SuiteResult runSuite(const EvaluatorOptions &Options) {
+SuiteResult runSuite(Evaluator &Eval, const std::vector<SweepSpec> &Sweeps) {
   SuiteResult Result;
-  Evaluator Eval(Options);
   auto Start = std::chrono::steady_clock::now();
-  for (const SweepSpec &Sweep : suiteSweeps()) {
+  for (const SweepSpec &Sweep : Sweeps) {
     CompileOptions CompileOpts;
     CompileOpts.HeuristicSet = Sweep.Set;
     std::vector<WorkloadRecord> Records =
@@ -83,8 +112,26 @@ SuiteResult runSuite(const EvaluatorOptions &Options) {
   Result.WallSeconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - Start)
                            .count();
-  Result.CacheStats = Eval.stats();
   return Result;
+}
+
+/// One engine configuration of the matrix, with its measurements.
+struct EngineConfig {
+  const char *Name;
+  Interpreter::Mode Mode;
+  bool Threaded; ///< harness parallelism (0 = one thread per core)
+  TimingStats Timing;
+  SuiteResult Final; ///< records from the last timed repetition
+  EvaluatorStats Cache;
+};
+
+uint64_t totalInsts(const SuiteResult &Suite) {
+  uint64_t Total = 0;
+  for (const std::vector<WorkloadRecord> &Records : Suite.Sweeps)
+    for (const WorkloadRecord &Record : Records)
+      Total += Record.Eval.Baseline.Counts.TotalInsts +
+               Record.Eval.Reordered.Counts.TotalInsts;
+  return Total;
 }
 
 void writeCounts(std::ofstream &Out, const BuildMeasurement &Build) {
@@ -100,16 +147,16 @@ void writeCounts(std::ofstream &Out, const BuildMeasurement &Build) {
 }
 
 void writeSuite(std::ofstream &Out, const char *Name,
-                const SuiteResult &Suite,
+                const SuiteResult &Suite, const EvaluatorStats &Cache,
                 const std::vector<SweepSpec> &Sweeps, bool Detailed) {
   Out << "  \"" << Name << "\": {\n";
   Out << "    \"wall_seconds\": " << Suite.WallSeconds << ",\n";
-  Out << "    \"cache\": {\"baseline_hits\": "
-      << Suite.CacheStats.BaselineHits
-      << ", \"baseline_misses\": " << Suite.CacheStats.BaselineMisses
-      << ", \"reordered_hits\": " << Suite.CacheStats.ReorderedHits
-      << ", \"reordered_misses\": " << Suite.CacheStats.ReorderedMisses
-      << "},\n";
+  Out << "    \"cache\": {\"baseline_hits\": " << Cache.BaselineHits
+      << ", \"baseline_misses\": " << Cache.BaselineMisses
+      << ", \"reordered_hits\": " << Cache.ReorderedHits
+      << ", \"reordered_misses\": " << Cache.ReorderedMisses
+      << ", \"decode_hits\": " << Cache.DecodeHits
+      << ", \"decode_misses\": " << Cache.DecodeMisses << "},\n";
   Out << "    \"sweeps\": [\n";
   for (size_t SweepIndex = 0; SweepIndex < Suite.Sweeps.size();
        ++SweepIndex) {
@@ -148,76 +195,227 @@ void writeSuite(std::ofstream &Out, const char *Name,
   Out << "  }";
 }
 
-/// Dynamic counts must not depend on engine, schedule, or caching; abort
-/// loudly if the two suites ever disagree.
-void checkSuitesAgree(const SuiteResult &Engine, const SuiteResult &Legacy) {
-  for (size_t SweepIndex = 0; SweepIndex < Engine.Sweeps.size();
-       ++SweepIndex)
-    for (size_t Index = 0; Index < Engine.Sweeps[SweepIndex].size();
+void writeTiming(std::ofstream &Out, const TimingStats &Timing) {
+  Out << "{\"min\": " << Timing.Min << ", \"median\": " << Timing.Median
+      << ", \"mean\": " << Timing.Mean << ", \"stddev\": " << Timing.Stddev
+      << ", \"samples\": [";
+  for (size_t Index = 0; Index < Timing.Samples.size(); ++Index)
+    Out << (Index ? ", " : "") << Timing.Samples[Index];
+  Out << "]}";
+}
+
+/// Every build measurement the tree walker and \p Suite must agree on.
+bool buildsAgree(const BuildMeasurement &A, const BuildMeasurement &B) {
+  return A.Counts.TotalInsts == B.Counts.TotalInsts &&
+         A.Counts.CondBranches == B.Counts.CondBranches &&
+         A.Counts.TakenBranches == B.Counts.TakenBranches &&
+         A.Counts.UncondJumps == B.Counts.UncondJumps &&
+         A.Counts.IndirectJumps == B.Counts.IndirectJumps &&
+         A.Counts.Compares == B.Counts.Compares &&
+         A.Mispredictions == B.Mispredictions && A.Output == B.Output &&
+         A.ExitValue == B.ExitValue;
+}
+
+/// Observables must not depend on engine, schedule, or caching; abort
+/// loudly if \p Suite ever diverges from the tree reference.  The
+/// reference ran the (possibly smaller) \p RefSweeps list; sweeps are
+/// matched to \p Suite (which ran \p Sweeps) by label.
+void checkAgainstReference(const char *Name, const SuiteResult &Suite,
+                           const std::vector<SweepSpec> &Sweeps,
+                           const SuiteResult &Reference,
+                           const std::vector<SweepSpec> &RefSweeps) {
+  for (size_t RefIndex = 0; RefIndex < RefSweeps.size(); ++RefIndex) {
+    size_t SweepIndex = 0;
+    while (SweepIndex < Sweeps.size() &&
+           Sweeps[SweepIndex].Label != RefSweeps[RefIndex].Label)
+      ++SweepIndex;
+    if (SweepIndex == Sweeps.size())
+      continue;
+    for (size_t Index = 0; Index < Reference.Sweeps[RefIndex].size();
          ++Index) {
-      const WorkloadEvaluation &A = Engine.Sweeps[SweepIndex][Index].Eval;
-      const WorkloadEvaluation &B = Legacy.Sweeps[SweepIndex][Index].Eval;
-      if (A.Baseline.Counts.TotalInsts != B.Baseline.Counts.TotalInsts ||
-          A.Reordered.Counts.TotalInsts != B.Reordered.Counts.TotalInsts ||
-          A.Baseline.Mispredictions != B.Baseline.Mispredictions ||
-          A.Reordered.Mispredictions != B.Reordered.Mispredictions ||
-          A.Baseline.Output != B.Baseline.Output) {
+      const WorkloadEvaluation &A = Suite.Sweeps[SweepIndex][Index].Eval;
+      const WorkloadEvaluation &B = Reference.Sweeps[RefIndex][Index].Eval;
+      if (!buildsAgree(A.Baseline, B.Baseline) ||
+          !buildsAgree(A.Reordered, B.Reordered)) {
         std::fprintf(stderr,
-                     "bench error: decoded and tree engines disagree on "
-                     "%s (sweep %zu)\n",
-                     A.Name.c_str(), SweepIndex);
+                     "bench error: %s and tree engines disagree on %s "
+                     "(sweep %s)\n",
+                     Name, A.Name.c_str(),
+                     RefSweeps[RefIndex].Label.c_str());
         std::exit(1);
       }
     }
+  }
+}
+
+/// Aggregate fuse statistics over every standard workload at the default
+/// options: both builds, the baseline one fused against the reordered
+/// compile's pass-1 profile, mirroring what the Evaluator prepares.
+FuseStats collectFuseStats() {
+  FuseStats Total;
+  CompileOptions Options;
+  for (const Workload &W : standardWorkloads()) {
+    CompileResult Baseline = compileBaseline(W.Source, Options);
+    CompileResult Reordered =
+        compileWithReordering(W.Source, W.TrainingInput, Options);
+    if (!Baseline.ok() || !Reordered.ok())
+      continue;
+    FuseStats Stats;
+    FuseOptions FO;
+    ProfileData Profile;
+    if (Profile.deserialize(Reordered.ProfileText))
+      FO.Profile = &Profile;
+    decodeFused(*Baseline.M, FO, &Stats);
+    Total += Stats;
+    Stats = {};
+    decodeFused(*Reordered.M, {}, &Stats);
+    Total += Stats;
+  }
+  return Total;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::string OutPath = "BENCH_tables.json";
+  std::string EngineOutPath = "BENCH_engine.json";
   unsigned Threads = 0;
-  bool Compare = true;
+  unsigned Reps = 3;
+  unsigned Warmup = 1;
+  bool Smoke = false;
+  bool FailIfSlower = false;
+  std::string Verify = "smoke";
   for (int Index = 1; Index < Argc; ++Index) {
     if (!std::strcmp(Argv[Index], "--out") && Index + 1 < Argc) {
       OutPath = Argv[++Index];
+    } else if (!std::strcmp(Argv[Index], "--engine-out") &&
+               Index + 1 < Argc) {
+      EngineOutPath = Argv[++Index];
     } else if (!std::strcmp(Argv[Index], "--threads") && Index + 1 < Argc) {
       Threads = static_cast<unsigned>(std::atoi(Argv[++Index]));
+    } else if (!std::strcmp(Argv[Index], "--reps") && Index + 1 < Argc) {
+      Reps = static_cast<unsigned>(std::atoi(Argv[++Index]));
+    } else if (!std::strcmp(Argv[Index], "--warmup") && Index + 1 < Argc) {
+      Warmup = static_cast<unsigned>(std::atoi(Argv[++Index]));
+    } else if (!std::strcmp(Argv[Index], "--smoke")) {
+      Smoke = true;
+    } else if (!std::strcmp(Argv[Index], "--fail-if-slower")) {
+      FailIfSlower = true;
+    } else if (!std::strcmp(Argv[Index], "--verify-engines") &&
+               Index + 1 < Argc) {
+      Verify = Argv[++Index];
+      if (Verify != "all" && Verify != "smoke" && Verify != "off") {
+        std::fprintf(stderr,
+                     "bench error: --verify-engines takes all|smoke|off\n");
+        return 2;
+      }
     } else if (!std::strcmp(Argv[Index], "--no-compare")) {
-      Compare = false;
+      Verify = "off"; // back-compat alias
     } else {
       std::fprintf(stderr,
-                   "usage: bench_json [--out FILE] [--threads N] "
-                   "[--no-compare]\n");
+                   "usage: bench_json [--out FILE] [--engine-out FILE] "
+                   "[--threads N] [--reps N] [--warmup N] [--smoke] "
+                   "[--verify-engines all|smoke|off] [--no-compare] "
+                   "[--fail-if-slower]\n");
       return 2;
     }
   }
 
-  std::vector<SweepSpec> Sweeps = suiteSweeps();
+  const std::vector<SweepSpec> AllSweeps = suiteSweeps();
+  const std::vector<SweepSpec> Sweeps =
+      Smoke ? filterSmoke(AllSweeps) : AllSweeps;
 
-  EvaluatorOptions EngineOptions;
-  EngineOptions.Threads = Threads;
-  EngineOptions.Mode = Interpreter::Mode::Decoded;
-  EngineOptions.CacheCompiles = true;
-  std::printf("running %zu sweeps x %zu workloads (decoded, parallel, "
-              "cached)...\n",
-              Sweeps.size(), standardWorkloads().size());
-  SuiteResult Engine = runSuite(EngineOptions);
-  std::printf("  engine suite: %.3fs\n", Engine.WallSeconds);
+  // The engine matrix.  "threaded"/"serial" name the workload harness
+  // (thread pool size); the dispatch loop itself is always single
+  // threaded per run.  Fused vs. decoded under the *same* harness
+  // isolates the dispatch + superinstruction win.
+  EngineConfig Configs[] = {
+      {"fused-threaded", Interpreter::Mode::Fused, true, {}, {}, {}},
+      {"fused-serial", Interpreter::Mode::Fused, false, {}, {}, {}},
+      {"decoded-threaded", Interpreter::Mode::Decoded, true, {}, {}, {}},
+      {"decoded-serial", Interpreter::Mode::Decoded, false, {}, {}, {}},
+  };
 
-  SuiteResult Legacy;
-  if (Compare) {
-    EvaluatorOptions LegacyOptions;
-    LegacyOptions.Threads = 1;
-    LegacyOptions.Mode = Interpreter::Mode::Tree;
-    LegacyOptions.CacheCompiles = false;
-    std::printf("running the same sweeps (tree-walking, serial, "
-                "uncached)...\n");
-    Legacy = runSuite(LegacyOptions);
-    std::printf("  legacy suite: %.3fs\n", Legacy.WallSeconds);
-    checkSuitesAgree(Engine, Legacy);
-    std::printf("  dynamic counts identical; speedup: %.2fx\n",
-                Legacy.WallSeconds / Engine.WallSeconds);
+  std::printf("running %zu sweeps x %zu workloads, %u warmup + %u reps "
+              "per engine config...\n",
+              Sweeps.size(), standardWorkloads().size(), Warmup, Reps);
+  // One Evaluator per configuration: the warmup repetitions populate the
+  // compile and decode caches, so the timed repetitions measure engine
+  // execution, which is what the configs differ in.  Timed reps are
+  // interleaved round-robin across the configs so slow drift in machine
+  // load (frequency scaling, noisy neighbours) lands evenly on every
+  // config instead of on whichever happened to run last — the speedup
+  // ratio then compares samples taken under the same conditions.
+  constexpr size_t NumConfigs = sizeof(Configs) / sizeof(Configs[0]);
+  std::vector<std::unique_ptr<Evaluator>> ConfigEvals;
+  for (EngineConfig &Config : Configs) {
+    EvaluatorOptions Options;
+    Options.Threads = Config.Threaded ? Threads : 1;
+    Options.Mode = Config.Mode;
+    Options.CacheCompiles = true;
+    ConfigEvals.push_back(std::make_unique<Evaluator>(Options));
+    for (unsigned Iter = 0; Iter < Warmup; ++Iter)
+      Config.Final = runSuite(*ConfigEvals.back(), Sweeps);
   }
+  std::vector<std::vector<double>> Samples(NumConfigs);
+  for (unsigned Rep = 0; Rep < std::max(1u, Reps); ++Rep)
+    for (size_t Index = 0; Index < NumConfigs; ++Index)
+      Samples[Index].push_back(timeOnce([&] {
+        Configs[Index].Final = runSuite(*ConfigEvals[Index], Sweeps);
+      }));
+  for (size_t Index = 0; Index < NumConfigs; ++Index) {
+    EngineConfig &Config = Configs[Index];
+    Config.Timing = summarizeTimings(std::move(Samples[Index]));
+    Config.Cache = ConfigEvals[Index]->stats();
+    std::printf("  %-16s median %.3fs  (min %.3fs, stddev %.4fs)\n",
+                Config.Name, Config.Timing.Median, Config.Timing.Min,
+                Config.Timing.Stddev);
+  }
+
+  const EngineConfig &FusedThreaded = Configs[0];
+  const EngineConfig &FusedSerial = Configs[1];
+  const EngineConfig &DecodedThreaded = Configs[2];
+  const EngineConfig &DecodedSerial = Configs[3];
+  const double SpeedupThreaded =
+      FusedThreaded.Timing.Median > 0.0
+          ? DecodedThreaded.Timing.Median / FusedThreaded.Timing.Median
+          : 0.0;
+  const double SpeedupSerial =
+      FusedSerial.Timing.Median > 0.0
+          ? DecodedSerial.Timing.Median / FusedSerial.Timing.Median
+          : 0.0;
+  std::printf("  fused over decoded: %.2fx serial, %.2fx threaded\n",
+              SpeedupSerial, SpeedupThreaded);
+
+  // Same logical work on every engine — cheap invariant, always on.
+  for (const EngineConfig &Config : Configs)
+    if (totalInsts(Config.Final) != totalInsts(FusedThreaded.Final)) {
+      std::fprintf(stderr,
+                   "bench error: %s executed a different dynamic "
+                   "instruction total\n",
+                   Config.Name);
+      return 1;
+    }
+
+  std::vector<SweepSpec> VerifySweeps;
+  SuiteResult Reference;
+  if (Verify != "off") {
+    VerifySweeps = Verify == "all" ? Sweeps : filterSmoke(Sweeps);
+    std::printf("verifying %zu sweeps against the tree walker...\n",
+                VerifySweeps.size());
+    EvaluatorOptions TreeOptions;
+    TreeOptions.Threads = Threads;
+    TreeOptions.Mode = Interpreter::Mode::Tree;
+    Evaluator TreeEval(TreeOptions);
+    Reference = runSuite(TreeEval, VerifySweeps);
+    checkAgainstReference("fused", FusedThreaded.Final, Sweeps, Reference,
+                          VerifySweeps);
+    checkAgainstReference("decoded", DecodedThreaded.Final, Sweeps,
+                          Reference, VerifySweeps);
+    std::printf("  observables identical on all verified sweeps\n");
+  }
+
+  FuseStats Fusion = collectFuseStats();
 
   std::ofstream Out(OutPath, std::ios::binary);
   if (!Out) {
@@ -229,16 +427,84 @@ int main(int Argc, char **Argv) {
   Out << "  \"suite\": \"bropt table benches\",\n";
   Out << "  \"workloads\": " << standardWorkloads().size() << ",\n";
   Out << "  \"sweep_count\": " << Sweeps.size() << ",\n";
-  writeSuite(Out, "engine", Engine, Sweeps, /*Detailed=*/true);
-  if (Compare) {
-    Out << ",\n";
-    writeSuite(Out, "legacy", Legacy, Sweeps, /*Detailed=*/false);
-    Out << ",\n  \"speedup\": " << Legacy.WallSeconds / Engine.WallSeconds
-        << "\n";
-  } else {
-    Out << "\n";
-  }
+  writeSuite(Out, "engine", FusedThreaded.Final, FusedThreaded.Cache,
+             Sweeps, /*Detailed=*/true);
+  Out << ",\n";
+  writeSuite(Out, "decoded", DecodedThreaded.Final, DecodedThreaded.Cache,
+             Sweeps, /*Detailed=*/false);
+  Out << ",\n  \"speedup\": " << SpeedupThreaded << "\n";
   Out << "}\n";
   std::printf("wrote %s\n", OutPath.c_str());
+
+  std::ofstream EngineOut(EngineOutPath, std::ios::binary);
+  if (!EngineOut) {
+    std::fprintf(stderr, "bench error: cannot write '%s'\n",
+                 EngineOutPath.c_str());
+    return 1;
+  }
+  EngineOut << "{\n";
+  EngineOut << "  \"suite\": \"bropt engine benches\",\n";
+  EngineOut << "  \"dispatch\": \""
+            << (fusedDispatchIsThreaded() ? "computed-goto" : "switch")
+            << "\",\n";
+  EngineOut << "  \"workloads\": " << standardWorkloads().size() << ",\n";
+  EngineOut << "  \"sweep_count\": " << Sweeps.size() << ",\n";
+  EngineOut << "  \"smoke\": " << (Smoke ? "true" : "false") << ",\n";
+  EngineOut << "  \"warmup\": " << Warmup << ",\n";
+  EngineOut << "  \"reps\": " << Reps << ",\n";
+  EngineOut << "  \"verified\": \"" << Verify << "\",\n";
+  EngineOut << "  \"engines\": [\n";
+  for (size_t Index = 0; Index < std::size(Configs); ++Index) {
+    const EngineConfig &Config = Configs[Index];
+    const uint64_t Insts = totalInsts(Config.Final);
+    EngineOut << "    {\"name\": \"" << Config.Name << "\", \"mode\": \""
+              << (Config.Mode == Interpreter::Mode::Fused ? "fused"
+                                                          : "decoded")
+              << "\", \"harness\": \""
+              << (Config.Threaded ? "threaded" : "serial")
+              << "\", \"wall_seconds\": ";
+    writeTiming(EngineOut, Config.Timing);
+    EngineOut << ", \"total_insts\": " << Insts
+              << ", \"minsts_per_second\": "
+              << (Config.Timing.Median > 0.0
+                      ? static_cast<double>(Insts) / Config.Timing.Median /
+                            1e6
+                      : 0.0)
+              << ", \"cache\": {\"decode_hits\": "
+              << Config.Cache.DecodeHits
+              << ", \"decode_misses\": " << Config.Cache.DecodeMisses
+              << ", \"baseline_hits\": " << Config.Cache.BaselineHits
+              << ", \"reordered_hits\": " << Config.Cache.ReorderedHits
+              << "}}" << (Index + 1 < std::size(Configs) ? "," : "")
+              << "\n";
+  }
+  EngineOut << "  ],\n";
+  EngineOut << "  \"speedup\": {\"fused_over_decoded_serial\": "
+            << SpeedupSerial
+            << ", \"fused_over_decoded_threaded\": " << SpeedupThreaded
+            << "},\n";
+  EngineOut << "  \"fusion\": {\"fused_pairs\": " << Fusion.FusedPairs
+            << ", \"fused_chains\": " << Fusion.FusedChains
+            << ", \"chain_arms\": " << Fusion.ChainArms
+            << ", \"fused_pre_ops\": " << Fusion.FusedPreOps
+            << ", \"fused_jumps\": " << Fusion.FusedJumps
+            << ", \"fused_straight_pairs\": " << Fusion.FusedStraight
+            << ", \"profile_ordered_chains\": "
+            << Fusion.ProfileOrderedChains
+            << ", \"blocks_moved\": " << Fusion.BlocksMoved
+            << ", \"functions_laid_out\": " << Fusion.FunctionsLaidOut
+            << ", \"compacted_slots\": " << Fusion.CompactedSlots
+            << "}\n";
+  EngineOut << "}\n";
+  std::printf("wrote %s\n", EngineOutPath.c_str());
+
+  if (FailIfSlower &&
+      (SpeedupSerial < 1.0 || SpeedupThreaded < 1.0)) {
+    std::fprintf(stderr,
+                 "bench error: fused engine slower than decoded "
+                 "(serial %.2fx, threaded %.2fx)\n",
+                 SpeedupSerial, SpeedupThreaded);
+    return 1;
+  }
   return 0;
 }

@@ -43,19 +43,23 @@ namespace bropt {
 struct EvaluatorOptions {
   /// Worker threads; 0 means one per hardware thread.
   unsigned Threads = 0;
-  /// Cache CompileResults across calls (keyed by source + options).
+  /// Cache CompileResults — and decoded/fused programs — across calls
+  /// (keyed by source + options, respectively by module identity).
   bool CacheCompiles = true;
   /// Execution engine for every interpreter run.
-  Interpreter::Mode Mode = Interpreter::Mode::Decoded;
+  Interpreter::Mode Mode = Interpreter::Mode::Fused;
 };
 
 /// A WorkloadEvaluation plus the harness-level measurements around it.
 struct WorkloadRecord {
   WorkloadEvaluation Eval;
   double CompileSeconds = 0.0; ///< baseline + reordered compiles (0 if cached)
+  double DecodeSeconds = 0.0;  ///< decode/fuse of both builds (0 if cached)
   double RunSeconds = 0.0;     ///< interpretation of both builds
   bool BaselineCacheHit = false;
   bool ReorderedCacheHit = false;
+  bool BaselineDecodeHit = false;
+  bool ReorderedDecodeHit = false;
 };
 
 /// Aggregate cache counters (monotonic over the Evaluator's lifetime).
@@ -64,6 +68,10 @@ struct EvaluatorStats {
   uint64_t BaselineMisses = 0;
   uint64_t ReorderedHits = 0;
   uint64_t ReorderedMisses = 0;
+  /// Decoded/fused-program cache: configurations sharing a module reuse
+  /// one prepared program instead of re-decoding per evaluation.
+  uint64_t DecodeHits = 0;
+  uint64_t DecodeMisses = 0;
 };
 
 /// Compiles and evaluates workloads concurrently with compile caching.
@@ -109,6 +117,9 @@ private:
   std::shared_ptr<const CompileResult>
   reorderedFor(const Workload &W, const CompileOptions &Options, bool &Hit,
                double &Seconds);
+  std::shared_ptr<const DecodedModule>
+  preparedFor(const std::shared_ptr<const CompileResult> &Compiled,
+              const std::string *ProfileText, bool &Hit, double &Seconds);
 
   EvaluatorOptions Options;
   ThreadPool Pool;
@@ -118,6 +129,16 @@ private:
   // tiny (17 workloads x a few option signatures).
   std::map<std::string, std::shared_ptr<const CompileResult>> BaselineCache;
   std::map<std::string, std::shared_ptr<const CompileResult>> ReorderedCache;
+
+  // Prepared (decoded or fused) programs keyed by module identity, so
+  // predictor sweeps that re-evaluate one build under many configurations
+  // decode it once.  Each entry pins its CompileResult so the key can
+  // never dangle or be recycled while cached.
+  struct PreparedEntry {
+    std::shared_ptr<const CompileResult> KeepAlive;
+    std::shared_ptr<const DecodedModule> Program;
+  };
+  std::map<const Module *, PreparedEntry> DecodeCache;
   EvaluatorStats Counters;
 };
 

@@ -18,11 +18,13 @@ BuildMeasurement
 bropt::measureBuild(const Module &M, std::string_view TestInput,
                     const std::optional<PredictorConfig>
                         &PredictorConfiguration,
-                    std::string &Error, Interpreter::Mode Mode) {
+                    std::string &Error, Interpreter::Mode Mode,
+                    const DecodedModule *Prepared) {
   BuildMeasurement Result;
   Result.CodeSize = M.codeSize();
 
   Interpreter Interp(M, Mode);
+  Interp.setPreparedProgram(Prepared);
   Interp.setInput(TestInput);
   std::optional<BranchPredictor> Predictor;
   if (PredictorConfiguration) {

@@ -57,12 +57,16 @@ struct WorkloadEvaluation {
 /// Interprets one build of \p M on \p TestInput under \p Mode and collects
 /// every per-build quantity the tables report.  On a trap, \p Error is
 /// filled and the measurement is partial.  Thread-safe for concurrent
-/// callers sharing one (immutable) module.
+/// callers sharing one (immutable) module.  \p Prepared optionally
+/// supplies a pre-decoded program (Evaluator's decode cache) so the run
+/// skips re-decoding; it must have been produced from \p M under a format
+/// matching \p Mode and is ignored by the tree walker.
 BuildMeasurement
 measureBuild(const Module &M, std::string_view TestInput,
              const std::optional<PredictorConfig> &Predictor,
              std::string &Error,
-             Interpreter::Mode Mode = Interpreter::Mode::Decoded);
+             Interpreter::Mode Mode = Interpreter::Mode::Fused,
+             const DecodedModule *Prepared = nullptr);
 
 /// Evaluates \p W under \p Options; if \p Predictor is set, both builds
 /// also run through an (m,n) predictor of that configuration.

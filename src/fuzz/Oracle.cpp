@@ -5,6 +5,8 @@
 #include "core/Reorder.h"
 #include "ir/Verifier.h"
 #include "opt/Passes.h"
+#include "profile/ProfileData.h"
+#include "sim/Fuse.h"
 #include "sim/Interpreter.h"
 #include "support/Strings.h"
 
@@ -49,6 +51,17 @@ RunResult runOne(const Module &M, Interpreter::Mode Mode,
   return Interp.run();
 }
 
+/// Runs the fused engine against a pre-built fused program, the way the
+/// driver's Evaluator injects its decode cache.
+RunResult runFused(const Module &M, const DecodedModule &DM,
+                   const std::string &Input, uint64_t Limit) {
+  Interpreter Interp(M, Interpreter::Mode::Fused);
+  Interp.setPreparedProgram(&DM);
+  Interp.setInput(Input);
+  Interp.setInstructionLimit(Limit);
+  return Interp.run();
+}
+
 std::string describeRun(const RunResult &R) {
   if (R.Trapped)
     return "trap: " + R.TrapReason;
@@ -57,23 +70,24 @@ std::string describeRun(const RunResult &R) {
 }
 
 /// Invariant 2: the engines must agree on everything, counters included.
-bool enginesAgree(const RunResult &Tree, const RunResult &Decoded,
-                  std::string &Detail) {
-  if (Tree.Trapped != Decoded.Trapped ||
-      Tree.TrapReason != Decoded.TrapReason ||
-      Tree.ExitValue != Decoded.ExitValue || Tree.Output != Decoded.Output) {
-    Detail = "tree: " + describeRun(Tree) +
-             "; decoded: " + describeRun(Decoded);
+/// \p Label names the non-tree engine in diagnostics.
+bool enginesAgree(const RunResult &Tree, const RunResult &Other,
+                  const char *Label, std::string &Detail) {
+  if (Tree.Trapped != Other.Trapped ||
+      Tree.TrapReason != Other.TrapReason ||
+      Tree.ExitValue != Other.ExitValue || Tree.Output != Other.Output) {
+    Detail = "tree: " + describeRun(Tree) + "; " + Label + ": " +
+             describeRun(Other);
     return false;
   }
-  if (!countsEqual(Tree.Counts, Decoded.Counts)) {
+  if (!countsEqual(Tree.Counts, Other.Counts)) {
     Detail = formatString(
         "dynamic counters diverge: tree %llu insts / %llu branches, "
-        "decoded %llu insts / %llu branches",
+        "%s %llu insts / %llu branches",
         (unsigned long long)Tree.Counts.TotalInsts,
-        (unsigned long long)Tree.Counts.CondBranches,
-        (unsigned long long)Decoded.Counts.TotalInsts,
-        (unsigned long long)Decoded.Counts.CondBranches);
+        (unsigned long long)Tree.Counts.CondBranches, Label,
+        (unsigned long long)Other.Counts.TotalInsts,
+        (unsigned long long)Other.Counts.CondBranches);
     return false;
   }
   return true;
@@ -211,6 +225,22 @@ OracleReport bropt::runOracle(std::string_view Source,
   if (!Report.ok())
     return Report;
 
+  // Fused programs are decode-time artifacts; build each module's once and
+  // reuse it across every held-out input, the way driver/Evaluator's decode
+  // cache does.  The baseline module fuses against the reordering compile's
+  // pass-1 profile so profile-guided arm ordering gets differential
+  // coverage, not just the unprofiled fusions.
+  ProfileData FuseProfile;
+  DecodedModule BaseFused, OptFused;
+  if (Opts.CheckFusedEngine) {
+    FuseOptions BaseFuseOpts;
+    if (!Optimized.ProfileText.empty() &&
+        FuseProfile.deserialize(Optimized.ProfileText))
+      BaseFuseOpts.Profile = &FuseProfile;
+    BaseFused = decodeFused(*Base.M, BaseFuseOpts);
+    OptFused = decodeFused(*Optimized.M);
+  }
+
   for (size_t InputIndex = 0; InputIndex < HeldOutInputs.size();
        ++InputIndex) {
     const std::string &Input = HeldOutInputs[InputIndex];
@@ -224,19 +254,39 @@ OracleReport bropt::runOracle(std::string_view Source,
                                   Input, Opts.InstructionLimit);
 
     std::string Detail;
-    if (!enginesAgree(BaseTree, BaseDecoded, Detail)) {
+    if (!enginesAgree(BaseTree, BaseDecoded, "decoded", Detail)) {
       Report.Kind = ViolationKind::EngineMismatch;
       Report.Detail = formatString("baseline module, held-out input %zu: ",
                                    InputIndex) +
                       Detail;
       return Report;
     }
-    if (!enginesAgree(OptTree, OptDecoded, Detail)) {
+    if (!enginesAgree(OptTree, OptDecoded, "decoded", Detail)) {
       Report.Kind = ViolationKind::EngineMismatch;
       Report.Detail = formatString("reordered module, held-out input %zu: ",
                                    InputIndex) +
                       Detail;
       return Report;
+    }
+    if (Opts.CheckFusedEngine) {
+      RunResult BaseFusedRun =
+          runFused(*Base.M, BaseFused, Input, Opts.InstructionLimit);
+      RunResult OptFusedRun =
+          runFused(*Optimized.M, OptFused, Input, Opts.InstructionLimit);
+      if (!enginesAgree(BaseTree, BaseFusedRun, "fused", Detail)) {
+        Report.Kind = ViolationKind::EngineMismatch;
+        Report.Detail = formatString("baseline module, held-out input %zu: ",
+                                     InputIndex) +
+                        Detail;
+        return Report;
+      }
+      if (!enginesAgree(OptTree, OptFusedRun, "fused", Detail)) {
+        Report.Kind = ViolationKind::EngineMismatch;
+        Report.Detail = formatString("reordered module, held-out input %zu: ",
+                                     InputIndex) +
+                        Detail;
+        return Report;
+      }
     }
     if (!behaviorsAgree(BaseTree, OptTree, Detail)) {
       Report.Kind = ViolationKind::BehaviorMismatch;

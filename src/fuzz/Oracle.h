@@ -11,8 +11,9 @@
 ///
 ///  1. Behavior: the reordered and baseline modules produce identical
 ///     output, exit value, and trap behavior on every held-out input.
-///  2. Engines: the tree-walking and decoded interpreters agree on every
-///     artifact of every run, dynamic counters included.
+///  2. Engines: the tree-walking, decoded, and fused threaded-dispatch
+///     interpreters agree on every artifact of every run, dynamic
+///     counters included.
 ///  3. Verification: the IR verifier passes after every individual pass
 ///     (observed through the pass-observer hook).
 ///  4. Cost: for every sequence the transformation reordered, the selected
@@ -73,6 +74,11 @@ struct OracleOptions {
   /// hitting this cap is itself suspicious and reported as a mismatch
   /// when only one side hits it.
   uint64_t InstructionLimit = 50'000'000;
+  /// Also run both modules through the fused threaded-dispatch engine
+  /// (sim/Fuse.h) and hold it to the same exact-agreement bar as the
+  /// decoded engine.  On by default; the flag exists so a fusion bug can
+  /// be bisected away from pipeline bugs.
+  bool CheckFusedEngine = true;
 };
 
 /// Outcome of one oracle run.

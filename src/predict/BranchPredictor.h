@@ -69,17 +69,10 @@ public:
     bool Correct = Predicted == Taken;
 
     ++Stats.Branches;
-    if (!Correct)
-      ++Stats.Mispredictions;
-
-    if (Taken) {
-      if (Counter < CounterMax)
-        ++Counter;
-    } else if (Counter > 0) {
-      --Counter;
-    }
-    if (Config.HistoryBits > 0)
-      History = (History << 1) | (Taken ? 1u : 0u);
+    Stats.Mispredictions += !Correct;
+    int Delta = Taken ? (Counter < CounterMax) : -(Counter > 0);
+    Counter = static_cast<uint8_t>(Counter + Delta);
+    History = (History << 1) | (Taken ? 1u : 0u);
     return Correct;
   }
 

@@ -69,7 +69,58 @@ enum class DecodedOp : uint8_t {
   IndirectJump,
   Ret,
   TrapFellOff, ///< synthetic: block had no terminator; traps on execution
+
+  // Fused macro-ops.  Never produced by plain decode(); emitted only by
+  // decodeFused() (sim/Fuse.h) and executed only by the threaded engine.
+  // Both count the *logical* IR instructions they stand for, so
+  // DynamicCounts, predictor feeds, and instruction-limit traps are
+  // bit-identical to unfused execution (see docs/SIM.md).
+  CmpBr,    ///< one compare + conditional branch pair
+  MultiCmp, ///< a whole compare/branch chain (multiway compare)
+
+  // Pre-op macro-ops: a CmpBr with the straight-line instruction right
+  // before it folded in, so the paper-hot "produce a value, test it,
+  // branch" block shape executes in a single dispatch (three logical
+  // instructions).  Field packing is documented per op below.
+  MoveCmpBr,     ///< Move + Cmp + CondBr
+  BinCmpBr,      ///< Binary + Cmp + CondBr
+  LoadCmpBr,     ///< Load + Cmp + CondBr
+  ReadCharCmpBr, ///< ReadChar + Cmp + CondBr
+
+  // Jump macro-ops: the straight-line instruction at the end of a block
+  // folded into the unconditional Jump that terminates it (two logical
+  // instructions in one dispatch).  The folded op keeps its own fields;
+  // the jump target rides in the otherwise unused Target0.
+  MoveJump,  ///< Move + Jump
+  BinJump,   ///< Binary + Jump
+  LoadJump,  ///< Load + Jump
+  StoreJump, ///< Store + Jump
+
+  // Straight-line pair macro-ops: two adjacent non-branching instructions
+  // in one dispatch.  The absorbed second slot goes stale (mid-block slots
+  // are never branch targets); the handler advances past it.
+  LoadBin,      ///< Load + Binary
+  Bin2,         ///< Binary + Binary
+  BinStore,     ///< Binary + Store
+  BinStoreJump, ///< Binary + Store + Jump (a whole loop-body tail)
+  Move2,        ///< Move + Move
+  LoadBinStore, ///< Load + Binary + Store of the binary's result
+  LoadBinStoreJump, ///< LoadBinStore + Jump (read-modify-write loop tail)
+  StoreLoadBin,     ///< Store + Load + Binary
+  PutCharLoadBin,   ///< PutChar + Load + Binary
+
+  // Instrumented-run macro-ops: profiling hooks sit between the value
+  // producer and the compare, so the plain pre-op fusions never apply to
+  // instrumented code.  These keep profile collection on the fused engine
+  // fast while firing the hooks in exactly the reference order.
+  ProfileCmpBr,         ///< Profile + Cmp + CondBr
+  ReadCharProfileCmpBr, ///< ReadChar + Profile + Cmp + CondBr
 };
+
+/// Number of DecodedOp values; the threaded engine's jump table must cover
+/// exactly this many handlers.
+inline constexpr unsigned NumDecodedOps =
+    static_cast<unsigned>(DecodedOp::ReadCharProfileCmpBr) + 1;
 
 /// A pre-resolved operand: an index into the execution frame.  Registers
 /// occupy slots [0, NumRegs); interned immediates follow at
@@ -91,6 +142,16 @@ struct DecodedCase {
 struct DecodedCondition {
   DecodedOperand Lhs, Rhs;
   CondCode Pred;
+};
+
+/// One arm of a fused compare/branch chain, stored in logical (original
+/// program) order in DecodedFunction::Arms.  Executing the arm stands for
+/// executing its original Cmp followed by its original CondBr.
+struct FusedArm {
+  DecodedOperand Lhs, Rhs; ///< the original compare's operands
+  CondCode Pred;           ///< the original branch's condition
+  uint32_t BranchId;       ///< the original branch's pre-assigned id
+  uint32_t Target;         ///< taken target, fall-through jumps resolved
 };
 
 /// A fixed-size decoded instruction.  Field meaning depends on Op:
@@ -116,6 +177,57 @@ struct DecodedCondition {
 ///   IndirectJump A = index; Extra/ExtraCount = jump-table slice
 ///   Ret          SubOp = 1 if a value is returned; A = value
 ///   TrapFellOff  Dest = index into the label side table
+///   CmpBr        SubOp = CondCode; Dest = branch id; A, B = compare
+///                operands; Target0 = taken, Target1 = fall-through
+///   MultiCmp     Extra/ExtraCount = Arms + ArmExec slices (logical order
+///                and execution order respectively); Target0 = default
+///                target when no arm matches
+///   MoveCmpBr    Dest, A = the move; B = compare lhs; ExtraCount =
+///                compare rhs slot; SubOp = CondCode; Extra = branch id;
+///                Target0 = taken, Target1 = fall-through
+///   BinCmpBr     SubOp = BinaryOp << 3 | CondCode; Dest, A, B = the
+///                binary; Imm = compare lhs slot; ExtraCount = compare
+///                rhs slot; Extra = branch id; Target0/Target1 as CmpBr
+///   LoadCmpBr    Dest, A, Imm = the load (Imm = offset); ExtraCount =
+///                compare lhs slot; B = compare rhs; SubOp = CondCode;
+///                Extra = branch id; Target0/Target1 as CmpBr
+///   ReadCharCmpBr Dest = the read; A, B = compare operands; SubOp =
+///                CondCode; Extra = branch id; Target0/Target1 as CmpBr
+///   MoveJump     Dest, A = the move; Target0 = jump target
+///   BinJump      SubOp = BinaryOp; Dest, A, B = the binary; Target0 =
+///                jump target
+///   LoadJump     Dest, A, Imm = the load; Target0 = jump target
+///   StoreJump    A, B, Imm = the store; Target0 = jump target
+///   LoadBin      Dest, A, Imm = the load; SubOp = BinaryOp; Target0,
+///                Target1 = binary operand slots; Extra = binary dest
+///   Bin2         SubOp = first BinaryOp | second << 4; Dest, A, B =
+///                first binary; Target0, Target1 = second's operand
+///                slots; Extra = second's dest
+///   BinStore     SubOp = BinaryOp; Dest, A, B = the binary; Extra =
+///                store base slot; ExtraCount = store value slot; Imm =
+///                store offset
+///   BinStoreJump as BinStore plus Target0 = jump target
+///   Move2        Dest, A = first move; Extra = second dest; ExtraCount =
+///                second src slot
+///   LoadBinStore Dest, A, Imm = the load; SubOp = BinaryOp; Target0,
+///                Target1 = binary operand slots; Extra = binary dest
+///                (also the stored value); B = store base slot;
+///                ExtraCount = store offset (int32 bit pattern)
+///   LoadBinStoreJump as LoadBinStore but Imm packs the jump target
+///                (high 32) over the int32 load offset (low 32)
+///   StoreLoadBin B = store base slot; ExtraCount = store value slot;
+///                Imm packs store offset (high 32) over load offset
+///                (low 32), both int32; Dest, A = load dest and base;
+///                SubOp = BinaryOp; Target0, Target1 = binary operand
+///                slots; Extra = binary dest
+///   PutCharLoadBin B = putchar src slot; Dest, A, Imm = the load;
+///                SubOp = BinaryOp; Target0, Target1 = binary operand
+///                slots; Extra = binary dest
+///   ProfileCmpBr Extra = sequence id; ExtraCount = profiled value slot;
+///                SubOp = CondCode; Dest = branch id; A, B = compare
+///                operands; Target0 = taken, Target1 = fall-through
+///   ReadCharProfileCmpBr as ProfileCmpBr but Dest = the read's dest and
+///                Imm = branch id
 struct DecodedInst {
   DecodedOp Op = DecodedOp::Ret;
   uint8_t SubOp = 0;
@@ -150,6 +262,15 @@ struct DecodedFunction {
   std::vector<uint32_t> JumpTables;
   std::vector<DecodedCondition> Conditions;
   std::vector<std::string> Labels; ///< diagnostics for TrapFellOff
+
+  /// Fused chain arms in logical (original program) order; only populated
+  /// by decodeFused().  A MultiCmp's slice is Arms[Extra, Extra+ExtraCount).
+  std::vector<FusedArm> Arms;
+
+  /// Execution order for each MultiCmp: ArmExec[Extra + i] is the
+  /// slice-local logical index of the i-th arm to *test*.  Identity unless
+  /// profile counts proved a hotter disjoint order.
+  std::vector<uint32_t> ArmExec;
 };
 
 /// A fully decoded module.  Function order (and therefore branch-id
@@ -180,6 +301,10 @@ private:
   std::vector<DecodedFunction> Functions;
   std::unordered_map<std::string, uint32_t> Index;
   uint32_t NumBranchIds = 0;
+
+  // The decode-time fuser (sim/Fuse.cpp) rewrites Functions in place.
+  friend DecodedModule decodeFused(const Module &M, const struct FuseOptions &,
+                                   struct FuseStats *);
 };
 
 } // namespace bropt

@@ -1,0 +1,777 @@
+//===- sim/Fuse.cpp - Decode-time superinstruction fusion -----------------===//
+
+#include "sim/Fuse.h"
+
+#include "core/Range.h"
+#include "core/SequenceDetection.h"
+#include "profile/ProfileData.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace bropt;
+
+namespace {
+
+/// Mirrors the expansion rule in sim/Decoded.cpp: one decoded instruction
+/// per IR instruction plus a synthetic TrapFellOff for terminator-less
+/// blocks.
+size_t decodedSize(const BasicBlock &Block) {
+  return Block.size() + (Block.hasTerminator() ? 0 : 1);
+}
+
+/// Values for which `v Pred c` is true, as an inclusive interval.
+/// NE's truth set is not contiguous; callers treat it as non-reorderable.
+bool truthRange(CondCode Pred, int64_t C, Range &Out) {
+  switch (Pred) {
+  case CondCode::EQ:
+    Out = Range::single(C);
+    return true;
+  case CondCode::NE:
+    return false;
+  case CondCode::LT:
+    Out = C == Range::MinValue ? Range() : Range::upTo(C - 1);
+    return true;
+  case CondCode::LE:
+    Out = Range::upTo(C);
+    return true;
+  case CondCode::GT:
+    Out = C == Range::MaxValue ? Range() : Range::from(C + 1);
+    return true;
+  case CondCode::GE:
+    Out = Range::from(C);
+    return true;
+  }
+  BROPT_UNREACHABLE("unknown condition code");
+}
+
+/// Per-condition-block profile weights for one function, on final
+/// (post-layout) compare instruction indices.
+using CmpCountMap = std::unordered_map<uint32_t, uint64_t>;
+
+/// Greedy hot-first block placement: follow each block's likely successor
+/// (fall-through edge, conditional fall-through, unconditional target,
+/// switch default) so the common case runs forward through the array.
+/// Returns true if any block moved; rewrites DF in place and updates
+/// \p StartOf (final start index per original block position).
+bool layoutHotFirst(DecodedFunction &DF, std::vector<uint32_t> &StartOf,
+                    const std::vector<uint32_t> &Sizes, FuseStats &Stats) {
+  const uint32_t NumBlocks = static_cast<uint32_t>(StartOf.size());
+  std::unordered_map<uint32_t, uint32_t> StartToBlock;
+  StartToBlock.reserve(NumBlocks);
+  for (uint32_t B = 0; B < NumBlocks; ++B)
+    StartToBlock.emplace(StartOf[B], B);
+
+  auto likelySucc = [&](uint32_t B) -> int64_t {
+    const DecodedInst &Term = DF.Insts[StartOf[B] + Sizes[B] - 1];
+    uint32_t TargetStart;
+    switch (Term.Op) {
+    case DecodedOp::FallThrough:
+    case DecodedOp::Jump:
+    case DecodedOp::Switch: // default target is the likely continuation
+      TargetStart = Term.Target0;
+      break;
+    case DecodedOp::CondBr:
+      TargetStart = Term.Target1; // fall-through edge
+      break;
+    default:
+      return -1;
+    }
+    auto It = StartToBlock.find(TargetStart);
+    return It == StartToBlock.end() ? -1 : static_cast<int64_t>(It->second);
+  };
+
+  std::vector<uint32_t> Order;
+  Order.reserve(NumBlocks);
+  std::vector<bool> Placed(NumBlocks, false);
+  for (uint32_t Seed = 0; Seed < NumBlocks; ++Seed) {
+    int64_t B = Seed;
+    while (B >= 0 && !Placed[B]) {
+      Placed[B] = true;
+      Order.push_back(static_cast<uint32_t>(B));
+      B = likelySucc(static_cast<uint32_t>(B));
+    }
+  }
+  assert(Order.size() == NumBlocks && "layout dropped a block");
+  assert((Order.empty() || Order[0] == 0) && "entry block must stay first");
+
+  uint64_t Moved = 0;
+  for (uint32_t Pos = 0; Pos < NumBlocks; ++Pos)
+    if (Order[Pos] != Pos)
+      ++Moved;
+  if (!Moved)
+    return false;
+
+  // New start index per original block, and old start -> new start for
+  // target remapping (every branch target is a block start).
+  std::vector<uint32_t> NewStartOf(NumBlocks);
+  std::unordered_map<uint32_t, uint32_t> OldToNewStart;
+  OldToNewStart.reserve(NumBlocks);
+  uint32_t Pos = 0;
+  for (uint32_t B : Order) {
+    NewStartOf[B] = Pos;
+    OldToNewStart.emplace(StartOf[B], Pos);
+    Pos += Sizes[B];
+  }
+
+  std::vector<DecodedInst> NewInsts;
+  NewInsts.reserve(DF.Insts.size());
+  for (uint32_t B : Order)
+    NewInsts.insert(NewInsts.end(), DF.Insts.begin() + StartOf[B],
+                    DF.Insts.begin() + StartOf[B] + Sizes[B]);
+
+  auto Remap = [&](uint32_t Target) {
+    auto It = OldToNewStart.find(Target);
+    assert(It != OldToNewStart.end() && "branch target is not a block start");
+    return It->second;
+  };
+  for (DecodedInst &DI : NewInsts) {
+    switch (DI.Op) {
+    case DecodedOp::CondBr:
+      DI.Target0 = Remap(DI.Target0);
+      DI.Target1 = Remap(DI.Target1);
+      break;
+    case DecodedOp::Jump:
+    case DecodedOp::FallThrough:
+    case DecodedOp::Switch: // cases remapped via the side table below
+      DI.Target0 = Remap(DI.Target0);
+      break;
+    default: // Call::Target0 is a function index; leave everything else
+      break;
+    }
+  }
+  for (DecodedCase &Case : DF.Cases)
+    Case.Target = Remap(Case.Target);
+  for (uint32_t &Target : DF.JumpTables)
+    Target = Remap(Target);
+
+  DF.Insts = std::move(NewInsts);
+  StartOf = std::move(NewStartOf);
+  ++Stats.FunctionsLaidOut;
+  Stats.BlocksMoved += Moved;
+  return true;
+}
+
+/// Rewrites [Cmp; CondBr] pairs and ladders of them into CmpBr / MultiCmp
+/// macro-ops.  Every ladder suffix that is independently reachable gets its
+/// own macro-op, so jumps into the middle of a chain stay valid.
+void fuseFunction(DecodedFunction &DF, const CmpCountMap &CmpCount,
+                  const FuseOptions &Opts, FuseStats &Stats) {
+  const uint32_t NumInsts = static_cast<uint32_t>(DF.Insts.size());
+  const unsigned MaxArms =
+      Opts.FuseChains ? std::max(1u, Opts.MaxChainArms) : 1u;
+
+  // Fall-through transfers are free and their targets are block starts, so
+  // resolving through them is unobservable.  The hop cap guards pathological
+  // fall-through cycles.
+  auto Resolve = [&](uint32_t Target) {
+    for (int Hop = 0; Hop < 64 && DF.Insts[Target].Op == DecodedOp::FallThrough;
+         ++Hop)
+      Target = DF.Insts[Target].Target0;
+    return Target;
+  };
+
+  std::vector<FusedArm> ChainArms;
+  std::vector<uint64_t> ArmCount;
+  std::vector<bool> ArmHasCount;
+  std::unordered_set<uint32_t> Visited;
+
+  for (uint32_t Head = 0; Head + 1 < NumInsts; ++Head) {
+    if (DF.Insts[Head].Op != DecodedOp::Cmp ||
+        DF.Insts[Head + 1].Op != DecodedOp::CondBr)
+      continue;
+
+    ChainArms.clear();
+    ArmCount.clear();
+    ArmHasCount.clear();
+    Visited.clear();
+
+    // Walk the ladder: each pair's fall-through edge (with free
+    // fall-throughs resolved) must land directly on the next pair.
+    uint32_t Cur = Head;
+    uint32_t DefaultTarget = 0;
+    while (ChainArms.size() < MaxArms && Cur + 1 < NumInsts &&
+           DF.Insts[Cur].Op == DecodedOp::Cmp &&
+           DF.Insts[Cur + 1].Op == DecodedOp::CondBr &&
+           Visited.insert(Cur).second) {
+      const DecodedInst &Cmp = DF.Insts[Cur];
+      const DecodedInst &Br = DF.Insts[Cur + 1];
+      FusedArm Arm;
+      Arm.Lhs = Cmp.A;
+      Arm.Rhs = Cmp.B;
+      Arm.Pred = static_cast<CondCode>(Br.SubOp);
+      Arm.BranchId = Br.Dest;
+      Arm.Target = Resolve(Br.Target0);
+      ChainArms.push_back(Arm);
+      auto CountIt = CmpCount.find(Cur);
+      ArmHasCount.push_back(CountIt != CmpCount.end());
+      ArmCount.push_back(CountIt != CmpCount.end() ? CountIt->second : 0);
+      DefaultTarget = Resolve(Br.Target1);
+      Cur = DefaultTarget;
+    }
+    assert(!ChainArms.empty() && "head pair must form at least one arm");
+    const uint32_t NumArms = static_cast<uint32_t>(ChainArms.size());
+
+    if (NumArms == 1) {
+      if (!Opts.FusePairs)
+        continue;
+      const FusedArm &Arm = ChainArms.front();
+      DecodedInst MacroOp;
+      MacroOp.Op = DecodedOp::CmpBr;
+      MacroOp.SubOp = static_cast<uint8_t>(Arm.Pred);
+      MacroOp.Dest = Arm.BranchId;
+      MacroOp.A = Arm.Lhs;
+      MacroOp.B = Arm.Rhs;
+      MacroOp.Target0 = Arm.Target;
+      MacroOp.Target1 = DefaultTarget;
+      DF.Insts[Head] = MacroOp;
+      ++Stats.FusedPairs;
+      continue;
+    }
+
+    // Execution order: hottest-first when profile counts exist and the
+    // reorder is provably sound — all arms test the same slot against
+    // constants whose truth intervals are pairwise nonoverlapping (paper
+    // Theorem 1), so at most one arm can be true and any test order finds
+    // the unique logical winner.
+    std::vector<uint32_t> Exec(NumArms);
+    std::iota(Exec.begin(), Exec.end(), 0);
+    bool AnyCount = false;
+    for (bool Has : ArmHasCount)
+      AnyCount |= Has;
+    if (AnyCount) {
+      bool CanReorder = true;
+      std::vector<Range> Truth;
+      Truth.reserve(NumArms);
+      for (const FusedArm &Arm : ChainArms) {
+        if (Arm.Lhs.Slot != ChainArms.front().Lhs.Slot ||
+            Arm.Rhs.Slot < DF.NumRegs) {
+          CanReorder = false;
+          break;
+        }
+        Range R;
+        if (!truthRange(Arm.Pred, DF.Constants[Arm.Rhs.Slot - DF.NumRegs],
+                        R)) {
+          CanReorder = false;
+          break;
+        }
+        Truth.push_back(R);
+      }
+      if (CanReorder)
+        for (uint32_t I = 0; I < NumArms && CanReorder; ++I)
+          for (uint32_t J = I + 1; J < NumArms; ++J)
+            if (Truth[I].overlaps(Truth[J])) {
+              CanReorder = false;
+              break;
+            }
+      if (CanReorder) {
+        std::stable_sort(Exec.begin(), Exec.end(),
+                         [&](uint32_t A, uint32_t B) {
+                           return ArmCount[A] > ArmCount[B];
+                         });
+        if (!std::is_sorted(Exec.begin(), Exec.end()))
+          ++Stats.ProfileOrderedChains;
+      }
+    }
+
+    DecodedInst MacroOp;
+    MacroOp.Op = DecodedOp::MultiCmp;
+    MacroOp.Target0 = DefaultTarget;
+    MacroOp.Extra = static_cast<uint32_t>(DF.Arms.size());
+    MacroOp.ExtraCount = NumArms;
+    DF.Arms.insert(DF.Arms.end(), ChainArms.begin(), ChainArms.end());
+    DF.ArmExec.insert(DF.ArmExec.end(), Exec.begin(), Exec.end());
+    DF.Insts[Head] = MacroOp;
+    ++Stats.FusedChains;
+    Stats.ChainArms += NumArms;
+  }
+}
+
+/// Folds the straight-line instruction before each fused CmpBr into it.
+/// After pair fusion a block that tests a freshly produced value looks
+/// like [ops..., X, CmpBr, <stale CondBr>]; X sits mid-block (or at the
+/// block start when the block is exactly the triple), so the only way to
+/// reach it is fall-through from above or a branch to the block start —
+/// both land on the rewritten macro-op.  The CmpBr slot it absorbs
+/// becomes unreachable (branches only target block starts).
+void fusePreOps(DecodedFunction &DF, const std::vector<uint32_t> &StartOf,
+                const std::vector<uint32_t> &Sizes, FuseStats &Stats) {
+  for (size_t B = 0; B < StartOf.size(); ++B) {
+    // A fused pair block is [pre-ops..., CmpBr at Z-2, stale CondBr].
+    if (Sizes[B] < 3)
+      continue;
+    const uint32_t BrIdx = StartOf[B] + Sizes[B] - 2;
+    if (DF.Insts[BrIdx].Op != DecodedOp::CmpBr)
+      continue;
+    const DecodedInst Br = DF.Insts[BrIdx];
+    const DecodedInst X = DF.Insts[BrIdx - 1];
+
+    // Instrumented code interposes a Profile hook between the producer and
+    // the compare; fold the hook (and a producing ReadChar before it) into
+    // the CmpBr so profile collection runs fused too.
+    if (X.Op == DecodedOp::Profile) {
+      DecodedInst MacroOp;
+      MacroOp.SubOp = Br.SubOp;
+      MacroOp.A = Br.A;
+      MacroOp.B = Br.B;
+      MacroOp.Target0 = Br.Target0;
+      MacroOp.Target1 = Br.Target1;
+      MacroOp.Extra = X.Dest;        // sequence id
+      MacroOp.ExtraCount = X.A.Slot; // profiled value slot
+      if (Sizes[B] >= 4 && DF.Insts[BrIdx - 2].Op == DecodedOp::ReadChar) {
+        MacroOp.Op = DecodedOp::ReadCharProfileCmpBr;
+        MacroOp.Dest = DF.Insts[BrIdx - 2].Dest;
+        MacroOp.Imm = Br.Dest; // branch id
+        DF.Insts[BrIdx - 2] = MacroOp;
+      } else {
+        MacroOp.Op = DecodedOp::ProfileCmpBr;
+        MacroOp.Dest = Br.Dest; // branch id
+        DF.Insts[BrIdx - 1] = MacroOp;
+      }
+      ++Stats.FusedPreOps;
+      continue;
+    }
+
+    DecodedInst MacroOp;
+    MacroOp.SubOp = Br.SubOp;
+    MacroOp.Extra = Br.Dest; // branch id
+    MacroOp.Target0 = Br.Target0;
+    MacroOp.Target1 = Br.Target1;
+    switch (X.Op) {
+    case DecodedOp::Move:
+      MacroOp.Op = DecodedOp::MoveCmpBr;
+      MacroOp.Dest = X.Dest;
+      MacroOp.A = X.A;
+      MacroOp.B = Br.A;
+      MacroOp.ExtraCount = Br.B.Slot;
+      break;
+    case DecodedOp::Binary:
+      MacroOp.Op = DecodedOp::BinCmpBr;
+      MacroOp.SubOp = static_cast<uint8_t>(X.SubOp << 3 | Br.SubOp);
+      MacroOp.Dest = X.Dest;
+      MacroOp.A = X.A;
+      MacroOp.B = X.B;
+      MacroOp.Imm = Br.A.Slot;
+      MacroOp.ExtraCount = Br.B.Slot;
+      break;
+    case DecodedOp::Load:
+      MacroOp.Op = DecodedOp::LoadCmpBr;
+      MacroOp.Dest = X.Dest;
+      MacroOp.A = X.A;
+      MacroOp.Imm = X.Imm;
+      MacroOp.ExtraCount = Br.A.Slot;
+      MacroOp.B = Br.B;
+      break;
+    case DecodedOp::ReadChar:
+      MacroOp.Op = DecodedOp::ReadCharCmpBr;
+      MacroOp.Dest = X.Dest;
+      MacroOp.A = Br.A;
+      MacroOp.B = Br.B;
+      break;
+    default:
+      continue;
+    }
+    DF.Insts[BrIdx - 1] = MacroOp;
+    ++Stats.FusedPreOps;
+  }
+}
+
+/// Folds the straight-line instruction at the end of each Jump-terminated
+/// block into the Jump itself.  Same reachability argument as fusePreOps:
+/// the rewritten instruction sits at or after the block start, the
+/// absorbed Jump slot is never a branch target (targets only land on block
+/// starts), and the macro-op counts both logical instructions.
+void fuseJumps(DecodedFunction &DF, const std::vector<uint32_t> &StartOf,
+               const std::vector<uint32_t> &Sizes, FuseStats &Stats) {
+  for (size_t B = 0; B < StartOf.size(); ++B) {
+    if (Sizes[B] < 2)
+      continue;
+    const uint32_t JumpIdx = StartOf[B] + Sizes[B] - 1;
+    if (DF.Insts[JumpIdx].Op != DecodedOp::Jump)
+      continue;
+    DecodedInst &X = DF.Insts[JumpIdx - 1];
+    switch (X.Op) {
+    case DecodedOp::Move:
+      X.Op = DecodedOp::MoveJump;
+      break;
+    case DecodedOp::Binary:
+      X.Op = DecodedOp::BinJump;
+      break;
+    case DecodedOp::Load:
+      X.Op = DecodedOp::LoadJump;
+      break;
+    case DecodedOp::Store:
+      X.Op = DecodedOp::StoreJump;
+      break;
+    default:
+      continue;
+    }
+    X.Target0 = DF.Insts[JumpIdx].Target0;
+    ++Stats.FusedJumps;
+  }
+}
+
+/// Greedy left-to-right fusion of adjacent straight-line pairs inside each
+/// block: LoadBin, Bin2, BinStore, and — because fuseJumps has already
+/// run — Binary + StoreJump into BinStoreJump.  The absorbed second slot
+/// goes stale; mid-block slots are never branch targets and every pair
+/// handler advances past it.
+void fuseStraightPairs(DecodedFunction &DF,
+                       const std::vector<uint32_t> &StartOf,
+                       const std::vector<uint32_t> &Sizes, FuseStats &Stats) {
+  for (size_t B = 0; B < StartOf.size(); ++B) {
+    const uint32_t End = StartOf[B] + Sizes[B];
+    for (uint32_t I = StartOf[B]; I + 1 < End; ++I) {
+      DecodedInst &X = DF.Insts[I];
+      const DecodedInst &Y = DF.Insts[I + 1];
+      if (X.Op == DecodedOp::Load && Y.Op == DecodedOp::Binary) {
+        X.Op = DecodedOp::LoadBin;
+        X.SubOp = Y.SubOp;
+        X.Extra = Y.Dest;
+        X.Target0 = Y.A.Slot;
+        X.Target1 = Y.B.Slot;
+        // Upgrade to the load/compute/store-back triple when the next
+        // instruction stores exactly the binary's result and the store
+        // offset survives the int32 packing.  A StoreJump tail upgrades
+        // one step further — the read-modify-write-loop-back idiom — but
+        // then the load offset must also fit in int32, because Imm has to
+        // carry the jump target in its upper half.
+        if (I + 2 < End &&
+            (DF.Insts[I + 2].Op == DecodedOp::Store ||
+             DF.Insts[I + 2].Op == DecodedOp::StoreJump) &&
+            DF.Insts[I + 2].B.Slot == Y.Dest &&
+            DF.Insts[I + 2].Imm ==
+                static_cast<int32_t>(DF.Insts[I + 2].Imm) &&
+            (DF.Insts[I + 2].Op == DecodedOp::Store ||
+             X.Imm == static_cast<int32_t>(X.Imm))) {
+          const DecodedInst &St = DF.Insts[I + 2];
+          X.B.Slot = St.A.Slot; // store base
+          X.ExtraCount =
+              static_cast<uint32_t>(static_cast<int32_t>(St.Imm));
+          if (St.Op == DecodedOp::Store) {
+            X.Op = DecodedOp::LoadBinStore;
+          } else {
+            X.Op = DecodedOp::LoadBinStoreJump;
+            X.Imm = static_cast<int64_t>(
+                static_cast<uint64_t>(St.Target0) << 32 |
+                static_cast<uint32_t>(static_cast<int32_t>(X.Imm)));
+          }
+          ++I; // skip the absorbed store as well
+        }
+      } else if (X.Op == DecodedOp::Move && Y.Op == DecodedOp::Move) {
+        X.Op = DecodedOp::Move2;
+        X.Extra = Y.Dest;
+        X.ExtraCount = Y.A.Slot;
+      } else if (X.Op == DecodedOp::Binary && Y.Op == DecodedOp::Binary) {
+        X.Op = DecodedOp::Bin2;
+        X.SubOp = static_cast<uint8_t>(X.SubOp | Y.SubOp << 4);
+        X.Extra = Y.Dest;
+        X.Target0 = Y.A.Slot;
+        X.Target1 = Y.B.Slot;
+      } else if (X.Op == DecodedOp::Binary &&
+                 (Y.Op == DecodedOp::Store || Y.Op == DecodedOp::StoreJump)) {
+        X.Op = Y.Op == DecodedOp::Store ? DecodedOp::BinStore
+                                        : DecodedOp::BinStoreJump;
+        X.Imm = Y.Imm;
+        X.Extra = Y.A.Slot;
+        X.ExtraCount = Y.B.Slot;
+        X.Target0 = Y.Target0; // jump target (meaningful for StoreJump)
+      } else if (X.Op == DecodedOp::Store && Y.Op == DecodedOp::Load &&
+                 I + 2 < End && DF.Insts[I + 2].Op == DecodedOp::Binary &&
+                 X.Imm == static_cast<int32_t>(X.Imm) &&
+                 Y.Imm == static_cast<int32_t>(Y.Imm)) {
+        // Store + Load + Binary.  Both offsets must survive int32 packing
+        // because Imm carries store offset (high) and load offset (low).
+        // The handler performs the store before the load, so a load that
+        // reads the just-stored address still sees the new value.
+        const DecodedInst &Bin = DF.Insts[I + 2];
+        const uint32_t StoreBase = X.A.Slot;
+        const uint32_t StoreValue = X.B.Slot;
+        const uint64_t StoreOff =
+            static_cast<uint32_t>(static_cast<int32_t>(X.Imm));
+        X.Op = DecodedOp::StoreLoadBin;
+        X.Dest = Y.Dest;
+        X.A = Y.A;
+        X.Imm = static_cast<int64_t>(
+            StoreOff << 32 |
+            static_cast<uint32_t>(static_cast<int32_t>(Y.Imm)));
+        X.SubOp = Bin.SubOp;
+        X.Target0 = Bin.A.Slot;
+        X.Target1 = Bin.B.Slot;
+        X.Extra = Bin.Dest;
+        X.B.Slot = StoreBase;
+        X.ExtraCount = StoreValue;
+        ++I; // skip the absorbed binary as well
+      } else if (X.Op == DecodedOp::PutChar && Y.Op == DecodedOp::Load &&
+                 I + 2 < End && DF.Insts[I + 2].Op == DecodedOp::Binary) {
+        // PutChar + Load + Binary — the output-then-advance idiom in the
+        // character-processing workloads.
+        const DecodedInst &Bin = DF.Insts[I + 2];
+        const uint32_t CharSlot = X.A.Slot;
+        X.Op = DecodedOp::PutCharLoadBin;
+        X.Dest = Y.Dest;
+        X.A = Y.A;
+        X.Imm = Y.Imm;
+        X.SubOp = Bin.SubOp;
+        X.Target0 = Bin.A.Slot;
+        X.Target1 = Bin.B.Slot;
+        X.Extra = Bin.Dest;
+        X.B.Slot = CharSlot;
+        ++I; // skip the absorbed binary as well
+      } else {
+        continue;
+      }
+      ++I; // skip the absorbed slot
+      ++Stats.FusedStraight;
+    }
+  }
+}
+
+/// Drops every slot the fusion passes made dead — second/third slots
+/// absorbed into macro-ops and whole condition blocks swallowed by chains —
+/// and renumbers the survivors densely.  Liveness is computed by walking
+/// the instruction graph from the entry slot with exactly the successor
+/// rules the dispatch loop uses, so no per-pass stale bookkeeping is
+/// needed.  After compaction every straight-line macro-op's successor is
+/// the adjacent slot, which is why the pair/triple handlers in
+/// sim/Threaded.cpp advance with BROPT_NEXT rather than skipping stale
+/// slots.  Call::Target0 is a function index and TrapFellOff::Dest a label
+/// index; neither is remapped.
+void compactFunction(DecodedFunction &DF, FuseStats &Stats) {
+  const size_t N = DF.Insts.size();
+  if (N == 0)
+    return;
+
+  std::vector<uint8_t> Live(N, 0);
+  std::vector<uint32_t> Work;
+  Live[0] = 1; // execFused enters every function at slot 0
+  Work.push_back(0);
+  auto Mark = [&](uint32_t T) {
+    if (!Live[T]) {
+      Live[T] = 1;
+      Work.push_back(T);
+    }
+  };
+  while (!Work.empty()) {
+    const uint32_t I = Work.back();
+    Work.pop_back();
+    const DecodedInst &Inst = DF.Insts[I];
+    switch (Inst.Op) {
+    case DecodedOp::Ret:
+    case DecodedOp::TrapFellOff:
+      break;
+    case DecodedOp::Jump:
+    case DecodedOp::FallThrough:
+    case DecodedOp::MoveJump:
+    case DecodedOp::BinJump:
+    case DecodedOp::LoadJump:
+    case DecodedOp::StoreJump:
+    case DecodedOp::BinStoreJump:
+      Mark(Inst.Target0);
+      break;
+    case DecodedOp::LoadBinStoreJump:
+      Mark(static_cast<uint32_t>(static_cast<uint64_t>(Inst.Imm) >> 32));
+      break;
+    case DecodedOp::CondBr:
+    case DecodedOp::CmpBr:
+    case DecodedOp::MoveCmpBr:
+    case DecodedOp::BinCmpBr:
+    case DecodedOp::LoadCmpBr:
+    case DecodedOp::ReadCharCmpBr:
+    case DecodedOp::ProfileCmpBr:
+    case DecodedOp::ReadCharProfileCmpBr:
+      Mark(Inst.Target0);
+      Mark(Inst.Target1);
+      break;
+    case DecodedOp::Switch:
+      Mark(Inst.Target0);
+      for (uint32_t C = 0; C < Inst.ExtraCount; ++C)
+        Mark(DF.Cases[Inst.Extra + C].Target);
+      break;
+    case DecodedOp::IndirectJump:
+      for (uint32_t C = 0; C < Inst.ExtraCount; ++C)
+        Mark(DF.JumpTables[Inst.Extra + C]);
+      break;
+    case DecodedOp::MultiCmp:
+      Mark(Inst.Target0);
+      for (uint32_t A = 0; A < Inst.ExtraCount; ++A)
+        Mark(DF.Arms[Inst.Extra + A].Target);
+      break;
+    case DecodedOp::LoadBin:
+    case DecodedOp::Bin2:
+    case DecodedOp::BinStore:
+    case DecodedOp::Move2:
+      Mark(static_cast<uint32_t>(I + 2));
+      break;
+    case DecodedOp::LoadBinStore:
+    case DecodedOp::StoreLoadBin:
+    case DecodedOp::PutCharLoadBin:
+      Mark(static_cast<uint32_t>(I + 3));
+      break;
+    default: // every remaining op falls through to the next slot
+      Mark(static_cast<uint32_t>(I + 1));
+      break;
+    }
+  }
+
+  std::vector<uint32_t> NewIdx(N, 0);
+  uint32_t Kept = 0;
+  for (size_t I = 0; I < N; ++I) {
+    NewIdx[I] = Kept;
+    Kept += Live[I];
+  }
+  if (Kept == N)
+    return;
+  Stats.CompactedSlots += N - Kept;
+
+  // Remap the instruction-index fields of live instructions.  Side-table
+  // slices (cases, jump tables, chain arms) are owned by exactly one
+  // instruction, so each live owner remaps its own slice once.
+  for (size_t I = 0; I < N; ++I) {
+    if (!Live[I])
+      continue;
+    DecodedInst &Inst = DF.Insts[I];
+    switch (Inst.Op) {
+    case DecodedOp::Jump:
+    case DecodedOp::FallThrough:
+    case DecodedOp::MoveJump:
+    case DecodedOp::BinJump:
+    case DecodedOp::LoadJump:
+    case DecodedOp::StoreJump:
+    case DecodedOp::BinStoreJump:
+      Inst.Target0 = NewIdx[Inst.Target0];
+      break;
+    case DecodedOp::LoadBinStoreJump:
+      Inst.Imm = static_cast<int64_t>(
+          static_cast<uint64_t>(
+              NewIdx[static_cast<uint32_t>(static_cast<uint64_t>(Inst.Imm) >>
+                                           32)])
+              << 32 |
+          static_cast<uint32_t>(Inst.Imm));
+      break;
+    case DecodedOp::CondBr:
+    case DecodedOp::CmpBr:
+    case DecodedOp::MoveCmpBr:
+    case DecodedOp::BinCmpBr:
+    case DecodedOp::LoadCmpBr:
+    case DecodedOp::ReadCharCmpBr:
+    case DecodedOp::ProfileCmpBr:
+    case DecodedOp::ReadCharProfileCmpBr:
+      Inst.Target0 = NewIdx[Inst.Target0];
+      Inst.Target1 = NewIdx[Inst.Target1];
+      break;
+    case DecodedOp::Switch:
+      Inst.Target0 = NewIdx[Inst.Target0];
+      for (uint32_t C = 0; C < Inst.ExtraCount; ++C)
+        DF.Cases[Inst.Extra + C].Target =
+            NewIdx[DF.Cases[Inst.Extra + C].Target];
+      break;
+    case DecodedOp::IndirectJump:
+      for (uint32_t C = 0; C < Inst.ExtraCount; ++C)
+        DF.JumpTables[Inst.Extra + C] = NewIdx[DF.JumpTables[Inst.Extra + C]];
+      break;
+    case DecodedOp::MultiCmp:
+      Inst.Target0 = NewIdx[Inst.Target0];
+      for (uint32_t A = 0; A < Inst.ExtraCount; ++A)
+        DF.Arms[Inst.Extra + A].Target = NewIdx[DF.Arms[Inst.Extra + A].Target];
+      break;
+    default:
+      break;
+    }
+  }
+
+  std::vector<DecodedInst> Compacted;
+  Compacted.reserve(Kept);
+  for (size_t I = 0; I < N; ++I)
+    if (Live[I])
+      Compacted.push_back(DF.Insts[I]);
+  DF.Insts = std::move(Compacted);
+}
+
+} // namespace
+
+DecodedModule bropt::decodeFused(const Module &M, const FuseOptions &Opts,
+                                 FuseStats *StatsOut) {
+  DecodedModule DM = DecodedModule::decode(M);
+  FuseStats Stats;
+
+  // Match profile records to condition blocks through the same detector and
+  // signature check pass 2 uses; each condition block's trailing compare
+  // gets its bin's hit count as ordering weight.  detectSequences only
+  // reads the module, so the const_cast is safe (and the decode above has
+  // already fixed the output).
+  std::unordered_map<const Function *,
+                     std::vector<std::pair<const BasicBlock *, uint64_t>>>
+      ProfiledBlocks;
+  if (Opts.Profile && !Opts.Profile->empty()) {
+    std::vector<RangeSequence> Seqs = detectSequences(const_cast<Module &>(M));
+    for (const RangeSequence &Seq : Seqs) {
+      const SequenceProfile *Prof = Opts.Profile->lookup(Seq.Id);
+      if (!Prof || Prof->Signature != Seq.signature() ||
+          Prof->BinCounts.size() !=
+              Seq.Conds.size() + Seq.DefaultRanges.size())
+        continue;
+      auto &List = ProfiledBlocks[Seq.F];
+      for (size_t Bin = 0; Bin < Seq.Conds.size(); ++Bin)
+        for (const BasicBlock *Block : Seq.Conds[Bin].Blocks)
+          List.emplace_back(Block, Prof->BinCounts[Bin]);
+    }
+  }
+
+  size_t FuncIndex = 0;
+  for (const auto &F : M) {
+    DecodedFunction &DF = DM.Functions[FuncIndex++];
+    if (!DF.HasBody)
+      continue;
+
+    // Block boundaries, recomputed exactly as decode() laid them out.
+    std::vector<uint32_t> StartOf;
+    std::vector<uint32_t> Sizes;
+    std::unordered_map<const BasicBlock *, uint32_t> BlockIndex;
+    uint32_t Next = 0;
+    for (const auto &Block : *F) {
+      BlockIndex.emplace(Block.get(), static_cast<uint32_t>(StartOf.size()));
+      StartOf.push_back(Next);
+      Sizes.push_back(static_cast<uint32_t>(decodedSize(*Block)));
+      Next += Sizes.back();
+    }
+    assert(Next == DF.Insts.size() && "block boundaries out of sync");
+
+    if (Opts.HotLayout)
+      layoutHotFirst(DF, StartOf, Sizes, Stats);
+
+    // Profile weights on final compare indices: a condition block ends in
+    // [cmp; condbr], so its compare sits two before the block's end.
+    CmpCountMap CmpCount;
+    if (auto It = ProfiledBlocks.find(F.get()); It != ProfiledBlocks.end()) {
+      for (const auto &[Block, Count] : It->second) {
+        auto IdxIt = BlockIndex.find(Block);
+        if (IdxIt == BlockIndex.end() || Sizes[IdxIt->second] < 2)
+          continue;
+        uint32_t CmpIdx =
+            StartOf[IdxIt->second] + Sizes[IdxIt->second] - 2;
+        if (DF.Insts[CmpIdx].Op == DecodedOp::Cmp)
+          CmpCount[CmpIdx] += Count;
+      }
+    }
+
+    if (Opts.FusePairs || Opts.FuseChains)
+      fuseFunction(DF, CmpCount, Opts, Stats);
+    if (Opts.FusePairs && Opts.FusePreOps)
+      fusePreOps(DF, StartOf, Sizes, Stats);
+    if (Opts.FuseJumps)
+      fuseJumps(DF, StartOf, Sizes, Stats);
+    if (Opts.FuseStraightPairs)
+      fuseStraightPairs(DF, StartOf, Sizes, Stats);
+    // Always last: the straight-line macro-op handlers assume a compacted
+    // stream (they advance one slot, not past stale ones).
+    compactFunction(DF, Stats);
+  }
+
+  if (StatsOut)
+    *StatsOut = Stats;
+  return DM;
+}

@@ -1,0 +1,125 @@
+//===- sim/Fuse.h - Decode-time superinstruction fusion ---------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Engine v2's decode-time peephole fuser: turns a plainly decoded module
+/// into the fused form the threaded dispatch loop (sim/Threaded.cpp) runs.
+///
+/// Three rewrites, all observationally invisible (the fused engine stays
+/// bit-identical to the tree walker — DynamicCounts, predictor feeds,
+/// output bytes, traps, instruction-limit behaviour):
+///
+///  1. Hot-first layout: blocks are reordered greedily along likely
+///     fall-through edges so the common case runs forward through the
+///     instruction array.  Safe because every decoded block ends in an
+///     explicit control transfer and targets are instruction indices.
+///
+///  2. Pair fusion: each [Cmp; CondBr] pair becomes one CmpBr macro-op,
+///     halving dispatches on the paper-hot shape.
+///
+///  3. Chain fusion: a ladder of compare/branch pairs — exactly the
+///     range-condition chains and linear-search switch lowerings the
+///     compiler's own detector finds — becomes one MultiCmp
+///     superinstruction.  When ProfileData counts are available and the
+///     arms are provably disjoint (same variable, constant bounds,
+///     nonoverlapping truth ranges — paper Theorem 1), the *execution*
+///     order of the arms is sorted hottest-first while all observable
+///     effects still follow the logical (original) order.
+///
+/// See docs/SIM.md for the preserved-semantics argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_SIM_FUSE_H
+#define BROPT_SIM_FUSE_H
+
+#include "sim/Decoded.h"
+
+#include <cstdint>
+
+namespace bropt {
+
+class ProfileData;
+
+/// Tuning knobs for decodeFused().  Defaults enable everything.
+struct FuseOptions {
+  /// Profile counts used to order fused chain arms hottest-first.  Bin
+  /// counts are matched to compare instructions through the same sequence
+  /// detector and signature check pass 2 uses.  May be null.
+  const ProfileData *Profile = nullptr;
+
+  /// Reorder blocks hot-first along likely fall-through edges.
+  bool HotLayout = true;
+
+  /// Fuse [Cmp; CondBr] pairs into CmpBr macro-ops.
+  bool FusePairs = true;
+
+  /// Fuse compare/branch ladders into MultiCmp superinstructions.
+  bool FuseChains = true;
+
+  /// Fold the straight-line instruction before a fused CmpBr into it
+  /// (MoveCmpBr / BinCmpBr / LoadCmpBr / ReadCharCmpBr) when it is in the
+  /// same block and its fields fit the packed encodings.  Requires
+  /// FusePairs (pre-ops attach to CmpBr macro-ops).
+  bool FusePreOps = true;
+
+  /// Fold the straight-line instruction at the end of a block into the
+  /// unconditional Jump that terminates it (MoveJump / BinJump / LoadJump
+  /// / StoreJump).
+  bool FuseJumps = true;
+
+  /// Fuse adjacent straight-line instruction pairs (LoadBin / Bin2 /
+  /// BinStore) and Binary + StoreJump triples (BinStoreJump).
+  bool FuseStraightPairs = true;
+
+  /// Longest chain a single MultiCmp may swallow.
+  unsigned MaxChainArms = 24;
+};
+
+/// What the fuser did, for benches and tests.
+struct FuseStats {
+  uint64_t FusedPairs = 0;    ///< CmpBr macro-ops emitted
+  uint64_t FusedChains = 0;   ///< MultiCmp superinstructions emitted
+  uint64_t ChainArms = 0;     ///< total arms across all MultiCmps
+  uint64_t FusedPreOps = 0;   ///< pre-op macro-ops (XxxCmpBr) emitted
+  uint64_t FusedJumps = 0;    ///< jump macro-ops (XxxJump) emitted
+  uint64_t FusedStraight = 0; ///< straight-line pair/triple macro-ops
+  uint64_t ProfileOrderedChains = 0; ///< chains whose exec order ≠ logical
+  uint64_t BlocksMoved = 0;   ///< blocks placed out of original order
+  uint64_t FunctionsLaidOut = 0; ///< functions whose layout changed
+  uint64_t CompactedSlots = 0; ///< stale/unreachable slots dropped
+
+  FuseStats &operator+=(const FuseStats &O) {
+    FusedPairs += O.FusedPairs;
+    FusedChains += O.FusedChains;
+    ChainArms += O.ChainArms;
+    FusedPreOps += O.FusedPreOps;
+    FusedJumps += O.FusedJumps;
+    FusedStraight += O.FusedStraight;
+    ProfileOrderedChains += O.ProfileOrderedChains;
+    BlocksMoved += O.BlocksMoved;
+    FunctionsLaidOut += O.FunctionsLaidOut;
+    CompactedSlots += O.CompactedSlots;
+    return *this;
+  }
+};
+
+/// True when the fused dispatch loop (sim/Threaded.cpp) was built with
+/// computed-goto (token-threaded) dispatch; false means the portable
+/// switch fallback.  Purely informational — observables never differ.
+bool fusedDispatchIsThreaded();
+
+/// Decodes \p M like DecodedModule::decode and then applies layout and
+/// fusion per \p Opts.  Pure with respect to \p M.  Branch ids, constant
+/// pools, and side-table contents for unfused ops are unchanged;
+/// DecodedInst indices generally are not (layout moves blocks).
+DecodedModule decodeFused(const Module &M, const FuseOptions &Opts = {},
+                          FuseStats *Stats = nullptr);
+
+} // namespace bropt
+
+#endif // BROPT_SIM_FUSE_H

@@ -2,8 +2,11 @@
 
 #include "sim/Interpreter.h"
 
+#include "sim/Fuse.h"
 #include "support/Debug.h"
 #include "support/Strings.h"
+
+#include <optional>
 
 using namespace bropt;
 
@@ -54,11 +57,19 @@ RunResult Interpreter::run(const std::string &EntryName,
     for (size_t Index = 0; Index < Global->Init.size(); ++Index)
       Memory[Global->BaseAddress + Index] = Global->Init[Index];
 
-  if (ExecutionMode == Mode::Decoded) {
-    // Re-decode on every run: decoding is O(static size) — noise next to
-    // the dynamic counts — and passes mutate modules between runs.
-    DecodedModule DM = DecodedModule::decode(M);
-    const DecodedFunction *Entry = DM.getFunction(EntryName);
+  if (ExecutionMode == Mode::Decoded || ExecutionMode == Mode::Fused) {
+    // Without a prepared program, re-decode on every run: decoding is
+    // O(static size) — noise next to the dynamic counts — and passes
+    // mutate modules between runs.  Callers that run one module many
+    // times inject a cached program via setPreparedProgram().
+    std::optional<DecodedModule> Owned;
+    const DecodedModule *DM = Prepared;
+    if (!DM) {
+      Owned.emplace(ExecutionMode == Mode::Fused ? decodeFused(M)
+                                                 : DecodedModule::decode(M));
+      DM = &*Owned;
+    }
+    const DecodedFunction *Entry = DM->getFunction(EntryName);
     if (!Entry) {
       trap(formatString("entry function '%s' not found", EntryName.c_str()));
       return Result;
@@ -67,7 +78,9 @@ RunResult Interpreter::run(const std::string &EntryName,
       trap("argument count mismatch for entry function");
       return Result;
     }
-    Result.ExitValue = execDecoded(DM, *Entry, Args, 0);
+    Result.ExitValue = ExecutionMode == Mode::Fused
+                           ? execFused(*DM, *Entry, Args, 0)
+                           : execDecoded(*DM, *Entry, Args, 0);
     if (Predictor)
       Result.Prediction = Predictor->getStats();
     return Result;
@@ -396,6 +409,30 @@ int64_t Interpreter::execDecoded(const DecodedModule &DM,
       flush();
       trap(F.Labels[Inst.Dest] + " fell off the end (no terminator)");
       return 0;
+    case DecodedOp::CmpBr:
+    case DecodedOp::MultiCmp:
+    case DecodedOp::MoveCmpBr:
+    case DecodedOp::BinCmpBr:
+    case DecodedOp::LoadCmpBr:
+    case DecodedOp::ReadCharCmpBr:
+    case DecodedOp::MoveJump:
+    case DecodedOp::BinJump:
+    case DecodedOp::LoadJump:
+    case DecodedOp::StoreJump:
+    case DecodedOp::LoadBin:
+    case DecodedOp::Bin2:
+    case DecodedOp::BinStore:
+    case DecodedOp::BinStoreJump:
+    case DecodedOp::Move2:
+    case DecodedOp::LoadBinStore:
+    case DecodedOp::LoadBinStoreJump:
+    case DecodedOp::StoreLoadBin:
+    case DecodedOp::PutCharLoadBin:
+    case DecodedOp::ProfileCmpBr:
+    case DecodedOp::ReadCharProfileCmpBr:
+      // Only decodeFused() emits macro-ops, and fused programs run through
+      // execFused (sim/Threaded.cpp).
+      BROPT_UNREACHABLE("fused macro-op in a plainly decoded program");
     }
     ++Index;
   }

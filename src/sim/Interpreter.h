@@ -66,19 +66,23 @@ struct RunResult {
 /// ReadChar.
 class Interpreter {
 public:
-  /// Execution strategies.  Both produce bit-identical RunResults; the
-  /// decoded engine exists purely for speed, the tree walker purely as the
-  /// differential-testing reference (see docs/SIM.md).
+  /// Execution strategies.  All produce bit-identical RunResults; the
+  /// fused engine exists purely for speed, the other two purely as
+  /// differential-testing references (see docs/SIM.md).
   enum class Mode : uint8_t {
     /// Flatten the module into DecodedInst arrays and dispatch over them
-    /// (the default: several times faster than walking the IR).
+    /// with a switch (the PR-1 engine; kept as a reference).
     Decoded,
     /// Walk the Instruction hierarchy block by block, as the original
     /// implementation did.
     Tree,
+    /// Engine v2: threaded dispatch (computed goto where the compiler
+    /// supports it) over a hot-first laid out, superinstruction-fused
+    /// program (sim/Fuse.h).  The default.
+    Fused,
   };
 
-  explicit Interpreter(const Module &M, Mode ExecMode = Mode::Decoded);
+  explicit Interpreter(const Module &M, Mode ExecMode = Mode::Fused);
 
   /// Selects the execution engine for subsequent run() calls.
   void setMode(Mode ExecMode) { ExecutionMode = ExecMode; }
@@ -105,6 +109,13 @@ public:
   /// Caps the number of executed instructions; exceeded -> trap.
   void setInstructionLimit(uint64_t Limit) { InstructionLimit = Limit; }
 
+  /// Supplies a pre-decoded program for run() to execute instead of
+  /// re-decoding the module every run (the Evaluator's decode cache uses
+  /// this).  The caller must keep \p DM alive and consistent with the
+  /// module; programs containing fused macro-ops require Mode::Fused.
+  /// Ignored by the tree walker; pass null to revert to per-run decoding.
+  void setPreparedProgram(const DecodedModule *DM) { Prepared = DM; }
+
   /// Runs \p EntryName with \p Args.  Resets all counters first.
   RunResult run(const std::string &EntryName = "main",
                 const std::vector<int64_t> &Args = {});
@@ -119,6 +130,8 @@ private:
                        unsigned Depth);
   int64_t execDecoded(const DecodedModule &DM, const DecodedFunction &F,
                       const std::vector<int64_t> &Args, unsigned Depth);
+  int64_t execFused(const DecodedModule &DM, const DecodedFunction &F,
+                    const std::vector<int64_t> &Args, unsigned Depth);
   void trap(std::string Reason);
 
   int64_t readOperand(const Operand &Op,
@@ -129,6 +142,7 @@ private:
   std::string_view Input;
   size_t InputCursor = 0;
   BranchPredictor *Predictor = nullptr;
+  const DecodedModule *Prepared = nullptr;
   ProfileCallback OnProfile;
   ProfileCallback OnComboProfile;
   uint64_t InstructionLimit = 2'000'000'000;

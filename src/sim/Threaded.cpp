@@ -1,0 +1,1008 @@
+//===- sim/Threaded.cpp - Threaded-dispatch fused execution engine --------===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+// Engine v2: executes fused programs (sim/Fuse.h) with token-threaded
+// dispatch — on GCC/Clang each handler jumps directly to the next
+// handler through a computed goto, giving the hardware one indirect-branch
+// prediction site per handler instead of the single shared site a switch
+// loop has; elsewhere a portable switch fallback expands from the same
+// handler bodies.  Select at configure time with -DBROPT_THREADED_DISPATCH
+// (CMake) or by predefining BROPT_COMPUTED_GOTO to 0/1.
+//
+// The macro-op handlers (CmpBr, MultiCmp) account for the *logical* IR
+// instructions they stand for: DynamicCounts, predictor observations,
+// condition-code state, and instruction-limit traps are bit-identical to
+// the reference engines, including trips in the middle of a fused chain
+// (see docs/SIM.md for the argument and tests/sim/fused_test.cpp for the
+// enforcement).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Fuse.h"
+#include "sim/Interpreter.h"
+#include "support/Debug.h"
+#include "support/Strings.h"
+
+using namespace bropt;
+
+// Configure-time selection with a sensible default: the computed-goto
+// extension exists exactly where __GNUC__ does (GCC and Clang).
+#ifndef BROPT_COMPUTED_GOTO
+#if defined(__GNUC__) || defined(__clang__)
+#define BROPT_COMPUTED_GOTO 1
+#else
+#define BROPT_COMPUTED_GOTO 0
+#endif
+#endif
+
+namespace {
+
+/// Same local copy as in Interpreter.cpp: one condition evaluation per
+/// branch; an out-of-line call here is measurable.
+inline bool evalCC(CondCode CC, int64_t Lhs, int64_t Rhs) {
+  switch (CC) {
+  case CondCode::EQ:
+    return Lhs == Rhs;
+  case CondCode::NE:
+    return Lhs != Rhs;
+  case CondCode::LT:
+    return Lhs < Rhs;
+  case CondCode::LE:
+    return Lhs <= Rhs;
+  case CondCode::GT:
+    return Lhs > Rhs;
+  case CondCode::GE:
+    return Lhs >= Rhs;
+  }
+  BROPT_UNREACHABLE("unknown condition code");
+}
+
+} // namespace
+
+int64_t Interpreter::execFused(const DecodedModule &DM,
+                               const DecodedFunction &F,
+                               const std::vector<int64_t> &Args,
+                               unsigned Depth) {
+  if (Depth > MaxCallDepth) {
+    trap("call depth limit exceeded");
+    return 0;
+  }
+  assert(Args.size() == F.NumParams && "bad argument count");
+  if (!F.HasBody) {
+    trap(formatString("function '%s' has no body", F.Name.c_str()));
+    return 0;
+  }
+
+  // Frame layout and counter discipline are identical to execDecoded:
+  // registers then interned constants; counters accumulate in locals and
+  // flush at every exit and around recursive calls.
+  std::vector<int64_t> Frame(F.numSlots(), 0);
+  int64_t *Regs = Frame.data();
+  std::copy(Args.begin(), Args.end(), Regs);
+  std::copy(F.Constants.begin(), F.Constants.end(), Regs + F.NumRegs);
+
+  DynamicCounts LC;
+  // The total-instruction count runs as a countdown: Remaining starts at
+  // the headroom under the limit, every logical instruction decrements it,
+  // and flush() recovers the executed total as Budget - Remaining.  A
+  // decrement-and-underflow test is cheaper than the increment + compare
+  // it replaces on the hottest three instructions in the engine, and the
+  // MultiCmp batch paths turn into a single subtraction.
+  uint64_t Budget = InstructionLimit - Result.Counts.TotalInsts;
+  uint64_t Remaining = Budget;
+  uint64_t LimitTripped = 0; // 1 after the limit trap counted its inst
+  auto flush = [&] {
+    DynamicCounts &C = Result.Counts;
+    C.TotalInsts += Budget - Remaining + LimitTripped;
+    C.CondBranches += LC.CondBranches;
+    C.TakenBranches += LC.TakenBranches;
+    C.UncondJumps += LC.UncondJumps;
+    C.IndirectJumps += LC.IndirectJumps;
+    C.Compares += LC.Compares;
+    C.Loads += LC.Loads;
+    C.Stores += LC.Stores;
+    C.Calls += LC.Calls;
+    C.ProfileHooks += LC.ProfileHooks;
+    LC = DynamicCounts();
+    Budget = InstructionLimit - C.TotalInsts;
+    Remaining = Budget;
+    LimitTripped = 0;
+  };
+
+// Equivalent to the tree walker's `++Counts.TotalInsts > InstructionLimit`
+// (the final count lands one past the limit, like the tree walker's:
+// Budget instructions were already counted when the underflow fires, and
+// LimitTripped adds the trapping instruction itself).
+#define BROPT_COUNT_INST()                                                     \
+  do {                                                                         \
+    if (Remaining-- == 0) {                                                    \
+      Remaining = 0;                                                           \
+      LimitTripped = 1;                                                        \
+      flush();                                                                 \
+      trap("instruction limit exceeded");                                      \
+      return 0;                                                                \
+    }                                                                          \
+  } while (0)
+
+// One arithmetic evaluation with the tree walker's exact trap behaviour;
+// shared by Binary and every macro-op that embeds a binary.  LHS/RHS/OUT
+// must be int64_t lvalues.
+#define BROPT_EVAL_BINARY(OP, LHS, RHS, OUT)                                   \
+  do {                                                                         \
+    uint64_t UL = static_cast<uint64_t>(LHS), UR = static_cast<uint64_t>(RHS); \
+    switch (OP) {                                                              \
+    case BinaryOp::Add:                                                        \
+      OUT = static_cast<int64_t>(UL + UR);                                     \
+      break;                                                                   \
+    case BinaryOp::Sub:                                                        \
+      OUT = static_cast<int64_t>(UL - UR);                                     \
+      break;                                                                   \
+    case BinaryOp::Mul:                                                        \
+      OUT = static_cast<int64_t>(UL * UR);                                     \
+      break;                                                                   \
+    case BinaryOp::Div:                                                        \
+      if (RHS == 0) {                                                          \
+        flush();                                                               \
+        trap("division by zero");                                              \
+        return 0;                                                              \
+      }                                                                        \
+      if (LHS == INT64_MIN && RHS == -1) {                                     \
+        flush();                                                               \
+        trap("division overflow");                                             \
+        return 0;                                                              \
+      }                                                                        \
+      OUT = LHS / RHS;                                                         \
+      break;                                                                   \
+    case BinaryOp::Rem:                                                        \
+      if (RHS == 0) {                                                          \
+        flush();                                                               \
+        trap("remainder by zero");                                             \
+        return 0;                                                              \
+      }                                                                        \
+      if (LHS == INT64_MIN && RHS == -1) {                                     \
+        flush();                                                               \
+        trap("remainder overflow");                                            \
+        return 0;                                                              \
+      }                                                                        \
+      OUT = LHS % RHS;                                                         \
+      break;                                                                   \
+    case BinaryOp::And:                                                        \
+      OUT = LHS & RHS;                                                         \
+      break;                                                                   \
+    case BinaryOp::Or:                                                         \
+      OUT = LHS | RHS;                                                         \
+      break;                                                                   \
+    case BinaryOp::Xor:                                                        \
+      OUT = LHS ^ RHS;                                                         \
+      break;                                                                   \
+    case BinaryOp::Shl:                                                        \
+      OUT = static_cast<int64_t>(UL << (UR & 63));                             \
+      break;                                                                   \
+    case BinaryOp::Shr:                                                        \
+      OUT = LHS >> (UR & 63);                                                  \
+      break;                                                                   \
+    }                                                                          \
+  } while (0)
+
+  int64_t CCLhs = 0, CCRhs = 0;
+  const DecodedInst *Insts = F.Insts.data();
+  // The simulated heap is sized once in exec() and never reallocated while
+  // code runs, and the predictor pointer is fixed for the whole call; local
+  // copies let the compiler keep them in registers instead of reloading the
+  // members after every store the handlers make.
+  int64_t *const Mem = Memory.data();
+  const uint64_t MemSize = Memory.size();
+  BranchPredictor *const Pred = Predictor;
+  size_t Index = 0;
+
+// Dispatch plumbing.  Handler bodies are written once; BROPT_OP opens a
+// handler and BROPT_DISPATCH transfers to the handler of Insts[Index].
+// Every handler ends in BROPT_NEXT() (straight-line), BROPT_DISPATCH()
+// (after assigning Index), or a return.
+#if BROPT_COMPUTED_GOTO
+  // One entry per DecodedOp, in enum order.
+  static const void *JumpTable[] = {
+      &&Op_Move,       &&Op_Binary,   &&Op_Unary,        &&Op_Load,
+      &&Op_Store,      &&Op_Cmp,      &&Op_Call,         &&Op_ReadChar,
+      &&Op_PutChar,    &&Op_PrintInt, &&Op_Profile,      &&Op_ComboProfile,
+      &&Op_CondBr,     &&Op_Jump,     &&Op_FallThrough,  &&Op_Switch,
+      &&Op_IndirectJump, &&Op_Ret,    &&Op_TrapFellOff,  &&Op_CmpBr,
+      &&Op_MultiCmp,   &&Op_MoveCmpBr, &&Op_BinCmpBr,    &&Op_LoadCmpBr,
+      &&Op_ReadCharCmpBr, &&Op_MoveJump, &&Op_BinJump,   &&Op_LoadJump,
+      &&Op_StoreJump,  &&Op_LoadBin,   &&Op_Bin2,        &&Op_BinStore,
+      &&Op_BinStoreJump, &&Op_Move2,   &&Op_LoadBinStore,
+      &&Op_LoadBinStoreJump, &&Op_StoreLoadBin, &&Op_PutCharLoadBin,
+      &&Op_ProfileCmpBr, &&Op_ReadCharProfileCmpBr};
+  static_assert(sizeof(JumpTable) / sizeof(JumpTable[0]) == NumDecodedOps,
+                "jump table must cover every DecodedOp");
+#define BROPT_DISPATCH() goto *JumpTable[static_cast<uint8_t>(Insts[Index].Op)]
+#define BROPT_OP(NAME) Op_##NAME:
+#else
+#define BROPT_DISPATCH() goto Dispatch
+#define BROPT_OP(NAME) case DecodedOp::NAME:
+#endif
+#define BROPT_NEXT()                                                           \
+  do {                                                                         \
+    ++Index;                                                                   \
+    BROPT_DISPATCH();                                                          \
+  } while (0)
+
+#if BROPT_COMPUTED_GOTO
+  BROPT_DISPATCH();
+#else
+Dispatch:
+  switch (Insts[Index].Op) {
+#endif
+
+  BROPT_OP(Move) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    Regs[Inst.Dest] = Inst.A.read(Regs);
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(Binary) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    int64_t Lhs = Inst.A.read(Regs);
+    int64_t Rhs = Inst.B.read(Regs);
+    int64_t Value = 0;
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp), Lhs, Rhs, Value);
+    Regs[Inst.Dest] = Value;
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(Unary) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    int64_t Src = Inst.A.read(Regs);
+    Regs[Inst.Dest] = static_cast<UnaryOp>(Inst.SubOp) == UnaryOp::Neg
+                          ? static_cast<int64_t>(-static_cast<uint64_t>(Src))
+                          : (Src == 0 ? 1 : 0);
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(Load) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    ++LC.Loads;
+    int64_t Address = Inst.A.read(Regs) + Inst.Imm;
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("load from invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Regs[Inst.Dest] = Mem[static_cast<size_t>(Address)];
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(Store) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    ++LC.Stores;
+    int64_t Address = Inst.A.read(Regs) + Inst.Imm;
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("store to invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Mem[static_cast<size_t>(Address)] = Inst.B.read(Regs);
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(Cmp) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    ++LC.Compares;
+    CCLhs = Inst.A.read(Regs);
+    CCRhs = Inst.B.read(Regs);
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(Call) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    ++LC.Calls;
+    std::vector<int64_t> CallArgs;
+    CallArgs.reserve(Inst.ExtraCount);
+    const DecodedOperand *ArgSlice =
+        Inst.ExtraCount ? &F.CallArgs[Inst.Extra] : nullptr;
+    for (uint32_t ArgIndex = 0; ArgIndex < Inst.ExtraCount; ++ArgIndex)
+      CallArgs.push_back(ArgSlice[ArgIndex].read(Regs));
+    flush();
+    int64_t Value =
+        execFused(DM, DM.function(Inst.Target0), CallArgs, Depth + 1);
+    if (Aborted)
+      return 0;
+    Budget = InstructionLimit - Result.Counts.TotalInsts;
+    Remaining = Budget;
+    if (Inst.Dest != DecodedInst::NoReg)
+      Regs[Inst.Dest] = Value;
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(ReadChar) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    if (InputCursor < Input.size())
+      Regs[Inst.Dest] = static_cast<unsigned char>(Input[InputCursor++]);
+    else
+      Regs[Inst.Dest] = -1;
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(PutChar) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    Result.Output.push_back(static_cast<char>(Inst.A.read(Regs) & 0xff));
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(PrintInt) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    Result.Output +=
+        formatString("%lld\n", static_cast<long long>(Inst.A.read(Regs)));
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(Profile) {
+    const DecodedInst &Inst = Insts[Index];
+    // Instrumentation hooks never count toward TotalInsts or the limit.
+    ++LC.ProfileHooks;
+    if (OnProfile)
+      OnProfile(Inst.Dest, Inst.A.read(Regs));
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(ComboProfile) {
+    const DecodedInst &Inst = Insts[Index];
+    ++LC.ProfileHooks;
+    if (OnComboProfile) {
+      int64_t Mask = 0;
+      const DecodedCondition *Conds =
+          Inst.ExtraCount ? &F.Conditions[Inst.Extra] : nullptr;
+      for (uint32_t Bit = 0; Bit < Inst.ExtraCount; ++Bit)
+        if (evalCC(Conds[Bit].Pred, Conds[Bit].Lhs.read(Regs),
+                   Conds[Bit].Rhs.read(Regs)))
+          Mask |= int64_t{1} << Bit;
+      OnComboProfile(Inst.Dest, Mask);
+    }
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(CondBr) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    ++LC.CondBranches;
+    const bool Taken = evalCC(static_cast<CondCode>(Inst.SubOp), CCLhs, CCRhs);
+    if (Taken)
+      ++LC.TakenBranches;
+    if (Pred)
+      Pred->observe(Inst.Dest, Taken);
+    Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(Jump) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    ++LC.UncondJumps;
+    Index = Inst.Target0;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(FallThrough) {
+    // A layout fall-through executes for free, like in the tree walker.
+    Index = Insts[Index].Target0;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(Switch) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    int64_t Value = Inst.A.read(Regs);
+    uint32_t Target = Inst.Target0;
+    const DecodedCase *CaseSlice =
+        Inst.ExtraCount ? &F.Cases[Inst.Extra] : nullptr;
+    for (uint32_t CaseIndex = 0; CaseIndex < Inst.ExtraCount; ++CaseIndex)
+      if (CaseSlice[CaseIndex].Value == Value) {
+        Target = CaseSlice[CaseIndex].Target;
+        break;
+      }
+    Index = Target;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(IndirectJump) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    ++LC.IndirectJumps;
+    int64_t TableIndex = Inst.A.read(Regs);
+    if (TableIndex < 0 ||
+        static_cast<uint64_t>(TableIndex) >= Inst.ExtraCount) {
+      flush();
+      trap(formatString("indirect jump index %lld out of range",
+                        static_cast<long long>(TableIndex)));
+      return 0;
+    }
+    Index = F.JumpTables[Inst.Extra + static_cast<size_t>(TableIndex)];
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(Ret) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST();
+    int64_t Value = Inst.SubOp ? Inst.A.read(Regs) : 0;
+    flush();
+    return Value;
+  }
+
+  BROPT_OP(TrapFellOff) {
+    // The tree walker traps after exhausting the block's instructions
+    // without executing anything further, so this must not count.
+    flush();
+    trap(F.Labels[Insts[Index].Dest] + " fell off the end (no terminator)");
+    return 0;
+  }
+
+  BROPT_OP(CmpBr) {
+    const DecodedInst &Inst = Insts[Index];
+    // The logical Cmp …
+    BROPT_COUNT_INST();
+    ++LC.Compares;
+    CCLhs = Inst.A.read(Regs);
+    CCRhs = Inst.B.read(Regs);
+    // … then the logical CondBr, in one dispatch.
+    BROPT_COUNT_INST();
+    ++LC.CondBranches;
+    const bool Taken = evalCC(static_cast<CondCode>(Inst.SubOp), CCLhs, CCRhs);
+    if (Taken)
+      ++LC.TakenBranches;
+    if (Pred)
+      Pred->observe(Inst.Dest, Taken);
+    Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(MultiCmp) {
+    const DecodedInst &Inst = Insts[Index];
+    const FusedArm *Arms = &F.Arms[Inst.Extra];
+    const uint32_t NumArms = Inst.ExtraCount;
+    if (!Pred && Remaining >= 2ull * NumArms) {
+      // Fast path: no predictor to feed and the limit cannot trip inside
+      // the chain, so test arms in (possibly profile-reordered) execution
+      // order and reconstruct the logical counts arithmetically.  The
+      // fuser only reorders provably disjoint arms, so the first true arm
+      // in any order is the unique logical winner; with the identity
+      // order, the first true arm is the logical winner directly.
+      const uint32_t *Exec = &F.ArmExec[Inst.Extra];
+      uint32_t Winner = NumArms;
+      for (uint32_t Pos = 0; Pos < NumArms; ++Pos) {
+        const FusedArm &Arm = Arms[Exec[Pos]];
+        if (evalCC(Arm.Pred, Arm.Lhs.read(Regs), Arm.Rhs.read(Regs))) {
+          Winner = Exec[Pos];
+          break;
+        }
+      }
+      if (Winner < NumArms) {
+        // Logically executed: arms 0..Winner (one Cmp + one CondBr each),
+        // only the winner's branch taken.
+        const FusedArm &Arm = Arms[Winner];
+        Remaining -= 2ull * (Winner + 1);
+        LC.Compares += Winner + 1;
+        LC.CondBranches += Winner + 1;
+        ++LC.TakenBranches;
+        CCLhs = Arm.Lhs.read(Regs);
+        CCRhs = Arm.Rhs.read(Regs);
+        Index = Arm.Target;
+      } else {
+        // No match: every arm executed and fell through; condition codes
+        // end up holding the last logical arm's operands.
+        const FusedArm &Last = Arms[NumArms - 1];
+        Remaining -= 2ull * NumArms;
+        LC.Compares += NumArms;
+        LC.CondBranches += NumArms;
+        CCLhs = Last.Lhs.read(Regs);
+        CCRhs = Last.Rhs.read(Regs);
+        Index = Inst.Target0;
+      }
+      BROPT_DISPATCH();
+    }
+    if (Pred && Remaining >= 2ull * NumArms) {
+      // Pred attached but the limit cannot trip inside the chain:
+      // test and observe in logical order (observation order is part of
+      // the contract — global-history predictors care) but batch the
+      // count bookkeeping instead of paying two limit checks per arm.
+      uint32_t Arm = 0;
+      bool Matched = false;
+      for (; Arm < NumArms; ++Arm) {
+        const FusedArm &A = Arms[Arm];
+        const bool Taken = evalCC(A.Pred, A.Lhs.read(Regs), A.Rhs.read(Regs));
+        Pred->observe(A.BranchId, Taken);
+        if (Taken) {
+          Matched = true;
+          break;
+        }
+      }
+      const uint32_t Executed = Matched ? Arm + 1 : NumArms;
+      const FusedArm &LastArm = Arms[Matched ? Arm : NumArms - 1];
+      Remaining -= 2ull * Executed;
+      LC.Compares += Executed;
+      LC.CondBranches += Executed;
+      LC.TakenBranches += Matched;
+      CCLhs = LastArm.Lhs.read(Regs);
+      CCRhs = LastArm.Rhs.read(Regs);
+      Index = Matched ? LastArm.Target : Inst.Target0;
+      BROPT_DISPATCH();
+    }
+    // Slow path: the instruction limit may trip mid-chain.  Replay the
+    // arms in logical order with exact per-instruction accounting; still
+    // one dispatch for the whole chain.
+    {
+      size_t Next = Inst.Target0;
+      for (uint32_t Arm = 0; Arm < NumArms; ++Arm) {
+        const FusedArm &A = Arms[Arm];
+        BROPT_COUNT_INST();
+        ++LC.Compares;
+        CCLhs = A.Lhs.read(Regs);
+        CCRhs = A.Rhs.read(Regs);
+        BROPT_COUNT_INST();
+        ++LC.CondBranches;
+        const bool Taken = evalCC(A.Pred, CCLhs, CCRhs);
+        if (Taken)
+          ++LC.TakenBranches;
+        if (Pred)
+          Pred->observe(A.BranchId, Taken);
+        if (Taken) {
+          Next = A.Target;
+          break;
+        }
+      }
+      Index = Next;
+    }
+    BROPT_DISPATCH();
+  }
+
+  // The pre-op macro-ops below stand for three logical instructions each:
+  // the folded straight-line op, then the Cmp, then the CondBr, with the
+  // same counting, trapping, and predictor feed order as unfused code.
+
+  BROPT_OP(MoveCmpBr) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Move
+    Regs[Inst.Dest] = Inst.A.read(Regs);
+    BROPT_COUNT_INST(); // logical Cmp
+    ++LC.Compares;
+    CCLhs = Inst.B.read(Regs);
+    CCRhs = Regs[Inst.ExtraCount];
+    BROPT_COUNT_INST(); // logical CondBr
+    ++LC.CondBranches;
+    const bool Taken = evalCC(static_cast<CondCode>(Inst.SubOp), CCLhs, CCRhs);
+    if (Taken)
+      ++LC.TakenBranches;
+    if (Pred)
+      Pred->observe(Inst.Extra, Taken);
+    Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(BinCmpBr) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Binary
+    int64_t Lhs = Inst.A.read(Regs);
+    int64_t Rhs = Inst.B.read(Regs);
+    int64_t Value = 0;
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp >> 3), Lhs, Rhs, Value);
+    Regs[Inst.Dest] = Value;
+    BROPT_COUNT_INST(); // logical Cmp
+    ++LC.Compares;
+    CCLhs = Regs[static_cast<uint32_t>(Inst.Imm)];
+    CCRhs = Regs[Inst.ExtraCount];
+    BROPT_COUNT_INST(); // logical CondBr
+    ++LC.CondBranches;
+    const bool Taken =
+        evalCC(static_cast<CondCode>(Inst.SubOp & 7), CCLhs, CCRhs);
+    if (Taken)
+      ++LC.TakenBranches;
+    if (Pred)
+      Pred->observe(Inst.Extra, Taken);
+    Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(LoadCmpBr) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Load
+    ++LC.Loads;
+    int64_t Address = Inst.A.read(Regs) + Inst.Imm;
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("load from invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Regs[Inst.Dest] = Mem[static_cast<size_t>(Address)];
+    BROPT_COUNT_INST(); // logical Cmp
+    ++LC.Compares;
+    CCLhs = Regs[Inst.ExtraCount];
+    CCRhs = Inst.B.read(Regs);
+    BROPT_COUNT_INST(); // logical CondBr
+    ++LC.CondBranches;
+    const bool Taken = evalCC(static_cast<CondCode>(Inst.SubOp), CCLhs, CCRhs);
+    if (Taken)
+      ++LC.TakenBranches;
+    if (Pred)
+      Pred->observe(Inst.Extra, Taken);
+    Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(ReadCharCmpBr) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical ReadChar
+    if (InputCursor < Input.size())
+      Regs[Inst.Dest] = static_cast<unsigned char>(Input[InputCursor++]);
+    else
+      Regs[Inst.Dest] = -1;
+    BROPT_COUNT_INST(); // logical Cmp
+    ++LC.Compares;
+    CCLhs = Inst.A.read(Regs);
+    CCRhs = Inst.B.read(Regs);
+    BROPT_COUNT_INST(); // logical CondBr
+    ++LC.CondBranches;
+    const bool Taken = evalCC(static_cast<CondCode>(Inst.SubOp), CCLhs, CCRhs);
+    if (Taken)
+      ++LC.TakenBranches;
+    if (Pred)
+      Pred->observe(Inst.Extra, Taken);
+    Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_DISPATCH();
+  }
+
+  // The jump macro-ops stand for two logical instructions: the folded
+  // straight-line op, then the unconditional Jump.
+
+  BROPT_OP(MoveJump) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Move
+    Regs[Inst.Dest] = Inst.A.read(Regs);
+    BROPT_COUNT_INST(); // logical Jump
+    ++LC.UncondJumps;
+    Index = Inst.Target0;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(BinJump) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Binary
+    int64_t Lhs = Inst.A.read(Regs);
+    int64_t Rhs = Inst.B.read(Regs);
+    int64_t Value = 0;
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp), Lhs, Rhs, Value);
+    Regs[Inst.Dest] = Value;
+    BROPT_COUNT_INST(); // logical Jump
+    ++LC.UncondJumps;
+    Index = Inst.Target0;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(LoadJump) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Load
+    ++LC.Loads;
+    int64_t Address = Inst.A.read(Regs) + Inst.Imm;
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("load from invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Regs[Inst.Dest] = Mem[static_cast<size_t>(Address)];
+    BROPT_COUNT_INST(); // logical Jump
+    ++LC.UncondJumps;
+    Index = Inst.Target0;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(StoreJump) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Store
+    ++LC.Stores;
+    int64_t Address = Inst.A.read(Regs) + Inst.Imm;
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("store to invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Mem[static_cast<size_t>(Address)] = Inst.B.read(Regs);
+    BROPT_COUNT_INST(); // logical Jump
+    ++LC.UncondJumps;
+    Index = Inst.Target0;
+    BROPT_DISPATCH();
+  }
+
+  // Straight-line pair macro-ops: the slot after them holds the absorbed
+  // (now stale) second instruction, so they advance Index by two.
+
+  BROPT_OP(LoadBin) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Load
+    ++LC.Loads;
+    int64_t Address = Inst.A.read(Regs) + Inst.Imm;
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("load from invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Regs[Inst.Dest] = Mem[static_cast<size_t>(Address)];
+    BROPT_COUNT_INST(); // logical Binary
+    int64_t Lhs = Regs[Inst.Target0];
+    int64_t Rhs = Regs[Inst.Target1];
+    int64_t Value = 0;
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp), Lhs, Rhs, Value);
+    Regs[Inst.Extra] = Value;
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(Bin2) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // first logical Binary
+    int64_t Lhs = Inst.A.read(Regs);
+    int64_t Rhs = Inst.B.read(Regs);
+    int64_t Value = 0;
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp & 15), Lhs, Rhs, Value);
+    Regs[Inst.Dest] = Value;
+    BROPT_COUNT_INST(); // second logical Binary
+    Lhs = Regs[Inst.Target0];
+    Rhs = Regs[Inst.Target1];
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp >> 4), Lhs, Rhs, Value);
+    Regs[Inst.Extra] = Value;
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(BinStore) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Binary
+    int64_t Lhs = Inst.A.read(Regs);
+    int64_t Rhs = Inst.B.read(Regs);
+    int64_t Value = 0;
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp), Lhs, Rhs, Value);
+    Regs[Inst.Dest] = Value;
+    BROPT_COUNT_INST(); // logical Store
+    ++LC.Stores;
+    int64_t Address = Regs[Inst.Extra] + Inst.Imm;
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("store to invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Mem[static_cast<size_t>(Address)] = Regs[Inst.ExtraCount];
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(BinStoreJump) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Binary
+    int64_t Lhs = Inst.A.read(Regs);
+    int64_t Rhs = Inst.B.read(Regs);
+    int64_t Value = 0;
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp), Lhs, Rhs, Value);
+    Regs[Inst.Dest] = Value;
+    BROPT_COUNT_INST(); // logical Store
+    ++LC.Stores;
+    int64_t Address = Regs[Inst.Extra] + Inst.Imm;
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("store to invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Mem[static_cast<size_t>(Address)] = Regs[Inst.ExtraCount];
+    BROPT_COUNT_INST(); // logical Jump
+    ++LC.UncondJumps;
+    Index = Inst.Target0;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(Move2) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // first logical Move
+    Regs[Inst.Dest] = Inst.A.read(Regs);
+    BROPT_COUNT_INST(); // second logical Move
+    Regs[Inst.Extra] = Regs[Inst.ExtraCount];
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(LoadBinStore) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Load
+    ++LC.Loads;
+    int64_t Address = Inst.A.read(Regs) + Inst.Imm;
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("load from invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Regs[Inst.Dest] = Mem[static_cast<size_t>(Address)];
+    BROPT_COUNT_INST(); // logical Binary
+    int64_t Lhs = Regs[Inst.Target0];
+    int64_t Rhs = Regs[Inst.Target1];
+    int64_t Value = 0;
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp), Lhs, Rhs, Value);
+    Regs[Inst.Extra] = Value;
+    BROPT_COUNT_INST(); // logical Store
+    ++LC.Stores;
+    Address = Regs[Inst.B.Slot] + static_cast<int32_t>(Inst.ExtraCount);
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("store to invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Mem[static_cast<size_t>(Address)] = Value;
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(LoadBinStoreJump) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Load
+    ++LC.Loads;
+    int64_t Address =
+        Inst.A.read(Regs) +
+        static_cast<int32_t>(static_cast<uint32_t>(Inst.Imm));
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("load from invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Regs[Inst.Dest] = Mem[static_cast<size_t>(Address)];
+    BROPT_COUNT_INST(); // logical Binary
+    int64_t Lhs = Regs[Inst.Target0];
+    int64_t Rhs = Regs[Inst.Target1];
+    int64_t Value = 0;
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp), Lhs, Rhs, Value);
+    Regs[Inst.Extra] = Value;
+    BROPT_COUNT_INST(); // logical Store
+    ++LC.Stores;
+    Address = Regs[Inst.B.Slot] + static_cast<int32_t>(Inst.ExtraCount);
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("store to invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Mem[static_cast<size_t>(Address)] = Value;
+    BROPT_COUNT_INST(); // logical Jump
+    ++LC.UncondJumps;
+    Index = static_cast<uint32_t>(static_cast<uint64_t>(Inst.Imm) >> 32);
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(StoreLoadBin) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical Store
+    ++LC.Stores;
+    int64_t Address =
+        Regs[Inst.B.Slot] +
+        static_cast<int32_t>(
+            static_cast<uint32_t>(static_cast<uint64_t>(Inst.Imm) >> 32));
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("store to invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Mem[static_cast<size_t>(Address)] = Regs[Inst.ExtraCount];
+    BROPT_COUNT_INST(); // logical Load
+    ++LC.Loads;
+    Address = Inst.A.read(Regs) +
+              static_cast<int32_t>(static_cast<uint32_t>(Inst.Imm));
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("load from invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Regs[Inst.Dest] = Mem[static_cast<size_t>(Address)];
+    BROPT_COUNT_INST(); // logical Binary
+    int64_t Lhs = Regs[Inst.Target0];
+    int64_t Rhs = Regs[Inst.Target1];
+    int64_t Value = 0;
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp), Lhs, Rhs, Value);
+    Regs[Inst.Extra] = Value;
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(PutCharLoadBin) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical PutChar
+    Result.Output.push_back(
+        static_cast<char>(Regs[Inst.B.Slot] & 0xff));
+    BROPT_COUNT_INST(); // logical Load
+    ++LC.Loads;
+    int64_t Address = Inst.A.read(Regs) + Inst.Imm;
+    if (Address < 0 || static_cast<uint64_t>(Address) >= MemSize) {
+      flush();
+      trap(formatString("load from invalid address %lld",
+                        static_cast<long long>(Address)));
+      return 0;
+    }
+    Regs[Inst.Dest] = Mem[static_cast<size_t>(Address)];
+    BROPT_COUNT_INST(); // logical Binary
+    int64_t Lhs = Regs[Inst.Target0];
+    int64_t Rhs = Regs[Inst.Target1];
+    int64_t Value = 0;
+    BROPT_EVAL_BINARY(static_cast<BinaryOp>(Inst.SubOp), Lhs, Rhs, Value);
+    Regs[Inst.Extra] = Value;
+    BROPT_NEXT();
+  }
+
+  BROPT_OP(ProfileCmpBr) {
+    const DecodedInst &Inst = Insts[Index];
+    // The profiling hook never counts toward TotalInsts.
+    ++LC.ProfileHooks;
+    if (OnProfile)
+      OnProfile(Inst.Extra, Regs[Inst.ExtraCount]);
+    BROPT_COUNT_INST(); // logical Cmp
+    ++LC.Compares;
+    CCLhs = Inst.A.read(Regs);
+    CCRhs = Inst.B.read(Regs);
+    BROPT_COUNT_INST(); // logical CondBr
+    ++LC.CondBranches;
+    const bool Taken = evalCC(static_cast<CondCode>(Inst.SubOp), CCLhs, CCRhs);
+    if (Taken)
+      ++LC.TakenBranches;
+    if (Pred)
+      Pred->observe(Inst.Dest, Taken);
+    Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_DISPATCH();
+  }
+
+  BROPT_OP(ReadCharProfileCmpBr) {
+    const DecodedInst &Inst = Insts[Index];
+    BROPT_COUNT_INST(); // logical ReadChar
+    if (InputCursor < Input.size())
+      Regs[Inst.Dest] = static_cast<unsigned char>(Input[InputCursor++]);
+    else
+      Regs[Inst.Dest] = -1;
+    ++LC.ProfileHooks; // the hook, between the read and the compare
+    if (OnProfile)
+      OnProfile(Inst.Extra, Regs[Inst.ExtraCount]);
+    BROPT_COUNT_INST(); // logical Cmp
+    ++LC.Compares;
+    CCLhs = Inst.A.read(Regs);
+    CCRhs = Inst.B.read(Regs);
+    BROPT_COUNT_INST(); // logical CondBr
+    ++LC.CondBranches;
+    const bool Taken = evalCC(static_cast<CondCode>(Inst.SubOp), CCLhs, CCRhs);
+    if (Taken)
+      ++LC.TakenBranches;
+    if (Pred)
+      Pred->observe(static_cast<uint32_t>(Inst.Imm), Taken);
+    Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_DISPATCH();
+  }
+
+#if !BROPT_COMPUTED_GOTO
+  }
+  BROPT_UNREACHABLE("unhandled decoded opcode");
+#endif
+
+#undef BROPT_NEXT
+#undef BROPT_OP
+#undef BROPT_DISPATCH
+#undef BROPT_EVAL_BINARY
+#undef BROPT_COUNT_INST
+}
+
+bool bropt::fusedDispatchIsThreaded() { return BROPT_COMPUTED_GOTO != 0; }

@@ -94,6 +94,42 @@ TEST(EvaluatorTest, OptionChangesMissTheCache) {
   EXPECT_FALSE(Third.ReorderedCacheHit);
 }
 
+TEST(EvaluatorTest, DecodeCacheReusesPreparedPrograms) {
+  Evaluator Eval; // default engine: fused
+  Workload W = tinyWorkload();
+  CompileOptions Options;
+
+  WorkloadRecord First = Eval.evaluateWorkload(W, Options);
+  ASSERT_TRUE(First.Eval.ok()) << First.Eval.Error;
+  EXPECT_FALSE(First.BaselineDecodeHit);
+  EXPECT_FALSE(First.ReorderedDecodeHit);
+  EXPECT_EQ(Eval.stats().DecodeMisses, 2u);
+  EXPECT_EQ(Eval.stats().DecodeHits, 0u);
+
+  WorkloadRecord Second = Eval.evaluateWorkload(W, Options);
+  ASSERT_TRUE(Second.Eval.ok()) << Second.Eval.Error;
+  EXPECT_TRUE(Second.BaselineDecodeHit);
+  EXPECT_TRUE(Second.ReorderedDecodeHit);
+  EXPECT_EQ(Eval.stats().DecodeHits, 2u);
+  EXPECT_EQ(Eval.stats().DecodeMisses, 2u);
+
+  // Cached fused programs must yield identical measurements.
+  expectSameMeasurement(First.Eval.Baseline, Second.Eval.Baseline);
+  expectSameMeasurement(First.Eval.Reordered, Second.Eval.Reordered);
+
+  // The decoded reference engine keeps the PR-1 per-run self-decode and
+  // never touches the fuse cache — it is the comparison baseline.
+  EvaluatorOptions DecodedMode;
+  DecodedMode.Mode = Interpreter::Mode::Decoded;
+  Evaluator Decoded(DecodedMode);
+  WorkloadRecord Reference = Decoded.evaluateWorkload(W, Options);
+  ASSERT_TRUE(Reference.Eval.ok()) << Reference.Eval.Error;
+  EXPECT_EQ(Decoded.stats().DecodeHits, 0u);
+  EXPECT_EQ(Decoded.stats().DecodeMisses, 0u);
+  expectSameMeasurement(First.Eval.Baseline, Reference.Eval.Baseline);
+  expectSameMeasurement(First.Eval.Reordered, Reference.Eval.Reordered);
+}
+
 TEST(EvaluatorTest, ClearCacheForcesRecompilation) {
   Evaluator Eval;
   Workload W = tinyWorkload();

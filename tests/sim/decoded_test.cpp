@@ -1,11 +1,13 @@
-//===- tests/sim/decoded_test.cpp - Decoded-engine differential tests -----===//
+//===- tests/sim/decoded_test.cpp - Engine differential tests -------------===//
 //
-// The pre-decoded flat-dispatch engine must be observationally identical
-// to the tree-walking reference interpreter: same DynamicCounts, same
-// predictor statistics, same output bytes, same exit values, and same trap
-// diagnostics, on every workload and example program, with and without an
-// attached predictor.  These tests run both engines over everything and
-// assert bitwise equality.
+// The pre-decoded flat-dispatch engine and the fused threaded-dispatch
+// engine must both be observationally identical to the tree-walking
+// reference interpreter: same DynamicCounts, same predictor statistics,
+// same output bytes, same exit values, and same trap diagnostics, on
+// every workload and example program, with and without an attached
+// predictor.  These tests run all three engines over everything and
+// assert bitwise equality.  Fusion-specific shapes are covered separately
+// in fused_test.cpp.
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,16 +37,19 @@ void expectCountsEqual(const DynamicCounts &Tree, const DynamicCounts &Flat) {
   EXPECT_EQ(Tree.ProfileHooks, Flat.ProfileHooks);
 }
 
-/// Runs \p M under both engines (optionally with a fresh predictor each)
-/// and asserts every observable field matches.  \returns the tree result.
+/// Runs \p M under all three engines (optionally with a fresh predictor
+/// each) and asserts every observable field matches the tree walker's.
+/// \returns the tree result.
 RunResult expectIdenticalRuns(const Module &M, std::string_view Input,
                               bool WithPredictor,
                               const std::string &Context) {
   SCOPED_TRACE(Context);
-  RunResult Results[2];
-  const Interpreter::Mode Modes[2] = {Interpreter::Mode::Tree,
-                                      Interpreter::Mode::Decoded};
-  for (int Index = 0; Index < 2; ++Index) {
+  const Interpreter::Mode Modes[] = {Interpreter::Mode::Tree,
+                                     Interpreter::Mode::Decoded,
+                                     Interpreter::Mode::Fused};
+  const char *ModeNames[] = {"tree", "decoded", "fused"};
+  RunResult Results[3];
+  for (int Index = 0; Index < 3; ++Index) {
     Interpreter Interp(M, Modes[Index]);
     Interp.setInput(Input);
     std::optional<BranchPredictor> Predictor;
@@ -54,14 +59,19 @@ RunResult expectIdenticalRuns(const Module &M, std::string_view Input,
     }
     Results[Index] = Interp.run();
   }
-  const RunResult &Tree = Results[0], &Flat = Results[1];
-  EXPECT_EQ(Tree.Trapped, Flat.Trapped);
-  EXPECT_EQ(Tree.TrapReason, Flat.TrapReason);
-  EXPECT_EQ(Tree.ExitValue, Flat.ExitValue);
-  EXPECT_EQ(Tree.Output, Flat.Output);
-  expectCountsEqual(Tree.Counts, Flat.Counts);
-  EXPECT_EQ(Tree.Prediction.Branches, Flat.Prediction.Branches);
-  EXPECT_EQ(Tree.Prediction.Mispredictions, Flat.Prediction.Mispredictions);
+  const RunResult &Tree = Results[0];
+  for (int Index = 1; Index < 3; ++Index) {
+    SCOPED_TRACE(ModeNames[Index]);
+    const RunResult &Other = Results[Index];
+    EXPECT_EQ(Tree.Trapped, Other.Trapped);
+    EXPECT_EQ(Tree.TrapReason, Other.TrapReason);
+    EXPECT_EQ(Tree.ExitValue, Other.ExitValue);
+    EXPECT_EQ(Tree.Output, Other.Output);
+    expectCountsEqual(Tree.Counts, Other.Counts);
+    EXPECT_EQ(Tree.Prediction.Branches, Other.Prediction.Branches);
+    EXPECT_EQ(Tree.Prediction.Mispredictions,
+              Other.Prediction.Mispredictions);
+  }
   return Results[0];
 }
 
@@ -170,10 +180,11 @@ TEST(DecodedDifferentialTest, ProfileHookCallbacksMatch) {
   Builder.setInsertionPoint(Exit);
   Builder.emitRet(Operand::reg(Counter));
 
-  std::vector<std::pair<unsigned, int64_t>> Seen[2];
-  const Interpreter::Mode Modes[2] = {Interpreter::Mode::Tree,
-                                      Interpreter::Mode::Decoded};
-  for (int Index = 0; Index < 2; ++Index) {
+  std::vector<std::pair<unsigned, int64_t>> Seen[3];
+  const Interpreter::Mode Modes[3] = {Interpreter::Mode::Tree,
+                                      Interpreter::Mode::Decoded,
+                                      Interpreter::Mode::Fused};
+  for (int Index = 0; Index < 3; ++Index) {
     Interpreter Interp(M, Modes[Index]);
     Interp.setProfileCallback([&Seen, Index](unsigned Id, int64_t Value) {
       Seen[Index].emplace_back(Id, Value);
@@ -183,6 +194,7 @@ TEST(DecodedDifferentialTest, ProfileHookCallbacksMatch) {
     EXPECT_EQ(Result.Counts.ProfileHooks, 5u);
   }
   EXPECT_EQ(Seen[0], Seen[1]);
+  EXPECT_EQ(Seen[0], Seen[2]);
   ASSERT_EQ(Seen[0].size(), 5u);
   EXPECT_EQ(Seen[0][0], (std::pair<unsigned, int64_t>{7, 0}));
   EXPECT_EQ(Seen[0][4], (std::pair<unsigned, int64_t>{7, 4}));
@@ -214,12 +226,14 @@ TEST(DecodedDifferentialTest, TrapDiagnosticsMatch) {
     IRBuilder Builder(Entry);
     Builder.emitBinary(BinaryOp::Div, R, Operand::imm(10), Operand::reg(0));
     Builder.emitRet(Operand::reg(R));
-    Interpreter Tree(M, Interpreter::Mode::Tree);
-    Interpreter Flat(M, Interpreter::Mode::Decoded);
-    RunResult TreeResult = Tree.run("main", {0});
-    RunResult FlatResult = Flat.run("main", {0});
-    EXPECT_TRUE(TreeResult.Trapped);
-    EXPECT_EQ(TreeResult.TrapReason, FlatResult.TrapReason);
+    RunResult TreeResult =
+        Interpreter(M, Interpreter::Mode::Tree).run("main", {0});
+    for (Interpreter::Mode Mode :
+         {Interpreter::Mode::Decoded, Interpreter::Mode::Fused}) {
+      RunResult Other = Interpreter(M, Mode).run("main", {0});
+      EXPECT_TRUE(TreeResult.Trapped);
+      EXPECT_EQ(TreeResult.TrapReason, Other.TrapReason);
+    }
   }
   // Missing entry point and argument-count mismatch.
   {
@@ -228,7 +242,8 @@ TEST(DecodedDifferentialTest, TrapDiagnosticsMatch) {
     BasicBlock *Entry = F->createBlock();
     IRBuilder(Entry).emitRet();
     for (Interpreter::Mode Mode :
-         {Interpreter::Mode::Tree, Interpreter::Mode::Decoded}) {
+         {Interpreter::Mode::Tree, Interpreter::Mode::Decoded,
+          Interpreter::Mode::Fused}) {
       RunResult Missing = Interpreter(M, Mode).run("nonexistent");
       EXPECT_TRUE(Missing.Trapped);
       EXPECT_NE(Missing.TrapReason.find("not found"), std::string::npos);
@@ -249,7 +264,8 @@ TEST(DecodedDifferentialTest, InstructionLimitMatches) {
   Builder.emitMove(R, Operand::imm(0));
   Builder.emitJump(Loop);
   for (Interpreter::Mode Mode :
-       {Interpreter::Mode::Tree, Interpreter::Mode::Decoded}) {
+       {Interpreter::Mode::Tree, Interpreter::Mode::Decoded,
+        Interpreter::Mode::Fused}) {
     Interpreter Interp(M, Mode);
     Interp.setInstructionLimit(999);
     RunResult Result = Interp.run();
@@ -260,8 +276,9 @@ TEST(DecodedDifferentialTest, InstructionLimitMatches) {
 }
 
 TEST(DecodedDifferentialTest, ModuleMutationsAreObserved) {
-  // The decoded engine re-decodes per run, so IR mutations between runs —
-  // here a jump becoming a layout fall-through — must take effect.
+  // Without a prepared program the decoded and fused engines re-decode
+  // per run, so IR mutations between runs — here a jump becoming a layout
+  // fall-through — must take effect.
   Module M;
   Function *F = M.createFunction("main", 0);
   BasicBlock *A = F->createBlock();

@@ -47,7 +47,7 @@ namespace {
                "[--ijmp-cost N]\n"
                "              [--emit-ir] [--profile FILE] [--stats] "
                "[--run] [--predict]\n"
-               "              [--interp decoded|tree]\n");
+               "              [--interp fused|decoded|tree]\n");
   std::exit(2);
 }
 
@@ -72,7 +72,7 @@ struct CliOptions {
   bool Stats = false;
   bool Run = false;
   bool Predict = false;
-  Interpreter::Mode InterpMode = Interpreter::Mode::Decoded;
+  Interpreter::Mode InterpMode = Interpreter::Mode::Fused;
 };
 
 CliOptions parseArgs(int Argc, char **Argv) {
@@ -117,12 +117,14 @@ CliOptions parseArgs(int Argc, char **Argv) {
       Options.Predict = true;
     } else if (Arg == "--interp") {
       std::string Mode = nextValue();
-      if (Mode == "decoded")
+      if (Mode == "fused")
+        Options.InterpMode = Interpreter::Mode::Fused;
+      else if (Mode == "decoded")
         Options.InterpMode = Interpreter::Mode::Decoded;
       else if (Mode == "tree")
         Options.InterpMode = Interpreter::Mode::Tree;
       else
-        usageError("--interp expects 'decoded' or 'tree'");
+        usageError("--interp expects 'fused', 'decoded', or 'tree'");
     } else if (!Arg.empty() && Arg[0] == '-') {
       usageError(("unknown option " + Arg).c_str());
     } else if (Options.SourcePath.empty()) {
