@@ -2,16 +2,19 @@
 //
 // Runs the sweeps behind the table benches (heuristic sets I-III, the
 // Table 5 predictor, and the Table 6 predictor sweep) across the engine
-// matrix — fused (threaded dispatch + superinstructions) and decoded
-// (PR-1 flat dispatch), each under the serial and the threaded harness —
-// and emits two JSON documents:
+// matrix — fused (threaded dispatch + superinstructions), decoded (PR-1
+// flat dispatch), and adaptive (online tiering, docs/RUNTIME.md), each
+// under the serial and the threaded harness — and emits two JSON
+// documents:
 //
 //  * BENCH_tables.json (--out): per-workload dynamic counts and timings
 //    from the fused/threaded configuration, regenerated locally, not
 //    committed;
 //  * BENCH_engine.json (--engine-out): the engine perf trajectory —
 //    warmup + median-of-N wall times per configuration, dynamic
-//    instruction rates, fused-over-decoded speedups, fuse and cache
+//    instruction rates, fused-over-decoded speedups, adaptive tiering
+//    counters and overhead-vs-oracle ratio, a dedicated phase-shift
+//    benchmark (adaptive vs never-tiering decoded), and fuse and cache
 //    statistics.  This file IS committed so speedups persist across PRs.
 //
 // Every configuration replays identical logical work: dynamic counts are
@@ -31,6 +34,8 @@
 #include "BenchUtil.h"
 
 #include "profile/ProfileData.h"
+#include "runtime/AdaptiveController.h"
+#include "runtime/HotnessSampler.h"
 #include "sim/Fuse.h"
 
 #include <cstring>
@@ -250,7 +255,10 @@ void checkAgainstReference(const char *Name, const SuiteResult &Suite,
 
 /// Aggregate fuse statistics over every standard workload at the default
 /// options: both builds, the baseline one fused against the reordered
-/// compile's pass-1 profile, mirroring what the Evaluator prepares.
+/// compile's pass-1 profile, mirroring what the Evaluator prepares.  Each
+/// build is fused with measured per-branch bias from its training input —
+/// the hot-first layout only moves blocks when it has hotness to act on,
+/// so leaving it out reported blocks_moved = 0 forever.
 FuseStats collectFuseStats() {
   FuseStats Total;
   CompileOptions Options;
@@ -265,13 +273,134 @@ FuseStats collectFuseStats() {
     ProfileData Profile;
     if (Profile.deserialize(Reordered.ProfileText))
       FO.Profile = &Profile;
+    BranchHotness BaselineHot =
+        collectBranchHotness(*Baseline.M, W.TrainingInput);
+    FO.Hotness = &BaselineHot;
     decodeFused(*Baseline.M, FO, &Stats);
     Total += Stats;
     Stats = {};
-    decodeFused(*Reordered.M, {}, &Stats);
+    BranchHotness ReorderedHot =
+        collectBranchHotness(*Reordered.M, W.TrainingInput);
+    FuseOptions ReorderedFO;
+    ReorderedFO.Hotness = &ReorderedHot;
+    decodeFused(*Reordered.M, ReorderedFO, &Stats);
     Total += Stats;
   }
   return Total;
+}
+
+const char *modeName(Interpreter::Mode Mode) {
+  switch (Mode) {
+  case Interpreter::Mode::Fused:
+    return "fused";
+  case Interpreter::Mode::Decoded:
+    return "decoded";
+  case Interpreter::Mode::Adaptive:
+    return "adaptive";
+  case Interpreter::Mode::Tree:
+    return "tree";
+  }
+  return "unknown";
+}
+
+/// Controller knobs for the adaptive sweep configurations.  The library
+/// defaults target long-running processes; the bench workloads are small,
+/// so the threshold is lowered until they reliably tier up during warmup
+/// and the timed repetitions measure the steady (fused) state.
+RuntimeOptions benchRuntimeOptions() {
+  RuntimeOptions Runtime;
+  Runtime.HotThreshold = 2048;
+  Runtime.SampleInterval = 64;
+  return Runtime;
+}
+
+/// The workload online tiering exists for: a classifier whose input byte
+/// mix flips abruptly halfway through, so the arm ordering that wins the
+/// first half loses the second.  The offline two-pass flow bakes in one
+/// ordering for good; the adaptive controller detects the drift and
+/// re-optimizes mid-run.  Measured against the never-tiering decoded
+/// engine on the same pre-decoded program.
+struct PhaseShiftResult {
+  size_t InputBytes = 0;
+  TimingStats Decoded;
+  TimingStats Adaptive;
+  RuntimeStats Tiering;
+};
+
+PhaseShiftResult runPhaseShiftBench(unsigned Warmup, unsigned Reps,
+                                    bool Smoke) {
+  static const char *Source = R"(
+int digits = 0;
+int upper = 0;
+int lower = 0;
+int main() {
+  int c;
+  while ((c = getchar()) != -1) {
+    if (c < 58) { digits = digits + 1; }
+    else if (c < 91) { upper = upper + 1; }
+    else if (c < 123) { lower = lower + 1; }
+    else { lower = lower; }
+  }
+  printint(digits);
+  printint(upper);
+  printint(lower);
+  return digits + upper * 2 + lower * 3;
+}
+)";
+  PhaseShiftResult Result;
+  CompileResult Compiled = compileBaseline(Source, CompileOptions());
+  if (!Compiled.ok()) {
+    std::fprintf(stderr, "bench error: phase-shift compile failed: %s\n",
+                 Compiled.Error.c_str());
+    std::exit(1);
+  }
+  const size_t Half = Smoke ? 100'000 : 1'000'000;
+  std::string Input;
+  Input.reserve(2 * Half);
+  for (size_t Index = 0; Index < Half; ++Index)
+    Input += static_cast<char>('0' + Index % 10);
+  for (size_t Index = 0; Index < Half; ++Index)
+    Input += static_cast<char>('a' + Index % 26);
+  Result.InputBytes = Input.size();
+
+  const DecodedModule Plain = DecodedModule::decode(*Compiled.M);
+  AdaptiveController Controller(*Compiled.M, benchRuntimeOptions());
+  RunResult DecodedResult, AdaptiveResult;
+  auto RunDecoded = [&] {
+    Interpreter Interp(*Compiled.M, Interpreter::Mode::Decoded);
+    Interp.setPreparedProgram(&Plain);
+    Interp.setInput(Input);
+    DecodedResult = Interp.run();
+  };
+  auto RunAdaptive = [&] {
+    Interpreter Interp(*Compiled.M, Interpreter::Mode::Adaptive);
+    Controller.attach(Interp);
+    Interp.setInput(Input);
+    AdaptiveResult = Interp.run();
+  };
+  // Warmup tiers the controller up; timed reps then interleave the two
+  // engines so machine-load drift lands on both evenly (same methodology
+  // as the sweep matrix).
+  for (unsigned Iter = 0; Iter < std::max(1u, Warmup); ++Iter) {
+    RunDecoded();
+    RunAdaptive();
+  }
+  if (DecodedResult.Output != AdaptiveResult.Output ||
+      DecodedResult.ExitValue != AdaptiveResult.ExitValue ||
+      DecodedResult.Counts.TotalInsts != AdaptiveResult.Counts.TotalInsts) {
+    std::fprintf(stderr, "bench error: adaptive and decoded engines "
+                         "disagree on the phase-shift workload\n");
+    std::exit(1);
+  }
+  std::vector<double> DecodedSamples, AdaptiveSamples;
+  for (unsigned Rep = 0; Rep < std::max(1u, Reps); ++Rep) {
+    DecodedSamples.push_back(timeOnce(RunDecoded));
+    AdaptiveSamples.push_back(timeOnce(RunAdaptive));
+  }
+  Result.Decoded = summarizeTimings(std::move(DecodedSamples));
+  Result.Adaptive = summarizeTimings(std::move(AdaptiveSamples));
+  Result.Tiering = Controller.stats();
+  return Result;
 }
 
 } // namespace
@@ -328,24 +457,29 @@ int main(int Argc, char **Argv) {
   // The engine matrix.  "threaded"/"serial" name the workload harness
   // (thread pool size); the dispatch loop itself is always single
   // threaded per run.  Fused vs. decoded under the *same* harness
-  // isolates the dispatch + superinstruction win.
+  // isolates the dispatch + superinstruction win; adaptive vs. fused
+  // isolates the online tiering overhead against the offline-profiled
+  // oracle, and adaptive vs. decoded is the payoff of tiering at all.
   EngineConfig Configs[] = {
       {"fused-threaded", Interpreter::Mode::Fused, true, {}, {}, {}},
       {"fused-serial", Interpreter::Mode::Fused, false, {}, {}, {}},
       {"decoded-threaded", Interpreter::Mode::Decoded, true, {}, {}, {}},
       {"decoded-serial", Interpreter::Mode::Decoded, false, {}, {}, {}},
+      {"adaptive-threaded", Interpreter::Mode::Adaptive, true, {}, {}, {}},
+      {"adaptive-serial", Interpreter::Mode::Adaptive, false, {}, {}, {}},
   };
 
   std::printf("running %zu sweeps x %zu workloads, %u warmup + %u reps "
               "per engine config...\n",
               Sweeps.size(), standardWorkloads().size(), Warmup, Reps);
   // One Evaluator per configuration: the warmup repetitions populate the
-  // compile and decode caches, so the timed repetitions measure engine
-  // execution, which is what the configs differ in.  Timed reps are
-  // interleaved round-robin across the configs so slow drift in machine
-  // load (frequency scaling, noisy neighbours) lands evenly on every
-  // config instead of on whichever happened to run last — the speedup
-  // ratio then compares samples taken under the same conditions.
+  // compile and decode caches — and, for the adaptive configs, tier the
+  // cached controllers up — so the timed repetitions measure steady-state
+  // engine execution, which is what the configs differ in.  Timed reps
+  // are interleaved round-robin across the configs so slow drift in
+  // machine load (frequency scaling, noisy neighbours) lands evenly on
+  // every config instead of on whichever happened to run last — the
+  // speedup ratio then compares samples taken under the same conditions.
   constexpr size_t NumConfigs = sizeof(Configs) / sizeof(Configs[0]);
   std::vector<std::unique_ptr<Evaluator>> ConfigEvals;
   for (EngineConfig &Config : Configs) {
@@ -353,6 +487,7 @@ int main(int Argc, char **Argv) {
     Options.Threads = Config.Threaded ? Threads : 1;
     Options.Mode = Config.Mode;
     Options.CacheCompiles = true;
+    Options.Runtime = benchRuntimeOptions();
     ConfigEvals.push_back(std::make_unique<Evaluator>(Options));
     for (unsigned Iter = 0; Iter < Warmup; ++Iter)
       Config.Final = runSuite(*ConfigEvals.back(), Sweeps);
@@ -376,16 +511,29 @@ int main(int Argc, char **Argv) {
   const EngineConfig &FusedSerial = Configs[1];
   const EngineConfig &DecodedThreaded = Configs[2];
   const EngineConfig &DecodedSerial = Configs[3];
+  const EngineConfig &AdaptiveThreaded = Configs[4];
+  const EngineConfig &AdaptiveSerial = Configs[5];
+  auto Ratio = [](double Num, double Den) {
+    return Den > 0.0 ? Num / Den : 0.0;
+  };
   const double SpeedupThreaded =
-      FusedThreaded.Timing.Median > 0.0
-          ? DecodedThreaded.Timing.Median / FusedThreaded.Timing.Median
-          : 0.0;
+      Ratio(DecodedThreaded.Timing.Median, FusedThreaded.Timing.Median);
   const double SpeedupSerial =
-      FusedSerial.Timing.Median > 0.0
-          ? DecodedSerial.Timing.Median / FusedSerial.Timing.Median
-          : 0.0;
+      Ratio(DecodedSerial.Timing.Median, FusedSerial.Timing.Median);
+  const double AdaptiveOverDecodedSerial =
+      Ratio(DecodedSerial.Timing.Median, AdaptiveSerial.Timing.Median);
+  const double AdaptiveOverDecodedThreaded =
+      Ratio(DecodedThreaded.Timing.Median, AdaptiveThreaded.Timing.Median);
+  // Steady-state tiering overhead against the offline-profiled oracle:
+  // 1.0 means the adaptive engine matched the ahead-of-time fused build.
+  const double AdaptiveOverheadVsFused =
+      Ratio(AdaptiveSerial.Timing.Median, FusedSerial.Timing.Median);
   std::printf("  fused over decoded: %.2fx serial, %.2fx threaded\n",
               SpeedupSerial, SpeedupThreaded);
+  std::printf("  adaptive over decoded: %.2fx serial, %.2fx threaded "
+              "(steady-state overhead vs fused %.3fx)\n",
+              AdaptiveOverDecodedSerial, AdaptiveOverDecodedThreaded,
+              AdaptiveOverheadVsFused);
 
   // Same logical work on every engine — cheap invariant, always on.
   for (const EngineConfig &Config : Configs)
@@ -412,10 +560,43 @@ int main(int Argc, char **Argv) {
                           VerifySweeps);
     checkAgainstReference("decoded", DecodedThreaded.Final, Sweeps,
                           Reference, VerifySweeps);
+    checkAgainstReference("adaptive", AdaptiveThreaded.Final, Sweeps,
+                          Reference, VerifySweeps);
     std::printf("  observables identical on all verified sweeps\n");
   }
 
   FuseStats Fusion = collectFuseStats();
+
+  // Tiering counters, summed over the first sweep's controllers in the
+  // serial adaptive configuration (snapshots are cumulative per cached
+  // controller, so summing every sweep would double-count; the first
+  // sweep is present in both smoke and full runs and its snapshot covers
+  // everything those controllers did across warmup and reps).
+  RuntimeStats Tiering;
+  if (!AdaptiveSerial.Final.Sweeps.empty())
+    for (const WorkloadRecord &Record : AdaptiveSerial.Final.Sweeps[0]) {
+      Tiering += Record.Eval.Baseline.Runtime;
+      Tiering += Record.Eval.Reordered.Runtime;
+    }
+  std::printf("  tiering: %llu tier-ups, %llu swaps, %llu drift events, "
+              "%llu recompiles (%.3fs)\n",
+              (unsigned long long)Tiering.TierUps,
+              (unsigned long long)Tiering.Swaps,
+              (unsigned long long)Tiering.DriftEvents,
+              (unsigned long long)Tiering.Recompiles,
+              Tiering.RecompileSeconds);
+
+  std::printf("running the phase-shift benchmark...\n");
+  PhaseShiftResult PhaseShift = runPhaseShiftBench(Warmup, Reps, Smoke);
+  const double PhaseShiftWin =
+      PhaseShift.Adaptive.Median > 0.0
+          ? PhaseShift.Decoded.Median / PhaseShift.Adaptive.Median
+          : 0.0;
+  std::printf("  phase-shift: adaptive %.2fx over decoded "
+              "(%.3fs vs %.3fs median, %llu recompiles)\n",
+              PhaseShiftWin, PhaseShift.Adaptive.Median,
+              PhaseShift.Decoded.Median,
+              (unsigned long long)PhaseShift.Tiering.Recompiles);
 
   std::ofstream Out(OutPath, std::ios::binary);
   if (!Out) {
@@ -458,9 +639,7 @@ int main(int Argc, char **Argv) {
     const EngineConfig &Config = Configs[Index];
     const uint64_t Insts = totalInsts(Config.Final);
     EngineOut << "    {\"name\": \"" << Config.Name << "\", \"mode\": \""
-              << (Config.Mode == Interpreter::Mode::Fused ? "fused"
-                                                          : "decoded")
-              << "\", \"harness\": \""
+              << modeName(Config.Mode) << "\", \"harness\": \""
               << (Config.Threaded ? "threaded" : "serial")
               << "\", \"wall_seconds\": ";
     writeTiming(EngineOut, Config.Timing);
@@ -475,14 +654,54 @@ int main(int Argc, char **Argv) {
               << ", \"decode_misses\": " << Config.Cache.DecodeMisses
               << ", \"baseline_hits\": " << Config.Cache.BaselineHits
               << ", \"reordered_hits\": " << Config.Cache.ReorderedHits
-              << "}}" << (Index + 1 < std::size(Configs) ? "," : "")
-              << "\n";
+              << ", \"adaptive_hits\": " << Config.Cache.AdaptiveHits
+              << ", \"adaptive_misses\": " << Config.Cache.AdaptiveMisses
+              << ", \"adaptive_refusions\": "
+              << Config.Cache.AdaptiveReFusions << "}}"
+              << (Index + 1 < std::size(Configs) ? "," : "") << "\n";
   }
   EngineOut << "  ],\n";
   EngineOut << "  \"speedup\": {\"fused_over_decoded_serial\": "
             << SpeedupSerial
             << ", \"fused_over_decoded_threaded\": " << SpeedupThreaded
+            << ", \"adaptive_over_decoded_serial\": "
+            << AdaptiveOverDecodedSerial
+            << ", \"adaptive_over_decoded_threaded\": "
+            << AdaptiveOverDecodedThreaded << "},\n";
+  const RuntimeOptions BenchRuntime = benchRuntimeOptions();
+  EngineOut << "  \"adaptive\": {\n";
+  EngineOut << "    \"knobs\": {\"hot_threshold\": "
+            << BenchRuntime.HotThreshold
+            << ", \"sample_interval\": " << BenchRuntime.SampleInterval
+            << ", \"drift_window\": " << BenchRuntime.DriftWindow
+            << ", \"max_recompiles\": " << BenchRuntime.MaxRecompiles
             << "},\n";
+  EngineOut << "    \"tiering\": {\"samples_taken\": "
+            << Tiering.SamplesTaken << ", \"tier_ups\": " << Tiering.TierUps
+            << ", \"swaps\": " << Tiering.Swaps
+            << ", \"deferred_swaps\": " << Tiering.DeferredSwaps
+            << ", \"drift_events\": " << Tiering.DriftEvents
+            << ", \"recompiles\": " << Tiering.Recompiles
+            << ", \"recompiles_suppressed\": "
+            << Tiering.RecompilesSuppressed
+            << ", \"recompile_seconds\": " << Tiering.RecompileSeconds
+            << ", \"samples_at_first_swap\": "
+            << Tiering.SamplesAtFirstSwap << "},\n";
+  EngineOut << "    \"overhead_vs_fused_serial\": " << AdaptiveOverheadVsFused
+            << ",\n";
+  EngineOut << "    \"phase_shift\": {\"input_bytes\": "
+            << PhaseShift.InputBytes << ", \"decoded_wall_seconds\": ";
+  writeTiming(EngineOut, PhaseShift.Decoded);
+  EngineOut << ", \"adaptive_wall_seconds\": ";
+  writeTiming(EngineOut, PhaseShift.Adaptive);
+  EngineOut << ", \"adaptive_over_decoded\": " << PhaseShiftWin
+            << ", \"tier_ups\": " << PhaseShift.Tiering.TierUps
+            << ", \"swaps\": " << PhaseShift.Tiering.Swaps
+            << ", \"drift_events\": " << PhaseShift.Tiering.DriftEvents
+            << ", \"recompiles\": " << PhaseShift.Tiering.Recompiles
+            << ", \"samples_at_first_swap\": "
+            << PhaseShift.Tiering.SamplesAtFirstSwap << "}\n";
+  EngineOut << "  },\n";
   EngineOut << "  \"fusion\": {\"fused_pairs\": " << Fusion.FusedPairs
             << ", \"fused_chains\": " << Fusion.FusedChains
             << ", \"chain_arms\": " << Fusion.ChainArms
@@ -504,6 +723,24 @@ int main(int Argc, char **Argv) {
                  "bench error: fused engine slower than decoded "
                  "(serial %.2fx, threaded %.2fx)\n",
                  SpeedupSerial, SpeedupThreaded);
+    return 1;
+  }
+  // Tiering must pay for itself: steady-state adaptive may never lose to
+  // the engine it tiers up from, neither on the sweeps nor on the
+  // phase-shift workload built to stress re-optimization.
+  if (FailIfSlower && (AdaptiveOverDecodedSerial < 1.0 ||
+                       AdaptiveOverDecodedThreaded < 1.0)) {
+    std::fprintf(stderr,
+                 "bench error: adaptive engine slower than decoded "
+                 "(serial %.2fx, threaded %.2fx)\n",
+                 AdaptiveOverDecodedSerial, AdaptiveOverDecodedThreaded);
+    return 1;
+  }
+  if (FailIfSlower && PhaseShiftWin < 1.0) {
+    std::fprintf(stderr,
+                 "bench error: adaptive engine slower than decoded on the "
+                 "phase-shift workload (%.2fx)\n",
+                 PhaseShiftWin);
     return 1;
   }
   return 0;

@@ -188,6 +188,20 @@ bropt::selectOrderingExhaustive(const std::vector<RangeInfo> &Infos) {
   return Best;
 }
 
+std::string bropt::orderingSignature(const OrderingDecision &Decision) {
+  std::string Sig;
+  for (size_t Index : Decision.Order) {
+    Sig += std::to_string(Index);
+    Sig += ',';
+  }
+  Sig += '|';
+  for (size_t Index : Decision.Eliminated) {
+    Sig += std::to_string(Index);
+    Sig += ',';
+  }
+  return Sig;
+}
+
 double bropt::probabilityBelow(const std::vector<RangeInfo> &Infos,
                                const std::vector<size_t> &Indices,
                                int64_t Lo) {

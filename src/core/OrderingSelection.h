@@ -31,6 +31,7 @@
 #include "core/Range.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace bropt {
@@ -81,6 +82,14 @@ double orderingCost(const std::vector<RangeInfo> &Infos,
 /// value space (probabilities summing to ~1) and share each target's
 /// ranges' Target pointer.  Requires at least one range.
 OrderingDecision selectOrdering(const std::vector<RangeInfo> &Infos);
+
+/// Compact encoding of a decision's *shape* — the test order and the
+/// eliminated set — independent of the probabilities that produced it.
+/// The adaptive runtime (runtime/AdaptiveController.h) reruns selection on
+/// successive partial (sampled) profiles and compares signatures to
+/// suppress recompilations that would rebuild the ordering it already
+/// deployed.
+std::string orderingSignature(const OrderingDecision &Decision);
 
 /// Exhaustive minimum over all permutations and all nonempty elimination
 /// subsets of a single target.  Exponential; intended for tests (n <= 8).

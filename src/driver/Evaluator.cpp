@@ -49,7 +49,16 @@ Evaluator::Evaluator(EvaluatorOptions Options)
 
 EvaluatorStats Evaluator::stats() const {
   std::lock_guard<std::mutex> Lock(CacheMutex);
-  return Counters;
+  EvaluatorStats S = Counters;
+  // Re-fusions live inside the controllers; count every optimized build
+  // beyond a controller's tier-up build as a re-fusion of its evolving
+  // profile.
+  for (const auto &[Key, Entry] : AdaptiveCache) {
+    const uint64_t Builds = Entry.Controller->stats().Recompiles;
+    if (Builds > 1)
+      S.AdaptiveReFusions += Builds - 1;
+  }
+  return S;
 }
 
 void Evaluator::clearCache() {
@@ -57,6 +66,7 @@ void Evaluator::clearCache() {
   BaselineCache.clear();
   ReorderedCache.clear();
   DecodeCache.clear();
+  AdaptiveCache.clear();
 }
 
 std::shared_ptr<const DecodedModule>
@@ -99,6 +109,32 @@ Evaluator::preparedFor(const std::shared_ptr<const CompileResult> &Compiled,
         .first->second.Program;
   }
   return Program;
+}
+
+std::shared_ptr<AdaptiveController>
+Evaluator::controllerFor(const std::shared_ptr<const CompileResult> &Compiled,
+                         bool &Hit, double &Seconds) {
+  const Module *Key = Compiled->M.get();
+  if (Options.CacheCompiles) {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = AdaptiveCache.find(Key);
+    if (It != AdaptiveCache.end()) {
+      ++Counters.AdaptiveHits;
+      Hit = true;
+      return It->second.Controller;
+    }
+  }
+  auto Start = std::chrono::steady_clock::now();
+  auto Controller = std::make_shared<AdaptiveController>(*Key, Options.Runtime);
+  Seconds += secondsSince(Start);
+  Hit = false;
+  if (Options.CacheCompiles) {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    ++Counters.AdaptiveMisses;
+    return AdaptiveCache.emplace(Key, AdaptiveEntry{Compiled, Controller})
+        .first->second.Controller;
+  }
+  return Controller;
 }
 
 std::shared_ptr<const CompileResult>
@@ -194,18 +230,28 @@ Evaluator::evaluateWorkload(const Workload &W,
                                     Record.ReorderedDecodeHit,
                                     Record.DecodeSeconds);
   }
+  // The adaptive engine carries its own evolving program versions inside a
+  // cached controller; the immutable DecodeCache is deliberately not used
+  // (it could only ever serve a stale fused stream).
+  std::shared_ptr<AdaptiveController> BaselineCtl, ReorderedCtl;
+  if (Options.Mode == Interpreter::Mode::Adaptive) {
+    BaselineCtl = controllerFor(Baseline, Record.BaselineAdaptiveHit,
+                                Record.DecodeSeconds);
+    ReorderedCtl = controllerFor(Reordered, Record.ReorderedAdaptiveHit,
+                                 Record.DecodeSeconds);
+  }
 
   auto RunStart = std::chrono::steady_clock::now();
   Eval.Baseline = measureBuild(*Baseline->M, W.TestInput, Predictor,
                                Eval.Error, Options.Mode,
-                               BaselinePrepared.get());
+                               BaselinePrepared.get(), BaselineCtl.get());
   if (!Eval.ok()) {
     Record.RunSeconds = secondsSince(RunStart);
     return Record;
   }
   Eval.Reordered = measureBuild(*Reordered->M, W.TestInput, Predictor,
                                 Eval.Error, Options.Mode,
-                                ReorderedPrepared.get());
+                                ReorderedPrepared.get(), ReorderedCtl.get());
   Record.RunSeconds = secondsSince(RunStart);
   if (!Eval.ok())
     return Record;

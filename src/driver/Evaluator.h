@@ -48,6 +48,8 @@ struct EvaluatorOptions {
   bool CacheCompiles = true;
   /// Execution engine for every interpreter run.
   Interpreter::Mode Mode = Interpreter::Mode::Fused;
+  /// Controller knobs for Mode::Adaptive; ignored by the other engines.
+  RuntimeOptions Runtime;
 };
 
 /// A WorkloadEvaluation plus the harness-level measurements around it.
@@ -60,6 +62,10 @@ struct WorkloadRecord {
   bool ReorderedCacheHit = false;
   bool BaselineDecodeHit = false;
   bool ReorderedDecodeHit = false;
+  /// Mode::Adaptive only: the builds' controllers came from the cache
+  /// (their accumulated profile state carried over into this evaluation).
+  bool BaselineAdaptiveHit = false;
+  bool ReorderedAdaptiveHit = false;
 };
 
 /// Aggregate cache counters (monotonic over the Evaluator's lifetime).
@@ -72,6 +78,16 @@ struct EvaluatorStats {
   /// one prepared program instead of re-decoding per evaluation.
   uint64_t DecodeHits = 0;
   uint64_t DecodeMisses = 0;
+  /// Adaptive-controller cache (Mode::Adaptive).  A hit re-enters a live
+  /// controller — its profile and published versions carry over; distinct
+  /// from DecodeHits because what is reused is evolving tiering state,
+  /// not an immutable program.
+  uint64_t AdaptiveHits = 0;
+  uint64_t AdaptiveMisses = 0;
+  /// Optimized builds cached controllers published *beyond* their tier-up
+  /// build — i.e. drift-triggered re-fusions of an evolving profile, not
+  /// plain cache hits serving an unchanged stream.
+  uint64_t AdaptiveReFusions = 0;
 };
 
 /// Compiles and evaluates workloads concurrently with compile caching.
@@ -120,6 +136,9 @@ private:
   std::shared_ptr<const DecodedModule>
   preparedFor(const std::shared_ptr<const CompileResult> &Compiled,
               const std::string *ProfileText, bool &Hit, double &Seconds);
+  std::shared_ptr<AdaptiveController>
+  controllerFor(const std::shared_ptr<const CompileResult> &Compiled,
+                bool &Hit, double &Seconds);
 
   EvaluatorOptions Options;
   ThreadPool Pool;
@@ -139,6 +158,18 @@ private:
     std::shared_ptr<const DecodedModule> Program;
   };
   std::map<const Module *, PreparedEntry> DecodeCache;
+
+  // Live adaptive controllers, also keyed (and pinned) by module identity.
+  // Unlike DecodeCache entries these are stateful: a cache hit resumes the
+  // controller's accumulated profile, so the workload's second evaluation
+  // starts already tiered.  One controller must not run two interpreters
+  // at once; evaluateWorkloads only shares a module across *serial* calls,
+  // which is the granularity the cache is reused at.
+  struct AdaptiveEntry {
+    std::shared_ptr<const CompileResult> KeepAlive;
+    std::shared_ptr<AdaptiveController> Controller;
+  };
+  std::map<const Module *, AdaptiveEntry> AdaptiveCache;
   EvaluatorStats Counters;
 };
 

@@ -19,12 +19,16 @@ bropt::measureBuild(const Module &M, std::string_view TestInput,
                     const std::optional<PredictorConfig>
                         &PredictorConfiguration,
                     std::string &Error, Interpreter::Mode Mode,
-                    const DecodedModule *Prepared) {
+                    const DecodedModule *Prepared,
+                    AdaptiveController *Adaptive) {
   BuildMeasurement Result;
   Result.CodeSize = M.codeSize();
 
   Interpreter Interp(M, Mode);
-  Interp.setPreparedProgram(Prepared);
+  if (Adaptive)
+    Adaptive->attach(Interp); // installs mode, tier-0 program, and hooks
+  else
+    Interp.setPreparedProgram(Prepared);
   Interp.setInput(TestInput);
   std::optional<BranchPredictor> Predictor;
   if (PredictorConfiguration) {
@@ -32,6 +36,10 @@ bropt::measureBuild(const Module &M, std::string_view TestInput,
     Interp.attachPredictor(&*Predictor);
   }
   RunResult Run = Interp.run();
+  if (Adaptive) {
+    Adaptive->drainBackgroundWork();
+    Result.Runtime = Adaptive->stats();
+  }
   if (Run.Trapped) {
     Error = "test run trapped: " + Run.TrapReason;
     return Result;

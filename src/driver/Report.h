@@ -20,6 +20,7 @@
 
 #include "driver/Driver.h"
 #include "predict/BranchPredictor.h"
+#include "runtime/AdaptiveController.h"
 #include "sim/Interpreter.h"
 #include "workloads/Workloads.h"
 
@@ -36,6 +37,10 @@ struct BuildMeasurement {
   size_t CodeSize = 0;
   std::string Output;
   int64_t ExitValue = 0;
+  /// Tiering counters when the run went through an AdaptiveController
+  /// (cumulative over the controller's lifetime, snapshotted after the
+  /// run); all zero otherwise.
+  RuntimeStats Runtime;
 };
 
 /// Baseline vs. reordered comparison for one workload.
@@ -60,13 +65,18 @@ struct WorkloadEvaluation {
 /// callers sharing one (immutable) module.  \p Prepared optionally
 /// supplies a pre-decoded program (Evaluator's decode cache) so the run
 /// skips re-decoding; it must have been produced from \p M under a format
-/// matching \p Mode and is ignored by the tree walker.
+/// matching \p Mode and is ignored by the tree walker.  \p Adaptive routes
+/// the run through an adaptive controller instead (implies Mode::Adaptive
+/// and supersedes \p Prepared); the controller must have been built over
+/// \p M and its profile state persists across measureBuild calls — a
+/// second run of the same workload starts in the fused tier.
 BuildMeasurement
 measureBuild(const Module &M, std::string_view TestInput,
              const std::optional<PredictorConfig> &Predictor,
              std::string &Error,
              Interpreter::Mode Mode = Interpreter::Mode::Fused,
-             const DecodedModule *Prepared = nullptr);
+             const DecodedModule *Prepared = nullptr,
+             AdaptiveController *Adaptive = nullptr);
 
 /// Evaluates \p W under \p Options; if \p Predictor is set, both builds
 /// also run through an (m,n) predictor of that configuration.

@@ -35,6 +35,14 @@ OracleOptions bropt::optionsForSeed(uint64_t ProgramSeed, FaultKind Fault) {
   Opts.Compile.Reorder.UseExhaustiveSelection = R.pct(15);
   Opts.Compile.Reorder.EnableMethodSelection = R.pct(30);
   Opts.Compile.EnableCommonSuccessorReordering = R.pct(30);
+  // Adaptive-runtime knobs draw *after* every pre-existing knob so old
+  // seeds keep their compile options.  Varying the sample interval and
+  // hot threshold moves the tier-up and safe-point swap positions around
+  // relative to program behavior, which is exactly the state space the
+  // adaptive oracle needs covered.
+  Opts.AdaptiveSampleInterval = static_cast<uint32_t>(R.range(1, 32));
+  Opts.AdaptiveHotThreshold = static_cast<uint64_t>(R.range(32, 1024));
+  Opts.AdaptiveDriftWindow = static_cast<uint32_t>(R.range(8, 64));
   Opts.Fault = Fault;
   return Opts;
 }
@@ -57,6 +65,10 @@ std::string bropt::renderReproducer(const FuzzViolation &Violation) {
       (int)Opts.Compile.Reorder.UseExhaustiveSelection,
       (int)Opts.Compile.Reorder.EnableMethodSelection,
       (int)Opts.Compile.EnableCommonSuccessorReordering);
+  Text += formatString(
+      "// adaptive: sample-interval %u, hot-threshold %llu, drift-window %u\n",
+      Opts.AdaptiveSampleInterval,
+      (unsigned long long)Opts.AdaptiveHotThreshold, Opts.AdaptiveDriftWindow);
   Text += formatString(
       "// replay: bropt-fuzz --seed %llu --programs 1\n",
       (unsigned long long)Violation.ProgramSeed);

@@ -42,6 +42,15 @@ public:
     if (!Interesting.empty())
       P.HeldOutInputs.push_back(
           std::string(1, static_cast<char>(R.pick(Interesting))));
+    // Phase-shift input: the byte distribution flips abruptly halfway
+    // through one run.  Exercises the adaptive runtime's drift detection
+    // and mid-run re-optimization; fresh salts keep earlier inputs stable
+    // for existing seeds.
+    std::string PhaseShift = makeInputs(/*Salt=*/3, /*Count=*/1,
+                                        /*BiasPct=*/90)
+                                 .front();
+    PhaseShift += makeInputs(/*Salt=*/4, /*Count=*/1, /*BiasPct=*/10).front();
+    P.HeldOutInputs.push_back(std::move(PhaseShift));
     return P;
   }
 

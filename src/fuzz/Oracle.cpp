@@ -6,6 +6,7 @@
 #include "ir/Verifier.h"
 #include "opt/Passes.h"
 #include "profile/ProfileData.h"
+#include "runtime/AdaptiveController.h"
 #include "sim/Fuse.h"
 #include "sim/Interpreter.h"
 #include "support/Strings.h"
@@ -57,6 +58,18 @@ RunResult runFused(const Module &M, const DecodedModule &DM,
                    const std::string &Input, uint64_t Limit) {
   Interpreter Interp(M, Interpreter::Mode::Fused);
   Interp.setPreparedProgram(&DM);
+  Interp.setInput(Input);
+  Interp.setInstructionLimit(Limit);
+  return Interp.run();
+}
+
+/// Runs the adaptive engine through a persistent controller, the way the
+/// driver's Evaluator re-enters a cached one: tiering state accumulated on
+/// earlier inputs carries into this run.
+RunResult runAdaptive(const Module &M, AdaptiveController &Controller,
+                      const std::string &Input, uint64_t Limit) {
+  Interpreter Interp(M, Interpreter::Mode::Adaptive);
+  Controller.attach(Interp);
   Interp.setInput(Input);
   Interp.setInstructionLimit(Limit);
   return Interp.run();
@@ -241,6 +254,23 @@ OracleReport bropt::runOracle(std::string_view Source,
     OptFused = decodeFused(*Optimized.M);
   }
 
+  // Adaptive controllers live across the whole held-out set: the first
+  // inputs drive tier-up and mid-run hot-swaps, later inputs re-enter an
+  // already-tiered controller.  Synchronous mode keeps swap timing
+  // deterministic.  Built after fault injection on purpose — a corrupted
+  // module must still execute identically across engines.
+  std::unique_ptr<AdaptiveController> BaseAdaptive, OptAdaptive;
+  if (Opts.CheckAdaptiveEngine) {
+    RuntimeOptions RO;
+    RO.HotThreshold = Opts.AdaptiveHotThreshold;
+    RO.SampleInterval = Opts.AdaptiveSampleInterval;
+    RO.DriftWindow = Opts.AdaptiveDriftWindow;
+    RO.MinSamplesBetweenRecompiles = 64;
+    RO.Background = false;
+    BaseAdaptive = std::make_unique<AdaptiveController>(*Base.M, RO);
+    OptAdaptive = std::make_unique<AdaptiveController>(*Optimized.M, RO);
+  }
+
   for (size_t InputIndex = 0; InputIndex < HeldOutInputs.size();
        ++InputIndex) {
     const std::string &Input = HeldOutInputs[InputIndex];
@@ -281,6 +311,26 @@ OracleReport bropt::runOracle(std::string_view Source,
         return Report;
       }
       if (!enginesAgree(OptTree, OptFusedRun, "fused", Detail)) {
+        Report.Kind = ViolationKind::EngineMismatch;
+        Report.Detail = formatString("reordered module, held-out input %zu: ",
+                                     InputIndex) +
+                        Detail;
+        return Report;
+      }
+    }
+    if (Opts.CheckAdaptiveEngine) {
+      RunResult BaseAdaptiveRun = runAdaptive(*Base.M, *BaseAdaptive, Input,
+                                              Opts.InstructionLimit);
+      RunResult OptAdaptiveRun = runAdaptive(*Optimized.M, *OptAdaptive,
+                                             Input, Opts.InstructionLimit);
+      if (!enginesAgree(BaseTree, BaseAdaptiveRun, "adaptive", Detail)) {
+        Report.Kind = ViolationKind::EngineMismatch;
+        Report.Detail = formatString("baseline module, held-out input %zu: ",
+                                     InputIndex) +
+                        Detail;
+        return Report;
+      }
+      if (!enginesAgree(OptTree, OptAdaptiveRun, "adaptive", Detail)) {
         Report.Kind = ViolationKind::EngineMismatch;
         Report.Detail = formatString("reordered module, held-out input %zu: ",
                                      InputIndex) +

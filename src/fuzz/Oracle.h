@@ -11,9 +11,9 @@
 ///
 ///  1. Behavior: the reordered and baseline modules produce identical
 ///     output, exit value, and trap behavior on every held-out input.
-///  2. Engines: the tree-walking, decoded, and fused threaded-dispatch
-///     interpreters agree on every artifact of every run, dynamic
-///     counters included.
+///  2. Engines: the tree-walking, decoded, fused threaded-dispatch, and
+///     adaptive (online-tiering) interpreters agree on every artifact of
+///     every run, dynamic counters included.
 ///  3. Verification: the IR verifier passes after every individual pass
 ///     (observed through the pass-observer hook).
 ///  4. Cost: for every sequence the transformation reordered, the selected
@@ -79,6 +79,20 @@ struct OracleOptions {
   /// decoded engine.  On by default; the flag exists so a fusion bug can
   /// be bisected away from pipeline bugs.
   bool CheckFusedEngine = true;
+  /// Also run both modules through the adaptive runtime
+  /// (runtime/AdaptiveController.h) with aggressive tiering knobs —
+  /// synchronous optimization, tiny hot threshold, short drift windows —
+  /// so tier-up, mid-run hot-swap, and drift re-optimization all happen
+  /// *inside* the differential run, and hold it to the same
+  /// exact-agreement bar.  One controller per module persists across the
+  /// held-out inputs, so later inputs re-enter an already-tiered
+  /// controller (the Evaluator's cache-hit path).
+  bool CheckAdaptiveEngine = true;
+  /// Tiering knobs for CheckAdaptiveEngine; small enough that generated
+  /// programs tier up within their held-out runs.
+  uint64_t AdaptiveHotThreshold = 256;
+  uint32_t AdaptiveSampleInterval = 16;
+  uint32_t AdaptiveDriftWindow = 32;
 };
 
 /// Outcome of one oracle run.

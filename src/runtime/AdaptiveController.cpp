@@ -1,0 +1,308 @@
+//===- runtime/AdaptiveController.cpp - Online tiering controller ---------===//
+
+#include "runtime/AdaptiveController.h"
+
+#include "core/Reorder.h"
+#include "profile/ProfileData.h"
+
+#include <chrono>
+
+using namespace bropt;
+
+static RuntimeOptions sanitized(RuntimeOptions O) {
+  if (!O.SampleInterval)
+    O.SampleInterval = 1;
+  if (!O.DriftWindow)
+    O.DriftWindow = 1;
+  if (!O.MaxRecompiles)
+    O.MaxRecompiles = 1;
+  return O;
+}
+
+AdaptiveController::AdaptiveController(const Module &Mod,
+                                       RuntimeOptions Options)
+    : M(Mod), Opts(sanitized(std::move(Options))),
+      Tier0(DecodedModule::decode(Mod)) {
+  Hooks.SampleInterval = Opts.SampleInterval;
+  Hooks.SampleCountdown = Opts.SampleInterval;
+  Hooks.OnSample = [this](uint32_t FuncIndex, uint32_t BranchId, bool Taken,
+                          int64_t Value) {
+    onSample(FuncIndex, BranchId, Taken, Value);
+  };
+  Hooks.TrySwap = [this](const DecodedModule &Cur, uint32_t FuncIndex,
+                         size_t Index, size_t &NewIndex) {
+    return trySwap(Cur, FuncIndex, Index, NewIndex);
+  };
+
+  Sampler.init(Tier0.numBranchIds(), Tier0.size());
+  FuncTiered.assign(Tier0.size(), false);
+
+  // detectSequences only reads the module (same const_cast precedent as
+  // the fuser's profile matching in sim/Fuse.cpp).
+  Detected = detectSequences(const_cast<Module &>(Mod));
+
+  // Mirror the branch-id numbering the decoders use: one id per CondBr in
+  // module layout order.
+  std::unordered_map<const Instruction *, uint32_t> BranchIdOf;
+  uint32_t NextId = 0;
+  for (const auto &F : Mod)
+    for (const auto &Block : *F)
+      for (const auto &Inst : *Block)
+        if (Inst->getKind() == InstKind::CondBr)
+          BranchIdOf.emplace(Inst.get(), NextId++);
+
+  Sequences.reserve(Detected.size());
+  for (size_t I = 0; I < Detected.size(); ++I) {
+    const RangeSequence &Seq = Detected[I];
+    // Register *every* condition branch of the sequence, not just the
+    // head's: all conditions test the same variable (Theorem 1's
+    // precondition), so a sample at any arm classifies into the same bin
+    // partition.  This matters in the fused tier, where the chain fuser's
+    // MultiCmp head may be a later condition than the detected head (the
+    // head compare can be swallowed by a pre-op fusion instead) — and
+    // where a fixed sample interval can phase-lock onto one op in a
+    // periodic loop, starving any single registration point.
+    bool AnyBranch = false;
+    for (const RangeConditionDesc &Cond : Seq.Conds) {
+      for (const BasicBlock *Block : Cond.Blocks) {
+        const Instruction *Term = Block->getTerminator();
+        auto IdIt = Term ? BranchIdOf.find(Term) : BranchIdOf.end();
+        if (IdIt == BranchIdOf.end())
+          continue;
+        HeadToSeq.emplace(IdIt->second, Sequences.size());
+        AnyBranch = true;
+      }
+    }
+    if (!AnyBranch)
+      continue; // no conditional branch we can sample at
+
+    SequenceState State;
+    State.DetectedIndex = I;
+    State.Bins.reserve(Seq.Conds.size() + Seq.DefaultRanges.size());
+    for (const RangeConditionDesc &Cond : Seq.Conds)
+      State.Bins.push_back(Cond.R);
+    for (const Range &R : Seq.DefaultRanges)
+      State.Bins.push_back(R);
+    State.Counts.assign(State.Bins.size(), 0);
+    State.Drift =
+        DriftDetector(State.Bins.size(), Opts.DriftWindow, Opts.DriftThreshold);
+    Sequences.push_back(std::move(State));
+  }
+
+  if (Opts.Background)
+    Pool = std::make_unique<ThreadPool>(1);
+}
+
+AdaptiveController::~AdaptiveController() {
+  // Join the worker before the version list and sampler state go away.
+  Pool.reset();
+}
+
+void AdaptiveController::attach(Interpreter &I) {
+  I.setMode(Interpreter::Mode::Adaptive);
+  I.setPreparedProgram(&Tier0);
+  I.setAdaptiveHooks(&Hooks);
+}
+
+void AdaptiveController::drainBackgroundWork() {
+  if (Pool)
+    Pool->wait();
+}
+
+RuntimeStats AdaptiveController::stats() const {
+  RuntimeStats S = ExecStats;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  S.Recompiles = JobStats.Recompiles;
+  S.RecompileSeconds = JobStats.RecompileSeconds;
+  S.RecompilesSuppressed += JobStats.RecompilesSuppressed;
+  return S;
+}
+
+void AdaptiveController::onSample(uint32_t FuncIndex, uint32_t BranchId,
+                                  bool Taken, int64_t Value) {
+  ++ExecStats.SamplesTaken;
+  const uint64_t FuncCount = Sampler.observe(FuncIndex, BranchId, Taken);
+
+  auto SeqIt = HeadToSeq.find(BranchId);
+  if (SeqIt != HeadToSeq.end()) {
+    SequenceState &State = Sequences[SeqIt->second];
+    // The ranges are nonoverlapping and the defaults cover the rest of the
+    // value space, so exactly one bin matches — the same classification
+    // the offline instrumenter performs per head execution.
+    for (size_t Bin = 0; Bin < State.Bins.size(); ++Bin) {
+      if (!State.Bins[Bin].contains(Value))
+        continue;
+      ++State.Counts[Bin];
+      if (State.Drift.observe(Bin)) {
+        ++ExecStats.DriftEvents;
+        if (Opts.Trace)
+          trace("drift: sequence " +
+                std::to_string(Detected[State.DetectedIndex].Id) +
+                " distance " + std::to_string(State.Drift.lastDistance()));
+        // Re-optimizing only makes sense once a version is deployed;
+        // before tier-up the profile is still converging.
+        if (tiered())
+          maybeReoptimize("drift");
+      }
+      break;
+    }
+  }
+
+  if (FuncIndex < FuncTiered.size() && !FuncTiered[FuncIndex] &&
+      FuncCount * Opts.SampleInterval >= Opts.HotThreshold) {
+    FuncTiered[FuncIndex] = true;
+    ++ExecStats.TierUps;
+    if (Opts.Trace)
+      trace("tier-up: function " + Tier0.function(FuncIndex).Name + " after " +
+            std::to_string(FuncCount) + " samples");
+    // The build is module-wide; later functions crossing the threshold
+    // ride on the already-published version.
+    if (!tiered())
+      maybeReoptimize("tier-up");
+  }
+}
+
+void AdaptiveController::maybeReoptimize(const char *Reason) {
+  if (JobInFlight.load(std::memory_order_acquire))
+    return; // a build is already running; samples keep accumulating
+
+  if (JobsPlanned.load(std::memory_order_relaxed) >= Opts.MaxRecompiles) {
+    ++ExecStats.RecompilesSuppressed;
+    if (Opts.Trace)
+      trace(std::string("suppress(") + Reason + "): recompile budget spent");
+    return;
+  }
+  const bool FirstBuild = !tiered();
+  if (!FirstBuild && ExecStats.SamplesTaken - LastJobSample <
+                         Opts.MinSamplesBetweenRecompiles) {
+    ++ExecStats.RecompilesSuppressed;
+    if (Opts.Trace)
+      trace(std::string("suppress(") + Reason + "): hysteresis window open");
+    return;
+  }
+
+  LastJobSample = ExecStats.SamplesTaken;
+  JobsPlanned.fetch_add(1, std::memory_order_relaxed);
+
+  // Snapshot on the execution thread; the job must not race the sampler.
+  JobInput Job;
+  Job.Hotness = Sampler.Hotness;
+  Job.SeqCounts.reserve(Sequences.size());
+  for (const SequenceState &State : Sequences)
+    Job.SeqCounts.push_back(State.Counts);
+  Job.Reason = Reason;
+
+  JobInFlight.store(true, std::memory_order_release);
+  if (Pool)
+    Pool->enqueue([this, J = std::move(Job)] { runJob(J); });
+  else
+    runJob(Job);
+}
+
+void AdaptiveController::runJob(const JobInput &Job) {
+  const auto Start = std::chrono::steady_clock::now();
+
+  // Turn the sampled bins into a live profile and, per sequence, rerun the
+  // paper's ordering selection to fingerprint the decision it implies.
+  ProfileData Live;
+  std::string Sig;
+  for (size_t I = 0; I < Sequences.size(); ++I) {
+    const RangeSequence &Seq = Detected[Sequences[I].DetectedIndex];
+    const std::vector<uint64_t> &Counts = Job.SeqCounts[I];
+    uint64_t Total = 0;
+    for (uint64_t C : Counts)
+      Total += C;
+    if (!Total)
+      continue; // never sampled; buildRangeInfos needs a nonzero total
+
+    SequenceProfile Prof;
+    Prof.SequenceId = Seq.Id;
+    Prof.FunctionName = Seq.F->getName();
+    Prof.Signature = Seq.signature();
+    Prof.BinCounts = Counts;
+    OrderingDecision Decision = selectOrdering(buildRangeInfos(Seq, Prof));
+    Sig += std::to_string(Seq.Id);
+    Sig += ':';
+    Sig += orderingSignature(Decision);
+    Sig += ';';
+
+    Live.registerSequence(Seq.Id, Prof.FunctionName, Prof.Signature,
+                          Counts.size());
+    for (size_t Bin = 0; Bin < Counts.size(); ++Bin)
+      if (Counts[Bin])
+        Live.increment(Seq.Id, Bin, Counts[Bin]);
+  }
+
+  // Hysteresis: an unchanged ordering decision means the deployed version
+  // already implements what this profile asks for — skip the build and
+  // refund the budget slot.
+  const ProgramVersion *Deployed = Latest.load(std::memory_order_acquire);
+  if (Deployed && Sig == Deployed->OrderSig) {
+    JobsPlanned.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++JobStats.RecompilesSuppressed;
+    }
+    if (Opts.Trace)
+      trace(std::string("suppress(") + Job.Reason + "): ordering unchanged");
+    JobInFlight.store(false, std::memory_order_release);
+    return;
+  }
+
+  FuseOptions FO = Opts.Fuse;
+  FO.Profile = Live.empty() ? nullptr : &Live;
+  FO.Hotness = Job.Hotness.empty() ? nullptr : &Job.Hotness;
+
+  auto V = std::make_unique<ProgramVersion>();
+  V->DM = decodeFused(M, FO, nullptr, &V->Map);
+  V->buildReverseMap();
+  V->OrderSig = std::move(Sig);
+
+  const double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++JobStats.Recompiles;
+    JobStats.RecompileSeconds += Seconds;
+    ByDM.emplace(&V->DM, V.get());
+    Latest.store(V.get(), std::memory_order_release);
+    Versions.push_back(std::move(V));
+  }
+  if (Opts.Trace)
+    trace(std::string("recompile(") + Job.Reason + "): version " +
+          std::to_string(stats().Recompiles) + " published");
+  JobInFlight.store(false, std::memory_order_release);
+}
+
+const DecodedModule *AdaptiveController::trySwap(const DecodedModule &Cur,
+                                                 uint32_t FuncIndex,
+                                                 size_t Index,
+                                                 size_t &NewIndex) {
+  const ProgramVersion *Target = Latest.load(std::memory_order_acquire);
+  if (!Target || &Target->DM == &Cur)
+    return nullptr; // nothing newer to swap onto
+
+  const ProgramVersion *CurVersion = nullptr;
+  if (&Cur != &Tier0) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = ByDM.find(&Cur);
+    if (It != ByDM.end())
+      CurVersion = It->second;
+    // An unknown program shares tier-0 coordinates: plain decoding is
+    // deterministic, so its block starts line up with Tier0's.
+  }
+
+  if (!translateSwapPoint(CurVersion, *Target, FuncIndex, Index, NewIndex)) {
+    ++ExecStats.DeferredSwaps;
+    return nullptr; // no image at this safe point; try again at the next
+  }
+
+  ++ExecStats.Swaps;
+  if (!ExecStats.SamplesAtFirstSwap)
+    ExecStats.SamplesAtFirstSwap = ExecStats.SamplesTaken;
+  if (Opts.Trace)
+    trace("swap: function " + Tier0.function(FuncIndex).Name + " at index " +
+          std::to_string(Index) + " -> " + std::to_string(NewIndex));
+  return &Target->DM;
+}

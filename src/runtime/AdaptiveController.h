@@ -1,0 +1,213 @@
+//===- runtime/AdaptiveController.h - Online tiering controller -*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive execution controller: replaces the paper's offline two-pass
+/// scheme (profile run, then recompile) with an online loop over the same
+/// machinery.  Execution starts in tier 0 — the plainly decoded engine with
+/// AdaptiveHooks sampling every Nth conditional branch.  Samples feed three
+/// consumers:
+///
+///  - a HotnessSampler (per-branch bias for the hot-first layout, and
+///    per-function sample counts for the tier-up decision),
+///  - per-sequence range-bin counters: the sampled compare value is
+///    classified into the same explicit-then-default bins the offline
+///    instrumenter uses, giving a live partial profile that feeds the
+///    paper's Figure 8 ordering selection unchanged,
+///  - a DriftDetector per sequence, which flags phase shifts in the value
+///    distribution after a version is deployed.
+///
+/// When a function's estimated branch executions cross HotThreshold the
+/// controller runs ordering selection plus the decode-time fuser on the
+/// live profile — inline, or on a background worker — and publishes the
+/// result as a ProgramVersion.  The engines' TrySwap hook then migrates
+/// live activations onto it at block-boundary safe points.  Re-optimization
+/// on drift is limited by a recompile budget and two hysteresis rules
+/// (minimum samples between recompiles; unchanged ordering-decision
+/// signature suppresses the rebuild).
+///
+/// Sampling and swapping never touch observable behaviour: DynamicCounts,
+/// predictor feeds, output, exit values, traps, and instruction-limit
+/// behaviour stay bit-identical to a from-scratch run of any engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_RUNTIME_ADAPTIVECONTROLLER_H
+#define BROPT_RUNTIME_ADAPTIVECONTROLLER_H
+
+#include "core/SequenceDetection.h"
+#include "runtime/DriftDetector.h"
+#include "runtime/HotnessSampler.h"
+#include "runtime/SwapPoint.h"
+#include "sim/Interpreter.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bropt {
+
+/// Tiering knobs.  The defaults suit long-running workloads; tests and the
+/// fuzz oracle shrink the thresholds to exercise tiering on small inputs.
+struct RuntimeOptions {
+  /// Estimated conditional-branch executions (samples * interval) a single
+  /// function must accumulate before the module tiers up.
+  uint64_t HotThreshold = 50'000;
+  /// Conditional branches between samples; 1 samples every branch.
+  uint32_t SampleInterval = 64;
+  /// Samples per sequence in one drift-detection window.
+  uint32_t DriftWindow = 256;
+  /// Normalized histogram distance in [0, 1] above which a window counts
+  /// as drift.
+  double DriftThreshold = 0.35;
+  /// Total optimized builds (tier-up included) one controller may run.
+  unsigned MaxRecompiles = 8;
+  /// Hysteresis: samples that must pass after a build before drift may
+  /// trigger the next one.
+  uint64_t MinSamplesBetweenRecompiles = 2048;
+  /// Run optimization jobs on a background worker thread.  False (the
+  /// default) runs them inline at the triggering sample, which makes swap
+  /// timing deterministic — what the tests and the fuzz oracle need.
+  bool Background = false;
+  /// Base fuser configuration; Profile and Hotness are overwritten per job
+  /// with the live snapshot.
+  FuseOptions Fuse;
+  /// Optional tiering-event log sink.  With Background set the callback
+  /// may be invoked from the worker thread.
+  std::function<void(const std::string &)> Trace;
+};
+
+/// Counters describing what the controller did.  Read via stats() between
+/// runs (after drainBackgroundWork() when Background is set).
+struct RuntimeStats {
+  uint64_t SamplesTaken = 0;     ///< OnSample invocations
+  uint64_t TierUps = 0;          ///< functions that crossed HotThreshold
+  uint64_t Swaps = 0;            ///< activations migrated at a safe point
+  uint64_t DeferredSwaps = 0;    ///< safe points with no image in the target
+  uint64_t DriftEvents = 0;      ///< drift windows above the threshold
+  uint64_t Recompiles = 0;       ///< optimized builds published
+  uint64_t RecompilesSuppressed = 0; ///< skipped: budget/hysteresis/same sig
+  double RecompileSeconds = 0.0; ///< wall time spent in optimization jobs
+  uint64_t SamplesAtFirstSwap = 0; ///< SamplesTaken when the first swap ran
+
+  RuntimeStats &operator+=(const RuntimeStats &O) {
+    SamplesTaken += O.SamplesTaken;
+    TierUps += O.TierUps;
+    Swaps += O.Swaps;
+    DeferredSwaps += O.DeferredSwaps;
+    DriftEvents += O.DriftEvents;
+    Recompiles += O.Recompiles;
+    RecompilesSuppressed += O.RecompilesSuppressed;
+    RecompileSeconds += O.RecompileSeconds;
+    if (!SamplesAtFirstSwap)
+      SamplesAtFirstSwap = O.SamplesAtFirstSwap;
+    return *this;
+  }
+};
+
+/// One controller adapts one module.  Attach it to any number of
+/// Interpreters over the module (one at a time — the sampler state is not
+/// reentrant); profile state persists across runs, which is what lets the
+/// second run of a workload start in the fused tier immediately.
+class AdaptiveController {
+public:
+  explicit AdaptiveController(const Module &M, RuntimeOptions Options = {});
+  ~AdaptiveController();
+
+  AdaptiveController(const AdaptiveController &) = delete;
+  AdaptiveController &operator=(const AdaptiveController &) = delete;
+
+  /// Points \p I at the tier-0 program and installs the hooks.  The
+  /// controller must outlive every run of \p I.
+  void attach(Interpreter &I);
+
+  /// The plain tier-0 program.
+  const DecodedModule &tier0() const { return Tier0; }
+
+  /// Blocks until any in-flight background optimization has finished.
+  /// No-op in synchronous mode.
+  void drainBackgroundWork();
+
+  /// True once an optimized version has been published.
+  bool tiered() const {
+    return Latest.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Snapshot of the tiering counters.
+  RuntimeStats stats() const;
+
+  const RuntimeOptions &options() const { return Opts; }
+
+private:
+  /// Live per-sequence profiling state.
+  struct SequenceState {
+    size_t DetectedIndex = 0;      ///< into Detected
+    std::vector<Range> Bins;       ///< explicit ranges, then defaults
+    std::vector<uint64_t> Counts;  ///< one sampled count per bin
+    DriftDetector Drift;
+  };
+
+  /// Snapshot handed to an optimization job.
+  struct JobInput {
+    BranchHotness Hotness;
+    std::vector<std::vector<uint64_t>> SeqCounts;
+    const char *Reason = "";
+  };
+
+  void onSample(uint32_t FuncIndex, uint32_t BranchId, bool Taken,
+                int64_t Value);
+  const DecodedModule *trySwap(const DecodedModule &Cur, uint32_t FuncIndex,
+                               size_t Index, size_t &NewIndex);
+  /// Budget + hysteresis gate; schedules or runs one optimization job.
+  void maybeReoptimize(const char *Reason);
+  void runJob(const JobInput &Job);
+  void trace(const std::string &Message) const {
+    if (Opts.Trace)
+      Opts.Trace(Message);
+  }
+
+  const Module &M;
+  const RuntimeOptions Opts;
+  DecodedModule Tier0;
+  AdaptiveHooks Hooks;
+
+  std::vector<RangeSequence> Detected;
+  std::vector<SequenceState> Sequences;
+  /// Branch id of any condition in a sequence -> index into Sequences.
+  /// Every condition tests the same variable, so any arm's sampled value
+  /// classifies into the sequence's bins.
+  std::unordered_map<uint32_t, size_t> HeadToSeq;
+  HotnessSampler Sampler;
+  std::vector<bool> FuncTiered;
+
+  // --- Execution-thread-only tiering state ---
+  RuntimeStats ExecStats;
+  uint64_t LastJobSample = 0; ///< SamplesTaken when the last job was gated
+
+  // --- Shared publication state ---
+  mutable std::mutex Mutex;
+  RuntimeStats JobStats;                       ///< guarded by Mutex
+  std::vector<std::unique_ptr<ProgramVersion>> Versions; ///< guarded
+  std::unordered_map<const DecodedModule *, const ProgramVersion *>
+      ByDM;                                    ///< guarded by Mutex
+  std::atomic<const ProgramVersion *> Latest{nullptr};
+  std::atomic<bool> JobInFlight{false};
+  std::atomic<unsigned> JobsPlanned{0};
+
+  /// Present only in background mode; destroyed first (declared last) so
+  /// the worker joins before the state above goes away.
+  std::unique_ptr<ThreadPool> Pool;
+};
+
+} // namespace bropt
+
+#endif // BROPT_RUNTIME_ADAPTIVECONTROLLER_H

@@ -1,0 +1,75 @@
+//===- runtime/DriftDetector.h - Windowed phase-shift detection -*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detects phase shifts in one sequence's sampled value distribution.  The
+/// controller feeds it the range bin of every sample; the detector chops
+/// the stream into fixed-size windows and, at each window boundary,
+/// compares the window's bin histogram against the previous window's with
+/// a normalized L1 distance in [0, 1].  A distance above the threshold
+/// means the input distribution the deployed ordering was selected for no
+/// longer holds — the controller's cue to re-optimize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_RUNTIME_DRIFTDETECTOR_H
+#define BROPT_RUNTIME_DRIFTDETECTOR_H
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace bropt {
+
+class DriftDetector {
+public:
+  DriftDetector() = default;
+  DriftDetector(size_t NumBins, uint32_t WindowSize, double Threshold)
+      : Window(WindowSize ? WindowSize : 1), Limit(Threshold),
+        Current(NumBins, 0), Previous(NumBins, 0.0) {}
+
+  /// Records one sampled bin hit.  \returns true when this sample closed a
+  /// window whose histogram distance from the previous window exceeds the
+  /// threshold.
+  bool observe(size_t Bin) {
+    if (Bin < Current.size())
+      ++Current[Bin];
+    if (++Count < Window)
+      return false;
+    // Window closed: normalize, compare, roll over.
+    bool Drifted = false;
+    double Distance = 0.0;
+    for (size_t I = 0; I < Current.size(); ++I) {
+      double P = static_cast<double>(Current[I]) / Count;
+      Distance += P > Previous[I] ? P - Previous[I] : Previous[I] - P;
+      Previous[I] = P;
+      Current[I] = 0;
+    }
+    // L1 distance between distributions is in [0, 2]; halve into [0, 1].
+    Last = Distance / 2.0;
+    Drifted = HavePrevious && Last > Limit;
+    HavePrevious = true;
+    Count = 0;
+    return Drifted;
+  }
+
+  /// Distance computed at the most recent window boundary.
+  double lastDistance() const { return Last; }
+
+private:
+  uint32_t Window = 1;
+  double Limit = 1.0;
+  uint32_t Count = 0;
+  bool HavePrevious = false;
+  double Last = 0.0;
+  std::vector<uint32_t> Current;  ///< bin counts of the open window
+  std::vector<double> Previous;   ///< normalized histogram of the last window
+};
+
+} // namespace bropt
+
+#endif // BROPT_RUNTIME_DRIFTDETECTOR_H

@@ -1,0 +1,36 @@
+//===- runtime/HotnessSampler.cpp - Sampled branch-bias collection --------===//
+
+#include "runtime/HotnessSampler.h"
+
+#include "sim/Interpreter.h"
+
+using namespace bropt;
+
+BranchHotness bropt::collectBranchHotness(const Module &M,
+                                          std::string_view Input,
+                                          uint64_t InstructionLimit) {
+  DecodedModule DM = DecodedModule::decode(M);
+
+  BranchHotness H;
+  H.Taken.assign(DM.numBranchIds(), 0);
+  H.Total.assign(DM.numBranchIds(), 0);
+
+  AdaptiveHooks Hooks;
+  Hooks.SampleInterval = 1;
+  Hooks.SampleCountdown = 1;
+  Hooks.OnSample = [&H](uint32_t, uint32_t BranchId, bool Taken, int64_t) {
+    if (BranchId < H.Total.size()) {
+      ++H.Total[BranchId];
+      H.Taken[BranchId] += Taken;
+    }
+  };
+
+  Interpreter I(M, Interpreter::Mode::Adaptive);
+  I.setPreparedProgram(&DM);
+  I.setAdaptiveHooks(&Hooks);
+  I.setInput(Input);
+  if (InstructionLimit)
+    I.setInstructionLimit(InstructionLimit);
+  I.run();
+  return H;
+}

@@ -1,0 +1,65 @@
+//===- runtime/HotnessSampler.h - Sampled branch-bias collection -*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight per-branch and per-function counters the adaptive runtime's
+/// tier 0 feeds from sampled execution (sim/Interpreter.h AdaptiveHooks).
+/// The branch bias drives the fuser's hot-first layout; the per-function
+/// sample counts drive the tier-up decision.
+///
+/// Also exposes collectBranchHotness(), an offline convenience that runs a
+/// module once with every-branch sampling to produce exact taken/total
+/// counts — the benchmark harness uses it to feed the layout the same
+/// measured bias the online controller would converge to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_RUNTIME_HOTNESSSAMPLER_H
+#define BROPT_RUNTIME_HOTNESSSAMPLER_H
+
+#include "sim/Fuse.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace bropt {
+
+class Module;
+
+/// Accumulates sampled branch outcomes and attributes them to functions.
+struct HotnessSampler {
+  /// Per-branch-id taken/total counts (the layout's input).
+  BranchHotness Hotness;
+  /// Per-function number of samples observed.
+  std::vector<uint64_t> FuncSamples;
+
+  void init(uint32_t NumBranchIds, size_t NumFunctions) {
+    Hotness.Taken.assign(NumBranchIds, 0);
+    Hotness.Total.assign(NumBranchIds, 0);
+    FuncSamples.assign(NumFunctions, 0);
+  }
+
+  /// Records one sample.  \returns the function's updated sample count.
+  uint64_t observe(uint32_t FuncIndex, uint32_t BranchId, bool Taken) {
+    if (BranchId < Hotness.Total.size()) {
+      ++Hotness.Total[BranchId];
+      Hotness.Taken[BranchId] += Taken;
+    }
+    return FuncIndex < FuncSamples.size() ? ++FuncSamples[FuncIndex] : 0;
+  }
+};
+
+/// Runs \p M on \p Input in the decoded engine with a sample interval of 1
+/// and returns the exact per-branch taken/total counts.  Purely a
+/// measurement: output and side effects of the run are discarded.
+BranchHotness collectBranchHotness(const Module &M, std::string_view Input,
+                                   uint64_t InstructionLimit = 0);
+
+} // namespace bropt
+
+#endif // BROPT_RUNTIME_HOTNESSSAMPLER_H

@@ -1,0 +1,41 @@
+//===- runtime/SwapPoint.cpp - Program versions and safe-point maps -------===//
+
+#include "runtime/SwapPoint.h"
+
+using namespace bropt;
+
+void ProgramVersion::buildReverseMap() {
+  PlainIndexOf.clear();
+  PlainIndexOf.resize(Map.FusedIndexOf.size());
+  for (size_t F = 0; F < Map.FusedIndexOf.size(); ++F) {
+    PlainIndexOf[F].reserve(Map.FusedIndexOf[F].size());
+    for (const auto &[Plain, Fused] : Map.FusedIndexOf[F])
+      PlainIndexOf[F].emplace(Fused, Plain);
+  }
+}
+
+bool bropt::translateSwapPoint(const ProgramVersion *From,
+                               const ProgramVersion &To, uint32_t FuncIndex,
+                               size_t Index, size_t &NewIndex) {
+  uint32_t Plain;
+  if (From) {
+    if (FuncIndex >= From->PlainIndexOf.size())
+      return false;
+    const auto &Reverse = From->PlainIndexOf[FuncIndex];
+    auto It = Reverse.find(static_cast<uint32_t>(Index));
+    if (It == Reverse.end())
+      return false;
+    Plain = It->second;
+  } else {
+    Plain = static_cast<uint32_t>(Index);
+  }
+
+  if (FuncIndex >= To.Map.FusedIndexOf.size())
+    return false;
+  const auto &Forward = To.Map.FusedIndexOf[FuncIndex];
+  auto It = Forward.find(Plain);
+  if (It == Forward.end())
+    return false;
+  NewIndex = It->second;
+  return true;
+}

@@ -1,0 +1,65 @@
+//===- runtime/SwapPoint.h - Program versions and safe-point maps -*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ProgramVersion is one fused build the controller published, together
+/// with the block-start correspondence needed to migrate a *live*
+/// activation onto it.  Safe points are block starts: the engines only
+/// offer a swap right after a conditional branch assigned the next index
+/// (or at activation entry), so the activation's position is always a
+/// block-start index of the program it currently runs.  Translation goes
+/// through plain-decode coordinates — the common currency every version
+/// shares, because branch ids and block identities are decode-order stable:
+///
+///   fused index --(PlainIndexOf)--> plain start --(Map.FusedIndexOf)-->
+///   fused index in the target version
+///
+/// Tier-0 activations already sit at plain coordinates and skip the first
+/// hop.  A block swallowed whole by chain fusion has no entry in either
+/// map; the controller then defers the swap to the next safe point rather
+/// than guessing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_RUNTIME_SWAPPOINT_H
+#define BROPT_RUNTIME_SWAPPOINT_H
+
+#include "sim/Fuse.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bropt {
+
+/// One published optimized build.  Immutable after publication; the
+/// controller keeps every version alive for the lifetime of the run so
+/// activations deep in older versions stay valid.
+struct ProgramVersion {
+  DecodedModule DM;
+  /// Plain block start -> fused index, per function (from decodeFused).
+  SwapMap Map;
+  /// Inverse of Map: fused block-entry index -> plain block start.
+  std::vector<std::unordered_map<uint32_t, uint32_t>> PlainIndexOf;
+  /// Concatenated ordering-decision signatures of the live profile this
+  /// version was built from; the controller's hysteresis compares these.
+  std::string OrderSig;
+
+  /// Fills PlainIndexOf from Map.  Call once, before publication.
+  void buildReverseMap();
+};
+
+/// Translates safe point (\p FuncIndex, \p Index) from version \p From
+/// (null = tier-0 plain coordinates) into \p To's coordinates.  \returns
+/// false when the position has no image in \p To (block swallowed by
+/// fusion) — the caller defers the swap.
+bool translateSwapPoint(const ProgramVersion *From, const ProgramVersion &To,
+                        uint32_t FuncIndex, size_t Index, size_t &NewIndex);
+
+} // namespace bropt
+
+#endif // BROPT_RUNTIME_SWAPPOINT_H

@@ -235,6 +235,8 @@ DecodedModule DecodedModule::decode(const Module &M) {
     DM.Index.emplace(F->getName(),
                      static_cast<uint32_t>(DM.Functions.size()));
     DM.Functions.push_back(decodeFunction(*F, FuncIndex, NextBranchId));
+    DM.Functions.back().FuncIndex =
+        static_cast<uint32_t>(DM.Functions.size() - 1);
   }
   DM.NumBranchIds = NextBranchId;
   return DM;

@@ -244,6 +244,10 @@ struct DecodedInst {
 /// One flattened function.
 struct DecodedFunction {
   std::string Name;
+  /// Position in the owning DecodedModule; lets the dispatch loops name
+  /// the executing function to the adaptive runtime's hooks without a
+  /// pointer subtraction on the sample path.
+  uint32_t FuncIndex = 0;
   unsigned NumParams = 0;
   unsigned NumRegs = 0;
   bool HasBody = false;
@@ -304,7 +308,7 @@ private:
 
   // The decode-time fuser (sim/Fuse.cpp) rewrites Functions in place.
   friend DecodedModule decodeFused(const Module &M, const struct FuseOptions &,
-                                   struct FuseStats *);
+                                   struct FuseStats *, struct SwapMap *);
 };
 
 } // namespace bropt

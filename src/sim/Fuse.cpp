@@ -58,7 +58,8 @@ using CmpCountMap = std::unordered_map<uint32_t, uint64_t>;
 /// Returns true if any block moved; rewrites DF in place and updates
 /// \p StartOf (final start index per original block position).
 bool layoutHotFirst(DecodedFunction &DF, std::vector<uint32_t> &StartOf,
-                    const std::vector<uint32_t> &Sizes, FuseStats &Stats) {
+                    const std::vector<uint32_t> &Sizes,
+                    const BranchHotness *Hot, FuseStats &Stats) {
   const uint32_t NumBlocks = static_cast<uint32_t>(StartOf.size());
   std::unordered_map<uint32_t, uint32_t> StartToBlock;
   StartToBlock.reserve(NumBlocks);
@@ -75,7 +76,13 @@ bool layoutHotFirst(DecodedFunction &DF, std::vector<uint32_t> &StartOf,
       TargetStart = Term.Target0;
       break;
     case DecodedOp::CondBr:
-      TargetStart = Term.Target1; // fall-through edge
+      // Static guess: the fall-through edge — which the compiler's
+      // repositioning pass already placed adjacent, so following it alone
+      // reproduces the identity layout.  Measured counts override it:
+      // when the branch is observed mostly taken, the taken target is the
+      // hot continuation and gets placed next instead.
+      TargetStart = Hot && Hot->mostlyTaken(Term.Dest) ? Term.Target0
+                                                       : Term.Target1;
       break;
     default:
       return -1;
@@ -540,8 +547,11 @@ void fuseStraightPairs(DecodedFunction &DF,
 /// sim/Threaded.cpp advance with BROPT_NEXT rather than skipping stale
 /// slots.  Call::Target0 is a function index and TrapFellOff::Dest a label
 /// index; neither is remapped.
-void compactFunction(DecodedFunction &DF, FuseStats &Stats) {
+void compactFunction(DecodedFunction &DF, FuseStats &Stats,
+                     std::vector<uint32_t> *FinalIndexOut = nullptr) {
   const size_t N = DF.Insts.size();
+  if (FinalIndexOut)
+    FinalIndexOut->assign(N, UINT32_MAX);
   if (N == 0)
     return;
 
@@ -623,6 +633,10 @@ void compactFunction(DecodedFunction &DF, FuseStats &Stats) {
     NewIdx[I] = Kept;
     Kept += Live[I];
   }
+  if (FinalIndexOut)
+    for (size_t I = 0; I < N; ++I)
+      if (Live[I])
+        (*FinalIndexOut)[I] = NewIdx[I];
   if (Kept == N)
     return;
   Stats.CompactedSlots += N - Kept;
@@ -694,9 +708,13 @@ void compactFunction(DecodedFunction &DF, FuseStats &Stats) {
 } // namespace
 
 DecodedModule bropt::decodeFused(const Module &M, const FuseOptions &Opts,
-                                 FuseStats *StatsOut) {
+                                 FuseStats *StatsOut, SwapMap *Swap) {
   DecodedModule DM = DecodedModule::decode(M);
   FuseStats Stats;
+  if (Swap) {
+    Swap->FusedIndexOf.clear();
+    Swap->FusedIndexOf.resize(DM.Functions.size());
+  }
 
   // Match profile records to condition blocks through the same detector and
   // signature check pass 2 uses; each condition block's trailing compare
@@ -740,8 +758,14 @@ DecodedModule bropt::decodeFused(const Module &M, const FuseOptions &Opts,
     }
     assert(Next == DF.Insts.size() && "block boundaries out of sync");
 
+    // Plain (pre-layout) block starts: the coordinate system swap maps
+    // are keyed by, shared with the tier-0 decoded program.
+    std::vector<uint32_t> PlainStartOf;
+    if (Swap)
+      PlainStartOf = StartOf;
+
     if (Opts.HotLayout)
-      layoutHotFirst(DF, StartOf, Sizes, Stats);
+      layoutHotFirst(DF, StartOf, Sizes, Opts.Hotness, Stats);
 
     // Profile weights on final compare indices: a condition block ends in
     // [cmp; condbr], so its compare sits two before the block's end.
@@ -768,7 +792,23 @@ DecodedModule bropt::decodeFused(const Module &M, const FuseOptions &Opts,
       fuseStraightPairs(DF, StartOf, Sizes, Stats);
     // Always last: the straight-line macro-op handlers assume a compacted
     // stream (they advance one slot, not past stale ones).
-    compactFunction(DF, Stats);
+    std::vector<uint32_t> FinalIndex;
+    compactFunction(DF, Stats, Swap ? &FinalIndex : nullptr);
+
+    // Swap map: plain block start -> final fused index of that block's
+    // first instruction.  Layout moved starts (StartOf tracks it) and
+    // compaction renumbered them (FinalIndex); fusion itself rewrites
+    // in place, so a surviving block's start slot stays its entry.
+    // Blocks swallowed whole by a chain are absent — a swap at one gets
+    // deferred to the next safe point.
+    if (Swap) {
+      auto &Map = Swap->FusedIndexOf[DF.FuncIndex];
+      for (size_t B = 0; B < PlainStartOf.size(); ++B) {
+        const uint32_t L = StartOf[B];
+        if (L < FinalIndex.size() && FinalIndex[L] != UINT32_MAX)
+          Map.emplace(PlainStartOf[B], FinalIndex[L]);
+      }
+    }
   }
 
   if (StatsOut)

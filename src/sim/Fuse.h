@@ -45,12 +45,34 @@ namespace bropt {
 
 class ProfileData;
 
+/// Measured per-branch execution counts, indexed by branch id (the same
+/// ids DecodedModule::decode assigns).  The adaptive runtime collects
+/// these from sampled execution (runtime/HotnessSampler.h); the hot-first
+/// layout uses them to follow the *measured* likely successor of each
+/// conditional branch instead of the static fall-through guess — which
+/// the compiler's repositioning pass has already made adjacent, so the
+/// static guess alone never moves anything.
+struct BranchHotness {
+  std::vector<uint64_t> Taken;
+  std::vector<uint64_t> Total;
+
+  bool empty() const { return Total.empty(); }
+  /// True when branch \p Id was observed taken more often than not.
+  bool mostlyTaken(uint32_t Id) const {
+    return Id < Total.size() && Total[Id] > 0 && 2 * Taken[Id] > Total[Id];
+  }
+};
+
 /// Tuning knobs for decodeFused().  Defaults enable everything.
 struct FuseOptions {
   /// Profile counts used to order fused chain arms hottest-first.  Bin
   /// counts are matched to compare instructions through the same sequence
   /// detector and signature check pass 2 uses.  May be null.
   const ProfileData *Profile = nullptr;
+
+  /// Measured branch bias for the hot-first layout; may be null (layout
+  /// then falls back to static likely-successor guesses).
+  const BranchHotness *Hotness = nullptr;
 
   /// Reorder blocks hot-first along likely fall-through edges.
   bool HotLayout = true;
@@ -113,12 +135,26 @@ struct FuseStats {
 /// switch fallback.  Purely informational — observables never differ.
 bool fusedDispatchIsThreaded();
 
+/// Correspondence between the plainly decoded stream and a fused stream of
+/// the same module, at block-start granularity.  The adaptive runtime's
+/// safe-point hot-swap (runtime/SwapPoint.h) uses it to translate an
+/// activation's position across program versions: plain targets are always
+/// block starts, so FusedIndexOf answers "where does this block live in
+/// the fused stream", and its inverse answers the fused-to-plain question.
+struct SwapMap {
+  /// One map per function: plain block-start index -> index of the same
+  /// block's first surviving instruction in the fused stream.  Blocks
+  /// swallowed whole by fusion or unreachable after compaction are absent.
+  std::vector<std::unordered_map<uint32_t, uint32_t>> FusedIndexOf;
+};
+
 /// Decodes \p M like DecodedModule::decode and then applies layout and
 /// fusion per \p Opts.  Pure with respect to \p M.  Branch ids, constant
 /// pools, and side-table contents for unfused ops are unchanged;
-/// DecodedInst indices generally are not (layout moves blocks).
+/// DecodedInst indices generally are not (layout moves blocks).  When
+/// \p Swap is non-null it is filled with the plain-to-fused block map.
 DecodedModule decodeFused(const Module &M, const FuseOptions &Opts = {},
-                          FuseStats *Stats = nullptr);
+                          FuseStats *Stats = nullptr, SwapMap *Swap = nullptr);
 
 } // namespace bropt
 

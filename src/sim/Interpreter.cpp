@@ -57,7 +57,8 @@ RunResult Interpreter::run(const std::string &EntryName,
     for (size_t Index = 0; Index < Global->Init.size(); ++Index)
       Memory[Global->BaseAddress + Index] = Global->Init[Index];
 
-  if (ExecutionMode == Mode::Decoded || ExecutionMode == Mode::Fused) {
+  if (ExecutionMode == Mode::Decoded || ExecutionMode == Mode::Fused ||
+      ExecutionMode == Mode::Adaptive) {
     // Without a prepared program, re-decode on every run: decoding is
     // O(static size) — noise next to the dynamic counts — and passes
     // mutate modules between runs.  Callers that run one module many
@@ -78,6 +79,9 @@ RunResult Interpreter::run(const std::string &EntryName,
       trap("argument count mismatch for entry function");
       return Result;
     }
+    // Adaptive starts in tier 0: the plainly decoded program under the
+    // decoded engine.  Hot activations migrate to fused streams through
+    // the AdaptiveHooks safe-point checks inside the dispatch loops.
     Result.ExitValue = ExecutionMode == Mode::Fused
                            ? execFused(*DM, *Entry, Args, 0)
                            : execDecoded(*DM, *Entry, Args, 0);
@@ -185,6 +189,39 @@ int64_t Interpreter::execDecoded(const DecodedModule &DM,
   int64_t CCLhs = 0, CCRhs = 0;
   const DecodedInst *Insts = F.Insts.data();
   size_t Index = 0;
+
+  // The adaptive runtime's hooks; null (one dead test per branch) unless
+  // a controller is attached.  Checked once at activation entry — so a
+  // steady-state run migrates to the published fused stream immediately —
+  // and then every SampleInterval conditional branches at block-boundary
+  // safe points.  Samples never affect observable behaviour.
+  AdaptiveHooks *const AH = Hooks;
+  if (AH && AH->TrySwap) {
+    size_t NewIndex = 0;
+    if (const DecodedModule *NewDM = AH->TrySwap(DM, F.FuncIndex, 0, NewIndex))
+      return execFused(*NewDM, NewDM->function(F.FuncIndex), Args, Depth,
+                       NewIndex, Regs, CCLhs, CCRhs);
+  }
+
+// Sampled adaptive check at a safe point: Index was just assigned a branch
+// target, which in a plainly decoded program is always a block start.
+#define BROPT_ADAPTIVE_CHECK(BRANCH_ID, TAKEN, VALUE)                          \
+  do {                                                                         \
+    if (AH && --AH->SampleCountdown == 0) {                                    \
+      AH->SampleCountdown = AH->SampleInterval;                                \
+      if (AH->OnSample)                                                        \
+        AH->OnSample(F.FuncIndex, (BRANCH_ID), (TAKEN), (VALUE));              \
+      if (AH->TrySwap) {                                                       \
+        size_t NewIndex = 0;                                                   \
+        if (const DecodedModule *NewDM =                                       \
+                AH->TrySwap(DM, F.FuncIndex, Index, NewIndex)) {               \
+          flush();                                                             \
+          return execFused(*NewDM, NewDM->function(F.FuncIndex), Args, Depth,  \
+                           NewIndex, Regs, CCLhs, CCRhs);                      \
+        }                                                                      \
+      }                                                                        \
+    }                                                                          \
+  } while (0)
 
   for (;;) {
     const DecodedInst &Inst = Insts[Index];
@@ -358,6 +395,7 @@ int64_t Interpreter::execDecoded(const DecodedModule &DM,
       if (Predictor)
         Predictor->observe(Inst.Dest, Taken);
       Index = Taken ? Inst.Target0 : Inst.Target1;
+      BROPT_ADAPTIVE_CHECK(Inst.Dest, Taken, CCLhs);
       continue;
     }
     case DecodedOp::Jump:
@@ -436,6 +474,7 @@ int64_t Interpreter::execDecoded(const DecodedModule &DM,
     }
     ++Index;
   }
+#undef BROPT_ADAPTIVE_CHECK
 #undef BROPT_COUNT_INST
 }
 

@@ -58,6 +58,32 @@ struct RunResult {
   PredictorStats Prediction; ///< filled if a predictor was attached
 };
 
+/// Callbacks the adaptive runtime (src/runtime/AdaptiveController.h)
+/// installs into the execution engines.  Every conditional-branch handler
+/// decrements SampleCountdown; when it hits zero the engine reports one
+/// sample and offers the controller a chance to swap the current
+/// activation onto a different program version.  The check sits after the
+/// branch target assignment, so execution is always at a block start — the
+/// safe point — when the hooks fire.  Samples must never influence
+/// observable behaviour: they only feed tiering decisions.
+struct AdaptiveHooks {
+  /// Conditional branches between samples (>= 1).
+  uint32_t SampleInterval = 64;
+  /// Live countdown to the next sample; engines decrement it in place.
+  uint32_t SampleCountdown = 64;
+  /// One profiling sample: (function index, branch id, taken, compare
+  /// lhs value at the branch).
+  std::function<void(uint32_t, uint32_t, bool, int64_t)> OnSample;
+  /// Offers a hot-swap at a safe point.  \p Cur is the program the
+  /// activation executes, \p Index its current block-start index.
+  /// Returns the program to continue in (with \p NewIndex set to the
+  /// corresponding block start there) or null to keep running \p Cur.
+  std::function<const DecodedModule *(const DecodedModule &Cur,
+                                      uint32_t FuncIndex, size_t Index,
+                                      size_t &NewIndex)>
+      TrySwap;
+};
+
 /// Interprets bropt IR.
 ///
 /// The interpreter is deliberately simple and deterministic: registers are
@@ -80,6 +106,12 @@ public:
     /// supports it) over a hot-first laid out, superinstruction-fused
     /// program (sim/Fuse.h).  The default.
     Fused,
+    /// Tier 0 of the adaptive runtime (src/runtime/): executes the plainly
+    /// decoded program like Decoded, but honours installed AdaptiveHooks —
+    /// sampled profiling plus hot-swapping the activation onto a fused
+    /// stream at block-boundary safe points.  With no hooks installed this
+    /// is exactly Decoded.
+    Adaptive,
   };
 
   explicit Interpreter(const Module &M, Mode ExecMode = Mode::Fused);
@@ -116,6 +148,11 @@ public:
   /// Ignored by the tree walker; pass null to revert to per-run decoding.
   void setPreparedProgram(const DecodedModule *DM) { Prepared = DM; }
 
+  /// Installs (or clears, with null) the adaptive runtime's hooks.  Only
+  /// honoured by the decoded and fused engines; the caller keeps \p H
+  /// alive and may mutate its countdown fields between runs.
+  void setAdaptiveHooks(AdaptiveHooks *H) { Hooks = H; }
+
   /// Runs \p EntryName with \p Args.  Resets all counters first.
   RunResult run(const std::string &EntryName = "main",
                 const std::vector<int64_t> &Args = {});
@@ -130,8 +167,18 @@ private:
                        unsigned Depth);
   int64_t execDecoded(const DecodedModule &DM, const DecodedFunction &F,
                       const std::vector<int64_t> &Args, unsigned Depth);
+  /// Executes \p F in the fused engine.  The trailing parameters resume an
+  /// activation hot-swapped from another program version: when
+  /// \p ResumeRegs is non-null the frame's registers are copied from it
+  /// (Args is ignored), the condition codes start at the resume values,
+  /// and execution begins at \p StartIndex — which must be a block start.
+  /// Frame transfer is sound because fusion rewrites instructions in place
+  /// without touching NumRegs or the constant pool.
   int64_t execFused(const DecodedModule &DM, const DecodedFunction &F,
-                    const std::vector<int64_t> &Args, unsigned Depth);
+                    const std::vector<int64_t> &Args, unsigned Depth,
+                    size_t StartIndex = 0,
+                    const int64_t *ResumeRegs = nullptr,
+                    int64_t ResumeCCLhs = 0, int64_t ResumeCCRhs = 0);
   void trap(std::string Reason);
 
   int64_t readOperand(const Operand &Op,
@@ -143,6 +190,7 @@ private:
   size_t InputCursor = 0;
   BranchPredictor *Predictor = nullptr;
   const DecodedModule *Prepared = nullptr;
+  AdaptiveHooks *Hooks = nullptr;
   ProfileCallback OnProfile;
   ProfileCallback OnComboProfile;
   uint64_t InstructionLimit = 2'000'000'000;

@@ -64,12 +64,14 @@ inline bool evalCC(CondCode CC, int64_t Lhs, int64_t Rhs) {
 int64_t Interpreter::execFused(const DecodedModule &DM,
                                const DecodedFunction &F,
                                const std::vector<int64_t> &Args,
-                               unsigned Depth) {
+                               unsigned Depth, size_t StartIndex,
+                               const int64_t *ResumeRegs, int64_t ResumeCCLhs,
+                               int64_t ResumeCCRhs) {
   if (Depth > MaxCallDepth) {
     trap("call depth limit exceeded");
     return 0;
   }
-  assert(Args.size() == F.NumParams && "bad argument count");
+  assert((ResumeRegs || Args.size() == F.NumParams) && "bad argument count");
   if (!F.HasBody) {
     trap(formatString("function '%s' has no body", F.Name.c_str()));
     return 0;
@@ -77,10 +79,16 @@ int64_t Interpreter::execFused(const DecodedModule &DM,
 
   // Frame layout and counter discipline are identical to execDecoded:
   // registers then interned constants; counters accumulate in locals and
-  // flush at every exit and around recursive calls.
+  // flush at every exit and around recursive calls.  A hot-swapped
+  // activation resumes with the register file copied from the frame it
+  // left behind — fusion never changes NumRegs or the constant pool, so
+  // the slot layout matches.
   std::vector<int64_t> Frame(F.numSlots(), 0);
   int64_t *Regs = Frame.data();
-  std::copy(Args.begin(), Args.end(), Regs);
+  if (ResumeRegs)
+    std::copy(ResumeRegs, ResumeRegs + F.NumRegs, Regs);
+  else
+    std::copy(Args.begin(), Args.end(), Regs);
   std::copy(F.Constants.begin(), F.Constants.end(), Regs + F.NumRegs);
 
   DynamicCounts LC;
@@ -186,7 +194,7 @@ int64_t Interpreter::execFused(const DecodedModule &DM,
     }                                                                          \
   } while (0)
 
-  int64_t CCLhs = 0, CCRhs = 0;
+  int64_t CCLhs = ResumeCCLhs, CCRhs = ResumeCCRhs;
   const DecodedInst *Insts = F.Insts.data();
   // The simulated heap is sized once in exec() and never reallocated while
   // code runs, and the predictor pointer is fixed for the whole call; local
@@ -195,7 +203,41 @@ int64_t Interpreter::execFused(const DecodedModule &DM,
   int64_t *const Mem = Memory.data();
   const uint64_t MemSize = Memory.size();
   BranchPredictor *const Pred = Predictor;
-  size_t Index = 0;
+  size_t Index = StartIndex;
+
+  // Adaptive-runtime hooks: null (one dead test per branch handler) unless
+  // a controller is attached.  The entry check lets an activation migrate
+  // to a newer program version (drift re-optimization) before running.
+  AdaptiveHooks *const AH = Hooks;
+  if (AH && AH->TrySwap) {
+    size_t NewIndex = 0;
+    if (const DecodedModule *NewDM =
+            AH->TrySwap(DM, F.FuncIndex, Index, NewIndex))
+      return execFused(*NewDM, NewDM->function(F.FuncIndex), Args, Depth,
+                       NewIndex, Regs, CCLhs, CCRhs);
+  }
+
+// Sampled adaptive check at a safe point: Index was just assigned a branch
+// target, which is always the start of a surviving block in the fused
+// stream (MultiCmp arm targets resolve to independently reachable block
+// starts).  Samples feed tiering only — never observable behaviour.
+#define BROPT_ADAPTIVE_CHECK(BRANCH_ID, TAKEN, VALUE)                          \
+  do {                                                                         \
+    if (AH && --AH->SampleCountdown == 0) {                                    \
+      AH->SampleCountdown = AH->SampleInterval;                                \
+      if (AH->OnSample)                                                        \
+        AH->OnSample(F.FuncIndex, (BRANCH_ID), (TAKEN), (VALUE));              \
+      if (AH->TrySwap) {                                                       \
+        size_t NewIndex = 0;                                                   \
+        if (const DecodedModule *NewDM =                                       \
+                AH->TrySwap(DM, F.FuncIndex, Index, NewIndex)) {               \
+          flush();                                                             \
+          return execFused(*NewDM, NewDM->function(F.FuncIndex), Args, Depth,  \
+                           NewIndex, Regs, CCLhs, CCRhs);                      \
+        }                                                                      \
+      }                                                                        \
+    }                                                                          \
+  } while (0)
 
 // Dispatch plumbing.  Handler bodies are written once; BROPT_OP opens a
 // handler and BROPT_DISPATCH transfers to the handler of Insts[Index].
@@ -385,6 +427,7 @@ Dispatch:
     if (Pred)
       Pred->observe(Inst.Dest, Taken);
     Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_ADAPTIVE_CHECK(Inst.Dest, Taken, CCLhs);
     BROPT_DISPATCH();
   }
 
@@ -466,6 +509,7 @@ Dispatch:
     if (Pred)
       Pred->observe(Inst.Dest, Taken);
     Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_ADAPTIVE_CHECK(Inst.Dest, Taken, CCLhs);
     BROPT_DISPATCH();
   }
 
@@ -511,6 +555,11 @@ Dispatch:
         CCRhs = Last.Rhs.read(Regs);
         Index = Inst.Target0;
       }
+      // One sample for the whole ladder, attributed to the first logical
+      // arm — the ladder head — with its compare value, mirroring where
+      // the decoded tier samples the same sequence.
+      BROPT_ADAPTIVE_CHECK(Arms[0].BranchId, Winner == 0,
+                           Arms[0].Lhs.read(Regs));
       BROPT_DISPATCH();
     }
     if (Pred && Remaining >= 2ull * NumArms) {
@@ -538,6 +587,8 @@ Dispatch:
       CCLhs = LastArm.Lhs.read(Regs);
       CCRhs = LastArm.Rhs.read(Regs);
       Index = Matched ? LastArm.Target : Inst.Target0;
+      BROPT_ADAPTIVE_CHECK(Arms[0].BranchId, Matched && Arm == 0,
+                           Arms[0].Lhs.read(Regs));
       BROPT_DISPATCH();
     }
     // Slow path: the instruction limit may trip mid-chain.  Replay the
@@ -588,6 +639,7 @@ Dispatch:
     if (Pred)
       Pred->observe(Inst.Extra, Taken);
     Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_ADAPTIVE_CHECK(Inst.Extra, Taken, CCLhs);
     BROPT_DISPATCH();
   }
 
@@ -612,6 +664,7 @@ Dispatch:
     if (Pred)
       Pred->observe(Inst.Extra, Taken);
     Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_ADAPTIVE_CHECK(Inst.Extra, Taken, CCLhs);
     BROPT_DISPATCH();
   }
 
@@ -639,6 +692,7 @@ Dispatch:
     if (Pred)
       Pred->observe(Inst.Extra, Taken);
     Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_ADAPTIVE_CHECK(Inst.Extra, Taken, CCLhs);
     BROPT_DISPATCH();
   }
 
@@ -661,6 +715,7 @@ Dispatch:
     if (Pred)
       Pred->observe(Inst.Extra, Taken);
     Index = Taken ? Inst.Target0 : Inst.Target1;
+    BROPT_ADAPTIVE_CHECK(Inst.Extra, Taken, CCLhs);
     BROPT_DISPATCH();
   }
 
@@ -1001,6 +1056,7 @@ Dispatch:
 #undef BROPT_NEXT
 #undef BROPT_OP
 #undef BROPT_DISPATCH
+#undef BROPT_ADAPTIVE_CHECK
 #undef BROPT_EVAL_BINARY
 #undef BROPT_COUNT_INST
 }

@@ -190,6 +190,105 @@ TEST(EvaluatorTest, ParallelEvaluationPreservesOrderAndResults) {
   }
 }
 
+EvaluatorOptions adaptiveOptions() {
+  EvaluatorOptions Opts;
+  Opts.Mode = Interpreter::Mode::Adaptive;
+  // Aggressive knobs so the tiny workload tiers up within one measurement.
+  Opts.Runtime.HotThreshold = 64;
+  Opts.Runtime.SampleInterval = 4;
+  Opts.Runtime.DriftWindow = 16;
+  Opts.Runtime.MinSamplesBetweenRecompiles = 32;
+  return Opts;
+}
+
+TEST(EvaluatorTest, AdaptiveControllersAreCachedAndStateful) {
+  Evaluator Eval(adaptiveOptions());
+  Workload W = tinyWorkload();
+  // Long enough to cross the (shrunk) hot threshold during measurement.
+  W.TestInput.clear();
+  for (int Index = 0; Index < 100; ++Index)
+    W.TestInput += "aababab bab";
+  CompileOptions Options;
+
+  WorkloadRecord First = Eval.evaluateWorkload(W, Options);
+  ASSERT_TRUE(First.Eval.ok()) << First.Eval.Error;
+  EXPECT_FALSE(First.BaselineAdaptiveHit);
+  EXPECT_FALSE(First.ReorderedAdaptiveHit);
+  EXPECT_EQ(Eval.stats().AdaptiveMisses, 2u);
+  EXPECT_EQ(Eval.stats().AdaptiveHits, 0u);
+  EXPECT_GT(First.Eval.Baseline.Runtime.SamplesTaken, 0u);
+  EXPECT_GT(First.Eval.Baseline.Runtime.TierUps, 0u);
+  EXPECT_GT(First.Eval.Baseline.Runtime.Swaps, 0u);
+
+  // The second evaluation re-enters the cached controllers: no fresh
+  // tier-up (the profile state carried over), but a new entry swap —
+  // evolving state, which is exactly what distinguishes an adaptive hit
+  // from a DecodeCache hit on an immutable program.
+  WorkloadRecord Second = Eval.evaluateWorkload(W, Options);
+  ASSERT_TRUE(Second.Eval.ok()) << Second.Eval.Error;
+  EXPECT_TRUE(Second.BaselineAdaptiveHit);
+  EXPECT_TRUE(Second.ReorderedAdaptiveHit);
+  EXPECT_EQ(Eval.stats().AdaptiveHits, 2u);
+  EXPECT_EQ(Eval.stats().AdaptiveMisses, 2u);
+  EXPECT_EQ(Second.Eval.Baseline.Runtime.TierUps,
+            First.Eval.Baseline.Runtime.TierUps);
+  EXPECT_GT(Second.Eval.Baseline.Runtime.Swaps,
+            First.Eval.Baseline.Runtime.Swaps);
+
+  // Tiering mid-measurement must not perturb a single observable.
+  expectSameMeasurement(First.Eval.Baseline, Second.Eval.Baseline);
+  expectSameMeasurement(First.Eval.Reordered, Second.Eval.Reordered);
+  EvaluatorOptions DecodedMode;
+  DecodedMode.Mode = Interpreter::Mode::Decoded;
+  Evaluator Decoded(DecodedMode);
+  WorkloadRecord Reference = Decoded.evaluateWorkload(W, Options);
+  ASSERT_TRUE(Reference.Eval.ok()) << Reference.Eval.Error;
+  expectSameMeasurement(First.Eval.Baseline, Reference.Eval.Baseline);
+  expectSameMeasurement(First.Eval.Reordered, Reference.Eval.Reordered);
+}
+
+TEST(EvaluatorTest, ClearCacheDropsAdaptiveControllers) {
+  // After clearCache the evolving profile is gone: re-evaluation builds
+  // fresh controllers that re-tier from scratch and — determinism check —
+  // observe exactly the sample trajectory of the first cold run.
+  Evaluator Eval(adaptiveOptions());
+  Workload W = tinyWorkload();
+  W.TestInput.clear();
+  for (int Index = 0; Index < 100; ++Index)
+    W.TestInput += "aababab bab";
+  CompileOptions Options;
+
+  WorkloadRecord Cold = Eval.evaluateWorkload(W, Options);
+  ASSERT_TRUE(Cold.Eval.ok()) << Cold.Eval.Error;
+  Eval.clearCache();
+  WorkloadRecord Fresh = Eval.evaluateWorkload(W, Options);
+  ASSERT_TRUE(Fresh.Eval.ok()) << Fresh.Eval.Error;
+  EXPECT_FALSE(Fresh.BaselineAdaptiveHit);
+  EXPECT_FALSE(Fresh.ReorderedAdaptiveHit);
+  EXPECT_EQ(Eval.stats().AdaptiveMisses, 4u);
+  EXPECT_EQ(Fresh.Eval.Baseline.Runtime.SamplesTaken,
+            Cold.Eval.Baseline.Runtime.SamplesTaken);
+  EXPECT_EQ(Fresh.Eval.Baseline.Runtime.TierUps,
+            Cold.Eval.Baseline.Runtime.TierUps);
+  expectSameMeasurement(Cold.Eval.Baseline, Fresh.Eval.Baseline);
+}
+
+TEST(EvaluatorTest, AdaptiveReFusionsCountDriftRebuilds) {
+  // A phase-shift input makes a cached controller rebuild *after* its
+  // tier-up build; stats must attribute that to AdaptiveReFusions, not
+  // bury it among plain cache hits.
+  Evaluator Eval(adaptiveOptions());
+  Workload W = tinyWorkload();
+  W.TestInput.assign(800, 'a');
+  W.TestInput.append(800, 'z');
+  CompileOptions Options;
+  WorkloadRecord Record = Eval.evaluateWorkload(W, Options);
+  ASSERT_TRUE(Record.Eval.ok()) << Record.Eval.Error;
+  EXPECT_GT(Record.Eval.Baseline.Runtime.DriftEvents, 0u);
+  EXPECT_GE(Record.Eval.Baseline.Runtime.Recompiles, 2u);
+  EXPECT_GT(Eval.stats().AdaptiveReFusions, 0u);
+}
+
 TEST(EvaluatorTest, FrontEndErrorsAreReported) {
   Evaluator Eval;
   Workload Broken = tinyWorkload();

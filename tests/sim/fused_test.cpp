@@ -14,6 +14,7 @@
 #include "driver/Driver.h"
 #include "ir/IRBuilder.h"
 #include "profile/ProfileData.h"
+#include "runtime/HotnessSampler.h"
 #include "sim/Fuse.h"
 #include "sim/Interpreter.h"
 #include "workloads/Workloads.h"
@@ -320,6 +321,90 @@ TEST(FusedProfileTest, ProfileOrderedChainsStayEquivalent) {
     expectSameObservables(Tree, FusedRun);
   }
   EXPECT_GT(TotalReordered, 0u);
+}
+
+TEST(FusedLayoutTest, MeasuredHotnessMovesHotSuccessorIntoFallThrough) {
+  // Regression for the dead hot-first layout: the compiler's block
+  // repositioning already makes the static likely successor the
+  // fall-through, so layout without measured bias never moves anything
+  // (the committed BENCH_engine.json showed blocks_moved: 0).  When
+  // BranchHotness says the *taken* side is the hot one, the layout must
+  // move it into fall-through position — and stay bit-identical.
+  Module M;
+  Function *F = M.createFunction("main", 1);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Cold = F->createBlock("cold");
+  BasicBlock *Hot = F->createBlock("hot");
+  IRBuilder Builder(Entry);
+  Builder.emitCmp(Operand::reg(0), Operand::imm(0));
+  Builder.emitCondBr(CondCode::EQ, Hot, Cold); // taken -> Hot, last in layout
+  Builder.setInsertionPoint(Cold);
+  Builder.emitRet(Operand::imm(1));
+  Builder.setInsertionPoint(Hot);
+  Builder.emitRet(Operand::imm(2));
+
+  // The original order is already the static guess: nothing moves.
+  FuseStats StaticStats;
+  decodeFused(M, {}, &StaticStats);
+  EXPECT_EQ(StaticStats.BlocksMoved, 0u);
+  EXPECT_EQ(StaticStats.FunctionsLaidOut, 0u);
+
+  // The single CondBr gets branch id 0; mark it mostly taken.
+  BranchHotness Measured;
+  Measured.Taken.assign(1, 10);
+  Measured.Total.assign(1, 10);
+  FuseOptions Opts;
+  Opts.Hotness = &Measured;
+  FuseStats Stats;
+  SwapMap Map;
+  DecodedModule DM = decodeFused(M, Opts, &Stats, &Map);
+  EXPECT_GT(Stats.BlocksMoved, 0u);
+  EXPECT_EQ(Stats.FunctionsLaidOut, 1u);
+  // The swap map must survive the move: the entry block keeps index 0 and
+  // every mapped start points into the fused stream.
+  ASSERT_EQ(Map.FusedIndexOf.size(), 1u);
+  ASSERT_TRUE(Map.FusedIndexOf[0].count(0));
+  EXPECT_EQ(Map.FusedIndexOf[0].at(0), 0u);
+  for (auto [Plain, Fused] : Map.FusedIndexOf[0])
+    EXPECT_LT(Fused, DM.function(0).Insts.size());
+
+  for (int64_t Arg : {0, 1}) {
+    SCOPED_TRACE(Arg);
+    RunResult Tree =
+        runEngine(M, Interpreter::Mode::Tree, nullptr, "", false, 0, {Arg});
+    RunResult FusedRun =
+        runEngine(M, Interpreter::Mode::Fused, &DM, "", false, 0, {Arg});
+    expectSameObservables(Tree, FusedRun);
+    EXPECT_EQ(FusedRun.ExitValue, Arg == 0 ? 2 : 1);
+  }
+}
+
+TEST(FusedLayoutTest, WorkloadHotnessProducesNonzeroLayoutStats) {
+  // The benchmark harness feeds decodeFused the measured bias from a
+  // profiling run (collectBranchHotness); across the standard workloads
+  // that must actually fire the layout, or the committed engine stats
+  // regress to the all-zero state this PR fixes.
+  uint64_t Moved = 0, LaidOut = 0;
+  for (const Workload &W : standardWorkloads()) {
+    SCOPED_TRACE(W.Name);
+    CompileResult Baseline = compileBaseline(W.Source, CompileOptions());
+    ASSERT_TRUE(Baseline.ok()) << Baseline.Error;
+    BranchHotness Measured =
+        collectBranchHotness(*Baseline.M, W.TrainingInput);
+    FuseOptions Opts;
+    Opts.Hotness = &Measured;
+    FuseStats Stats;
+    DecodedModule DM = decodeFused(*Baseline.M, Opts, &Stats);
+    Moved += Stats.BlocksMoved;
+    LaidOut += Stats.FunctionsLaidOut;
+    RunResult Tree =
+        runEngine(*Baseline.M, Interpreter::Mode::Tree, nullptr, W.TestInput);
+    RunResult FusedRun =
+        runEngine(*Baseline.M, Interpreter::Mode::Fused, &DM, W.TestInput);
+    expectSameObservables(Tree, FusedRun);
+  }
+  EXPECT_GT(Moved, 0u);
+  EXPECT_GT(LaidOut, 0u);
 }
 
 TEST(FusedPreparedTest, PreparedProgramIsReusableAcrossRuns) {

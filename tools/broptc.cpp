@@ -19,14 +19,20 @@
 //   --stats               print detection/reordering statistics
 //   --run                 interpret the program and echo its output
 //   --predict             with --run: report (0,2)/2048 mispredictions
-//   --interp MODE         execution engine for --run: 'decoded' (default,
-//                         pre-decoded flat dispatch) or 'tree' (reference
-//                         tree-walking interpreter)
+//   --interp MODE         execution engine for --run: 'fused' (default),
+//                         'decoded' (pre-decoded flat dispatch), 'tree'
+//                         (reference tree-walking interpreter), or
+//                         'adaptive' (online tiering; see docs/RUNTIME.md)
+//   --adaptive            shorthand for --interp adaptive; prints the
+//                         tiering counters after the run
+//   --adaptive-trace      with the adaptive engine: log tier-up, swap,
+//                         drift, and recompile events to stderr
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/Driver.h"
 #include "ir/Printer.h"
+#include "runtime/AdaptiveController.h"
 #include "sim/Interpreter.h"
 
 #include <cstdio>
@@ -47,7 +53,8 @@ namespace {
                "[--ijmp-cost N]\n"
                "              [--emit-ir] [--profile FILE] [--stats] "
                "[--run] [--predict]\n"
-               "              [--interp fused|decoded|tree]\n");
+               "              [--interp fused|decoded|tree|adaptive] "
+               "[--adaptive] [--adaptive-trace]\n");
   std::exit(2);
 }
 
@@ -72,6 +79,8 @@ struct CliOptions {
   bool Stats = false;
   bool Run = false;
   bool Predict = false;
+  bool AdaptiveStats = false;
+  bool AdaptiveTrace = false;
   Interpreter::Mode InterpMode = Interpreter::Mode::Fused;
 };
 
@@ -123,8 +132,18 @@ CliOptions parseArgs(int Argc, char **Argv) {
         Options.InterpMode = Interpreter::Mode::Decoded;
       else if (Mode == "tree")
         Options.InterpMode = Interpreter::Mode::Tree;
+      else if (Mode == "adaptive")
+        Options.InterpMode = Interpreter::Mode::Adaptive;
       else
-        usageError("--interp expects 'fused', 'decoded', or 'tree'");
+        usageError(
+            "--interp expects 'fused', 'decoded', 'tree', or 'adaptive'");
+    } else if (Arg == "--adaptive") {
+      Options.InterpMode = Interpreter::Mode::Adaptive;
+      Options.AdaptiveStats = true;
+    } else if (Arg == "--adaptive-trace") {
+      Options.InterpMode = Interpreter::Mode::Adaptive;
+      Options.AdaptiveStats = true;
+      Options.AdaptiveTrace = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       usageError(("unknown option " + Arg).c_str());
     } else if (Options.SourcePath.empty()) {
@@ -202,12 +221,24 @@ int main(int Argc, char **Argv) {
       Input = readFileOrDie(Options.InputPath);
     Interpreter Interp(*Result.M, Options.InterpMode);
     Interp.setInput(Input);
+    std::unique_ptr<AdaptiveController> Adaptive;
+    if (Options.InterpMode == Interpreter::Mode::Adaptive) {
+      RuntimeOptions RO;
+      if (Options.AdaptiveTrace)
+        RO.Trace = [](const std::string &Event) {
+          std::fprintf(stderr, "[adaptive] %s\n", Event.c_str());
+        };
+      Adaptive = std::make_unique<AdaptiveController>(*Result.M, RO);
+      Adaptive->attach(Interp);
+    }
     std::optional<BranchPredictor> Predictor;
     if (Options.Predict) {
       Predictor.emplace(PredictorConfig::ultraSparc());
       Interp.attachPredictor(&*Predictor);
     }
     RunResult Run = Interp.run();
+    if (Adaptive)
+      Adaptive->drainBackgroundWork();
     if (Run.Trapped) {
       std::fprintf(stderr, "broptc: program trapped: %s\n",
                    Run.TrapReason.c_str());
@@ -228,6 +259,22 @@ int main(int Argc, char **Argv) {
                        Predictor->getStats().Mispredictions),
                    static_cast<unsigned long long>(
                        Predictor->getStats().Branches));
+    if (Adaptive && Options.AdaptiveStats) {
+      RuntimeStats RS = Adaptive->stats();
+      std::fprintf(
+          stderr,
+          "adaptive: %llu samples, %llu tier-up(s), %llu swap(s) "
+          "(%llu deferred), %llu drift event(s), %llu recompile(s) "
+          "(%llu suppressed, %.3fs)\n",
+          static_cast<unsigned long long>(RS.SamplesTaken),
+          static_cast<unsigned long long>(RS.TierUps),
+          static_cast<unsigned long long>(RS.Swaps),
+          static_cast<unsigned long long>(RS.DeferredSwaps),
+          static_cast<unsigned long long>(RS.DriftEvents),
+          static_cast<unsigned long long>(RS.Recompiles),
+          static_cast<unsigned long long>(RS.RecompilesSuppressed),
+          RS.RecompileSeconds);
+    }
   }
   return 0;
 }
