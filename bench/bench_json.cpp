@@ -33,7 +33,7 @@
 
 #include "BenchUtil.h"
 
-#include "profile/ProfileData.h"
+#include "profile/ProfileDB.h"
 #include "runtime/AdaptiveController.h"
 #include "runtime/HotnessSampler.h"
 #include "sim/Fuse.h"
@@ -270,7 +270,7 @@ FuseStats collectFuseStats() {
       continue;
     FuseStats Stats;
     FuseOptions FO;
-    ProfileData Profile;
+    ProfileDB Profile;
     if (Profile.deserialize(Reordered.ProfileText))
       FO.Profile = &Profile;
     BranchHotness BaselineHot =
@@ -312,6 +312,49 @@ RuntimeOptions benchRuntimeOptions() {
   Runtime.HotThreshold = 2048;
   Runtime.SampleInterval = 64;
   return Runtime;
+}
+
+/// How much of the statically detected profiling surface the adaptive
+/// runtime's sampled profiles actually cover, aggregated over one
+/// training run per standard workload: sequences with any counts vs
+/// detected, nonzero bins vs total, plus the sample-attribution and drift
+/// counters.  Answers "is the online profile good enough to replay?"
+struct ProfileQuality {
+  uint64_t SequencesDetected = 0;
+  uint64_t SequencesProfiled = 0;
+  uint64_t BinsTotal = 0;
+  uint64_t BinsNonzero = 0;
+  uint64_t DroppedSamples = 0;
+  uint64_t DriftEvents = 0;
+};
+
+ProfileQuality collectProfileQuality() {
+  ProfileQuality Quality;
+  for (const Workload &W : standardWorkloads()) {
+    CompileResult Compiled = compileBaseline(W.Source, CompileOptions());
+    if (!Compiled.ok())
+      continue;
+    AdaptiveController Controller(*Compiled.M, benchRuntimeOptions());
+    Interpreter Interp(*Compiled.M, Interpreter::Mode::Adaptive);
+    Controller.attach(Interp);
+    Interp.setInput(W.TrainingInput);
+    Interp.run();
+    Controller.drainBackgroundWork();
+    ProfileDB DB;
+    Controller.exportProfile(DB);
+    for (const ProfileEntry &Entry : DB) {
+      ++Quality.SequencesDetected;
+      if (Entry.totalExecutions())
+        ++Quality.SequencesProfiled;
+      Quality.BinsTotal += Entry.BinCounts.size();
+      for (uint64_t Count : Entry.BinCounts)
+        Quality.BinsNonzero += Count != 0;
+    }
+    RuntimeStats Stats = Controller.stats();
+    Quality.DroppedSamples += Stats.DroppedSamples;
+    Quality.DriftEvents += Stats.DriftEvents;
+  }
+  return Quality;
 }
 
 /// The workload online tiering exists for: a classifier whose input byte
@@ -566,6 +609,16 @@ int main(int Argc, char **Argv) {
   }
 
   FuseStats Fusion = collectFuseStats();
+  ProfileQuality Quality = collectProfileQuality();
+  std::printf("  profile quality: %llu/%llu sequences profiled, "
+              "%llu/%llu bins covered, %llu dropped samples, "
+              "%llu drift events\n",
+              (unsigned long long)Quality.SequencesProfiled,
+              (unsigned long long)Quality.SequencesDetected,
+              (unsigned long long)Quality.BinsNonzero,
+              (unsigned long long)Quality.BinsTotal,
+              (unsigned long long)Quality.DroppedSamples,
+              (unsigned long long)Quality.DriftEvents);
 
   // Tiering counters, summed over the first sweep's controllers in the
   // serial adaptive configuration (snapshots are cumulative per cached
@@ -686,7 +739,20 @@ int main(int Argc, char **Argv) {
             << Tiering.RecompilesSuppressed
             << ", \"recompile_seconds\": " << Tiering.RecompileSeconds
             << ", \"samples_at_first_swap\": "
-            << Tiering.SamplesAtFirstSwap << "},\n";
+            << Tiering.SamplesAtFirstSwap
+            << ", \"dropped_samples\": " << Tiering.DroppedSamples << "},\n";
+  EngineOut << "    \"profile_quality\": {\"sequences_detected\": "
+            << Quality.SequencesDetected
+            << ", \"sequences_profiled\": " << Quality.SequencesProfiled
+            << ", \"bins_total\": " << Quality.BinsTotal
+            << ", \"bins_nonzero\": " << Quality.BinsNonzero
+            << ", \"bin_coverage\": "
+            << (Quality.BinsTotal
+                    ? static_cast<double>(Quality.BinsNonzero) /
+                          static_cast<double>(Quality.BinsTotal)
+                    : 0.0)
+            << ", \"dropped_samples\": " << Quality.DroppedSamples
+            << ", \"drift_events\": " << Quality.DriftEvents << "},\n";
   EngineOut << "    \"overhead_vs_fused_serial\": " << AdaptiveOverheadVsFused
             << ",\n";
   EngineOut << "    \"phase_shift\": {\"input_bytes\": "

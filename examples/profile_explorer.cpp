@@ -55,6 +55,7 @@ int main() {
     return 1;
   }
 
+  SequenceKeyer Keyer;
   for (const RangeSequence &Seq : Pass1.Sequences) {
     std::printf("Sequence %u in %s, branch variable r%u\n", Seq.Id,
                 Seq.F->getName().c_str(), Seq.ValueReg);
@@ -67,7 +68,10 @@ int main() {
     for (const Range &R : Seq.DefaultRanges)
       std::printf("    %s\n", R.toString().c_str());
 
-    const SequenceProfile *Prof = Pass1.Profile.lookup(Seq.Id);
+    const ProfileEntry *Prof = Pass1.Profile.lookupSequence(
+        ProfileKind::RangeBins, Seq.F->getName(), Seq.signature(),
+        Seq.Conds.size() + Seq.DefaultRanges.size(), Keyer.next(
+            ProfileKind::RangeBins, Seq.F->getName()));
     if (!Prof || Prof->totalExecutions() == 0) {
       std::printf("  (never executed in training)\n\n");
       continue;

@@ -213,10 +213,11 @@ std::vector<CommonSuccessorSequence> bropt::detectCommonSuccessorSequences(
 
 void bropt::instrumentCommonSuccessorSequences(
     const std::vector<CommonSuccessorSequence> &Sequences,
-    ProfileData &Data) {
+    ProfileDB &DB) {
   for (const CommonSuccessorSequence &Seq : Sequences) {
-    Data.registerSequence(Seq.Id, Seq.F->getName(), Seq.signature(),
-                          size_t{1} << Seq.Branches.size());
+    DB.registerSequence(ProfileKind::ComboOutcomes, Seq.Id,
+                        Seq.F->getName(), Seq.signature(),
+                        size_t{1} << Seq.Branches.size());
     std::vector<ComboProfileInst::Condition> Conditions;
     for (const CommonBranchDesc &Branch : Seq.Branches)
       Conditions.push_back({Branch.Lhs, Branch.Rhs, Branch.ExitPred});
@@ -232,7 +233,7 @@ void bropt::instrumentCommonSuccessorSequences(
 }
 
 double bropt::expectedChainBranches(const CommonSuccessorSequence &Seq,
-                                    const SequenceProfile &Prof,
+                                    const ProfileEntry &Prof,
                                     const ChainOrder &Order) {
   const double Total = static_cast<double>(Prof.totalExecutions());
   double Expected = 0.0;
@@ -310,7 +311,7 @@ void enumerateChainOrders(const CommonSuccessorSequence &Seq,
 } // namespace
 
 ChainOrder bropt::selectChainOrder(const CommonSuccessorSequence &Seq,
-                                   const SequenceProfile &Prof,
+                                   const ProfileEntry &Prof,
                                    double *ExpectedBefore,
                                    double *ExpectedAfter) {
   assert(Prof.BinCounts.size() == (size_t{1} << Seq.Branches.size()) &&
@@ -333,7 +334,7 @@ ChainOrder bropt::selectChainOrder(const CommonSuccessorSequence &Seq,
 }
 
 std::vector<size_t> bropt::selectCommonSuccessorOrder(
-    const CommonSuccessorSequence &Seq, const SequenceProfile &Prof,
+    const CommonSuccessorSequence &Seq, const ProfileEntry &Prof,
     double *ExpectedBefore, double *ExpectedAfter) {
   assert(Seq.groupCount() == 1 &&
          "use selectChainOrder for multi-group chains");
@@ -393,13 +394,16 @@ void rewriteSequence(const CommonSuccessorSequence &Seq,
 
 CommonSuccessorStats bropt::reorderCommonSuccessorSequences(
     const std::vector<CommonSuccessorSequence> &Sequences,
-    const ProfileData &Profile, uint64_t MinExecutions) {
+    const ProfileDB &Profile, uint64_t MinExecutions) {
   CommonSuccessorStats Stats;
+  SequenceKeyer Keyer;
   for (const CommonSuccessorSequence &Seq : Sequences) {
     ++Stats.Detected;
-    const SequenceProfile *Prof = Profile.lookup(Seq.Id);
-    if (!Prof || Prof->Signature != Seq.signature() ||
-        Prof->BinCounts.size() != (size_t{1} << Seq.Branches.size())) {
+    const ProfileEntry *Prof = Profile.lookupSequence(
+        ProfileKind::ComboOutcomes, Seq.F->getName(), Seq.signature(),
+        size_t{1} << Seq.Branches.size(),
+        Keyer.next(ProfileKind::ComboOutcomes, Seq.F->getName()));
+    if (!Prof) {
       ++Stats.ProfileProblems;
       continue;
     }

@@ -27,7 +27,7 @@
 #define BROPT_CORE_COMMONSUCCESSOR_H
 
 #include "core/SequenceDetection.h"
-#include "profile/ProfileData.h"
+#include "profile/ProfileDB.h"
 
 #include <unordered_set>
 
@@ -88,29 +88,29 @@ std::vector<CommonSuccessorSequence> detectCommonSuccessorSequences(
     const std::unordered_set<const BasicBlock *> &ClaimedBlocks);
 
 /// Inserts a ComboProfile hook at each sequence head and registers 2^n
-/// bins with \p Data.
+/// bins with \p DB.
 void instrumentCommonSuccessorSequences(
-    const std::vector<CommonSuccessorSequence> &Sequences, ProfileData &Data);
+    const std::vector<CommonSuccessorSequence> &Sequences, ProfileDB &DB);
 
 /// \returns the branch order (indices into Seq.Branches) minimizing the
 /// expected number of executed branches under the combination counts, and
 /// the expectations before/after in \p ExpectedBefore / \p ExpectedAfter.
 /// Only valid for single-group sequences.
 std::vector<size_t> selectCommonSuccessorOrder(
-    const CommonSuccessorSequence &Seq, const SequenceProfile &Prof,
+    const CommonSuccessorSequence &Seq, const ProfileEntry &Prof,
     double *ExpectedBefore = nullptr, double *ExpectedAfter = nullptr);
 
 /// General form: minimizes over every permutation of the groups crossed
 /// with every permutation within each group (Figure 14 d/e).
 ChainOrder selectChainOrder(const CommonSuccessorSequence &Seq,
-                            const SequenceProfile &Prof,
+                            const ProfileEntry &Prof,
                             double *ExpectedBefore = nullptr,
                             double *ExpectedAfter = nullptr);
 
 /// Expected branches executed per head visit under \p Order, given the
 /// combination counters in \p Prof.  Exposed for tests.
 double expectedChainBranches(const CommonSuccessorSequence &Seq,
-                             const SequenceProfile &Prof,
+                             const ProfileEntry &Prof,
                              const ChainOrder &Order);
 
 /// Statistics over a module's common-successor transformations.
@@ -123,11 +123,13 @@ struct CommonSuccessorStats {
   double SumExpectedAfter = 0.0;
 };
 
-/// Applies the transformation to every sequence with usable profile data.
-/// The caller finalizes the touched functions afterwards.
+/// Applies the transformation to every sequence with usable profile data
+/// (per-function ordinals follow the detection order of \p Sequences; a
+/// missing or stale record is a diagnosed skip).  The caller finalizes the
+/// touched functions afterwards.
 CommonSuccessorStats reorderCommonSuccessorSequences(
     const std::vector<CommonSuccessorSequence> &Sequences,
-    const ProfileData &Profile, uint64_t MinExecutions = 1);
+    const ProfileDB &Profile, uint64_t MinExecutions = 1);
 
 } // namespace bropt
 

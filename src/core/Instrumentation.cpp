@@ -51,18 +51,18 @@ size_t ProfileBinner::numBins(unsigned SequenceId) const {
 }
 
 std::function<void(unsigned, int64_t)>
-ProfileBinner::callback(ProfileData &Data) const {
-  return [this, &Data](unsigned SequenceId, int64_t Value) {
-    Data.increment(SequenceId, binFor(SequenceId, Value));
+ProfileBinner::callback(ProfileDB &DB) const {
+  return [this, &DB](unsigned SequenceId, int64_t Value) {
+    DB.increment(SequenceId, binFor(SequenceId, Value));
   };
 }
 
 void bropt::instrumentSequences(const std::vector<RangeSequence> &Sequences,
-                                ProfileData &Data, ProfileBinner &Binner) {
+                                ProfileDB &DB, ProfileBinner &Binner) {
   for (const RangeSequence &Seq : Sequences) {
     Binner.addSequence(Seq);
-    Data.registerSequence(Seq.Id, Seq.F->getName(), Seq.signature(),
-                          Binner.numBins(Seq.Id));
+    DB.registerSequence(ProfileKind::RangeBins, Seq.Id, Seq.F->getName(),
+                        Seq.signature(), Binner.numBins(Seq.Id));
 
     // Insert the hook just before the head's trailing compare so the
     // profiled register already holds its post-prefix value.

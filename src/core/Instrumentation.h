@@ -20,7 +20,7 @@
 #define BROPT_CORE_INSTRUMENTATION_H
 
 #include "core/SequenceDetection.h"
-#include "profile/ProfileData.h"
+#include "profile/ProfileDB.h"
 
 #include <functional>
 #include <unordered_map>
@@ -39,9 +39,9 @@ public:
   /// Number of bins of a registered sequence.
   size_t numBins(unsigned SequenceId) const;
 
-  /// An Interpreter profile callback that counts into \p Data.
-  /// \p Data must outlive the returned callable (and this binner too).
-  std::function<void(unsigned, int64_t)> callback(ProfileData &Data) const;
+  /// An Interpreter profile callback that counts into \p DB.
+  /// \p DB must outlive the returned callable (and this binner too).
+  std::function<void(unsigned, int64_t)> callback(ProfileDB &DB) const;
 
 private:
   /// Per sequence: bins sorted by range lower bound for binary search.
@@ -55,9 +55,9 @@ private:
 /// Inserts a Profile hook at the head of every sequence (directly before
 /// the head's trailing compare, after any side-effect prefix such as the
 /// `c = getchar()` of paper Figure 1), registers each sequence with
-/// \p Data, and records its bins in \p Binner.
+/// \p DB, and records its bins in \p Binner.
 void instrumentSequences(const std::vector<RangeSequence> &Sequences,
-                         ProfileData &Data, ProfileBinner &Binner);
+                         ProfileDB &DB, ProfileBinner &Binner);
 
 } // namespace bropt
 

@@ -29,7 +29,7 @@ double ReorderStats::averageLengthAfter() const {
 }
 
 std::vector<RangeInfo> bropt::buildRangeInfos(const RangeSequence &Seq,
-                                              const SequenceProfile &Prof) {
+                                              const ProfileEntry &Prof) {
   std::vector<RangeInfo> Infos;
   const double Total = static_cast<double>(Prof.totalExecutions());
   size_t Bin = 0;
@@ -73,7 +73,7 @@ namespace {
 /// Emits the rebuilt sequence for one transformation.
 class SequenceRewriter {
 public:
-  SequenceRewriter(const RangeSequence &Seq, const SequenceProfile &Prof,
+  SequenceRewriter(const RangeSequence &Seq, const ProfileEntry &Prof,
                    const ReorderOptions &Opts)
       : Seq(Seq), F(*Seq.F), Opts(Opts) {
     for (const RangeConditionDesc &Cond : Seq.Conds)
@@ -412,23 +412,22 @@ private:
 } // namespace
 
 SequenceOutcome bropt::reorderSequence(const RangeSequence &Seq,
-                                       const ProfileData &Profile,
+                                       const ProfileDB &Profile,
                                        const ReorderOptions &Opts,
-                                       ReorderStats *Stats) {
+                                       ReorderStats *Stats,
+                                       unsigned Ordinal) {
   if (Stats)
     ++Stats->Detected;
-  const SequenceProfile *Prof = Profile.lookup(Seq.Id);
+  ProfileLookupStatus Status = ProfileLookupStatus::Found;
+  const ProfileEntry *Prof = Profile.lookupSequence(
+      ProfileKind::RangeBins, Seq.F->getName(), Seq.signature(),
+      Seq.Conds.size() + Seq.DefaultRanges.size(), Ordinal, &Status);
   if (!Prof) {
     if (Stats)
       ++Stats->ProfileProblems;
-    return SequenceOutcome::ProfileMissing;
-  }
-  if (Prof->Signature != Seq.signature() ||
-      Prof->BinCounts.size() !=
-          Seq.Conds.size() + Seq.DefaultRanges.size()) {
-    if (Stats)
-      ++Stats->ProfileProblems;
-    return SequenceOutcome::ProfileMismatch;
+    return Status == ProfileLookupStatus::Missing
+               ? SequenceOutcome::ProfileMissing
+               : SequenceOutcome::ProfileMismatch;
   }
   if (Prof->totalExecutions() < Opts.MinExecutions) {
     if (Stats)
@@ -451,11 +450,14 @@ SequenceOutcome bropt::reorderSequence(const RangeSequence &Seq,
 
 ReorderStats bropt::reorderSequences(
     Module &M, const std::vector<RangeSequence> &Sequences,
-    const ProfileData &Profile, const ReorderOptions &Opts) {
+    const ProfileDB &Profile, const ReorderOptions &Opts) {
   ReorderStats Stats;
   std::unordered_set<Function *> Touched;
+  SequenceKeyer Keyer;
   for (const RangeSequence &Seq : Sequences) {
-    SequenceOutcome Outcome = reorderSequence(Seq, Profile, Opts, &Stats);
+    unsigned Ordinal = Keyer.next(ProfileKind::RangeBins, Seq.F->getName());
+    SequenceOutcome Outcome =
+        reorderSequence(Seq, Profile, Opts, &Stats, Ordinal);
     if (Outcome == SequenceOutcome::Reordered)
       Touched.insert(Seq.F);
   }

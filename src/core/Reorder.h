@@ -27,7 +27,7 @@
 
 #include "core/OrderingSelection.h"
 #include "core/SequenceDetection.h"
-#include "profile/ProfileData.h"
+#include "profile/ProfileDB.h"
 
 namespace bropt {
 
@@ -95,20 +95,24 @@ struct ReorderStats {
 /// (as reorderSequence does).  Exposed so oracles can evaluate Equations
 /// 1-4 on exactly the inputs the transformation used.
 std::vector<RangeInfo> buildRangeInfos(const RangeSequence &Seq,
-                                       const SequenceProfile &Prof);
+                                       const ProfileEntry &Prof);
 
-/// Transforms one sequence.  The caller must not reuse \p Seq (or any
-/// other sequence descriptor pointing into the same blocks) afterwards and
+/// Transforms one sequence, reading its record at (\p Ordinal within the
+/// function) from \p Profile — a missing, stale, or mis-shaped record is a
+/// diagnosed skip.  The caller must not reuse \p Seq (or any other
+/// sequence descriptor pointing into the same blocks) afterwards and
 /// should run finalizeFunction on the function when done with it.
 SequenceOutcome reorderSequence(const RangeSequence &Seq,
-                                const ProfileData &Profile,
+                                const ProfileDB &Profile,
                                 const ReorderOptions &Opts,
-                                ReorderStats *Stats = nullptr);
+                                ReorderStats *Stats = nullptr,
+                                unsigned Ordinal = 0);
 
-/// Transforms every sequence and finalizes each affected function.
+/// Transforms every sequence (computing per-function ordinals from the
+/// detection order of \p Sequences) and finalizes each affected function.
 ReorderStats reorderSequences(Module &M,
                               const std::vector<RangeSequence> &Sequences,
-                              const ProfileData &Profile,
+                              const ProfileDB &Profile,
                               const ReorderOptions &Opts = {});
 
 } // namespace bropt

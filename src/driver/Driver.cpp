@@ -91,7 +91,7 @@ bropt::runPass1(std::string_view Source,
   Interpreter Interp(*Result.M);
   Interp.setProfileCallback(Binner.callback(Result.Profile));
   if (Options.EnableCommonSuccessorReordering) {
-    ProfileData *Profile = &Result.Profile;
+    ProfileDB *Profile = &Result.Profile;
     Interp.setComboProfileCallback([Profile](unsigned Id, int64_t Mask) {
       Profile->increment(Id, static_cast<size_t>(Mask));
     });
@@ -126,17 +126,30 @@ CompileResult bropt::compileWithReordering(
     Result.Error = Pass1.Error;
     return Result;
   }
-  Result.ProfileText = Pass1.Profile.serialize();
+  Result.ProfileText = Pass1.Profile.serializeText();
 
   // The profile crosses the pass boundary in serialized form, exactly like
   // the on-disk profile file of the paper's tooling.
-  ProfileData Profile;
-  if (!Profile.deserialize(Result.ProfileText)) {
-    Result.Error = "internal error: profile round-trip failed";
+  ProfileDB Profile;
+  std::string ProfileError;
+  if (!Profile.deserialize(Result.ProfileText, &ProfileError)) {
+    Result.Error =
+        "internal error: profile round-trip failed: " + ProfileError;
     return Result;
   }
 
-  // Pass 2: fresh compilation; detection re-derives the same sequence ids.
+  CompileResult Pass2 = compileWithProfile(Source, Profile, Options);
+  Pass2.ProfileText = std::move(Result.ProfileText);
+  return Pass2;
+}
+
+CompileResult bropt::compileWithProfile(std::string_view Source,
+                                        const ProfileDB &Profile,
+                                        const CompileOptions &Options) {
+  CompileResult Result;
+
+  // Pass 2: fresh compilation; detection re-derives the same sequences,
+  // whose (function, ordinal) keys the profile's records are matched by.
   Result.M = compileCommon(Source, Options, &Result.SwitchStats,
                            Result.Error);
   if (!Result.M)
@@ -162,8 +175,10 @@ CompileResult bropt::compileWithReordering(
     // duplicate the already-reordered chain, not the stale one.
     Result.CommonStats = reorderCommonSuccessorSequences(
         CommonSequences, Profile, Options.Reorder.MinExecutions);
+    SequenceKeyer Keyer;
     for (const RangeSequence &Seq : Sequences)
-      reorderSequence(Seq, Profile, Options.Reorder, &Result.Stats);
+      reorderSequence(Seq, Profile, Options.Reorder, &Result.Stats,
+                      Keyer.next(ProfileKind::RangeBins, Seq.F->getName()));
   }
   optimizeModule(*Result.M);
 

@@ -27,7 +27,7 @@
 #include "core/Reorder.h"
 #include "core/SequenceDetection.h"
 #include "opt/SwitchLowering.h"
-#include "profile/ProfileData.h"
+#include "profile/ProfileDB.h"
 
 #include <memory>
 #include <string>
@@ -75,7 +75,7 @@ struct Pass1Result {
   std::string Error;
   std::vector<RangeSequence> Sequences;
   std::vector<CommonSuccessorSequence> CommonSequences;
-  ProfileData Profile;
+  ProfileDB Profile;
   SwitchLoweringStats SwitchStats;
   bool ok() const { return Error.empty(); }
 };
@@ -101,6 +101,16 @@ CompileResult
 compileWithReordering(std::string_view Source,
                       const std::vector<std::string_view> &TrainingInputs,
                       const CompileOptions &Options);
+
+/// Pass 2 only: recompiles \p Source and selects orderings from an
+/// existing profile — loaded from disk (`broptc --profile-in`), merged
+/// from several training runs, or exported by the adaptive runtime.
+/// Records are matched by (function, ordinal) with signature validation,
+/// so a profile saved against different source degrades to diagnosed
+/// skips, never to wrong orderings.
+CompileResult compileWithProfile(std::string_view Source,
+                                 const ProfileDB &Profile,
+                                 const CompileOptions &Options);
 
 } // namespace bropt
 

@@ -2,7 +2,7 @@
 
 #include "driver/Evaluator.h"
 
-#include "profile/ProfileData.h"
+#include "profile/ProfileDB.h"
 #include "sim/Fuse.h"
 #include "support/Strings.h"
 
@@ -90,7 +90,7 @@ Evaluator::preparedFor(const std::shared_ptr<const CompileResult> &Compiled,
     // order inside MultiCmp superinstructions follows the pass-1 counts
     // when the caller has them (observables are unaffected either way).
     FuseOptions FO;
-    ProfileData Profile;
+    ProfileDB Profile;
     if (ProfileText && !ProfileText->empty() &&
         Profile.deserialize(*ProfileText))
       FO.Profile = &Profile;

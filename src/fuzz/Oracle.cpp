@@ -5,7 +5,7 @@
 #include "core/Reorder.h"
 #include "ir/Verifier.h"
 #include "opt/Passes.h"
-#include "profile/ProfileData.h"
+#include "profile/ProfileDB.h"
 #include "runtime/AdaptiveController.h"
 #include "sim/Fuse.h"
 #include "sim/Interpreter.h"
@@ -29,6 +29,8 @@ const char *bropt::violationKindName(ViolationKind Kind) {
     return "verifier-failure";
   case ViolationKind::CostRegression:
     return "cost-regression";
+  case ViolationKind::ProfileReplayMismatch:
+    return "profile-replay-mismatch";
   }
   return "unknown";
 }
@@ -152,11 +154,13 @@ OracleReport checkCosts(std::string_view Source,
     Report.Detail = "pass 1 failed: " + Pass1.Error;
     return Report;
   }
+  SequenceKeyer Keyer;
   for (const RangeSequence &Seq : Pass1.Sequences) {
-    const SequenceProfile *Prof = Pass1.Profile.lookup(Seq.Id);
     size_t NumBins = Seq.Conds.size() + Seq.DefaultRanges.size();
-    if (!Prof || Prof->Signature != Seq.signature() ||
-        Prof->BinCounts.size() != NumBins ||
+    const ProfileEntry *Prof = Pass1.Profile.lookupSequence(
+        ProfileKind::RangeBins, Seq.F->getName(), Seq.signature(), NumBins,
+        Keyer.next(ProfileKind::RangeBins, Seq.F->getName()));
+    if (!Prof ||
         Prof->totalExecutions() < Opts.Compile.Reorder.MinExecutions ||
         Prof->totalExecutions() == 0)
       continue; // reorderSequence skips these too
@@ -243,7 +247,7 @@ OracleReport bropt::runOracle(std::string_view Source,
   // cache does.  The baseline module fuses against the reordering compile's
   // pass-1 profile so profile-guided arm ordering gets differential
   // coverage, not just the unprofiled fusions.
-  ProfileData FuseProfile;
+  ProfileDB FuseProfile;
   DecodedModule BaseFused, OptFused;
   if (Opts.CheckFusedEngine) {
     FuseOptions BaseFuseOpts;
@@ -343,6 +347,62 @@ OracleReport bropt::runOracle(std::string_view Source,
       Report.Detail =
           formatString("held-out input %zu: ", InputIndex) + Detail;
       return Report;
+    }
+  }
+
+  // Invariant 5: what the adaptive runtime learned must survive disk.  The
+  // exported profile, reloaded from either format and replayed through the
+  // offline pass-2 selection, has to reproduce the deployed orderings, and
+  // an AOT build from it has to behave like the live run did.
+  if (Opts.CheckAdaptiveEngine && Opts.CheckProfileReplay &&
+      BaseAdaptive->tiered()) {
+    ProfileDB Learned;
+    BaseAdaptive->exportProfile(Learned);
+    ProfileDB FromText, FromBinary;
+    std::string ParseError;
+    if (!FromText.deserialize(Learned.serializeText(), &ParseError) ||
+        !FromBinary.deserialize(Learned.serializeBinary(), &ParseError)) {
+      Report.Kind = ViolationKind::ProfileReplayMismatch;
+      Report.Detail = "exported profile failed to re-load: " + ParseError;
+      return Report;
+    }
+    const std::string Live = BaseAdaptive->deployedOrderingSignature();
+    const std::string TextSig = orderingSignaturesFromProfile(*Base.M,
+                                                              FromText);
+    const std::string BinarySig = orderingSignaturesFromProfile(*Base.M,
+                                                                FromBinary);
+    if (TextSig != Live || BinarySig != Live) {
+      Report.Kind = ViolationKind::ProfileReplayMismatch;
+      Report.Detail = "replayed orderings diverge from live tier-up: live '" +
+                      Live + "', text replay '" + TextSig +
+                      "', binary replay '" + BinarySig + "'";
+      return Report;
+    }
+
+    CompileResult Replayed =
+        compileWithProfile(Source, FromText, Opts.Compile);
+    if (!Replayed.ok()) {
+      Report.Kind = ViolationKind::ProfileReplayMismatch;
+      Report.Detail = "recompile from saved profile failed: " +
+                      Replayed.Error;
+      return Report;
+    }
+    for (size_t InputIndex = 0; InputIndex < HeldOutInputs.size();
+         ++InputIndex) {
+      const std::string &Input = HeldOutInputs[InputIndex];
+      RunResult Ref = runOne(*Base.M, Interpreter::Mode::Tree, Input,
+                             Opts.InstructionLimit);
+      RunResult Rep = runOne(*Replayed.M, Interpreter::Mode::Tree, Input,
+                             Opts.InstructionLimit);
+      std::string Detail;
+      if (!behaviorsAgree(Ref, Rep, Detail)) {
+        Report.Kind = ViolationKind::ProfileReplayMismatch;
+        Report.Detail = formatString("profile-replayed build, held-out "
+                                     "input %zu: ",
+                                     InputIndex) +
+                        Detail;
+        return Report;
+      }
     }
   }
   return Report;

@@ -19,6 +19,11 @@
 ///  4. Cost: for every sequence the transformation reordered, the selected
 ///     ordering's expected cost under the measured profile (Equations 1-4)
 ///     is no worse than the original ordering's.
+///  5. Profile persistence: when the adaptive runtime tiers up, its
+///     exported ProfileDB — round-tripped through both on-disk formats —
+///     replayed through the offline pass-2 pipeline must select exactly
+///     the orderings the live tier-up deployed, and the recompiled module
+///     must behave identically on every held-out input.
 ///
 /// Fault injection deliberately corrupts the pipeline so tests can prove
 /// the oracle and the minimizer actually detect and shrink failures.
@@ -61,6 +66,7 @@ enum class ViolationKind : uint8_t {
   EngineMismatch,   ///< invariant 2
   VerifierFailure,  ///< invariant 3
   CostRegression,   ///< invariant 4
+  ProfileReplayMismatch, ///< invariant 5
 };
 
 const char *violationKindName(ViolationKind Kind);
@@ -93,6 +99,14 @@ struct OracleOptions {
   uint64_t AdaptiveHotThreshold = 256;
   uint32_t AdaptiveSampleInterval = 16;
   uint32_t AdaptiveDriftWindow = 32;
+  /// Invariant 5: after the held-out runs, if the baseline module's
+  /// adaptive controller tiered up, export its learned profile, round-trip
+  /// it through the text and binary formats, and require (a) pass-2
+  /// selection over the reloaded profile to pick exactly the orderings the
+  /// live tier-up deployed and (b) an AOT recompile from the profile to
+  /// behave identically on every held-out input.  Needs
+  /// CheckAdaptiveEngine.
+  bool CheckProfileReplay = true;
 };
 
 /// Outcome of one oracle run.

@@ -3,7 +3,6 @@
 #include "runtime/AdaptiveController.h"
 
 #include "core/Reorder.h"
-#include "profile/ProfileData.h"
 
 #include <chrono>
 
@@ -111,11 +110,145 @@ void AdaptiveController::drainBackgroundWork() {
 
 RuntimeStats AdaptiveController::stats() const {
   RuntimeStats S = ExecStats;
+  S.DroppedSamples = Sampler.DroppedSamples;
   std::lock_guard<std::mutex> Lock(Mutex);
   S.Recompiles = JobStats.Recompiles;
   S.RecompileSeconds = JobStats.RecompileSeconds;
   S.RecompilesSuppressed += JobStats.RecompilesSuppressed;
   return S;
+}
+
+std::string AdaptiveController::deployedOrderingSignature() const {
+  const ProgramVersion *Deployed = Latest.load(std::memory_order_acquire);
+  return Deployed ? Deployed->OrderSig : std::string();
+}
+
+void AdaptiveController::exportProfile(ProfileDB &DB) const {
+  // Once tiered, export the snapshot that built the deployed version so a
+  // replay reproduces its orderings; the live counters may have drifted
+  // since the build.  Before any deploy, export the live counters.
+  BranchHotness Hot;
+  std::vector<std::vector<uint64_t>> SeqCounts;
+  bool HaveSnapshot = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (DeployedJob) {
+      Hot = DeployedJob->Hotness;
+      SeqCounts = DeployedJob->SeqCounts;
+      HaveSnapshot = true;
+    }
+  }
+  if (!HaveSnapshot) {
+    Hot = Sampler.Hotness;
+    SeqCounts.reserve(Sequences.size());
+    for (const SequenceState &State : Sequences)
+      SeqCounts.push_back(State.Counts);
+  }
+
+  // Sampled counts scale up to estimated executions.  Uniform scaling
+  // preserves every normalized probability bit-for-bit (IEEE division is
+  // correctly rounded and (k*c)/(k*t) has the same real value as c/t), so
+  // pass 2 on the exported profile makes the same decisions the job did.
+  const uint64_t Scale = Opts.SampleInterval;
+
+  std::unordered_map<size_t, size_t> StateOf;
+  for (size_t I = 0; I < Sequences.size(); ++I)
+    StateOf.emplace(Sequences[I].DetectedIndex, I);
+
+  // Register *every* detected sequence, zero-count ones included, so
+  // consumer-side ordinals line up (the keyer rule in ProfileDB.h).
+  for (size_t D = 0; D < Detected.size(); ++D) {
+    const RangeSequence &Seq = Detected[D];
+    ProfileEntry &E = DB.registerSequence(
+        ProfileKind::RangeBins, Seq.Id, Seq.F->getName(), Seq.signature(),
+        Seq.Conds.size() + Seq.DefaultRanges.size());
+    auto It = StateOf.find(D);
+    if (It == StateOf.end())
+      continue; // no sampleable branch; the record stays all-zero
+    const std::vector<uint64_t> &Counts = SeqCounts[It->second];
+    for (size_t Bin = 0; Bin < Counts.size() && Bin < E.BinCounts.size();
+         ++Bin)
+      E.BinCounts[Bin] += Counts[Bin] * Scale;
+  }
+
+  exportHotnessToProfile(M, Hot, DB, Scale);
+}
+
+void AdaptiveController::importProfile(const ProfileDB &DB) {
+  const uint64_t Scale = Opts.SampleInterval;
+
+  std::unordered_map<size_t, size_t> StateOf;
+  for (size_t I = 0; I < Sequences.size(); ++I)
+    StateOf.emplace(Sequences[I].DetectedIndex, I);
+
+  // Seed the per-sequence bin counters.  The keyer must advance over every
+  // detected sequence — including ones with no sampleable branch — to stay
+  // aligned with the ordinals the exporter assigned.
+  SequenceKeyer Keyer;
+  for (size_t D = 0; D < Detected.size(); ++D) {
+    const RangeSequence &Seq = Detected[D];
+    const unsigned Ordinal =
+        Keyer.next(ProfileKind::RangeBins, Seq.F->getName());
+    auto It = StateOf.find(D);
+    if (It == StateOf.end())
+      continue;
+    ProfileLookupStatus Status = ProfileLookupStatus::Missing;
+    const ProfileEntry *E = DB.lookupSequence(
+        ProfileKind::RangeBins, Seq.F->getName(), Seq.signature(),
+        Seq.Conds.size() + Seq.DefaultRanges.size(), Ordinal, &Status);
+    if (!E) {
+      if (Status != ProfileLookupStatus::Missing && Opts.Trace)
+        trace("import: skip sequence " + std::to_string(Seq.Id) + " (" +
+              profileLookupStatusName(Status) + ")");
+      continue;
+    }
+    SequenceState &State = Sequences[It->second];
+    for (size_t Bin = 0;
+         Bin < State.Counts.size() && Bin < E->BinCounts.size(); ++Bin)
+      State.Counts[Bin] += E->BinCounts[Bin] / Scale;
+  }
+
+  // Seed the branch hotness, scaled back down to sample units.
+  BranchHotness H;
+  if (importHotnessFromProfile(M, DB, H)) {
+    for (size_t Id = 0;
+         Id < H.Total.size() && Id < Sampler.Hotness.Total.size(); ++Id) {
+      Sampler.Hotness.Taken[Id] += H.Taken[Id] / Scale;
+      Sampler.Hotness.Total[Id] += H.Total[Id] / Scale;
+    }
+  }
+
+  // Attribute the imported branch totals to functions and tier up any
+  // function the saved profile already shows past the threshold, so the
+  // first run starts optimized instead of re-learning.
+  bool TieredUp = false;
+  size_t FuncIndex = 0, FirstId = 0;
+  for (const auto &F : M) {
+    size_t Branches = 0;
+    for (const auto &Block : *F)
+      for (const auto &Inst : *Block)
+        if (Inst->getKind() == InstKind::CondBr)
+          ++Branches;
+    uint64_t FuncTotal = 0;
+    for (size_t Id = 0; Id < Branches && FirstId + Id < H.Total.size(); ++Id)
+      FuncTotal += H.Total[FirstId + Id] / Scale;
+    if (FuncIndex < Sampler.FuncSamples.size() && FuncTotal) {
+      Sampler.FuncSamples[FuncIndex] += FuncTotal;
+      if (!FuncTiered[FuncIndex] &&
+          Sampler.FuncSamples[FuncIndex] * Opts.SampleInterval >=
+              Opts.HotThreshold) {
+        FuncTiered[FuncIndex] = true;
+        ++ExecStats.TierUps;
+        TieredUp = true;
+        if (Opts.Trace)
+          trace("tier-up: function " + F->getName() + " from imported profile");
+      }
+    }
+    FirstId += Branches;
+    ++FuncIndex;
+  }
+  if (TieredUp && !tiered())
+    maybeReoptimize("profile-import");
 }
 
 void AdaptiveController::onSample(uint32_t FuncIndex, uint32_t BranchId,
@@ -204,8 +337,16 @@ void AdaptiveController::runJob(const JobInput &Job) {
 
   // Turn the sampled bins into a live profile and, per sequence, rerun the
   // paper's ordering selection to fingerprint the decision it implies.
-  ProfileData Live;
+  // Every detected sequence is registered — the fuser's keyed lookup
+  // assigns ordinals over all of them, so gaps would shift the keys.
+  ProfileDB Live;
+  for (const RangeSequence &Seq : Detected)
+    Live.registerSequence(ProfileKind::RangeBins, Seq.Id, Seq.F->getName(),
+                          Seq.signature(),
+                          Seq.Conds.size() + Seq.DefaultRanges.size());
+
   std::string Sig;
+  bool AnyCounts = false;
   for (size_t I = 0; I < Sequences.size(); ++I) {
     const RangeSequence &Seq = Detected[Sequences[I].DetectedIndex];
     const std::vector<uint64_t> &Counts = Job.SeqCounts[I];
@@ -214,9 +355,12 @@ void AdaptiveController::runJob(const JobInput &Job) {
       Total += C;
     if (!Total)
       continue; // never sampled; buildRangeInfos needs a nonzero total
+    AnyCounts = true;
+    for (size_t Bin = 0; Bin < Counts.size(); ++Bin)
+      if (Counts[Bin])
+        Live.increment(Seq.Id, Bin, Counts[Bin]);
 
-    SequenceProfile Prof;
-    Prof.SequenceId = Seq.Id;
+    ProfileEntry Prof;
     Prof.FunctionName = Seq.F->getName();
     Prof.Signature = Seq.signature();
     Prof.BinCounts = Counts;
@@ -225,12 +369,6 @@ void AdaptiveController::runJob(const JobInput &Job) {
     Sig += ':';
     Sig += orderingSignature(Decision);
     Sig += ';';
-
-    Live.registerSequence(Seq.Id, Prof.FunctionName, Prof.Signature,
-                          Counts.size());
-    for (size_t Bin = 0; Bin < Counts.size(); ++Bin)
-      if (Counts[Bin])
-        Live.increment(Seq.Id, Bin, Counts[Bin]);
   }
 
   // Hysteresis: an unchanged ordering decision means the deployed version
@@ -250,7 +388,7 @@ void AdaptiveController::runJob(const JobInput &Job) {
   }
 
   FuseOptions FO = Opts.Fuse;
-  FO.Profile = Live.empty() ? nullptr : &Live;
+  FO.Profile = AnyCounts ? &Live : nullptr;
   FO.Hotness = Job.Hotness.empty() ? nullptr : &Job.Hotness;
 
   auto V = std::make_unique<ProgramVersion>();
@@ -265,6 +403,7 @@ void AdaptiveController::runJob(const JobInput &Job) {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++JobStats.Recompiles;
     JobStats.RecompileSeconds += Seconds;
+    DeployedJob = std::make_unique<JobInput>(Job);
     ByDM.emplace(&V->DM, V.get());
     Latest.store(V.get(), std::memory_order_release);
     Versions.push_back(std::move(V));
@@ -305,4 +444,27 @@ const DecodedModule *AdaptiveController::trySwap(const DecodedModule &Cur,
     trace("swap: function " + Tier0.function(FuncIndex).Name + " at index " +
           std::to_string(Index) + " -> " + std::to_string(NewIndex));
   return &Target->DM;
+}
+
+std::string bropt::orderingSignaturesFromProfile(const Module &Mod,
+                                                 const ProfileDB &DB) {
+  std::vector<RangeSequence> Seqs =
+      detectSequences(const_cast<Module &>(Mod));
+  SequenceKeyer Keyer;
+  std::string Sig;
+  for (const RangeSequence &Seq : Seqs) {
+    const unsigned Ordinal =
+        Keyer.next(ProfileKind::RangeBins, Seq.F->getName());
+    const ProfileEntry *E = DB.lookupSequence(
+        ProfileKind::RangeBins, Seq.F->getName(), Seq.signature(),
+        Seq.Conds.size() + Seq.DefaultRanges.size(), Ordinal);
+    if (!E || !E->totalExecutions())
+      continue; // never executed, or stale — runJob skipped it too
+    OrderingDecision Decision = selectOrdering(buildRangeInfos(Seq, *E));
+    Sig += std::to_string(Seq.Id);
+    Sig += ':';
+    Sig += orderingSignature(Decision);
+    Sig += ';';
+  }
+  return Sig;
 }

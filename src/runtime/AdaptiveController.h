@@ -40,6 +40,7 @@
 #define BROPT_RUNTIME_ADAPTIVECONTROLLER_H
 
 #include "core/SequenceDetection.h"
+#include "profile/ProfileDB.h"
 #include "runtime/DriftDetector.h"
 #include "runtime/HotnessSampler.h"
 #include "runtime/SwapPoint.h"
@@ -98,6 +99,7 @@ struct RuntimeStats {
   uint64_t RecompilesSuppressed = 0; ///< skipped: budget/hysteresis/same sig
   double RecompileSeconds = 0.0; ///< wall time spent in optimization jobs
   uint64_t SamplesAtFirstSwap = 0; ///< SamplesTaken when the first swap ran
+  uint64_t DroppedSamples = 0;   ///< samples with out-of-range ids
 
   RuntimeStats &operator+=(const RuntimeStats &O) {
     SamplesTaken += O.SamplesTaken;
@@ -110,6 +112,7 @@ struct RuntimeStats {
     RecompileSeconds += O.RecompileSeconds;
     if (!SamplesAtFirstSwap)
       SamplesAtFirstSwap = O.SamplesAtFirstSwap;
+    DroppedSamples += O.DroppedSamples;
     return *this;
   }
 };
@@ -146,6 +149,27 @@ public:
   RuntimeStats stats() const;
 
   const RuntimeOptions &options() const { return Opts; }
+
+  /// Writes what the controller learned into \p DB (which must not
+  /// already hold records for this module): every detected sequence's
+  /// range-bin counts and the per-branch hotness, both scaled by
+  /// SampleInterval into estimated executions.  Once a version has been
+  /// deployed this exports the snapshot that *built* it, so replaying the
+  /// profile through pass 2 reproduces the deployed orderings exactly —
+  /// not the post-deployment counters, which may already have drifted.
+  /// Call between runs (after drainBackgroundWork() in background mode).
+  void exportProfile(ProfileDB &DB) const;
+
+  /// Warm-starts the controller from a saved profile: sequence counters
+  /// and branch hotness are seeded (scaled back down by SampleInterval),
+  /// and a function already past HotThreshold tiers up immediately, so
+  /// the first run starts in the optimized tier.  Stale records are
+  /// skipped.  Call before the first run.
+  void importProfile(const ProfileDB &DB);
+
+  /// Ordering-decision fingerprint of the deployed version (the `Sig`
+  /// runJob computes), or the empty string before any tier-up.
+  std::string deployedOrderingSignature() const;
 
 private:
   /// Live per-sequence profiling state.
@@ -196,6 +220,9 @@ private:
   // --- Shared publication state ---
   mutable std::mutex Mutex;
   RuntimeStats JobStats;                       ///< guarded by Mutex
+  /// Snapshot that built the currently deployed version (guarded by
+  /// Mutex); what exportProfile() serializes once tiered.
+  std::unique_ptr<JobInput> DeployedJob;
   std::vector<std::unique_ptr<ProgramVersion>> Versions; ///< guarded
   std::unordered_map<const DecodedModule *, const ProgramVersion *>
       ByDM;                                    ///< guarded by Mutex
@@ -207,6 +234,17 @@ private:
   /// the worker joins before the state above goes away.
   std::unique_ptr<ThreadPool> Pool;
 };
+
+/// Re-derives, from a saved profile, the ordering-decision fingerprint a
+/// controller over \p M would deploy: detect sequences, look each one's
+/// record up by (function, ordinal) with signature validation, and run
+/// Figure 8 selection on the recorded counts.  Because the exported counts
+/// are a uniform scaling of the sampled ones, the normalized probabilities
+/// — and hence every selection decision — are bit-identical to the live
+/// job's; equality with deployedOrderingSignature() is what the replay
+/// test and the profile-persistence fuzz oracle assert.
+std::string orderingSignaturesFromProfile(const Module &M,
+                                          const ProfileDB &DB);
 
 } // namespace bropt
 

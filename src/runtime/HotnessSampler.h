@@ -21,6 +21,7 @@
 #ifndef BROPT_RUNTIME_HOTNESSSAMPLER_H
 #define BROPT_RUNTIME_HOTNESSSAMPLER_H
 
+#include "profile/ProfileDB.h"
 #include "sim/Fuse.h"
 
 #include <cstdint>
@@ -37,20 +38,31 @@ struct HotnessSampler {
   BranchHotness Hotness;
   /// Per-function number of samples observed.
   std::vector<uint64_t> FuncSamples;
+  /// Samples that could not be attributed because the branch or function
+  /// index was out of range.  Such a sample means the hooks and the
+  /// decoded program disagree about the id space — profile quality is
+  /// degraded, so the count is surfaced (RuntimeStats::DroppedSamples)
+  /// instead of silently ignored.
+  uint64_t DroppedSamples = 0;
 
   void init(uint32_t NumBranchIds, size_t NumFunctions) {
     Hotness.Taken.assign(NumBranchIds, 0);
     Hotness.Total.assign(NumBranchIds, 0);
     FuncSamples.assign(NumFunctions, 0);
+    DroppedSamples = 0;
   }
 
   /// Records one sample.  \returns the function's updated sample count.
   uint64_t observe(uint32_t FuncIndex, uint32_t BranchId, bool Taken) {
-    if (BranchId < Hotness.Total.size()) {
+    const bool BranchKnown = BranchId < Hotness.Total.size();
+    const bool FuncKnown = FuncIndex < FuncSamples.size();
+    if (!BranchKnown || !FuncKnown)
+      ++DroppedSamples;
+    if (BranchKnown) {
       ++Hotness.Total[BranchId];
       Hotness.Taken[BranchId] += Taken;
     }
-    return FuncIndex < FuncSamples.size() ? ++FuncSamples[FuncIndex] : 0;
+    return FuncKnown ? ++FuncSamples[FuncIndex] : 0;
   }
 };
 
@@ -59,6 +71,22 @@ struct HotnessSampler {
 /// measurement: output and side effects of the run are discarded.
 BranchHotness collectBranchHotness(const Module &M, std::string_view Input,
                                    uint64_t InstructionLimit = 0);
+
+/// Records \p H — module-wide, branch-id indexed — into \p DB as one
+/// hotness section per function, splitting the id space by \p M's branch
+/// layout (one id per conditional branch, in module layout order,
+/// contiguous per function).  Counts are multiplied by \p Scale so sampled
+/// counts can be stored as estimated executions.
+void exportHotnessToProfile(const Module &M, const BranchHotness &H,
+                            ProfileDB &DB, uint64_t Scale = 1);
+
+/// Rebuilds the module-wide BranchHotness from \p DB's per-function
+/// records, the inverse of exportHotnessToProfile.  A function whose
+/// recorded branch count disagrees with \p M's layout is skipped — stale
+/// profiles degrade coverage, never misattribute.  \returns the number of
+/// functions imported.
+size_t importHotnessFromProfile(const Module &M, const ProfileDB &DB,
+                                BranchHotness &H);
 
 } // namespace bropt
 

@@ -4,7 +4,7 @@
 
 #include "core/Range.h"
 #include "core/SequenceDetection.h"
-#include "profile/ProfileData.h"
+#include "profile/ProfileDB.h"
 #include "support/Debug.h"
 
 #include <algorithm>
@@ -724,13 +724,15 @@ DecodedModule bropt::decodeFused(const Module &M, const FuseOptions &Opts,
   std::unordered_map<const Function *,
                      std::vector<std::pair<const BasicBlock *, uint64_t>>>
       ProfiledBlocks;
-  if (Opts.Profile && !Opts.Profile->empty()) {
+  if (Opts.Profile && Opts.Profile->numSequences()) {
     std::vector<RangeSequence> Seqs = detectSequences(const_cast<Module &>(M));
+    SequenceKeyer Keyer;
     for (const RangeSequence &Seq : Seqs) {
-      const SequenceProfile *Prof = Opts.Profile->lookup(Seq.Id);
-      if (!Prof || Prof->Signature != Seq.signature() ||
-          Prof->BinCounts.size() !=
-              Seq.Conds.size() + Seq.DefaultRanges.size())
+      const ProfileEntry *Prof = Opts.Profile->lookupSequence(
+          ProfileKind::RangeBins, Seq.F->getName(), Seq.signature(),
+          Seq.Conds.size() + Seq.DefaultRanges.size(),
+          Keyer.next(ProfileKind::RangeBins, Seq.F->getName()));
+      if (!Prof)
         continue;
       auto &List = ProfiledBlocks[Seq.F];
       for (size_t Bin = 0; Bin < Seq.Conds.size(); ++Bin)

@@ -24,7 +24,7 @@
 ///  3. Chain fusion: a ladder of compare/branch pairs — exactly the
 ///     range-condition chains and linear-search switch lowerings the
 ///     compiler's own detector finds — becomes one MultiCmp
-///     superinstruction.  When ProfileData counts are available and the
+///     superinstruction.  When ProfileDB counts are available and the
 ///     arms are provably disjoint (same variable, constant bounds,
 ///     nonoverlapping truth ranges — paper Theorem 1), the *execution*
 ///     order of the arms is sorted hottest-first while all observable
@@ -43,7 +43,7 @@
 
 namespace bropt {
 
-class ProfileData;
+class ProfileDB;
 
 /// Measured per-branch execution counts, indexed by branch id (the same
 /// ids DecodedModule::decode assigns).  The adaptive runtime collects
@@ -67,8 +67,9 @@ struct BranchHotness {
 struct FuseOptions {
   /// Profile counts used to order fused chain arms hottest-first.  Bin
   /// counts are matched to compare instructions through the same sequence
-  /// detector and signature check pass 2 uses.  May be null.
-  const ProfileData *Profile = nullptr;
+  /// detector and keyed, signature-checked lookup pass 2 uses.  May be
+  /// null.
+  const ProfileDB *Profile = nullptr;
 
   /// Measured branch bias for the hot-first layout; may be null (layout
   /// then falls back to static likely-successor guesses).

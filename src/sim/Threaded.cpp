@@ -349,15 +349,20 @@ Dispatch:
     const DecodedInst &Inst = Insts[Index];
     BROPT_COUNT_INST();
     ++LC.Calls;
-    std::vector<int64_t> CallArgs;
-    CallArgs.reserve(Inst.ExtraCount);
-    const DecodedOperand *ArgSlice =
-        Inst.ExtraCount ? &F.CallArgs[Inst.Extra] : nullptr;
-    for (uint32_t ArgIndex = 0; ArgIndex < Inst.ExtraCount; ++ArgIndex)
-      CallArgs.push_back(ArgSlice[ArgIndex].read(Regs));
-    flush();
-    int64_t Value =
-        execFused(DM, DM.function(Inst.Target0), CallArgs, Depth + 1);
+    int64_t Value;
+    // The computed goto in BROPT_NEXT() does not run destructors for
+    // locals it jumps over, so the argument vector must die in an inner
+    // scope before the dispatch jump.
+    {
+      std::vector<int64_t> CallArgs;
+      CallArgs.reserve(Inst.ExtraCount);
+      const DecodedOperand *ArgSlice =
+          Inst.ExtraCount ? &F.CallArgs[Inst.Extra] : nullptr;
+      for (uint32_t ArgIndex = 0; ArgIndex < Inst.ExtraCount; ++ArgIndex)
+        CallArgs.push_back(ArgSlice[ArgIndex].read(Regs));
+      flush();
+      Value = execFused(DM, DM.function(Inst.Target0), CallArgs, Depth + 1);
+    }
     if (Aborted)
       return 0;
     Budget = InstructionLimit - Result.Counts.TotalInsts;

@@ -24,6 +24,15 @@ RunResult runOn(Module &M, std::string_view Input) {
   return Result;
 }
 
+/// Looks up the 2^n combo record of \p Seq — ordinal 0, valid whenever the
+/// test's module has a single common-successor sequence per function.
+const ProfileEntry *comboProfile(const Pass1Result &Pass1,
+                                 const CommonSuccessorSequence &Seq) {
+  return Pass1.Profile.lookupSequence(
+      ProfileKind::ComboOutcomes, Seq.F->getName(), Seq.signature(),
+      size_t{1} << Seq.Branches.size(), /*Ordinal=*/0);
+}
+
 bool hasIndirectJump(const Module &M) {
   for (const auto &F : M)
     for (const auto &Block : *F)
@@ -86,7 +95,7 @@ TEST(CommonSuccessorTest, DetectsAndChain) {
   // Ids continue after the range sequences.
   EXPECT_EQ(Seq.Id, static_cast<unsigned>(Pass1.Sequences.size()));
   // The profile recorded 2^n combination bins.
-  const SequenceProfile *Prof = Pass1.Profile.lookup(Seq.Id);
+  const ProfileEntry *Prof = comboProfile(Pass1, Seq);
   ASSERT_TRUE(Prof);
   EXPECT_EQ(Prof->BinCounts.size(), 4u);
   EXPECT_EQ(Prof->totalExecutions(), 50u);
@@ -102,7 +111,7 @@ TEST(CommonSuccessorTest, OrderSelectionPrefersDiscriminatingBranch) {
   ASSERT_TRUE(Pass1.ok()) << Pass1.Error;
   ASSERT_EQ(Pass1.CommonSequences.size(), 1u);
   const CommonSuccessorSequence &Seq = Pass1.CommonSequences[0];
-  const SequenceProfile *Prof = Pass1.Profile.lookup(Seq.Id);
+  const ProfileEntry *Prof = comboProfile(Pass1, Seq);
   ASSERT_TRUE(Prof);
   // The range-sequence detector claims the a-test (it chains with the
   // loop's EOF test), leaving the b/d tests as the common-successor
@@ -264,7 +273,7 @@ TEST(ChainReorderTest, DetectsGroupChain) {
   const CommonSuccessorSequence &Seq = Pass1.CommonSequences[0];
   EXPECT_EQ(Seq.Branches.size(), 4u);
   EXPECT_EQ(Seq.GroupSizes, (std::vector<unsigned>{2, 2}));
-  const SequenceProfile *Prof = Pass1.Profile.lookup(Seq.Id);
+  const ProfileEntry *Prof = comboProfile(Pass1, Seq);
   ASSERT_TRUE(Prof);
   EXPECT_EQ(Prof->BinCounts.size(), 16u);
 }
@@ -277,7 +286,7 @@ TEST(ChainReorderTest, GroupPermutationChosenWhenSecondGroupDecides) {
   ASSERT_TRUE(Pass1.ok()) << Pass1.Error;
   ASSERT_EQ(Pass1.CommonSequences.size(), 1u);
   const CommonSuccessorSequence &Seq = Pass1.CommonSequences[0];
-  const SequenceProfile *Prof = Pass1.Profile.lookup(Seq.Id);
+  const ProfileEntry *Prof = comboProfile(Pass1, Seq);
   ASSERT_TRUE(Prof);
 
   double Before = 0.0, After = 0.0;

@@ -297,9 +297,9 @@ TEST(ReorderTest, ProfileRoundTripSurvivesSerialization) {
   CompileResult Result = compileWithReordering(Figure1Source, Train, {});
   ASSERT_TRUE(Result.ok()) << Result.Error;
   EXPECT_FALSE(Result.ProfileText.empty());
-  ProfileData Profile;
+  ProfileDB Profile;
   EXPECT_TRUE(Profile.deserialize(Result.ProfileText));
-  EXPECT_EQ(Profile.serialize(), Result.ProfileText);
+  EXPECT_EQ(Profile.serializeText(), Result.ProfileText);
 }
 
 TEST(ReorderTest, StaleProfileIsRejectedNotMisapplied) {

@@ -89,8 +89,10 @@ TEST(DriverTest, Pass1ExposesInstrumentedModule) {
           ++Hooks;
   EXPECT_EQ(Hooks, Pass1.Sequences.size());
   // And the profile already holds the training counts.
-  const SequenceProfile *Prof =
-      Pass1.Profile.lookup(Pass1.Sequences.front().Id);
+  const RangeSequence &Front = Pass1.Sequences.front();
+  const ProfileEntry *Prof = Pass1.Profile.lookupSequence(
+      ProfileKind::RangeBins, Front.F->getName(), Front.signature(),
+      Front.Conds.size() + Front.DefaultRanges.size(), /*Ordinal=*/0);
   ASSERT_TRUE(Prof);
   EXPECT_EQ(Prof->totalExecutions(), 5u); // 4 chars + EOF
 }
@@ -182,23 +184,32 @@ TEST(DriverTest, MultipleTrainingSetsCoverMoreSequences) {
 }
 
 TEST(DriverTest, ProfileMergeSumsAndValidates) {
-  ProfileData A, B;
-  A.registerSequence(0, "main", "sig0", 2);
+  ProfileDB A, B;
+  A.registerSequence(ProfileKind::RangeBins, 0, "main", "sig0", 2);
   A.increment(0, 0, 3);
-  B.registerSequence(0, "main", "sig0", 2);
+  B.registerSequence(ProfileKind::RangeBins, 0, "main", "sig0", 2);
   B.increment(0, 1, 4);
-  B.registerSequence(1, "main", "sig1", 3);
+  B.registerSequence(ProfileKind::RangeBins, 1, "main", "sig1", 3);
   B.increment(1, 2, 7);
-  ASSERT_TRUE(A.merge(B));
-  EXPECT_EQ(A.lookup(0)->BinCounts, (std::vector<uint64_t>{3, 4}));
-  EXPECT_EQ(A.lookup(1)->BinCounts[2], 7u);
+  EXPECT_TRUE(A.merge(B).clean());
+  const ProfileEntry *S0 =
+      A.lookupSequence(ProfileKind::RangeBins, "main", "sig0", 2, 0);
+  ASSERT_TRUE(S0);
+  EXPECT_EQ(S0->BinCounts, (std::vector<uint64_t>{3, 4}));
+  const ProfileEntry *S1 =
+      A.lookupSequence(ProfileKind::RangeBins, "main", "sig1", 3, 1);
+  ASSERT_TRUE(S1);
+  EXPECT_EQ(S1->BinCounts[2], 7u);
 
   // Signature mismatch refuses that record but keeps the rest.
-  ProfileData C;
-  C.registerSequence(0, "main", "DIFFERENT", 2);
+  ProfileDB C;
+  C.registerSequence(ProfileKind::RangeBins, 0, "main", "DIFFERENT", 2);
   C.increment(0, 0, 100);
-  EXPECT_FALSE(A.merge(C));
-  EXPECT_EQ(A.lookup(0)->BinCounts[0], 3u);
+  ProfileMergeStats Stats = A.merge(C);
+  EXPECT_FALSE(Stats.clean());
+  EXPECT_EQ(Stats.Skipped, 1u);
+  EXPECT_EQ(A.lookupSequence(ProfileKind::RangeBins, "main", "sig0", 2, 0)
+                ->BinCounts[0], 3u);
 }
 
 TEST(DriverTest, ProfileTextMatchesPass1Serialization) {
@@ -206,7 +217,51 @@ TEST(DriverTest, ProfileTextMatchesPass1Serialization) {
   Pass1Result Pass1 = runPass1(SimpleSource, "xyxy", Options);
   CompileResult Full = compileWithReordering(SimpleSource, "xyxy", Options);
   ASSERT_TRUE(Pass1.ok() && Full.ok());
-  EXPECT_EQ(Full.ProfileText, Pass1.Profile.serialize());
+  EXPECT_EQ(Full.ProfileText, Pass1.Profile.serializeText());
+}
+
+TEST(DriverTest, CompileWithSavedProfileMatchesTwoPass) {
+  // Saving the pass-1 profile and replaying it through compileWithProfile
+  // must reproduce the two-pass build exactly — the contract behind
+  // `broptc --profile-out` / `--profile-in`.
+  CompileOptions Options;
+  CompileResult Full = compileWithReordering(SimpleSource, "xyxyzz", Options);
+  ASSERT_TRUE(Full.ok()) << Full.Error;
+  ProfileDB Saved;
+  ASSERT_TRUE(Saved.deserialize(Full.ProfileText));
+  CompileResult Replayed = compileWithProfile(SimpleSource, Saved, Options);
+  ASSERT_TRUE(Replayed.ok()) << Replayed.Error;
+  EXPECT_EQ(printModule(*Full.M), printModule(*Replayed.M));
+  EXPECT_EQ(Replayed.Stats.Reordered, Full.Stats.Reordered);
+}
+
+TEST(DriverTest, StaleProfileIsDiagnosedSkip) {
+  // A profile taken from a *different* program must not transform this
+  // one: every record is rejected as missing or stale, never misapplied.
+  CompileOptions Options;
+  CompileResult Other = compileWithReordering(
+      R"(
+        int n = 0;
+        int main() {
+          int c;
+          while ((c = getchar()) != -1)
+            if (c == 'q') n = n + 1; else if (c == 'r') n = n + 2;
+          printint(n);
+          return 0;
+        }
+      )",
+      "qqrr", Options);
+  ASSERT_TRUE(Other.ok()) << Other.Error;
+  ProfileDB Stale;
+  ASSERT_TRUE(Stale.deserialize(Other.ProfileText));
+
+  CompileResult Result = compileWithProfile(SimpleSource, Stale, Options);
+  ASSERT_TRUE(Result.ok()) << Result.Error;
+  EXPECT_EQ(Result.Stats.Reordered, 0u);
+  EXPECT_EQ(Result.Stats.ProfileProblems, Result.Stats.Detected);
+  CompileResult Baseline = compileBaseline(SimpleSource, Options);
+  ASSERT_TRUE(Baseline.ok());
+  EXPECT_EQ(printModule(*Result.M), printModule(*Baseline.M));
 }
 
 } // namespace

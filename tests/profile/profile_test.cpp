@@ -1,6 +1,6 @@
-//===- tests/profile/profile_test.cpp - Profile storage tests -------------===//
+//===- tests/profile/profile_test.cpp - Unified profile store tests -------===//
 
-#include "profile/ProfileData.h"
+#include "profile/ProfileDB.h"
 
 #include "core/Instrumentation.h"
 #include "core/SequenceDetection.h"
@@ -14,71 +14,329 @@ using namespace bropt;
 
 namespace {
 
-TEST(ProfileDataTest, RegisterIncrementLookup) {
-  ProfileData Data;
-  Data.registerSequence(3, "main", "sig3", 4);
-  Data.increment(3, 0);
-  Data.increment(3, 2, 10);
-  const SequenceProfile *Record = Data.lookup(3);
+TEST(ProfileDBTest, RegisterIncrementLookup) {
+  ProfileDB DB;
+  DB.registerSequence(ProfileKind::RangeBins, 3, "main", "sig3", 4);
+  DB.increment(3, 0);
+  DB.increment(3, 2, 10);
+  ProfileLookupStatus Status;
+  const ProfileEntry *Record = DB.lookupSequence(
+      ProfileKind::RangeBins, "main", "sig3", 4, /*Ordinal=*/0, &Status);
   ASSERT_TRUE(Record);
+  EXPECT_EQ(Status, ProfileLookupStatus::Found);
   EXPECT_EQ(Record->FunctionName, "main");
   EXPECT_EQ(Record->Signature, "sig3");
-  EXPECT_EQ(Record->BinCounts,
-            (std::vector<uint64_t>{1, 0, 10, 0}));
+  EXPECT_EQ(Record->BinCounts, (std::vector<uint64_t>{1, 0, 10, 0}));
   EXPECT_EQ(Record->totalExecutions(), 11u);
-  EXPECT_EQ(Data.lookup(99), nullptr);
 }
 
-TEST(ProfileDataTest, SerializationRoundTrip) {
-  ProfileData Data;
-  Data.registerSequence(0, "main", "main/r0[1][2]", 3);
-  Data.registerSequence(7, "helper", "helper/r2[..5][9..]", 2);
-  Data.increment(0, 1, 12345);
-  Data.increment(7, 0, 1);
-  Data.increment(7, 1, 99999999);
+TEST(ProfileDBTest, OrdinalsCountPerKindAndFunction) {
+  ProfileDB DB;
+  // Registration order defines per-(kind, function) ordinals.
+  EXPECT_EQ(DB.registerSequence(ProfileKind::RangeBins, 0, "main", "a", 1)
+                .Ordinal, 0u);
+  EXPECT_EQ(DB.registerSequence(ProfileKind::RangeBins, 1, "main", "b", 1)
+                .Ordinal, 1u);
+  EXPECT_EQ(DB.registerSequence(ProfileKind::ComboOutcomes, 2, "main", "c", 2)
+                .Ordinal, 0u);
+  EXPECT_EQ(DB.registerSequence(ProfileKind::RangeBins, 3, "helper", "d", 1)
+                .Ordinal, 0u);
+  // A consumer-side keyer reproduces the same numbering.
+  SequenceKeyer Keyer;
+  EXPECT_EQ(Keyer.next(ProfileKind::RangeBins, "main"), 0u);
+  EXPECT_EQ(Keyer.next(ProfileKind::RangeBins, "main"), 1u);
+  EXPECT_EQ(Keyer.next(ProfileKind::ComboOutcomes, "main"), 0u);
+  EXPECT_EQ(Keyer.next(ProfileKind::RangeBins, "helper"), 0u);
+}
 
-  std::string Text = Data.serialize();
-  ProfileData Loaded;
-  ASSERT_TRUE(Loaded.deserialize(Text));
-  EXPECT_EQ(Loaded.size(), 2u);
-  const SequenceProfile *Record = Loaded.lookup(7);
+TEST(ProfileDBTest, LookupDiagnosesStaleness) {
+  ProfileDB DB;
+  DB.registerSequence(ProfileKind::RangeBins, 0, "main", "shape-v1", 3);
+
+  ProfileLookupStatus Status;
+  // Nothing registered at this ordinal (or function).
+  EXPECT_EQ(DB.lookupSequence(ProfileKind::RangeBins, "main", "shape-v1", 3,
+                              /*Ordinal=*/1, &Status), nullptr);
+  EXPECT_EQ(Status, ProfileLookupStatus::Missing);
+  EXPECT_STREQ(profileLookupStatusName(Status), "missing");
+
+  // The module changed shape since the profile was taken: diagnosed, not
+  // silently misattributed.
+  EXPECT_EQ(DB.lookupSequence(ProfileKind::RangeBins, "main", "shape-v2", 3,
+                              /*Ordinal=*/0, &Status), nullptr);
+  EXPECT_EQ(Status, ProfileLookupStatus::StaleSignature);
+  EXPECT_STREQ(profileLookupStatusName(Status), "stale-signature");
+
+  EXPECT_EQ(DB.lookupSequence(ProfileKind::RangeBins, "main", "shape-v1", 5,
+                              /*Ordinal=*/0, &Status), nullptr);
+  EXPECT_EQ(Status, ProfileLookupStatus::BinCountMismatch);
+  EXPECT_STREQ(profileLookupStatusName(Status), "bin-count-mismatch");
+
+  EXPECT_NE(DB.lookupSequence(ProfileKind::RangeBins, "main", "shape-v1", 3,
+                              /*Ordinal=*/0, &Status), nullptr);
+  EXPECT_EQ(Status, ProfileLookupStatus::Found);
+}
+
+TEST(ProfileDBTest, TextSerializationGolden) {
+  ProfileDB DB;
+  DB.registerSequence(ProfileKind::RangeBins, 0, "main", "main/r0[1][2]", 3);
+  DB.registerSequence(ProfileKind::ComboOutcomes, 1, "main", "combo:2", 4);
+  DB.registerSequence(ProfileKind::RangeBins, 7, "helper",
+                      "helper/r2[..5][9..]", 2);
+  DB.increment(0, 1, 12345);
+  DB.increment(1, 3, 6);
+  DB.increment(7, 0, 1);
+  DB.increment(7, 1, 99999999);
+  FunctionHotness &Hot = DB.functionHotness("main", 2);
+  Hot.Taken = {3, 0};
+  Hot.Total = {5, 9};
+
+  // Canonical (function, kind, ordinal) emission order, independent of
+  // registration order.
+  EXPECT_EQ(DB.serializeText(),
+            "bropt-profile v2\n"
+            "seq range helper 0 helper/r2[..5][9..] 1 99999999\n"
+            "seq range main 0 main/r0[1][2] 0 12345 0\n"
+            "seq combo main 0 combo:2 0 0 0 6\n"
+            "hot main 3 5 0 9\n");
+
+  ProfileDB Loaded;
+  ASSERT_TRUE(Loaded.deserialize(DB.serializeText()));
+  EXPECT_EQ(Loaded.serializeText(), DB.serializeText());
+  const ProfileEntry *Record = Loaded.lookupSequence(
+      ProfileKind::ComboOutcomes, "main", "combo:2", 4, 0);
   ASSERT_TRUE(Record);
-  EXPECT_EQ(Record->BinCounts, (std::vector<uint64_t>{1, 99999999}));
-  EXPECT_EQ(Record->Signature, "helper/r2[..5][9..]");
-  // Serialization is stable.
-  EXPECT_EQ(Loaded.serialize(), Text);
+  EXPECT_EQ(Record->BinCounts, (std::vector<uint64_t>{0, 0, 0, 6}));
+  const FunctionHotness *H = Loaded.findFunctionHotness("main");
+  ASSERT_TRUE(H);
+  EXPECT_EQ(H->Taken, (std::vector<uint64_t>{3, 0}));
+  EXPECT_EQ(H->Total, (std::vector<uint64_t>{5, 9}));
 }
 
-TEST(ProfileDataTest, DeserializeRejectsGarbage) {
-  ProfileData Data;
-  EXPECT_FALSE(Data.deserialize("not a profile"));
-  EXPECT_TRUE(Data.empty());
-  EXPECT_FALSE(Data.deserialize("seq x main sig 1 2"));
-  EXPECT_FALSE(Data.deserialize("seq 1 main sig -2"));
-  EXPECT_FALSE(Data.deserialize("seq 1 main"));
-  // Duplicate ids are malformed.
-  EXPECT_FALSE(Data.deserialize("seq 1 main sig 1\nseq 1 main sig 2\n"));
+TEST(ProfileDBTest, BinaryRoundTrip) {
+  ProfileDB DB;
+  DB.registerSequence(ProfileKind::RangeBins, 0, "main", "sigA", 3);
+  DB.registerSequence(ProfileKind::ComboOutcomes, 1, "f", "sigB", 2);
+  DB.increment(0, 0, 1);
+  DB.increment(0, 2, (uint64_t{1} << 40) + 17); // exercises multi-byte varints
+  DB.increment(1, 1, 300);
+  FunctionHotness &Hot = DB.functionHotness("f", 1);
+  Hot.Taken = {7};
+  Hot.Total = {11};
+
+  std::string Binary = DB.serializeBinary();
+  ProfileDB Loaded;
+  std::string Error;
+  ASSERT_TRUE(Loaded.deserialize(Binary, &Error)) << Error;
+  // Text and binary carry the same records.
+  EXPECT_EQ(Loaded.serializeText(), DB.serializeText());
+  EXPECT_EQ(Loaded.serializeBinary(), Binary);
+
+  // Truncation and version skew are rejected, leaving the store empty.
+  ProfileDB Bad;
+  EXPECT_FALSE(Bad.deserialize(
+      std::string_view(Binary).substr(0, Binary.size() - 1)));
+  EXPECT_TRUE(Bad.empty());
+  std::string Skewed = Binary;
+  Skewed[4] = char(99);
+  EXPECT_FALSE(Bad.deserialize(Skewed, &Error));
+  EXPECT_NE(Error.find("version"), std::string::npos);
+}
+
+TEST(ProfileDBTest, LoadsVersionOneFiles) {
+  // The headerless PR-1/PR-2 format: `seq <id> <func> <sig> <count>*` with
+  // module-wide discovery-order ids and no kind.
+  const char *V1 = "seq 2 main sigC 4 5 6\n"
+                   "seq 0 main sigA 1 2\n"
+                   "seq 1 helper sigB 3\n";
+  ProfileDB DB;
+  ASSERT_TRUE(DB.deserialize(V1));
+  EXPECT_EQ(DB.numSequences(), 3u);
+
+  // Ids order per-function ordinals: main gets id 0 -> ordinal 0 and
+  // id 2 -> ordinal 1.  Legacy records answer lookups of any kind.
+  const ProfileEntry *Record = DB.lookupSequence(
+      ProfileKind::RangeBins, "main", "sigC", 3, /*Ordinal=*/1);
+  ASSERT_TRUE(Record);
+  EXPECT_EQ(Record->Kind, ProfileKind::Legacy);
+  EXPECT_EQ(Record->BinCounts, (std::vector<uint64_t>{4, 5, 6}));
+  EXPECT_TRUE(DB.lookupSequence(ProfileKind::ComboOutcomes, "helper", "sigB",
+                                1, 0));
+
+  // Staleness is still diagnosed on the legacy path.
+  ProfileLookupStatus Status;
+  EXPECT_FALSE(DB.lookupSequence(ProfileKind::RangeBins, "main", "other", 2,
+                                 0, &Status));
+  EXPECT_EQ(Status, ProfileLookupStatus::StaleSignature);
+
+  // Re-serialization upgrades to the current format.
+  ProfileDB Upgraded;
+  ASSERT_TRUE(Upgraded.deserialize(DB.serializeText()));
+  EXPECT_EQ(Upgraded.serializeText(), DB.serializeText());
+}
+
+TEST(ProfileDBTest, DeserializeRejectsGarbage) {
+  ProfileDB DB;
+  EXPECT_FALSE(DB.deserialize("not a profile"));
+  EXPECT_TRUE(DB.empty());
+  EXPECT_FALSE(DB.deserialize("seq x main sig 1 2"));
+  EXPECT_FALSE(DB.deserialize("seq 1 main sig -2"));
+  EXPECT_FALSE(DB.deserialize("seq 1 main"));
+  // Duplicate version-1 ids are malformed.
+  EXPECT_FALSE(DB.deserialize("seq 1 main sig 1\nseq 1 main sig 2\n"));
   // Empty input is a valid empty profile.
-  EXPECT_TRUE(Data.deserialize(""));
-  EXPECT_TRUE(Data.empty());
+  EXPECT_TRUE(DB.deserialize(""));
+  EXPECT_TRUE(DB.empty());
+
+  // Version-2 rejection: future versions, unknown records, duplicates.
+  std::string Error;
+  EXPECT_FALSE(DB.deserialize("bropt-profile v3\n", &Error));
+  EXPECT_NE(Error.find("version"), std::string::npos);
+  EXPECT_FALSE(DB.deserialize("bropt-profile v2\nbogus line\n"));
+  EXPECT_FALSE(DB.deserialize("bropt-profile v2\nseq range main 0 sig 1\n"
+                              "seq range main 0 sig 2\n"));
+  EXPECT_FALSE(DB.deserialize("bropt-profile v2\nseq range main x sig 1\n"));
+  EXPECT_FALSE(DB.deserialize("bropt-profile v2\nhot main 1\n"));
+  EXPECT_TRUE(DB.empty());
+  EXPECT_TRUE(DB.deserialize("bropt-profile v2\n"));
+  EXPECT_TRUE(DB.empty());
 }
 
-TEST(ProfileDataTest, RandomRoundTripProperty) {
+TEST(ProfileDBTest, RandomRoundTripProperty) {
   std::mt19937 Rng(99);
   for (int Round = 0; Round < 20; ++Round) {
-    ProfileData Data;
+    ProfileDB DB;
     unsigned NumSeqs = 1 + Rng() % 8;
     for (unsigned Id = 0; Id < NumSeqs; ++Id) {
+      ProfileKind Kind = (Rng() % 2) ? ProfileKind::RangeBins
+                                     : ProfileKind::ComboOutcomes;
       size_t Bins = 1 + Rng() % 9;
-      Data.registerSequence(Id, formatString("f%u", Id % 3),
-                            formatString("sig%u", Id), Bins);
+      DB.registerSequence(Kind, Id, formatString("f%u", Id % 3),
+                          formatString("sig%u", Id), Bins);
       for (size_t Bin = 0; Bin < Bins; ++Bin)
-        Data.increment(Id, Bin, Rng() % 100000);
+        DB.increment(Id, Bin, Rng() % 100000);
     }
-    ProfileData Loaded;
-    ASSERT_TRUE(Loaded.deserialize(Data.serialize()));
-    EXPECT_EQ(Loaded.serialize(), Data.serialize());
+    unsigned NumHot = Rng() % 3;
+    for (unsigned F = 0; F < NumHot; ++F) {
+      FunctionHotness &Hot =
+          DB.functionHotness(formatString("hot%u", F), 1 + Rng() % 4);
+      for (size_t Id = 0; Id < Hot.Total.size(); ++Id) {
+        Hot.Total[Id] = Rng() % 100000;
+        Hot.Taken[Id] = Hot.Total[Id] ? Rng() % Hot.Total[Id] : 0;
+      }
+    }
+    ProfileDB FromText, FromBinary;
+    ASSERT_TRUE(FromText.deserialize(DB.serializeText()));
+    ASSERT_TRUE(FromBinary.deserialize(DB.serializeBinary()));
+    EXPECT_EQ(FromText.serializeText(), DB.serializeText());
+    EXPECT_EQ(FromBinary.serializeText(), DB.serializeText());
+    EXPECT_EQ(FromBinary.serializeBinary(), DB.serializeBinary());
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Merging
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileMergeTest, MatchingRecordsSum) {
+  ProfileDB A, B;
+  A.registerSequence(ProfileKind::RangeBins, 0, "main", "sig", 3);
+  A.increment(0, 0, 10);
+  A.increment(0, 2, 1);
+  B.registerSequence(ProfileKind::RangeBins, 0, "main", "sig", 3);
+  B.increment(0, 0, 5);
+  B.increment(0, 1, 7);
+  B.registerSequence(ProfileKind::RangeBins, 1, "helper", "hsig", 2);
+  B.increment(1, 0, 2);
+  A.functionHotness("main", 1).Total = {4};
+  B.functionHotness("main", 1).Total = {6};
+  B.functionHotness("main", 1).Taken = {3};
+
+  ProfileMergeStats Stats = A.merge(B);
+  EXPECT_TRUE(Stats.clean());
+  EXPECT_EQ(Stats.Merged, 2u); // main's sequence and main's hotness
+  EXPECT_EQ(Stats.Added, 1u);  // helper's sequence
+  const ProfileEntry *Main =
+      A.lookupSequence(ProfileKind::RangeBins, "main", "sig", 3, 0);
+  ASSERT_TRUE(Main);
+  EXPECT_EQ(Main->BinCounts, (std::vector<uint64_t>{15, 7, 1}));
+  const ProfileEntry *Helper =
+      A.lookupSequence(ProfileKind::RangeBins, "helper", "hsig", 2, 0);
+  ASSERT_TRUE(Helper);
+  EXPECT_EQ(Helper->BinCounts, (std::vector<uint64_t>{2, 0}));
+  const FunctionHotness *Hot = A.findFunctionHotness("main");
+  ASSERT_TRUE(Hot);
+  EXPECT_EQ(Hot->Total, (std::vector<uint64_t>{10}));
+  EXPECT_EQ(Hot->Taken, (std::vector<uint64_t>{3}));
+}
+
+/// Three profiles with overlapping and disjoint records, for the order
+/// properties.
+static std::vector<ProfileDB> mergeFixtures() {
+  std::vector<ProfileDB> DBs(3);
+  for (unsigned Index = 0; Index < DBs.size(); ++Index) {
+    ProfileDB &DB = DBs[Index];
+    DB.registerSequence(ProfileKind::RangeBins, 0, "shared", "sig", 2);
+    DB.increment(0, Index % 2, 100 + Index);
+    DB.registerSequence(ProfileKind::RangeBins, 1,
+                        formatString("only%u", Index), "sig", 1);
+    DB.increment(1, 0, Index + 1);
+    FunctionHotness &Hot = DB.functionHotness("shared", 2);
+    Hot.Taken = {Index, 0};
+    Hot.Total = {Index + 5, 1};
+  }
+  return DBs;
+}
+
+TEST(ProfileMergeTest, MergeIsCommutativeAndAssociative) {
+  // Canonical serialization makes result equality a byte comparison.
+  std::vector<ProfileDB> DBs = mergeFixtures();
+
+  ProfileDB AB = DBs[0];
+  EXPECT_TRUE(AB.merge(DBs[1]).clean());
+  ProfileDB BA = DBs[1];
+  EXPECT_TRUE(BA.merge(DBs[0]).clean());
+  EXPECT_EQ(AB.serializeText(), BA.serializeText());
+  EXPECT_EQ(AB.serializeBinary(), BA.serializeBinary());
+
+  ProfileDB AB_C = AB;
+  EXPECT_TRUE(AB_C.merge(DBs[2]).clean());
+  ProfileDB BC = DBs[1];
+  EXPECT_TRUE(BC.merge(DBs[2]).clean());
+  ProfileDB A_BC = DBs[0];
+  EXPECT_TRUE(A_BC.merge(BC).clean());
+  EXPECT_EQ(AB_C.serializeText(), A_BC.serializeText());
+
+  const ProfileEntry *Shared =
+      AB_C.lookupSequence(ProfileKind::RangeBins, "shared", "sig", 2, 0);
+  ASSERT_TRUE(Shared);
+  EXPECT_EQ(Shared->totalExecutions(), uint64_t{100 + 101 + 102});
+}
+
+TEST(ProfileMergeTest, ConflictingRecordsAreSkippedAndReported) {
+  ProfileDB A, B;
+  A.registerSequence(ProfileKind::RangeBins, 0, "main", "old-shape", 2);
+  A.increment(0, 0, 42);
+  B.registerSequence(ProfileKind::RangeBins, 0, "main", "new-shape", 2);
+  B.increment(0, 0, 999);
+  B.functionHotness("main", 1).Total = {1};
+  A.functionHotness("main", 3).Total = {1, 1, 1};
+
+  ProfileMergeStats Stats = A.merge(B);
+  EXPECT_FALSE(Stats.clean());
+  EXPECT_EQ(Stats.Skipped, 2u);
+  EXPECT_EQ(Stats.Merged, 0u);
+  ASSERT_EQ(Stats.Conflicts.size(), 2u);
+  EXPECT_NE(Stats.Conflicts[0].find("signature mismatch"), std::string::npos);
+  EXPECT_NE(Stats.Conflicts[1].find("branch count mismatch"),
+            std::string::npos);
+
+  // The conflicting records were left untouched — no misattribution.
+  const ProfileEntry *Mine =
+      A.lookupSequence(ProfileKind::RangeBins, "main", "old-shape", 2, 0);
+  ASSERT_TRUE(Mine);
+  EXPECT_EQ(Mine->BinCounts, (std::vector<uint64_t>{42, 0}));
+  EXPECT_EQ(A.findFunctionHotness("main")->Total.size(), 3u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -128,7 +386,7 @@ TEST(ProfileBinnerTest, BinsPartitionTheValueSpace) {
   }
 }
 
-TEST(ProfileBinnerTest, CallbackCountsIntoProfileData) {
+TEST(ProfileBinnerTest, CallbackCountsIntoProfileDB) {
   Module M;
   Function *F = M.createFunction("main", 0);
   BasicBlock *T = F->createBlock();
@@ -148,16 +406,18 @@ TEST(ProfileBinnerTest, CallbackCountsIntoProfileData) {
   Seq.DefaultTarget = T;
   Seq.DefaultRanges = computeDefaultRanges({C1.R, C2.R});
 
-  ProfileData Data;
+  ProfileDB DB;
   ProfileBinner Binner;
   Binner.addSequence(Seq);
-  Data.registerSequence(5, "main", Seq.signature(), Binner.numBins(5));
-  auto Callback = Binner.callback(Data);
+  DB.registerSequence(ProfileKind::RangeBins, 5, "main", Seq.signature(),
+                      Binner.numBins(5));
+  auto Callback = Binner.callback(DB);
   Callback(5, 10);
   Callback(5, 10);
   Callback(5, 20);
   Callback(5, 999);
-  const SequenceProfile *Record = Data.lookup(5);
+  const ProfileEntry *Record = DB.lookupSequence(
+      ProfileKind::RangeBins, "main", Seq.signature(), Binner.numBins(5), 0);
   ASSERT_TRUE(Record);
   EXPECT_EQ(Record->BinCounts[0], 2u);
   EXPECT_EQ(Record->BinCounts[1], 1u);

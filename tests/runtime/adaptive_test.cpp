@@ -288,6 +288,156 @@ TEST(AdaptiveRuntimeTest, TraceReportsTieringEvents) {
   EXPECT_TRUE(SawSwap);
 }
 
+//===----------------------------------------------------------------------===//
+// Profile persistence: what the runtime learned replays offline
+//===----------------------------------------------------------------------===//
+
+TEST(AdaptiveProfileTest, ExportedProfileReplaysDeployedOrderings) {
+  // The `--profile-out` contract: pass 2 fed the exported profile selects
+  // exactly the orderings the live tier-up deployed — through both
+  // serialized forms.
+  CompileResult Keep;
+  Module &M = compileClassifier(Keep);
+  AdaptiveController Controller(M, aggressiveOptions());
+  runAdaptive(M, Controller, phaseShiftInput());
+  ASSERT_TRUE(Controller.tiered());
+
+  ProfileDB Exported;
+  Controller.exportProfile(Exported);
+  EXPECT_GT(Exported.numSequences(), 0u);
+  EXPECT_FALSE(Exported.hotness().empty());
+
+  std::string Live = Controller.deployedOrderingSignature();
+  ASSERT_FALSE(Live.empty());
+  EXPECT_EQ(orderingSignaturesFromProfile(M, Exported), Live);
+
+  ProfileDB FromText, FromBinary;
+  ASSERT_TRUE(FromText.deserialize(Exported.serializeText()));
+  ASSERT_TRUE(FromBinary.deserialize(Exported.serializeBinary()));
+  EXPECT_EQ(orderingSignaturesFromProfile(M, FromText), Live);
+  EXPECT_EQ(orderingSignaturesFromProfile(M, FromBinary), Live);
+}
+
+TEST(AdaptiveProfileTest, ImportWarmStartsAFreshController) {
+  // The `--profile-in` contract: a fresh controller fed the saved profile
+  // starts already tiered, on the same orderings, and stays bit-identical
+  // to the tree walker.
+  CompileResult Keep;
+  Module &M = compileClassifier(Keep);
+  std::string Input = phaseShiftInput();
+  AdaptiveController First(M, aggressiveOptions());
+  runAdaptive(M, First, Input);
+  ASSERT_TRUE(First.tiered());
+  ProfileDB Saved;
+  First.exportProfile(Saved);
+
+  AdaptiveController Second(M, aggressiveOptions());
+  Second.importProfile(Saved);
+  Second.drainBackgroundWork();
+  EXPECT_TRUE(Second.tiered());
+  EXPECT_EQ(Second.deployedOrderingSignature(),
+            First.deployedOrderingSignature());
+  EXPECT_GT(Second.stats().TierUps, 0u);
+
+  RunResult Tree = runTree(M, Input);
+  RunResult Warm = runAdaptive(M, Second, Input);
+  expectSameObservables(Tree, Warm);
+}
+
+TEST(AdaptiveProfileTest, StaleProfileSelectsNothingOnAnotherModule) {
+  // Replaying a profile against a program it was not taken from must be a
+  // diagnosed no-op: every record misses or is stale, never misapplied.
+  CompileResult Keep;
+  Module &M = compileClassifier(Keep);
+  AdaptiveController Controller(M, aggressiveOptions());
+  runAdaptive(M, Controller, phaseShiftInput());
+  ASSERT_TRUE(Controller.tiered());
+  ProfileDB Exported;
+  Controller.exportProfile(Exported);
+
+  CompileResult Other = compileBaseline(R"(
+    int hits = 0;
+    int main() {
+      int c;
+      while ((c = getchar()) != -1) {
+        if (c == 'a') { hits = hits + 1; }
+        else if (c == 'b') { hits = hits + 2; }
+        else { hits = hits + 3; }
+      }
+      printint(hits);
+      return 0;
+    }
+  )", CompileOptions());
+  ASSERT_TRUE(Other.ok()) << Other.Error;
+  EXPECT_TRUE(orderingSignaturesFromProfile(*Other.M, Exported).empty());
+}
+
+TEST(AdaptiveProfileTest, MergedExportsSumScaledCounts) {
+  // Two sessions over the same module merge cleanly, with per-bin totals
+  // equal to the sum of the parts (the repeatable `--profile-in` case).
+  CompileResult Keep;
+  Module &M = compileClassifier(Keep);
+  ProfileDB A, B;
+  {
+    AdaptiveController Controller(M, aggressiveOptions());
+    runAdaptive(M, Controller, phaseShiftInput(/*HalfLength=*/512));
+    Controller.exportProfile(A);
+  }
+  {
+    AdaptiveController Controller(M, aggressiveOptions());
+    runAdaptive(M, Controller, std::string(2048, '7'));
+    Controller.exportProfile(B);
+  }
+  ProfileDB Merged;
+  ASSERT_TRUE(Merged.deserialize(A.serializeText()));
+  ProfileMergeStats Stats = Merged.merge(B);
+  EXPECT_TRUE(Stats.clean());
+  ASSERT_EQ(Merged.numSequences(), A.numSequences());
+  // Round-trip A and B so all three stores enumerate in canonical order.
+  ProfileDB CanonA, CanonB;
+  ASSERT_TRUE(CanonA.deserialize(A.serializeText()));
+  ASSERT_TRUE(CanonB.deserialize(B.serializeText()));
+  auto ItA = CanonA.begin(), ItB = CanonB.begin(), ItM = Merged.begin();
+  for (; ItM != Merged.end(); ++ItA, ++ItB, ++ItM) {
+    ASSERT_EQ(ItA->Signature, ItM->Signature);
+    ASSERT_EQ(ItB->Signature, ItM->Signature);
+    for (size_t Bin = 0; Bin < ItM->BinCounts.size(); ++Bin)
+      EXPECT_EQ(ItM->BinCounts[Bin],
+                ItA->BinCounts[Bin] + ItB->BinCounts[Bin]);
+  }
+}
+
+TEST(HotnessSamplerTest, OutOfRangeSamplesAreCountedAsDropped) {
+  // The observe() fix: samples the id space cannot attribute are counted
+  // and surfaced (RuntimeStats::DroppedSamples), not silently discarded.
+  HotnessSampler Sampler;
+  Sampler.init(/*NumBranchIds=*/2, /*NumFunctions=*/1);
+  Sampler.observe(0, 0, true);
+  Sampler.observe(0, 5, true);  // unknown branch id
+  Sampler.observe(9, 1, false); // unknown function index
+  EXPECT_EQ(Sampler.DroppedSamples, 2u);
+  // The known half of a partially-attributable sample is still recorded:
+  // the known branch under an unknown function, the known function under
+  // an unknown branch.
+  EXPECT_EQ(Sampler.Hotness.Total[0], 1u);
+  EXPECT_EQ(Sampler.Hotness.Total[1], 1u);
+  EXPECT_EQ(Sampler.FuncSamples[0], 2u);
+}
+
+TEST(HotnessSamplerTest, HotnessSurvivesProfileRoundTrip) {
+  CompileResult Keep;
+  Module &M = compileClassifier(Keep);
+  BranchHotness Hot = collectBranchHotness(M, std::string(128, '7'));
+  ProfileDB DB;
+  exportHotnessToProfile(M, Hot, DB);
+  ProfileDB Loaded;
+  ASSERT_TRUE(Loaded.deserialize(DB.serializeText()));
+  BranchHotness Back;
+  ASSERT_GT(importHotnessFromProfile(M, Loaded, Back), 0u);
+  EXPECT_EQ(Back.Taken, Hot.Taken);
+  EXPECT_EQ(Back.Total, Hot.Total);
+}
+
 TEST(HotnessSamplerTest, CollectBranchHotnessMeasuresBias) {
   // The loop-back branch of the classifier executes once per input byte
   // and exits once; with an all-digit input the first ladder arm is taken

@@ -13,7 +13,7 @@
 
 #include "driver/Driver.h"
 #include "ir/IRBuilder.h"
-#include "profile/ProfileData.h"
+#include "profile/ProfileDB.h"
 #include "runtime/HotnessSampler.h"
 #include "sim/Fuse.h"
 #include "sim/Interpreter.h"
@@ -307,7 +307,7 @@ TEST(FusedProfileTest, ProfileOrderedChainsStayEquivalent) {
     CompileResult Reordered =
         compileWithReordering(W.Source, W.TrainingInput, Options);
     ASSERT_TRUE(Reordered.ok()) << Reordered.Error;
-    ProfileData Profile;
+    ProfileDB Profile;
     ASSERT_TRUE(Profile.deserialize(Reordered.ProfileText));
     FuseOptions Opts;
     Opts.Profile = &Profile;

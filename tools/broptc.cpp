@@ -8,14 +8,23 @@
 // Options:
 //   --train FILE          training input for the profiling pass; may be
 //                         given several times to merge training sets
-//                         (no --train means no reordering: baseline build)
+//                         (no --train and no --profile-in means no
+//                         reordering: baseline build)
 //   --input FILE          input for --run (default: empty)
 //   --set I|II|III        switch-translation heuristic set (default I)
 //   --common-successor    also reorder common-successor chains (paper §10)
 //   --method-selection    allow profile-guided jump tables (paper §10)
 //   --ijmp-cost N         indirect-jump cost estimate for method selection
 //   --emit-ir             print the final IR
-//   --profile FILE        write the collected profile (pass-1 output)
+//   --profile-in FILE     load a saved profile (text or binary; see
+//                         docs/PROFILE.md) and feed it into pass 2; may be
+//                         given several times — profiles merge, and any
+//                         --train profile merges in on top.  Also
+//                         warm-starts the adaptive engine.
+//   --profile-out FILE    write the profile that fed pass 2; with the
+//                         adaptive engine, write what the runtime learned
+//                         instead (--profile is an alias)
+//   --profile-binary      write --profile-out in the binary format
 //   --stats               print detection/reordering statistics
 //   --run                 interpret the program and echo its output
 //   --predict             with --run: report (0,2)/2048 mispredictions
@@ -51,8 +60,9 @@ namespace {
                "[--set I|II|III]\n"
                "              [--common-successor] [--method-selection] "
                "[--ijmp-cost N]\n"
-               "              [--emit-ir] [--profile FILE] [--stats] "
-               "[--run] [--predict]\n"
+               "              [--emit-ir] [--profile-in FILE] "
+               "[--profile-out FILE] [--profile-binary]\n"
+               "              [--stats] [--run] [--predict]\n"
                "              [--interp fused|decoded|tree|adaptive] "
                "[--adaptive] [--adaptive-trace]\n");
   std::exit(2);
@@ -73,7 +83,9 @@ struct CliOptions {
   std::string SourcePath;
   std::vector<std::string> TrainPaths;
   std::string InputPath;
-  std::string ProfilePath;
+  std::vector<std::string> ProfileInPaths;
+  std::string ProfileOutPath;
+  bool ProfileBinary = false;
   CompileOptions Compile;
   bool EmitIR = false;
   bool Stats = false;
@@ -116,8 +128,12 @@ CliOptions parseArgs(int Argc, char **Argv) {
           static_cast<unsigned>(std::atoi(nextValue().c_str()));
     } else if (Arg == "--emit-ir") {
       Options.EmitIR = true;
-    } else if (Arg == "--profile") {
-      Options.ProfilePath = nextValue();
+    } else if (Arg == "--profile" || Arg == "--profile-out") {
+      Options.ProfileOutPath = nextValue();
+    } else if (Arg == "--profile-in") {
+      Options.ProfileInPaths.push_back(nextValue());
+    } else if (Arg == "--profile-binary") {
+      Options.ProfileBinary = true;
     } else if (Arg == "--stats") {
       Options.Stats = true;
     } else if (Arg == "--run") {
@@ -163,30 +179,53 @@ int main(int Argc, char **Argv) {
   CliOptions Options = parseArgs(Argc, Argv);
   std::string Source = readFileOrDie(Options.SourcePath);
 
-  CompileResult Result;
-  if (Options.TrainPaths.empty()) {
-    Result = compileBaseline(Source, Options.Compile);
-  } else {
+  // Assemble the pass-2 profile: saved files first (merging), then any
+  // fresh training runs on top.  Conflicting records are skipped with a
+  // warning, never silently misattributed.
+  ProfileDB Profile;
+  bool HaveProfile = false;
+  for (const std::string &Path : Options.ProfileInPaths) {
+    ProfileDB Loaded;
+    std::string Error;
+    if (!Loaded.loadFile(Path, &Error)) {
+      std::fprintf(stderr, "broptc: cannot load profile '%s': %s\n",
+                   Path.c_str(), Error.c_str());
+      return 1;
+    }
+    ProfileMergeStats Merge = Profile.merge(Loaded);
+    for (const std::string &Conflict : Merge.Conflicts)
+      std::fprintf(stderr, "broptc: warning: %s: %s\n", Path.c_str(),
+                   Conflict.c_str());
+    HaveProfile = true;
+  }
+  if (!Options.TrainPaths.empty()) {
     std::vector<std::string> TrainingSets;
     for (const std::string &Path : Options.TrainPaths)
       TrainingSets.push_back(readFileOrDie(Path));
     std::vector<std::string_view> Views(TrainingSets.begin(),
                                         TrainingSets.end());
-    Result = compileWithReordering(Source, Views, Options.Compile);
+    Pass1Result Pass1 = runPass1(Source, Views, Options.Compile);
+    if (!Pass1.ok()) {
+      std::fprintf(stderr, "broptc: %s\n", Pass1.Error.c_str());
+      return 1;
+    }
+    ProfileMergeStats Merge = Profile.merge(Pass1.Profile);
+    for (const std::string &Conflict : Merge.Conflicts)
+      std::fprintf(stderr, "broptc: warning: training profile: %s\n",
+                   Conflict.c_str());
+    HaveProfile = true;
+  }
+
+  CompileResult Result;
+  if (HaveProfile) {
+    Result = compileWithProfile(Source, Profile, Options.Compile);
+    Result.ProfileText = Profile.serializeText();
+  } else {
+    Result = compileBaseline(Source, Options.Compile);
   }
   if (!Result.ok()) {
     std::fprintf(stderr, "broptc: %s\n", Result.Error.c_str());
     return 1;
-  }
-
-  if (!Options.ProfilePath.empty()) {
-    std::ofstream Stream(Options.ProfilePath, std::ios::binary);
-    if (!Stream) {
-      std::fprintf(stderr, "broptc: cannot write '%s'\n",
-                   Options.ProfilePath.c_str());
-      return 1;
-    }
-    Stream << Result.ProfileText;
   }
 
   if (Options.Stats) {
@@ -215,13 +254,13 @@ int main(int Argc, char **Argv) {
   if (Options.EmitIR)
     std::printf("%s", printModule(*Result.M).c_str());
 
+  std::unique_ptr<AdaptiveController> Adaptive;
   if (Options.Run) {
     std::string Input;
     if (!Options.InputPath.empty())
       Input = readFileOrDie(Options.InputPath);
     Interpreter Interp(*Result.M, Options.InterpMode);
     Interp.setInput(Input);
-    std::unique_ptr<AdaptiveController> Adaptive;
     if (Options.InterpMode == Interpreter::Mode::Adaptive) {
       RuntimeOptions RO;
       if (Options.AdaptiveTrace)
@@ -229,6 +268,8 @@ int main(int Argc, char **Argv) {
           std::fprintf(stderr, "[adaptive] %s\n", Event.c_str());
         };
       Adaptive = std::make_unique<AdaptiveController>(*Result.M, RO);
+      if (HaveProfile)
+        Adaptive->importProfile(Profile);
       Adaptive->attach(Interp);
     }
     std::optional<BranchPredictor> Predictor;
@@ -263,10 +304,11 @@ int main(int Argc, char **Argv) {
       RuntimeStats RS = Adaptive->stats();
       std::fprintf(
           stderr,
-          "adaptive: %llu samples, %llu tier-up(s), %llu swap(s) "
-          "(%llu deferred), %llu drift event(s), %llu recompile(s) "
-          "(%llu suppressed, %.3fs)\n",
+          "adaptive: %llu samples (%llu dropped), %llu tier-up(s), "
+          "%llu swap(s) (%llu deferred), %llu drift event(s), "
+          "%llu recompile(s) (%llu suppressed, %.3fs)\n",
           static_cast<unsigned long long>(RS.SamplesTaken),
+          static_cast<unsigned long long>(RS.DroppedSamples),
           static_cast<unsigned long long>(RS.TierUps),
           static_cast<unsigned long long>(RS.Swaps),
           static_cast<unsigned long long>(RS.DeferredSwaps),
@@ -274,6 +316,27 @@ int main(int Argc, char **Argv) {
           static_cast<unsigned long long>(RS.Recompiles),
           static_cast<unsigned long long>(RS.RecompilesSuppressed),
           RS.RecompileSeconds);
+    }
+  }
+
+  if (!Options.ProfileOutPath.empty()) {
+    // With the adaptive engine, write what the runtime learned — the
+    // headline round trip: `--adaptive --profile-out=p` then
+    // `--profile-in=p` reproduces the tier-up's orderings offline.
+    // Otherwise write the profile that fed pass 2.
+    ProfileDB Out;
+    if (Adaptive)
+      Adaptive->exportProfile(Out);
+    else if (HaveProfile && !Out.deserialize(Result.ProfileText)) {
+      std::fprintf(stderr, "broptc: internal error: profile re-read failed\n");
+      return 1;
+    }
+    std::string Error;
+    if (!Out.saveFile(Options.ProfileOutPath, Options.ProfileBinary,
+                      &Error)) {
+      std::fprintf(stderr, "broptc: cannot write '%s': %s\n",
+                   Options.ProfileOutPath.c_str(), Error.c_str());
+      return 1;
     }
   }
   return 0;
