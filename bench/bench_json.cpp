@@ -17,6 +17,14 @@
 //    benchmark (adaptive vs never-tiering decoded), and fuse and cache
 //    statistics.  This file IS committed so speedups persist across PRs.
 //
+// After the interpreter matrix, the native AOT configuration runs
+// separately (its first repetition pays the host-compiler invocations):
+// every sweep re-executes as compiled machine code, observables are
+// checked against the fused engine, and — where perf_event access
+// permits — the ordered and unordered shared objects run under hardware
+// branch/branch-miss counters, grounding the paper's claim on real
+// silicon.  Both land in BENCH_engine.json's "native" section.
+//
 // Every configuration replays identical logical work: dynamic counts are
 // engine-invariant, so the wall-clock ratios are pure dispatch/fusion
 // wins.  --verify-engines re-runs sweeps on the tree-walking reference
@@ -33,10 +41,12 @@
 
 #include "BenchUtil.h"
 
+#include "codegen/NativeRunner.h"
 #include "profile/ProfileDB.h"
 #include "runtime/AdaptiveController.h"
 #include "runtime/HotnessSampler.h"
 #include "sim/Fuse.h"
+#include "support/PerfCounters.h"
 
 #include <cstring>
 #include <fstream>
@@ -299,6 +309,8 @@ const char *modeName(Interpreter::Mode Mode) {
     return "adaptive";
   case Interpreter::Mode::Tree:
     return "tree";
+  case Interpreter::Mode::Native:
+    return "native";
   }
   return "unknown";
 }
@@ -443,6 +455,135 @@ int main() {
   Result.Decoded = summarizeTimings(std::move(DecodedSamples));
   Result.Adaptive = summarizeTimings(std::move(AdaptiveSamples));
   Result.Tiering = Controller.stats();
+  return Result;
+}
+
+/// The native AOT configuration.  Runs outside the interleaved engine
+/// matrix: its first repetition pays ~100 host-compiler invocations, a
+/// cost class of its own, so it gets its own warmup (populating the
+/// Evaluator's `.so` cache) before its timed repetitions.  Native runs
+/// carry no dynamic counters — the totalInsts invariant cannot apply —
+/// so observables are verified against the fused configuration instead.
+struct NativeBenchResult {
+  bool Available = false;
+  std::string Reason; ///< set when unavailable
+  std::string Compiler;
+  TimingStats Timing;
+  SuiteResult Final;
+  EvaluatorStats Cache;
+  NativeRunnerStats Runner;
+};
+
+NativeBenchResult runNativeBench(unsigned Warmup, unsigned Reps,
+                                 const std::vector<SweepSpec> &Sweeps,
+                                 const SuiteResult &FusedReference) {
+  NativeBenchResult Result;
+  if (!NativeRunner::shared().available()) {
+    Result.Reason = NativeRunner::shared().unavailableReason();
+    return Result;
+  }
+  Result.Available = true;
+  Result.Compiler = NativeRunner::shared().compilerCommand();
+
+  EvaluatorOptions Options;
+  Options.Threads = 1; // serial: comparable to the *-serial configs
+  Options.Mode = Interpreter::Mode::Native;
+  Options.CacheCompiles = true;
+  Evaluator Eval(Options);
+  for (unsigned Iter = 0; Iter < std::max(1u, Warmup); ++Iter)
+    Result.Final = runSuite(Eval, Sweeps);
+  std::vector<double> Samples;
+  for (unsigned Rep = 0; Rep < std::max(1u, Reps); ++Rep)
+    Samples.push_back(
+        timeOnce([&] { Result.Final = runSuite(Eval, Sweeps); }));
+  Result.Timing = summarizeTimings(std::move(Samples));
+  Result.Cache = Eval.stats();
+  Result.Runner = NativeRunner::shared().stats();
+
+  // Machine code must reproduce the simulated observables bit for bit.
+  for (size_t Sweep = 0; Sweep < FusedReference.Sweeps.size(); ++Sweep)
+    for (size_t Index = 0; Index < FusedReference.Sweeps[Sweep].size();
+         ++Index) {
+      const WorkloadEvaluation &Native =
+          Result.Final.Sweeps[Sweep][Index].Eval;
+      const WorkloadEvaluation &Fused =
+          FusedReference.Sweeps[Sweep][Index].Eval;
+      if (Native.Baseline.Output != Fused.Baseline.Output ||
+          Native.Baseline.ExitValue != Fused.Baseline.ExitValue ||
+          Native.Reordered.Output != Fused.Reordered.Output ||
+          Native.Reordered.ExitValue != Fused.Reordered.ExitValue) {
+        std::fprintf(stderr,
+                     "bench error: native and fused observables disagree "
+                     "on %s (sweep %zu)\n",
+                     Native.Name.c_str(), Sweep);
+        std::exit(1);
+      }
+    }
+  return Result;
+}
+
+/// Hardware ground truth for the paper's thesis: run the unordered
+/// (baseline) and ordered (reordered) shared objects of every workload
+/// under perf_event branch counters and compare measured miss counts.
+/// Needs both a host compiler and perf_event access; degrades to
+/// Available = false (with the reason recorded in the JSON) otherwise.
+struct PerfComparison {
+  bool Available = false;
+  std::string Reason;
+  unsigned Reps = 0;
+  uint64_t UnorderedBranches = 0;
+  uint64_t UnorderedMisses = 0;
+  uint64_t OrderedBranches = 0;
+  uint64_t OrderedMisses = 0;
+  bool Multiplexed = false;
+};
+
+PerfComparison runPerfComparison(unsigned Reps) {
+  PerfComparison Result;
+  PerfCounters Counters;
+  if (!Counters.available()) {
+    Result.Reason = Counters.unavailableReason();
+    return Result;
+  }
+  if (!NativeRunner::shared().available()) {
+    Result.Reason = NativeRunner::shared().unavailableReason();
+    return Result;
+  }
+  Result.Available = true;
+  Result.Reps = Reps;
+  for (const Workload &W : standardWorkloads()) {
+    CompileResult Baseline = compileBaseline(W.Source, CompileOptions());
+    CompileResult Reordered =
+        compileWithReordering(W.Source, W.TrainingInput, CompileOptions());
+    if (!Baseline.ok() || !Reordered.ok())
+      continue;
+    std::string Error;
+    std::shared_ptr<const NativeProgram> Unordered =
+        NativeRunner::shared().prepare(*Baseline.M, &Error);
+    std::shared_ptr<const NativeProgram> Ordered =
+        NativeRunner::shared().prepare(*Reordered.M, &Error);
+    if (!Unordered || !Ordered) {
+      std::fprintf(stderr, "bench error: native compile failed: %s\n",
+                   Error.c_str());
+      std::exit(1);
+    }
+    // One unmeasured run each: page in the code, fault the stacks.
+    Unordered->run(W.TestInput);
+    Ordered->run(W.TestInput);
+    Counters.start();
+    for (unsigned Rep = 0; Rep < std::max(1u, Reps); ++Rep)
+      Unordered->run(W.TestInput);
+    PerfSample USample = Counters.stop();
+    Counters.start();
+    for (unsigned Rep = 0; Rep < std::max(1u, Reps); ++Rep)
+      Ordered->run(W.TestInput);
+    PerfSample OSample = Counters.stop();
+    Result.UnorderedBranches += USample.Branches;
+    Result.UnorderedMisses += USample.BranchMisses;
+    Result.OrderedBranches += OSample.Branches;
+    Result.OrderedMisses += OSample.BranchMisses;
+    Result.Multiplexed |= USample.Multiplexed || OSample.Multiplexed;
+  }
   return Result;
 }
 
@@ -651,6 +792,40 @@ int main(int Argc, char **Argv) {
               PhaseShift.Decoded.Median,
               (unsigned long long)PhaseShift.Tiering.Recompiles);
 
+  std::printf("running the native AOT configuration...\n");
+  NativeBenchResult Native =
+      runNativeBench(Warmup, Reps, Sweeps, FusedSerial.Final);
+  const double NativeOverFusedSerial =
+      Native.Available ? Ratio(FusedSerial.Timing.Median, Native.Timing.Median)
+                       : 0.0;
+  if (Native.Available)
+    std::printf("  native-serial    median %.3fs  (min %.3fs, stddev "
+                "%.4fs)\n  native over fused: %.2fx serial "
+                "(%llu .so compiles, %.3fs in the host compiler)\n",
+                Native.Timing.Median, Native.Timing.Min,
+                Native.Timing.Stddev, NativeOverFusedSerial,
+                (unsigned long long)Native.Runner.Compiles,
+                Native.Runner.CompileSeconds);
+  else
+    std::printf("  native backend unavailable: %s\n",
+                Native.Reason.c_str());
+
+  PerfComparison Perf = runPerfComparison(std::max(3u, Reps));
+  if (Perf.Available)
+    std::printf("  hardware branch misses: unordered %llu / ordered %llu "
+                "(%+.2f%%)%s\n",
+                (unsigned long long)Perf.UnorderedMisses,
+                (unsigned long long)Perf.OrderedMisses,
+                Perf.UnorderedMisses
+                    ? 100.0 * (static_cast<double>(Perf.OrderedMisses) -
+                               static_cast<double>(Perf.UnorderedMisses)) /
+                          static_cast<double>(Perf.UnorderedMisses)
+                    : 0.0,
+                Perf.Multiplexed ? " [multiplexed]" : "");
+  else
+    std::printf("  hardware counters unavailable: %s\n",
+                Perf.Reason.c_str());
+
   std::ofstream Out(OutPath, std::ios::binary);
   if (!Out) {
     std::fprintf(stderr, "bench error: cannot write '%s'\n",
@@ -768,6 +943,74 @@ int main(int Argc, char **Argv) {
             << ", \"samples_at_first_swap\": "
             << PhaseShift.Tiering.SamplesAtFirstSwap << "}\n";
   EngineOut << "  },\n";
+  auto JsonEscape = [](const std::string &Text) {
+    std::string Escaped;
+    for (char C : Text)
+      if (C == '"' || C == '\\')
+        (Escaped += '\\') += C;
+      else if (C == '\n')
+        Escaped += "\\n";
+      else
+        Escaped += C;
+    return Escaped;
+  };
+  EngineOut << "  \"native\": {\n";
+  EngineOut << "    \"available\": " << (Native.Available ? "true" : "false")
+            << ",\n";
+  if (!Native.Available) {
+    EngineOut << "    \"reason\": \"" << JsonEscape(Native.Reason)
+              << "\",\n";
+  } else {
+    EngineOut << "    \"compiler\": \"" << JsonEscape(Native.Compiler)
+              << "\",\n";
+    EngineOut << "    \"harness\": \"serial\",\n";
+    EngineOut << "    \"wall_seconds\": ";
+    writeTiming(EngineOut, Native.Timing);
+    EngineOut << ",\n";
+    EngineOut << "    \"speedup\": {\"native_over_fused_serial\": "
+              << NativeOverFusedSerial << "},\n";
+    EngineOut << "    \"cache\": {\"native_hits\": "
+              << Native.Cache.NativeHits
+              << ", \"native_misses\": " << Native.Cache.NativeMisses
+              << ", \"native_evictions\": " << Native.Cache.NativeEvictions
+              << ", \"runner_compiles\": " << Native.Runner.Compiles
+              << ", \"runner_cache_hits\": " << Native.Runner.CacheHits
+              << ", \"runner_evictions\": " << Native.Runner.Evictions
+              << ", \"runner_compile_seconds\": "
+              << Native.Runner.CompileSeconds << "},\n";
+  }
+  EngineOut << "    \"perf\": {\"available\": "
+            << (Perf.Available ? "true" : "false");
+  if (!Perf.Available) {
+    EngineOut << ", \"reason\": \"" << JsonEscape(Perf.Reason) << "\"";
+  } else {
+    auto MissRate = [](uint64_t Misses, uint64_t Branches) {
+      return Branches ? static_cast<double>(Misses) /
+                            static_cast<double>(Branches)
+                      : 0.0;
+    };
+    EngineOut << ", \"reps\": " << Perf.Reps << ", \"multiplexed\": "
+              << (Perf.Multiplexed ? "true" : "false")
+              << ",\n      \"unordered\": {\"branches\": "
+              << Perf.UnorderedBranches
+              << ", \"branch_misses\": " << Perf.UnorderedMisses
+              << ", \"miss_rate\": "
+              << MissRate(Perf.UnorderedMisses, Perf.UnorderedBranches)
+              << "},\n      \"ordered\": {\"branches\": "
+              << Perf.OrderedBranches
+              << ", \"branch_misses\": " << Perf.OrderedMisses
+              << ", \"miss_rate\": "
+              << MissRate(Perf.OrderedMisses, Perf.OrderedBranches)
+              << "},\n      \"miss_delta_percent\": "
+              << (Perf.UnorderedMisses
+                      ? 100.0 *
+                            (static_cast<double>(Perf.OrderedMisses) -
+                             static_cast<double>(Perf.UnorderedMisses)) /
+                            static_cast<double>(Perf.UnorderedMisses)
+                      : 0.0);
+  }
+  EngineOut << "}\n";
+  EngineOut << "  },\n";
   EngineOut << "  \"fusion\": {\"fused_pairs\": " << Fusion.FusedPairs
             << ", \"fused_chains\": " << Fusion.FusedChains
             << ", \"chain_arms\": " << Fusion.ChainArms
@@ -807,6 +1050,15 @@ int main(int Argc, char **Argv) {
                  "bench error: adaptive engine slower than decoded on the "
                  "phase-shift workload (%.2fx)\n",
                  PhaseShiftWin);
+    return 1;
+  }
+  // The whole point of compiling: steady-state native may never lose to
+  // the interpreter it replaced.  (Gated on availability — a host without
+  // a C compiler still benches the interpreters.)
+  if (FailIfSlower && Native.Available && NativeOverFusedSerial < 1.0) {
+    std::fprintf(stderr,
+                 "bench error: native engine slower than fused (%.2fx)\n",
+                 NativeOverFusedSerial);
     return 1;
   }
   return 0;

@@ -1,0 +1,72 @@
+//===- codegen/NativeABI.h - Contract with emitted C code -------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbol-level contract between the host (NativeRunner, which
+/// `dlopen`s compiled translation units) and the code CEmitter emits.
+/// Every emitted TU exports exactly three symbols with C linkage:
+///
+///   unsigned bropt_native_abi(void);
+///     Returns BROPT_NATIVE_ABI_VERSION baked in at emit time.  The
+///     runner refuses to run a TU whose version differs from its own —
+///     the guard that keeps a stale cached `.so` from silently running
+///     against a changed result layout.
+///
+///   int bropt_native_run(const char *input, unsigned long long input_size,
+///                        const long long *args, unsigned long long num_args,
+///                        unsigned long long instruction_limit,
+///                        struct bropt_native_result *res);
+///     Executes the module entry function.  Returns 0 when the run
+///     completed (including runs that trapped — traps are observables,
+///     not errors) and nonzero only on host-side failure (allocation).
+///     `res->output` is malloc'd inside the TU and must be released with
+///     bropt_native_release from the *same* TU (allocators may differ).
+///
+///   void bropt_native_release(char *output);
+///     Frees an output buffer returned by bropt_native_run.
+///
+/// The interface deliberately uses only `char`/`long long` scalars and
+/// one flat struct of them, so the layout cannot drift between the C++
+/// host and the C TU compiled by a different compiler on the same
+/// machine.  Bump BROPT_NATIVE_ABI_VERSION whenever the struct or any
+/// signature changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_CODEGEN_NATIVEABI_H
+#define BROPT_CODEGEN_NATIVEABI_H
+
+namespace bropt {
+
+/// Version stamped into every emitted TU and checked at dlopen time.
+constexpr unsigned NativeABIVersion = 1;
+
+/// Exported symbol names.
+constexpr const char *NativeABISymbol = "bropt_native_abi";
+constexpr const char *NativeRunSymbol = "bropt_native_run";
+constexpr const char *NativeReleaseSymbol = "bropt_native_release";
+
+/// Mirror of the `struct bropt_native_result` the emitted C defines.
+/// Field-for-field identical to the text CEmitter prints; see the file
+/// comment for why the layout is drift-proof in practice.
+struct NativeResult {
+  long long ExitValue;        ///< 0 when the run trapped (interpreter rule)
+  int Trapped;                ///< nonzero when the run trapped
+  char TrapReason[512];       ///< NUL-terminated; matches interpreter text
+  char *Output;               ///< malloc'd in the TU; may be null if empty
+  unsigned long long OutputSize;
+};
+
+using NativeAbiFn = unsigned (*)(void);
+using NativeRunFn = int (*)(const char *, unsigned long long, const long long *,
+                            unsigned long long, unsigned long long,
+                            NativeResult *);
+using NativeReleaseFn = void (*)(char *);
+
+} // namespace bropt
+
+#endif // BROPT_CODEGEN_NATIVEABI_H

@@ -45,19 +45,25 @@ std::string reorderedKey(const Workload &W, const CompileOptions &Options) {
 } // namespace
 
 Evaluator::Evaluator(EvaluatorOptions Options)
-    : Options(Options), Pool(Options.Threads) {}
+    : Options(Options), Pool(Options.Threads),
+      DecodeCache(Options.DecodeCacheCapacity),
+      AdaptiveCache(Options.AdaptiveCacheCapacity),
+      NativeCache(Options.NativeCacheCapacity) {}
 
 EvaluatorStats Evaluator::stats() const {
   std::lock_guard<std::mutex> Lock(CacheMutex);
   EvaluatorStats S = Counters;
   // Re-fusions live inside the controllers; count every optimized build
   // beyond a controller's tier-up build as a re-fusion of its evolving
-  // profile.
+  // profile.  Evicted controllers were folded into Counters already.
   for (const auto &[Key, Entry] : AdaptiveCache) {
     const uint64_t Builds = Entry.Controller->stats().Recompiles;
     if (Builds > 1)
       S.AdaptiveReFusions += Builds - 1;
   }
+  S.DecodeEvictions = DecodeCache.evictions();
+  S.AdaptiveEvictions = AdaptiveCache.evictions();
+  S.NativeEvictions = NativeCache.evictions();
   return S;
 }
 
@@ -67,6 +73,7 @@ void Evaluator::clearCache() {
   ReorderedCache.clear();
   DecodeCache.clear();
   AdaptiveCache.clear();
+  NativeCache.clear();
 }
 
 std::shared_ptr<const DecodedModule>
@@ -76,11 +83,10 @@ Evaluator::preparedFor(const std::shared_ptr<const CompileResult> &Compiled,
   const Module *Key = Compiled->M.get();
   if (Options.CacheCompiles) {
     std::lock_guard<std::mutex> Lock(CacheMutex);
-    auto It = DecodeCache.find(Key);
-    if (It != DecodeCache.end()) {
+    if (auto *Entry = DecodeCache.get(Key)) {
       ++Counters.DecodeHits;
       Hit = true;
-      return It->second.Program;
+      return Entry->Program;
     }
   }
   auto Start = std::chrono::steady_clock::now();
@@ -102,11 +108,12 @@ Evaluator::preparedFor(const std::shared_ptr<const CompileResult> &Compiled,
   Hit = false;
   if (Options.CacheCompiles) {
     std::lock_guard<std::mutex> Lock(CacheMutex);
-    ++Counters.DecodeMisses;
     // Two threads can race to the first decode of one module; keep the
     // winner so every caller shares a single prepared program.
-    return DecodeCache.emplace(Key, PreparedEntry{Compiled, Program})
-        .first->second.Program;
+    if (auto *Entry = DecodeCache.get(Key))
+      return Entry->Program;
+    ++Counters.DecodeMisses;
+    DecodeCache.put(Key, PreparedEntry{Compiled, Program});
   }
   return Program;
 }
@@ -117,11 +124,10 @@ Evaluator::controllerFor(const std::shared_ptr<const CompileResult> &Compiled,
   const Module *Key = Compiled->M.get();
   if (Options.CacheCompiles) {
     std::lock_guard<std::mutex> Lock(CacheMutex);
-    auto It = AdaptiveCache.find(Key);
-    if (It != AdaptiveCache.end()) {
+    if (auto *Entry = AdaptiveCache.get(Key)) {
       ++Counters.AdaptiveHits;
       Hit = true;
-      return It->second.Controller;
+      return Entry->Controller;
     }
   }
   auto Start = std::chrono::steady_clock::now();
@@ -130,11 +136,51 @@ Evaluator::controllerFor(const std::shared_ptr<const CompileResult> &Compiled,
   Hit = false;
   if (Options.CacheCompiles) {
     std::lock_guard<std::mutex> Lock(CacheMutex);
+    if (auto *Entry = AdaptiveCache.get(Key))
+      return Entry->Controller;
     ++Counters.AdaptiveMisses;
-    return AdaptiveCache.emplace(Key, AdaptiveEntry{Compiled, Controller})
-        .first->second.Controller;
+    if (auto Evicted = AdaptiveCache.put(Key, AdaptiveEntry{Compiled,
+                                                            Controller})) {
+      // Keep the evicted controller's re-fusion history in the aggregate
+      // counters; stats() can no longer walk it.
+      const uint64_t Builds = Evicted->Controller->stats().Recompiles;
+      if (Builds > 1)
+        Counters.AdaptiveReFusions += Builds - 1;
+    }
   }
   return Controller;
+}
+
+std::shared_ptr<const NativeProgram>
+Evaluator::nativeFor(const std::shared_ptr<const CompileResult> &Compiled,
+                     bool &Hit, double &Seconds, std::string &Error) {
+  const Module *Key = Compiled->M.get();
+  if (Options.CacheCompiles) {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    if (auto *Entry = NativeCache.get(Key)) {
+      ++Counters.NativeHits;
+      Hit = true;
+      return Entry->Program;
+    }
+  }
+  auto Start = std::chrono::steady_clock::now();
+  std::string CompileError;
+  std::shared_ptr<const NativeProgram> Program =
+      NativeRunner::shared().prepare(*Compiled->M, &CompileError);
+  Seconds += secondsSince(Start);
+  Hit = false;
+  if (!Program) {
+    Error = "native compile failed: " + CompileError;
+    return nullptr;
+  }
+  if (Options.CacheCompiles) {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    if (auto *Entry = NativeCache.get(Key))
+      return Entry->Program;
+    ++Counters.NativeMisses;
+    NativeCache.put(Key, NativeEntry{Compiled, Program});
+  }
+  return Program;
 }
 
 std::shared_ptr<const CompileResult>
@@ -240,18 +286,39 @@ Evaluator::evaluateWorkload(const Workload &W,
     ReorderedCtl = controllerFor(Reordered, Record.ReorderedAdaptiveHit,
                                  Record.DecodeSeconds);
   }
+  // Native builds AOT-compile each module once; the cached `.so` is keyed
+  // by module identity and its source hash embodies the block ordering,
+  // so baseline and reordered builds always get distinct machine code.
+  std::shared_ptr<const NativeProgram> BaselineNative, ReorderedNative;
+  if (Options.Mode == Interpreter::Mode::Native) {
+    std::string NativeError;
+    BaselineNative = nativeFor(Baseline, Record.BaselineNativeHit,
+                               Record.NativeCompileSeconds, NativeError);
+    if (!BaselineNative) {
+      Eval.Error = W.Name + ": " + NativeError;
+      return Record;
+    }
+    ReorderedNative = nativeFor(Reordered, Record.ReorderedNativeHit,
+                                Record.NativeCompileSeconds, NativeError);
+    if (!ReorderedNative) {
+      Eval.Error = W.Name + ": " + NativeError;
+      return Record;
+    }
+  }
 
   auto RunStart = std::chrono::steady_clock::now();
   Eval.Baseline = measureBuild(*Baseline->M, W.TestInput, Predictor,
                                Eval.Error, Options.Mode,
-                               BaselinePrepared.get(), BaselineCtl.get());
+                               BaselinePrepared.get(), BaselineCtl.get(),
+                               BaselineNative.get());
   if (!Eval.ok()) {
     Record.RunSeconds = secondsSince(RunStart);
     return Record;
   }
   Eval.Reordered = measureBuild(*Reordered->M, W.TestInput, Predictor,
                                 Eval.Error, Options.Mode,
-                                ReorderedPrepared.get(), ReorderedCtl.get());
+                                ReorderedPrepared.get(), ReorderedCtl.get(),
+                                ReorderedNative.get());
   Record.RunSeconds = secondsSince(RunStart);
   if (!Eval.ok())
     return Record;

@@ -30,7 +30,9 @@
 #ifndef BROPT_DRIVER_EVALUATOR_H
 #define BROPT_DRIVER_EVALUATOR_H
 
+#include "codegen/NativeRunner.h"
 #include "driver/Report.h"
+#include "support/LruCache.h"
 #include "support/ThreadPool.h"
 
 #include <map>
@@ -50,6 +52,12 @@ struct EvaluatorOptions {
   Interpreter::Mode Mode = Interpreter::Mode::Fused;
   /// Controller knobs for Mode::Adaptive; ignored by the other engines.
   RuntimeOptions Runtime;
+  /// LRU bounds for the per-module caches (0 = unbounded).  Sized so the
+  /// full bench sweep — ~100 distinct modules live at once — fits, while
+  /// a long-running process (the ROADMAP's broptd) stays bounded.
+  size_t DecodeCacheCapacity = 256;
+  size_t AdaptiveCacheCapacity = 256;
+  size_t NativeCacheCapacity = 128;
 };
 
 /// A WorkloadEvaluation plus the harness-level measurements around it.
@@ -66,6 +74,11 @@ struct WorkloadRecord {
   /// (their accumulated profile state carried over into this evaluation).
   bool BaselineAdaptiveHit = false;
   bool ReorderedAdaptiveHit = false;
+  /// Mode::Native only: the builds' shared objects came from the cache.
+  bool BaselineNativeHit = false;
+  bool ReorderedNativeHit = false;
+  /// Mode::Native only: emit + host-compiler + dlopen time (0 if cached).
+  double NativeCompileSeconds = 0.0;
 };
 
 /// Aggregate cache counters (monotonic over the Evaluator's lifetime).
@@ -88,6 +101,15 @@ struct EvaluatorStats {
   /// build — i.e. drift-triggered re-fusions of an evolving profile, not
   /// plain cache hits serving an unchanged stream.
   uint64_t AdaptiveReFusions = 0;
+  /// Native `.so` cache (Mode::Native): compiled shared objects keyed by
+  /// module identity; the source hash underneath embodies the ordering
+  /// signature, so a reordered build never serves a baseline request.
+  uint64_t NativeHits = 0;
+  uint64_t NativeMisses = 0;
+  /// LRU evictions per cache (EvaluatorOptions::*CacheCapacity).
+  uint64_t DecodeEvictions = 0;
+  uint64_t AdaptiveEvictions = 0;
+  uint64_t NativeEvictions = 0;
 };
 
 /// Compiles and evaluates workloads concurrently with compile caching.
@@ -139,6 +161,9 @@ private:
   std::shared_ptr<AdaptiveController>
   controllerFor(const std::shared_ptr<const CompileResult> &Compiled,
                 bool &Hit, double &Seconds);
+  std::shared_ptr<const NativeProgram>
+  nativeFor(const std::shared_ptr<const CompileResult> &Compiled, bool &Hit,
+            double &Seconds, std::string &Error);
 
   EvaluatorOptions Options;
   ThreadPool Pool;
@@ -152,12 +177,15 @@ private:
   // Prepared (decoded or fused) programs keyed by module identity, so
   // predictor sweeps that re-evaluate one build under many configurations
   // decode it once.  Each entry pins its CompileResult so the key can
-  // never dangle or be recycled while cached.
+  // never dangle or be recycled while cached.  All three per-module
+  // caches are LRU-bounded; eviction mid-use is safe because callers hold
+  // shared_ptrs and the (unbounded, tiny) compile caches anchor Module
+  // identity against ABA reuse.
   struct PreparedEntry {
     std::shared_ptr<const CompileResult> KeepAlive;
     std::shared_ptr<const DecodedModule> Program;
   };
-  std::map<const Module *, PreparedEntry> DecodeCache;
+  LruCache<const Module *, PreparedEntry> DecodeCache;
 
   // Live adaptive controllers, also keyed (and pinned) by module identity.
   // Unlike DecodeCache entries these are stateful: a cache hit resumes the
@@ -169,7 +197,16 @@ private:
     std::shared_ptr<const CompileResult> KeepAlive;
     std::shared_ptr<AdaptiveController> Controller;
   };
-  std::map<const Module *, AdaptiveEntry> AdaptiveCache;
+  LruCache<const Module *, AdaptiveEntry> AdaptiveCache;
+
+  // Compiled shared objects (Mode::Native), keyed and pinned the same
+  // way.  Sits in front of NativeRunner's process-wide source-hash cache:
+  // a hit here skips even re-emitting the C.
+  struct NativeEntry {
+    std::shared_ptr<const CompileResult> KeepAlive;
+    std::shared_ptr<const NativeProgram> Program;
+  };
+  LruCache<const Module *, NativeEntry> NativeCache;
   EvaluatorStats Counters;
 };
 

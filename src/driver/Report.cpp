@@ -20,22 +20,22 @@ bropt::measureBuild(const Module &M, std::string_view TestInput,
                         &PredictorConfiguration,
                     std::string &Error, Interpreter::Mode Mode,
                     const DecodedModule *Prepared,
-                    AdaptiveController *Adaptive) {
+                    AdaptiveController *Adaptive,
+                    const NativeProgram *Native) {
   BuildMeasurement Result;
   Result.CodeSize = M.codeSize();
 
-  Interpreter Interp(M, Mode);
-  if (Adaptive)
-    Adaptive->attach(Interp); // installs mode, tier-0 program, and hooks
-  else
-    Interp.setPreparedProgram(Prepared);
-  Interp.setInput(TestInput);
+  ExecRequest Req;
+  Req.Input = TestInput;
+  Req.Prepared = Prepared;
+  Req.Adaptive = Adaptive;
+  Req.Native = Native;
   std::optional<BranchPredictor> Predictor;
   if (PredictorConfiguration) {
     Predictor.emplace(*PredictorConfiguration);
-    Interp.attachPredictor(&*Predictor);
+    Req.Predictor = &*Predictor;
   }
-  RunResult Run = Interp.run();
+  RunResult Run = executeModule(M, Mode, Req);
   if (Adaptive) {
     Adaptive->drainBackgroundWork();
     Result.Runtime = Adaptive->stats();

@@ -19,6 +19,7 @@
 #define BROPT_DRIVER_REPORT_H
 
 #include "driver/Driver.h"
+#include "exec/ExecBackend.h"
 #include "predict/BranchPredictor.h"
 #include "runtime/AdaptiveController.h"
 #include "sim/Interpreter.h"
@@ -69,14 +70,21 @@ struct WorkloadEvaluation {
 /// the run through an adaptive controller instead (implies Mode::Adaptive
 /// and supersedes \p Prepared); the controller must have been built over
 /// \p M and its profile state persists across measureBuild calls — a
-/// second run of the same workload starts in the fused tier.
+/// second run of the same workload starts in the fused tier.  \p Native
+/// optionally supplies a pre-compiled shared object for Mode::Native
+/// (Evaluator's native cache); without one the exec backend compiles on
+/// the fly.  Native runs report zero DynamicCounts, mispredictions, and
+/// model cycles — only the observables (Output, ExitValue) and wall
+/// clock are meaningful.  Dispatch goes through exec/ExecBackend.h, so
+/// every engine consumer shares one code path.
 BuildMeasurement
 measureBuild(const Module &M, std::string_view TestInput,
              const std::optional<PredictorConfig> &Predictor,
              std::string &Error,
              Interpreter::Mode Mode = Interpreter::Mode::Fused,
              const DecodedModule *Prepared = nullptr,
-             AdaptiveController *Adaptive = nullptr);
+             AdaptiveController *Adaptive = nullptr,
+             const NativeProgram *Native = nullptr);
 
 /// Evaluates \p W under \p Options; if \p Predictor is set, both builds
 /// also run through an (m,n) predictor of that configuration.

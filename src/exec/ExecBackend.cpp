@@ -1,0 +1,129 @@
+//===- exec/ExecBackend.cpp - Uniform engine dispatch ---------------------===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecBackend.h"
+
+#include "codegen/NativeRunner.h"
+#include "runtime/AdaptiveController.h"
+
+namespace bropt {
+
+ExecBackend::~ExecBackend() = default;
+
+bool ExecBackend::available(std::string *Reason) const {
+  (void)Reason;
+  return true;
+}
+
+namespace {
+
+/// The four sim/ engines share one backend parameterized by mode; the
+/// Interpreter itself differentiates them.
+class InterpBackend final : public ExecBackend {
+public:
+  InterpBackend(Interpreter::Mode Mode, const char *Name)
+      : Mode(Mode), Name(Name) {}
+
+  const char *name() const override { return Name; }
+
+  RunResult run(const Module &M, const ExecRequest &Req) const override {
+    Interpreter Interp(M, Mode);
+    if (Req.Adaptive)
+      Req.Adaptive->attach(Interp); // installs tier-0 program and hooks
+    else
+      Interp.setPreparedProgram(Req.Prepared);
+    Interp.setInput(Req.Input);
+    Interp.setInstructionLimit(Req.InstructionLimit);
+    if (Req.Predictor)
+      Interp.attachPredictor(Req.Predictor);
+    return Interp.run(Req.EntryName, Req.Args);
+  }
+
+private:
+  Interpreter::Mode Mode;
+  const char *Name;
+};
+
+class NativeExecBackend final : public ExecBackend {
+public:
+  const char *name() const override { return "native"; }
+
+  bool available(std::string *Reason) const override {
+    if (NativeRunner::shared().available())
+      return true;
+    if (Reason)
+      *Reason = NativeRunner::shared().unavailableReason();
+    return false;
+  }
+
+  RunResult run(const Module &M, const ExecRequest &Req) const override {
+    const NativeProgram *Program = Req.Native;
+    std::shared_ptr<const NativeProgram> Local;
+    if (!Program) {
+      std::string Error;
+      CEmitterOptions Opts;
+      Opts.EntryName = Req.EntryName;
+      Local = NativeRunner::shared().prepare(M, &Error, Opts);
+      if (!Local) {
+        RunResult Result;
+        Result.Trapped = true;
+        Result.TrapReason = "native compile failed: " + Error;
+        return Result;
+      }
+      Program = Local.get();
+    }
+    return Program->run(Req.Input, Req.Args, Req.InstructionLimit);
+  }
+};
+
+} // namespace
+
+ExecBackend &execBackendFor(Interpreter::Mode Mode) {
+  static InterpBackend Decoded(Interpreter::Mode::Decoded, "decoded");
+  static InterpBackend Tree(Interpreter::Mode::Tree, "tree");
+  static InterpBackend Fused(Interpreter::Mode::Fused, "fused");
+  static InterpBackend Adaptive(Interpreter::Mode::Adaptive, "adaptive");
+  static NativeExecBackend Native;
+  switch (Mode) {
+  case Interpreter::Mode::Decoded:
+    return Decoded;
+  case Interpreter::Mode::Tree:
+    return Tree;
+  case Interpreter::Mode::Fused:
+    return Fused;
+  case Interpreter::Mode::Adaptive:
+    return Adaptive;
+  case Interpreter::Mode::Native:
+    return Native;
+  }
+  return Fused;
+}
+
+RunResult executeModule(const Module &M, Interpreter::Mode Mode,
+                        const ExecRequest &Req) {
+  return execBackendFor(Mode).run(M, Req);
+}
+
+const char *execModeName(Interpreter::Mode Mode) {
+  return execBackendFor(Mode).name();
+}
+
+std::optional<Interpreter::Mode> parseExecMode(std::string_view Name) {
+  if (Name == "decoded")
+    return Interpreter::Mode::Decoded;
+  if (Name == "tree")
+    return Interpreter::Mode::Tree;
+  if (Name == "fused")
+    return Interpreter::Mode::Fused;
+  if (Name == "adaptive")
+    return Interpreter::Mode::Adaptive;
+  if (Name == "native")
+    return Interpreter::Mode::Native;
+  return std::nullopt;
+}
+
+} // namespace bropt

@@ -1,0 +1,92 @@
+//===- exec/ExecBackend.h - Uniform engine dispatch -------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine-selection seam.  Four interpreter engines live in sim/ and
+/// the native AOT backend lives in codegen/; sim/ must not depend on
+/// codegen/, so mode dispatch cannot live inside Interpreter.  This
+/// layer sits above both: driver/Evaluator, `broptc --interp`, bench_json
+/// and the fuzz oracle all route runs through executeModule() and get
+/// uniform behaviour — including Interpreter::Mode::Native — instead of
+/// each hand-rolling Interpreter setup.
+///
+/// An ExecRequest carries everything a run needs; the fields mirror the
+/// Interpreter setters they feed.  Backends are stateless singletons;
+/// per-run state lives in the request and the engines themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_EXEC_EXECBACKEND_H
+#define BROPT_EXEC_EXECBACKEND_H
+
+#include "sim/Interpreter.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bropt {
+
+class AdaptiveController;
+class BranchPredictor;
+class Module;
+class NativeProgram;
+
+/// One run's inputs and optional attachments.
+struct ExecRequest {
+  std::string EntryName = "main";
+  std::vector<int64_t> Args;
+  std::string_view Input;
+  uint64_t InstructionLimit = 2'000'000'000;
+  /// Fed every executed CondBr (interpreter engines only; native code
+  /// does not model prediction).
+  BranchPredictor *Predictor = nullptr;
+  /// Pre-decoded program for the decoded/fused engines (Evaluator decode
+  /// cache); ignored elsewhere.
+  const DecodedModule *Prepared = nullptr;
+  /// Adaptive-runtime controller for Mode::Adaptive; when set it owns
+  /// engine attachment and Prepared is ignored.
+  AdaptiveController *Adaptive = nullptr;
+  /// Pre-compiled shared object for Mode::Native (Evaluator native
+  /// cache).  When null the backend compiles on the fly — convenient for
+  /// tools, but callers in hot paths should prepare once.
+  const NativeProgram *Native = nullptr;
+};
+
+/// One execution strategy behind a uniform run() call.
+class ExecBackend {
+public:
+  virtual ~ExecBackend();
+
+  /// Short engine name ("fused", "native", ...).
+  virtual const char *name() const = 0;
+
+  /// False when the backend cannot run on this host (native without a C
+  /// compiler); \p Reason explains why.
+  virtual bool available(std::string *Reason = nullptr) const;
+
+  virtual RunResult run(const Module &M, const ExecRequest &Req) const = 0;
+};
+
+/// \returns the backend implementing \p Mode (a process-wide singleton).
+ExecBackend &execBackendFor(Interpreter::Mode Mode);
+
+/// Runs \p M under \p Mode.  The one call every engine consumer shares.
+RunResult executeModule(const Module &M, Interpreter::Mode Mode,
+                        const ExecRequest &Req = {});
+
+/// Stable lowercase engine name for CLI flags and JSON keys.
+const char *execModeName(Interpreter::Mode Mode);
+
+/// Parses "tree" | "decoded" | "fused" | "adaptive" | "native".
+std::optional<Interpreter::Mode> parseExecMode(std::string_view Name);
+
+} // namespace bropt
+
+#endif // BROPT_EXEC_EXECBACKEND_H

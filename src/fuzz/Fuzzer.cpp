@@ -111,6 +111,7 @@ FuzzCampaignResult bropt::runFuzzCampaign(const FuzzOptions &Opts) {
     uint64_t ProgramSeed = Rng::mix(Opts.Seed, Index);
     GeneratedProgram Program = generateProgram(ProgramSeed);
     OracleOptions Oracle = optionsForSeed(ProgramSeed, Opts.Fault);
+    Oracle.CheckNativeEngine = Opts.CheckNativeEngine;
     OracleReport Report = runOracle(Program.Source, Program.TrainingInputs,
                                     Program.HeldOutInputs, Oracle);
     ++Result.ProgramsRun;

@@ -40,6 +40,12 @@ struct FuzzOptions {
   FaultKind Fault = FaultKind::None;
   /// Cap on delta-debugging rounds per violation.
   unsigned MinimizeRounds = 16;
+  /// Run the native-engine agreement invariant (OracleOptions::
+  /// CheckNativeEngine).  The oracle itself skips the check when no host
+  /// compiler is available, so leaving this on is safe everywhere; the
+  /// knob exists to bisect native-emitter bugs away from pipeline bugs
+  /// and to keep smoke campaigns cheap (bropt-fuzz --native off).
+  bool CheckNativeEngine = true;
   /// Print per-violation detail to stderr as the campaign runs.
   bool Verbose = false;
 };

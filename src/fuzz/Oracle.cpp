@@ -2,6 +2,7 @@
 
 #include "fuzz/Oracle.h"
 
+#include "codegen/NativeRunner.h"
 #include "core/Reorder.h"
 #include "ir/Verifier.h"
 #include "opt/Passes.h"
@@ -103,6 +104,21 @@ bool enginesAgree(const RunResult &Tree, const RunResult &Other,
         (unsigned long long)Tree.Counts.CondBranches, Label,
         (unsigned long long)Other.Counts.TotalInsts,
         (unsigned long long)Other.Counts.CondBranches);
+    return false;
+  }
+  return true;
+}
+
+/// Invariant 2, observables half: native code collects no dynamic
+/// counters (that is the point of compiling it), so the native engine is
+/// held to exact agreement on trap state, exit value, and output only.
+bool observablesAgree(const RunResult &Tree, const RunResult &Other,
+                      const char *Label, std::string &Detail) {
+  if (Tree.Trapped != Other.Trapped ||
+      Tree.TrapReason != Other.TrapReason ||
+      Tree.ExitValue != Other.ExitValue || Tree.Output != Other.Output) {
+    Detail = "tree: " + describeRun(Tree) + "; " + Label + ": " +
+             describeRun(Other);
     return false;
   }
   return true;
@@ -275,6 +291,31 @@ OracleReport bropt::runOracle(std::string_view Source,
     OptAdaptive = std::make_unique<AdaptiveController>(*Optimized.M, RO);
   }
 
+  // Native shared objects, also built once per module and reused across
+  // the held-out set (NativeRunner's source-hash cache makes repeats of
+  // the same module cheap across oracle runs too).  Like the adaptive
+  // controllers these are built after fault injection: a corrupted module
+  // must compile to native code that misbehaves *identically*.  A module
+  // whose emitted C the host compiler rejects is an emitter bug.
+  std::shared_ptr<const NativeProgram> BaseNative, OptNative;
+  if (Opts.CheckNativeEngine && NativeRunner::shared().available()) {
+    std::string NativeError;
+    BaseNative = NativeRunner::shared().prepare(*Base.M, &NativeError);
+    if (!BaseNative) {
+      Report.Kind = ViolationKind::EngineMismatch;
+      Report.Detail = "native compile of baseline module failed: " +
+                      NativeError;
+      return Report;
+    }
+    OptNative = NativeRunner::shared().prepare(*Optimized.M, &NativeError);
+    if (!OptNative) {
+      Report.Kind = ViolationKind::EngineMismatch;
+      Report.Detail = "native compile of reordered module failed: " +
+                      NativeError;
+      return Report;
+    }
+  }
+
   for (size_t InputIndex = 0; InputIndex < HeldOutInputs.size();
        ++InputIndex) {
     const std::string &Input = HeldOutInputs[InputIndex];
@@ -335,6 +376,26 @@ OracleReport bropt::runOracle(std::string_view Source,
         return Report;
       }
       if (!enginesAgree(OptTree, OptAdaptiveRun, "adaptive", Detail)) {
+        Report.Kind = ViolationKind::EngineMismatch;
+        Report.Detail = formatString("reordered module, held-out input %zu: ",
+                                     InputIndex) +
+                        Detail;
+        return Report;
+      }
+    }
+    if (BaseNative) {
+      RunResult BaseNativeRun =
+          BaseNative->run(Input, {}, Opts.InstructionLimit);
+      RunResult OptNativeRun =
+          OptNative->run(Input, {}, Opts.InstructionLimit);
+      if (!observablesAgree(BaseTree, BaseNativeRun, "native", Detail)) {
+        Report.Kind = ViolationKind::EngineMismatch;
+        Report.Detail = formatString("baseline module, held-out input %zu: ",
+                                     InputIndex) +
+                        Detail;
+        return Report;
+      }
+      if (!observablesAgree(OptTree, OptNativeRun, "native", Detail)) {
         Report.Kind = ViolationKind::EngineMismatch;
         Report.Detail = formatString("reordered module, held-out input %zu: ",
                                      InputIndex) +

@@ -99,6 +99,15 @@ struct OracleOptions {
   uint64_t AdaptiveHotThreshold = 256;
   uint32_t AdaptiveSampleInterval = 16;
   uint32_t AdaptiveDriftWindow = 32;
+  /// Also AOT-compile both modules to native code (codegen/CEmitter.h +
+  /// codegen/NativeRunner.h) and require bit-identical observables —
+  /// trap/exit/output — against the tree walker on every held-out input.
+  /// Native runs collect no dynamic counters, so they are held to the
+  /// observables half of the engine bar.  A generated program the emitter
+  /// turns into C the host compiler rejects is itself an emitter bug and
+  /// is reported as an engine mismatch.  Silently skipped when no host
+  /// compiler is available (NativeRunner::available()).
+  bool CheckNativeEngine = true;
   /// Invariant 5: after the held-out runs, if the baseline module's
   /// adaptive controller tiered up, export its learned profile, round-trip
   /// it through the text and binary formats, and require (a) pass-2

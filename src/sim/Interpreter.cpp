@@ -51,6 +51,13 @@ RunResult Interpreter::run(const std::string &EntryName,
   Aborted = false;
   InputCursor = 0;
 
+  if (ExecutionMode == Mode::Native) {
+    // sim/ cannot see codegen/; the exec layer dispatches native runs.
+    trap("native mode requires the exec backend (use "
+         "executeModule from exec/ExecBackend.h)");
+    return Result;
+  }
+
   // (Re)initialize global memory.
   Memory.assign(M.memorySize(), 0);
   for (const auto &Global : M.globals())

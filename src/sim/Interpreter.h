@@ -112,6 +112,14 @@ public:
     /// stream at block-boundary safe points.  With no hooks installed this
     /// is exactly Decoded.
     Adaptive,
+    /// AOT-compiled machine code: codegen/CEmitter lowers the module to C,
+    /// codegen/NativeRunner compiles and dlopens it.  Observables are
+    /// bit-identical to the other engines but DynamicCounts stay zero
+    /// (native code does not count events).  The sim layer cannot run
+    /// this mode itself — dispatch goes through exec/ExecBackend.h, which
+    /// owns the sim -> codegen layering; Interpreter::run() on this mode
+    /// traps with a pointer at the seam.
+    Native,
   };
 
   explicit Interpreter(const Module &M, Mode ExecMode = Mode::Fused);

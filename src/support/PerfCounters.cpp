@@ -1,0 +1,114 @@
+//===- support/PerfCounters.cpp - Hardware branch counters ----------------===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PerfCounters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace bropt {
+
+#if defined(__linux__)
+
+namespace {
+
+int perfEventOpen(perf_event_attr &Attr, int GroupFd) {
+  // pid=0, cpu=-1: this thread, any CPU.
+  return (int)syscall(SYS_perf_event_open, &Attr, 0, -1, GroupFd, 0);
+}
+
+int openCounter(uint64_t Config, int GroupFd) {
+  perf_event_attr Attr;
+  std::memset(&Attr, 0, sizeof(Attr));
+  Attr.type = PERF_TYPE_HARDWARE;
+  Attr.size = sizeof(Attr);
+  Attr.config = Config;
+  Attr.disabled = GroupFd < 0 ? 1 : 0; // the leader starts the group
+  Attr.exclude_kernel = 1;
+  Attr.exclude_hv = 1;
+  Attr.read_format =
+      PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return perfEventOpen(Attr, GroupFd);
+}
+
+} // namespace
+
+PerfCounters::PerfCounters() {
+  GroupFd = openCounter(PERF_COUNT_HW_BRANCH_INSTRUCTIONS, -1);
+  if (GroupFd < 0) {
+    Reason = std::string("perf_event_open: ") + std::strerror(errno);
+    return;
+  }
+  MissFd = openCounter(PERF_COUNT_HW_BRANCH_MISSES, GroupFd);
+  if (MissFd < 0) {
+    Reason = std::string("perf_event_open (branch-misses): ") + std::strerror(errno);
+    close(GroupFd);
+    GroupFd = -1;
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  if (MissFd >= 0)
+    close(MissFd);
+  if (GroupFd >= 0)
+    close(GroupFd);
+}
+
+void PerfCounters::start() {
+  if (GroupFd < 0)
+    return;
+  ioctl(GroupFd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(GroupFd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample PerfCounters::stop() {
+  PerfSample S;
+  if (GroupFd < 0)
+    return S;
+  ioctl(GroupFd, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  struct {
+    uint64_t Nr;
+    uint64_t TimeEnabled;
+    uint64_t TimeRunning;
+    uint64_t Values[2];
+  } Buf;
+  std::memset(&Buf, 0, sizeof(Buf));
+  if (read(GroupFd, &Buf, sizeof(Buf)) < 0 || Buf.Nr < 2)
+    return S;
+
+  S.Branches = Buf.Values[0];
+  S.BranchMisses = Buf.Values[1];
+  if (Buf.TimeRunning != Buf.TimeEnabled && Buf.TimeRunning > 0) {
+    // Scale multiplexed counts the way perf(1) does.
+    double Scale = (double)Buf.TimeEnabled / (double)Buf.TimeRunning;
+    S.Branches = (uint64_t)((double)S.Branches * Scale);
+    S.BranchMisses = (uint64_t)((double)S.BranchMisses * Scale);
+    S.Multiplexed = true;
+  }
+  return S;
+}
+
+#else // !__linux__
+
+PerfCounters::PerfCounters()
+    : Reason("perf_event_open unsupported on this platform") {}
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() {}
+PerfSample PerfCounters::stop() { return PerfSample(); }
+
+#endif
+
+} // namespace bropt

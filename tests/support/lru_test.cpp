@@ -1,0 +1,73 @@
+//===- tests/support/lru_test.cpp - LruCache unit tests -------------------===//
+
+#include "support/LruCache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace bropt;
+
+namespace {
+
+TEST(LruCacheTest, UnboundedByDefault) {
+  LruCache<int, int> Cache;
+  for (int Key = 0; Key < 1000; ++Key)
+    EXPECT_FALSE(Cache.put(Key, Key * 2).has_value());
+  EXPECT_EQ(Cache.size(), 1000u);
+  EXPECT_EQ(Cache.evictions(), 0u);
+  ASSERT_NE(Cache.get(0), nullptr);
+  EXPECT_EQ(*Cache.get(999), 1998);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, std::string> Cache(2);
+  EXPECT_FALSE(Cache.put(1, "one").has_value());
+  EXPECT_FALSE(Cache.put(2, "two").has_value());
+  // Touch 1 so 2 becomes the eviction victim.
+  ASSERT_NE(Cache.get(1), nullptr);
+  std::optional<std::string> Evicted = Cache.put(3, "three");
+  ASSERT_TRUE(Evicted.has_value());
+  EXPECT_EQ(*Evicted, "two");
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_EQ(Cache.get(2), nullptr);
+  EXPECT_NE(Cache.get(1), nullptr);
+  EXPECT_NE(Cache.get(3), nullptr);
+}
+
+TEST(LruCacheTest, PutExistingKeyRefreshesWithoutEviction) {
+  LruCache<int, int> Cache(2);
+  Cache.put(1, 10);
+  Cache.put(2, 20);
+  EXPECT_FALSE(Cache.put(1, 11).has_value());
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(*Cache.get(1), 11);
+  // 2 is now least recently used despite being inserted after 1.
+  std::optional<int> Evicted = Cache.put(3, 30);
+  ASSERT_TRUE(Evicted.has_value());
+  EXPECT_EQ(*Evicted, 20);
+}
+
+TEST(LruCacheTest, EvictedSharedPtrStaysAliveForHolders) {
+  LruCache<int, std::shared_ptr<int>> Cache(1);
+  auto Value = std::make_shared<int>(42);
+  Cache.put(1, Value);
+  std::shared_ptr<int> Held = *Cache.get(1);
+  Cache.put(2, std::make_shared<int>(7)); // evicts key 1
+  EXPECT_EQ(Cache.get(1), nullptr);
+  EXPECT_EQ(*Held, 42); // holder keeps the payload alive
+}
+
+TEST(LruCacheTest, ClearEmptiesButKeepsEvictionCount) {
+  LruCache<int, int> Cache(1);
+  Cache.put(1, 1);
+  Cache.put(2, 2);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.get(2), nullptr);
+  EXPECT_EQ(Cache.evictions(), 1u);
+}
+
+} // namespace

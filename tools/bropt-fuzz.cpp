@@ -19,6 +19,10 @@
 //                     cost check; the run then EXPECTS violations and fails
 //                     if the oracles stay silent
 //   --minimize-rounds N  cap delta-debugging passes (default 16)
+//   --native MODE     native-engine agreement checks: 'auto' (default)
+//                     runs them when a host compiler is available and
+//                     silently skips otherwise, 'on' fails fast when no
+//                     compiler is found, 'off' disables them
 //   --quiet           suppress per-violation detail
 //
 // Exit status: 0 when expectations hold (no violations normally; at least
@@ -26,6 +30,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "codegen/NativeRunner.h"
 #include "fuzz/Fuzzer.h"
 
 #include <cstdio>
@@ -43,7 +48,8 @@ namespace {
                "usage: bropt-fuzz [--programs N] [--seconds N] [--seed N]\n"
                "                  [--corpus DIR] [--fault corrupt-reorder|"
                "pretend-cost]\n"
-               "                  [--minimize-rounds N] [--quiet]\n");
+               "                  [--minimize-rounds N] "
+               "[--native on|off|auto] [--quiet]\n");
   std::exit(2);
 }
 
@@ -60,6 +66,7 @@ uint64_t parseCount(const char *Text, const char *Flag) {
 int main(int argc, char **argv) {
   FuzzOptions Opts;
   Opts.Verbose = true;
+  bool RequireNative = false;
   for (int Arg = 1; Arg < argc; ++Arg) {
     auto needValue = [&](const char *Flag) -> const char * {
       if (Arg + 1 >= argc)
@@ -87,10 +94,27 @@ int main(int argc, char **argv) {
         Opts.Fault = FaultKind::PretendCostRegression;
       else
         usageError("unknown --fault kind");
+    } else if (!std::strcmp(argv[Arg], "--native")) {
+      const char *Policy = needValue("--native");
+      if (!std::strcmp(Policy, "off"))
+        Opts.CheckNativeEngine = false;
+      else if (!std::strcmp(Policy, "on")) {
+        Opts.CheckNativeEngine = true;
+        RequireNative = true;
+      } else if (!std::strcmp(Policy, "auto"))
+        Opts.CheckNativeEngine = true;
+      else
+        usageError("unknown --native mode (want on, off, or auto)");
     } else if (!std::strcmp(argv[Arg], "--quiet"))
       Opts.Verbose = false;
     else
       usageError((std::string("unknown option ") + argv[Arg]).c_str());
+  }
+
+  if (RequireNative && !NativeRunner::shared().available()) {
+    std::fprintf(stderr, "bropt-fuzz: --native on, but %s\n",
+                 NativeRunner::shared().unavailableReason().c_str());
+    return 2;
   }
 
   FuzzCampaignResult Result = runFuzzCampaign(Opts);

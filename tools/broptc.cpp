@@ -40,6 +40,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Driver.h"
+#include "exec/ExecBackend.h"
 #include "ir/Printer.h"
 #include "runtime/AdaptiveController.h"
 #include "sim/Interpreter.h"
@@ -142,17 +143,11 @@ CliOptions parseArgs(int Argc, char **Argv) {
       Options.Predict = true;
     } else if (Arg == "--interp") {
       std::string Mode = nextValue();
-      if (Mode == "fused")
-        Options.InterpMode = Interpreter::Mode::Fused;
-      else if (Mode == "decoded")
-        Options.InterpMode = Interpreter::Mode::Decoded;
-      else if (Mode == "tree")
-        Options.InterpMode = Interpreter::Mode::Tree;
-      else if (Mode == "adaptive")
-        Options.InterpMode = Interpreter::Mode::Adaptive;
+      if (std::optional<Interpreter::Mode> Parsed = parseExecMode(Mode))
+        Options.InterpMode = *Parsed;
       else
-        usageError(
-            "--interp expects 'fused', 'decoded', 'tree', or 'adaptive'");
+        usageError("--interp expects 'fused', 'decoded', 'tree', "
+                   "'adaptive', or 'native'");
     } else if (Arg == "--adaptive") {
       Options.InterpMode = Interpreter::Mode::Adaptive;
       Options.AdaptiveStats = true;
@@ -259,8 +254,10 @@ int main(int Argc, char **Argv) {
     std::string Input;
     if (!Options.InputPath.empty())
       Input = readFileOrDie(Options.InputPath);
-    Interpreter Interp(*Result.M, Options.InterpMode);
-    Interp.setInput(Input);
+    // All engines — including the native AOT backend — dispatch through
+    // the exec seam; broptc no longer hand-assembles an Interpreter.
+    ExecRequest Req;
+    Req.Input = Input;
     if (Options.InterpMode == Interpreter::Mode::Adaptive) {
       RuntimeOptions RO;
       if (Options.AdaptiveTrace)
@@ -270,14 +267,14 @@ int main(int Argc, char **Argv) {
       Adaptive = std::make_unique<AdaptiveController>(*Result.M, RO);
       if (HaveProfile)
         Adaptive->importProfile(Profile);
-      Adaptive->attach(Interp);
+      Req.Adaptive = Adaptive.get();
     }
     std::optional<BranchPredictor> Predictor;
     if (Options.Predict) {
       Predictor.emplace(PredictorConfig::ultraSparc());
-      Interp.attachPredictor(&*Predictor);
+      Req.Predictor = &*Predictor;
     }
-    RunResult Run = Interp.run();
+    RunResult Run = executeModule(*Result.M, Options.InterpMode, Req);
     if (Adaptive)
       Adaptive->drainBackgroundWork();
     if (Run.Trapped) {
@@ -294,6 +291,9 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(Run.Counts.CondBranches),
                  static_cast<unsigned long long>(Run.Counts.UncondJumps),
                  static_cast<unsigned long long>(Run.Counts.IndirectJumps));
+    if (Options.InterpMode == Interpreter::Mode::Native)
+      std::fprintf(stderr,
+                   "(native: dynamic counters are not collected)\n");
     if (Predictor)
       std::fprintf(stderr, "mispredictions: %llu of %llu branches\n",
                    static_cast<unsigned long long>(
