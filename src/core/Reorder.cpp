@@ -3,9 +3,14 @@
 #include "core/Reorder.h"
 
 #include "ir/IRBuilder.h"
+#include "opt/OptimalTree.h"
 #include "opt/Passes.h"
 #include "support/Debug.h"
 
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <optional>
 #include <unordered_set>
 
 using namespace bropt;
@@ -85,29 +90,64 @@ public:
   struct RewriteOutcome {
     unsigned Branches = 0;
     bool UsedJumpTable = false;
+    bool UsedTree = false;
+    /// Taken-branch-adjusted cost of the Figure-8 chain, and of whatever
+    /// shape was actually emitted (tree cost when UsedTree).
+    double ChainCost = 0.0;
+    double ChosenCost = 0.0;
   };
 
-  /// \returns branches in the rebuilt sequence and whether method
-  /// selection chose a jump table.
+  /// \returns branches in the rebuilt sequence and which shape method
+  /// selection chose (reordered chain, optimal tree, or jump table).
   RewriteOutcome run() {
     Decision = (Opts.UseExhaustiveSelection && Infos.size() <= 10)
                    ? selectOrderingExhaustive(Infos)
                    : selectOrdering(Infos);
+    RewriteOutcome Outcome;
+    Outcome.ChainCost = Decision.Cost;
+    if (Opts.UseOptimalTree) {
+      // Equations 1-2 count executed instructions; a chain additionally
+      // takes one taken branch per tested-and-matched exit, while its
+      // default traffic falls through every test.  Only Set IV charges
+      // this, so Sets I-III keep the paper's exact cost semantics.
+      double TakenMass = 0.0;
+      for (size_t Index : Decision.Order)
+        TakenMass += Infos[Index].P;
+      Outcome.ChainCost += Opts.TakenBranchExtra * TakenMass;
+    }
+    Outcome.ChosenCost = Outcome.ChainCost;
+    std::optional<TreePlan> Tree;
+    if (Opts.UseOptimalTree) {
+      Tree = planTree();
+      if (Tree && Tree->Cost < Outcome.ChainCost)
+        Outcome.ChosenCost = Tree->Cost;
+      else
+        Tree.reset(); // chain is at least as good: keep the paper's shape
+    }
     if (Opts.EnableMethodSelection) {
       // The linear-search cost (Equations 1-4) is conservative — it
       // charges bounded conditions for both branches even though §7's
       // intra-condition ordering often answers with one — so demand a
       // clear margin before preferring the table.
       if (auto Plan = planJumpTable()) {
-        if (Plan->Cost < Decision.Cost * 0.8) {
+        if (Plan->Cost < Outcome.ChosenCost * 0.8) {
           rewriteHead();
           emitJumpTable(*Plan);
-          return {2, true};
+          Outcome.Branches = 2;
+          Outcome.UsedJumpTable = true;
+          Outcome.ChosenCost = Plan->Cost;
+          return Outcome;
         }
       }
     }
     rewriteHead();
-    return {emitConditions(), false};
+    if (Tree) {
+      Outcome.Branches = emitTree(*Tree);
+      Outcome.UsedTree = true;
+      return Outcome;
+    }
+    Outcome.Branches = emitConditions();
+    return Outcome;
   }
 
 private:
@@ -401,6 +441,105 @@ private:
     Builder.emitIndirectJump(Index, std::move(Table));
   }
 
+  /// Set IV: the cost-optimal comparison tree over the sorted range
+  /// partition (opt/OptimalTree.h).  Sorted[K] is the Infos index of the
+  /// K-th leaf in ascending value order.
+  struct TreePlan {
+    std::vector<size_t> Sorted;
+    OptimalTree Tree;
+    double Cost = 0.0;
+  };
+
+  /// Plans the optimal tree, or nothing when the ranges do not form a
+  /// contiguous partition of the whole value space (they always should —
+  /// explicit conditions are disjoint and the default ranges are computed
+  /// as their complement — so this guard only rejects corrupt input).
+  std::optional<TreePlan> planTree() const {
+    const size_t N = Infos.size();
+    if (N < 2)
+      return std::nullopt;
+    TreePlan Plan;
+    Plan.Sorted.resize(N);
+    std::iota(Plan.Sorted.begin(), Plan.Sorted.end(), size_t{0});
+    std::sort(Plan.Sorted.begin(), Plan.Sorted.end(),
+              [&](size_t A, size_t B) {
+                return Infos[A].R.lo() < Infos[B].R.lo();
+              });
+    if (Infos[Plan.Sorted.front()].R.lo() != Range::MinValue ||
+        Infos[Plan.Sorted.back()].R.hi() != Range::MaxValue)
+      return std::nullopt;
+    for (size_t K = 0; K + 1 < N; ++K) {
+      int64_t Hi = Infos[Plan.Sorted[K]].R.hi();
+      if (Hi == Range::MaxValue ||
+          Infos[Plan.Sorted[K + 1]].R.lo() != Hi + 1)
+        return std::nullopt;
+    }
+    std::vector<double> Weights(N);
+    for (size_t K = 0; K < N; ++K)
+      Weights[K] = Infos[Plan.Sorted[K]].P;
+    TreeCostParams Params;
+    Params.CompareCost = 2.0; // cmp + condbr, like every chain condition
+    Params.TakenExtra = Opts.TakenBranchExtra;
+    Plan.Tree = buildOptimalTree(Weights, Params);
+    Plan.Cost = Plan.Tree.Cost;
+    return Plan;
+  }
+
+  /// A leaf dispatches to its range's exit: owed side effects replayed,
+  /// then the target (duplicated on fall-through edges, Figure 10d).
+  void fillTreeLeaf(BasicBlock *Block, const RangeInfo &Info) {
+    clonePrefixes(Block, prefixesForExit(Info));
+    appendContinuation(Block, Info.Target);
+  }
+
+  /// Emits the planned tree rooted at the sequence head; \returns the
+  /// branch count (always NumLeaves - 1: one bounded compare per internal
+  /// node, never a Form-4 double test, because the partition is
+  /// contiguous).  Each internal node compares the value against the
+  /// highest value of its split leaf; the DP's orientation bit says which
+  /// side is the taken edge (the lighter one — the heavy side falls
+  /// through, which is what makes TakenExtra worth modeling).
+  unsigned emitTree(const TreePlan &Plan) {
+    const unsigned V = Seq.ValueReg;
+    unsigned Branches = 0;
+    std::function<void(size_t, size_t, BasicBlock *)> Emit =
+        [&](size_t Lo, size_t Hi, BasicBlock *Block) {
+          if (Lo == Hi) {
+            fillTreeLeaf(Block, Infos[Plan.Sorted[Lo]]);
+            return;
+          }
+          size_t K = Plan.Tree.splitOf(Lo, Hi);
+          bool TakenLeft = Plan.Tree.takenLeftOf(Lo, Hi);
+          int64_t Boundary = Infos[Plan.Sorted[K]].R.hi();
+          IRBuilder Builder(Block);
+          Builder.emitCmp(Operand::reg(V), Operand::imm(Boundary));
+          ++Branches;
+          if (TakenLeft) {
+            // value <= boundary branches left; the right half falls
+            // through.  A single-leaf taken side exits directly.
+            BasicBlock *Taken = Lo == K
+                                    ? exitEdge(Infos[Plan.Sorted[Lo]])
+                                    : F.createBlock("reord.t4");
+            BasicBlock *Fall = F.createBlock("reord.t4");
+            Builder.emitCondBr(CondCode::LE, Taken, Fall);
+            if (Lo != K)
+              Emit(Lo, K, Taken);
+            Emit(K + 1, Hi, Fall);
+          } else {
+            BasicBlock *Taken = K + 1 == Hi
+                                    ? exitEdge(Infos[Plan.Sorted[Hi]])
+                                    : F.createBlock("reord.t4");
+            BasicBlock *Fall = F.createBlock("reord.t4");
+            Builder.emitCondBr(CondCode::GT, Taken, Fall);
+            if (K + 1 != Hi)
+              Emit(K + 1, Hi, Taken);
+            Emit(Lo, K, Fall);
+          }
+        };
+    Emit(0, Infos.size() - 1, Seq.head());
+    return Branches;
+  }
+
   const RangeSequence &Seq;
   Function &F;
   const ReorderOptions &Opts;
@@ -443,6 +582,10 @@ SequenceOutcome bropt::reorderSequence(const RangeSequence &Seq,
     ++Stats->Reordered;
     if (Outcome.UsedJumpTable)
       ++Stats->JumpTables;
+    if (Outcome.UsedTree)
+      ++Stats->OptimalTrees;
+    Stats->ChainModelCost += Outcome.ChainCost;
+    Stats->ChosenModelCost += Outcome.ChosenCost;
     Stats->Lengths.push_back({Before, Outcome.Branches});
   }
   return SequenceOutcome::Reordered;

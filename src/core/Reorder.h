@@ -27,6 +27,7 @@
 
 #include "core/OrderingSelection.h"
 #include "core/SequenceDetection.h"
+#include "opt/Passes.h"
 #include "profile/ProfileDB.h"
 
 namespace bropt {
@@ -61,6 +62,20 @@ struct ReorderOptions {
   unsigned IndirectJumpCost = 2;
   /// Jump tables wider than this are never considered.
   uint64_t MaxTableSpan = 512;
+
+  /// Set IV (docs/LOWERING.md): also cost the optimal comparison tree over
+  /// the sorted range partition (opt/OptimalTree.h) and emit whichever of
+  /// {Figure-8 chain, tree} the profile says is cheaper.  Never worse than
+  /// the chain on the modeled cost by construction.
+  bool UseOptimalTree = false;
+  /// Modeled extra cost of a taken conditional branch over a fall-through
+  /// (MachineModel::TakenBranchExtra), charged by both the chain and the
+  /// tree model when they are compared.
+  double TakenBranchExtra = 1.0;
+  /// Recompute block layout from measured edge weights after reordering
+  /// (ext-TSP, opt/Passes.h).  Consumed by the driver — reorderSequence
+  /// itself never moves blocks.
+  bool ProfileGuidedLayout = true;
 };
 
 /// Outcome of one sequence's transformation attempt.
@@ -80,6 +95,17 @@ struct ReorderStats {
   /// Sequences emitted as jump tables by method selection (a subset of
   /// Reordered).
   unsigned JumpTables = 0;
+  /// Sequences emitted as optimal comparison trees (a subset of Reordered;
+  /// Set IV only).
+  unsigned OptimalTrees = 0;
+  /// Modeled expected cost summed over reordered sequences: what the
+  /// Figure-8 chain would cost (taken-branch adjusted), and what the
+  /// emitted shape costs.  Chosen <= Chain when UseOptimalTree is on —
+  /// the differential never-worse guarantee the tests pin down.
+  double ChainModelCost = 0.0;
+  double ChosenModelCost = 0.0;
+  /// What the profile-guided ext-TSP layout did (filled by the driver).
+  LayoutStats Layout;
   /// (branches before, branches after) per reordered sequence.
   std::vector<std::pair<unsigned, unsigned>> Lengths;
 

@@ -5,6 +5,7 @@
 #include "core/Instrumentation.h"
 
 #include <unordered_set>
+#include "exec/ExecBackend.h"
 #include "ir/Verifier.h"
 #include "lang/Lowering.h"
 #include "opt/Passes.h"
@@ -13,6 +14,18 @@
 using namespace bropt;
 
 namespace {
+
+/// Set IV is a driver-level preset: the Set III shape classification (in
+/// opt/SwitchLowering) plus optimal-tree lowering and method selection in
+/// the reordering pass (docs/LOWERING.md).
+ReorderOptions effectiveReorderOptions(const CompileOptions &Options) {
+  ReorderOptions Reorder = Options.Reorder;
+  if (Options.HeuristicSet == SwitchHeuristicSet::SetIV) {
+    Reorder.UseOptimalTree = true;
+    Reorder.EnableMethodSelection = true;
+  }
+  return Reorder;
+}
 
 /// Front end + switch lowering + conventional optimizations; the common
 /// prefix of every build.  \returns null and fills \p Error on failure.
@@ -140,7 +153,38 @@ CompileResult bropt::compileWithReordering(
 
   CompileResult Pass2 = compileWithProfile(Source, Profile, Options);
   Pass2.ProfileText = std::move(Result.ProfileText);
+
+  // The pass-1 profile has no edge records, so compileWithProfile kept the
+  // hot-first layout.  Measure real edge traffic by running the finished
+  // binary on the training inputs, lay it out ext-TSP style from those
+  // weights, and export them into the profile so `--profile-out` captures
+  // the full measurement (a later --profile-in compile reproduces this
+  // layout without re-running the training inputs).
+  applyMeasuredLayout(Pass2, TrainingInputs, Profile, Options);
   return Pass2;
+}
+
+bool bropt::applyMeasuredLayout(CompileResult &Result,
+                                const std::vector<std::string_view> &Inputs,
+                                ProfileDB &Profile,
+                                const CompileOptions &Options) {
+  if (!Result.ok() ||
+      !effectiveReorderOptions(Options).ProfileGuidedLayout)
+    return false;
+  std::vector<std::string> Copies(Inputs.begin(), Inputs.end());
+  ModuleEdgeWeights Weights = collectEdgeWeights(*Result.M, Copies);
+  applyProfileGuidedLayout(*Result.M, Weights, &Result.Stats.Layout);
+  exportEdgeWeights(Weights, Profile);
+  Result.ProfileText = Profile.serializeText();
+  std::string VerifyErrors;
+  if (!verifyModule(*Result.M, &VerifyErrors)) {
+    Result.Error =
+        "internal error: IR verification failed after layout:\n" +
+        VerifyErrors;
+    Result.M.reset();
+    return false;
+  }
+  return true;
 }
 
 CompileResult bropt::compileWithProfile(std::string_view Source,
@@ -154,10 +198,11 @@ CompileResult bropt::compileWithProfile(std::string_view Source,
                            Result.Error);
   if (!Result.M)
     return Result;
+  const ReorderOptions Reorder = effectiveReorderOptions(Options);
   std::vector<RangeSequence> Sequences = detectSequences(*Result.M);
   if (!Options.EnableCommonSuccessorReordering) {
     Result.Stats =
-        reorderSequences(*Result.M, Sequences, Profile, Options.Reorder);
+        reorderSequences(*Result.M, Sequences, Profile, Reorder);
   } else {
     // Both transformations must run before any clean-up pass: clean-up
     // erases the unreachable original blocks the descriptors point into.
@@ -174,13 +219,24 @@ CompileResult bropt::compileWithProfile(std::string_view Source,
     // duplicate code *into* its exit edges (Figure 10c/d), and it must
     // duplicate the already-reordered chain, not the stale one.
     Result.CommonStats = reorderCommonSuccessorSequences(
-        CommonSequences, Profile, Options.Reorder.MinExecutions);
+        CommonSequences, Profile, Reorder.MinExecutions);
     SequenceKeyer Keyer;
     for (const RangeSequence &Seq : Sequences)
-      reorderSequence(Seq, Profile, Options.Reorder, &Result.Stats,
+      reorderSequence(Seq, Profile, Reorder, &Result.Stats,
                       Keyer.next(ProfileKind::RangeBins, Seq.F->getName()));
   }
   optimizeModule(*Result.M);
+
+  // Profile-guided layout: when the profile carries measured edge weights
+  // (exported by a prior compileWithReordering or `broptc --profile-out`),
+  // replace the hot-first layout with the ext-TSP one.  Import validates
+  // every edge against this module's CFG, so a stale profile degrades to
+  // keeping the heuristic layout, never to a wrong one.
+  if (Reorder.ProfileGuidedLayout) {
+    ModuleEdgeWeights Weights = importEdgeWeights(Profile, *Result.M);
+    if (!Weights.empty())
+      applyProfileGuidedLayout(*Result.M, Weights, &Result.Stats.Layout);
+  }
 
   std::string VerifyErrors;
   if (!verifyModule(*Result.M, &VerifyErrors)) {

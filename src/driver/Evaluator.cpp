@@ -29,7 +29,7 @@ std::string reorderedKey(const Workload &W, const CompileOptions &Options) {
   const ReorderOptions &R = Options.Reorder;
   return formatString(
              "set=%d;cs=%d;dup=%d;f4=%d;ex=%d;min=%llu;clone=%zu;ms=%d;"
-             "ijmp=%u;span=%llu;train=%zu;",
+             "ijmp=%u;span=%llu;tree=%d;takenx=%g;pgl=%d;train=%zu;",
              static_cast<int>(Options.HeuristicSet),
              Options.EnableCommonSuccessorReordering ? 1 : 0,
              R.DuplicateDefaultTarget ? 1 : 0, R.OrderFormFourBranches ? 1 : 0,
@@ -38,7 +38,8 @@ std::string reorderedKey(const Workload &W, const CompileOptions &Options) {
              R.MaxDefaultCloneInsts, R.EnableMethodSelection ? 1 : 0,
              R.IndirectJumpCost,
              static_cast<unsigned long long>(R.MaxTableSpan),
-             W.TrainingInput.size()) +
+             R.UseOptimalTree ? 1 : 0, R.TakenBranchExtra,
+             R.ProfileGuidedLayout ? 1 : 0, W.TrainingInput.size()) +
          W.TrainingInput + ";src=" + W.Source;
 }
 

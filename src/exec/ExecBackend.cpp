@@ -112,6 +112,23 @@ const char *execModeName(Interpreter::Mode Mode) {
   return execBackendFor(Mode).name();
 }
 
+ModuleEdgeWeights collectEdgeWeights(const Module &M,
+                                     const std::vector<std::string> &Inputs,
+                                     uint64_t InstructionLimit) {
+  ModuleEdgeWeights Weights;
+  Interpreter Interp(M, Interpreter::Mode::Tree);
+  Interp.setInstructionLimit(InstructionLimit);
+  Interp.setEdgeCallback(
+      [&](const Function &F, unsigned FromBlock, unsigned ToBlock) {
+        Weights[F.getName()].add(FromBlock, ToBlock);
+      });
+  for (const std::string &Input : Inputs) {
+    Interp.setInput(Input);
+    Interp.run();
+  }
+  return Weights;
+}
+
 std::optional<Interpreter::Mode> parseExecMode(std::string_view Name) {
   if (Name == "decoded")
     return Interpreter::Mode::Decoded;

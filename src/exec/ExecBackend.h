@@ -23,6 +23,7 @@
 #ifndef BROPT_EXEC_EXECBACKEND_H
 #define BROPT_EXEC_EXECBACKEND_H
 
+#include "profile/EdgeProfile.h"
 #include "sim/Interpreter.h"
 
 #include <cstdint>
@@ -83,6 +84,17 @@ RunResult executeModule(const Module &M, Interpreter::Mode Mode,
 
 /// Stable lowercase engine name for CLI flags and JSON keys.
 const char *execModeName(Interpreter::Mode Mode);
+
+/// Measures per-function CFG edge weights by running \p M's entry under
+/// the tree walker once per training input with the edge callback
+/// installed (sim/Interpreter.h: setEdgeCallback).  Runs that trap are
+/// still counted up to the trap — partial traffic is real traffic.  The
+/// measurement feeds the ext-TSP layout (opt/Passes.h:
+/// applyProfileGuidedLayout) and exports through profile/EdgeProfile.h.
+ModuleEdgeWeights collectEdgeWeights(const Module &M,
+                                     const std::vector<std::string> &Inputs,
+                                     uint64_t InstructionLimit =
+                                         2'000'000'000);
 
 /// Parses "tree" | "decoded" | "fused" | "adaptive" | "native".
 std::optional<Interpreter::Mode> parseExecMode(std::string_view Name);

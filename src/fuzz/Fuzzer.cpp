@@ -112,6 +112,7 @@ FuzzCampaignResult bropt::runFuzzCampaign(const FuzzOptions &Opts) {
     GeneratedProgram Program = generateProgram(ProgramSeed);
     OracleOptions Oracle = optionsForSeed(ProgramSeed, Opts.Fault);
     Oracle.CheckNativeEngine = Opts.CheckNativeEngine;
+    Oracle.CheckLoweringOptimal = Opts.CheckLoweringOptimal;
     OracleReport Report = runOracle(Program.Source, Program.TrainingInputs,
                                     Program.HeldOutInputs, Oracle);
     ++Result.ProgramsRun;

@@ -46,6 +46,13 @@ struct FuzzOptions {
   /// knob exists to bisect native-emitter bugs away from pipeline bugs
   /// and to keep smoke campaigns cheap (bropt-fuzz --native off).
   bool CheckNativeEngine = true;
+  /// Run the lowering-optimality invariant (OracleOptions::
+  /// CheckLoweringOptimal): every program is also recompiled under Set IV
+  /// and held to observable identity plus the never-worse model-cost
+  /// guarantee.  The knob exists to bisect lowering bugs away from
+  /// pipeline bugs and to keep smoke campaigns cheap
+  /// (bropt-fuzz --lowering-check off).
+  bool CheckLoweringOptimal = true;
   /// Print per-violation detail to stderr as the campaign runs.
   bool Verbose = false;
 };

@@ -32,6 +32,8 @@ const char *bropt::violationKindName(ViolationKind Kind) {
     return "cost-regression";
   case ViolationKind::ProfileReplayMismatch:
     return "profile-replay-mismatch";
+  case ViolationKind::LoweringSuboptimal:
+    return "lowering-suboptimal";
   }
   return "unknown";
 }
@@ -245,6 +247,34 @@ OracleReport bropt::runOracle(std::string_view Source,
     return Report;
   }
 
+  // Invariant 6: the Set IV build (optimal comparison trees + ext-TSP
+  // layout).  Compiled under the observer too, so its passes get verifier
+  // coverage; its held-out runs join the loop below.
+  CompileResult SetIV;
+  if (Opts.CheckLoweringOptimal) {
+    CompileOptions IVOpts = Opts.Compile;
+    IVOpts.HeuristicSet = SwitchHeuristicSet::SetIV;
+    SetIV = compileWithReordering(Source, Training, IVOpts);
+    if (!SetIV.ok()) {
+      Report.Kind = ViolationKind::CompileError;
+      Report.Detail = "Set IV compile failed: " + SetIV.Error;
+      return Report;
+    }
+    bool Suboptimal =
+        SetIV.Stats.ChosenModelCost > SetIV.Stats.ChainModelCost + 1e-9;
+    if (Opts.Fault == FaultKind::PretendLoweringRegression)
+      Suboptimal = !Suboptimal;
+    if (Suboptimal) {
+      Report.Kind = ViolationKind::LoweringSuboptimal;
+      Report.Detail = formatString(
+          "Set IV emitted shapes cost %.6f > chain cost %.6f across %u "
+          "reordered sequence(s) (%u trees)",
+          SetIV.Stats.ChosenModelCost, SetIV.Stats.ChainModelCost,
+          SetIV.Stats.Reordered, SetIV.Stats.OptimalTrees);
+      return Report;
+    }
+  }
+
   if (!VerifierErrors.empty()) {
     Report.Kind = ViolationKind::VerifierFailure;
     Report.Detail = VerifierErrors;
@@ -408,6 +438,17 @@ OracleReport bropt::runOracle(std::string_view Source,
       Report.Detail =
           formatString("held-out input %zu: ", InputIndex) + Detail;
       return Report;
+    }
+    if (SetIV.M) {
+      RunResult IVTree = runOne(*SetIV.M, Interpreter::Mode::Tree, Input,
+                                Opts.InstructionLimit);
+      if (!behaviorsAgree(BaseTree, IVTree, Detail)) {
+        Report.Kind = ViolationKind::LoweringSuboptimal;
+        Report.Detail = formatString("Set IV module, held-out input %zu: ",
+                                     InputIndex) +
+                        Detail;
+        return Report;
+      }
     }
   }
 

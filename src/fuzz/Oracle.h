@@ -7,7 +7,7 @@
 ///
 /// \file
 /// Runs one Mini-C program through the full two-pass pipeline (compile ->
-/// instrument -> profile -> reorder -> clean up) and checks four invariants:
+/// instrument -> profile -> reorder -> clean up) and checks six invariants:
 ///
 ///  1. Behavior: the reordered and baseline modules produce identical
 ///     output, exit value, and trap behavior on every held-out input.
@@ -24,6 +24,12 @@
 ///     replayed through the offline pass-2 pipeline must select exactly
 ///     the orderings the live tier-up deployed, and the recompiled module
 ///     must behave identically on every held-out input.
+///  6. Lowering optimality: the same program recompiled under Set IV
+///     (optimal comparison trees + ext-TSP layout, docs/LOWERING.md) must
+///     stay observably identical to the baseline on every held-out input,
+///     and its emitted shapes must never model-cost more than the Figure-8
+///     chains they replaced (ReorderStats::ChosenModelCost <=
+///     ChainModelCost — the by-construction never-worse guarantee).
 ///
 /// Fault injection deliberately corrupts the pipeline so tests can prove
 /// the oracle and the minimizer actually detect and shrink failures.
@@ -53,6 +59,10 @@ enum class FaultKind : uint8_t {
   /// perturbing nothing but reporting; modeled as inverting the cost
   /// comparison so the cost oracle's plumbing is testable.
   PretendCostRegression,
+  /// Invert the Set IV never-worse comparison (ChosenModelCost <=
+  /// ChainModelCost) so the lowering-optimality oracle's plumbing is
+  /// testable the same way.
+  PretendLoweringRegression,
 };
 
 /// Which invariant a violation report refers to.
@@ -67,6 +77,7 @@ enum class ViolationKind : uint8_t {
   VerifierFailure,  ///< invariant 3
   CostRegression,   ///< invariant 4
   ProfileReplayMismatch, ///< invariant 5
+  LoweringSuboptimal,    ///< invariant 6
 };
 
 const char *violationKindName(ViolationKind Kind);
@@ -116,6 +127,10 @@ struct OracleOptions {
   /// behave identically on every held-out input.  Needs
   /// CheckAdaptiveEngine.
   bool CheckProfileReplay = true;
+  /// Invariant 6: recompile under Set IV and hold the optimal-tree +
+  /// ext-TSP build to (a) observable identity with the baseline on every
+  /// held-out input and (b) the never-worse model-cost guarantee.
+  bool CheckLoweringOptimal = true;
 };
 
 /// Outcome of one oracle run.

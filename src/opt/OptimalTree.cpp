@@ -1,0 +1,100 @@
+//===- opt/OptimalTree.cpp - Optimal comparison trees ---------------------===//
+
+#include "opt/OptimalTree.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace bropt;
+
+OptimalTree bropt::buildOptimalTree(const std::vector<double> &Weights,
+                                    const TreeCostParams &Params) {
+  const size_t N = Weights.size();
+  OptimalTree Tree;
+  Tree.NumLeaves = N;
+  if (N == 0)
+    return Tree;
+  Tree.Split.assign(N * N, 0);
+  Tree.TakenLeft.assign(N * N, 0);
+  if (N == 1)
+    return Tree;
+
+  // WSum[i][j] = Weights[i] + ... + Weights[j] via prefix sums.
+  std::vector<double> Prefix(N + 1, 0.0);
+  for (size_t I = 0; I < N; ++I)
+    Prefix[I + 1] = Prefix[I] + Weights[I];
+  auto WSum = [&](size_t I, size_t J) { return Prefix[J + 1] - Prefix[I]; };
+
+  // Cost[i*N+j] = minimum cost of a comparison tree over leaves [i..j].
+  // Intervals by increasing length; leaves are free.
+  std::vector<double> Cost(N * N, 0.0);
+  for (size_t Len = 2; Len <= N; ++Len) {
+    for (size_t I = 0; I + Len <= N; ++I) {
+      size_t J = I + Len - 1;
+      double Best = std::numeric_limits<double>::infinity();
+      size_t BestK = I;
+      bool BestTakenLeft = true;
+      for (size_t K = I; K < J; ++K) {
+        double WL = WSum(I, K);
+        double WR = WSum(K + 1, J);
+        // The heavier side falls through; on a tie prefer taking left so
+        // reconstruction is deterministic.
+        bool TakenLeft = WL <= WR;
+        double Here = Params.CompareCost * (WL + WR) +
+                      Params.TakenExtra * (TakenLeft ? WL : WR) +
+                      Cost[I * N + K] + Cost[(K + 1) * N + J];
+        if (Here < Best) {
+          Best = Here;
+          BestK = K;
+          BestTakenLeft = TakenLeft;
+        }
+      }
+      Cost[I * N + J] = Best;
+      Tree.Split[I * N + J] = BestK;
+      Tree.TakenLeft[I * N + J] = BestTakenLeft ? 1 : 0;
+    }
+  }
+  Tree.Cost = Cost[0 * N + (N - 1)];
+  return Tree;
+}
+
+namespace {
+
+/// Minimum cost over every tree shape for leaves [I..J], written as the
+/// naive exponential recursion so it shares no machinery with the DP.
+double bruteForce(const std::vector<double> &Weights, size_t I, size_t J,
+                  const TreeCostParams &Params) {
+  if (I == J)
+    return 0.0;
+  double Best = std::numeric_limits<double>::infinity();
+  for (size_t K = I; K < J; ++K) {
+    double WL = 0.0, WR = 0.0;
+    for (size_t L = I; L <= K; ++L)
+      WL += Weights[L];
+    for (size_t R = K + 1; R <= J; ++R)
+      WR += Weights[R];
+    double Sub = bruteForce(Weights, I, K, Params) +
+                 bruteForce(Weights, K + 1, J, Params);
+    // Try both orientations explicitly rather than assuming min() — the
+    // oracle should not encode the optimization it checks.
+    double TakeLeft = Params.CompareCost * (WL + WR) +
+                      Params.TakenExtra * WL + Sub;
+    double TakeRight = Params.CompareCost * (WL + WR) +
+                       Params.TakenExtra * WR + Sub;
+    if (TakeLeft < Best)
+      Best = TakeLeft;
+    if (TakeRight < Best)
+      Best = TakeRight;
+  }
+  return Best;
+}
+
+} // namespace
+
+double bropt::bruteForceOptimalTreeCost(const std::vector<double> &Weights,
+                                        const TreeCostParams &Params) {
+  assert(Weights.size() <= 12 && "brute force is exponential");
+  if (Weights.empty())
+    return 0.0;
+  return bruteForce(Weights, 0, Weights.size() - 1, Params);
+}

@@ -1,0 +1,88 @@
+//===- opt/OptimalTree.h - Optimal comparison trees -------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cost-optimal alphabetic comparison trees over a sorted partition of the
+/// value space, after Baer ("On Conditional Branches in Optimal Decision
+/// Trees").  The paper's Figure-8 selector orders a *chain* of range
+/// conditions; when the ranges form a contiguous sorted partition a binary
+/// comparison tree can dispatch in logarithmic depth instead, and because
+/// the partition is contiguous each internal node is a single bounded
+/// compare (cmp + condbr) against a split boundary — no Form-4 double
+/// tests.  The tree that minimizes expected cost under leaf weights is
+/// found by the classic O(n^3) interval dynamic program.
+///
+/// The cost model charges every internal node CompareCost per visit plus
+/// TakenExtra for the child reached via the taken edge.  Each node may
+/// orient its branch either way (test <= boundary and take the left child,
+/// or test > boundary and take the right child), so the optimal orientation
+/// sends the heavier subtree down the fall-through edge and the node pays
+/// TakenExtra * min(W_left, W_right).  This is exactly the asymmetric
+/// taken/fall-through cost Baer's model introduces and the machine models
+/// in sim/CostModel.h expose as MachineModel::TakenBranchExtra.
+///
+/// Weights are arbitrary nonnegative reals (probabilities in practice);
+/// leaves are free — reaching one dispatches to its target directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_OPT_OPTIMALTREE_H
+#define BROPT_OPT_OPTIMALTREE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bropt {
+
+/// Cost parameters for one machine model.
+struct TreeCostParams {
+  /// Instructions per internal node visit: one compare plus one
+  /// conditional branch.
+  double CompareCost = 2.0;
+  /// Extra cost when the node's branch is taken rather than falling
+  /// through (MachineModel::TakenBranchExtra).
+  double TakenExtra = 0.0;
+};
+
+/// Result of the interval DP: the optimal cost and, for every interval
+/// [i..j] of leaves, the chosen split point and branch orientation so the
+/// tree can be reconstructed (and emitted) top-down.
+struct OptimalTree {
+  double Cost = 0.0;
+  size_t NumLeaves = 0;
+
+  /// splitOf(i, j) = k means the root of interval [i..j] separates leaves
+  /// [i..k] from [k+1..j]; only valid for i < j.
+  size_t splitOf(size_t I, size_t J) const { return Split[I * NumLeaves + J]; }
+
+  /// True if the taken edge of interval [i..j]'s root goes to the left
+  /// subtree (the "value <= boundary" reading); false means the taken edge
+  /// goes right ("value > boundary") and the left subtree falls through.
+  bool takenLeftOf(size_t I, size_t J) const {
+    return TakenLeft[I * NumLeaves + J] != 0;
+  }
+
+  std::vector<size_t> Split;
+  std::vector<uint8_t> TakenLeft;
+};
+
+/// Builds the minimum-cost comparison tree over \p Weights (one weight per
+/// leaf of the sorted partition) under \p Params.  O(n^3) time, O(n^2)
+/// space.  A single leaf yields cost 0 and no internal nodes.
+OptimalTree buildOptimalTree(const std::vector<double> &Weights,
+                             const TreeCostParams &Params);
+
+/// Test oracle: the same minimum found by brute-force enumeration of every
+/// binary tree shape over the leaves (Catalan(n-1) shapes) with both
+/// orientations tried at every internal node.  Exponential; n <= 12.
+double bruteForceOptimalTreeCost(const std::vector<double> &Weights,
+                                 const TreeCostParams &Params);
+
+} // namespace bropt
+
+#endif // BROPT_OPT_OPTIMALTREE_H

@@ -19,6 +19,7 @@
 
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "profile/EdgeProfile.h"
 
 #include <functional>
 
@@ -78,6 +79,53 @@ bool chainBranches(Function &F);
 /// a fall-through edge, and flags layout-satisfied jumps as free
 /// fall-throughs.  Run last; other passes invalidate its flags.
 bool repositionCode(Function &F);
+
+/// What the profile-guided layout did (satellite of the ext-TSP layout;
+/// surfaced through ReorderStats and bench_json).
+struct LayoutStats {
+  /// Functions whose layout was recomputed from measured edge weights.
+  unsigned FunctionsLaidOut = 0;
+  /// Chain-merge steps taken across those functions.
+  unsigned ChainsMerged = 0;
+  /// Blocks whose layout position changed.
+  unsigned BlocksMoved = 0;
+  /// Functions where the measured order lost to the incumbent hot-first
+  /// order and was discarded (the keep-best rule).
+  unsigned KeptIncumbent = 0;
+  /// Total measured weight of layout-satisfied fall-through edges, before
+  /// and after.  After >= Before by construction.
+  uint64_t FallThroughWeightBefore = 0;
+  uint64_t FallThroughWeightAfter = 0;
+
+  void accumulate(const LayoutStats &Other) {
+    FunctionsLaidOut += Other.FunctionsLaidOut;
+    ChainsMerged += Other.ChainsMerged;
+    BlocksMoved += Other.BlocksMoved;
+    KeptIncumbent += Other.KeptIncumbent;
+    FallThroughWeightBefore += Other.FallThroughWeightBefore;
+    FallThroughWeightAfter += Other.FallThroughWeightAfter;
+  }
+};
+
+/// Measured weight of \p F's layout-adjacent edges that the terminator can
+/// satisfy for free: either successor of a conditional branch (invertible)
+/// or the target of a jump.  The objective ext-TSP maximizes.
+uint64_t layoutFallThroughWeight(const Function &F,
+                                 const EdgeWeightMap &Weights);
+
+/// ext-TSP-style layout (Newell & Pupyrev): greedily merges fall-through
+/// chains along the heaviest measured edges, orders the chains by junction
+/// weight, and keeps whichever of {new order, incumbent order} satisfies
+/// more fall-through weight — never worse than the hot-first layout it
+/// replaces.  Re-materializes branches afterwards like repositionCode.
+/// \returns true if the layout changed.
+bool repositionCodeExtTsp(Function &F, const EdgeWeightMap &Weights,
+                          LayoutStats *Stats = nullptr);
+
+/// Runs repositionCodeExtTsp on every function of \p M that has measured
+/// edge weights.  \returns true if any layout changed.
+bool applyProfileGuidedLayout(Module &M, const ModuleEdgeWeights &Weights,
+                              LayoutStats *Stats = nullptr);
 
 /// Removes comparisons that recompute the condition codes produced by an
 /// identical comparison, either earlier in the same block or at the tail of

@@ -18,6 +18,8 @@ const char *bropt::switchHeuristicSetName(SwitchHeuristicSet Set) {
     return "II";
   case SwitchHeuristicSet::SetIII:
     return "III";
+  case SwitchHeuristicSet::SetIV:
+    return "IV";
   }
   BROPT_UNREACHABLE("unknown heuristic set");
 }
@@ -41,6 +43,11 @@ SwitchShape bropt::classifySwitch(SwitchHeuristicSet Set, size_t NumCases,
       return SwitchShape::BinarySearch;
     return SwitchShape::LinearSearch;
   case SwitchHeuristicSet::SetIII:
+    return SwitchShape::LinearSearch;
+  case SwitchHeuristicSet::SetIV:
+    // Maximum detector exposure, like Set III; the optimal comparison
+    // tree (or a profile-chosen jump table) is rebuilt in pass 2 where
+    // the range counts exist.
     return SwitchShape::LinearSearch;
   }
   BROPT_UNREACHABLE("unknown heuristic set");

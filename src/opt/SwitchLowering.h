@@ -20,6 +20,12 @@
 ///              linear search   otherwise
 ///   Set III (maximum reordering exposure):
 ///              linear search   always
+///   Set IV  (profile-optimal; docs/LOWERING.md):
+///              linear search   always — like Set III this maximizes what
+///              the detector can see; pass 2 then rebuilds each detected
+///              sequence as the cost-optimal comparison tree
+///              (opt/OptimalTree.h) or a jump table when the measured
+///              profile says either beats the Figure-8 chain.
 ///
 /// Linear searches — and the leaf chains of binary searches — are exactly
 /// the compare/branch sequences the reordering transformation detects.
@@ -33,10 +39,11 @@
 
 namespace bropt {
 
-/// The three translation policies of paper Table 2.
-enum class SwitchHeuristicSet { SetI, SetII, SetIII };
+/// The three translation policies of paper Table 2, plus the
+/// profile-optimal Set IV added by this reproduction.
+enum class SwitchHeuristicSet { SetI, SetII, SetIII, SetIV };
 
-/// \returns "I", "II", or "III".
+/// \returns "I", "II", "III", or "IV".
 const char *switchHeuristicSetName(SwitchHeuristicSet Set);
 
 /// How each switch was translated.

@@ -1,0 +1,123 @@
+//===- profile/EdgeProfile.cpp - Measured CFG edge weights ----------------===//
+
+#include "profile/EdgeProfile.h"
+
+#include "ir/Module.h"
+#include "profile/ProfileDB.h"
+#include "support/Strings.h"
+
+#include <unordered_map>
+
+using namespace bropt;
+
+void bropt::exportEdgeWeights(const ModuleEdgeWeights &Weights,
+                              ProfileDB &DB) {
+  for (const auto &[FunctionName, Map] : Weights) {
+    if (Map.empty())
+      continue;
+    std::string Signature;
+    std::vector<uint64_t> Bins;
+    Bins.reserve(Map.Counts.size());
+    for (const auto &[Key, Count] : Map.Counts) {
+      if (!Signature.empty())
+        Signature += ',';
+      Signature += std::to_string(EdgeWeightMap::fromId(Key));
+      Signature += '-';
+      Signature += std::to_string(EdgeWeightMap::toId(Key));
+      Bins.push_back(Count);
+    }
+    ProfileEntry &Entry =
+        DB.upsertEntry(ProfileKind::EdgeWeights, FunctionName, Signature,
+                       /*Ordinal=*/0, Bins.size());
+    // Snapshot semantics: the exporter just measured the definitive counts
+    // for this build; summing onto stale numbers would double-charge.
+    Entry.BinCounts = std::move(Bins);
+  }
+}
+
+namespace {
+
+/// Parses one "from-to" key; \returns false on malformed text.
+bool parseEdgeKey(std::string_view Text, unsigned &From, unsigned &To) {
+  size_t Dash = Text.find('-');
+  if (Dash == std::string_view::npos)
+    return false;
+  long long FromValue = 0, ToValue = 0;
+  if (!parseInteger(Text.substr(0, Dash), FromValue) ||
+      !parseInteger(Text.substr(Dash + 1), ToValue))
+    return false;
+  if (FromValue < 0 || ToValue < 0 || FromValue > 0xffffffffll ||
+      ToValue > 0xffffffffll)
+    return false;
+  From = static_cast<unsigned>(FromValue);
+  To = static_cast<unsigned>(ToValue);
+  return true;
+}
+
+} // namespace
+
+ModuleEdgeWeights bropt::importEdgeWeights(const ProfileDB &DB,
+                                           const Module &M,
+                                           unsigned *StaleFunctions) {
+  ModuleEdgeWeights Weights;
+  unsigned Stale = 0;
+  for (const ProfileEntry &Entry : DB) {
+    if (Entry.Kind != ProfileKind::EdgeWeights)
+      continue;
+    const Function *F = M.getFunction(Entry.FunctionName);
+    if (!F) {
+      ++Stale;
+      continue;
+    }
+    // Successor sets keyed by the stable block ids of the current build.
+    std::unordered_map<unsigned, const BasicBlock *> ById;
+    for (const auto &Block : *F)
+      ById.emplace(Block->getId(), Block.get());
+
+    EdgeWeightMap Map;
+    bool Valid = true;
+    size_t Bin = 0;
+    std::string_view Signature = Entry.Signature;
+    while (!Signature.empty() && Valid) {
+      size_t Comma = Signature.find(',');
+      std::string_view KeyText = Signature.substr(0, Comma);
+      Signature = Comma == std::string_view::npos
+                      ? std::string_view()
+                      : Signature.substr(Comma + 1);
+      unsigned From = 0, To = 0;
+      if (!parseEdgeKey(KeyText, From, To) || Bin >= Entry.BinCounts.size()) {
+        Valid = false;
+        break;
+      }
+      auto It = ById.find(From);
+      if (It == ById.end()) {
+        Valid = false;
+        break;
+      }
+      bool IsSuccessor = false;
+      for (const BasicBlock *Succ : It->second->successors())
+        if (Succ->getId() == To) {
+          IsSuccessor = true;
+          break;
+        }
+      if (!IsSuccessor) {
+        Valid = false;
+        break;
+      }
+      Map.add(From, To, Entry.BinCounts[Bin]);
+      ++Bin;
+    }
+    // A record that fingerprints a different build is dropped whole: a
+    // partially applied edge profile would bias layout toward whichever
+    // edges happened to survive.
+    if (!Valid || Bin != Entry.BinCounts.size()) {
+      ++Stale;
+      continue;
+    }
+    if (!Map.empty())
+      Weights.emplace(Entry.FunctionName, std::move(Map));
+  }
+  if (StaleFunctions)
+    *StaleFunctions = Stale;
+  return Weights;
+}

@@ -1,0 +1,84 @@
+//===- profile/EdgeProfile.h - Measured CFG edge weights --------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fourth profile plane: executed control-transfer counts between the
+/// basic blocks of a function, keyed by the blocks' stable ids (Function
+/// never reuses an id, and identical compiles assign identical ids, so the
+/// keys survive relayout and round-trip through the ProfileDB across
+/// processes).  This is the input of the ext-TSP code layout
+/// (opt/Passes.h: repositionCodeExtTsp): layout quality is the total
+/// weight of edges that become physical fall-throughs.
+///
+/// Persistence piggybacks on the ProfileDB record shape: one
+/// ProfileKind::EdgeWeights entry per function at ordinal 0, whose
+/// signature is the canonical ascending "from-to,from-to,..." key list and
+/// whose bins are the per-edge counts in signature order.  The existing
+/// merge (same signature sums element-wise) and both serializers then work
+/// unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_PROFILE_EDGEPROFILE_H
+#define BROPT_PROFILE_EDGEPROFILE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bropt {
+
+class Module;
+class ProfileDB;
+
+/// Executed transition counts between the blocks of one function.  An
+/// ordered map keyed by packed block-id pairs: iteration order is the
+/// canonical serialization order, so export is deterministic without a
+/// separate sort.
+struct EdgeWeightMap {
+  std::map<uint64_t, uint64_t> Counts;
+
+  static uint64_t key(unsigned From, unsigned To) {
+    return (static_cast<uint64_t>(From) << 32) | To;
+  }
+  static unsigned fromId(uint64_t Key) {
+    return static_cast<unsigned>(Key >> 32);
+  }
+  static unsigned toId(uint64_t Key) {
+    return static_cast<unsigned>(Key & 0xffffffffu);
+  }
+
+  void add(unsigned From, unsigned To, uint64_t N = 1) {
+    Counts[key(From, To)] += N;
+  }
+
+  uint64_t weight(unsigned From, unsigned To) const {
+    auto It = Counts.find(key(From, To));
+    return It == Counts.end() ? 0 : It->second;
+  }
+
+  bool empty() const { return Counts.empty(); }
+};
+
+/// Per-function edge weights of a module, keyed by function name.
+using ModuleEdgeWeights = std::map<std::string, EdgeWeightMap>;
+
+/// Snapshots \p Weights into \p DB as ProfileKind::EdgeWeights entries
+/// (one per function, ordinal 0), overwriting any stale-shaped records.
+void exportEdgeWeights(const ModuleEdgeWeights &Weights, ProfileDB &DB);
+
+/// Reads the EdgeWeights entries of \p DB back, keeping only records that
+/// still describe \p M: the function exists, every from-id names one of
+/// its blocks, and every to-id is a CFG successor of that block.  A record
+/// with any invalid edge is dropped whole (it profiles a different build),
+/// counted in \p StaleFunctions when provided.
+ModuleEdgeWeights importEdgeWeights(const ProfileDB &DB, const Module &M,
+                                    unsigned *StaleFunctions = nullptr);
+
+} // namespace bropt
+
+#endif // BROPT_PROFILE_EDGEPROFILE_H

@@ -21,6 +21,8 @@ const char *bropt::profileKindName(ProfileKind Kind) {
     return "combo";
   case ProfileKind::Legacy:
     return "legacy";
+  case ProfileKind::EdgeWeights:
+    return "edges";
   }
   return "unknown";
 }
@@ -99,6 +101,27 @@ ProfileEntry &ProfileDB::registerSequence(ProfileKind Kind,
   Entry.Ordinal = Ordinal;
   Entry.BinCounts.assign(NumBins, 0);
   IdIndex.emplace(RuntimeId, Entries.size());
+  return addEntry(std::move(Entry));
+}
+
+ProfileEntry &ProfileDB::upsertEntry(ProfileKind Kind,
+                                     std::string FunctionName,
+                                     std::string Signature, unsigned Ordinal,
+                                     size_t NumBins) {
+  if (ProfileEntry *Existing = findEntry(Kind, FunctionName, Ordinal)) {
+    if (Existing->Signature != Signature ||
+        Existing->BinCounts.size() != NumBins) {
+      Existing->Signature = std::move(Signature);
+      Existing->BinCounts.assign(NumBins, 0);
+    }
+    return *Existing;
+  }
+  ProfileEntry Entry;
+  Entry.Kind = Kind;
+  Entry.FunctionName = std::move(FunctionName);
+  Entry.Signature = std::move(Signature);
+  Entry.Ordinal = Ordinal;
+  Entry.BinCounts.assign(NumBins, 0);
   return addEntry(std::move(Entry));
 }
 
@@ -386,7 +409,7 @@ bool ProfileDB::deserializeBinary(std::string_view Data, std::string *Error) {
   for (uint64_t Index = 0; Index < NumSeq && !Reader.Failed; ++Index) {
     ProfileEntry Entry;
     uint8_t Kind = Reader.getByte();
-    if (Kind > static_cast<uint8_t>(ProfileKind::Legacy))
+    if (Kind > static_cast<uint8_t>(ProfileKind::EdgeWeights))
       return Fail("unknown profile entry kind");
     Entry.Kind = static_cast<ProfileKind>(Kind);
     Entry.FunctionName = Reader.getString();
@@ -468,6 +491,8 @@ bool ProfileDB::deserializeTextV2(std::string_view Text, std::string *Error) {
         Entry.Kind = ProfileKind::ComboOutcomes;
       else if (Fields[1] == "legacy")
         Entry.Kind = ProfileKind::Legacy;
+      else if (Fields[1] == "edges")
+        Entry.Kind = ProfileKind::EdgeWeights;
       else
         return Fail("unknown profile kind '" + std::string(Fields[1]) + "'");
       Entry.FunctionName = std::string(Fields[2]);

@@ -51,6 +51,10 @@ enum class ProfileKind : uint8_t {
   RangeBins = 0,     ///< one bin per range (explicit, then defaults)
   ComboOutcomes = 1, ///< 2^n bins, one per branch-outcome combination
   Legacy = 2,        ///< loaded from a version-1 file; kind unknown
+  EdgeWeights = 3,   ///< one bin per executed CFG edge; the signature is
+                     ///< the canonical sorted "from-to,..." edge-key list
+                     ///< (profile/EdgeProfile.h), one entry per function
+                     ///< at ordinal 0
 };
 
 const char *profileKindName(ProfileKind Kind);
@@ -132,6 +136,15 @@ public:
 
   /// Adds \p Weight to a bin of a registered sequence (by runtime id).
   void increment(unsigned RuntimeId, size_t Bin, uint64_t Weight = 1);
+
+  /// Get-or-create the record at (\p Kind, \p FunctionName, \p Ordinal)
+  /// directly, without a runtime id.  A fresh record gets \p Signature and
+  /// \p NumBins zeroed counters; an existing record whose signature or bin
+  /// count disagrees is reset to the new shape — exporters that snapshot a
+  /// re-measured plane (edge weights) overwrite rather than misattribute.
+  ProfileEntry &upsertEntry(ProfileKind Kind, std::string FunctionName,
+                            std::string Signature, unsigned Ordinal,
+                            size_t NumBins);
 
   /// Keyed consumer lookup with staleness validation.  \returns the entry
   /// only when one exists at (\p Kind, \p FunctionName, \p Ordinal) — a

@@ -11,6 +11,7 @@ MachineModel MachineModel::sparcIPCLike() {
   Model.Name = "sparc-ipc";
   Model.IndirectJumpExtra = 1;
   Model.MispredictPenalty = 2;
+  Model.TakenBranchExtra = 1;
   return Model;
 }
 
@@ -20,6 +21,8 @@ MachineModel MachineModel::sparcUltraLike() {
   // The paper found Ultra I indirect jumps ~4x the IPC/20 cost.
   Model.IndirectJumpExtra = 7;
   Model.MispredictPenalty = 4;
+  // Deeper pipeline: a taken branch costs more fetch redirect.
+  Model.TakenBranchExtra = 2;
   return Model;
 }
 
@@ -29,6 +32,8 @@ uint64_t bropt::computeCycles(const MachineModel &Model,
   uint64_t Cycles = static_cast<uint64_t>(Model.BaseCost) * Counts.TotalInsts;
   Cycles += static_cast<uint64_t>(Model.IndirectJumpExtra) *
             Counts.IndirectJumps;
+  Cycles += static_cast<uint64_t>(Model.TakenBranchExtra) *
+            Counts.TakenBranches;
   Cycles += static_cast<uint64_t>(Model.MispredictPenalty) * Mispredictions;
   return Cycles;
 }

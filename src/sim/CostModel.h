@@ -36,6 +36,12 @@ struct MachineModel {
   /// Extra cycles charged per branch misprediction when a predictor is
   /// attached to the run.
   uint32_t MispredictPenalty = 4;
+  /// Extra cycles for a *taken* conditional branch beyond the base cost.
+  /// Fall-through is free; a taken branch redirects the fetch stream even
+  /// when predicted (Baer, "On Conditional Branches in Optimal Decision
+  /// Trees").  This is the asymmetry the Set IV comparison-tree lowering
+  /// and the ext-TSP layout both optimize against.
+  uint32_t TakenBranchExtra = 0;
 
   /// SPARC IPC / SPARC 20-like machine: cheap indirect jumps.
   static MachineModel sparcIPCLike();

@@ -105,6 +105,128 @@ bool layoutHotFirst(DecodedFunction &DF, std::vector<uint32_t> &StartOf,
   assert(Order.size() == NumBlocks && "layout dropped a block");
   assert((Order.empty() || Order[0] == 0) && "entry block must stay first");
 
+  // With measured branch counts, also build an ext-TSP style candidate:
+  // greedy chain merging along the heaviest edges, then chain
+  // concatenation — the same algorithm the compiler's profile-guided
+  // layout uses (opt/Repositioning.cpp), here over the decoded stream.
+  // Keep whichever order places more measured weight on adjacent pairs,
+  // so the upgrade is never worse than the greedy follow.
+  if (Hot && !Hot->empty() && NumBlocks > 2) {
+    struct BlockEdge {
+      uint32_t From, To;
+      uint64_t Weight;
+    };
+    std::unordered_map<uint64_t, uint64_t> WeightOf;
+    std::vector<BlockEdge> Edges;
+    auto blockOfStart = [&](uint32_t TargetStart) -> int64_t {
+      auto It = StartToBlock.find(TargetStart);
+      return It == StartToBlock.end() ? -1
+                                      : static_cast<int64_t>(It->second);
+    };
+    auto addEdge = [&](uint32_t From, int64_t To, uint64_t Weight) {
+      if (To < 0 || static_cast<uint32_t>(To) == From || Weight == 0)
+        return;
+      uint64_t Key = static_cast<uint64_t>(From) << 32 |
+                     static_cast<uint32_t>(To);
+      if (WeightOf.emplace(Key, Weight).second)
+        Edges.push_back({From, static_cast<uint32_t>(To), Weight});
+    };
+    for (uint32_t B = 0; B < NumBlocks; ++B) {
+      const DecodedInst &Term = DF.Insts[StartOf[B] + Sizes[B] - 1];
+      switch (Term.Op) {
+      case DecodedOp::FallThrough:
+      case DecodedOp::Jump:
+      case DecodedOp::Switch:
+        addEdge(B, blockOfStart(Term.Target0), 1);
+        break;
+      case DecodedOp::CondBr: {
+        const uint32_t Id = Term.Dest;
+        const uint64_t Total =
+            Id < Hot->Total.size() ? Hot->Total[Id] : 0;
+        const uint64_t Taken =
+            Id < Hot->Taken.size() ? Hot->Taken[Id] : 0;
+        addEdge(B, blockOfStart(Term.Target0), Taken);
+        addEdge(B, blockOfStart(Term.Target1),
+                std::max<uint64_t>(Total - Taken, 1));
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    std::sort(Edges.begin(), Edges.end(),
+              [](const BlockEdge &A, const BlockEdge &B) {
+                if (A.Weight != B.Weight)
+                  return A.Weight > B.Weight;
+                if (A.From != B.From)
+                  return A.From < B.From;
+                return A.To < B.To;
+              });
+
+    std::vector<std::vector<uint32_t>> Chains(NumBlocks);
+    std::vector<uint32_t> ChainOf(NumBlocks);
+    for (uint32_t B = 0; B < NumBlocks; ++B) {
+      Chains[B] = {B};
+      ChainOf[B] = B;
+    }
+    for (const BlockEdge &Edge : Edges) {
+      const uint32_t FC = ChainOf[Edge.From], TC = ChainOf[Edge.To];
+      if (FC == TC || Edge.To == 0) // entry must head its chain forever
+        continue;
+      if (Chains[FC].back() != Edge.From || Chains[TC].front() != Edge.To)
+        continue;
+      for (uint32_t B : Chains[TC])
+        ChainOf[B] = FC;
+      Chains[FC].insert(Chains[FC].end(), Chains[TC].begin(),
+                        Chains[TC].end());
+      Chains[TC].clear();
+    }
+
+    // Concatenate: entry chain first, then repeatedly the chain whose head
+    // is reached most heavily from the current tail (smallest head block
+    // as the deterministic tiebreak).
+    auto weightBetween = [&](uint32_t From, uint32_t To) -> uint64_t {
+      auto It =
+          WeightOf.find(static_cast<uint64_t>(From) << 32 | To);
+      return It == WeightOf.end() ? 0 : It->second;
+    };
+    std::vector<uint32_t> Candidate;
+    Candidate.reserve(NumBlocks);
+    std::vector<bool> Taken(NumBlocks, false);
+    uint32_t Cur = ChainOf[0];
+    while (true) {
+      Taken[Cur] = true;
+      Candidate.insert(Candidate.end(), Chains[Cur].begin(),
+                       Chains[Cur].end());
+      int64_t Best = -1;
+      uint64_t BestWeight = 0;
+      for (uint32_t C = 0; C < NumBlocks; ++C) {
+        if (Taken[C] || Chains[C].empty())
+          continue;
+        uint64_t W = weightBetween(Candidate.back(), Chains[C].front());
+        if (Best < 0 || W > BestWeight) {
+          Best = C;
+          BestWeight = W;
+        }
+      }
+      if (Best < 0)
+        break;
+      Cur = static_cast<uint32_t>(Best);
+    }
+    assert(Candidate.size() == NumBlocks && "chain merge dropped a block");
+
+    auto adjacentWeight = [&](const std::vector<uint32_t> &O) {
+      uint64_t Sum = 0;
+      for (size_t I = 0; I + 1 < O.size(); ++I)
+        Sum += weightBetween(O[I], O[I + 1]);
+      return Sum;
+    };
+    if (adjacentWeight(Candidate) > adjacentWeight(Order)) {
+      Order = std::move(Candidate);
+      ++Stats.ChainMergedLayouts;
+    }
+  }
+
   uint64_t Moved = 0;
   for (uint32_t Pos = 0; Pos < NumBlocks; ++Pos)
     if (Order[Pos] != Pos)

@@ -114,6 +114,8 @@ struct FuseStats {
   uint64_t ProfileOrderedChains = 0; ///< chains whose exec order ≠ logical
   uint64_t BlocksMoved = 0;   ///< blocks placed out of original order
   uint64_t FunctionsLaidOut = 0; ///< functions whose layout changed
+  uint64_t ChainMergedLayouts = 0; ///< functions where the measured
+                                   ///< chain-merge order beat greedy-follow
   uint64_t CompactedSlots = 0; ///< stale/unreachable slots dropped
 
   FuseStats &operator+=(const FuseStats &O) {
@@ -126,6 +128,7 @@ struct FuseStats {
     ProfileOrderedChains += O.ProfileOrderedChains;
     BlocksMoved += O.BlocksMoved;
     FunctionsLaidOut += O.FunctionsLaidOut;
+    ChainMergedLayouts += O.ChainMergedLayouts;
     CompactedSlots += O.CompactedSlots;
     return *this;
   }

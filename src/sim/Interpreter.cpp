@@ -547,7 +547,10 @@ int64_t Interpreter::execFunction(const Function &F,
         cast<JumpInst>(Inst)->isFallThrough()) {
       // A layout fall-through costs nothing, exactly like block adjacency
       // in machine code.
-      Block = cast<JumpInst>(Inst)->getTarget();
+      const BasicBlock *Target = cast<JumpInst>(Inst)->getTarget();
+      if (OnEdge)
+        OnEdge(F, Block->getId(), Target->getId());
+      Block = Target;
       InstIndex = 0;
       continue;
     }
@@ -708,13 +711,19 @@ int64_t Interpreter::execFunction(const Function &F,
         ++Counts.TakenBranches;
       if (Predictor)
         Predictor->observe(BranchIds.find(Inst)->second, Taken);
-      Block = Taken ? Br->getTaken() : Br->getFallThrough();
+      const BasicBlock *Target = Taken ? Br->getTaken() : Br->getFallThrough();
+      if (OnEdge)
+        OnEdge(F, Block->getId(), Target->getId());
+      Block = Target;
       InstIndex = 0;
       continue;
     }
     case InstKind::Jump: {
       ++Counts.UncondJumps;
-      Block = cast<JumpInst>(Inst)->getTarget();
+      const BasicBlock *Target = cast<JumpInst>(Inst)->getTarget();
+      if (OnEdge)
+        OnEdge(F, Block->getId(), Target->getId());
+      Block = Target;
       InstIndex = 0;
       continue;
     }
@@ -729,6 +738,8 @@ int64_t Interpreter::execFunction(const Function &F,
           Target = Case.Target;
           break;
         }
+      if (OnEdge)
+        OnEdge(F, Block->getId(), Target->getId());
       Block = Target;
       InstIndex = 0;
       continue;
@@ -743,7 +754,10 @@ int64_t Interpreter::execFunction(const Function &F,
                           static_cast<long long>(Index)));
         return 0;
       }
-      Block = Ind->getTable()[static_cast<size_t>(Index)];
+      const BasicBlock *Target = Ind->getTable()[static_cast<size_t>(Index)];
+      if (OnEdge)
+        OnEdge(F, Block->getId(), Target->getId());
+      Block = Target;
       InstIndex = 0;
       continue;
     }

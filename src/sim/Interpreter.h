@@ -146,6 +146,18 @@ public:
     OnComboProfile = std::move(CB);
   }
 
+  /// Installs the block-transfer callback, invoked by the tree walker with
+  /// the stable ids (BasicBlock::getId) of every executed control transfer
+  /// between blocks of one function — conditional branches (both
+  /// directions), jumps (free fall-throughs included), and the dispatch of
+  /// switches and indirect jumps.  This is the measurement the ext-TSP
+  /// layout consumes (profile/EdgeProfile.h).  Tree-walker only: edge
+  /// collection is a profiling pass, not a production engine concern.
+  using EdgeCallback =
+      std::function<void(const Function &, unsigned FromBlock,
+                         unsigned ToBlock)>;
+  void setEdgeCallback(EdgeCallback CB) { OnEdge = std::move(CB); }
+
   /// Caps the number of executed instructions; exceeded -> trap.
   void setInstructionLimit(uint64_t Limit) { InstructionLimit = Limit; }
 
@@ -201,6 +213,7 @@ private:
   AdaptiveHooks *Hooks = nullptr;
   ProfileCallback OnProfile;
   ProfileCallback OnComboProfile;
+  EdgeCallback OnEdge;
   uint64_t InstructionLimit = 2'000'000'000;
 
   std::vector<int64_t> Memory;

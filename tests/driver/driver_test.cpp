@@ -121,9 +121,12 @@ TEST(DriverTest, InstrumentationOverheadExcludedFromCounts) {
 TEST(DriverTest, ReorderingDisabledLeavesBaselineBehaviour) {
   // Empty training input: the while loop's head still runs once (EOF), so
   // use MinExecutions to force a no-op transformation, then check the
-  // reordered build matches the baseline exactly.
+  // reordered build matches the baseline exactly.  Profile-guided layout
+  // is disabled too — it runs even when no sequence is reordered (the
+  // measured edge weights cover the whole CFG, not just sequences).
   CompileOptions Options;
   Options.Reorder.MinExecutions = UINT64_MAX;
+  Options.Reorder.ProfileGuidedLayout = false;
   CompileResult Baseline = compileBaseline(SimpleSource, Options);
   CompileResult Result = compileWithReordering(SimpleSource, "x", Options);
   ASSERT_TRUE(Baseline.ok() && Result.ok());
@@ -214,10 +217,24 @@ TEST(DriverTest, ProfileMergeSumsAndValidates) {
 
 TEST(DriverTest, ProfileTextMatchesPass1Serialization) {
   CompileOptions Options;
+  Options.Reorder.ProfileGuidedLayout = false;
   Pass1Result Pass1 = runPass1(SimpleSource, "xyxy", Options);
   CompileResult Full = compileWithReordering(SimpleSource, "xyxy", Options);
   ASSERT_TRUE(Pass1.ok() && Full.ok());
   EXPECT_EQ(Full.ProfileText, Pass1.Profile.serializeText());
+
+  // With the (default-on) profile-guided layout, the exported profile is a
+  // superset: the pass-1 records plus the measured edge weights.
+  CompileOptions WithLayout;
+  CompileResult Measured =
+      compileWithReordering(SimpleSource, "xyxy", WithLayout);
+  ASSERT_TRUE(Measured.ok()) << Measured.Error;
+  EXPECT_NE(Measured.ProfileText.find(Pass1.Profile.serializeText()
+                                          .substr(std::string(
+                                                      "bropt-profile v2\n")
+                                                      .size())),
+            std::string::npos);
+  EXPECT_NE(Measured.ProfileText.find("seq edges "), std::string::npos);
 }
 
 TEST(DriverTest, CompileWithSavedProfileMatchesTwoPass) {

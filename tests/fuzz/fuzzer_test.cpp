@@ -118,6 +118,16 @@ TEST(OracleTest, DetectsCostRegressions) {
       << "no seed tripped the cost oracle under fault injection";
 }
 
+TEST(OracleTest, DetectsLoweringRegressions) {
+  OracleOptions Opts;
+  GeneratedProgram Program;
+  uint64_t Seed = findFaultySeed(FaultKind::PretendLoweringRegression,
+                                 ViolationKind::LoweringSuboptimal, Opts,
+                                 Program);
+  ASSERT_NE(Seed, 0u)
+      << "no seed tripped the lowering oracle under fault injection";
+}
+
 TEST(MinimizerTest, ShrinksInjectedFaultToSmallReproducer) {
   // The acceptance bar for the whole subsystem: a deliberately broken
   // reordering pass must minimize to a reproducer of at most 15

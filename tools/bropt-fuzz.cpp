@@ -16,13 +16,19 @@
 //   --corpus DIR      write minimized reproducers into DIR
 //   --fault KIND      inject a pipeline fault (self-test): 'corrupt-reorder'
 //                     breaks a reordered branch, 'pretend-cost' inverts the
-//                     cost check; the run then EXPECTS violations and fails
-//                     if the oracles stay silent
+//                     cost check, 'pretend-lowering' inverts the Set IV
+//                     never-worse check; the run then EXPECTS violations and
+//                     fails if the oracles stay silent
 //   --minimize-rounds N  cap delta-debugging passes (default 16)
 //   --native MODE     native-engine agreement checks: 'auto' (default)
 //                     runs them when a host compiler is available and
 //                     silently skips otherwise, 'on' fails fast when no
 //                     compiler is found, 'off' disables them
+//   --lowering-check MODE  Set IV lowering-optimality invariant: 'on'
+//                     (default) recompiles every program under Set IV and
+//                     holds it to observable identity plus the never-worse
+//                     model-cost guarantee, 'off' disables the recompile
+//                     to keep smoke campaigns cheap
 //   --quiet           suppress per-violation detail
 //
 // Exit status: 0 when expectations hold (no violations normally; at least
@@ -47,9 +53,10 @@ namespace {
   std::fprintf(stderr,
                "usage: bropt-fuzz [--programs N] [--seconds N] [--seed N]\n"
                "                  [--corpus DIR] [--fault corrupt-reorder|"
-               "pretend-cost]\n"
+               "pretend-cost|pretend-lowering]\n"
                "                  [--minimize-rounds N] "
-               "[--native on|off|auto] [--quiet]\n");
+               "[--native on|off|auto] [--lowering-check on|off] "
+               "[--quiet]\n");
   std::exit(2);
 }
 
@@ -92,6 +99,8 @@ int main(int argc, char **argv) {
         Opts.Fault = FaultKind::CorruptReorderedBlock;
       else if (!std::strcmp(Kind, "pretend-cost"))
         Opts.Fault = FaultKind::PretendCostRegression;
+      else if (!std::strcmp(Kind, "pretend-lowering"))
+        Opts.Fault = FaultKind::PretendLoweringRegression;
       else
         usageError("unknown --fault kind");
     } else if (!std::strcmp(argv[Arg], "--native")) {
@@ -105,6 +114,14 @@ int main(int argc, char **argv) {
         Opts.CheckNativeEngine = true;
       else
         usageError("unknown --native mode (want on, off, or auto)");
+    } else if (!std::strcmp(argv[Arg], "--lowering-check")) {
+      const char *Policy = needValue("--lowering-check");
+      if (!std::strcmp(Policy, "off"))
+        Opts.CheckLoweringOptimal = false;
+      else if (!std::strcmp(Policy, "on"))
+        Opts.CheckLoweringOptimal = true;
+      else
+        usageError("unknown --lowering-check mode (want on or off)");
     } else if (!std::strcmp(argv[Arg], "--quiet"))
       Opts.Verbose = false;
     else

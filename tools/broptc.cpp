@@ -11,7 +11,10 @@
 //                         (no --train and no --profile-in means no
 //                         reordering: baseline build)
 //   --input FILE          input for --run (default: empty)
-//   --set I|II|III        switch-translation heuristic set (default I)
+//   --set I|II|III|IV     switch-translation heuristic set (default I);
+//                         Set IV adds optimal-tree lowering and method
+//                         selection on top of Set III (docs/LOWERING.md)
+//   --lowering setN       alias for --set: set1..set4
 //   --common-successor    also reorder common-successor chains (paper §10)
 //   --method-selection    allow profile-guided jump tables (paper §10)
 //   --ijmp-cost N         indirect-jump cost estimate for method selection
@@ -58,7 +61,7 @@ namespace {
   std::fprintf(stderr, "broptc: %s\n", Message);
   std::fprintf(stderr,
                "usage: broptc FILE.mc [--train FILE] [--input FILE] "
-               "[--set I|II|III]\n"
+               "[--set I|II|III|IV] [--lowering set1..set4]\n"
                "              [--common-successor] [--method-selection] "
                "[--ijmp-cost N]\n"
                "              [--emit-ir] [--profile-in FILE] "
@@ -110,16 +113,19 @@ CliOptions parseArgs(int Argc, char **Argv) {
       Options.TrainPaths.push_back(nextValue());
     } else if (Arg == "--input") {
       Options.InputPath = nextValue();
-    } else if (Arg == "--set") {
+    } else if (Arg == "--set" || Arg == "--lowering") {
       std::string Set = nextValue();
-      if (Set == "I")
+      if (Set == "I" || Set == "set1")
         Options.Compile.HeuristicSet = SwitchHeuristicSet::SetI;
-      else if (Set == "II")
+      else if (Set == "II" || Set == "set2")
         Options.Compile.HeuristicSet = SwitchHeuristicSet::SetII;
-      else if (Set == "III")
+      else if (Set == "III" || Set == "set3")
         Options.Compile.HeuristicSet = SwitchHeuristicSet::SetIII;
+      else if (Set == "IV" || Set == "set4")
+        Options.Compile.HeuristicSet = SwitchHeuristicSet::SetIV;
       else
-        usageError("--set expects I, II, or III");
+        usageError("--set expects I, II, III, or IV "
+                   "(--lowering: set1..set4)");
     } else if (Arg == "--common-successor") {
       Options.Compile.EnableCommonSuccessorReordering = true;
     } else if (Arg == "--method-selection") {
@@ -193,13 +199,13 @@ int main(int Argc, char **Argv) {
                    Conflict.c_str());
     HaveProfile = true;
   }
+  std::vector<std::string> TrainingSets;
+  std::vector<std::string_view> TrainingViews;
   if (!Options.TrainPaths.empty()) {
-    std::vector<std::string> TrainingSets;
     for (const std::string &Path : Options.TrainPaths)
       TrainingSets.push_back(readFileOrDie(Path));
-    std::vector<std::string_view> Views(TrainingSets.begin(),
-                                        TrainingSets.end());
-    Pass1Result Pass1 = runPass1(Source, Views, Options.Compile);
+    TrainingViews.assign(TrainingSets.begin(), TrainingSets.end());
+    Pass1Result Pass1 = runPass1(Source, TrainingViews, Options.Compile);
     if (!Pass1.ok()) {
       std::fprintf(stderr, "broptc: %s\n", Pass1.Error.c_str());
       return 1;
@@ -215,6 +221,11 @@ int main(int Argc, char **Argv) {
   if (HaveProfile) {
     Result = compileWithProfile(Source, Profile, Options.Compile);
     Result.ProfileText = Profile.serializeText();
+    // Fresh training runs also yield an edge-weight measurement for the
+    // ext-TSP layout; with only --profile-in, compileWithProfile already
+    // imported any saved edge records.
+    if (!TrainingViews.empty())
+      applyMeasuredLayout(Result, TrainingViews, Profile, Options.Compile);
   } else {
     Result = compileBaseline(Source, Options.Compile);
   }
@@ -230,10 +241,26 @@ int main(int Argc, char **Argv) {
                 Result.SwitchStats.BinarySearches,
                 Result.SwitchStats.LinearSearches);
     std::printf("sequences: %u detected, %u reordered, %u never executed, "
-                "%u profile problems, %u emitted as jump tables\n",
+                "%u profile problems, %u emitted as jump tables, "
+                "%u as optimal trees\n",
                 Result.Stats.Detected, Result.Stats.Reordered,
                 Result.Stats.NeverExecuted, Result.Stats.ProfileProblems,
-                Result.Stats.JumpTables);
+                Result.Stats.JumpTables, Result.Stats.OptimalTrees);
+    if (Result.Stats.Reordered > 0)
+      std::printf("modeled cost: chain %.3f, chosen %.3f\n",
+                  Result.Stats.ChainModelCost, Result.Stats.ChosenModelCost);
+    if (Result.Stats.Layout.FunctionsLaidOut > 0)
+      std::printf("layout: %u function(s) ext-TSP, %u chains merged, "
+                  "%u blocks moved, %u kept incumbent, fall-through "
+                  "weight %llu -> %llu\n",
+                  Result.Stats.Layout.FunctionsLaidOut,
+                  Result.Stats.Layout.ChainsMerged,
+                  Result.Stats.Layout.BlocksMoved,
+                  Result.Stats.Layout.KeptIncumbent,
+                  static_cast<unsigned long long>(
+                      Result.Stats.Layout.FallThroughWeightBefore),
+                  static_cast<unsigned long long>(
+                      Result.Stats.Layout.FallThroughWeightAfter));
     if (Options.Compile.EnableCommonSuccessorReordering)
       std::printf("common-successor: %u detected, %u reordered "
                   "(expected branches %.2f -> %.2f)\n",
