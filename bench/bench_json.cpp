@@ -33,6 +33,16 @@
 // branch/branch-miss counters, grounding the paper's claim on real
 // silicon.  Both land in BENCH_engine.json's "native" section.
 //
+// The tier-2 configuration then replays the sweeps through the full
+// online ladder (tree -> decoded -> fused -> native): warmup passes run
+// until the promotion front stops moving, timed repetitions measure the
+// all-native steady state against both the adaptive interpreter and the
+// offline AOT ceiling, and a dedicated phase-shift bench alternates
+// input phases as whole activations to prove drift deopts, re-promotes
+// from the signature cache, and stays inside the compile budget — with
+// hardware branch counters contrasting the native and fused tiers.
+// Everything lands in BENCH_engine.json's "adaptive_native" section.
+//
 // Every configuration replays identical logical work: dynamic counts are
 // engine-invariant, so the wall-clock ratios are pure dispatch/fusion
 // wins.  --verify-engines re-runs sweeps on the tree-walking reference
@@ -50,6 +60,7 @@
 #include "BenchUtil.h"
 
 #include "codegen/NativeRunner.h"
+#include "exec/ExecBackend.h"
 #include "profile/ProfileDB.h"
 #include "runtime/AdaptiveController.h"
 #include "runtime/HotnessSampler.h"
@@ -457,6 +468,8 @@ const char *modeName(Interpreter::Mode Mode) {
     return "decoded";
   case Interpreter::Mode::Adaptive:
     return "adaptive";
+  case Interpreter::Mode::AdaptiveNative:
+    return "adaptive-native";
   case Interpreter::Mode::Tree:
     return "tree";
   case Interpreter::Mode::Native:
@@ -532,9 +545,10 @@ struct PhaseShiftResult {
   RuntimeStats Tiering;
 };
 
-PhaseShiftResult runPhaseShiftBench(unsigned Warmup, unsigned Reps,
-                                    bool Smoke) {
-  static const char *Source = R"(
+/// Shared by the adaptive and the tier-ladder phase-shift benches: a
+/// classifier whose winning arm order depends entirely on the input byte
+/// mix, so a phase flip inverts the profile.
+const char *PhaseShiftSource = R"(
 int digits = 0;
 int upper = 0;
 int lower = 0;
@@ -552,8 +566,11 @@ int main() {
   return digits + upper * 2 + lower * 3;
 }
 )";
+
+PhaseShiftResult runPhaseShiftBench(unsigned Warmup, unsigned Reps,
+                                    bool Smoke) {
   PhaseShiftResult Result;
-  CompileResult Compiled = compileBaseline(Source, CompileOptions());
+  CompileResult Compiled = compileBaseline(PhaseShiftSource, CompileOptions());
   if (!Compiled.ok()) {
     std::fprintf(stderr, "bench error: phase-shift compile failed: %s\n",
                  Compiled.Error.c_str());
@@ -669,6 +686,254 @@ NativeBenchResult runNativeBench(unsigned Warmup, unsigned Reps,
         std::exit(1);
       }
     }
+  return Result;
+}
+
+/// Knobs for the tier-2 (adaptive-native) configurations.  On top of the
+/// adaptive sweep knobs, every function hot enough to reach the fused
+/// tier is also eligible for the native tier (NativeThreshold ==
+/// HotThreshold), so steady state runs the whole suite as machine code.
+/// The drift recheck cadence is pushed past the measurement window: every
+/// cached controller sees exactly one activation per suite pass, so with
+/// the default NativeRecheckMin the rechecks of all ~200 controllers
+/// would land on the *same* pass and turn one entire timed repetition
+/// interpreted.  The recheck/deopt machinery is exercised — on purpose,
+/// per phase flip — by runTierLadderPhaseBench below.
+RuntimeOptions tierLadderRuntimeOptions() {
+  RuntimeOptions Runtime = benchRuntimeOptions();
+  Runtime.NativeTier = true;
+  Runtime.NativeThreshold = Runtime.HotThreshold;
+  Runtime.MinSamplesBetweenNativeBuilds = 256;
+  Runtime.NativeRecheckMin = 64;
+  Runtime.NativeRecheckMax = 256;
+  return Runtime;
+}
+
+/// The tier-2 configuration: the same sweeps as the engine matrix, but
+/// every run climbs the full tree -> decoded -> fused -> native ladder
+/// online.  Like the AOT configuration it runs outside the interleaved
+/// matrix (warmup pays the host-compiler invocations) and is held to the
+/// observables bar against the fused configuration — native activations
+/// carry no dynamic counters, so the totalInsts invariant cannot apply.
+struct AdaptiveNativeBenchResult {
+  bool Available = false;
+  std::string Reason; ///< set when unavailable
+  TimingStats Timing;
+  SuiteResult Final;
+  EvaluatorStats Cache;
+  RuntimeStats Tiering; ///< first-sweep controllers, cumulative
+  unsigned WarmupPasses = 0;
+};
+
+AdaptiveNativeBenchResult
+runAdaptiveNativeBench(unsigned Warmup, unsigned Reps,
+                       const std::vector<SweepSpec> &Sweeps,
+                       const SuiteResult &FusedReference) {
+  AdaptiveNativeBenchResult Result;
+  if (!NativeRunner::shared().available()) {
+    Result.Reason = NativeRunner::shared().unavailableReason();
+    return Result;
+  }
+  Result.Available = true;
+
+  EvaluatorOptions Options;
+  Options.Threads = 1; // serial: comparable to the *-serial configs
+  Options.Mode = Interpreter::Mode::AdaptiveNative;
+  Options.CacheCompiles = true;
+  Options.Runtime = tierLadderRuntimeOptions();
+  Evaluator Eval(Options);
+
+  // Warm until the promotion front stops moving.  Hotness counters are
+  // cumulative, so functions too cool to promote in one pass keep
+  // crossing NativeThreshold for several more — and any build that slips
+  // past warmup bills a host-compiler invocation to a timed repetition.
+  // Two consecutive passes with no new promotions means everything that
+  // will ever promote has; the cap bounds a pathological trickle.
+  uint64_t Promotions = 0;
+  unsigned Stable = 0;
+  for (unsigned Iter = 0;
+       Iter < std::max(24u, Warmup) && (Iter < Warmup || Stable < 2);
+       ++Iter) {
+    Result.Final = runSuite(Eval, Sweeps);
+    ++Result.WarmupPasses;
+    const uint64_t Now = Eval.stats().AdaptiveNativePromotions;
+    Stable = Now == Promotions ? Stable + 1 : 0;
+    Promotions = Now;
+  }
+  std::vector<double> Samples;
+  for (unsigned Rep = 0; Rep < std::max(1u, Reps); ++Rep)
+    Samples.push_back(
+        timeOnce([&] { Result.Final = runSuite(Eval, Sweeps); }));
+  Result.Timing = summarizeTimings(std::move(Samples));
+  Result.Cache = Eval.stats();
+
+  // Tier-2 counters, summed over the first sweep's controllers (same
+  // first-sweep-only rule as the adaptive matrix config: snapshots are
+  // cumulative per cached controller).
+  if (!Result.Final.Sweeps.empty())
+    for (const WorkloadRecord &Record : Result.Final.Sweeps[0]) {
+      Result.Tiering += Record.Eval.Baseline.Runtime;
+      Result.Tiering += Record.Eval.Reordered.Runtime;
+    }
+
+  // The ladder must reproduce the simulated observables bit for bit no
+  // matter which tier a given activation landed on.
+  for (size_t Sweep = 0; Sweep < FusedReference.Sweeps.size(); ++Sweep)
+    for (size_t Index = 0; Index < FusedReference.Sweeps[Sweep].size();
+         ++Index) {
+      const WorkloadEvaluation &Ladder =
+          Result.Final.Sweeps[Sweep][Index].Eval;
+      const WorkloadEvaluation &Fused =
+          FusedReference.Sweeps[Sweep][Index].Eval;
+      if (Ladder.Baseline.Output != Fused.Baseline.Output ||
+          Ladder.Baseline.ExitValue != Fused.Baseline.ExitValue ||
+          Ladder.Reordered.Output != Fused.Reordered.Output ||
+          Ladder.Reordered.ExitValue != Fused.Reordered.ExitValue) {
+        std::fprintf(stderr,
+                     "bench error: adaptive-native and fused observables "
+                     "disagree on %s (sweep %zu)\n",
+                     Ladder.Name.c_str(), Sweep);
+        std::exit(1);
+      }
+    }
+  return Result;
+}
+
+/// The phase-shift workload under the full tier ladder: whole activations
+/// alternate between digit-heavy and letter-heavy inputs in blocks, so a
+/// promoted native body periodically becomes wrong for the live phase.
+/// The controller must deopt on the recheck that sees the drift, re-fuse,
+/// and re-promote — and once both phases have compiled once, every later
+/// flip must be served from the ordering-signature cache (deopts and
+/// tier-ups keep climbing, compiles stay at two).  Also the bench's
+/// hardware ground truth for tiering: steady-state activations of the
+/// ladder vs the fused-only controller under perf_event branch counters.
+struct TierLadderPhaseResult {
+  bool Available = false;
+  std::string Reason;
+  size_t InputBytes = 0; ///< per activation
+  unsigned Blocks = 0;
+  unsigned ActivationsPerBlock = 0;
+  TimingStats Fused;  ///< Mode::Adaptive on the same schedule
+  TimingStats Ladder; ///< Mode::AdaptiveNative
+  RuntimeStats Tiering;
+  uint32_t MaxNativeCompiles = 0; ///< the budget the run was held to
+  bool PerfAvailable = false;
+  std::string PerfReason;
+  unsigned PerfReps = 0;
+  uint64_t LadderBranches = 0;
+  uint64_t LadderBranchMisses = 0;
+  uint64_t FusedBranches = 0;
+  uint64_t FusedBranchMisses = 0;
+  bool PerfMultiplexed = false;
+};
+
+TierLadderPhaseResult runTierLadderPhaseBench(unsigned Reps, bool Smoke) {
+  TierLadderPhaseResult Result;
+  if (!NativeRunner::shared().available()) {
+    Result.Reason = NativeRunner::shared().unavailableReason();
+    return Result;
+  }
+  Result.Available = true;
+  CompileResult Compiled = compileBaseline(PhaseShiftSource, CompileOptions());
+  if (!Compiled.ok()) {
+    std::fprintf(stderr,
+                 "bench error: tier-ladder phase compile failed: %s\n",
+                 Compiled.Error.c_str());
+    std::exit(1);
+  }
+  const size_t Bytes = Smoke ? 50'000 : 200'000;
+  std::string Digits, Letters;
+  Digits.reserve(Bytes);
+  Letters.reserve(Bytes);
+  for (size_t Index = 0; Index < Bytes; ++Index) {
+    Digits += static_cast<char>('0' + Index % 10);
+    Letters += static_cast<char>('a' + Index % 26);
+  }
+  Result.InputBytes = Bytes;
+  Result.Blocks = 6;
+  Result.ActivationsPerBlock = 24;
+
+  RuntimeOptions LadderRO = tierLadderRuntimeOptions();
+  // Unlike the sweep configuration, rechecks must land *inside* each
+  // phase block so the drift is caught: one activation samples ~Bytes/64
+  // times, far past the drift window, so the first recheck of a new phase
+  // deopts.  The compile budget stays at the library default — proving
+  // the flips are served from the signature cache is the point.
+  LadderRO.DriftWindow = 64;
+  LadderRO.NativeRecheckMin = 4;
+  LadderRO.NativeRecheckMax = 8;
+  Result.MaxNativeCompiles = LadderRO.MaxNativeCompiles;
+  AdaptiveController Ladder(*Compiled.M, LadderRO);
+  AdaptiveController FusedOnly(*Compiled.M, benchRuntimeOptions());
+
+  auto RunOne = [&](AdaptiveController &Controller, Interpreter::Mode Mode,
+                    const std::string &Input) {
+    ExecRequest Req;
+    Req.Input = Input;
+    Req.Adaptive = &Controller;
+    return executeModule(*Compiled.M, Mode, Req);
+  };
+  auto RunSchedule = [&](AdaptiveController &Controller,
+                         Interpreter::Mode Mode) {
+    for (unsigned Block = 0; Block < Result.Blocks; ++Block) {
+      const std::string &Input = Block % 2 ? Letters : Digits;
+      for (unsigned Act = 0; Act < Result.ActivationsPerBlock; ++Act)
+        RunOne(Controller, Mode, Input);
+    }
+  };
+
+  // Observables first, then one unmeasured schedule each: the ladder's
+  // pays both phases' native compiles, the fused one tiers up.
+  RunResult LadderOut =
+      RunOne(Ladder, Interpreter::Mode::AdaptiveNative, Digits);
+  RunResult FusedOut = RunOne(FusedOnly, Interpreter::Mode::Adaptive, Digits);
+  if (LadderOut.Output != FusedOut.Output ||
+      LadderOut.ExitValue != FusedOut.ExitValue) {
+    std::fprintf(stderr, "bench error: tier-ladder and adaptive engines "
+                         "disagree on the phase-shift workload\n");
+    std::exit(1);
+  }
+  RunSchedule(Ladder, Interpreter::Mode::AdaptiveNative);
+  RunSchedule(FusedOnly, Interpreter::Mode::Adaptive);
+  std::vector<double> LadderSamples, FusedSamples;
+  for (unsigned Rep = 0; Rep < std::max(1u, Reps); ++Rep) {
+    LadderSamples.push_back(timeOnce(
+        [&] { RunSchedule(Ladder, Interpreter::Mode::AdaptiveNative); }));
+    FusedSamples.push_back(timeOnce(
+        [&] { RunSchedule(FusedOnly, Interpreter::Mode::Adaptive); }));
+  }
+  Result.Ladder = summarizeTimings(std::move(LadderSamples));
+  Result.Fused = summarizeTimings(std::move(FusedSamples));
+  Result.Tiering = Ladder.stats();
+
+  // Steady state under hardware branch counters: the schedule ends on a
+  // letter block, so letter activations measure the promoted native body
+  // against the fused-tier interpreter on identical work.
+  PerfCounters Counters;
+  if (!Counters.available()) {
+    Result.PerfReason = Counters.unavailableReason();
+    return Result;
+  }
+  Result.PerfAvailable = true;
+  Result.PerfReps = std::max(3u, Reps);
+  const std::string &Steady = Result.Blocks % 2 ? Digits : Letters;
+  RunOne(Ladder, Interpreter::Mode::AdaptiveNative, Steady);
+  RunOne(FusedOnly, Interpreter::Mode::Adaptive, Steady);
+  Counters.start();
+  for (unsigned Rep = 0; Rep < Result.PerfReps; ++Rep)
+    RunOne(Ladder, Interpreter::Mode::AdaptiveNative, Steady);
+  PerfSample LadderSample = Counters.stop();
+  Counters.start();
+  for (unsigned Rep = 0; Rep < Result.PerfReps; ++Rep)
+    RunOne(FusedOnly, Interpreter::Mode::Adaptive, Steady);
+  PerfSample FusedSample = Counters.stop();
+  Result.LadderBranches = LadderSample.Branches;
+  Result.LadderBranchMisses = LadderSample.BranchMisses;
+  Result.FusedBranches = FusedSample.Branches;
+  Result.FusedBranchMisses = FusedSample.BranchMisses;
+  Result.PerfMultiplexed =
+      LadderSample.Multiplexed || FusedSample.Multiplexed;
   return Result;
 }
 
@@ -960,6 +1225,94 @@ int main(int Argc, char **Argv) {
     std::printf("  native backend unavailable: %s\n",
                 Native.Reason.c_str());
 
+  std::printf("running the adaptive-native (tier-2) configuration...\n");
+  AdaptiveNativeBenchResult TierTwo =
+      runAdaptiveNativeBench(Warmup, Reps, Sweeps, FusedSerial.Final);
+  const double TierTwoOverAdaptiveSerial =
+      TierTwo.Available
+          ? Ratio(AdaptiveSerial.Timing.Median, TierTwo.Timing.Median)
+          : 0.0;
+  // How close the online ladder gets to the offline AOT ceiling: 1.0
+  // means every timed activation ran as machine code with no controller
+  // overhead left.
+  const double TierTwoVsOfflineNative =
+      TierTwo.Available && Native.Available
+          ? Ratio(TierTwo.Timing.Median, Native.Timing.Median)
+          : 0.0;
+  if (TierTwo.Available) {
+    std::printf("  adaptive-native  median %.3fs  (min %.3fs, stddev "
+                "%.4fs, %u warmup passes)\n",
+                TierTwo.Timing.Median, TierTwo.Timing.Min,
+                TierTwo.Timing.Stddev, TierTwo.WarmupPasses);
+    std::printf("  adaptive-native over adaptive: %.2fx serial "
+                "(%.2fx of offline native)\n",
+                TierTwoOverAdaptiveSerial, TierTwoVsOfflineNative);
+    std::printf("  tier-2: %llu tier-ups, %llu native runs, %llu rechecks, "
+                "%llu deopts, %llu compiles (%.3fs)\n",
+                (unsigned long long)TierTwo.Tiering.NativeTierUps,
+                (unsigned long long)TierTwo.Tiering.NativeRuns,
+                (unsigned long long)TierTwo.Tiering.NativeRecheckRuns,
+                (unsigned long long)TierTwo.Tiering.NativeDeopts,
+                (unsigned long long)TierTwo.Tiering.NativeCompiles,
+                TierTwo.Tiering.NativeCompileSeconds);
+  } else
+    std::printf("  native backend unavailable: %s\n",
+                TierTwo.Reason.c_str());
+
+  std::printf("running the tier-ladder phase-shift benchmark...\n");
+  TierLadderPhaseResult LadderPhase = runTierLadderPhaseBench(Reps, Smoke);
+  const double LadderPhaseWin =
+      LadderPhase.Available && LadderPhase.Ladder.Median > 0.0
+          ? LadderPhase.Fused.Median / LadderPhase.Ladder.Median
+          : 0.0;
+  if (LadderPhase.Available) {
+    std::printf("  phase-shift ladder: %.2fx over adaptive (%.3fs vs "
+                "%.3fs median)\n",
+                LadderPhaseWin, LadderPhase.Ladder.Median,
+                LadderPhase.Fused.Median);
+    std::printf("  phase-shift ladder: %llu deopts, %llu tier-ups, "
+                "%llu compiles (budget %u), %llu suppressed\n",
+                (unsigned long long)LadderPhase.Tiering.NativeDeopts,
+                (unsigned long long)LadderPhase.Tiering.NativeTierUps,
+                (unsigned long long)LadderPhase.Tiering.NativeCompiles,
+                LadderPhase.MaxNativeCompiles,
+                (unsigned long long)
+                    LadderPhase.Tiering.NativeCompilesSuppressed);
+    if (LadderPhase.PerfAvailable)
+      std::printf("  phase-shift ladder perf: native tier %llu branches / "
+                  "%llu misses vs fused tier %llu / %llu%s\n",
+                  (unsigned long long)LadderPhase.LadderBranches,
+                  (unsigned long long)LadderPhase.LadderBranchMisses,
+                  (unsigned long long)LadderPhase.FusedBranches,
+                  (unsigned long long)LadderPhase.FusedBranchMisses,
+                  LadderPhase.PerfMultiplexed ? " [multiplexed]" : "");
+    else
+      std::printf("  phase-shift ladder perf unavailable: %s\n",
+                  LadderPhase.PerfReason.c_str());
+    // Structural invariants, not timing: the ladder must have deopted on
+    // each flip, re-promoted after it, and served every flip past the
+    // first two from the signature cache.  Violations mean the tier-2
+    // state machine is thrashing (or asleep), so they fail the bench even
+    // without --fail-if-slower.
+    if (LadderPhase.Tiering.NativeDeopts < 1 ||
+        LadderPhase.Tiering.NativeTierUps < 2 ||
+        LadderPhase.Tiering.NativeCompiles > LadderPhase.MaxNativeCompiles ||
+        LadderPhase.Tiering.NativeCompilesSuppressed != 0) {
+      std::fprintf(stderr,
+                   "bench error: tier-ladder phase shift did not "
+                   "deopt/re-promote cleanly (%llu deopts, %llu tier-ups, "
+                   "%llu compiles, %llu suppressed)\n",
+                   (unsigned long long)LadderPhase.Tiering.NativeDeopts,
+                   (unsigned long long)LadderPhase.Tiering.NativeTierUps,
+                   (unsigned long long)LadderPhase.Tiering.NativeCompiles,
+                   (unsigned long long)
+                       LadderPhase.Tiering.NativeCompilesSuppressed);
+      return 1;
+    }
+  } else
+    std::printf("  native backend unavailable: %s\n",
+                LadderPhase.Reason.c_str());
+
   std::printf("running the lowering matrix (sets I-IV x layout)...\n");
   const std::vector<LoweringCell> Lowering = runLoweringMatrix(Threads);
   for (const LoweringCell &Cell : Lowering)
@@ -1184,6 +1537,96 @@ int main(int Argc, char **Argv) {
   }
   EngineOut << "}\n";
   EngineOut << "  },\n";
+  const RuntimeOptions LadderRuntime = tierLadderRuntimeOptions();
+  EngineOut << "  \"adaptive_native\": {\n";
+  EngineOut << "    \"available\": "
+            << (TierTwo.Available ? "true" : "false") << ",\n";
+  if (!TierTwo.Available) {
+    EngineOut << "    \"reason\": \"" << JsonEscape(TierTwo.Reason)
+              << "\"\n";
+  } else {
+    EngineOut << "    \"harness\": \"serial\",\n";
+    EngineOut << "    \"warmup_passes\": " << TierTwo.WarmupPasses << ",\n";
+    EngineOut << "    \"knobs\": {\"native_threshold\": "
+              << LadderRuntime.NativeThreshold
+              << ", \"min_samples_between_native_builds\": "
+              << LadderRuntime.MinSamplesBetweenNativeBuilds
+              << ", \"max_native_compiles\": "
+              << LadderRuntime.MaxNativeCompiles
+              << ", \"recheck_min\": " << LadderRuntime.NativeRecheckMin
+              << ", \"recheck_max\": " << LadderRuntime.NativeRecheckMax
+              << "},\n";
+    EngineOut << "    \"wall_seconds\": ";
+    writeTiming(EngineOut, TierTwo.Timing);
+    EngineOut << ",\n";
+    EngineOut << "    \"speedup\": {\"adaptive_native_over_adaptive_serial\": "
+              << TierTwoOverAdaptiveSerial
+              << ", \"vs_offline_native\": " << TierTwoVsOfflineNative
+              << "},\n";
+    EngineOut << "    \"tiering\": {\"native_tier_ups\": "
+              << TierTwo.Tiering.NativeTierUps
+              << ", \"native_runs\": " << TierTwo.Tiering.NativeRuns
+              << ", \"native_recheck_runs\": "
+              << TierTwo.Tiering.NativeRecheckRuns
+              << ", \"native_deopts\": " << TierTwo.Tiering.NativeDeopts
+              << ", \"native_compiles\": " << TierTwo.Tiering.NativeCompiles
+              << ", \"native_compiles_suppressed\": "
+              << TierTwo.Tiering.NativeCompilesSuppressed
+              << ", \"native_compiles_failed\": "
+              << TierTwo.Tiering.NativeCompilesFailed
+              << ", \"native_compiles_cancelled\": "
+              << TierTwo.Tiering.NativeCompilesCancelled
+              << ", \"native_compile_seconds\": "
+              << TierTwo.Tiering.NativeCompileSeconds << "},\n";
+    EngineOut << "    \"cache\": {\"adaptive_hits\": "
+              << TierTwo.Cache.AdaptiveHits
+              << ", \"adaptive_misses\": " << TierTwo.Cache.AdaptiveMisses
+              << ", \"promotions\": "
+              << TierTwo.Cache.AdaptiveNativePromotions
+              << ", \"deopts\": " << TierTwo.Cache.AdaptiveNativeDeopts
+              << "},\n";
+    EngineOut << "    \"phase_shift\": {\"input_bytes\": "
+              << LadderPhase.InputBytes
+              << ", \"blocks\": " << LadderPhase.Blocks
+              << ", \"activations_per_block\": "
+              << LadderPhase.ActivationsPerBlock
+              << ",\n      \"adaptive_wall_seconds\": ";
+    writeTiming(EngineOut, LadderPhase.Fused);
+    EngineOut << ",\n      \"adaptive_native_wall_seconds\": ";
+    writeTiming(EngineOut, LadderPhase.Ladder);
+    EngineOut << ",\n      \"adaptive_native_over_adaptive\": "
+              << LadderPhaseWin
+              << ", \"native_deopts\": " << LadderPhase.Tiering.NativeDeopts
+              << ", \"native_tier_ups\": "
+              << LadderPhase.Tiering.NativeTierUps
+              << ", \"native_compiles\": "
+              << LadderPhase.Tiering.NativeCompiles
+              << ", \"native_compiles_suppressed\": "
+              << LadderPhase.Tiering.NativeCompilesSuppressed
+              << ",\n      \"perf\": {\"available\": "
+              << (LadderPhase.PerfAvailable ? "true" : "false");
+    if (!LadderPhase.PerfAvailable) {
+      EngineOut << ", \"reason\": \"" << JsonEscape(LadderPhase.PerfReason)
+                << "\"";
+    } else {
+      EngineOut << ", \"reps\": " << LadderPhase.PerfReps
+                << ", \"multiplexed\": "
+                << (LadderPhase.PerfMultiplexed ? "true" : "false")
+                << ",\n        \"native_tier\": {\"branches\": "
+                << LadderPhase.LadderBranches
+                << ", \"branch_misses\": " << LadderPhase.LadderBranchMisses
+                << "},\n        \"fused_tier\": {\"branches\": "
+                << LadderPhase.FusedBranches
+                << ", \"branch_misses\": " << LadderPhase.FusedBranchMisses
+                << "},\n        \"branch_reduction\": "
+                << (LadderPhase.LadderBranches
+                        ? static_cast<double>(LadderPhase.FusedBranches) /
+                              static_cast<double>(LadderPhase.LadderBranches)
+                        : 0.0);
+    }
+    EngineOut << "}}\n";
+  }
+  EngineOut << "  },\n";
   EngineOut << "  \"lowering\": {\n";
   EngineOut << "    \"matrix\": [\n";
   for (size_t Index = 0; Index < Lowering.size(); ++Index) {
@@ -1268,6 +1711,35 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "bench error: native engine slower than fused (%.2fx)\n",
                  NativeOverFusedSerial);
+    return 1;
+  }
+  // The tier-2 promise: once the suite is promoted, the online ladder
+  // must clearly beat the interpreter it grew out of (the 2x bar is far
+  // below the measured native-over-interpreter gap, so tripping it means
+  // promotion stopped happening) and land near the offline AOT ceiling
+  // (the 15% margin absorbs the controller dispatch and scheduler noise
+  // on two sub-second measurements).
+  if (FailIfSlower && TierTwo.Available &&
+      TierTwoOverAdaptiveSerial < 2.0) {
+    std::fprintf(stderr,
+                 "bench error: adaptive-native engine below 2x over "
+                 "adaptive (%.2fx)\n",
+                 TierTwoOverAdaptiveSerial);
+    return 1;
+  }
+  if (FailIfSlower && TierTwo.Available && Native.Available &&
+      TierTwoVsOfflineNative > 1.15) {
+    std::fprintf(stderr,
+                 "bench error: adaptive-native engine more than 15%% "
+                 "behind offline native (%.2fx)\n",
+                 TierTwoVsOfflineNative);
+    return 1;
+  }
+  if (FailIfSlower && LadderPhase.Available && LadderPhaseWin < 1.0) {
+    std::fprintf(stderr,
+                 "bench error: tier ladder slower than adaptive on the "
+                 "phase-shift workload (%.2fx)\n",
+                 LadderPhaseWin);
     return 1;
   }
   // The Set IV promise: the optimal trees + ext-TSP layout may not lose

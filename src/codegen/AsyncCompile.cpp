@@ -1,0 +1,113 @@
+//===- codegen/AsyncCompile.cpp - Background native compilation -----------===//
+
+#include "codegen/AsyncCompile.h"
+
+#include <chrono>
+
+using namespace bropt;
+
+//===----------------------------------------------------------------------===//
+// NativeCompileJob
+//===----------------------------------------------------------------------===//
+
+bool NativeCompileJob::done() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Done;
+}
+
+void NativeCompileJob::cancel() {
+  // The worker polls Control.Cancel between waitpid() rounds and tears the
+  // compiler's process group down; a job still sitting in the queue sees
+  // the flag before forking and finishes immediately as cancelled.
+  Control.Cancel.store(true, std::memory_order_relaxed);
+}
+
+bool NativeCompileJob::wait(double Seconds) const {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (Seconds < 0) {
+    Finished.wait(Lock, [this] { return Done; });
+    return true;
+  }
+  return Finished.wait_for(Lock, std::chrono::duration<double>(Seconds),
+                           [this] { return Done; });
+}
+
+std::shared_ptr<const NativeProgram> NativeCompileJob::get() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Program;
+}
+
+std::string NativeCompileJob::error() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Error;
+}
+
+bool NativeCompileJob::cancelled() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Cancelled;
+}
+
+double NativeCompileJob::seconds() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Seconds;
+}
+
+void NativeCompileJob::finish(std::shared_ptr<const NativeProgram> Result,
+                              std::string Err, bool WasCancelled,
+                              double JobSeconds) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Program = std::move(Result);
+    Error = std::move(Err);
+    Cancelled = WasCancelled;
+    Seconds = JobSeconds;
+    Done = true;
+  }
+  Finished.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// AsyncNativeCompiler
+//===----------------------------------------------------------------------===//
+
+AsyncNativeCompiler::AsyncNativeCompiler(NativeRunner *Runner,
+                                         double TimeoutSeconds)
+    : Runner(Runner ? Runner : &NativeRunner::shared()),
+      TimeoutSeconds(TimeoutSeconds) {}
+
+AsyncNativeCompiler::~AsyncNativeCompiler() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Current && !Current->done())
+      Current->cancel();
+  }
+  // ThreadPool's destructor (declared after Mutex, so destroyed first)
+  // drains the queue and joins the worker.
+}
+
+std::shared_ptr<NativeCompileJob>
+AsyncNativeCompiler::submit(std::string Source) {
+  auto Job = std::shared_ptr<NativeCompileJob>(new NativeCompileJob());
+  Job->Control.TimeoutSeconds = TimeoutSeconds;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Current = Job;
+  }
+  Pool.enqueue([this, Job, Source = std::move(Source)] {
+    if (Job->Control.Cancel.load(std::memory_order_relaxed)) {
+      Job->finish(nullptr, "native compile cancelled", /*WasCancelled=*/true,
+                  /*JobSeconds=*/0);
+      return;
+    }
+    const auto Start = std::chrono::steady_clock::now();
+    std::string Err;
+    auto Program = Runner->prepareSource(Source, &Err, &Job->Control);
+    const double Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+            .count();
+    bool WasCancelled =
+        !Program && Job->Control.Cancel.load(std::memory_order_relaxed);
+    Job->finish(std::move(Program), std::move(Err), WasCancelled, Seconds);
+  });
+  return Job;
+}

@@ -1,0 +1,115 @@
+//===- codegen/AsyncCompile.h - Background native compilation --*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The asynchronous face of the native backend: submit emitted C, get a
+/// NativeCompileJob handle back, keep executing in the interpreted tiers
+/// while the host compiler runs, and poll (or bounded-wait) for the
+/// shared object.  Every job carries a NativeCompileControl, so a caller
+/// can always cancel an in-flight compile — cancellation kills the
+/// compiler's whole process group, which is what keeps a hung `$BROPT_CC`
+/// from wedging the adaptive runtime or the Evaluator
+/// (AdaptiveController::drainBackgroundWork's deadline path).
+///
+/// The compiler wraps a NativeRunner, so results land in (and are served
+/// from) the runner's source-hash LRU: re-submitting a previously built
+/// source is a cache hit, which is exactly what makes tier-2 re-promotion
+/// after a de-optimization cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_CODEGEN_ASYNCCOMPILE_H
+#define BROPT_CODEGEN_ASYNCCOMPILE_H
+
+#include "codegen/NativeRunner.h"
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace bropt {
+
+/// One in-flight (or finished) native compile.  Handles are shared_ptrs:
+/// the worker and any number of pollers may hold one; the job outlives
+/// the compiler that spawned it.
+class NativeCompileJob {
+public:
+  /// True once the compile finished (successfully or not) or was
+  /// cancelled before it started.
+  bool done() const;
+
+  /// Requests cancellation: an in-flight compiler invocation is killed
+  /// (process group and all), a queued job completes immediately with
+  /// "cancelled".  Idempotent; done() becomes true shortly after.
+  void cancel();
+
+  /// Blocks until done() or until \p Seconds elapse (negative waits
+  /// forever).  \returns done().
+  bool wait(double Seconds = -1) const;
+
+  /// The compiled program once done(); null before that and on failure.
+  std::shared_ptr<const NativeProgram> get() const;
+
+  /// Diagnostic when done() && !get(); empty otherwise.
+  std::string error() const;
+
+  /// True when the job ended through cancel() or its timeout.
+  bool cancelled() const;
+
+  /// Wall time the worker spent on this job (0 until done()).
+  double seconds() const;
+
+private:
+  friend class AsyncNativeCompiler;
+  NativeCompileJob() = default;
+
+  void finish(std::shared_ptr<const NativeProgram> Result, std::string Err,
+              bool WasCancelled, double Seconds);
+
+  mutable std::mutex Mutex;
+  mutable std::condition_variable Finished;
+  NativeCompileControl Control;
+  std::shared_ptr<const NativeProgram> Program; ///< guarded by Mutex
+  std::string Error;                            ///< guarded by Mutex
+  bool Done = false;                            ///< guarded by Mutex
+  bool Cancelled = false;                       ///< guarded by Mutex
+  double Seconds = 0;                           ///< guarded by Mutex
+};
+
+/// Compiles emitted C on a single background worker, in submission order.
+class AsyncNativeCompiler {
+public:
+  /// \p Runner receives the compiles (defaults to the process-wide one);
+  /// \p TimeoutSeconds bounds each compiler invocation (0 = none).
+  explicit AsyncNativeCompiler(NativeRunner *Runner = nullptr,
+                               double TimeoutSeconds = 0);
+
+  /// Cancels any in-flight job and joins the worker.
+  ~AsyncNativeCompiler();
+
+  AsyncNativeCompiler(const AsyncNativeCompiler &) = delete;
+  AsyncNativeCompiler &operator=(const AsyncNativeCompiler &) = delete;
+
+  /// Queues \p Source for compilation.  Never blocks on the compiler.
+  std::shared_ptr<NativeCompileJob> submit(std::string Source);
+
+  NativeRunner &runner() { return *Runner; }
+
+private:
+  NativeRunner *Runner;
+  double TimeoutSeconds;
+  std::shared_ptr<NativeCompileJob> Current; ///< guarded by Mutex
+  std::mutex Mutex;
+  /// Declared last so the worker joins before the members above die.
+  ThreadPool Pool{1};
+};
+
+} // namespace bropt
+
+#endif // BROPT_CODEGEN_ASYNCCOMPILE_H

@@ -38,6 +38,7 @@
 
 #include <cassert>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -616,25 +617,72 @@ std::string layoutSignature(const Module &M) {
 }
 
 std::string emitC(const Module &M, const CEmitterOptions &Opts) {
+  // With OnlyReachable, restrict emission to the entry's call closure.
+  // CallInst callees are Function pointers (no indirect calls in the IR),
+  // so a worklist walk finds exactly the functions a run can enter.
+  std::set<const Function *> Reachable;
+  if (Opts.OnlyReachable) {
+    std::vector<const Function *> Work;
+    if (const Function *Entry = M.getFunction(Opts.EntryName)) {
+      Reachable.insert(Entry);
+      Work.push_back(Entry);
+    }
+    while (!Work.empty()) {
+      const Function *F = Work.back();
+      Work.pop_back();
+      for (const auto &B : *F)
+        for (const auto &I : *B)
+          if (I->getKind() == InstKind::Call) {
+            const Function *Callee =
+                static_cast<const CallInst &>(*I).getCallee();
+            if (Callee && Reachable.insert(Callee).second)
+              Work.push_back(Callee);
+          }
+    }
+  }
+  auto Emits = [&](const Function *F) {
+    return !Opts.OnlyReachable || Reachable.count(F) != 0;
+  };
+
+  // Ids stay numbered over the full module so a function keeps the same
+  // `bf<N>` name whether or not its siblings were pruned.
   std::map<const Function *, unsigned> Ids;
   unsigned NextId = 0;
   for (const auto &F : M)
     Ids.emplace(F.get(), NextId++);
 
+  std::string Sig;
+  for (const auto &F : M) {
+    if (!Emits(F.get()))
+      continue;
+    if (!Sig.empty())
+      Sig += ";";
+    Sig += F->getName() + ":";
+    bool First = true;
+    for (const auto &B : *F) {
+      if (!First)
+        Sig += ",";
+      First = false;
+      Sig += formatString("%u", B->getId());
+    }
+  }
+
   std::string Out;
   Out += "/* Generated by bropt CEmitter; do not edit. */\n";
   Out += formatString("/* abi %u; entry \"%s\" */\n", NativeABIVersion,
                       escapeC(Opts.EntryName).c_str());
-  Out += formatString("/* layout %s */\n\n", escapeC(layoutSignature(M)).c_str());
+  Out += formatString("/* layout %s */\n\n", escapeC(Sig).c_str());
   Out += Preamble;
 
   emitMemoryInit(Out, M);
 
   for (const auto &F : M)
-    FunctionEmitter(Out, *F, Ids).emitSignature(/*Prototype=*/true);
+    if (Emits(F.get()))
+      FunctionEmitter(Out, *F, Ids).emitSignature(/*Prototype=*/true);
   Out += "\n";
   for (const auto &F : M)
-    FunctionEmitter(Out, *F, Ids).emit();
+    if (Emits(F.get()))
+      FunctionEmitter(Out, *F, Ids).emit();
 
   emitEntryPoints(Out, M, Opts, Ids);
   return Out;

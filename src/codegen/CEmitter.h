@@ -45,6 +45,14 @@ struct CEmitterOptions {
   /// it still emits a valid TU whose run traps with the interpreter's
   /// "entry function '<name>' not found" message.
   std::string EntryName = "main";
+
+  /// Emit only EntryName's call closure instead of every function.  The
+  /// tier-2 JIT compiles one hot entry at a time; skipping unreachable
+  /// bodies keeps the host compiler's work (and the source-hash cache
+  /// key) proportional to what actually runs.  All calls are direct
+  /// (CallInst carries a Function*; IndirectJump is intra-function), so
+  /// the closure is exact, not conservative.
+  bool OnlyReachable = false;
 };
 
 /// \returns the complete C translation unit for \p M.

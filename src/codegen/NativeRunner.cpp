@@ -21,7 +21,10 @@
 #if defined(_WIN32)
 // No dlopen; the runner reports unavailable.
 #else
+#include <csignal>
 #include <dlfcn.h>
+#include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 #endif
 
@@ -29,15 +32,27 @@ namespace bropt {
 
 namespace {
 
-/// FNV-1a over the source text; the cache key.  Hits re-verify the full
-/// source string, so a collision costs a recompile, never a wrong body.
-uint64_t fnv1a(const std::string &S) {
-  uint64_t H = 1469598103934665603ull;
+/// FNV-1a over the source text from an arbitrary offset basis.  The cache
+/// key uses the standard basis; hits are verified against a second,
+/// independently-seeded hash plus the source size instead of comparing
+/// the whole text (tier-2 hot swaps hit this path on every re-promotion).
+/// Setting BROPT_NATIVE_PARANOID restores the full-text compare.
+uint64_t fnv1a(const std::string &S,
+               uint64_t H = 1469598103934665603ull) {
   for (unsigned char Ch : S) {
     H ^= Ch;
     H *= 1099511628211ull;
   }
   return H;
+}
+
+/// Offset basis for NativeProgram::VerifyHash: the standard basis folded
+/// over an arbitrary tag so the two hashes never agree by construction.
+constexpr uint64_t VerifyBasis = 0x9e3779b97f4a7c15ull;
+
+bool paranoidVerify() {
+  const char *Env = std::getenv("BROPT_NATIVE_PARANOID");
+  return Env && *Env && std::string_view(Env) != "0";
 }
 
 std::string readFile(const std::string &Path) {
@@ -71,6 +86,65 @@ std::string makeScratchDir() {
   return std::string(Buf.data());
 #endif
 }
+
+#if !defined(_WIN32)
+
+/// How one compiler invocation ended.
+enum class CompilerOutcome { Succeeded, Failed, Cancelled, TimedOut };
+
+/// Runs \p Command under `/bin/sh -c` in its own process group, polling
+/// \p Control (when given) so another thread can abort it and a deadline
+/// can bound it.  std::system would block unkillably on a hung compiler —
+/// and the runner's mutex with it.
+CompilerOutcome runCompiler(const std::string &Command,
+                            NativeCompileControl *Control) {
+  pid_t Child = fork();
+  if (Child < 0)
+    return CompilerOutcome::Failed;
+  if (Child == 0) {
+    // Own process group, so a kill reaches the compiler and anything it
+    // spawned (cc1, the assembler, the linker).
+    setpgid(0, 0);
+    execl("/bin/sh", "sh", "-c", Command.c_str(), (char *)nullptr);
+    _exit(127);
+  }
+  setpgid(Child, Child); // also from the parent: beat the exec race
+
+  const auto Start = std::chrono::steady_clock::now();
+  auto tearDown = [&](CompilerOutcome Why) {
+    kill(-Child, SIGKILL);
+    int Ignored;
+    waitpid(Child, &Ignored, 0);
+    return Why;
+  };
+  for (;;) {
+    int Status = 0;
+    pid_t Done = waitpid(Child, &Status, WNOHANG);
+    if (Done == Child)
+      return WIFEXITED(Status) && WEXITSTATUS(Status) == 0
+                 ? CompilerOutcome::Succeeded
+                 : CompilerOutcome::Failed;
+    if (Done < 0)
+      return CompilerOutcome::Failed;
+    if (Control) {
+      if (Control->Cancel.load(std::memory_order_acquire))
+        return tearDown(CompilerOutcome::Cancelled);
+      if (Control->TimeoutSeconds > 0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Start)
+                  .count() > Control->TimeoutSeconds) {
+        // The deadline acts through the control: flip Cancel so callers
+        // holding only the control see the teardown uniformly.
+        Control->Cancel.store(true, std::memory_order_release);
+        return tearDown(CompilerOutcome::TimedOut);
+      }
+    }
+    struct timespec Ts = {0, 5'000'000}; // 5ms
+    nanosleep(&Ts, nullptr);
+  }
+}
+
+#endif // !defined(_WIN32)
 
 } // namespace
 
@@ -147,20 +221,23 @@ const std::string &NativeRunner::unavailableReason() {
 
 std::shared_ptr<const NativeProgram>
 NativeRunner::prepare(const Module &M, std::string *Error,
-                      const CEmitterOptions &Opts) {
+                      const CEmitterOptions &Opts,
+                      NativeCompileControl *Control) {
   std::string Source = emitC(M, Opts);
   std::lock_guard<std::mutex> Lock(Mutex);
-  return compileLocked(Source, Error);
+  return compileLocked(Source, Error, Control);
 }
 
 std::shared_ptr<const NativeProgram>
-NativeRunner::prepareSource(const std::string &Source, std::string *Error) {
+NativeRunner::prepareSource(const std::string &Source, std::string *Error,
+                            NativeCompileControl *Control) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return compileLocked(Source, Error);
+  return compileLocked(Source, Error, Control);
 }
 
 std::shared_ptr<const NativeProgram>
-NativeRunner::compileLocked(const std::string &Source, std::string *Error) {
+NativeRunner::compileLocked(const std::string &Source, std::string *Error,
+                            NativeCompileControl *Control) {
   auto Fail = [&](const std::string &Why) {
     if (Error)
       *Error = Why;
@@ -168,11 +245,24 @@ NativeRunner::compileLocked(const std::string &Source, std::string *Error) {
   };
 
 #if defined(_WIN32)
+  (void)Control;
   return Fail("native backend requires dlopen (POSIX)");
 #else
   uint64_t Key = fnv1a(Source);
   if (auto *Hit = Cache.get(Key)) {
-    if ((*Hit)->source() == Source) {
+    // Two independent 64-bit hashes plus the exact size make a collision
+    // practically impossible; the O(n) full-text compare only runs under
+    // BROPT_NATIVE_PARANOID (a mismatch costs a recompile, never a wrong
+    // body, so paranoia buys nothing but certainty).
+    bool Match;
+    if (paranoidVerify()) {
+      ++Stats.ParanoidVerifies;
+      Match = (*Hit)->source() == Source;
+    } else {
+      Match = (*Hit)->source().size() == Source.size() &&
+              (*Hit)->VerifyHash == fnv1a(Source, VerifyBasis);
+    }
+    if (Match) {
       ++Stats.CacheHits;
       return *Hit;
     }
@@ -200,12 +290,20 @@ NativeRunner::compileLocked(const std::string &Source, std::string *Error) {
   std::string Command = Compiler + " -O2 -fPIC -shared -o '" + SoPath +
                         "' '" + CPath + "' 2>'" + ErrPath + "'";
   auto Start = std::chrono::steady_clock::now();
-  int RC = std::system(Command.c_str());
+  CompilerOutcome Outcome = runCompiler(Command, Control);
   Stats.CompileSeconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
   ++Stats.Compiles;
-  if (RC != 0) {
+  if (Outcome == CompilerOutcome::Cancelled ||
+      Outcome == CompilerOutcome::TimedOut) {
+    ++Stats.CompilesCancelled;
+    return Fail(Outcome == CompilerOutcome::Cancelled
+                    ? "native compile cancelled"
+                    : formatString("native compile timed out after %.1fs",
+                                   Control->TimeoutSeconds));
+  }
+  if (Outcome != CompilerOutcome::Succeeded) {
     std::string Diag = readFile(ErrPath);
     if (Diag.size() > 2000)
       Diag.resize(2000);
@@ -237,6 +335,7 @@ NativeRunner::compileLocked(const std::string &Source, std::string *Error) {
   Program->RunFn = RunSym;
   Program->ReleaseFn = ReleaseSym;
   Program->Source = Source;
+  Program->VerifyHash = fnv1a(Source, VerifyBasis);
   // The layout comment is the third line of every emitted TU; recover it
   // for debug surfaces without re-walking a module.
   size_t LayoutPos = Source.find("/* layout ");

@@ -33,6 +33,7 @@
 #include "sim/Interpreter.h"
 #include "support/LruCache.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,16 @@
 namespace bropt {
 
 class Module;
+
+/// Caller-owned handle for bounding or aborting one compile.  The runner
+/// polls \p Cancel while the host compiler runs and kills the compiler's
+/// process group when it flips (or when \p TimeoutSeconds elapses), so a
+/// hung `$BROPT_CC` can always be torn down from another thread.
+struct NativeCompileControl {
+  std::atomic<bool> Cancel{false};
+  /// Wall-clock cap on one compiler invocation; 0 means no cap.
+  double TimeoutSeconds = 0;
+};
 
 /// A compiled, loaded translation unit.  Thread-safe and reentrant: each
 /// run() owns its context, and the emitted code has no mutable globals.
@@ -74,6 +85,10 @@ private:
   void *ReleaseFn = nullptr; ///< NativeReleaseFn
   std::string Source;
   std::string Layout;
+  /// Independent second hash of Source (different FNV offset basis); the
+  /// cache hit path verifies (primary key, VerifyHash, size) instead of
+  /// comparing the whole text — see compileLocked.
+  uint64_t VerifyHash = 0;
 };
 
 /// Counters for the runner's shared-object cache.
@@ -82,6 +97,11 @@ struct NativeRunnerStats {
   uint64_t CacheHits = 0; ///< prepare() served from the LRU
   uint64_t Evictions = 0;
   double CompileSeconds = 0; ///< wall time spent in the host compiler
+  /// Cache hits that re-verified the full source text because
+  /// BROPT_NATIVE_PARANOID was set (otherwise hits verify by hash + size).
+  uint64_t ParanoidVerifies = 0;
+  /// Compiles torn down through a NativeCompileControl (cancel or timeout).
+  uint64_t CompilesCancelled = 0;
 };
 
 /// Compiles emitted C and caches the resulting shared objects.
@@ -108,20 +128,25 @@ public:
 
   /// Emits C for \p M, compiles it (or reuses the cached build), and
   /// returns the loaded program; null with \p Error set on failure.
-  std::shared_ptr<const NativeProgram> prepare(const Module &M,
-                                               std::string *Error = nullptr,
-                                               const CEmitterOptions &Opts = {});
+  /// \p Control optionally bounds/aborts the compile (see
+  /// NativeCompileControl); it must outlive the call.
+  std::shared_ptr<const NativeProgram>
+  prepare(const Module &M, std::string *Error = nullptr,
+          const CEmitterOptions &Opts = {},
+          NativeCompileControl *Control = nullptr);
 
   /// Compiles already-emitted \p Source (golden tests use this to check
   /// the text itself compiles); null with \p Error set on failure.
-  std::shared_ptr<const NativeProgram> prepareSource(const std::string &Source,
-                                                     std::string *Error = nullptr);
+  std::shared_ptr<const NativeProgram>
+  prepareSource(const std::string &Source, std::string *Error = nullptr,
+                NativeCompileControl *Control = nullptr);
 
   NativeRunnerStats stats();
 
 private:
-  std::shared_ptr<const NativeProgram> compileLocked(const std::string &Source,
-                                                     std::string *Error);
+  std::shared_ptr<const NativeProgram>
+  compileLocked(const std::string &Source, std::string *Error,
+                NativeCompileControl *Control = nullptr);
 
   std::mutex Mutex;
   std::string Compiler;

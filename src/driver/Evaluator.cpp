@@ -58,9 +58,11 @@ EvaluatorStats Evaluator::stats() const {
   // beyond a controller's tier-up build as a re-fusion of its evolving
   // profile.  Evicted controllers were folded into Counters already.
   for (const auto &[Key, Entry] : AdaptiveCache) {
-    const uint64_t Builds = Entry.Controller->stats().Recompiles;
-    if (Builds > 1)
-      S.AdaptiveReFusions += Builds - 1;
+    const RuntimeStats Runtime = Entry.Controller->stats();
+    if (Runtime.Recompiles > 1)
+      S.AdaptiveReFusions += Runtime.Recompiles - 1;
+    S.AdaptiveNativePromotions += Runtime.NativeTierUps;
+    S.AdaptiveNativeDeopts += Runtime.NativeDeopts;
   }
   S.DecodeEvictions = DecodeCache.evictions();
   S.AdaptiveEvictions = AdaptiveCache.evictions();
@@ -132,7 +134,10 @@ Evaluator::controllerFor(const std::shared_ptr<const CompileResult> &Compiled,
     }
   }
   auto Start = std::chrono::steady_clock::now();
-  auto Controller = std::make_shared<AdaptiveController>(*Key, Options.Runtime);
+  RuntimeOptions RO = Options.Runtime;
+  if (Options.Mode == Interpreter::Mode::AdaptiveNative)
+    RO.NativeTier = true;
+  auto Controller = std::make_shared<AdaptiveController>(*Key, RO);
   Seconds += secondsSince(Start);
   Hit = false;
   if (Options.CacheCompiles) {
@@ -142,11 +147,13 @@ Evaluator::controllerFor(const std::shared_ptr<const CompileResult> &Compiled,
     ++Counters.AdaptiveMisses;
     if (auto Evicted = AdaptiveCache.put(Key, AdaptiveEntry{Compiled,
                                                             Controller})) {
-      // Keep the evicted controller's re-fusion history in the aggregate
-      // counters; stats() can no longer walk it.
-      const uint64_t Builds = Evicted->Controller->stats().Recompiles;
-      if (Builds > 1)
-        Counters.AdaptiveReFusions += Builds - 1;
+      // Keep the evicted controller's re-fusion and tiering history in the
+      // aggregate counters; stats() can no longer walk it.
+      const RuntimeStats Runtime = Evicted->Controller->stats();
+      if (Runtime.Recompiles > 1)
+        Counters.AdaptiveReFusions += Runtime.Recompiles - 1;
+      Counters.AdaptiveNativePromotions += Runtime.NativeTierUps;
+      Counters.AdaptiveNativeDeopts += Runtime.NativeDeopts;
     }
   }
   return Controller;
@@ -281,7 +288,8 @@ Evaluator::evaluateWorkload(const Workload &W,
   // cached controller; the immutable DecodeCache is deliberately not used
   // (it could only ever serve a stale fused stream).
   std::shared_ptr<AdaptiveController> BaselineCtl, ReorderedCtl;
-  if (Options.Mode == Interpreter::Mode::Adaptive) {
+  if (Options.Mode == Interpreter::Mode::Adaptive ||
+      Options.Mode == Interpreter::Mode::AdaptiveNative) {
     BaselineCtl = controllerFor(Baseline, Record.BaselineAdaptiveHit,
                                 Record.DecodeSeconds);
     ReorderedCtl = controllerFor(Reordered, Record.ReorderedAdaptiveHit,

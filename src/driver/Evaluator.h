@@ -50,7 +50,8 @@ struct EvaluatorOptions {
   bool CacheCompiles = true;
   /// Execution engine for every interpreter run.
   Interpreter::Mode Mode = Interpreter::Mode::Fused;
-  /// Controller knobs for Mode::Adaptive; ignored by the other engines.
+  /// Controller knobs for Mode::Adaptive and Mode::AdaptiveNative (the
+  /// latter forces Runtime.NativeTier on); ignored by the other engines.
   RuntimeOptions Runtime;
   /// LRU bounds for the per-module caches (0 = unbounded).  Sized so the
   /// full bench sweep — ~100 distinct modules live at once — fits, while
@@ -101,6 +102,11 @@ struct EvaluatorStats {
   /// build — i.e. drift-triggered re-fusions of an evolving profile, not
   /// plain cache hits serving an unchanged stream.
   uint64_t AdaptiveReFusions = 0;
+  /// Mode::AdaptiveNative: native bodies activated across all cached
+  /// controllers (fresh builds and cache re-activations alike), and drift
+  /// de-optimizations back to the fused tier.
+  uint64_t AdaptiveNativePromotions = 0;
+  uint64_t AdaptiveNativeDeopts = 0;
   /// Native `.so` cache (Mode::Native): compiled shared objects keyed by
   /// module identity; the source hash underneath embodies the ordering
   /// signature, so a reordered build never serves a baseline request.

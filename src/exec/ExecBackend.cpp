@@ -80,6 +80,43 @@ public:
   }
 };
 
+/// The full tier ladder.  Each activation asks the controller which tier
+/// executes it: beginRun() hands back the hot-swapped native body, or
+/// null for an interpreted run (pre-promotion, or a drift recheck) that
+/// goes through the normal adaptive attachment.
+class AdaptiveNativeBackend final : public ExecBackend {
+public:
+  const char *name() const override { return "adaptive-native"; }
+
+  bool available(std::string *Reason) const override {
+    if (NativeRunner::shared().available())
+      return true;
+    if (Reason)
+      *Reason = NativeRunner::shared().unavailableReason();
+    return false;
+  }
+
+  RunResult run(const Module &M, const ExecRequest &Req) const override {
+    if (!Req.Adaptive) {
+      RunResult Result;
+      Result.Trapped = true;
+      Result.TrapReason =
+          "adaptive-native mode requires an AdaptiveController "
+          "(ExecRequest::Adaptive)";
+      return Result;
+    }
+    if (auto Native = Req.Adaptive->beginRun())
+      return Native->run(Req.Input, Req.Args, Req.InstructionLimit);
+    Interpreter Interp(M, Interpreter::Mode::Adaptive);
+    Req.Adaptive->attach(Interp);
+    Interp.setInput(Req.Input);
+    Interp.setInstructionLimit(Req.InstructionLimit);
+    if (Req.Predictor)
+      Interp.attachPredictor(Req.Predictor);
+    return Interp.run(Req.EntryName, Req.Args);
+  }
+};
+
 } // namespace
 
 ExecBackend &execBackendFor(Interpreter::Mode Mode) {
@@ -88,6 +125,7 @@ ExecBackend &execBackendFor(Interpreter::Mode Mode) {
   static InterpBackend Fused(Interpreter::Mode::Fused, "fused");
   static InterpBackend Adaptive(Interpreter::Mode::Adaptive, "adaptive");
   static NativeExecBackend Native;
+  static AdaptiveNativeBackend AdaptiveNative;
   switch (Mode) {
   case Interpreter::Mode::Decoded:
     return Decoded;
@@ -99,6 +137,8 @@ ExecBackend &execBackendFor(Interpreter::Mode Mode) {
     return Adaptive;
   case Interpreter::Mode::Native:
     return Native;
+  case Interpreter::Mode::AdaptiveNative:
+    return AdaptiveNative;
   }
   return Fused;
 }
@@ -140,6 +180,8 @@ std::optional<Interpreter::Mode> parseExecMode(std::string_view Name) {
     return Interpreter::Mode::Adaptive;
   if (Name == "native")
     return Interpreter::Mode::Native;
+  if (Name == "adaptive-native")
+    return Interpreter::Mode::AdaptiveNative;
   return std::nullopt;
 }
 

@@ -51,8 +51,9 @@ struct ExecRequest {
   /// Pre-decoded program for the decoded/fused engines (Evaluator decode
   /// cache); ignored elsewhere.
   const DecodedModule *Prepared = nullptr;
-  /// Adaptive-runtime controller for Mode::Adaptive; when set it owns
-  /// engine attachment and Prepared is ignored.
+  /// Adaptive-runtime controller for Mode::Adaptive and (required, with
+  /// RuntimeOptions::NativeTier set) Mode::AdaptiveNative; when set it
+  /// owns engine attachment and Prepared is ignored.
   AdaptiveController *Adaptive = nullptr;
   /// Pre-compiled shared object for Mode::Native (Evaluator native
   /// cache).  When null the backend compiles on the fly — convenient for
@@ -96,7 +97,8 @@ ModuleEdgeWeights collectEdgeWeights(const Module &M,
                                      uint64_t InstructionLimit =
                                          2'000'000'000);
 
-/// Parses "tree" | "decoded" | "fused" | "adaptive" | "native".
+/// Parses "tree" | "decoded" | "fused" | "adaptive" | "native" |
+/// "adaptive-native".
 std::optional<Interpreter::Mode> parseExecMode(std::string_view Name);
 
 } // namespace bropt

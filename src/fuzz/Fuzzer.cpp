@@ -112,10 +112,12 @@ FuzzCampaignResult bropt::runFuzzCampaign(const FuzzOptions &Opts) {
     GeneratedProgram Program = generateProgram(ProgramSeed);
     OracleOptions Oracle = optionsForSeed(ProgramSeed, Opts.Fault);
     Oracle.CheckNativeEngine = Opts.CheckNativeEngine;
+    Oracle.CheckAdaptiveNativeEngine = Opts.CheckAdaptiveNativeEngine;
     Oracle.CheckLoweringOptimal = Opts.CheckLoweringOptimal;
     OracleReport Report = runOracle(Program.Source, Program.TrainingInputs,
                                     Program.HeldOutInputs, Oracle);
     ++Result.ProgramsRun;
+    Result.NativeCompileCancellations += Report.NativeCompileCancellations;
     if (Report.ok())
       continue;
     if (Report.Kind == ViolationKind::CompileError) {

@@ -46,6 +46,12 @@ struct FuzzOptions {
   /// knob exists to bisect native-emitter bugs away from pipeline bugs
   /// and to keep smoke campaigns cheap (bropt-fuzz --native off).
   bool CheckNativeEngine = true;
+  /// Run the tier-2 engine agreement invariant (OracleOptions::
+  /// CheckAdaptiveNativeEngine): both modules also execute through the
+  /// full adaptive→native tier ladder and are held to the observables
+  /// bar.  Same skip/bisect story as CheckNativeEngine
+  /// (bropt-fuzz --adaptive-native off).
+  bool CheckAdaptiveNativeEngine = true;
   /// Run the lowering-optimality invariant (OracleOptions::
   /// CheckLoweringOptimal): every program is also recompiled under Set IV
   /// and held to observable identity plus the never-worse model-cost
@@ -75,6 +81,11 @@ struct FuzzCampaignResult {
   /// Programs the front end rejected — generator bugs, tracked separately
   /// from pipeline violations and expected to be zero.
   unsigned CompileErrors = 0;
+  /// Tier-2 compile cancellations summed over every clean oracle run.
+  /// FaultKind::HangNativeCompile inverts the campaign expectation: zero
+  /// violations AND at least one cancellation, proving the compile
+  /// deadline tears down a wedged host compiler without observable harm.
+  uint64_t NativeCompileCancellations = 0;
   std::vector<FuzzViolation> Violations;
 };
 

@@ -4,6 +4,7 @@
 
 #include "codegen/NativeRunner.h"
 #include "core/Reorder.h"
+#include "exec/ExecBackend.h"
 #include "ir/Verifier.h"
 #include "opt/Passes.h"
 #include "profile/ProfileDB.h"
@@ -13,6 +14,7 @@
 #include "support/Strings.h"
 
 #include <cmath>
+#include <cstdlib>
 
 using namespace bropt;
 
@@ -78,6 +80,18 @@ RunResult runAdaptive(const Module &M, AdaptiveController &Controller,
   Interp.setInput(Input);
   Interp.setInstructionLimit(Limit);
   return Interp.run();
+}
+
+/// Runs the full tier ladder through the exec seam: beginRun() decides
+/// per activation whether the hot-swapped native body or the adaptive
+/// interpreter executes this input.
+RunResult runAdaptiveNative(const Module &M, AdaptiveController &Controller,
+                            const std::string &Input, uint64_t Limit) {
+  ExecRequest Req;
+  Req.Input = Input;
+  Req.InstructionLimit = Limit;
+  Req.Adaptive = &Controller;
+  return executeModule(M, Interpreter::Mode::AdaptiveNative, Req);
 }
 
 std::string describeRun(const RunResult &R) {
@@ -321,6 +335,51 @@ OracleReport bropt::runOracle(std::string_view Source,
     OptAdaptive = std::make_unique<AdaptiveController>(*Optimized.M, RO);
   }
 
+  // The full tier ladder (tier-2 JIT), persisted across the held-out set
+  // the same way: early inputs drive fused tier-up and then native
+  // promotion, later inputs re-enter through beginRun() and execute the
+  // hot-swapped body.  Under HangNativeCompile the controllers own a
+  // private runner whose "compiler" never returns; the compile deadline
+  // must cancel it and every run must stay on the fused tier, observably
+  // clean — that inverted expectation is what proves the teardown path.
+  std::unique_ptr<NativeRunner> HangRunner;
+  std::unique_ptr<AdaptiveController> BaseAN, OptAN;
+  const bool HangFault = Opts.Fault == FaultKind::HangNativeCompile;
+  if (Opts.CheckAdaptiveNativeEngine &&
+      (HangFault || NativeRunner::shared().available())) {
+    RuntimeOptions RO;
+    RO.HotThreshold = Opts.AdaptiveHotThreshold;
+    RO.SampleInterval = Opts.AdaptiveSampleInterval;
+    RO.DriftWindow = Opts.AdaptiveDriftWindow;
+    RO.MinSamplesBetweenRecompiles = 64;
+    RO.Background = false;
+    RO.NativeTier = true;
+    RO.NativeThreshold = Opts.AdaptiveHotThreshold * 2;
+    RO.MinSamplesBetweenNativeBuilds = 64;
+    RO.NativeRecheckMin = 2;
+    RO.NativeRecheckMax = 8;
+    if (HangFault) {
+      // discoverCompiler() reads $BROPT_CC when the runner is built:
+      // point a private runner at a command that never finishes, then
+      // restore the environment before anything else can observe it.
+      // This runner must never be probed — available() compiles a test
+      // TU with no deadline and would hang; only the controllers'
+      // NativeCompileTimeout ever touches it.
+      const char *SavedCC = getenv("BROPT_CC");
+      std::string Saved = SavedCC ? SavedCC : "";
+      setenv("BROPT_CC", "sleep 600 #", 1);
+      HangRunner = std::make_unique<NativeRunner>();
+      if (SavedCC)
+        setenv("BROPT_CC", Saved.c_str(), 1);
+      else
+        unsetenv("BROPT_CC");
+      RO.Runner = HangRunner.get();
+      RO.NativeCompileTimeout = 0.2;
+    }
+    BaseAN = std::make_unique<AdaptiveController>(*Base.M, RO);
+    OptAN = std::make_unique<AdaptiveController>(*Optimized.M, RO);
+  }
+
   // Native shared objects, also built once per module and reused across
   // the held-out set (NativeRunner's source-hash cache makes repeats of
   // the same module cheap across oracle runs too).  Like the adaptive
@@ -433,6 +492,26 @@ OracleReport bropt::runOracle(std::string_view Source,
         return Report;
       }
     }
+    if (BaseAN) {
+      RunResult BaseANRun =
+          runAdaptiveNative(*Base.M, *BaseAN, Input, Opts.InstructionLimit);
+      RunResult OptANRun = runAdaptiveNative(*Optimized.M, *OptAN, Input,
+                                             Opts.InstructionLimit);
+      if (!observablesAgree(BaseTree, BaseANRun, "adaptive-native", Detail)) {
+        Report.Kind = ViolationKind::EngineMismatch;
+        Report.Detail = formatString("baseline module, held-out input %zu: ",
+                                     InputIndex) +
+                        Detail;
+        return Report;
+      }
+      if (!observablesAgree(OptTree, OptANRun, "adaptive-native", Detail)) {
+        Report.Kind = ViolationKind::EngineMismatch;
+        Report.Detail = formatString("reordered module, held-out input %zu: ",
+                                     InputIndex) +
+                        Detail;
+        return Report;
+      }
+    }
     if (!behaviorsAgree(BaseTree, OptTree, Detail)) {
       Report.Kind = ViolationKind::BehaviorMismatch;
       Report.Detail =
@@ -451,6 +530,12 @@ OracleReport bropt::runOracle(std::string_view Source,
       }
     }
   }
+
+  // Sync mode means nothing is still in flight here; the stats are final.
+  if (BaseAN)
+    Report.NativeCompileCancellations =
+        BaseAN->stats().NativeCompilesCancelled +
+        OptAN->stats().NativeCompilesCancelled;
 
   // Invariant 5: what the adaptive runtime learned must survive disk.  The
   // exported profile, reloaded from either format and replayed through the

@@ -13,7 +13,10 @@
 ///     output, exit value, and trap behavior on every held-out input.
 ///  2. Engines: the tree-walking, decoded, fused threaded-dispatch, and
 ///     adaptive (online-tiering) interpreters agree on every artifact of
-///     every run, dynamic counters included.
+///     every run, dynamic counters included.  The AOT-native and
+///     adaptive-native (tier-2 JIT) engines join on the observables half
+///     of the bar — trap, exit value, output — since native code collects
+///     no dynamic counters.
 ///  3. Verification: the IR verifier passes after every individual pass
 ///     (observed through the pass-observer hook).
 ///  4. Cost: for every sequence the transformation reordered, the selected
@@ -63,6 +66,12 @@ enum class FaultKind : uint8_t {
   /// ChainModelCost) so the lowering-optimality oracle's plumbing is
   /// testable the same way.
   PretendLoweringRegression,
+  /// Point the adaptive-native tier's host compiler at a command that
+  /// never returns.  Not a corruption: the expectation inverts — a clean
+  /// oracle run with at least one recorded compile cancellation proves
+  /// the tier-2 deadline machinery tears down a wedged $BROPT_CC and
+  /// falls back to the fused tier without observable divergence.
+  HangNativeCompile,
 };
 
 /// Which invariant a violation report refers to.
@@ -119,6 +128,16 @@ struct OracleOptions {
   /// is reported as an engine mismatch.  Silently skipped when no host
   /// compiler is available (NativeRunner::available()).
   bool CheckNativeEngine = true;
+  /// Also run both modules through the full tier ladder (Mode::
+  /// AdaptiveNative): persistent controllers with NativeTier on and a
+  /// native threshold low enough that held-out runs promote to tier-2,
+  /// held to the observables bar against the tree walker (native bodies
+  /// collect no counters).  Under FaultKind::HangNativeCompile the
+  /// controllers get a private NativeRunner whose compiler hangs plus a
+  /// short compile deadline, so the run exercises cancellation instead
+  /// of promotion.  Silently skipped (except under that fault, which
+  /// needs no working compiler) when NativeRunner is unavailable.
+  bool CheckAdaptiveNativeEngine = true;
   /// Invariant 5: after the held-out runs, if the baseline module's
   /// adaptive controller tiered up, export its learned profile, round-trip
   /// it through the text and binary formats, and require (a) pass-2
@@ -139,6 +158,10 @@ struct OracleReport {
   /// Human-readable explanation with enough detail to debug: which input,
   /// which sequence, which pass.
   std::string Detail;
+  /// Tier-2 compiles the adaptive-native controllers cancelled (deadline
+  /// or teardown), summed over both modules.  Populated on clean runs;
+  /// FaultKind::HangNativeCompile expects ok() && this >= 1.
+  uint64_t NativeCompileCancellations = 0;
 
   bool ok() const { return Kind == ViolationKind::None; }
 };

@@ -2,8 +2,14 @@
 
 #include "runtime/AdaptiveController.h"
 
+#include "codegen/AsyncCompile.h"
+#include "codegen/CEmitter.h"
+#include "codegen/NativeRunner.h"
 #include "core/Reorder.h"
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace bropt;
@@ -15,6 +21,11 @@ static RuntimeOptions sanitized(RuntimeOptions O) {
     O.DriftWindow = 1;
   if (!O.MaxRecompiles)
     O.MaxRecompiles = 1;
+  if (!O.MaxNativeCompiles)
+    O.MaxNativeCompiles = 1;
+  if (!O.NativeRecheckMin)
+    O.NativeRecheckMin = 1;
+  O.NativeRecheckMax = std::max(O.NativeRecheckMax, O.NativeRecheckMin);
   return O;
 }
 
@@ -93,6 +104,10 @@ AdaptiveController::AdaptiveController(const Module &Mod,
 }
 
 AdaptiveController::~AdaptiveController() {
+  // Abort any in-flight native build so ~AsyncNativeCompiler (which joins
+  // its worker) cannot block on a hung host compiler.
+  if (PendingNative)
+    PendingNative->cancel();
   // Join the worker before the version list and sampler state go away.
   Pool.reset();
 }
@@ -103,9 +118,32 @@ void AdaptiveController::attach(Interpreter &I) {
   I.setAdaptiveHooks(&Hooks);
 }
 
-void AdaptiveController::drainBackgroundWork() {
-  if (Pool)
-    Pool->wait();
+bool AdaptiveController::drainBackgroundWork(double DeadlineSeconds) {
+  if (DeadlineSeconds < 0)
+    DeadlineSeconds = Opts.DrainTimeoutSeconds;
+
+  bool Clean = true;
+  if (Pool) {
+    if (DeadlineSeconds <= 0)
+      Pool->wait();
+    else
+      Clean = Pool->waitFor(DeadlineSeconds);
+  }
+
+  if (PendingNative) {
+    const bool Done = DeadlineSeconds <= 0 ? PendingNative->wait()
+                                           : PendingNative->wait(DeadlineSeconds);
+    if (!Done) {
+      // A hung compiler must not wedge the caller: kill its process group
+      // and give the SIGKILL one poll tick to be observed.
+      trace("native: drain deadline expired; cancelling in-flight compile");
+      PendingNative->cancel();
+      PendingNative->wait(1.0);
+      Clean = false;
+    }
+    pollNative(/*Block=*/false); // publish the result or record the failure
+  }
+  return Clean;
 }
 
 RuntimeStats AdaptiveController::stats() const {
@@ -268,10 +306,15 @@ void AdaptiveController::onSample(uint32_t FuncIndex, uint32_t BranchId,
       ++State.Counts[Bin];
       if (State.Drift.observe(Bin)) {
         ++ExecStats.DriftEvents;
+        LastDriftSample = ExecStats.SamplesTaken;
         if (Opts.Trace)
           trace("drift: sequence " +
                 std::to_string(Detected[State.DetectedIndex].Id) +
                 " distance " + std::to_string(State.Drift.lastDistance()));
+        // The native body bakes the old ordering into machine code; drop
+        // back to the fused tier before rebuilding it.
+        if (ActiveNative)
+          deoptimizeNative("drift");
         // Re-optimizing only makes sense once a version is deployed;
         // before tier-up the profile is still converging.
         if (tiered())
@@ -293,6 +336,19 @@ void AdaptiveController::onSample(uint32_t FuncIndex, uint32_t BranchId,
     if (!tiered())
       maybeReoptimize("tier-up");
   }
+
+  // Tier-2 gate.  Cheap per-sample checks run first; the stability gate
+  // (a full DriftWindow since the last drift) and the build hysteresis are
+  // silent — suppression counters only track real decisions, not every
+  // sample inside a cool-down window.
+  if (Opts.NativeTier && !NativeFailed && !ActiveNative && !PendingNative &&
+      tiered() && FuncIndex < FuncTiered.size() &&
+      FuncCount * Opts.SampleInterval >= Opts.NativeThreshold &&
+      ExecStats.SamplesTaken - LastDriftSample >= Opts.DriftWindow &&
+      (!NativeJobsPlanned ||
+       ExecStats.SamplesTaken - LastNativeBuildSample >=
+           Opts.MinSamplesBetweenNativeBuilds))
+    maybePromoteNative("native-tier-up");
 }
 
 void AdaptiveController::maybeReoptimize(const char *Reason) {
@@ -444,6 +500,173 @@ const DecodedModule *AdaptiveController::trySwap(const DecodedModule &Cur,
     trace("swap: function " + Tier0.function(FuncIndex).Name + " at index " +
           std::to_string(Index) + " -> " + std::to_string(NewIndex));
   return &Target->DM;
+}
+
+std::shared_ptr<const NativeProgram> AdaptiveController::beginRun() {
+  if (!Opts.NativeTier)
+    return nullptr;
+  pollNative(/*Block=*/false);
+  if (!ActiveNative)
+    return nullptr;
+
+  // Native code neither samples nor counts, so drift is invisible while
+  // in tier 2.  Periodically run one whole activation interpreted as a
+  // recheck; each clean recheck doubles the interval (exponential
+  // backoff), so a stable phase converges to ~1/NativeRecheckMax
+  // interpreted activations while a drifting one is caught within
+  // NativeRecheckMin of the deopt that reset the interval.
+  if (++RunsSinceRecheck >= RecheckInterval) {
+    RunsSinceRecheck = 0;
+    RecheckInterval = std::min(RecheckInterval * 2, Opts.NativeRecheckMax);
+    ++ExecStats.NativeRecheckRuns;
+    if (Opts.Trace)
+      trace("native: recheck run (next after " +
+            std::to_string(RecheckInterval) + ")");
+    return nullptr;
+  }
+  ++ExecStats.NativeRuns;
+  return ActiveNative;
+}
+
+void AdaptiveController::pollNative(bool Block) {
+  if (!PendingNative)
+    return;
+  if (!PendingNative->done() && !Block)
+    return;
+  PendingNative->wait();
+
+  auto Job = std::move(PendingNative);
+  PendingNative = nullptr;
+  const bool WasDeoptCancel = PendingCancelledByDeopt;
+  PendingCancelledByDeopt = false;
+  ExecStats.NativeCompileSeconds += Job->seconds();
+
+  if (auto Program = Job->get()) {
+    NativeBySig[PendingNativeSig] = Program;
+    // Activate only while the fused tier still implements the ordering
+    // this body was built from; a build outrun by drift stays cached for
+    // the day its phase returns.
+    if (deployedOrderingSignature() == PendingNativeSig) {
+      ActiveNative = std::move(Program);
+      NativeOrderSig = PendingNativeSig;
+      RecheckInterval = Opts.NativeRecheckMin;
+      RunsSinceRecheck = 0;
+      ++ExecStats.NativeTierUps;
+      if (Opts.Trace)
+        trace("native: promoted entry '" + Opts.EntryName + "' (" +
+              std::to_string(Job->seconds()) + "s compile)");
+    } else if (Opts.Trace) {
+      trace("native: build finished for a stale layout; cached only");
+    }
+    return;
+  }
+
+  if (Job->cancelled()) {
+    ++ExecStats.NativeCompilesCancelled;
+    if (!WasDeoptCancel) {
+      // Cancelled from outside (drain deadline or timeout): the compiler
+      // is not trustworthy here — settle in the fused tier for good.
+      NativeFailed = true;
+    }
+    if (Opts.Trace)
+      trace("native: compile cancelled (" + Job->error() + ")");
+    return;
+  }
+
+  ++ExecStats.NativeCompilesFailed;
+  NativeFailed = true;
+  if (Opts.Trace)
+    trace("native: compile failed: " + Job->error());
+}
+
+void AdaptiveController::maybePromoteNative(const char *Reason) {
+  const std::string Sig = deployedOrderingSignature();
+
+  // Re-entering a phase whose body was already built: reactivate from the
+  // per-signature cache.  Free — no compile, no budget.
+  auto Cached = NativeBySig.find(Sig);
+  if (Cached != NativeBySig.end()) {
+    ActiveNative = Cached->second;
+    NativeOrderSig = Sig;
+    RecheckInterval = Opts.NativeRecheckMin;
+    RunsSinceRecheck = 0;
+    ++ExecStats.NativeTierUps;
+    if (Opts.Trace)
+      trace(std::string("native: re-promoted cached body (") + Reason + ")");
+    return;
+  }
+
+  if (NativeJobsPlanned >= Opts.MaxNativeCompiles) {
+    ++ExecStats.NativeCompilesSuppressed;
+    NativeFailed = true; // stop re-evaluating every sample
+    if (Opts.Trace)
+      trace(std::string("native: suppress(") + Reason +
+            "): compile budget spent; staying fused");
+    return;
+  }
+
+  NativeRunner &Runner = Opts.Runner ? *Opts.Runner : NativeRunner::shared();
+  if (!NativeCompiler)
+    NativeCompiler =
+        std::make_unique<AsyncNativeCompiler>(&Runner, Opts.NativeCompileTimeout);
+
+  ++NativeJobsPlanned;
+  ++ExecStats.NativeCompiles;
+  LastNativeBuildSample = ExecStats.SamplesTaken;
+  PendingNativeSig = Sig;
+  if (Opts.Trace)
+    trace(std::string("native: compile launched (") + Reason + ")");
+  PendingNative = NativeCompiler->submit(emitNativeSource());
+
+  // Synchronous mode mirrors the fused tier: block at the triggering
+  // sample so promotion timing is deterministic for tests and the oracle.
+  // The wait is still bounded by NativeCompileTimeout via the control.
+  if (!Opts.Background)
+    pollNative(/*Block=*/true);
+}
+
+void AdaptiveController::deoptimizeNative(const char *Why) {
+  ActiveNative.reset();
+  NativeOrderSig.clear();
+  RecheckInterval = Opts.NativeRecheckMin;
+  RunsSinceRecheck = 0;
+  ++ExecStats.NativeDeopts;
+  if (PendingNative && !PendingNative->done()) {
+    // The in-flight build used the pre-drift profile; abort it.  The
+    // deliberate cancel must not latch NativeFailed.
+    PendingCancelledByDeopt = true;
+    PendingNative->cancel();
+  }
+  if (Opts.Trace)
+    trace(std::string("native: deopt (") + Why + "); back to fused tier");
+}
+
+std::string AdaptiveController::emitNativeSource() {
+  CEmitterOptions CO;
+  CO.EntryName = Opts.EntryName;
+  CO.OnlyReachable = true;
+
+  // The interpreter's fused tier reorders at decode time and leaves M
+  // untouched, so the native body re-applies the ordering to IR: clone M
+  // via a print/parse round trip, then run the paper's pass 2 on the
+  // clone with the deployed profile snapshot.  exportProfile serializes
+  // exactly the snapshot that built the deployed fused version, so the
+  // clone's layout realizes deployedOrderingSignature() — the key this
+  // build is cached and activated under.
+  std::string ParseError;
+  std::unique_ptr<Module> Clone = parseModuleText(printModule(M), &ParseError);
+  if (!Clone) {
+    if (Opts.Trace)
+      trace("native: module clone failed (" + ParseError +
+            "); emitting the unreordered layout");
+    return emitC(M, CO);
+  }
+
+  ProfileDB Snapshot;
+  exportProfile(Snapshot);
+  std::vector<RangeSequence> CloneSeqs = detectSequences(*Clone);
+  reorderSequences(*Clone, CloneSeqs, Snapshot, ReorderOptions());
+  return emitC(*Clone, CO);
 }
 
 std::string bropt::orderingSignaturesFromProfile(const Module &Mod,

@@ -57,6 +57,11 @@
 
 namespace bropt {
 
+class AsyncNativeCompiler;
+class NativeCompileJob;
+class NativeProgram;
+class NativeRunner;
+
 /// Tiering knobs.  The defaults suit long-running workloads; tests and the
 /// fuzz oracle shrink the thresholds to exercise tiering on small inputs.
 struct RuntimeOptions {
@@ -85,6 +90,45 @@ struct RuntimeOptions {
   /// Optional tiering-event log sink.  With Background set the callback
   /// may be invoked from the worker thread.
   std::function<void(const std::string &)> Trace;
+
+  // --- Tier-2 (native) knobs; ignored unless NativeTier is set ---
+
+  /// Compile functions that stay hot past NativeThreshold down to real
+  /// machine code (CEmitter + NativeRunner) and run whole activations
+  /// natively.  Requires the fused tier to have deployed first: the native
+  /// body is built from the same ordering decisions, so the tier ladder is
+  /// tree/decoded -> fused -> native.
+  bool NativeTier = false;
+  /// Estimated conditional-branch executions a function must accumulate
+  /// before it is considered for the native tier.
+  uint64_t NativeThreshold = 500'000;
+  /// Hysteresis: samples that must pass after one native build before the
+  /// next may start (the first build is exempt).
+  uint64_t MinSamplesBetweenNativeBuilds = 4096;
+  /// Total native builds one controller may launch; once spent the
+  /// controller settles permanently in the fused tier.  Re-activating a
+  /// previously built body costs nothing and is never counted.
+  unsigned MaxNativeCompiles = 4;
+  /// While native, every Nth activation runs interpreted so sampling can
+  /// still observe drift.  The recheck interval starts at NativeRecheckMin
+  /// and doubles after each clean recheck up to NativeRecheckMax
+  /// (exponential backoff: steady state pays ~1/Max in interpreter runs);
+  /// a de-optimization resets it to the minimum.
+  uint32_t NativeRecheckMin = 8;
+  uint32_t NativeRecheckMax = 128;
+  /// Wall-clock cap on one host-compiler invocation; 0 means no cap.  On
+  /// expiry the compiler's process group is killed and the controller
+  /// falls back to the fused tier for good.
+  double NativeCompileTimeout = 0;
+  /// Default deadline for drainBackgroundWork(); 0 waits forever.
+  double DrainTimeoutSeconds = 60.0;
+  /// Entry function the emitted native body exposes (and the only call
+  /// closure it contains).
+  std::string EntryName = "main";
+  /// Compiles go through this runner; null uses NativeRunner::shared().
+  /// Tests point it at a private runner to fault-inject a hung compiler
+  /// without wedging the process-wide cache.
+  NativeRunner *Runner = nullptr;
 };
 
 /// Counters describing what the controller did.  Read via stats() between
@@ -101,6 +145,17 @@ struct RuntimeStats {
   uint64_t SamplesAtFirstSwap = 0; ///< SamplesTaken when the first swap ran
   uint64_t DroppedSamples = 0;   ///< samples with out-of-range ids
 
+  // --- Tier-2 (native) counters ---
+  uint64_t NativeTierUps = 0;    ///< native bodies activated (builds + cached)
+  uint64_t NativeRuns = 0;       ///< whole activations executed natively
+  uint64_t NativeRecheckRuns = 0; ///< activations run interpreted for drift
+  uint64_t NativeDeopts = 0;     ///< drift de-optimizations back to fused
+  uint64_t NativeCompiles = 0;   ///< native build jobs launched
+  uint64_t NativeCompilesSuppressed = 0; ///< skipped: budget spent
+  uint64_t NativeCompilesFailed = 0;     ///< compiler or loader errors
+  uint64_t NativeCompilesCancelled = 0;  ///< cancelled or timed out
+  double NativeCompileSeconds = 0.0; ///< wall time in native build jobs
+
   RuntimeStats &operator+=(const RuntimeStats &O) {
     SamplesTaken += O.SamplesTaken;
     TierUps += O.TierUps;
@@ -113,6 +168,15 @@ struct RuntimeStats {
     if (!SamplesAtFirstSwap)
       SamplesAtFirstSwap = O.SamplesAtFirstSwap;
     DroppedSamples += O.DroppedSamples;
+    NativeTierUps += O.NativeTierUps;
+    NativeRuns += O.NativeRuns;
+    NativeRecheckRuns += O.NativeRecheckRuns;
+    NativeDeopts += O.NativeDeopts;
+    NativeCompiles += O.NativeCompiles;
+    NativeCompilesSuppressed += O.NativeCompilesSuppressed;
+    NativeCompilesFailed += O.NativeCompilesFailed;
+    NativeCompilesCancelled += O.NativeCompilesCancelled;
+    NativeCompileSeconds += O.NativeCompileSeconds;
     return *this;
   }
 };
@@ -136,9 +200,23 @@ public:
   /// The plain tier-0 program.
   const DecodedModule &tier0() const { return Tier0; }
 
-  /// Blocks until any in-flight background optimization has finished.
-  /// No-op in synchronous mode.
-  void drainBackgroundWork();
+  /// Blocks until any in-flight background optimization — fused rebuilds
+  /// and native compiles alike — has finished.  \p DeadlineSeconds bounds
+  /// the wait (negative uses Opts.DrainTimeoutSeconds; 0 waits forever);
+  /// on expiry the in-flight native compile is cancelled (its compiler
+  /// process group is killed) so a hung `$BROPT_CC` cannot wedge the
+  /// caller.  \returns true when everything drained cleanly, false when
+  /// the deadline forced a cancellation.
+  bool drainBackgroundWork(double DeadlineSeconds = -1.0);
+
+  /// Tier-2 gate, called by the exec backend at the top of each
+  /// activation.  \returns the native body to run this activation
+  /// natively, or null to run interpreted (not in the native tier yet, or
+  /// this activation is a drift recheck).  Never blocks on a compile.
+  std::shared_ptr<const NativeProgram> beginRun();
+
+  /// True while a native body is installed as the active tier.
+  bool nativeTiered() const { return ActiveNative != nullptr; }
 
   /// True once an optimized version has been published.
   bool tiered() const {
@@ -194,6 +272,17 @@ private:
   /// Budget + hysteresis gate; schedules or runs one optimization job.
   void maybeReoptimize(const char *Reason);
   void runJob(const JobInput &Job);
+  /// Tier-2: reactivates a cached body or launches one native build.
+  void maybePromoteNative(const char *Reason);
+  /// Publishes a finished native build (or records its failure); with
+  /// \p Block waits for the in-flight job first.
+  void pollNative(bool Block);
+  /// Drops the active native body back to the fused tier.
+  void deoptimizeNative(const char *Why);
+  /// Emits the C for the current hot layout: clones the module, reorders
+  /// the clone's sequences with the deployed profile snapshot, and emits
+  /// the entry's call closure.
+  std::string emitNativeSource();
   void trace(const std::string &Message) const {
     if (Opts.Trace)
       Opts.Trace(Message);
@@ -216,6 +305,29 @@ private:
   // --- Execution-thread-only tiering state ---
   RuntimeStats ExecStats;
   uint64_t LastJobSample = 0; ///< SamplesTaken when the last job was gated
+
+  // --- Tier-2 (native) state, execution thread only.  beginRun(),
+  // onSample(), and drainBackgroundWork() all run on the thread driving
+  // execution; only the compile itself happens elsewhere, behind the
+  // NativeCompileJob handle. ---
+  std::shared_ptr<const NativeProgram> ActiveNative; ///< null below tier 2
+  std::string NativeOrderSig;   ///< fused ordering sig ActiveNative realizes
+  std::shared_ptr<NativeCompileJob> PendingNative;
+  std::string PendingNativeSig; ///< sig PendingNative was built for
+  bool PendingCancelledByDeopt = false;
+  /// Built bodies by the ordering signature they realize; re-entering a
+  /// previously seen phase re-activates from here without a compile (and
+  /// without touching the MaxNativeCompiles budget).
+  std::unordered_map<std::string, std::shared_ptr<const NativeProgram>>
+      NativeBySig;
+  bool NativeFailed = false; ///< permanent fused fallback (fail/timeout/budget)
+  unsigned NativeJobsPlanned = 0;
+  uint64_t LastNativeBuildSample = 0;
+  uint64_t LastDriftSample = 0; ///< SamplesTaken at the last drift event
+  uint32_t RecheckInterval = 0; ///< current backoff; set on activation
+  uint32_t RunsSinceRecheck = 0;
+  /// Lazily created on first use; owns the compile worker thread.
+  std::unique_ptr<AsyncNativeCompiler> NativeCompiler;
 
   // --- Shared publication state ---
   mutable std::mutex Mutex;

@@ -51,7 +51,7 @@ RunResult Interpreter::run(const std::string &EntryName,
   Aborted = false;
   InputCursor = 0;
 
-  if (ExecutionMode == Mode::Native) {
+  if (ExecutionMode == Mode::Native || ExecutionMode == Mode::AdaptiveNative) {
     // sim/ cannot see codegen/; the exec layer dispatches native runs.
     trap("native mode requires the exec backend (use "
          "executeModule from exec/ExecBackend.h)");

@@ -120,6 +120,16 @@ public:
     /// owns the sim -> codegen layering; Interpreter::run() on this mode
     /// traps with a pointer at the seam.
     Native,
+    /// The full tier ladder: Adaptive plus the runtime's tier 2, which
+    /// compiles functions that stay hot past NativeThreshold through the
+    /// native backend and runs whole activations in machine code (with
+    /// periodic interpreted rechecks for drift).  Like Native, only the
+    /// exec backend can dispatch this mode — it asks the controller's
+    /// beginRun() which tier executes each activation; Interpreter::run()
+    /// on this mode traps.  The interpreted activations themselves run as
+    /// Mode::Adaptive (attach() sets it), so the sim engines never see
+    /// this value.
+    AdaptiveNative,
   };
 
   explicit Interpreter(const Module &M, Mode ExecMode = Mode::Fused);

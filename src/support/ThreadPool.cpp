@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace bropt;
 
@@ -37,6 +38,12 @@ void ThreadPool::enqueue(std::function<void()> Task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mutex);
   AllIdle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+}
+
+bool ThreadPool::waitFor(double Seconds) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return AllIdle.wait_for(Lock, std::chrono::duration<double>(Seconds),
+                          [this] { return Queue.empty() && Running == 0; });
 }
 
 void ThreadPool::workerLoop() {

@@ -65,6 +65,10 @@ public:
   /// Blocks until the queue is empty and no task is running.
   void wait();
 
+  /// Like wait(), but gives up after \p Seconds.  \returns true when the
+  /// pool drained, false on timeout (tasks keep running either way).
+  bool waitFor(double Seconds);
+
 private:
   void workerLoop();
 

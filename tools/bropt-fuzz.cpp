@@ -18,12 +18,19 @@
 //                     breaks a reordered branch, 'pretend-cost' inverts the
 //                     cost check, 'pretend-lowering' inverts the Set IV
 //                     never-worse check; the run then EXPECTS violations and
-//                     fails if the oracles stay silent
+//                     fails if the oracles stay silent.
+//                     'hang-native-compile' wedges the tier-2 JIT's host
+//                     compiler instead; that run expects the INVERSE — zero
+//                     violations and at least one recorded compile
+//                     cancellation — proving the compile deadline tears the
+//                     hang down without observable divergence
 //   --minimize-rounds N  cap delta-debugging passes (default 16)
 //   --native MODE     native-engine agreement checks: 'auto' (default)
 //                     runs them when a host compiler is available and
 //                     silently skips otherwise, 'on' fails fast when no
 //                     compiler is found, 'off' disables them
+//   --adaptive-native MODE  tier-2 (adaptive-native) engine agreement
+//                     checks, same modes and semantics as --native
 //   --lowering-check MODE  Set IV lowering-optimality invariant: 'on'
 //                     (default) recompiles every program under Set IV and
 //                     holds it to observable identity plus the never-worse
@@ -53,10 +60,10 @@ namespace {
   std::fprintf(stderr,
                "usage: bropt-fuzz [--programs N] [--seconds N] [--seed N]\n"
                "                  [--corpus DIR] [--fault corrupt-reorder|"
-               "pretend-cost|pretend-lowering]\n"
+               "pretend-cost|pretend-lowering|hang-native-compile]\n"
                "                  [--minimize-rounds N] "
-               "[--native on|off|auto] [--lowering-check on|off] "
-               "[--quiet]\n");
+               "[--native on|off|auto] [--adaptive-native on|off|auto]\n"
+               "                  [--lowering-check on|off] [--quiet]\n");
   std::exit(2);
 }
 
@@ -101,6 +108,8 @@ int main(int argc, char **argv) {
         Opts.Fault = FaultKind::PretendCostRegression;
       else if (!std::strcmp(Kind, "pretend-lowering"))
         Opts.Fault = FaultKind::PretendLoweringRegression;
+      else if (!std::strcmp(Kind, "hang-native-compile"))
+        Opts.Fault = FaultKind::HangNativeCompile;
       else
         usageError("unknown --fault kind");
     } else if (!std::strcmp(argv[Arg], "--native")) {
@@ -114,6 +123,17 @@ int main(int argc, char **argv) {
         Opts.CheckNativeEngine = true;
       else
         usageError("unknown --native mode (want on, off, or auto)");
+    } else if (!std::strcmp(argv[Arg], "--adaptive-native")) {
+      const char *Policy = needValue("--adaptive-native");
+      if (!std::strcmp(Policy, "off"))
+        Opts.CheckAdaptiveNativeEngine = false;
+      else if (!std::strcmp(Policy, "on")) {
+        Opts.CheckAdaptiveNativeEngine = true;
+        RequireNative = true;
+      } else if (!std::strcmp(Policy, "auto"))
+        Opts.CheckAdaptiveNativeEngine = true;
+      else
+        usageError("unknown --adaptive-native mode (want on, off, or auto)");
     } else if (!std::strcmp(argv[Arg], "--lowering-check")) {
       const char *Policy = needValue("--lowering-check");
       if (!std::strcmp(Policy, "off"))
@@ -129,16 +149,19 @@ int main(int argc, char **argv) {
   }
 
   if (RequireNative && !NativeRunner::shared().available()) {
-    std::fprintf(stderr, "bropt-fuzz: --native on, but %s\n",
+    std::fprintf(stderr,
+                 "bropt-fuzz: native checks forced on, but %s\n",
                  NativeRunner::shared().unavailableReason().c_str());
     return 2;
   }
 
   FuzzCampaignResult Result = runFuzzCampaign(Opts);
 
-  std::printf("bropt-fuzz: %u programs, %u compile errors, %zu violations\n",
+  std::printf("bropt-fuzz: %u programs, %u compile errors, %zu violations, "
+              "%llu native compile cancellations\n",
               Result.ProgramsRun, Result.CompileErrors,
-              Result.Violations.size());
+              Result.Violations.size(),
+              (unsigned long long)Result.NativeCompileCancellations);
   for (const FuzzViolation &V : Result.Violations)
     std::printf("  seed %llu: %s (%zu statements minimized%s%s)\n",
                 (unsigned long long)V.ProgramSeed,
@@ -151,7 +174,17 @@ int main(int argc, char **argv) {
   bool Failed = Result.CompileErrors != 0;
   if (Opts.Fault == FaultKind::None)
     Failed |= !Result.Violations.empty();
-  else if (Result.Violations.empty()) {
+  else if (Opts.Fault == FaultKind::HangNativeCompile) {
+    // Inverted expectation: the wedged compiler must never surface as a
+    // violation (the fused tier keeps running), but the deadline must
+    // actually have fired at least once.
+    Failed |= !Result.Violations.empty();
+    if (!Result.NativeCompileCancellations) {
+      std::printf("bropt-fuzz: hang fault injected but no compile was "
+                  "cancelled — the tier-2 deadline is not firing\n");
+      Failed = true;
+    }
+  } else if (Result.Violations.empty()) {
     std::printf("bropt-fuzz: fault injection found no violations — the "
                 "oracles are not detecting the fault\n");
     Failed = true;

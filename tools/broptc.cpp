@@ -33,12 +33,20 @@
 //   --predict             with --run: report (0,2)/2048 mispredictions
 //   --interp MODE         execution engine for --run: 'fused' (default),
 //                         'decoded' (pre-decoded flat dispatch), 'tree'
-//                         (reference tree-walking interpreter), or
-//                         'adaptive' (online tiering; see docs/RUNTIME.md)
+//                         (reference tree-walking interpreter), 'adaptive'
+//                         (online tiering; see docs/RUNTIME.md), 'native'
+//                         (AOT via the host C compiler), or
+//                         'adaptive-native' (the full tier ladder: adaptive
+//                         plus tier-2 promotion to machine code)
 //   --adaptive            shorthand for --interp adaptive; prints the
 //                         tiering counters after the run
-//   --adaptive-trace      with the adaptive engine: log tier-up, swap,
-//                         drift, and recompile events to stderr
+//   --adaptive-native     shorthand for --interp adaptive-native; prints
+//                         the tiering counters (native tier included)
+//   --native-threshold N  estimated branch executions before a hot
+//                         function is promoted to the native tier
+//   --adaptive-trace      with the adaptive engines: log tier-up, swap,
+//                         drift, recompile, and native-tier events to
+//                         stderr
 //
 //===----------------------------------------------------------------------===//
 
@@ -67,8 +75,10 @@ namespace {
                "              [--emit-ir] [--profile-in FILE] "
                "[--profile-out FILE] [--profile-binary]\n"
                "              [--stats] [--run] [--predict]\n"
-               "              [--interp fused|decoded|tree|adaptive] "
-               "[--adaptive] [--adaptive-trace]\n");
+               "              [--interp fused|decoded|tree|adaptive|native|"
+               "adaptive-native]\n"
+               "              [--adaptive] [--adaptive-native] "
+               "[--native-threshold N] [--adaptive-trace]\n");
   std::exit(2);
 }
 
@@ -97,6 +107,7 @@ struct CliOptions {
   bool Predict = false;
   bool AdaptiveStats = false;
   bool AdaptiveTrace = false;
+  uint64_t NativeThreshold = 0; ///< 0 keeps the RuntimeOptions default
   Interpreter::Mode InterpMode = Interpreter::Mode::Fused;
 };
 
@@ -153,12 +164,19 @@ CliOptions parseArgs(int Argc, char **Argv) {
         Options.InterpMode = *Parsed;
       else
         usageError("--interp expects 'fused', 'decoded', 'tree', "
-                   "'adaptive', or 'native'");
+                   "'adaptive', 'native', or 'adaptive-native'");
     } else if (Arg == "--adaptive") {
       Options.InterpMode = Interpreter::Mode::Adaptive;
       Options.AdaptiveStats = true;
+    } else if (Arg == "--adaptive-native") {
+      Options.InterpMode = Interpreter::Mode::AdaptiveNative;
+      Options.AdaptiveStats = true;
+    } else if (Arg == "--native-threshold") {
+      Options.NativeThreshold =
+          static_cast<uint64_t>(std::atoll(nextValue().c_str()));
     } else if (Arg == "--adaptive-trace") {
-      Options.InterpMode = Interpreter::Mode::Adaptive;
+      if (Options.InterpMode != Interpreter::Mode::AdaptiveNative)
+        Options.InterpMode = Interpreter::Mode::Adaptive;
       Options.AdaptiveStats = true;
       Options.AdaptiveTrace = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -285,8 +303,13 @@ int main(int Argc, char **Argv) {
     // the exec seam; broptc no longer hand-assembles an Interpreter.
     ExecRequest Req;
     Req.Input = Input;
-    if (Options.InterpMode == Interpreter::Mode::Adaptive) {
+    if (Options.InterpMode == Interpreter::Mode::Adaptive ||
+        Options.InterpMode == Interpreter::Mode::AdaptiveNative) {
       RuntimeOptions RO;
+      RO.NativeTier =
+          Options.InterpMode == Interpreter::Mode::AdaptiveNative;
+      if (Options.NativeThreshold)
+        RO.NativeThreshold = Options.NativeThreshold;
       if (Options.AdaptiveTrace)
         RO.Trace = [](const std::string &Event) {
           std::fprintf(stderr, "[adaptive] %s\n", Event.c_str());
@@ -343,6 +366,21 @@ int main(int Argc, char **Argv) {
           static_cast<unsigned long long>(RS.Recompiles),
           static_cast<unsigned long long>(RS.RecompilesSuppressed),
           RS.RecompileSeconds);
+      if (Adaptive->options().NativeTier)
+        std::fprintf(
+            stderr,
+            "native tier: %llu promotion(s), %llu native run(s), "
+            "%llu recheck(s), %llu deopt(s), %llu compile(s) "
+            "(%llu failed, %llu cancelled, %llu suppressed, %.3fs)\n",
+            static_cast<unsigned long long>(RS.NativeTierUps),
+            static_cast<unsigned long long>(RS.NativeRuns),
+            static_cast<unsigned long long>(RS.NativeRecheckRuns),
+            static_cast<unsigned long long>(RS.NativeDeopts),
+            static_cast<unsigned long long>(RS.NativeCompiles),
+            static_cast<unsigned long long>(RS.NativeCompilesFailed),
+            static_cast<unsigned long long>(RS.NativeCompilesCancelled),
+            static_cast<unsigned long long>(RS.NativeCompilesSuppressed),
+            RS.NativeCompileSeconds);
     }
   }
 
