@@ -52,8 +52,27 @@ Evaluator::Evaluator(EvaluatorOptions Options)
       NativeCache(Options.NativeCacheCapacity) {}
 
 EvaluatorStats Evaluator::stats() const {
+  EvaluatorStats S;
+  S.BaselineHits = Counters.BaselineHits.load(std::memory_order_relaxed);
+  S.BaselineMisses =
+      Counters.BaselineMisses.load(std::memory_order_relaxed);
+  S.ReorderedHits = Counters.ReorderedHits.load(std::memory_order_relaxed);
+  S.ReorderedMisses =
+      Counters.ReorderedMisses.load(std::memory_order_relaxed);
+  S.DecodeHits = Counters.DecodeHits.load(std::memory_order_relaxed);
+  S.DecodeMisses = Counters.DecodeMisses.load(std::memory_order_relaxed);
+  S.AdaptiveHits = Counters.AdaptiveHits.load(std::memory_order_relaxed);
+  S.AdaptiveMisses =
+      Counters.AdaptiveMisses.load(std::memory_order_relaxed);
+  S.AdaptiveReFusions =
+      Counters.AdaptiveReFusions.load(std::memory_order_relaxed);
+  S.AdaptiveNativePromotions =
+      Counters.AdaptiveNativePromotions.load(std::memory_order_relaxed);
+  S.AdaptiveNativeDeopts =
+      Counters.AdaptiveNativeDeopts.load(std::memory_order_relaxed);
+  S.NativeHits = Counters.NativeHits.load(std::memory_order_relaxed);
+  S.NativeMisses = Counters.NativeMisses.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> Lock(CacheMutex);
-  EvaluatorStats S = Counters;
   // Re-fusions live inside the controllers; count every optimized build
   // beyond a controller's tier-up build as a re-fusion of its evolving
   // profile.  Evicted controllers were folded into Counters already.
@@ -87,7 +106,7 @@ Evaluator::preparedFor(const std::shared_ptr<const CompileResult> &Compiled,
   if (Options.CacheCompiles) {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     if (auto *Entry = DecodeCache.get(Key)) {
-      ++Counters.DecodeHits;
+      Counters.DecodeHits.fetch_add(1, std::memory_order_relaxed);
       Hit = true;
       return Entry->Program;
     }
@@ -115,7 +134,7 @@ Evaluator::preparedFor(const std::shared_ptr<const CompileResult> &Compiled,
     // winner so every caller shares a single prepared program.
     if (auto *Entry = DecodeCache.get(Key))
       return Entry->Program;
-    ++Counters.DecodeMisses;
+    Counters.DecodeMisses.fetch_add(1, std::memory_order_relaxed);
     DecodeCache.put(Key, PreparedEntry{Compiled, Program});
   }
   return Program;
@@ -128,7 +147,7 @@ Evaluator::controllerFor(const std::shared_ptr<const CompileResult> &Compiled,
   if (Options.CacheCompiles) {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     if (auto *Entry = AdaptiveCache.get(Key)) {
-      ++Counters.AdaptiveHits;
+      Counters.AdaptiveHits.fetch_add(1, std::memory_order_relaxed);
       Hit = true;
       return Entry->Controller;
     }
@@ -144,16 +163,16 @@ Evaluator::controllerFor(const std::shared_ptr<const CompileResult> &Compiled,
     std::lock_guard<std::mutex> Lock(CacheMutex);
     if (auto *Entry = AdaptiveCache.get(Key))
       return Entry->Controller;
-    ++Counters.AdaptiveMisses;
+    Counters.AdaptiveMisses.fetch_add(1, std::memory_order_relaxed);
     if (auto Evicted = AdaptiveCache.put(Key, AdaptiveEntry{Compiled,
                                                             Controller})) {
       // Keep the evicted controller's re-fusion and tiering history in the
       // aggregate counters; stats() can no longer walk it.
       const RuntimeStats Runtime = Evicted->Controller->stats();
       if (Runtime.Recompiles > 1)
-        Counters.AdaptiveReFusions += Runtime.Recompiles - 1;
-      Counters.AdaptiveNativePromotions += Runtime.NativeTierUps;
-      Counters.AdaptiveNativeDeopts += Runtime.NativeDeopts;
+        Counters.AdaptiveReFusions.fetch_add(Runtime.Recompiles - 1, std::memory_order_relaxed);
+      Counters.AdaptiveNativePromotions.fetch_add(Runtime.NativeTierUps, std::memory_order_relaxed);
+      Counters.AdaptiveNativeDeopts.fetch_add(Runtime.NativeDeopts, std::memory_order_relaxed);
     }
   }
   return Controller;
@@ -166,7 +185,7 @@ Evaluator::nativeFor(const std::shared_ptr<const CompileResult> &Compiled,
   if (Options.CacheCompiles) {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     if (auto *Entry = NativeCache.get(Key)) {
-      ++Counters.NativeHits;
+      Counters.NativeHits.fetch_add(1, std::memory_order_relaxed);
       Hit = true;
       return Entry->Program;
     }
@@ -185,7 +204,7 @@ Evaluator::nativeFor(const std::shared_ptr<const CompileResult> &Compiled,
     std::lock_guard<std::mutex> Lock(CacheMutex);
     if (auto *Entry = NativeCache.get(Key))
       return Entry->Program;
-    ++Counters.NativeMisses;
+    Counters.NativeMisses.fetch_add(1, std::memory_order_relaxed);
     NativeCache.put(Key, NativeEntry{Compiled, Program});
   }
   return Program;
@@ -200,7 +219,7 @@ Evaluator::baselineFor(const Workload &W, const CompileOptions &CompileOpts,
     std::lock_guard<std::mutex> Lock(CacheMutex);
     auto It = BaselineCache.find(Key);
     if (It != BaselineCache.end()) {
-      ++Counters.BaselineHits;
+      Counters.BaselineHits.fetch_add(1, std::memory_order_relaxed);
       Hit = true;
       return It->second;
     }
@@ -212,7 +231,7 @@ Evaluator::baselineFor(const Workload &W, const CompileOptions &CompileOpts,
   Hit = false;
   if (Options.CacheCompiles) {
     std::lock_guard<std::mutex> Lock(CacheMutex);
-    ++Counters.BaselineMisses;
+    Counters.BaselineMisses.fetch_add(1, std::memory_order_relaxed);
     BaselineCache.emplace(std::move(Key), Result);
   }
   return Result;
@@ -227,7 +246,7 @@ Evaluator::reorderedFor(const Workload &W, const CompileOptions &CompileOpts,
     std::lock_guard<std::mutex> Lock(CacheMutex);
     auto It = ReorderedCache.find(Key);
     if (It != ReorderedCache.end()) {
-      ++Counters.ReorderedHits;
+      Counters.ReorderedHits.fetch_add(1, std::memory_order_relaxed);
       Hit = true;
       return It->second;
     }
@@ -239,7 +258,7 @@ Evaluator::reorderedFor(const Workload &W, const CompileOptions &CompileOpts,
   Hit = false;
   if (Options.CacheCompiles) {
     std::lock_guard<std::mutex> Lock(CacheMutex);
-    ++Counters.ReorderedMisses;
+    Counters.ReorderedMisses.fetch_add(1, std::memory_order_relaxed);
     ReorderedCache.emplace(std::move(Key), Result);
   }
   return Result;

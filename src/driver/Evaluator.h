@@ -35,6 +35,7 @@
 #include "support/LruCache.h"
 #include "support/ThreadPool.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -120,8 +121,14 @@ struct EvaluatorStats {
 
 /// Compiles and evaluates workloads concurrently with compile caching.
 /// One Evaluator is meant to live for a whole bench process so the cache
-/// spans every sweep; all public methods are safe to call from one thread
-/// at a time (the concurrency is internal).
+/// spans every sweep.  Concurrency contract: the caches are mutex-guarded
+/// and the stats counters are relaxed atomics, so evaluateWorkload() and
+/// stats() are safe from concurrent callers in the immutable-program
+/// modes (tree/decoded/fused/native) — broptd serves Evaluate requests
+/// from its worker pool this way.  The adaptive modes reuse *stateful*
+/// controllers across calls and one controller must not run two
+/// interpreters at once, so adaptive-mode evaluations sharing a module
+/// must still be serialized by the caller.
 class Evaluator {
 public:
   explicit Evaluator(EvaluatorOptions Options = {});
@@ -213,7 +220,28 @@ private:
     std::shared_ptr<const NativeProgram> Program;
   };
   LruCache<const Module *, NativeEntry> NativeCache;
-  EvaluatorStats Counters;
+
+  // Counter updates are relaxed atomics rather than plain fields guarded
+  // by CacheMutex: cache-hit bookkeeping must stay safe even where a
+  // fast path reads the cache without holding the lock, and stats() can
+  // snapshot mid-evaluation without tearing.  Monotonic counts only —
+  // no cross-counter invariant needs more than relaxed ordering.
+  struct AtomicCounters {
+    std::atomic<uint64_t> BaselineHits{0};
+    std::atomic<uint64_t> BaselineMisses{0};
+    std::atomic<uint64_t> ReorderedHits{0};
+    std::atomic<uint64_t> ReorderedMisses{0};
+    std::atomic<uint64_t> DecodeHits{0};
+    std::atomic<uint64_t> DecodeMisses{0};
+    std::atomic<uint64_t> AdaptiveHits{0};
+    std::atomic<uint64_t> AdaptiveMisses{0};
+    std::atomic<uint64_t> AdaptiveReFusions{0};
+    std::atomic<uint64_t> AdaptiveNativePromotions{0};
+    std::atomic<uint64_t> AdaptiveNativeDeopts{0};
+    std::atomic<uint64_t> NativeHits{0};
+    std::atomic<uint64_t> NativeMisses{0};
+  };
+  mutable AtomicCounters Counters;
 };
 
 } // namespace bropt

@@ -114,10 +114,13 @@ FuzzCampaignResult bropt::runFuzzCampaign(const FuzzOptions &Opts) {
     Oracle.CheckNativeEngine = Opts.CheckNativeEngine;
     Oracle.CheckAdaptiveNativeEngine = Opts.CheckAdaptiveNativeEngine;
     Oracle.CheckLoweringOptimal = Opts.CheckLoweringOptimal;
+    Oracle.CheckServiceEngine =
+        Opts.CheckServiceEngine || Opts.Fault == FaultKind::DropConnection;
     OracleReport Report = runOracle(Program.Source, Program.TrainingInputs,
                                     Program.HeldOutInputs, Oracle);
     ++Result.ProgramsRun;
     Result.NativeCompileCancellations += Report.NativeCompileCancellations;
+    Result.DroppedConnections += Report.DroppedConnections;
     if (Report.ok())
       continue;
     if (Report.Kind == ViolationKind::CompileError) {

@@ -59,6 +59,13 @@ struct FuzzOptions {
   /// pipeline bugs and to keep smoke campaigns cheap
   /// (bropt-fuzz --lowering-check off).
   bool CheckLoweringOptimal = true;
+  /// Run the service-engine invariant (OracleOptions::CheckServiceEngine):
+  /// every program is also replayed through a campaign-wide in-process
+  /// broptd and the wire responses held to bit-identical agreement with
+  /// direct runs.  Off by default — bropt-fuzz --serve turns it on.
+  /// FaultKind::DropConnection forces it on (the fault is meaningless
+  /// without the daemon).
+  bool CheckServiceEngine = false;
   /// Print per-violation detail to stderr as the campaign runs.
   bool Verbose = false;
 };
@@ -86,6 +93,12 @@ struct FuzzCampaignResult {
   /// violations AND at least one cancellation, proving the compile
   /// deadline tears down a wedged host compiler without observable harm.
   uint64_t NativeCompileCancellations = 0;
+  /// Connections the shared daemon saw die mid-request, summed over every
+  /// clean oracle run (CheckServiceEngine only).  FaultKind::
+  /// DropConnection inverts the campaign expectation the same way: zero
+  /// violations AND at least one drop, proving a vanishing client never
+  /// corrupts the daemon's shared caches or profile shards.
+  uint64_t DroppedConnections = 0;
   std::vector<FuzzViolation> Violations;
 };
 

@@ -9,12 +9,18 @@
 #include "opt/Passes.h"
 #include "profile/ProfileDB.h"
 #include "runtime/AdaptiveController.h"
+#include "service/Client.h"
 #include "sim/Fuse.h"
 #include "sim/Interpreter.h"
 #include "support/Strings.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <thread>
+
+#include <sys/socket.h>
 
 using namespace bropt;
 
@@ -153,6 +159,82 @@ bool behaviorsAgree(const RunResult &Base, const RunResult &Opt,
     return false;
   }
   return true;
+}
+
+/// The campaign-wide daemon the service oracle replays through.  Shared
+/// across every runOracle() call in the process on purpose: its artifact
+/// cache and profile shards accumulate state from every prior program, so
+/// a corruption planted by one run (or one dropped connection) has the
+/// rest of the campaign to be observed — a fresh daemon per run would
+/// only ever test a cold cache.
+InProcessService &sharedOracleService() {
+  static InProcessService Daemon([] {
+    ServiceOptions Options;
+    Options.Threads = 2;
+    return Options;
+  }());
+  return Daemon;
+}
+
+std::string describeResponse(const ServiceResponse &Response) {
+  if (Response.Trapped)
+    return "trap: " + Response.TrapReason;
+  return formatString("exit %lld, %zu output bytes",
+                      (long long)Response.ExitValue,
+                      Response.Output.size());
+}
+
+/// Invariant 2 over the wire: an Execute response must agree with the
+/// direct run bit for bit — observables and the dynamic counters the
+/// protocol carries.
+bool serviceAgrees(const RunResult &Tree, const ServiceResponse &Response,
+                   std::string &Detail) {
+  if (Tree.Trapped != Response.Trapped ||
+      Tree.TrapReason != Response.TrapReason ||
+      Tree.ExitValue != Response.ExitValue ||
+      Tree.Output != Response.Output) {
+    Detail = "tree: " + describeRun(Tree) +
+             "; service: " + describeResponse(Response);
+    return false;
+  }
+  if (Tree.Counts.TotalInsts != Response.TotalInsts ||
+      Tree.Counts.CondBranches != Response.CondBranches) {
+    Detail = formatString(
+        "dynamic counters diverge over the wire: tree %llu insts / %llu "
+        "branches, service %llu insts / %llu branches",
+        (unsigned long long)Tree.Counts.TotalInsts,
+        (unsigned long long)Tree.Counts.CondBranches,
+        (unsigned long long)Response.TotalInsts,
+        (unsigned long long)Response.CondBranches);
+    return false;
+  }
+  return true;
+}
+
+/// FaultKind::DropConnection saboteur: two extra connections die against
+/// the shared daemon — one mid-frame (a length prefix promising more
+/// bytes than ever arrive, which the reader records deterministically
+/// once it sees the EOF), and one whose request completes but whose
+/// response write finds the peer already gone.  The second races the
+/// worker and may or may not be counted; the inverted expectation only
+/// needs >= 1 recorded drop and an uncorrupted daemon afterwards.
+void dropConnectionsMidRequest(InProcessService &Daemon,
+                               const ServiceRequest &Request) {
+  const std::string Payload = encodeRequest(Request);
+  if (auto Client = Daemon.connect()) {
+    const uint32_t Length = (uint32_t)Payload.size();
+    const uint8_t Prefix[4] = {
+        (uint8_t)(Length & 0xff), (uint8_t)((Length >> 8) & 0xff),
+        (uint8_t)((Length >> 16) & 0xff), (uint8_t)((Length >> 24) & 0xff)};
+    (void)::send(Client->fd(), Prefix, sizeof(Prefix), MSG_NOSIGNAL);
+    (void)::send(Client->fd(), Payload.data(), Payload.size() / 2,
+                 MSG_NOSIGNAL);
+    Client->close();
+  }
+  if (auto Client = Daemon.connect()) {
+    (void)Client->send(Request);
+    Client->close();
+  }
 }
 
 /// Test-only fault: flip the predicate of the first conditional branch in
@@ -405,6 +487,77 @@ OracleReport bropt::runOracle(std::string_view Source,
     }
   }
 
+  // The service engine: replay the program through the shared in-process
+  // broptd and hold every Execute response to bit-identical agreement
+  // with a direct run.  The wire protocol's CompileSpec carries fewer
+  // knobs than OracleOptions::Compile (it encodes the heuristic set,
+  // common-successor, and method-selection flags only), so the daemon's
+  // builds are compared against *reference modules compiled under the
+  // daemon's own option mapping* — not against Base/Optimized — making
+  // counter agreement meaningful even when the campaign varied knobs the
+  // protocol does not encode.  Skipped under CorruptReorderedBlock: that
+  // fault corrupts the oracle's in-memory module, while the daemon
+  // compiles its own pristine one from source.
+  InProcessService *Daemon = nullptr;
+  std::unique_ptr<ServiceClient> SvcClient;
+  CompileSpec BaseSpec, OptSpec;
+  CompileResult SvcBaseRef, SvcOptRef;
+  uint64_t DropsBefore = 0;
+  const bool DropFault = Opts.Fault == FaultKind::DropConnection;
+  if (Opts.CheckServiceEngine &&
+      Opts.Fault != FaultKind::CorruptReorderedBlock) {
+    Daemon = &sharedOracleService();
+    if (!Daemon->ok()) {
+      Report.Kind = ViolationKind::EngineMismatch;
+      Report.Detail =
+          "service: in-process daemon failed to start: " + Daemon->error();
+      return Report;
+    }
+    DropsBefore = Daemon->service().stats().DroppedConnections;
+    std::string ConnectError;
+    SvcClient = Daemon->connect(&ConnectError);
+    if (!SvcClient) {
+      Report.Kind = ViolationKind::EngineMismatch;
+      Report.Detail = "service: connect failed: " + ConnectError;
+      return Report;
+    }
+    BaseSpec.Source = std::string(Source);
+    BaseSpec.HeuristicSet =
+        (uint8_t)std::min<unsigned>((unsigned)Opts.Compile.HeuristicSet, 3);
+    BaseSpec.CommonSuccessor = Opts.Compile.EnableCommonSuccessorReordering;
+    BaseSpec.MethodSelection = Opts.Compile.Reorder.EnableMethodSelection;
+    OptSpec = BaseSpec;
+    OptSpec.TrainingInputs = TrainingInputs;
+    CompileOptions SvcOpts; // mirror of the daemon's compileOptionsFor()
+    SvcOpts.HeuristicSet = (SwitchHeuristicSet)BaseSpec.HeuristicSet;
+    SvcOpts.EnableCommonSuccessorReordering = BaseSpec.CommonSuccessor;
+    SvcOpts.Reorder.EnableMethodSelection = BaseSpec.MethodSelection;
+    SvcBaseRef = compileBaseline(Source, SvcOpts);
+    // The trained reference mirrors the daemon's buildArtifact() exactly:
+    // pass 1 over the training inputs, then compileWithProfile — NOT
+    // compileWithReordering, whose extra fresh-measurement layout pass
+    // would produce a differently-laid-out (and differently-counting)
+    // module than the daemon serves.
+    if (Training.empty()) {
+      SvcOptRef = compileBaseline(Source, SvcOpts);
+    } else {
+      Pass1Result SvcP1 = runPass1(Source, Training, SvcOpts);
+      if (SvcP1.ok()) {
+        ProfileDB SvcProfile;
+        SvcProfile.merge(SvcP1.Profile);
+        SvcOptRef = compileWithProfile(Source, SvcProfile, SvcOpts);
+      } else {
+        SvcOptRef.Error = SvcP1.Error;
+      }
+    }
+    if (!SvcBaseRef.ok() || !SvcOptRef.ok()) {
+      Report.Kind = ViolationKind::EngineMismatch;
+      Report.Detail = "service reference compile failed: " +
+                      (SvcBaseRef.ok() ? SvcOptRef.Error : SvcBaseRef.Error);
+      return Report;
+    }
+  }
+
   for (size_t InputIndex = 0; InputIndex < HeldOutInputs.size();
        ++InputIndex) {
     const std::string &Input = HeldOutInputs[InputIndex];
@@ -529,6 +682,68 @@ OracleReport bropt::runOracle(std::string_view Source,
         return Report;
       }
     }
+    if (SvcClient) {
+      ServiceRequest Request;
+      Request.Kind = RequestKind::Execute;
+      Request.Spec = BaseSpec;
+      Request.Input = Input;
+      Request.Mode = (uint8_t)Interpreter::Mode::Fused;
+      Request.InstructionLimit = Opts.InstructionLimit;
+      if (DropFault)
+        dropConnectionsMidRequest(*Daemon, Request);
+      struct WireCheck {
+        const CompileSpec *Spec;
+        const Module *Ref;
+        const char *Label;
+      } Checks[] = {{&BaseSpec, SvcBaseRef.M.get(), "baseline"},
+                    {&OptSpec, SvcOptRef.M.get(), "reordered"}};
+      for (const WireCheck &Check : Checks) {
+        Request.Spec = *Check.Spec;
+        RunResult Ref = runOne(*Check.Ref, Interpreter::Mode::Tree, Input,
+                               Opts.InstructionLimit);
+        ServiceResponse Response;
+        std::string TransportError;
+        if (!SvcClient->roundTripRetrying(Request, Response,
+                                          &TransportError)) {
+          Report.Kind = ViolationKind::EngineMismatch;
+          Report.Detail =
+              formatString("service %s spec, held-out input %zu: "
+                           "transport failed: ",
+                           Check.Label, InputIndex) +
+              (TransportError.empty() ? std::string("rejected")
+                                      : TransportError);
+          return Report;
+        }
+        if (!Response.ok()) {
+          Report.Kind = ViolationKind::EngineMismatch;
+          Report.Detail = formatString("service %s spec, held-out input "
+                                       "%zu: request failed: ",
+                                       Check.Label, InputIndex) +
+                          Response.Error;
+          return Report;
+        }
+        if (!serviceAgrees(Ref, Response, Detail)) {
+          Report.Kind = ViolationKind::EngineMismatch;
+          Report.Detail = formatString("service %s spec, held-out input "
+                                       "%zu: ",
+                                       Check.Label, InputIndex) +
+                          Detail;
+          return Report;
+        }
+      }
+    }
+  }
+
+  // The saboteur's mid-frame EOFs are recorded on the daemon's reader
+  // threads; give the last one a moment to land before snapshotting.
+  if (Daemon) {
+    uint64_t Drops = Daemon->service().stats().DroppedConnections;
+    for (int Spin = 0; DropFault && Drops <= DropsBefore && Spin < 200;
+         ++Spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      Drops = Daemon->service().stats().DroppedConnections;
+    }
+    Report.DroppedConnections = Drops - DropsBefore;
   }
 
   // Sync mode means nothing is still in flight here; the stats are final.

@@ -72,6 +72,14 @@ enum class FaultKind : uint8_t {
   /// the tier-2 deadline machinery tears down a wedged $BROPT_CC and
   /// falls back to the fused tier without observable divergence.
   HangNativeCompile,
+  /// With CheckServiceEngine: before each replayed request, open extra
+  /// connections to the in-process broptd and kill them mid-request —
+  /// half-written frames, and completed requests whose response write
+  /// finds the peer gone.  Another inverted expectation: the run must
+  /// stay clean (the daemon's shared artifact cache and profile shards
+  /// are never corrupted by a vanishing client) with at least one
+  /// dropped connection recorded by the server.
+  DropConnection,
 };
 
 /// Which invariant a violation report refers to.
@@ -150,6 +158,17 @@ struct OracleOptions {
   /// ext-TSP build to (a) observable identity with the baseline on every
   /// held-out input and (b) the never-worse model-cost guarantee.
   bool CheckLoweringOptimal = true;
+  /// Also replay the program through an in-process broptd
+  /// (service/Service.h): submit the same source + training inputs as a
+  /// daemon Compile, then Execute every held-out input over the wire and
+  /// hold the responses to bit-identical agreement — trap, exit value,
+  /// output, and dynamic counters — with the direct executeModule runs
+  /// the engine oracle already made.  The daemon instance is shared
+  /// across the whole campaign, so its artifact cache and profile shards
+  /// accumulate state from every prior program — exactly the surface a
+  /// corruption would poison.  Off by default (spins up a socket);
+  /// bropt-fuzz --serve turns it on.
+  bool CheckServiceEngine = false;
 };
 
 /// Outcome of one oracle run.
@@ -162,6 +181,10 @@ struct OracleReport {
   /// or teardown), summed over both modules.  Populated on clean runs;
   /// FaultKind::HangNativeCompile expects ok() && this >= 1.
   uint64_t NativeCompileCancellations = 0;
+  /// CheckServiceEngine only: connections the shared daemon saw die
+  /// mid-request over this run.  FaultKind::DropConnection expects
+  /// ok() && this >= 1 — the drops happened and corrupted nothing.
+  uint64_t DroppedConnections = 0;
 
   bool ok() const { return Kind == ViolationKind::None; }
 };

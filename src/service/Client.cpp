@@ -1,0 +1,151 @@
+//===- service/Client.cpp - broptd client library -------------------------===//
+
+#include "service/Client.h"
+
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace bropt;
+
+ServiceClient::~ServiceClient() {
+  close();
+}
+
+void ServiceClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool ServiceClient::connect(const std::string &SocketPath,
+                            std::string *Error) {
+  close();
+  sockaddr_un Addr{};
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "socket path too long";
+    return false;
+  }
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = formatString("socket: %s", std::strerror(errno));
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    if (Error)
+      *Error = formatString("connect %s: %s", SocketPath.c_str(),
+                            std::strerror(errno));
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::connectWithRetry(const std::string &SocketPath,
+                                     double Seconds, std::string *Error) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(Seconds);
+  for (;;) {
+    if (connect(SocketPath, Error))
+      return true;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+bool ServiceClient::send(const ServiceRequest &Request, std::string *Error) {
+  if (Fd < 0) {
+    if (Error)
+      *Error = "not connected";
+    return false;
+  }
+  return writeFrame(Fd, encodeRequest(Request), Error);
+}
+
+bool ServiceClient::receive(ServiceResponse &Response, std::string *Error) {
+  if (Fd < 0) {
+    if (Error)
+      *Error = "not connected";
+    return false;
+  }
+  std::string Payload;
+  if (!readFrame(Fd, Payload, MaxServiceFrameBytes, Error))
+    return false;
+  return decodeResponse(Payload, Response, Error);
+}
+
+bool ServiceClient::roundTrip(ServiceRequest Request,
+                              ServiceResponse &Response,
+                              std::string *Error) {
+  Request.Seq = NextSeq++;
+  if (!send(Request, Error))
+    return false;
+  if (!receive(Response, Error))
+    return false;
+  if (Response.Seq != Request.Seq) {
+    if (Error)
+      *Error = formatString("sequence mismatch: sent %llu, got %llu",
+                            static_cast<unsigned long long>(Request.Seq),
+                            static_cast<unsigned long long>(Response.Seq));
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::roundTripRetrying(const ServiceRequest &Request,
+                                      ServiceResponse &Response,
+                                      std::string *Error,
+                                      unsigned MaxAttempts) {
+  for (unsigned Attempt = 0; Attempt < std::max(MaxAttempts, 1u);
+       ++Attempt) {
+    if (!roundTrip(Request, Response, Error))
+      return false;
+    if (Response.Status != ResponseStatus::Rejected)
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::max<uint32_t>(Response.RetryAfterMillis, 1)));
+  }
+  if (Error)
+    *Error = "rejected on every attempt";
+  return false;
+}
+
+InProcessService::InProcessService(ServiceOptions Options) {
+  if (Options.SocketPath.empty()) {
+    static std::atomic<unsigned> Counter{0};
+    Options.SocketPath = formatString(
+        "/tmp/broptd-%d-%u.sock", static_cast<int>(::getpid()),
+        Counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  Path = Options.SocketPath;
+  Srv = std::make_unique<BroptService>(std::move(Options));
+  std::string StartError;
+  if (!Srv->start(&StartError))
+    Err = StartError;
+}
+
+InProcessService::~InProcessService() {
+  if (Srv)
+    Srv->shutdown();
+}
+
+std::unique_ptr<ServiceClient> InProcessService::connect(std::string *Error) {
+  auto Client = std::make_unique<ServiceClient>();
+  if (!Client->connectWithRetry(Path, 5.0, Error))
+    return nullptr;
+  return Client;
+}

@@ -1,0 +1,100 @@
+//===- service/Client.h - broptd client library -----------------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client-side access to a running broptd: connect to the Unix-domain
+/// socket, frame requests, match responses by sequence number.  Also
+/// hosts InProcessService, the one-liner tests, the fuzz oracle, and the
+/// service bench use to stand up a real daemon on a private socket
+/// inside the current process — traffic still crosses the socket, so
+/// what they exercise is the full wire path, not a shortcut.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_SERVICE_CLIENT_H
+#define BROPT_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+#include "service/Service.h"
+
+#include <memory>
+#include <string>
+
+namespace bropt {
+
+/// One connection to a broptd socket.  Safe for one thread at a time;
+/// concurrent clients each hold their own.
+class ServiceClient {
+public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient &) = delete;
+  ServiceClient &operator=(const ServiceClient &) = delete;
+
+  bool connect(const std::string &SocketPath, std::string *Error = nullptr);
+  /// connect(), retried until \p Seconds elapse — covers the race with a
+  /// daemon that is still binding its socket.
+  bool connectWithRetry(const std::string &SocketPath, double Seconds,
+                        std::string *Error = nullptr);
+  void close();
+  bool connected() const { return Fd >= 0; }
+  /// The raw socket, for fault injection (dropping a connection
+  /// mid-request) and poll-based clients.
+  int fd() const { return Fd; }
+
+  /// Fire-and-forget framing, for pipelining callers that match
+  /// responses themselves.  Sends \p Request verbatim (Seq included).
+  bool send(const ServiceRequest &Request, std::string *Error = nullptr);
+  bool receive(ServiceResponse &Response, std::string *Error = nullptr);
+
+  /// Assigns the next sequence number, sends, and blocks for the
+  /// response, verifying the echoed Seq.  \returns false on transport or
+  /// protocol failure; request-level errors come back in \p Response.
+  bool roundTrip(ServiceRequest Request, ServiceResponse &Response,
+                 std::string *Error = nullptr);
+
+  /// roundTrip(), honouring backpressure: on Rejected, sleeps the
+  /// server's RetryAfterMillis hint and retries, up to \p MaxAttempts.
+  /// \returns false when the transport failed or every attempt was
+  /// rejected (\p Response then holds the last rejection).
+  bool roundTripRetrying(const ServiceRequest &Request,
+                         ServiceResponse &Response,
+                         std::string *Error = nullptr,
+                         unsigned MaxAttempts = 64);
+
+private:
+  int Fd = -1;
+  uint64_t NextSeq = 1;
+};
+
+/// A real BroptService on a private, auto-generated socket path, started
+/// in the constructor and drained in the destructor.
+class InProcessService {
+public:
+  /// Starts the daemon; empty Options.SocketPath gets a unique temp
+  /// path.  Check ok() before use.
+  explicit InProcessService(ServiceOptions Options = {});
+  ~InProcessService();
+
+  bool ok() const { return Err.empty(); }
+  const std::string &error() const { return Err; }
+  BroptService &service() { return *Srv; }
+  const std::string &socketPath() const { return Path; }
+
+  /// A fresh connected client (nullptr when the connect failed).
+  std::unique_ptr<ServiceClient> connect(std::string *Error = nullptr);
+
+private:
+  std::string Path;
+  std::string Err;
+  std::unique_ptr<BroptService> Srv;
+};
+
+} // namespace bropt
+
+#endif // BROPT_SERVICE_CLIENT_H

@@ -1,0 +1,134 @@
+//===- service/ProfileShards.cpp - Sharded cross-tenant profiles ----------===//
+
+#include "service/ProfileShards.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace bropt;
+
+namespace {
+
+/// Pseudo-kind distinguishing FunctionHotness records from sequence
+/// entries in the shard-assignment hash (ProfileKind stops at 3).
+constexpr unsigned HotnessShardKind = 250;
+
+} // namespace
+
+ProfileShards::ProfileShards(unsigned NumShards) {
+  if (NumShards == 0)
+    NumShards = 1;
+  Shards.reserve(NumShards);
+  for (unsigned Index = 0; Index < NumShards; ++Index)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+size_t ProfileShards::shardFor(const std::string &ProgramKey, unsigned Kind,
+                               const std::string &FunctionName) const {
+  // Shard assignment must be a pure function of the record key so every
+  // merge of a given record lands in the same shard — that is what makes
+  // the shards a partition and the aggregate order-independent.
+  size_t Hash = std::hash<std::string>()(ProgramKey) * 1099511628211ull;
+  Hash ^= std::hash<unsigned>()(Kind) + 0x9e3779b97f4a7c15ull;
+  Hash ^= std::hash<std::string>()(FunctionName) << 1;
+  return Hash % Shards.size();
+}
+
+ProfileMergeStats ProfileShards::merge(const std::string &ProgramKey,
+                                       const ProfileDB &DB) {
+  // Split the incoming profile into one piece per shard.  Building the
+  // pieces needs no lock; only the per-shard merge below takes one.
+  std::vector<std::unique_ptr<ProfileDB>> Pieces(Shards.size());
+  auto pieceFor = [&](size_t Index) -> ProfileDB & {
+    if (!Pieces[Index])
+      Pieces[Index] = std::make_unique<ProfileDB>();
+    return *Pieces[Index];
+  };
+  for (const ProfileEntry &Entry : DB) {
+    ProfileDB &Piece = pieceFor(shardFor(
+        ProgramKey, static_cast<unsigned>(Entry.Kind), Entry.FunctionName));
+    ProfileEntry &Copy =
+        Piece.upsertEntry(Entry.Kind, Entry.FunctionName, Entry.Signature,
+                          Entry.Ordinal, Entry.BinCounts.size());
+    Copy.BinCounts = Entry.BinCounts;
+  }
+  for (const FunctionHotness &Hot : DB.hotness()) {
+    ProfileDB &Piece = pieceFor(
+        shardFor(ProgramKey, HotnessShardKind, Hot.FunctionName));
+    FunctionHotness &Copy =
+        Piece.functionHotness(Hot.FunctionName, Hot.Taken.size());
+    Copy.Taken = Hot.Taken;
+    Copy.Total = Hot.Total;
+  }
+
+  ProfileMergeStats Total;
+  for (size_t Index = 0; Index < Pieces.size(); ++Index) {
+    if (!Pieces[Index])
+      continue;
+    Shard &S = *Shards[Index];
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    ProfileMergeStats Stats = S.ByProgram[ProgramKey].merge(*Pieces[Index]);
+    ++S.Merges;
+    S.Conflicts += Stats.Skipped;
+    Total.Added += Stats.Added;
+    Total.Merged += Stats.Merged;
+    Total.Skipped += Stats.Skipped;
+    for (std::string &Conflict : Stats.Conflicts)
+      Total.Conflicts.push_back(std::move(Conflict));
+  }
+  Generation.fetch_add(1, std::memory_order_release);
+  return Total;
+}
+
+std::shared_ptr<const ProfileDB>
+ProfileShards::aggregated(const std::string &ProgramKey) {
+  uint64_t Current = Generation.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> Lock(SnapshotMutex);
+    auto It = Snapshots.find(ProgramKey);
+    if (It != Snapshots.end() && It->second.BuiltAtGeneration == Current)
+      return It->second.DB;
+  }
+  // Stale or missing: run an aggregation pass.  Shards are locked one at
+  // a time — never all at once — so concurrent merges into other shards
+  // keep flowing while the pass walks.  The shards partition the record
+  // space, so cross-shard conflicts cannot occur and merge order is
+  // irrelevant; the conflict checker still runs as a safety net.
+  auto Aggregate = std::make_shared<ProfileDB>();
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    auto It = S->ByProgram.find(ProgramKey);
+    if (It != S->ByProgram.end())
+      Aggregate->merge(It->second);
+  }
+  Aggregations.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(SnapshotMutex);
+  Snapshot &Cached = Snapshots[ProgramKey];
+  // A racing merge may have bumped the generation mid-pass; remembering
+  // the pre-pass generation keeps the cache conservatively stale rather
+  // than wrongly fresh.
+  if (!Cached.DB || Cached.BuiltAtGeneration <= Current) {
+    Cached.BuiltAtGeneration = Current;
+    Cached.DB = Aggregate;
+  }
+  return Aggregate;
+}
+
+ProfileShardStats ProfileShards::stats() const {
+  ProfileShardStats Stats;
+  std::vector<std::string> Programs;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    Stats.Merges += S->Merges;
+    Stats.Conflicts += S->Conflicts;
+    for (const auto &[Key, DB] : S->ByProgram) {
+      Stats.Records += DB.numSequences();
+      Programs.push_back(Key);
+    }
+  }
+  std::sort(Programs.begin(), Programs.end());
+  Stats.Programs = static_cast<uint64_t>(
+      std::unique(Programs.begin(), Programs.end()) - Programs.begin());
+  Stats.Aggregations = Aggregations.load(std::memory_order_relaxed);
+  return Stats;
+}

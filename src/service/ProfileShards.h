@@ -1,0 +1,104 @@
+//===- service/ProfileShards.h - Sharded cross-tenant profiles --*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's concurrent profile store.  Incoming profiles — client
+/// profile-merge requests and snapshots the adaptive runtime learned from
+/// live traffic — are split record-by-record across N shards keyed by
+/// hash(program, kind, function), so two clients whose traffic touches
+/// different functions merge into different shards and never serialize on
+/// one profile lock.  Each shard keeps one ProfileDB per program key and
+/// merges with the PR-5 conflict checker: matching records sum,
+/// conflicting records are skipped and counted, never misattributed
+/// (docs/PROFILE.md).
+///
+/// Reads go through aggregated(): a cross-shard conflict-checked merge
+/// into one snapshot per program, cached and refreshed only when shard
+/// generations have moved — the periodic aggregation pass that serves
+/// profile-export requests and warm-starts cross-tenant compiles.
+/// Because shard assignment is a pure function of the record key, the
+/// shards partition every program's records and the aggregate equals
+/// what a serial merge of the same inputs would have produced — the
+/// convergence property tests/service/service_test.cpp asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_SERVICE_PROFILESHARDS_H
+#define BROPT_SERVICE_PROFILESHARDS_H
+
+#include "profile/ProfileDB.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bropt {
+
+/// Aggregate counters over every shard (monotonic, except Records).
+struct ProfileShardStats {
+  uint64_t Merges = 0;       ///< shard-level merge operations
+  uint64_t Conflicts = 0;    ///< records the conflict checker skipped
+  uint64_t Aggregations = 0; ///< cross-shard aggregation passes run
+  uint64_t Records = 0;      ///< gauge: sequence records currently held
+  uint64_t Programs = 0;     ///< gauge: distinct program keys seen
+};
+
+/// Concurrency-safe sharded profile store; see the file comment.
+class ProfileShards {
+public:
+  explicit ProfileShards(unsigned NumShards = 16);
+
+  unsigned numShards() const {
+    return static_cast<unsigned>(Shards.size());
+  }
+
+  /// Splits \p DB by record key and merges each piece into its shard
+  /// under that shard's lock only.  Concurrent callers touching disjoint
+  /// functions proceed in parallel.  \returns the summed conflict-checked
+  /// merge stats across the touched shards.
+  ProfileMergeStats merge(const std::string &ProgramKey,
+                          const ProfileDB &DB);
+
+  /// The cross-shard aggregate for \p ProgramKey.  Served from a cached
+  /// snapshot unless some shard has merged since the last aggregation
+  /// pass (generation check), in which case the pass re-runs.  Never
+  /// returns null; an unknown program yields an empty profile.
+  std::shared_ptr<const ProfileDB> aggregated(const std::string &ProgramKey);
+
+  ProfileShardStats stats() const;
+
+private:
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::unordered_map<std::string, ProfileDB> ByProgram;
+    uint64_t Merges = 0;
+    uint64_t Conflicts = 0;
+  };
+
+  size_t shardFor(const std::string &ProgramKey, unsigned Kind,
+                  const std::string &FunctionName) const;
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  /// Bumped on every merge; snapshots record the value they were built
+  /// at, so aggregated() can tell a fresh cache from a stale one.
+  std::atomic<uint64_t> Generation{0};
+
+  struct Snapshot {
+    uint64_t BuiltAtGeneration = 0;
+    std::shared_ptr<const ProfileDB> DB;
+  };
+  mutable std::mutex SnapshotMutex;
+  std::unordered_map<std::string, Snapshot> Snapshots;
+  std::atomic<uint64_t> Aggregations{0};
+};
+
+} // namespace bropt
+
+#endif // BROPT_SERVICE_PROFILESHARDS_H

@@ -1,0 +1,465 @@
+//===- service/Protocol.cpp - broptd wire protocol ------------------------===//
+
+#include "service/Protocol.h"
+
+#include "support/Strings.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace bropt;
+
+namespace {
+
+// --- Primitive encoders: LEB128 varints + length-prefixed strings, the
+// same shapes ProfileDB's binary format is built from. ---
+
+void putVar(std::string &Out, uint64_t Value) {
+  do {
+    uint8_t Byte = Value & 0x7f;
+    Value >>= 7;
+    if (Value)
+      Byte |= 0x80;
+    Out.push_back(static_cast<char>(Byte));
+  } while (Value);
+}
+
+void putString(std::string &Out, const std::string &S) {
+  putVar(Out, S.size());
+  Out.append(S);
+}
+
+void putBool(std::string &Out, bool B) { Out.push_back(B ? 1 : 0); }
+
+/// Bounded little-endian cursor over a payload.  Every read checks the
+/// remaining length, so a truncated or garbage frame fails cleanly.
+struct Cursor {
+  const std::string &Data;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Reason;
+
+  explicit Cursor(const std::string &Data) : Data(Data) {}
+
+  void fail(const char *Why) {
+    if (!Failed) {
+      Failed = true;
+      Reason = formatString("%s at offset %zu", Why, Pos);
+    }
+  }
+
+  uint64_t var() {
+    uint64_t Value = 0;
+    unsigned Shift = 0;
+    while (true) {
+      if (Pos >= Data.size() || Shift > 63) {
+        fail("truncated varint");
+        return 0;
+      }
+      uint8_t Byte = static_cast<uint8_t>(Data[Pos++]);
+      Value |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+      if (!(Byte & 0x80))
+        return Value;
+      Shift += 7;
+    }
+  }
+
+  std::string str() {
+    uint64_t Len = var();
+    if (Failed || Len > Data.size() - Pos) {
+      fail("truncated string");
+      return {};
+    }
+    std::string S = Data.substr(Pos, Len);
+    Pos += Len;
+    return S;
+  }
+
+  bool boolean() {
+    if (Pos >= Data.size()) {
+      fail("truncated bool");
+      return false;
+    }
+    return Data[Pos++] != 0;
+  }
+
+  uint8_t byte() {
+    if (Pos >= Data.size()) {
+      fail("truncated byte");
+      return 0;
+    }
+    return static_cast<uint8_t>(Data[Pos++]);
+  }
+
+  bool done() const { return Pos == Data.size(); }
+};
+
+void putSpec(std::string &Out, const CompileSpec &Spec) {
+  putString(Out, Spec.Source);
+  putVar(Out, Spec.TrainingInputs.size());
+  for (const std::string &Input : Spec.TrainingInputs)
+    putString(Out, Input);
+  putString(Out, Spec.ProfileData);
+  Out.push_back(static_cast<char>(Spec.HeuristicSet));
+  putBool(Out, Spec.CommonSuccessor);
+  putBool(Out, Spec.MethodSelection);
+  putBool(Out, Spec.WarmStart);
+}
+
+bool getSpec(Cursor &In, CompileSpec &Spec) {
+  Spec.Source = In.str();
+  uint64_t NumTraining = In.var();
+  if (In.Failed || NumTraining > 1024) {
+    In.fail("absurd training-input count");
+    return false;
+  }
+  Spec.TrainingInputs.clear();
+  for (uint64_t Index = 0; Index < NumTraining && !In.Failed; ++Index)
+    Spec.TrainingInputs.push_back(In.str());
+  Spec.ProfileData = In.str();
+  Spec.HeuristicSet = In.byte();
+  Spec.CommonSuccessor = In.boolean();
+  Spec.MethodSelection = In.boolean();
+  Spec.WarmStart = In.boolean();
+  return !In.Failed;
+}
+
+/// The stats block travels as a count-prefixed u64 array in declaration
+/// order: old readers ignore trailing fields, new readers zero-fill.
+void putStats(std::string &Out, const ServiceStats &S) {
+  const uint64_t Fields[] = {
+      S.RequestsAccepted,   S.RequestsCompleted,  S.RequestsRejected,
+      S.ProtocolErrors,     S.DroppedConnections, S.QueueDepth,
+      S.QueueHighWaterSeen, S.QueueWaitMicrosTotal, S.QueueWaitMicrosMax,
+      S.CompileHits,        S.CompileMisses,      S.ArtifactEvictions,
+      S.ProfileMerges,      S.ProfileMergeConflicts, S.ProfileAggregations,
+      S.ProfileRecords,     S.WarmStarts,         S.LearnedExports,
+      S.ActiveConnections,  S.TierTwoCancellations};
+  putVar(Out, sizeof(Fields) / sizeof(Fields[0]));
+  for (uint64_t Field : Fields)
+    putVar(Out, Field);
+}
+
+bool getStats(Cursor &In, ServiceStats &S) {
+  uint64_t Count = In.var();
+  if (In.Failed || Count > 1024) {
+    In.fail("absurd stats field count");
+    return false;
+  }
+  uint64_t *Fields[] = {
+      &S.RequestsAccepted,   &S.RequestsCompleted,  &S.RequestsRejected,
+      &S.ProtocolErrors,     &S.DroppedConnections, &S.QueueDepth,
+      &S.QueueHighWaterSeen, &S.QueueWaitMicrosTotal, &S.QueueWaitMicrosMax,
+      &S.CompileHits,        &S.CompileMisses,      &S.ArtifactEvictions,
+      &S.ProfileMerges,      &S.ProfileMergeConflicts, &S.ProfileAggregations,
+      &S.ProfileRecords,     &S.WarmStarts,         &S.LearnedExports,
+      &S.ActiveConnections,  &S.TierTwoCancellations};
+  constexpr size_t Known = sizeof(Fields) / sizeof(Fields[0]);
+  for (uint64_t Index = 0; Index < Count && !In.Failed; ++Index) {
+    uint64_t Value = In.var();
+    if (Index < Known)
+      *Fields[Index] = Value;
+  }
+  return !In.Failed;
+}
+
+uint64_t fnv1a(const std::string &Data, uint64_t Hash = 1469598103934665603ull) {
+  for (unsigned char Byte : Data) {
+    Hash ^= Byte;
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+} // namespace
+
+const char *bropt::requestKindName(RequestKind Kind) {
+  switch (Kind) {
+  case RequestKind::Compile:
+    return "compile";
+  case RequestKind::Execute:
+    return "execute";
+  case RequestKind::Evaluate:
+    return "evaluate";
+  case RequestKind::ProfileExport:
+    return "profile-export";
+  case RequestKind::ProfileMerge:
+    return "profile-merge";
+  case RequestKind::Stats:
+    return "stats";
+  case RequestKind::Shutdown:
+    return "shutdown";
+  }
+  return "unknown";
+}
+
+const char *bropt::responseStatusName(ResponseStatus Status) {
+  switch (Status) {
+  case ResponseStatus::Ok:
+    return "ok";
+  case ResponseStatus::Error:
+    return "error";
+  case ResponseStatus::Rejected:
+    return "rejected";
+  case ResponseStatus::ShuttingDown:
+    return "shutting-down";
+  }
+  return "unknown";
+}
+
+std::string bropt::encodeRequest(const ServiceRequest &Request) {
+  std::string Out;
+  Out.push_back(static_cast<char>(Request.Kind));
+  putVar(Out, Request.Seq);
+  switch (Request.Kind) {
+  case RequestKind::Compile:
+    putSpec(Out, Request.Spec);
+    break;
+  case RequestKind::Execute:
+    putSpec(Out, Request.Spec);
+    putString(Out, Request.Input);
+    Out.push_back(static_cast<char>(Request.Mode));
+    putVar(Out, Request.InstructionLimit);
+    break;
+  case RequestKind::Evaluate:
+    putString(Out, Request.WorkloadName);
+    Out.push_back(static_cast<char>(Request.Spec.HeuristicSet));
+    break;
+  case RequestKind::ProfileExport:
+    putString(Out, Request.ProgramKey);
+    break;
+  case RequestKind::ProfileMerge:
+    putString(Out, Request.ProgramKey);
+    putString(Out, Request.ProfileData);
+    break;
+  case RequestKind::Stats:
+  case RequestKind::Shutdown:
+    break;
+  }
+  return Out;
+}
+
+bool bropt::decodeRequest(const std::string &Payload, ServiceRequest &Request,
+                          std::string *Error) {
+  Cursor In(Payload);
+  uint8_t Kind = In.byte();
+  if (Kind > static_cast<uint8_t>(RequestKind::Shutdown)) {
+    if (Error)
+      *Error = formatString("unknown request kind %u", Kind);
+    return false;
+  }
+  Request = ServiceRequest();
+  Request.Kind = static_cast<RequestKind>(Kind);
+  Request.Seq = In.var();
+  switch (Request.Kind) {
+  case RequestKind::Compile:
+    getSpec(In, Request.Spec);
+    break;
+  case RequestKind::Execute:
+    getSpec(In, Request.Spec);
+    Request.Input = In.str();
+    Request.Mode = In.byte();
+    Request.InstructionLimit = In.var();
+    break;
+  case RequestKind::Evaluate:
+    Request.WorkloadName = In.str();
+    Request.Spec.HeuristicSet = In.byte();
+    break;
+  case RequestKind::ProfileExport:
+    Request.ProgramKey = In.str();
+    break;
+  case RequestKind::ProfileMerge:
+    Request.ProgramKey = In.str();
+    Request.ProfileData = In.str();
+    break;
+  case RequestKind::Stats:
+  case RequestKind::Shutdown:
+    break;
+  }
+  if (In.Failed || !In.done()) {
+    if (Error)
+      *Error = In.Failed ? In.Reason : "trailing bytes after request";
+    return false;
+  }
+  return true;
+}
+
+std::string bropt::encodeResponse(const ServiceResponse &Response) {
+  std::string Out;
+  Out.push_back(static_cast<char>(Response.Status));
+  putVar(Out, Response.Seq);
+  putString(Out, Response.Error);
+  putVar(Out, Response.RetryAfterMillis);
+  putString(Out, Response.ProgramKey);
+  putBool(Out, Response.CompileCacheHit);
+  putBool(Out, Response.WarmStarted);
+  putVar(Out, Response.SequencesReordered);
+  putVar(Out, Response.CodeSize);
+  putBool(Out, Response.Trapped);
+  putString(Out, Response.TrapReason);
+  // ZigZag keeps negative exit values to a couple of bytes.
+  putVar(Out, (static_cast<uint64_t>(Response.ExitValue) << 1) ^
+                  static_cast<uint64_t>(Response.ExitValue >> 63));
+  putString(Out, Response.Output);
+  putVar(Out, Response.TotalInsts);
+  putVar(Out, Response.CondBranches);
+  putString(Out, formatString("%.17g", Response.BranchDeltaPercent));
+  putBool(Out, Response.OutputsMatch);
+  putVar(Out, Response.QueueMicros);
+  putString(Out, Response.ProfileData);
+  putVar(Out, Response.MergeAdded);
+  putVar(Out, Response.MergeMerged);
+  putVar(Out, Response.MergeSkipped);
+  putStats(Out, Response.Stats);
+  return Out;
+}
+
+bool bropt::decodeResponse(const std::string &Payload,
+                           ServiceResponse &Response, std::string *Error) {
+  Cursor In(Payload);
+  Response = ServiceResponse();
+  uint8_t Status = In.byte();
+  if (Status > static_cast<uint8_t>(ResponseStatus::ShuttingDown)) {
+    if (Error)
+      *Error = formatString("unknown response status %u", Status);
+    return false;
+  }
+  Response.Status = static_cast<ResponseStatus>(Status);
+  Response.Seq = In.var();
+  Response.Error = In.str();
+  Response.RetryAfterMillis = static_cast<uint32_t>(In.var());
+  Response.ProgramKey = In.str();
+  Response.CompileCacheHit = In.boolean();
+  Response.WarmStarted = In.boolean();
+  Response.SequencesReordered = static_cast<uint32_t>(In.var());
+  Response.CodeSize = In.var();
+  Response.Trapped = In.boolean();
+  Response.TrapReason = In.str();
+  uint64_t ZigZag = In.var();
+  Response.ExitValue =
+      static_cast<int64_t>((ZigZag >> 1) ^ (~(ZigZag & 1) + 1));
+  Response.Output = In.str();
+  Response.TotalInsts = In.var();
+  Response.CondBranches = In.var();
+  Response.BranchDeltaPercent = std::atof(In.str().c_str());
+  Response.OutputsMatch = In.boolean();
+  Response.QueueMicros = In.var();
+  Response.ProfileData = In.str();
+  Response.MergeAdded = In.var();
+  Response.MergeMerged = In.var();
+  Response.MergeSkipped = In.var();
+  getStats(In, Response.Stats);
+  if (In.Failed || !In.done()) {
+    if (Error)
+      *Error = In.Failed ? In.Reason : "trailing bytes after response";
+    return false;
+  }
+  return true;
+}
+
+bool bropt::writeFrame(int Fd, const std::string &Payload,
+                       std::string *Error) {
+  uint32_t Length = static_cast<uint32_t>(Payload.size());
+  uint8_t Prefix[4] = {static_cast<uint8_t>(Length),
+                       static_cast<uint8_t>(Length >> 8),
+                       static_cast<uint8_t>(Length >> 16),
+                       static_cast<uint8_t>(Length >> 24)};
+  std::string Frame(reinterpret_cast<char *>(Prefix), 4);
+  Frame += Payload;
+  size_t Sent = 0;
+  while (Sent < Frame.size()) {
+    // MSG_NOSIGNAL: a peer that hung up mid-response must surface as an
+    // error on this connection, never as SIGPIPE against the daemon.
+    ssize_t Wrote = ::send(Fd, Frame.data() + Sent, Frame.size() - Sent,
+                           MSG_NOSIGNAL);
+    if (Wrote < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = formatString("send: %s", std::strerror(errno));
+      return false;
+    }
+    Sent += static_cast<size_t>(Wrote);
+  }
+  return true;
+}
+
+namespace {
+
+/// Reads exactly \p Length bytes; false on EOF/error.
+bool readExact(int Fd, char *Buffer, size_t Length, bool &SawAnyByte,
+               std::string *Error) {
+  size_t Got = 0;
+  while (Got < Length) {
+    ssize_t Read = ::recv(Fd, Buffer + Got, Length - Got, 0);
+    if (Read < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = formatString("recv: %s", std::strerror(errno));
+      return false;
+    }
+    if (Read == 0) {
+      if (Error)
+        *Error = SawAnyByte ? "connection closed mid-frame" : "eof";
+      return false;
+    }
+    SawAnyByte = true;
+    Got += static_cast<size_t>(Read);
+  }
+  return true;
+}
+
+} // namespace
+
+bool bropt::readFrame(int Fd, std::string &Payload, uint32_t MaxBytes,
+                      std::string *Error) {
+  char Prefix[4];
+  bool SawAnyByte = false;
+  if (!readExact(Fd, Prefix, 4, SawAnyByte, Error))
+    return false;
+  uint32_t Length = static_cast<uint8_t>(Prefix[0]) |
+                    static_cast<uint32_t>(static_cast<uint8_t>(Prefix[1])) << 8 |
+                    static_cast<uint32_t>(static_cast<uint8_t>(Prefix[2])) << 16 |
+                    static_cast<uint32_t>(static_cast<uint8_t>(Prefix[3])) << 24;
+  if (Length > MaxBytes) {
+    if (Error)
+      *Error = formatString("oversize frame: %u bytes (limit %u)", Length,
+                            MaxBytes);
+    return false;
+  }
+  Payload.resize(Length);
+  return Length == 0 ||
+         readExact(Fd, Payload.data(), Length, SawAnyByte, Error);
+}
+
+std::string bropt::serviceContentHash(const std::string &Data) {
+  return formatString("%016llx",
+                      static_cast<unsigned long long>(fnv1a(Data)));
+}
+
+namespace {
+
+std::string specOptionsTag(const CompileSpec &Spec) {
+  return formatString("set=%u;cs=%d;ms=%d;", Spec.HeuristicSet,
+                      Spec.CommonSuccessor ? 1 : 0,
+                      Spec.MethodSelection ? 1 : 0);
+}
+
+} // namespace
+
+std::string bropt::programKeyFor(const CompileSpec &Spec) {
+  return serviceContentHash(specOptionsTag(Spec) + Spec.Source);
+}
+
+std::string bropt::artifactKeyFor(const CompileSpec &Spec) {
+  std::string Tag = specOptionsTag(Spec);
+  Tag += formatString("warm=%d;train=%zu;", Spec.WarmStart ? 1 : 0,
+                      Spec.TrainingInputs.size());
+  for (const std::string &Input : Spec.TrainingInputs)
+    Tag += serviceContentHash(Input) + ";";
+  Tag += "profile=" + serviceContentHash(Spec.ProfileData) + ";";
+  return programKeyFor(Spec) + "-" + serviceContentHash(Tag + Spec.Source);
+}

@@ -1,0 +1,46 @@
+//===- service/ServeMain.h - Shared daemon entry point ----------*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve loop `tools/broptd.cpp` and `broptc --serve` share: install
+/// SIGINT/SIGTERM handlers, start a BroptService, block until a signal
+/// or a client Shutdown request, then drain gracefully and report the
+/// final stats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_SERVICE_SERVEMAIN_H
+#define BROPT_SERVICE_SERVEMAIN_H
+
+#include "service/Service.h"
+
+#include <string>
+
+namespace bropt {
+
+/// Parses the daemon flag set shared by `broptd` and `broptc --serve`
+/// (the `--serve` token itself is skipped): --socket PATH, --threads N,
+/// --queue-high-water N, --shards N, --cache-capacity N,
+/// --drain-seconds S, --retry-after-ms N, --hot-threshold N,
+/// --native-tier, --native-threshold N, --sample-interval N, --verbose.
+/// \returns false with \p Error set on an unknown flag, a missing value,
+/// or a missing --socket.
+bool parseServeArgs(int Argc, char **Argv, ServiceOptions &Options,
+                    bool &Verbose, std::string *Error);
+
+/// One usage line per serve flag, for the callers' --help output.
+const char *serveUsage();
+
+/// Runs a daemon to completion.  \p Verbose logs lifecycle events to
+/// stderr (in addition to any Options.Log sink).  \returns the process
+/// exit code: 0 after a clean drain, 1 on startup failure or a drain
+/// that had to cancel work.
+int runServeLoop(ServiceOptions Options, bool Verbose);
+
+} // namespace bropt
+
+#endif // BROPT_SERVICE_SERVEMAIN_H

@@ -1,0 +1,764 @@
+//===- service/Service.cpp - The broptd daemon ----------------------------===//
+
+#include "service/Service.h"
+
+#include "codegen/NativeRunner.h"
+#include "driver/Driver.h"
+#include "driver/Evaluator.h"
+#include "exec/ExecBackend.h"
+#include "sim/Decoded.h"
+#include "sim/Fuse.h"
+#include "support/Strings.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace bropt;
+
+namespace bropt {
+
+/// Everything the daemon caches for one artifact key: the compiled
+/// module, the profile that built it, lazily prepared per-engine
+/// programs, and the live adaptive controllers.  BuildMutex guards the
+/// lazy pieces (first requester builds, the rest reuse); RunMutex
+/// serializes adaptive-family runs, because one controller's sampler is
+/// not reentrant.
+struct ServiceArtifact {
+  std::string ProgramKey;
+
+  std::mutex BuildMutex;
+  bool BuildDone = false;
+  std::string BuildError;
+  std::shared_ptr<const CompileResult> Compiled;
+  /// The pass-2 profile (explicit + training + shard aggregate); also
+  /// feeds the fused engine's arm ordering.
+  ProfileDB Profile;
+  bool HasProfile = false;
+  bool WarmStarted = false;
+  uint32_t SequencesReordered = 0;
+  uint64_t CodeSize = 0;
+
+  std::shared_ptr<const DecodedModule> Fused;
+  std::shared_ptr<const DecodedModule> Decoded;
+  std::shared_ptr<const NativeProgram> Native;
+  std::string NativeError;
+  bool NativeTried = false;
+
+  std::mutex RunMutex;
+  std::shared_ptr<AdaptiveController> Adaptive;
+  std::shared_ptr<AdaptiveController> AdaptiveNative;
+  /// Deployed ordering signature at the last shard export; learned
+  /// profiles merge once per deployed version, never cumulatively.
+  std::string LastExportedSig;
+};
+
+} // namespace bropt
+
+namespace {
+
+CompileOptions compileOptionsFor(const CompileSpec &Spec) {
+  CompileOptions O;
+  O.HeuristicSet = static_cast<SwitchHeuristicSet>(
+      std::min<unsigned>(Spec.HeuristicSet, 3));
+  O.EnableCommonSuccessorReordering = Spec.CommonSuccessor;
+  O.Reorder.EnableMethodSelection = Spec.MethodSelection;
+  return O;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+bool profileNonEmpty(const ProfileDB &DB) {
+  return DB.numSequences() != 0 || !DB.hotness().empty();
+}
+
+} // namespace
+
+BroptService::Connection::~Connection() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+BroptService::BroptService(ServiceOptions Options)
+    : Opts(std::move(Options)), Shards(Opts.ProfileShardCount),
+      Artifacts(Opts.ArtifactCacheCapacity) {}
+
+BroptService::~BroptService() {
+  shutdown();
+}
+
+bool BroptService::start(std::string *Error) {
+  auto fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = Why;
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return false;
+  };
+  if (Opts.SocketPath.empty())
+    return fail("socket path required");
+  sockaddr_un Addr{};
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path))
+    return fail(formatString("socket path too long (%zu bytes, limit %zu)",
+                             Opts.SocketPath.size(),
+                             sizeof(Addr.sun_path) - 1));
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return fail(formatString("socket: %s", std::strerror(errno)));
+  ::unlink(Opts.SocketPath.c_str());
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0)
+    return fail(formatString("bind %s: %s", Opts.SocketPath.c_str(),
+                             std::strerror(errno)));
+  if (::listen(ListenFd, 128) < 0)
+    return fail(formatString("listen: %s", std::strerror(errno)));
+
+  Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  EvaluatorOptions EO;
+  EO.Threads = 2; // evaluate requests are rare; keep the side pool small
+  Eval = std::make_unique<Evaluator>(EO);
+  Started.store(true, std::memory_order_release);
+  Acceptor = std::thread([this] { acceptLoop(); });
+  log(formatString("broptd listening on %s (%u workers, high-water %zu)",
+                   Opts.SocketPath.c_str(), Pool->numThreads(),
+                   Opts.QueueHighWater));
+  return true;
+}
+
+void BroptService::wait() {
+  std::unique_lock<std::mutex> Lock(StopMutex);
+  StopCV.wait(Lock, [&] {
+    return StopRequested.load(std::memory_order_acquire);
+  });
+}
+
+void BroptService::requestStop() {
+  StopRequested.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Lock(StopMutex);
+  }
+  StopCV.notify_all();
+}
+
+bool BroptService::shutdown() {
+  {
+    std::unique_lock<std::mutex> Lock(StopMutex);
+    if (ShutdownStarted) {
+      StopCV.wait(Lock, [&] { return ShutdownDone; });
+      return ShutdownClean;
+    }
+    ShutdownStarted = true;
+  }
+  requestStop();
+  Stopping.store(true, std::memory_order_release);
+  auto Start = std::chrono::steady_clock::now();
+  bool Clean = true;
+
+  if (Acceptor.joinable())
+    Acceptor.join();
+
+  // Drain admitted work.  New requests have been answered ShuttingDown
+  // since the flag flipped, so the pool queue only shrinks.
+  if (Pool)
+    Clean = Pool->waitFor(std::max(Opts.DrainDeadlineSeconds, 0.1)) && Clean;
+
+  // Drain every cached controller's background work within what is left
+  // of the deadline; an in-flight tier-2 native compile that cannot
+  // finish in time is cancelled (its compiler process group is killed).
+  std::vector<std::shared_ptr<ServiceArtifact>> Live;
+  {
+    std::lock_guard<std::mutex> Lock(ArtifactMutex);
+    for (auto &Entry : Artifacts)
+      Live.push_back(Entry.second);
+  }
+  for (const std::shared_ptr<ServiceArtifact> &A : Live) {
+    for (const std::shared_ptr<AdaptiveController> &Ctl :
+         {A->Adaptive, A->AdaptiveNative}) {
+      if (!Ctl)
+        continue;
+      double Remaining =
+          std::max(Opts.DrainDeadlineSeconds - secondsSince(Start), 0.05);
+      bool Drained = Ctl->drainBackgroundWork(Remaining);
+      Clean = Drained && Clean;
+      // The pool is drained, so no run is in flight and stats() is safe.
+      C.TierTwoCancellations.fetch_add(Ctl->stats().NativeCompilesCancelled,
+                                       std::memory_order_relaxed);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (const std::shared_ptr<Connection> &Conn : Connections) {
+      Conn->Open.store(false, std::memory_order_release);
+      if (Conn->Fd >= 0)
+        ::shutdown(Conn->Fd, SHUT_RDWR);
+    }
+  }
+  reapConnections(/*All=*/true);
+
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (Started.load(std::memory_order_acquire) && !Opts.SocketPath.empty())
+    ::unlink(Opts.SocketPath.c_str());
+
+  log(formatString("broptd drained %s in %.2fs",
+                   Clean ? "cleanly" : "with cancellations",
+                   secondsSince(Start)));
+  {
+    std::lock_guard<std::mutex> Lock(StopMutex);
+    ShutdownDone = true;
+    ShutdownClean = Clean;
+  }
+  StopCV.notify_all();
+  return Clean;
+}
+
+ServiceStats BroptService::stats() const {
+  ServiceStats S;
+  S.RequestsAccepted = C.RequestsAccepted.load(std::memory_order_relaxed);
+  S.RequestsCompleted = C.RequestsCompleted.load(std::memory_order_relaxed);
+  S.RequestsRejected = C.RequestsRejected.load(std::memory_order_relaxed);
+  S.ProtocolErrors = C.ProtocolErrors.load(std::memory_order_relaxed);
+  S.DroppedConnections =
+      C.DroppedConnections.load(std::memory_order_relaxed);
+  S.QueueDepth = C.QueueDepth.load(std::memory_order_relaxed);
+  S.QueueHighWaterSeen =
+      C.QueueHighWaterSeen.load(std::memory_order_relaxed);
+  S.QueueWaitMicrosTotal =
+      C.QueueWaitMicrosTotal.load(std::memory_order_relaxed);
+  S.QueueWaitMicrosMax =
+      C.QueueWaitMicrosMax.load(std::memory_order_relaxed);
+  S.CompileHits = C.CompileHits.load(std::memory_order_relaxed);
+  S.CompileMisses = C.CompileMisses.load(std::memory_order_relaxed);
+  S.ArtifactEvictions =
+      C.ArtifactEvictions.load(std::memory_order_relaxed);
+  S.WarmStarts = C.WarmStarts.load(std::memory_order_relaxed);
+  S.LearnedExports = C.LearnedExports.load(std::memory_order_relaxed);
+  S.ActiveConnections =
+      C.ActiveConnections.load(std::memory_order_relaxed);
+  S.TierTwoCancellations =
+      C.TierTwoCancellations.load(std::memory_order_relaxed);
+  ProfileShardStats PS = Shards.stats();
+  S.ProfileMerges = PS.Merges;
+  S.ProfileMergeConflicts = PS.Conflicts;
+  S.ProfileAggregations = PS.Aggregations;
+  S.ProfileRecords = PS.Records;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Connection plumbing
+//===----------------------------------------------------------------------===//
+
+void BroptService::acceptLoop() {
+  while (!stopping()) {
+    reapConnections(/*All=*/false);
+    pollfd P{};
+    P.fd = ListenFd;
+    P.events = POLLIN;
+    int N = ::poll(&P, 1, /*timeout ms=*/200);
+    if (N <= 0)
+      continue; // timeout or EINTR; recheck the stop flag
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    auto Conn = std::make_shared<Connection>();
+    Conn->Fd = Fd;
+    C.ActiveConnections.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      Connections.push_back(Conn);
+    }
+    Conn->Reader = std::thread([this, Conn] { readerLoop(Conn); });
+  }
+}
+
+void BroptService::reapConnections(bool All) {
+  std::vector<std::shared_ptr<Connection>> Dead;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    auto End = std::remove_if(
+        Connections.begin(), Connections.end(),
+        [&](const std::shared_ptr<Connection> &Conn) {
+          if (!All && !Conn->Done.load(std::memory_order_acquire))
+            return false;
+          Dead.push_back(Conn);
+          return true;
+        });
+    Connections.erase(End, Connections.end());
+  }
+  for (const std::shared_ptr<Connection> &Conn : Dead)
+    if (Conn->Reader.joinable())
+      Conn->Reader.join();
+  // Fds close in ~Connection, i.e. only once the last in-flight response
+  // writer has dropped its reference — never while a worker could still
+  // write (and race a recycled fd number).
+}
+
+void BroptService::readerLoop(std::shared_ptr<Connection> Conn) {
+  std::string Payload, Err;
+  for (;;) {
+    Payload.clear();
+    Err.clear();
+    if (!readFrame(Conn->Fd, Payload, Opts.MaxFrameBytes, &Err)) {
+      if (Err == "eof")
+        break; // clean close between frames
+      if (Err.rfind("oversize frame", 0) == 0) {
+        // The length prefix itself is garbage; the stream cannot be
+        // resynced.  Answer, then close this one connection — the
+        // server and every other client are untouched.
+        C.ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        ServiceResponse R;
+        R.Status = ResponseStatus::Error;
+        R.Error = Err;
+        sendResponse(*Conn, R);
+      } else if (!stopping()) {
+        // Disconnected mid-frame (or a read error).
+        C.DroppedConnections.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    ServiceRequest Req;
+    if (!decodeRequest(Payload, Req, &Err)) {
+      // Framing was intact, the payload was not: survivable.  Report and
+      // keep serving this connection.
+      C.ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      ServiceResponse R;
+      R.Status = ResponseStatus::Error;
+      R.Error = "malformed request: " + Err;
+      if (!sendResponse(*Conn, R)) {
+        C.DroppedConnections.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      continue;
+    }
+    dispatch(Conn, std::move(Req));
+  }
+  C.ActiveConnections.fetch_sub(1, std::memory_order_relaxed);
+  Conn->Done.store(true, std::memory_order_release);
+}
+
+bool BroptService::sendResponse(Connection &Conn,
+                                const ServiceResponse &Response) {
+  std::string Payload = encodeResponse(Response);
+  std::lock_guard<std::mutex> Lock(Conn.WriteMutex);
+  if (!Conn.Open.load(std::memory_order_acquire))
+    return false;
+  if (!writeFrame(Conn.Fd, Payload)) {
+    Conn.Open.store(false, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void BroptService::sendOrDrop(const std::shared_ptr<Connection> &Conn,
+                              const ServiceResponse &Response) {
+  if (!sendResponse(*Conn, Response))
+    C.DroppedConnections.fetch_add(1, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission and dispatch
+//===----------------------------------------------------------------------===//
+
+void BroptService::dispatch(const std::shared_ptr<Connection> &Conn,
+                            ServiceRequest Request) {
+  ServiceResponse Quick;
+  Quick.Seq = Request.Seq;
+  // Stats and Shutdown are served inline on the reader thread: the
+  // monitoring and control plane must keep working when the admission
+  // queue is saturated — that is exactly when it is needed.
+  if (Request.Kind == RequestKind::Stats) {
+    Quick.Stats = stats();
+    sendOrDrop(Conn, Quick);
+    return;
+  }
+  if (Request.Kind == RequestKind::Shutdown) {
+    sendOrDrop(Conn, Quick);
+    requestStop();
+    return;
+  }
+  if (stopping()) {
+    Quick.Status = ResponseStatus::ShuttingDown;
+    Quick.Error = "daemon is draining";
+    sendOrDrop(Conn, Quick);
+    return;
+  }
+  uint64_t Depth = C.QueueDepth.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Depth > Opts.QueueHighWater) {
+    C.QueueDepth.fetch_sub(1, std::memory_order_relaxed);
+    C.RequestsRejected.fetch_add(1, std::memory_order_relaxed);
+    Quick.Status = ResponseStatus::Rejected;
+    Quick.RetryAfterMillis = Opts.RetryAfterMillis;
+    Quick.Error = "admission queue past the high-water mark";
+    sendOrDrop(Conn, Quick);
+    return;
+  }
+  uint64_t Seen = C.QueueHighWaterSeen.load(std::memory_order_relaxed);
+  while (Depth > Seen &&
+         !C.QueueHighWaterSeen.compare_exchange_weak(
+             Seen, Depth, std::memory_order_relaxed))
+    ;
+  C.RequestsAccepted.fetch_add(1, std::memory_order_relaxed);
+  auto Admitted = std::chrono::steady_clock::now();
+  // std::function needs a copyable closure; the request moves behind a
+  // shared_ptr.
+  auto Req = std::make_shared<ServiceRequest>(std::move(Request));
+  Pool->enqueue([this, Conn, Req, Admitted] {
+    uint64_t WaitMicros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Admitted)
+            .count());
+    C.QueueWaitMicrosTotal.fetch_add(WaitMicros, std::memory_order_relaxed);
+    uint64_t Max = C.QueueWaitMicrosMax.load(std::memory_order_relaxed);
+    while (WaitMicros > Max &&
+           !C.QueueWaitMicrosMax.compare_exchange_weak(
+               Max, WaitMicros, std::memory_order_relaxed))
+      ;
+    ServiceResponse R = process(*Req);
+    R.Seq = Req->Seq;
+    R.QueueMicros = WaitMicros;
+    // Count completion *before* the response goes out: a client that has
+    // its response in hand must never read a Stats snapshot that does not
+    // yet include the request it just completed.
+    C.RequestsCompleted.fetch_add(1, std::memory_order_relaxed);
+    sendOrDrop(Conn, R);
+    C.QueueDepth.fetch_sub(1, std::memory_order_relaxed);
+  });
+}
+
+ServiceResponse BroptService::process(const ServiceRequest &Request) {
+  ServiceResponse R;
+  try {
+    switch (Request.Kind) {
+    case RequestKind::Compile:
+      handleCompile(Request, R);
+      break;
+    case RequestKind::Execute:
+      handleExecute(Request, R);
+      break;
+    case RequestKind::Evaluate:
+      handleEvaluate(Request, R);
+      break;
+    case RequestKind::ProfileExport:
+      handleProfileExport(Request, R);
+      break;
+    case RequestKind::ProfileMerge:
+      handleProfileMerge(Request, R);
+      break;
+    case RequestKind::Stats:
+    case RequestKind::Shutdown:
+      R.Status = ResponseStatus::Error;
+      R.Error = "request kind served inline"; // unreachable via dispatch
+      break;
+    }
+  } catch (const std::exception &E) {
+    // A daemon never dies on one request.
+    R = ServiceResponse();
+    R.Status = ResponseStatus::Error;
+    R.Error = formatString("internal error: %s", E.what());
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Artifacts
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<ServiceArtifact>
+BroptService::artifactFor(const CompileSpec &Spec, bool &CacheHit) {
+  std::string Key = artifactKeyFor(Spec);
+  std::lock_guard<std::mutex> Lock(ArtifactMutex);
+  if (std::shared_ptr<ServiceArtifact> *Found = Artifacts.get(Key)) {
+    CacheHit = true;
+    C.CompileHits.fetch_add(1, std::memory_order_relaxed);
+    return *Found;
+  }
+  CacheHit = false;
+  C.CompileMisses.fetch_add(1, std::memory_order_relaxed);
+  auto A = std::make_shared<ServiceArtifact>();
+  A->ProgramKey = programKeyFor(Spec);
+  if (Artifacts.put(Key, A))
+    C.ArtifactEvictions.fetch_add(1, std::memory_order_relaxed);
+  return A;
+}
+
+void BroptService::buildArtifact(ServiceArtifact &A,
+                                 const CompileSpec &Spec) {
+  A.BuildDone = true; // even a failed build is final for this artifact
+  CompileOptions O = compileOptionsFor(Spec);
+  ProfileDB Profile;
+  bool HaveProfile = false;
+  if (!Spec.ProfileData.empty()) {
+    std::string Err;
+    if (!Profile.deserialize(Spec.ProfileData, &Err)) {
+      A.BuildError = "bad profile data: " + Err;
+      return;
+    }
+    HaveProfile = true;
+  }
+  if (!Spec.TrainingInputs.empty()) {
+    std::vector<std::string_view> Views(Spec.TrainingInputs.begin(),
+                                        Spec.TrainingInputs.end());
+    Pass1Result P1 = runPass1(Spec.Source, Views, O);
+    if (!P1.ok()) {
+      A.BuildError = P1.Error;
+      return;
+    }
+    // Fresh training traffic feeds the cross-tenant store.
+    Shards.merge(A.ProgramKey, P1.Profile);
+    Profile.merge(P1.Profile);
+    HaveProfile = true;
+  }
+  if (Spec.WarmStart) {
+    std::shared_ptr<const ProfileDB> Agg = Shards.aggregated(A.ProgramKey);
+    if (Agg && profileNonEmpty(*Agg)) {
+      Profile.merge(*Agg);
+      A.WarmStarted = true;
+      C.WarmStarts.fetch_add(1, std::memory_order_relaxed);
+      HaveProfile = true;
+    }
+  }
+  CompileResult Result = HaveProfile
+                             ? compileWithProfile(Spec.Source, Profile, O)
+                             : compileBaseline(Spec.Source, O);
+  if (!Result.ok()) {
+    A.BuildError = Result.Error;
+    return;
+  }
+  A.SequencesReordered = Result.Stats.Reordered;
+  A.CodeSize = Result.M->instructionCount();
+  A.Compiled = std::make_shared<const CompileResult>(std::move(Result));
+  A.Profile = std::move(Profile);
+  A.HasProfile = HaveProfile;
+}
+
+//===----------------------------------------------------------------------===//
+// Request handlers
+//===----------------------------------------------------------------------===//
+
+void BroptService::handleCompile(const ServiceRequest &Request,
+                                 ServiceResponse &R) {
+  bool Hit = false;
+  std::shared_ptr<ServiceArtifact> A = artifactFor(Request.Spec, Hit);
+  std::lock_guard<std::mutex> Lock(A->BuildMutex);
+  if (!A->BuildDone)
+    buildArtifact(*A, Request.Spec);
+  R.ProgramKey = A->ProgramKey;
+  R.CompileCacheHit = Hit;
+  if (!A->BuildError.empty()) {
+    R.Status = ResponseStatus::Error;
+    R.Error = A->BuildError;
+    return;
+  }
+  R.WarmStarted = A->WarmStarted;
+  R.SequencesReordered = A->SequencesReordered;
+  R.CodeSize = A->CodeSize;
+}
+
+void BroptService::handleExecute(const ServiceRequest &Request,
+                                 ServiceResponse &R) {
+  if (Request.Mode >
+      static_cast<uint8_t>(Interpreter::Mode::AdaptiveNative)) {
+    R.Status = ResponseStatus::Error;
+    R.Error = formatString("invalid execution mode %u", Request.Mode);
+    return;
+  }
+  auto Mode = static_cast<Interpreter::Mode>(Request.Mode);
+
+  bool Hit = false;
+  std::shared_ptr<ServiceArtifact> A = artifactFor(Request.Spec, Hit);
+  ExecRequest ER;
+  ER.Input = Request.Input;
+  ER.InstructionLimit = Request.InstructionLimit;
+  std::shared_ptr<AdaptiveController> Ctl;
+  {
+    std::lock_guard<std::mutex> Lock(A->BuildMutex);
+    if (!A->BuildDone)
+      buildArtifact(*A, Request.Spec);
+    R.ProgramKey = A->ProgramKey;
+    R.CompileCacheHit = Hit;
+    if (!A->BuildError.empty()) {
+      R.Status = ResponseStatus::Error;
+      R.Error = A->BuildError;
+      return;
+    }
+    R.WarmStarted = A->WarmStarted;
+    R.SequencesReordered = A->SequencesReordered;
+    R.CodeSize = A->CodeSize;
+
+    // Lazily prepare the engine this run needs, shared across clients.
+    const Module &M = *A->Compiled->M;
+    switch (Mode) {
+    case Interpreter::Mode::Tree:
+      break;
+    case Interpreter::Mode::Decoded:
+      if (!A->Decoded)
+        A->Decoded =
+            std::make_shared<const DecodedModule>(DecodedModule::decode(M));
+      ER.Prepared = A->Decoded.get();
+      break;
+    case Interpreter::Mode::Fused: {
+      if (!A->Fused) {
+        FuseOptions FO = Opts.Runtime.Fuse;
+        FO.Profile = A->HasProfile ? &A->Profile : nullptr;
+        FO.Hotness = nullptr;
+        A->Fused =
+            std::make_shared<const DecodedModule>(decodeFused(M, FO));
+      }
+      ER.Prepared = A->Fused.get();
+      break;
+    }
+    case Interpreter::Mode::Native: {
+      if (!A->NativeTried) {
+        A->NativeTried = true;
+        NativeRunner &Runner =
+            Opts.Runtime.Runner ? *Opts.Runtime.Runner
+                                : NativeRunner::shared();
+        A->Native = Runner.prepare(M, &A->NativeError);
+      }
+      if (!A->Native) {
+        R.Status = ResponseStatus::Error;
+        R.Error = "native backend unavailable: " + A->NativeError;
+        return;
+      }
+      ER.Native = A->Native.get();
+      break;
+    }
+    case Interpreter::Mode::Adaptive:
+    case Interpreter::Mode::AdaptiveNative: {
+      bool Native = Mode == Interpreter::Mode::AdaptiveNative;
+      std::shared_ptr<AdaptiveController> &Slot =
+          Native ? A->AdaptiveNative : A->Adaptive;
+      if (!Slot) {
+        RuntimeOptions RO = Opts.Runtime;
+        RO.NativeTier = Native;
+        Slot = std::make_shared<AdaptiveController>(M, RO);
+        // Cross-tenant warm start: seed the controller with what the
+        // shards already learned about this program, so the first run
+        // can begin in the optimized tier.
+        std::shared_ptr<const ProfileDB> Agg =
+            Shards.aggregated(A->ProgramKey);
+        if (Agg && profileNonEmpty(*Agg)) {
+          Slot->importProfile(*Agg);
+          C.WarmStarts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      Ctl = Slot;
+      ER.Adaptive = Ctl.get();
+      break;
+    }
+    }
+  }
+
+  RunResult RR;
+  if (Ctl) {
+    // One controller's sampler is not reentrant; adaptive-family runs of
+    // one artifact serialize here (the other engines run lock-free on
+    // immutable programs).
+    std::lock_guard<std::mutex> Lock(A->RunMutex);
+    RR = executeModule(*A->Compiled->M, Mode, ER);
+    exportLearnedProfile(*A, *Ctl);
+  } else {
+    RR = executeModule(*A->Compiled->M, Mode, ER);
+  }
+  R.Trapped = RR.Trapped;
+  R.TrapReason = RR.TrapReason;
+  R.ExitValue = RR.ExitValue;
+  R.Output = RR.Output;
+  R.TotalInsts = RR.Counts.TotalInsts;
+  R.CondBranches = RR.Counts.CondBranches;
+}
+
+void BroptService::exportLearnedProfile(ServiceArtifact &A,
+                                        AdaptiveController &Ctl) {
+  if (!Ctl.tiered())
+    return;
+  std::string Sig = Ctl.deployedOrderingSignature();
+  // exportProfile() is cumulative (the snapshot that built the deployed
+  // version); merging it once per deployed signature keeps shard counts
+  // honest — re-merging every run would double-count the same traffic.
+  if (Sig.empty() || Sig == A.LastExportedSig)
+    return;
+  ProfileDB Learned;
+  Ctl.exportProfile(Learned);
+  Shards.merge(A.ProgramKey, Learned);
+  A.LastExportedSig = std::move(Sig);
+  C.LearnedExports.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BroptService::handleEvaluate(const ServiceRequest &Request,
+                                  ServiceResponse &R) {
+  const Workload *W = findWorkload(Request.WorkloadName);
+  if (!W) {
+    R.Status = ResponseStatus::Error;
+    R.Error = "unknown workload: " + Request.WorkloadName;
+    return;
+  }
+  WorkloadRecord Rec =
+      Eval->evaluateWorkload(*W, compileOptionsFor(Request.Spec));
+  if (!Rec.Eval.ok()) {
+    R.Status = ResponseStatus::Error;
+    R.Error = Rec.Eval.Error;
+    return;
+  }
+  R.OutputsMatch = Rec.Eval.OutputsMatch;
+  R.SequencesReordered = Rec.Eval.Stats.Reordered;
+  R.BranchDeltaPercent = WorkloadEvaluation::deltaPercent(
+      Rec.Eval.Baseline.Counts.CondBranches,
+      Rec.Eval.Reordered.Counts.CondBranches);
+  R.TotalInsts = Rec.Eval.Reordered.Counts.TotalInsts;
+  R.CondBranches = Rec.Eval.Reordered.Counts.CondBranches;
+  R.CodeSize = Rec.Eval.Reordered.CodeSize;
+}
+
+void BroptService::handleProfileExport(const ServiceRequest &Request,
+                                       ServiceResponse &R) {
+  if (Request.ProgramKey.empty()) {
+    R.Status = ResponseStatus::Error;
+    R.Error = "program key required";
+    return;
+  }
+  std::shared_ptr<const ProfileDB> Agg =
+      Shards.aggregated(Request.ProgramKey);
+  R.ProfileData = Agg->serializeBinary();
+  R.ProgramKey = Request.ProgramKey;
+}
+
+void BroptService::handleProfileMerge(const ServiceRequest &Request,
+                                      ServiceResponse &R) {
+  if (Request.ProgramKey.empty()) {
+    R.Status = ResponseStatus::Error;
+    R.Error = "program key required";
+    return;
+  }
+  ProfileDB DB;
+  std::string Err;
+  if (!DB.deserialize(Request.ProfileData, &Err)) {
+    R.Status = ResponseStatus::Error;
+    R.Error = "bad profile data: " + Err;
+    return;
+  }
+  ProfileMergeStats S = Shards.merge(Request.ProgramKey, DB);
+  R.ProgramKey = Request.ProgramKey;
+  R.MergeAdded = S.Added;
+  R.MergeMerged = S.Merged;
+  R.MergeSkipped = S.Skipped;
+}

@@ -1,0 +1,130 @@
+//===- tests/driver/evaluator_stress_test.cpp - Concurrent Evaluator ------===//
+//
+// The Evaluator's concurrency contract (driver/Evaluator.h): in the
+// immutable-program modes, evaluateWorkload() and stats() are safe from
+// concurrent callers — broptd serves Evaluate requests from its worker
+// pool exactly this way.  These tests hammer one Evaluator from many
+// threads and require (a) every evaluation bit-identical to a serial
+// reference and (b) the relaxed-atomic counters to add up exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Evaluator.h"
+#include "workloads/Workloads.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace bropt;
+
+namespace {
+
+TEST(EvaluatorStress, ConcurrentCallersShareOneEvaluator) {
+  EvaluatorOptions Options;
+  Options.Threads = 2; // the evaluator's own pool; callers add more
+  Evaluator Eval(Options);
+  CompileOptions Compile;
+
+  const std::vector<std::string> Names = {"wc", "grep", "sort", "join"};
+
+  // Serial reference: dynamic counts are deterministic, so whatever the
+  // concurrent callers observe must equal these bit for bit.
+  std::map<std::string, DynamicCounts> Reference;
+  for (const std::string &Name : Names) {
+    const Workload *W = findWorkload(Name);
+    ASSERT_NE(W, nullptr) << Name;
+    WorkloadRecord Record = Eval.evaluateWorkload(*W, Compile);
+    ASSERT_TRUE(Record.Eval.ok()) << Record.Eval.Error;
+    ASSERT_TRUE(Record.Eval.OutputsMatch) << Name;
+    Reference[Name] = Record.Eval.Reordered.Counts;
+  }
+
+  constexpr unsigned NumThreads = 8, Rounds = 3;
+  std::atomic<unsigned> Mismatches{0}, Errors{0};
+  std::vector<std::thread> Threads;
+  for (unsigned Index = 0; Index < NumThreads; ++Index)
+    Threads.emplace_back([&, Index] {
+      for (unsigned Round = 0; Round < Rounds; ++Round)
+        for (size_t N = 0; N < Names.size(); ++N) {
+          // Stagger start points so threads contend on different
+          // workloads' cache entries at any instant.
+          const std::string &Name = Names[(N + Index) % Names.size()];
+          const Workload *W = findWorkload(Name);
+          WorkloadRecord Record = Eval.evaluateWorkload(*W, Compile);
+          if (!Record.Eval.ok() || !Record.Eval.OutputsMatch) {
+            ++Errors;
+            continue;
+          }
+          const DynamicCounts &Ref = Reference[Name];
+          const DynamicCounts &Got = Record.Eval.Reordered.Counts;
+          if (Got.TotalInsts != Ref.TotalInsts ||
+              Got.CondBranches != Ref.CondBranches ||
+              Got.TakenBranches != Ref.TakenBranches)
+            ++Mismatches;
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Errors, 0u);
+  EXPECT_EQ(Mismatches, 0u);
+
+  // Counter exactness: every evaluation is one baseline and one
+  // reordered lookup, and after the serial warm-up every one was a hit.
+  const uint64_t Total = Names.size() * (1 + NumThreads * Rounds);
+  EvaluatorStats Stats = Eval.stats();
+  EXPECT_EQ(Stats.BaselineHits + Stats.BaselineMisses, Total);
+  EXPECT_EQ(Stats.ReorderedHits + Stats.ReorderedMisses, Total);
+  EXPECT_EQ(Stats.BaselineMisses, Names.size());
+  EXPECT_EQ(Stats.ReorderedMisses, Names.size());
+}
+
+TEST(EvaluatorStress, StatsSnapshotsNeverTearUnderLoad) {
+  EvaluatorOptions Options;
+  Options.Threads = 2;
+  Evaluator Eval(Options);
+  CompileOptions Compile;
+  const Workload *W = findWorkload("wc");
+  ASSERT_NE(W, nullptr);
+
+  std::atomic<bool> Stop{false};
+  // One thread polls stats() while workers evaluate: hits+misses must
+  // never exceed the number of lookups that could have started, and
+  // never decrease between snapshots (monotonic counters).
+  std::thread Poller([&] {
+    uint64_t LastSum = 0;
+    while (!Stop.load(std::memory_order_acquire)) {
+      EvaluatorStats Stats = Eval.stats();
+      const uint64_t Sum = Stats.BaselineHits + Stats.BaselineMisses;
+      EXPECT_GE(Sum, LastSum);
+      LastSum = Sum;
+    }
+  });
+  constexpr unsigned NumThreads = 4, Rounds = 4;
+  std::vector<std::thread> Workers;
+  std::atomic<unsigned> Errors{0};
+  for (unsigned Index = 0; Index < NumThreads; ++Index)
+    Workers.emplace_back([&] {
+      for (unsigned Round = 0; Round < Rounds; ++Round) {
+        WorkloadRecord Record = Eval.evaluateWorkload(*W, Compile);
+        if (!Record.Eval.ok())
+          ++Errors;
+      }
+    });
+  for (std::thread &T : Workers)
+    T.join();
+  Stop.store(true, std::memory_order_release);
+  Poller.join();
+
+  EXPECT_EQ(Errors, 0u);
+  EvaluatorStats Stats = Eval.stats();
+  EXPECT_EQ(Stats.BaselineHits + Stats.BaselineMisses,
+            (uint64_t)NumThreads * Rounds);
+}
+
+} // namespace

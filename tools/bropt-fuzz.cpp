@@ -23,7 +23,15 @@
 //                     compiler instead; that run expects the INVERSE — zero
 //                     violations and at least one recorded compile
 //                     cancellation — proving the compile deadline tears the
-//                     hang down without observable divergence
+//                     hang down without observable divergence.
+//                     'drop-connection' (implies --serve) kills client
+//                     connections to the in-process broptd mid-request;
+//                     also inverted — zero violations and at least one
+//                     recorded drop prove a vanishing client never
+//                     corrupts the daemon's shared caches or shards
+//   --serve           also replay every program through a campaign-wide
+//                     in-process broptd and hold the wire responses to
+//                     bit-identical agreement with direct execution
 //   --minimize-rounds N  cap delta-debugging passes (default 16)
 //   --native MODE     native-engine agreement checks: 'auto' (default)
 //                     runs them when a host compiler is available and
@@ -60,8 +68,9 @@ namespace {
   std::fprintf(stderr,
                "usage: bropt-fuzz [--programs N] [--seconds N] [--seed N]\n"
                "                  [--corpus DIR] [--fault corrupt-reorder|"
-               "pretend-cost|pretend-lowering|hang-native-compile]\n"
-               "                  [--minimize-rounds N] "
+               "pretend-cost|pretend-lowering|hang-native-compile|"
+               "drop-connection]\n"
+               "                  [--serve] [--minimize-rounds N] "
                "[--native on|off|auto] [--adaptive-native on|off|auto]\n"
                "                  [--lowering-check on|off] [--quiet]\n");
   std::exit(2);
@@ -110,9 +119,13 @@ int main(int argc, char **argv) {
         Opts.Fault = FaultKind::PretendLoweringRegression;
       else if (!std::strcmp(Kind, "hang-native-compile"))
         Opts.Fault = FaultKind::HangNativeCompile;
+      else if (!std::strcmp(Kind, "drop-connection"))
+        Opts.Fault = FaultKind::DropConnection;
       else
         usageError("unknown --fault kind");
-    } else if (!std::strcmp(argv[Arg], "--native")) {
+    } else if (!std::strcmp(argv[Arg], "--serve"))
+      Opts.CheckServiceEngine = true;
+    else if (!std::strcmp(argv[Arg], "--native")) {
       const char *Policy = needValue("--native");
       if (!std::strcmp(Policy, "off"))
         Opts.CheckNativeEngine = false;
@@ -158,10 +171,12 @@ int main(int argc, char **argv) {
   FuzzCampaignResult Result = runFuzzCampaign(Opts);
 
   std::printf("bropt-fuzz: %u programs, %u compile errors, %zu violations, "
-              "%llu native compile cancellations\n",
+              "%llu native compile cancellations, %llu dropped "
+              "connections\n",
               Result.ProgramsRun, Result.CompileErrors,
               Result.Violations.size(),
-              (unsigned long long)Result.NativeCompileCancellations);
+              (unsigned long long)Result.NativeCompileCancellations,
+              (unsigned long long)Result.DroppedConnections);
   for (const FuzzViolation &V : Result.Violations)
     std::printf("  seed %llu: %s (%zu statements minimized%s%s)\n",
                 (unsigned long long)V.ProgramSeed,
@@ -182,6 +197,16 @@ int main(int argc, char **argv) {
     if (!Result.NativeCompileCancellations) {
       std::printf("bropt-fuzz: hang fault injected but no compile was "
                   "cancelled — the tier-2 deadline is not firing\n");
+      Failed = true;
+    }
+  } else if (Opts.Fault == FaultKind::DropConnection) {
+    // Inverted the same way: dropped connections must never surface as a
+    // violation (the daemon's shared state stays sound), but the daemon
+    // must actually have recorded at least one drop.
+    Failed |= !Result.Violations.empty();
+    if (!Result.DroppedConnections) {
+      std::printf("bropt-fuzz: drop-connection fault injected but the "
+                  "daemon recorded no dropped connection\n");
       Failed = true;
     }
   } else if (Result.Violations.empty()) {

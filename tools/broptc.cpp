@@ -47,6 +47,9 @@
 //   --adaptive-trace      with the adaptive engines: log tier-up, swap,
 //                         drift, recompile, and native-tier events to
 //                         stderr
+//   --serve               run as the broptd daemon instead of compiling;
+//                         takes the broptd flag set (--socket PATH, ...)
+//                         and ignores the options above (docs/SERVICE.md)
 //
 //===----------------------------------------------------------------------===//
 
@@ -54,6 +57,7 @@
 #include "exec/ExecBackend.h"
 #include "ir/Printer.h"
 #include "runtime/AdaptiveController.h"
+#include "service/ServeMain.h"
 #include "sim/Interpreter.h"
 
 #include <cstdio>
@@ -78,7 +82,9 @@ namespace {
                "              [--interp fused|decoded|tree|adaptive|native|"
                "adaptive-native]\n"
                "              [--adaptive] [--adaptive-native] "
-               "[--native-threshold N] [--adaptive-trace]\n");
+               "[--native-threshold N] [--adaptive-trace]\n"
+               "       broptc --serve --socket PATH [flags]   "
+               "(daemon mode; see docs/SERVICE.md)\n");
   std::exit(2);
 }
 
@@ -195,6 +201,25 @@ CliOptions parseArgs(int Argc, char **Argv) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // `broptc --serve` is a thin alias for broptd: same flags, same loop
+  // (docs/SERVICE.md).  Intercepted before the compile-driver parse,
+  // which would otherwise demand a source file.
+  for (int Index = 1; Index < Argc; ++Index) {
+    if (std::strcmp(Argv[Index], "--serve") != 0)
+      continue;
+    ServiceOptions Serve;
+    bool Verbose = false;
+    std::string Error;
+    if (!parseServeArgs(Argc, Argv, Serve, Verbose, &Error)) {
+      std::fprintf(stderr,
+                   "broptc --serve: %s\nusage: broptc --serve --socket "
+                   "PATH [flags]\n%s",
+                   Error.c_str(), serveUsage());
+      return 2;
+    }
+    return runServeLoop(std::move(Serve), Verbose);
+  }
+
   CliOptions Options = parseArgs(Argc, Argv);
   std::string Source = readFileOrDie(Options.SourcePath);
 

@@ -1,0 +1,30 @@
+//===- tools/broptd.cpp - The bropt compile-profile-execute daemon --------===//
+//
+// Serves compile, execute, evaluate, profile-export, and profile-merge
+// requests over a Unix-domain socket (docs/SERVICE.md):
+//
+//   broptd --socket /tmp/bropt.sock --threads 8 --queue-high-water 128
+//
+// Runs until SIGINT/SIGTERM or a client shutdown request, then drains
+// gracefully: admitted work completes, in-flight tier-2 native compiles
+// past the drain deadline are cancelled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServeMain.h"
+
+#include <cstdio>
+
+using namespace bropt;
+
+int main(int Argc, char **Argv) {
+  ServiceOptions Options;
+  bool Verbose = false;
+  std::string Error;
+  if (!parseServeArgs(Argc, Argv, Options, Verbose, &Error)) {
+    std::fprintf(stderr, "broptd: %s\nusage: broptd --socket PATH [flags]\n%s",
+                 Error.c_str(), serveUsage());
+    return 2;
+  }
+  return runServeLoop(std::move(Options), Verbose);
+}
