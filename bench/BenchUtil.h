@@ -23,6 +23,7 @@
 
 #include "driver/Evaluator.h"
 #include "driver/Report.h"
+#include "predict/BranchPredictor.h"
 
 #include <algorithm>
 #include <chrono>

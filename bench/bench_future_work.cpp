@@ -75,10 +75,10 @@ int main() {
   Linear.HeuristicSet = SwitchHeuristicSet::SetIII;
   CompileOptions TableIPC = Linear;
   TableIPC.Reorder.EnableMethodSelection = true;
-  TableIPC.Reorder.IndirectJumpCost = 2;
+  TableIPC.Reorder.Cost.IndirectJumpCost = 2;
   CompileOptions TableUltra = Linear;
   TableUltra.Reorder.EnableMethodSelection = true;
-  TableUltra.Reorder.IndirectJumpCost = 8;
+  TableUltra.Reorder.Cost.IndirectJumpCost = 8;
 
   std::vector<WorkloadEvaluation> L = evaluateWithOptions(Linear);
   std::vector<WorkloadEvaluation> TI = evaluateWithOptions(TableIPC);

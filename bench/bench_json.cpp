@@ -60,7 +60,9 @@
 #include "BenchUtil.h"
 
 #include "codegen/NativeRunner.h"
+#include "driver/Driver.h"
 #include "exec/ExecBackend.h"
+#include "predict/Zoo.h"
 #include "profile/ProfileDB.h"
 #include "runtime/AdaptiveController.h"
 #include "runtime/HotnessSampler.h"
@@ -321,7 +323,7 @@ FuseStats collectFuseStats() {
 
 /// One cell of the lowering matrix: a heuristic set crossed with a layout
 /// strategy, measured over all workloads on the deterministic fused
-/// engine.  Modeled cycles come from the machine models (sim/CostModel.h)
+/// engine.  Modeled cycles come from the machine models (cost/MachineModel.h)
 /// so the matrix is noise-free; the wall-clock comparison for the Set IV
 /// perf gate runs separately on the native backend.
 struct LoweringCell {
@@ -403,6 +405,97 @@ std::vector<LoweringCell> runLoweringMatrix(unsigned Threads) {
       Cells.push_back(Cell);
     }
   return Cells;
+}
+
+/// One zoo scheme swept over the whole suite (docs/PREDICT.md): the plain
+/// Set IV build and the aware build that targeted this scheme, each
+/// replayed under a fresh instance of the scheme.  This is the Tables 5/6
+/// harness generalized from gshare table sizes to the full zoo.
+struct PredictorRow {
+  std::string Name;
+  uint64_t PlainBranches = 0;
+  uint64_t PlainMispredictions = 0;
+  uint64_t AwareBranches = 0;
+  uint64_t AwareMispredictions = 0;
+};
+
+std::vector<PredictorRow> runPredictorZooSweep() {
+  const std::vector<Workload> &Suite = standardWorkloads();
+
+  // Plain Set IV compiles are predictor-independent; share one set of
+  // modules across every scheme's measurement.
+  std::vector<CompileResult> Plain;
+  for (const Workload &W : Suite) {
+    CompileOptions Options;
+    Options.HeuristicSet = SwitchHeuristicSet::SetIV;
+    Plain.push_back(
+        compileWithReordering(W.Source, W.TrainingInput, Options));
+    if (!Plain.back().ok()) {
+      std::fprintf(stderr, "bench error: %s: %s\n", W.Name.c_str(),
+                   Plain.back().Error.c_str());
+      std::exit(1);
+    }
+  }
+
+  // Every run gets its own cold predictor — zoo measurements must not
+  // bleed history into each other any more than service requests may.
+  auto measure = [](const Module &M, const Workload &W,
+                    const std::string &Scheme, uint64_t &Branches,
+                    uint64_t &Misses) {
+    std::unique_ptr<Predictor> P = makePredictor(Scheme);
+    Interpreter Interp(M);
+    Interp.attachPredictor(P.get());
+    Interp.setInput(W.TestInput);
+    RunResult RR = Interp.run();
+    if (RR.Trapped) {
+      std::fprintf(stderr, "bench error: %s trapped under %s: %s\n",
+                   W.Name.c_str(), Scheme.c_str(), RR.TrapReason.c_str());
+      std::exit(1);
+    }
+    const PredictorStats &PS = P->getStats();
+    Branches += PS.Branches;
+    Misses += PS.Mispredictions;
+  };
+
+  std::vector<PredictorRow> Rows;
+  for (const std::string &Scheme : predictorZooNames()) {
+    PredictorRow Row;
+    Row.Name = Scheme;
+    for (size_t Index = 0; Index < Suite.size(); ++Index) {
+      const Workload &W = Suite[Index];
+      measure(*Plain[Index].M, W, Scheme, Row.PlainBranches,
+              Row.PlainMispredictions);
+      CompileOptions Aware;
+      Aware.HeuristicSet = SwitchHeuristicSet::SetIV;
+      Aware.Predictor = Scheme;
+      CompileResult AwareResult =
+          compileWithReordering(W.Source, W.TrainingInput, Aware);
+      if (!AwareResult.ok()) {
+        std::fprintf(stderr, "bench error: %s under %s: %s\n",
+                     W.Name.c_str(), Scheme.c_str(),
+                     AwareResult.Error.c_str());
+        std::exit(1);
+      }
+      measure(*AwareResult.M, W, Scheme, Row.AwareBranches,
+              Row.AwareMispredictions);
+    }
+    // The misprediction-aware promise, enforced on every bench run like
+    // the lowering never-worse checks: targeting the paper's (0,2)/2048
+    // hardware may not produce a Set IV build that mispredicts more than
+    // the unaware one.  Measurements are deterministic, so no tolerance.
+    if (Scheme == "paper" &&
+        Row.AwareMispredictions > Row.PlainMispredictions) {
+      std::fprintf(stderr,
+                   "bench error: misprediction-aware Set IV mispredicts "
+                   "more than plain Set IV under the paper predictor "
+                   "(%llu > %llu)\n",
+                   (unsigned long long)Row.AwareMispredictions,
+                   (unsigned long long)Row.PlainMispredictions);
+      std::exit(1);
+    }
+    Rows.push_back(Row);
+  }
+  return Rows;
 }
 
 /// The Set IV perf gate on real silicon: the full workload suite compiled
@@ -1324,6 +1417,18 @@ int main(int Argc, char **Argv) {
                   Cell.ChainModelCost, Cell.ChosenModelCost,
                   (unsigned long long)Cell.FallThroughBefore,
                   (unsigned long long)Cell.FallThroughAfter);
+  std::printf("running the predictor zoo sweep (Set IV, plain vs "
+              "aware)...\n");
+  const std::vector<PredictorRow> ZooRows = runPredictorZooSweep();
+  for (const PredictorRow &Row : ZooRows)
+    std::printf("  %-10s plain %llu/%llu misses, aware %llu/%llu "
+                "(%+.2f%%)\n",
+                Row.Name.c_str(),
+                (unsigned long long)Row.PlainMispredictions,
+                (unsigned long long)Row.PlainBranches,
+                (unsigned long long)Row.AwareMispredictions,
+                (unsigned long long)Row.AwareBranches,
+                delta(Row.PlainMispredictions, Row.AwareMispredictions));
   std::printf("running the Set IV native perf gate...\n");
   LoweringNativeGate LoweringGate = runLoweringNativeGate(Warmup, Reps);
   if (LoweringGate.Available)
@@ -1662,6 +1767,32 @@ int main(int Argc, char **Argv) {
               << LoweringGate.SetIVOverSetII;
   }
   EngineOut << "}\n";
+  EngineOut << "  },\n";
+  EngineOut << "  \"predictors\": {\n";
+  EngineOut << "    \"set\": \"setIV\",\n";
+  EngineOut << "    \"workloads\": " << standardWorkloads().size() << ",\n";
+  EngineOut << "    \"zoo\": [\n";
+  for (size_t Index = 0; Index < ZooRows.size(); ++Index) {
+    const PredictorRow &Row = ZooRows[Index];
+    auto Rate = [](uint64_t Misses, uint64_t Branches) {
+      return Branches ? static_cast<double>(Misses) /
+                            static_cast<double>(Branches)
+                      : 0.0;
+    };
+    EngineOut << "      {\"name\": \"" << Row.Name
+              << "\", \"plain\": {\"branches\": " << Row.PlainBranches
+              << ", \"mispredictions\": " << Row.PlainMispredictions
+              << ", \"miss_rate\": "
+              << Rate(Row.PlainMispredictions, Row.PlainBranches)
+              << "}, \"aware\": {\"branches\": " << Row.AwareBranches
+              << ", \"mispredictions\": " << Row.AwareMispredictions
+              << ", \"miss_rate\": "
+              << Rate(Row.AwareMispredictions, Row.AwareBranches)
+              << "}, \"miss_delta_percent\": "
+              << delta(Row.PlainMispredictions, Row.AwareMispredictions)
+              << "}" << (Index + 1 < ZooRows.size() ? "," : "") << "\n";
+  }
+  EngineOut << "    ]\n";
   EngineOut << "  },\n";
   EngineOut << "  \"fusion\": {\"fused_pairs\": " << Fusion.FusedPairs
             << ", \"fused_chains\": " << Fusion.FusedChains

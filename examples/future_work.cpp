@@ -124,7 +124,7 @@ void demoMethodSelection() {
     CompileOptions Options;
     Options.HeuristicSet = SwitchHeuristicSet::SetIII;
     Options.Reorder.EnableMethodSelection = true;
-    Options.Reorder.IndirectJumpCost = S.IndirectJumpCost;
+    Options.Reorder.Cost.IndirectJumpCost = S.IndirectJumpCost;
     CompileResult Result =
         compileWithReordering(Source, *S.Training, Options);
     if (!Result.ok()) {

@@ -12,7 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Driver.h"
-#include "sim/CostModel.h"
+#include "cost/MachineModel.h"
 #include "sim/Interpreter.h"
 #include "workloads/Inputs.h"
 

@@ -2,8 +2,8 @@
 
 #include "core/Reorder.h"
 
+#include "cost/OptimalTree.h"
 #include "ir/IRBuilder.h"
-#include "opt/OptimalTree.h"
 #include "opt/Passes.h"
 #include "support/Debug.h"
 
@@ -107,13 +107,17 @@ public:
     Outcome.ChainCost = Decision.Cost;
     if (Opts.UseOptimalTree) {
       // Equations 1-2 count executed instructions; a chain additionally
-      // takes one taken branch per tested-and-matched exit, while its
-      // default traffic falls through every test.  Only Set IV charges
-      // this, so Sets I-III keep the paper's exact cost semantics.
-      double TakenMass = 0.0;
+      // takes one taken branch per tested-and-matched exit (and, when the
+      // model is misprediction-aware, the expected mispredict charge of
+      // testing the exits in this order).  The cost layer charges both
+      // exactly once; Decision.Cost stays the pure Equations 1-4 count.
+      // Only Set IV charges extras, so Sets I-III keep the paper's exact
+      // cost semantics.
+      std::vector<double> OrderedExitProbs;
+      OrderedExitProbs.reserve(Decision.Order.size());
       for (size_t Index : Decision.Order)
-        TakenMass += Infos[Index].P;
-      Outcome.ChainCost += Opts.TakenBranchExtra * TakenMass;
+        OrderedExitProbs.push_back(Infos[Index].P);
+      Outcome.ChainCost += Opts.Cost.chainExtras(OrderedExitProbs);
     }
     Outcome.ChosenCost = Outcome.ChainCost;
     std::optional<TreePlan> Tree;
@@ -127,10 +131,10 @@ public:
     if (Opts.EnableMethodSelection) {
       // The linear-search cost (Equations 1-4) is conservative — it
       // charges bounded conditions for both branches even though §7's
-      // intra-condition ordering often answers with one — so demand a
-      // clear margin before preferring the table.
+      // intra-condition ordering often answers with one — so the model
+      // demands a clear margin before preferring the table.
       if (auto Plan = planJumpTable()) {
-        if (Plan->Cost < Outcome.ChosenCost * 0.8) {
+        if (Opts.Cost.tablePreferred(Plan->Cost, Outcome.ChosenCost)) {
           rewriteHead();
           emitJumpTable(*Plan);
           Outcome.Branches = 2;
@@ -372,10 +376,9 @@ private:
         static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
     if (Span > Opts.MaxTableSpan)
       return std::nullopt;
-    // Charge by where the profile says values fall: below the span exits
-    // at the first bounds check (2 instructions), above at the second
-    // (4), and in-span traffic additionally pays the index adjustment and
-    // the machine-dependent indirect jump.
+    // Split the profile mass by where values fall; the cost layer prices
+    // the three paths (bounds-check exits, index adjustment, indirect
+    // dispatch) from there.
     double BelowMass = 0.0, AboveMass = 0.0, InMass = 0.0;
     for (const RangeInfo &Info : Infos) {
       if (Info.R.hi() < Lo)
@@ -390,9 +393,8 @@ private:
     TablePlan Plan;
     Plan.Lo = Lo;
     Plan.Hi = Hi;
-    Plan.Cost = BelowMass * 2.0 + AboveMass * 4.0 +
-                InMass * (4.0 + (Lo != 0 ? 1.0 : 0.0) +
-                          static_cast<double>(Opts.IndirectJumpCost));
+    Plan.Cost = Opts.Cost.jumpTableCost(BelowMass, AboveMass, InMass,
+                                        /*NeedsBias=*/Lo != 0);
     return Plan;
   }
 
@@ -442,7 +444,7 @@ private:
   }
 
   /// Set IV: the cost-optimal comparison tree over the sorted range
-  /// partition (opt/OptimalTree.h).  Sorted[K] is the Infos index of the
+  /// partition (cost/OptimalTree.h).  Sorted[K] is the Infos index of the
   /// K-th leaf in ascending value order.
   struct TreePlan {
     std::vector<size_t> Sorted;
@@ -477,10 +479,9 @@ private:
     std::vector<double> Weights(N);
     for (size_t K = 0; K < N; ++K)
       Weights[K] = Infos[Plan.Sorted[K]].P;
-    TreeCostParams Params;
-    Params.CompareCost = 2.0; // cmp + condbr, like every chain condition
-    Params.TakenExtra = Opts.TakenBranchExtra;
-    Plan.Tree = buildOptimalTree(Weights, Params);
+    // The DP prices nodes with the same compare, taken, and misprediction
+    // charges as the chain, so the two shapes compete under one model.
+    Plan.Tree = buildOptimalTree(Weights, Opts.Cost.treeParams());
     Plan.Cost = Plan.Tree.Cost;
     return Plan;
   }
@@ -498,7 +499,8 @@ private:
   /// contiguous).  Each internal node compares the value against the
   /// highest value of its split leaf; the DP's orientation bit says which
   /// side is the taken edge (the lighter one — the heavy side falls
-  /// through, which is what makes TakenExtra worth modeling).
+  /// through, which is why the cost model's taken-branch charge shapes
+  /// the tree).
   unsigned emitTree(const TreePlan &Plan) {
     const unsigned V = Seq.ValueReg;
     unsigned Branches = 0;

@@ -27,6 +27,7 @@
 
 #include "core/OrderingSelection.h"
 #include "core/SequenceDetection.h"
+#include "cost/BranchCostModel.h"
 #include "opt/Passes.h"
 #include "profile/ProfileDB.h"
 
@@ -53,25 +54,24 @@ struct ReorderOptions {
 
   /// §10 extension: semi-static search-method selection.  When enabled,
   /// each sequence is emitted as a bounds-checked jump table instead of a
-  /// reordered linear search whenever the table's expected cost (using
-  /// IndirectJumpCost for the dispatch) beats the best ordering's cost.
+  /// reordered linear search whenever the table's expected cost (priced by
+  /// Cost.jumpTableCost) beats the best ordering's cost.
   bool EnableMethodSelection = false;
-  /// Expected instruction-equivalent cost of an indirect jump, including
-  /// the table load.  ~2 on SPARC-IPC-like machines; ~8 Ultra-like (the
-  /// paper measured indirect jumps 4x more expensive there).
-  unsigned IndirectJumpCost = 2;
   /// Jump tables wider than this are never considered.
   uint64_t MaxTableSpan = 512;
 
   /// Set IV (docs/LOWERING.md): also cost the optimal comparison tree over
-  /// the sorted range partition (opt/OptimalTree.h) and emit whichever of
+  /// the sorted range partition (cost/OptimalTree.h) and emit whichever of
   /// {Figure-8 chain, tree} the profile says is cheaper.  Never worse than
   /// the chain on the modeled cost by construction.
   bool UseOptimalTree = false;
-  /// Modeled extra cost of a taken conditional branch over a fall-through
-  /// (MachineModel::TakenBranchExtra), charged by both the chain and the
-  /// tree model when they are compared.
-  double TakenBranchExtra = 1.0;
+
+  /// The one pricing authority for every shape decision this pass makes —
+  /// chain extras, tree parameters, jump-table dispatch, and the
+  /// table-vs-chain margin all come from here (cost/BranchCostModel.h).
+  /// Defaults reproduce the paper's SPARC-IPC-like numbers with
+  /// misprediction awareness off.
+  BranchCostModel Cost;
   /// Recompute block layout from measured edge weights after reordering
   /// (ext-TSP, opt/Passes.h).  Consumed by the driver — reorderSequence
   /// itself never moves blocks.

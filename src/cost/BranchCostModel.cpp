@@ -1,0 +1,63 @@
+//===- cost/BranchCostModel.cpp - Unified branch-shape pricing ------------===//
+
+#include "cost/BranchCostModel.h"
+
+#include <algorithm>
+
+using namespace bropt;
+
+double BranchCostModel::mispredictRate(double TakenProb) const {
+  double T = std::clamp(TakenProb, 0.0, 1.0);
+  double Rate = PredictorQuality * std::min(T, 1.0 - T);
+  return std::clamp(Rate, 0.0, 1.0);
+}
+
+double BranchCostModel::chainExtras(
+    const std::vector<double> &OrderedExitProbs) const {
+  double TakenMass = 0.0;
+  for (double P : OrderedExitProbs)
+    TakenMass += P;
+  double Extras = TakenBranchExtra * TakenMass;
+  if (!mispredictAware())
+    return Extras;
+  // Condition k is reached only when conditions before it fell through:
+  // Reach_k = 1 - sum of earlier exit masses.  Conditioned on reaching it,
+  // the test takes with probability P_k / Reach_k, so the expected misses
+  // it contributes are Reach_k * rate(P_k / Reach_k).
+  double Reach = 1.0;
+  for (double P : OrderedExitProbs) {
+    if (Reach <= 0.0)
+      break;
+    Extras += MispredictPenalty * Reach * mispredictRate(P / Reach);
+    Reach -= P;
+  }
+  return Extras;
+}
+
+TreeCostParams BranchCostModel::treeParams() const {
+  TreeCostParams Params;
+  Params.CompareCost = CompareCost;
+  Params.TakenExtra = TakenBranchExtra;
+  Params.MispredictExtra =
+      mispredictAware() ? MispredictPenalty * PredictorQuality : 0.0;
+  return Params;
+}
+
+double BranchCostModel::jumpTableCost(double BelowMass, double AboveMass,
+                                      double InMass, bool NeedsBias) const {
+  double Cost = BelowMass * 2.0 + AboveMass * 4.0 +
+                InMass * (4.0 + (NeedsBias ? 1.0 : 0.0) + IndirectJumpCost);
+  if (!mispredictAware())
+    return Cost;
+  // The two range guards are conditional branches like any other: the
+  // first takes with the below-span mass, the second — reached by the
+  // rest — with the above-span share of what remains.
+  double Total = BelowMass + AboveMass + InMass;
+  if (Total <= 0.0)
+    return Cost;
+  Cost += MispredictPenalty * Total * mispredictRate(BelowMass / Total);
+  double Reach = Total - BelowMass;
+  if (Reach > 0.0)
+    Cost += MispredictPenalty * Reach * mispredictRate(AboveMass / Reach);
+  return Cost;
+}

@@ -1,0 +1,120 @@
+//===- cost/BranchCostModel.h - Unified branch-shape pricing ----*- C++ -*-===//
+//
+// Part of the bropt project, a reproduction of "Improving Performance by
+// Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one seam every shape decision prices through.  Before this layer the
+/// cost arithmetic was scattered: core/Reorder charged its taken-branch
+/// extra inline on the Figure-8 chain, the Set IV tree DP carried its own
+/// compare/taken constants, the jump-table margin was a bare 0.8 in the
+/// method-selection comparison, and sim/Fuse and opt/Repositioning each
+/// hand-rolled their layout tie-break.  BranchCostModel owns all of those
+/// constants and prices every candidate shape — reordered chain, optimal
+/// comparison tree, bounds-checked jump table — as expected cycles:
+///
+///   cost = instruction cost
+///        + TakenBranchExtra   * P(exit via a taken branch)
+///        + MispredictPenalty  * P(mispredict)
+///
+/// P(mispredict) uses an analytic minority-direction model: a branch taken
+/// with probability t mispredicts about PredictorQuality * min(t, 1 - t)
+/// of its executions.  Quality 1.0 is a per-branch saturating counter
+/// (misses once per minority-direction run); the driver calibrates it from
+/// the measured ProfileKind::Misprediction plane of the predictor the
+/// compile targets (docs/PREDICT.md), so a TAGE-class predictor prices
+/// mispredictions near zero and a poor one prices them above the counter
+/// baseline.  MispredictPenalty 0 (the default) keeps every decision
+/// bit-identical to the prediction-unaware model — Sets I-III never charge
+/// it, and Set IV only does when a predictor is selected.
+///
+/// Charging discipline: each term is charged exactly once, by this layer.
+/// Consumers hand over raw instruction costs and probability masses and
+/// must not pre-apply any extra — that is the double-charging hazard the
+/// old inline arithmetic in core/Reorder.cpp invited.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BROPT_COST_BRANCHCOSTMODEL_H
+#define BROPT_COST_BRANCHCOSTMODEL_H
+
+#include "cost/OptimalTree.h"
+
+#include <vector>
+
+namespace bropt {
+
+/// Prices candidate branch shapes in expected instruction-equivalent
+/// cycles.  A value type: copies are cheap and independent.
+struct BranchCostModel {
+  /// Instructions per tested condition: one compare plus one branch.
+  double CompareCost = 2.0;
+  /// Extra cost of a taken conditional branch over a fall-through
+  /// (MachineModel::TakenBranchExtra).  Charged only by the shape
+  /// comparisons that opt in (Set IV); Equations 1-4 stay pure counts.
+  double TakenBranchExtra = 1.0;
+  /// Expected instruction-equivalent cost of an indirect jump, including
+  /// the table load.  ~2 on SPARC-IPC-like machines; ~8 Ultra-like (the
+  /// paper measured indirect jumps 4x more expensive there).
+  double IndirectJumpCost = 2.0;
+  /// A jump table must beat the best sequential shape by this factor
+  /// before method selection prefers it (the linear-search cost is
+  /// conservative, so demand a clear margin).
+  double JumpTableMargin = 0.8;
+  /// Cycles charged per expected misprediction.  Zero (default) keeps the
+  /// model prediction-unaware.
+  double MispredictPenalty = 0.0;
+  /// Scales the analytic minority-direction misprediction rate; the driver
+  /// calibrates it against the measured rates of the selected predictor
+  /// (profile/MispredictProfile.h).
+  double PredictorQuality = 1.0;
+
+  /// True when the model charges mispredictions at all.
+  bool mispredictAware() const { return MispredictPenalty > 0.0; }
+
+  /// Expected misprediction rate of a branch taken with probability
+  /// \p TakenProb: PredictorQuality * min(t, 1-t), clamped to [0, 1].
+  double mispredictRate(double TakenProb) const;
+
+  /// Extras the Figure-8 chain pays beyond its Equations 1-4 instruction
+  /// cost: one taken branch per tested-and-matched exit, plus the expected
+  /// misprediction charge of testing the exits in \p OrderedExitProbs
+  /// order (each entry the absolute probability that its condition exits;
+  /// untested default mass falls through every test).  Charged here and
+  /// nowhere else — callers must pass the raw Equations 1-4 cost.
+  double chainExtras(const std::vector<double> &OrderedExitProbs) const;
+
+  /// The parameters the Set IV optimal-tree DP prices nodes with — the
+  /// same compare, taken, and misprediction charges as the chain, so the
+  /// two shapes compete under one model.
+  TreeCostParams treeParams() const;
+
+  /// Expected cost of a bounds-checked jump table: below-span traffic
+  /// exits at the first bounds check (2 instructions), above-span at the
+  /// second (4), and in-span traffic additionally pays the index
+  /// adjustment (when \p NeedsBias) and the indirect dispatch.  The two
+  /// guard branches also pay the misprediction charge when the model is
+  /// aware.
+  double jumpTableCost(double BelowMass, double AboveMass, double InMass,
+                       bool NeedsBias) const;
+
+  /// Method selection: take the table only when it clearly beats the best
+  /// sequential shape.
+  bool tablePreferred(double TableCost, double ChosenCost) const {
+    return TableCost < ChosenCost * JumpTableMargin;
+  }
+
+  /// The layout tie-break every keep-best loop shares (sim/Fuse chain
+  /// merging, opt/Repositioning ext-TSP): a candidate replaces the
+  /// incumbent only when strictly better, so ties keep the earlier —
+  /// deterministic — layout.
+  static bool layoutPrefers(double CandidateScore, double IncumbentScore) {
+    return CandidateScore > IncumbentScore;
+  }
+};
+
+} // namespace bropt
+
+#endif // BROPT_COST_BRANCHCOSTMODEL_H

@@ -1,8 +1,6 @@
-//===- sim/CostModel.cpp - Machine cycle-cost models ----------------------===//
+//===- cost/MachineModel.cpp - Machine cycle-cost models ------------------===//
 
-#include "sim/CostModel.h"
-
-#include "sim/Interpreter.h"
+#include "cost/MachineModel.h"
 
 using namespace bropt;
 

@@ -1,4 +1,4 @@
-//===- sim/CostModel.h - Machine cycle-cost models ---------------*- C++ -*-===//
+//===- cost/MachineModel.h - Machine cycle-cost models ----------*- C++ -*-===//
 //
 // Part of the bropt project, a reproduction of "Improving Performance by
 // Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
@@ -6,23 +6,40 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Parameterisable per-event cycle costs.  The paper measured (via the
+/// Parameterisable per-event cycle costs — the whole-run half of the cost
+/// layer (DESIGN.md "The cost layer").  The paper measured (via the
 /// dual-loop method) that indirect jumps on the SPARC Ultra I cost about
 /// four times what they cost on the SPARC IPC / SPARC 20, which motivated
 /// Heuristic Set II.  We expose that as a machine-model knob so the benches
 /// can report model cycles under both machines.
 ///
+/// DynamicCounts lives here too: it is the event vector the machine models
+/// price.  The sim/ engines fill one per run (sim/Interpreter.h) and every
+/// layer above prices it through computeCycles without depending on sim/.
+///
 //===----------------------------------------------------------------------===//
 
-#ifndef BROPT_SIM_COSTMODEL_H
-#define BROPT_SIM_COSTMODEL_H
+#ifndef BROPT_COST_MACHINEMODEL_H
+#define BROPT_COST_MACHINEMODEL_H
 
 #include <cstdint>
 #include <string>
 
 namespace bropt {
 
-struct DynamicCounts;
+/// Dynamic event counters for one run.
+struct DynamicCounts {
+  uint64_t TotalInsts = 0;    ///< all executed instructions except Profile
+  uint64_t CondBranches = 0;  ///< executed CondBr instructions
+  uint64_t TakenBranches = 0; ///< CondBr executions that were taken
+  uint64_t UncondJumps = 0;   ///< executed Jump instructions
+  uint64_t IndirectJumps = 0; ///< executed IndirectJump instructions
+  uint64_t Compares = 0;      ///< executed Cmp instructions
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t Calls = 0;
+  uint64_t ProfileHooks = 0; ///< instrumentation executions (not in TotalInsts)
+};
 
 /// Per-event cycle costs of an idealized single-issue machine.
 struct MachineModel {
@@ -57,4 +74,4 @@ uint64_t computeCycles(const MachineModel &Model, const DynamicCounts &Counts,
 
 } // namespace bropt
 
-#endif // BROPT_SIM_COSTMODEL_H
+#endif // BROPT_COST_MACHINEMODEL_H

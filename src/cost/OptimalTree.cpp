@@ -1,7 +1,8 @@
-//===- opt/OptimalTree.cpp - Optimal comparison trees ---------------------===//
+//===- cost/OptimalTree.cpp - Optimal comparison trees --------------------===//
 
-#include "opt/OptimalTree.h"
+#include "cost/OptimalTree.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -38,10 +39,12 @@ OptimalTree bropt::buildOptimalTree(const std::vector<double> &Weights,
         double WL = WSum(I, K);
         double WR = WSum(K + 1, J);
         // The heavier side falls through; on a tie prefer taking left so
-        // reconstruction is deterministic.
+        // reconstruction is deterministic.  The misprediction charge is
+        // the minority mass either way, so it never flips orientation.
         bool TakenLeft = WL <= WR;
         double Here = Params.CompareCost * (WL + WR) +
                       Params.TakenExtra * (TakenLeft ? WL : WR) +
+                      Params.MispredictExtra * std::min(WL, WR) +
                       Cost[I * N + K] + Cost[(K + 1) * N + J];
         if (Here < Best) {
           Best = Here;
@@ -76,11 +79,16 @@ double bruteForce(const std::vector<double> &Weights, size_t I, size_t J,
     double Sub = bruteForce(Weights, I, K, Params) +
                  bruteForce(Weights, K + 1, J, Params);
     // Try both orientations explicitly rather than assuming min() — the
-    // oracle should not encode the optimization it checks.
+    // oracle should not encode the optimization it checks.  The mispredict
+    // charge follows the taken side's minority share: taking left makes
+    // left traffic the predictable direction only if it dominates, so the
+    // expected misses are min(WL, WR) in both orientations; spell each out.
+    double MissLeft = Params.MispredictExtra * (WL <= WR ? WL : WR);
+    double MissRight = Params.MispredictExtra * (WR <= WL ? WR : WL);
     double TakeLeft = Params.CompareCost * (WL + WR) +
-                      Params.TakenExtra * WL + Sub;
+                      Params.TakenExtra * WL + MissLeft + Sub;
     double TakeRight = Params.CompareCost * (WL + WR) +
-                       Params.TakenExtra * WR + Sub;
+                       Params.TakenExtra * WR + MissRight + Sub;
     if (TakeLeft < Best)
       Best = TakeLeft;
     if (TakeRight < Best)

@@ -1,4 +1,4 @@
-//===- opt/OptimalTree.h - Optimal comparison trees -------------*- C++ -*-===//
+//===- cost/OptimalTree.h - Optimal comparison trees ------------*- C++ -*-===//
 //
 // Part of the bropt project, a reproduction of "Improving Performance by
 // Branch Reordering" (Yang, Uh & Whalley, PLDI 1998).
@@ -23,15 +23,21 @@
 /// sends the heavier subtree down the fall-through edge and the node pays
 /// TakenExtra * min(W_left, W_right).  This is exactly the asymmetric
 /// taken/fall-through cost Baer's model introduces and the machine models
-/// in sim/CostModel.h expose as MachineModel::TakenBranchExtra.
+/// in cost/MachineModel.h expose as MachineModel::TakenBranchExtra.
+///
+/// MispredictExtra extends the model to branch prediction: under the
+/// analytic minority-direction rate of cost/BranchCostModel.h, a node whose
+/// taken probability is t mispredicts about min(t, 1-t) of its visits, so
+/// the expected charge is MispredictExtra * min(W_left, W_right) —
+/// orientation-independent, and zero when the model is prediction-unaware.
 ///
 /// Weights are arbitrary nonnegative reals (probabilities in practice);
 /// leaves are free — reaching one dispatches to its target directly.
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef BROPT_OPT_OPTIMALTREE_H
-#define BROPT_OPT_OPTIMALTREE_H
+#ifndef BROPT_COST_OPTIMALTREE_H
+#define BROPT_COST_OPTIMALTREE_H
 
 #include <cstddef>
 #include <cstdint>
@@ -47,6 +53,10 @@ struct TreeCostParams {
   /// Extra cost when the node's branch is taken rather than falling
   /// through (MachineModel::TakenBranchExtra).
   double TakenExtra = 0.0;
+  /// Expected misprediction charge per unit of minority-direction mass at
+  /// a node: MispredictPenalty * PredictorQuality from the
+  /// BranchCostModel.  Zero keeps the model prediction-unaware.
+  double MispredictExtra = 0.0;
 };
 
 /// Result of the interval DP: the optimal cost and, for every interval
@@ -85,4 +95,4 @@ double bruteForceOptimalTreeCost(const std::vector<double> &Weights,
 
 } // namespace bropt
 
-#endif // BROPT_OPT_OPTIMALTREE_H
+#endif // BROPT_COST_OPTIMALTREE_H

@@ -9,23 +9,30 @@
 #include "ir/Verifier.h"
 #include "lang/Lowering.h"
 #include "opt/Passes.h"
+#include "predict/Zoo.h"
+#include "profile/MispredictProfile.h"
 #include "sim/Interpreter.h"
 
 using namespace bropt;
 
-namespace {
-
 /// Set IV is a driver-level preset: the Set III shape classification (in
 /// opt/SwitchLowering) plus optimal-tree lowering and method selection in
-/// the reordering pass (docs/LOWERING.md).
-ReorderOptions effectiveReorderOptions(const CompileOptions &Options) {
+/// the reordering pass (docs/LOWERING.md).  Targeting a predictor arms the
+/// cost model's mispredict charge; its quality is calibrated separately
+/// from the imported Misprediction plane (compileWithProfile).
+ReorderOptions bropt::effectiveReorderOptions(const CompileOptions &Options) {
   ReorderOptions Reorder = Options.Reorder;
   if (Options.HeuristicSet == SwitchHeuristicSet::SetIV) {
     Reorder.UseOptimalTree = true;
     Reorder.EnableMethodSelection = true;
   }
+  if (!Options.Predictor.empty() &&
+      Reorder.Cost.MispredictPenalty == 0.0)
+    Reorder.Cost.MispredictPenalty = DefaultMispredictPenalty;
   return Reorder;
 }
+
+namespace {
 
 /// Front end + switch lowering + conventional optimizations; the common
 /// prefix of every build.  \returns null and fills \p Error on failure.
@@ -109,6 +116,20 @@ bropt::runPass1(std::string_view Source,
       Profile->increment(Id, static_cast<size_t>(Mask));
     });
   }
+  // Targeting a predictor: the training runs double as the misprediction
+  // measurement.  Instrumentation adds no conditional branches, so branch
+  // ids line up with the pass-2 module the plane is imported against.
+  std::unique_ptr<Predictor> Measured;
+  if (!Options.Predictor.empty()) {
+    Measured = makePredictor(Options.Predictor);
+    if (!Measured) {
+      Result.Error = "unknown predictor '" + Options.Predictor +
+                     "' (see docs/PREDICT.md for the zoo)";
+      return Result;
+    }
+    Measured->enableBranchRecords();
+    Interp.attachPredictor(Measured.get());
+  }
   for (std::string_view TrainingInput : TrainingInputs) {
     Interp.setInput(TrainingInput);
     RunResult Run = Interp.run();
@@ -117,6 +138,8 @@ bropt::runPass1(std::string_view Source,
       return Result;
     }
   }
+  if (Measured)
+    exportMispredictProfile(*Result.M, *Measured, Result.Profile);
   return Result;
 }
 
@@ -198,7 +221,16 @@ CompileResult bropt::compileWithProfile(std::string_view Source,
                            Result.Error);
   if (!Result.M)
     return Result;
-  const ReorderOptions Reorder = effectiveReorderOptions(Options);
+  ReorderOptions Reorder = effectiveReorderOptions(Options);
+  if (!Options.Predictor.empty()) {
+    // Calibrate the mispredict charge against what the targeted predictor
+    // actually did on the training runs.  A profile without the plane (or
+    // a stale one) keeps the neutral quality 1.0 — the saturating-counter
+    // baseline — so selection degrades gracefully, never wrongly.
+    MispredictSummary Summary =
+        importMispredictProfile(Profile, *Result.M, Options.Predictor);
+    Reorder.Cost.PredictorQuality = Summary.quality();
+  }
   std::vector<RangeSequence> Sequences = detectSequences(*Result.M);
   if (!Options.EnableCommonSuccessorReordering) {
     Result.Stats =

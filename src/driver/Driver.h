@@ -42,7 +42,21 @@ struct CompileOptions {
   /// §10 extension: also profile and reorder common-successor branch
   /// sequences (Figure 14).
   bool EnableCommonSuccessorReordering = false;
+  /// Misprediction-aware selection (docs/PREDICT.md): the zoo name of the
+  /// predictor the compile targets (`broptc --predictor`).  Non-empty:
+  /// pass 1 additionally measures per-branch mispredictions under this
+  /// predictor into the ProfileKind::Misprediction plane, and pass 2
+  /// calibrates Reorder.Cost from the imported plane so shape selection
+  /// (chain vs tree vs table) minimizes expected cycles including the
+  /// mispredict charge.  Empty (default): the cost model stays
+  /// prediction-unaware and every decision is bit-identical to before.
+  std::string Predictor;
 };
+
+/// Cycles one mispredicted branch costs in the shape-selection model when
+/// a predictor is targeted — MachineModel::sparcUltraLike's penalty, the
+/// machine the paper measured prediction on.
+inline constexpr double DefaultMispredictPenalty = 4.0;
 
 /// Everything the evaluation wants to know about one compilation.
 struct CompileResult {
@@ -60,6 +74,13 @@ struct CompileResult {
 
   bool ok() const { return Error.empty(); }
 };
+
+/// The reorder options pass 2 actually runs with: \p Options.Reorder plus
+/// the Set IV preset (optimal trees + method selection) and, when a
+/// predictor is targeted, the armed mispredict charge.  Exposed so callers
+/// that rebuild outside the driver — the adaptive runtime's tier-2, the
+/// benches — select shapes under the same model.
+ReorderOptions effectiveReorderOptions(const CompileOptions &Options);
 
 /// Compiles without the reordering transformation: front end, switch
 /// lowering under \p Options.HeuristicSet, conventional optimizations,

@@ -2,6 +2,7 @@
 
 #include "driver/Evaluator.h"
 
+#include "predict/Zoo.h"
 #include "profile/ProfileDB.h"
 #include "sim/Fuse.h"
 #include "support/Strings.h"
@@ -25,21 +26,28 @@ std::string baselineKey(const Workload &W, const CompileOptions &Options) {
 }
 
 /// Stable textual signature of everything a reordered compile depends on.
+/// Every BranchCostModel field and the targeted predictor are part of the
+/// key: two compiles differing only in cost calibration must never share a
+/// cached module.
 std::string reorderedKey(const Workload &W, const CompileOptions &Options) {
   const ReorderOptions &R = Options.Reorder;
   return formatString(
              "set=%d;cs=%d;dup=%d;f4=%d;ex=%d;min=%llu;clone=%zu;ms=%d;"
-             "ijmp=%u;span=%llu;tree=%d;takenx=%g;pgl=%d;train=%zu;",
+             "span=%llu;tree=%d;pgl=%d;cmp=%g;takenx=%g;ijmp=%g;margin=%g;"
+             "mp=%g;q=%g;",
              static_cast<int>(Options.HeuristicSet),
              Options.EnableCommonSuccessorReordering ? 1 : 0,
              R.DuplicateDefaultTarget ? 1 : 0, R.OrderFormFourBranches ? 1 : 0,
              R.UseExhaustiveSelection ? 1 : 0,
              static_cast<unsigned long long>(R.MinExecutions),
              R.MaxDefaultCloneInsts, R.EnableMethodSelection ? 1 : 0,
-             R.IndirectJumpCost,
              static_cast<unsigned long long>(R.MaxTableSpan),
-             R.UseOptimalTree ? 1 : 0, R.TakenBranchExtra,
-             R.ProfileGuidedLayout ? 1 : 0, W.TrainingInput.size()) +
+             R.UseOptimalTree ? 1 : 0, R.ProfileGuidedLayout ? 1 : 0,
+             R.Cost.CompareCost, R.Cost.TakenBranchExtra,
+             R.Cost.IndirectJumpCost, R.Cost.JumpTableMargin,
+             R.Cost.MispredictPenalty, R.Cost.PredictorQuality) +
+         "pred=" + Options.Predictor +
+         formatString(";train=%zu;", W.TrainingInput.size()) +
          W.TrainingInput + ";src=" + W.Source;
 }
 
@@ -334,19 +342,31 @@ Evaluator::evaluateWorkload(const Workload &W,
     }
   }
 
+  // An explicit (m,n) config wins; otherwise a compile that targets a zoo
+  // predictor is also *measured* under it.  One fresh instance per build:
+  // cached modules are shared across evaluations, predictor state never is.
+  auto measure = [&](const Module &M, const DecodedModule *Prepared,
+                     AdaptiveController *Controller,
+                     const NativeProgram *Native) {
+    if (!Predictor && !CompileOpts.Predictor.empty()) {
+      std::unique_ptr<class Predictor> Zoo =
+          makePredictor(CompileOpts.Predictor);
+      if (Zoo)
+        return measureBuild(M, W.TestInput, Zoo.get(), Eval.Error,
+                            Options.Mode, Prepared, Controller, Native);
+    }
+    return measureBuild(M, W.TestInput, Predictor, Eval.Error,
+                        Options.Mode, Prepared, Controller, Native);
+  };
   auto RunStart = std::chrono::steady_clock::now();
-  Eval.Baseline = measureBuild(*Baseline->M, W.TestInput, Predictor,
-                               Eval.Error, Options.Mode,
-                               BaselinePrepared.get(), BaselineCtl.get(),
-                               BaselineNative.get());
+  Eval.Baseline = measure(*Baseline->M, BaselinePrepared.get(),
+                          BaselineCtl.get(), BaselineNative.get());
   if (!Eval.ok()) {
     Record.RunSeconds = secondsSince(RunStart);
     return Record;
   }
-  Eval.Reordered = measureBuild(*Reordered->M, W.TestInput, Predictor,
-                                Eval.Error, Options.Mode,
-                                ReorderedPrepared.get(), ReorderedCtl.get(),
-                                ReorderedNative.get());
+  Eval.Reordered = measure(*Reordered->M, ReorderedPrepared.get(),
+                           ReorderedCtl.get(), ReorderedNative.get());
   Record.RunSeconds = secondsSince(RunStart);
   if (!Eval.ok())
     return Record;

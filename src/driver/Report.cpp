@@ -2,7 +2,7 @@
 
 #include "driver/Report.h"
 
-#include "sim/CostModel.h"
+#include "cost/MachineModel.h"
 
 using namespace bropt;
 
@@ -16,10 +16,8 @@ double WorkloadEvaluation::deltaPercent(uint64_t Before, uint64_t After) {
 
 BuildMeasurement
 bropt::measureBuild(const Module &M, std::string_view TestInput,
-                    const std::optional<PredictorConfig>
-                        &PredictorConfiguration,
-                    std::string &Error, Interpreter::Mode Mode,
-                    const DecodedModule *Prepared,
+                    Predictor *AttachedPredictor, std::string &Error,
+                    Interpreter::Mode Mode, const DecodedModule *Prepared,
                     AdaptiveController *Adaptive,
                     const NativeProgram *Native) {
   BuildMeasurement Result;
@@ -30,11 +28,7 @@ bropt::measureBuild(const Module &M, std::string_view TestInput,
   Req.Prepared = Prepared;
   Req.Adaptive = Adaptive;
   Req.Native = Native;
-  std::optional<BranchPredictor> Predictor;
-  if (PredictorConfiguration) {
-    Predictor.emplace(*PredictorConfiguration);
-    Req.Predictor = &*Predictor;
-  }
+  Req.AttachedPredictor = AttachedPredictor;
   RunResult Run = executeModule(M, Mode, Req);
   if (Adaptive) {
     Adaptive->drainBackgroundWork();
@@ -47,13 +41,30 @@ bropt::measureBuild(const Module &M, std::string_view TestInput,
   Result.Counts = Run.Counts;
   Result.Output = std::move(Run.Output);
   Result.ExitValue = Run.ExitValue;
-  if (Predictor)
-    Result.Mispredictions = Predictor->getStats().Mispredictions;
+  if (AttachedPredictor)
+    Result.Mispredictions = AttachedPredictor->getStats().Mispredictions;
   Result.CyclesIPC = computeCycles(MachineModel::sparcIPCLike(), Run.Counts,
                                    Result.Mispredictions);
   Result.CyclesUltra = computeCycles(MachineModel::sparcUltraLike(),
                                      Run.Counts, Result.Mispredictions);
   return Result;
+}
+
+BuildMeasurement
+bropt::measureBuild(const Module &M, std::string_view TestInput,
+                    const std::optional<PredictorConfig>
+                        &PredictorConfiguration,
+                    std::string &Error, Interpreter::Mode Mode,
+                    const DecodedModule *Prepared,
+                    AdaptiveController *Adaptive,
+                    const NativeProgram *Native) {
+  // One fresh predictor per measurement: state and statistics must never
+  // leak between builds (the isolation contract the predictor tests pin).
+  std::optional<BranchPredictor> Predictor;
+  if (PredictorConfiguration)
+    Predictor.emplace(*PredictorConfiguration);
+  return measureBuild(M, TestInput, Predictor ? &*Predictor : nullptr,
+                      Error, Mode, Prepared, Adaptive, Native);
 }
 
 WorkloadEvaluation

@@ -86,6 +86,19 @@ measureBuild(const Module &M, std::string_view TestInput,
              AdaptiveController *Adaptive = nullptr,
              const NativeProgram *Native = nullptr);
 
+/// As above, but measures under any zoo member (predict/Zoo.h) instead of
+/// constructing an (m,n) predictor from a config.  \p AttachedPredictor may
+/// be null (no prediction measured); when set, the caller owns it and
+/// should pass a freshly reset instance — mispredictions are read off its
+/// cumulative stats after the run.
+BuildMeasurement
+measureBuild(const Module &M, std::string_view TestInput,
+             Predictor *AttachedPredictor, std::string &Error,
+             Interpreter::Mode Mode = Interpreter::Mode::Fused,
+             const DecodedModule *Prepared = nullptr,
+             AdaptiveController *Adaptive = nullptr,
+             const NativeProgram *Native = nullptr);
+
 /// Evaluates \p W under \p Options; if \p Predictor is set, both builds
 /// also run through an (m,n) predictor of that configuration.
 WorkloadEvaluation evaluateWorkload(const Workload &W,

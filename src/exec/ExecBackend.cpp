@@ -38,8 +38,8 @@ public:
       Interp.setPreparedProgram(Req.Prepared);
     Interp.setInput(Req.Input);
     Interp.setInstructionLimit(Req.InstructionLimit);
-    if (Req.Predictor)
-      Interp.attachPredictor(Req.Predictor);
+    if (Req.AttachedPredictor)
+      Interp.attachPredictor(Req.AttachedPredictor);
     return Interp.run(Req.EntryName, Req.Args);
   }
 
@@ -111,8 +111,8 @@ public:
     Req.Adaptive->attach(Interp);
     Interp.setInput(Req.Input);
     Interp.setInstructionLimit(Req.InstructionLimit);
-    if (Req.Predictor)
-      Interp.attachPredictor(Req.Predictor);
+    if (Req.AttachedPredictor)
+      Interp.attachPredictor(Req.AttachedPredictor);
     return Interp.run(Req.EntryName, Req.Args);
   }
 };

@@ -35,9 +35,9 @@
 namespace bropt {
 
 class AdaptiveController;
-class BranchPredictor;
 class Module;
 class NativeProgram;
+class Predictor;
 
 /// One run's inputs and optional attachments.
 struct ExecRequest {
@@ -46,8 +46,8 @@ struct ExecRequest {
   std::string_view Input;
   uint64_t InstructionLimit = 2'000'000'000;
   /// Fed every executed CondBr (interpreter engines only; native code
-  /// does not model prediction).
-  BranchPredictor *Predictor = nullptr;
+  /// does not model prediction).  Any zoo member (predict/Zoo.h).
+  Predictor *AttachedPredictor = nullptr;
   /// Pre-decoded program for the decoded/fused engines (Evaluator decode
   /// cache); ignored elsewhere.
   const DecodedModule *Prepared = nullptr;

@@ -371,6 +371,35 @@ OracleReport bropt::runOracle(std::string_view Source,
     }
   }
 
+  // The misprediction-aware half of invariant 6: the same Set IV build
+  // repriced for the paper's predictor (docs/PREDICT.md).  Awareness may
+  // only change which shapes win, never what the program computes, and
+  // under its own (aware) pricing the chosen shape still never loses to
+  // the chain.  Its held-out runs join the loop below across the
+  // interpreter tiers.
+  CompileResult AwareIV;
+  if (Opts.CheckLoweringOptimal) {
+    CompileOptions AwareOpts = Opts.Compile;
+    AwareOpts.HeuristicSet = SwitchHeuristicSet::SetIV;
+    AwareOpts.Predictor = "paper";
+    AwareIV = compileWithReordering(Source, Training, AwareOpts);
+    if (!AwareIV.ok()) {
+      Report.Kind = ViolationKind::CompileError;
+      Report.Detail = "aware Set IV compile failed: " + AwareIV.Error;
+      return Report;
+    }
+    if (AwareIV.Stats.ChosenModelCost >
+        AwareIV.Stats.ChainModelCost + 1e-9) {
+      Report.Kind = ViolationKind::LoweringSuboptimal;
+      Report.Detail = formatString(
+          "aware Set IV emitted shapes cost %.6f > chain cost %.6f "
+          "across %u reordered sequence(s) (%u trees)",
+          AwareIV.Stats.ChosenModelCost, AwareIV.Stats.ChainModelCost,
+          AwareIV.Stats.Reordered, AwareIV.Stats.OptimalTrees);
+      return Report;
+    }
+  }
+
   if (!VerifierErrors.empty()) {
     Report.Kind = ViolationKind::VerifierFailure;
     Report.Detail = VerifierErrors;
@@ -390,7 +419,7 @@ OracleReport bropt::runOracle(std::string_view Source,
   // pass-1 profile so profile-guided arm ordering gets differential
   // coverage, not just the unprofiled fusions.
   ProfileDB FuseProfile;
-  DecodedModule BaseFused, OptFused;
+  DecodedModule BaseFused, OptFused, AwareFused;
   if (Opts.CheckFusedEngine) {
     FuseOptions BaseFuseOpts;
     if (!Optimized.ProfileText.empty() &&
@@ -398,6 +427,8 @@ OracleReport bropt::runOracle(std::string_view Source,
       BaseFuseOpts.Profile = &FuseProfile;
     BaseFused = decodeFused(*Base.M, BaseFuseOpts);
     OptFused = decodeFused(*Optimized.M);
+    if (AwareIV.M)
+      AwareFused = decodeFused(*AwareIV.M);
   }
 
   // Adaptive controllers live across the whole held-out set: the first
@@ -680,6 +711,44 @@ OracleReport bropt::runOracle(std::string_view Source,
                                      InputIndex) +
                         Detail;
         return Report;
+      }
+    }
+    if (AwareIV.M) {
+      // Aware selection: identical observables to the baseline, and the
+      // engine tiers must agree on the aware module exactly (counters
+      // included) — the repriced orderings are just another module to
+      // them.
+      RunResult AwareTree = runOne(*AwareIV.M, Interpreter::Mode::Tree,
+                                   Input, Opts.InstructionLimit);
+      if (!behaviorsAgree(BaseTree, AwareTree, Detail)) {
+        Report.Kind = ViolationKind::LoweringSuboptimal;
+        Report.Detail =
+            formatString("aware Set IV module, held-out input %zu: ",
+                         InputIndex) +
+            Detail;
+        return Report;
+      }
+      RunResult AwareDecoded = runOne(*AwareIV.M, Interpreter::Mode::Decoded,
+                                      Input, Opts.InstructionLimit);
+      if (!enginesAgree(AwareTree, AwareDecoded, "decoded", Detail)) {
+        Report.Kind = ViolationKind::EngineMismatch;
+        Report.Detail =
+            formatString("aware Set IV module, held-out input %zu: ",
+                         InputIndex) +
+            Detail;
+        return Report;
+      }
+      if (Opts.CheckFusedEngine) {
+        RunResult AwareFusedRun =
+            runFused(*AwareIV.M, AwareFused, Input, Opts.InstructionLimit);
+        if (!enginesAgree(AwareTree, AwareFusedRun, "fused", Detail)) {
+          Report.Kind = ViolationKind::EngineMismatch;
+          Report.Detail =
+              formatString("aware Set IV module, held-out input %zu: ",
+                           InputIndex) +
+              Detail;
+          return Report;
+        }
       }
     }
     if (SvcClient) {

@@ -32,7 +32,10 @@
 ///     stay observably identical to the baseline on every held-out input,
 ///     and its emitted shapes must never model-cost more than the Figure-8
 ///     chains they replaced (ReorderStats::ChosenModelCost <=
-///     ChainModelCost — the by-construction never-worse guarantee).
+///     ChainModelCost — the by-construction never-worse guarantee).  The
+///     misprediction-aware Set IV build (selection repriced for the
+///     paper's predictor, docs/PREDICT.md) is held to the same bar, plus
+///     exact cross-tier agreement on the aware module itself.
 ///
 /// Fault injection deliberately corrupts the pipeline so tests can prove
 /// the oracle and the minimizer actually detect and shrink failures.
@@ -156,7 +159,10 @@ struct OracleOptions {
   bool CheckProfileReplay = true;
   /// Invariant 6: recompile under Set IV and hold the optimal-tree +
   /// ext-TSP build to (a) observable identity with the baseline on every
-  /// held-out input and (b) the never-worse model-cost guarantee.
+  /// held-out input and (b) the never-worse model-cost guarantee.  Also
+  /// recompiles misprediction-aware (Predictor "paper"): the repriced
+  /// selection must keep (a) and (b) under its own pricing, and the
+  /// tree/decoded/fused tiers must agree exactly on the aware module.
   bool CheckLoweringOptimal = true;
   /// Also replay the program through an in-process broptd
   /// (service/Service.h): submit the same source + training inputs as a

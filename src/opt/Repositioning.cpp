@@ -21,6 +21,8 @@
 
 #include "opt/Passes.h"
 
+#include "cost/BranchCostModel.h"
+
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
@@ -287,9 +289,11 @@ bool bropt::repositionCodeExtTsp(Function &F, const EdgeWeightMap &Weights,
     Stats->FallThroughWeightBefore += Before;
   }
 
-  // Keep-best: the measured order must beat the incumbent strictly, so the
+  // Keep-best via the shared layout tie-break (cost/BranchCostModel.h):
+  // the measured order must beat the incumbent strictly, so the
   // profile-guided layout is never worse than what it replaces.
-  if (After <= Before) {
+  if (!BranchCostModel::layoutPrefers(static_cast<double>(After),
+                                      static_cast<double>(Before))) {
     if (Stats) {
       ++Stats->KeptIncumbent;
       Stats->FallThroughWeightAfter += Before;

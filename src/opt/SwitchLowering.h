@@ -24,7 +24,7 @@
 ///              linear search   always — like Set III this maximizes what
 ///              the detector can see; pass 2 then rebuilds each detected
 ///              sequence as the cost-optimal comparison tree
-///              (opt/OptimalTree.h) or a jump table when the measured
+///              (cost/OptimalTree.h) or a jump table when the measured
 ///              profile says either beats the Figure-8 chain.
 ///
 /// Linear searches — and the leaf chains of binary searches — are exactly

@@ -6,7 +6,8 @@
 
 using namespace bropt;
 
-BranchPredictor::BranchPredictor(PredictorConfig Config) : Config(Config) {
+BranchPredictor::BranchPredictor(PredictorConfig Config, const char *Name)
+    : Config(Config), SchemeName(Name) {
   assert(Config.NumEntries > 0 &&
          (Config.NumEntries & (Config.NumEntries - 1)) == 0 &&
          "table size must be a power of two");
@@ -15,13 +16,14 @@ BranchPredictor::BranchPredictor(PredictorConfig Config) : Config(Config) {
   assert(Config.HistoryBits <= 16 && "history width out of range");
   CounterMax = static_cast<uint8_t>((1u << Config.CounterBits) - 1);
   NotTakenThreshold = static_cast<uint8_t>(1u << (Config.CounterBits - 1));
-  reset();
+  // Static dispatch in a constructor: resolves to this class's override,
+  // which is the one we want.
+  resetState();
 }
 
-void BranchPredictor::reset() {
+void BranchPredictor::resetState() {
   // Initialize to the weakest not-taken state, the conventional cold start.
   Counters.assign(Config.NumEntries,
                   static_cast<uint8_t>(NotTakenThreshold - 1));
   History = 0;
-  Stats = PredictorStats();
 }

@@ -16,10 +16,15 @@
 /// history (gshare indexing; with m = 0 this degenerates to the paper's
 /// per-address scheme).
 ///
+/// One member of the predictor zoo (predict/Zoo.h, docs/PREDICT.md); the
+/// shared observe()/stats/records machinery lives in predict/Predictor.h.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BROPT_PREDICT_BRANCHPREDICTOR_H
 #define BROPT_PREDICT_BRANCHPREDICTOR_H
+
+#include "predict/Predictor.h"
 
 #include <cstdint>
 #include <vector>
@@ -36,48 +41,30 @@ struct PredictorConfig {
   static PredictorConfig ultraSparc() { return {0, 2, 2048}; }
 };
 
-/// Running misprediction statistics.
-struct PredictorStats {
-  uint64_t Branches = 0;
-  uint64_t Mispredictions = 0;
-
-  double mispredictionRate() const {
-    return Branches ? static_cast<double>(Mispredictions) /
-                          static_cast<double>(Branches)
-                    : 0.0;
-  }
-};
-
 /// Simulates one (m,n) predictor.
-class BranchPredictor {
+class BranchPredictor : public Predictor {
 public:
-  explicit BranchPredictor(PredictorConfig Config);
+  /// \p Name is the zoo-registry name reported by name(); the default
+  /// covers direct construction outside the registry.
+  explicit BranchPredictor(PredictorConfig Config,
+                           const char *Name = "gshare");
 
   const PredictorConfig &getConfig() const { return Config; }
-  const PredictorStats &getStats() const { return Stats; }
+  const char *name() const override { return SchemeName; }
 
-  /// Records the outcome of one executed conditional branch.
-  /// \p BranchId identifies the static branch (stands in for its address).
-  /// \returns true if the prediction was correct.
-  ///
-  /// Defined inline: the interpreter calls this once per executed branch,
-  /// which makes an out-of-line call measurable on branchy programs.
-  bool observe(uint32_t BranchId, bool Taken) {
+protected:
+  bool predictAndTrain(uint32_t BranchId, bool Taken) override {
     unsigned Index = indexFor(BranchId);
     uint8_t &Counter = Counters[Index];
     bool Predicted = Counter >= NotTakenThreshold;
-    bool Correct = Predicted == Taken;
 
-    ++Stats.Branches;
-    Stats.Mispredictions += !Correct;
     int Delta = Taken ? (Counter < CounterMax) : -(Counter > 0);
     Counter = static_cast<uint8_t>(Counter + Delta);
     History = (History << 1) | (Taken ? 1u : 0u);
-    return Correct;
+    return Predicted;
   }
 
-  /// Clears the table, history, and statistics.
-  void reset();
+  void resetState() override;
 
 private:
   unsigned indexFor(uint32_t BranchId) const {
@@ -94,7 +81,7 @@ private:
   }
 
   PredictorConfig Config;
-  PredictorStats Stats;
+  const char *SchemeName;
   std::vector<uint8_t> Counters;
   uint32_t History = 0;
   uint8_t CounterMax;

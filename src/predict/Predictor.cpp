@@ -1,0 +1,8 @@
+//===- predict/Predictor.cpp - The branch-predictor interface -------------===//
+
+#include "predict/Predictor.h"
+
+using namespace bropt;
+
+// Out-of-line key function: anchors the vtable.
+Predictor::~Predictor() = default;

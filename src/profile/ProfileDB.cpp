@@ -23,6 +23,8 @@ const char *bropt::profileKindName(ProfileKind Kind) {
     return "legacy";
   case ProfileKind::EdgeWeights:
     return "edges";
+  case ProfileKind::Misprediction:
+    return "mispred";
   }
   return "unknown";
 }
@@ -409,7 +411,7 @@ bool ProfileDB::deserializeBinary(std::string_view Data, std::string *Error) {
   for (uint64_t Index = 0; Index < NumSeq && !Reader.Failed; ++Index) {
     ProfileEntry Entry;
     uint8_t Kind = Reader.getByte();
-    if (Kind > static_cast<uint8_t>(ProfileKind::EdgeWeights))
+    if (Kind > static_cast<uint8_t>(ProfileKind::Misprediction))
       return Fail("unknown profile entry kind");
     Entry.Kind = static_cast<ProfileKind>(Kind);
     Entry.FunctionName = Reader.getString();
@@ -493,6 +495,8 @@ bool ProfileDB::deserializeTextV2(std::string_view Text, std::string *Error) {
         Entry.Kind = ProfileKind::Legacy;
       else if (Fields[1] == "edges")
         Entry.Kind = ProfileKind::EdgeWeights;
+      else if (Fields[1] == "mispred")
+        Entry.Kind = ProfileKind::Misprediction;
       else
         return Fail("unknown profile kind '" + std::string(Fields[1]) + "'");
       Entry.FunctionName = std::string(Fields[2]);

@@ -55,6 +55,11 @@ enum class ProfileKind : uint8_t {
                      ///< the canonical sorted "from-to,..." edge-key list
                      ///< (profile/EdgeProfile.h), one entry per function
                      ///< at ordinal 0
+  Misprediction = 4, ///< three bins (mispredicts, taken, executions) per
+                     ///< static conditional branch, in layout order; the
+                     ///< signature is "<predictor>:<branch count>"
+                     ///< (profile/MispredictProfile.h), one entry per
+                     ///< function at ordinal 0
 };
 
 const char *profileKindName(ProfileKind Kind);

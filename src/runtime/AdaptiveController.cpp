@@ -8,6 +8,7 @@
 #include "core/Reorder.h"
 #include "ir/IRParser.h"
 #include "ir/Printer.h"
+#include "profile/MispredictProfile.h"
 
 #include <algorithm>
 #include <chrono>
@@ -32,7 +33,7 @@ static RuntimeOptions sanitized(RuntimeOptions O) {
 AdaptiveController::AdaptiveController(const Module &Mod,
                                        RuntimeOptions Options)
     : M(Mod), Opts(sanitized(std::move(Options))),
-      Tier0(DecodedModule::decode(Mod)) {
+      TierReorder(Opts.Reorder), Tier0(DecodedModule::decode(Mod)) {
   Hooks.SampleInterval = Opts.SampleInterval;
   Hooks.SampleCountdown = Opts.SampleInterval;
   Hooks.OnSample = [this](uint32_t FuncIndex, uint32_t BranchId, bool Taken,
@@ -214,6 +215,16 @@ void AdaptiveController::exportProfile(ProfileDB &DB) const {
 
 void AdaptiveController::importProfile(const ProfileDB &DB) {
   const uint64_t Scale = Opts.SampleInterval;
+
+  // A saved Misprediction plane for the targeted predictor calibrates the
+  // tier-2 rebuild's cost model, mirroring compileWithProfile.  A profile
+  // without the plane keeps the neutral quality.
+  if (!Opts.Predictor.empty()) {
+    MispredictSummary Summary =
+        importMispredictProfile(DB, M, Opts.Predictor);
+    if (!Summary.empty())
+      TierReorder.Cost.PredictorQuality = Summary.quality();
+  }
 
   std::unordered_map<size_t, size_t> StateOf;
   for (size_t I = 0; I < Sequences.size(); ++I)
@@ -665,7 +676,10 @@ std::string AdaptiveController::emitNativeSource() {
   ProfileDB Snapshot;
   exportProfile(Snapshot);
   std::vector<RangeSequence> CloneSeqs = detectSequences(*Clone);
-  reorderSequences(*Clone, CloneSeqs, Snapshot, ReorderOptions());
+  // TierReorder carries the caller's shape-selection options — including
+  // an armed, calibrated cost model when the compile targets a predictor —
+  // so the native body selects the same shapes the offline pass 2 would.
+  reorderSequences(*Clone, CloneSeqs, Snapshot, TierReorder);
   return emitC(*Clone, CO);
 }
 

@@ -39,6 +39,7 @@
 #ifndef BROPT_RUNTIME_ADAPTIVECONTROLLER_H
 #define BROPT_RUNTIME_ADAPTIVECONTROLLER_H
 
+#include "core/Reorder.h"
 #include "core/SequenceDetection.h"
 #include "profile/ProfileDB.h"
 #include "runtime/DriftDetector.h"
@@ -129,6 +130,14 @@ struct RuntimeOptions {
   /// Tests point it at a private runner to fault-inject a hung compiler
   /// without wedging the process-wide cache.
   NativeRunner *Runner = nullptr;
+  /// Shape-selection options the tier-2 native rebuild applies (pass 2 on
+  /// the live profile snapshot).  Callers compiling misprediction-aware
+  /// pass the same armed cost model here so the tier ladder selects the
+  /// same shapes the offline compile would (docs/PREDICT.md).
+  ReorderOptions Reorder;
+  /// Zoo name of the targeted predictor; non-empty lets importProfile
+  /// calibrate Reorder.Cost's quality from a saved Misprediction plane.
+  std::string Predictor;
 };
 
 /// Counters describing what the controller did.  Read via stats() between
@@ -290,6 +299,9 @@ private:
 
   const Module &M;
   const RuntimeOptions Opts;
+  /// Opts.Reorder plus any quality calibration importProfile derived from
+  /// a saved Misprediction plane; what the tier-2 rebuild selects with.
+  ReorderOptions TierReorder;
   DecodedModule Tier0;
   AdaptiveHooks Hooks;
 

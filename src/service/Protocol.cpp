@@ -106,6 +106,7 @@ void putSpec(std::string &Out, const CompileSpec &Spec) {
   putBool(Out, Spec.CommonSuccessor);
   putBool(Out, Spec.MethodSelection);
   putBool(Out, Spec.WarmStart);
+  putString(Out, Spec.Predictor);
 }
 
 bool getSpec(Cursor &In, CompileSpec &Spec) {
@@ -123,6 +124,7 @@ bool getSpec(Cursor &In, CompileSpec &Spec) {
   Spec.CommonSuccessor = In.boolean();
   Spec.MethodSelection = In.boolean();
   Spec.WarmStart = In.boolean();
+  Spec.Predictor = In.str();
   return !In.Failed;
 }
 
@@ -140,6 +142,13 @@ void putStats(std::string &Out, const ServiceStats &S) {
   putVar(Out, sizeof(Fields) / sizeof(Fields[0]));
   for (uint64_t Field : Fields)
     putVar(Out, Field);
+  putVar(Out, S.Zoo.size());
+  for (const ServiceStats::PredictorUsage &Usage : S.Zoo) {
+    putString(Out, Usage.Name);
+    putVar(Out, Usage.Runs);
+    putVar(Out, Usage.Branches);
+    putVar(Out, Usage.Mispredictions);
+  }
 }
 
 bool getStats(Cursor &In, ServiceStats &S) {
@@ -161,6 +170,20 @@ bool getStats(Cursor &In, ServiceStats &S) {
     uint64_t Value = In.var();
     if (Index < Known)
       *Fields[Index] = Value;
+  }
+  uint64_t ZooCount = In.var();
+  if (In.Failed || ZooCount > 1024) {
+    In.fail("absurd predictor-usage count");
+    return false;
+  }
+  S.Zoo.clear();
+  for (uint64_t Index = 0; Index < ZooCount && !In.Failed; ++Index) {
+    ServiceStats::PredictorUsage Usage;
+    Usage.Name = In.str();
+    Usage.Runs = In.var();
+    Usage.Branches = In.var();
+    Usage.Mispredictions = In.var();
+    S.Zoo.push_back(std::move(Usage));
   }
   return !In.Failed;
 }
@@ -305,6 +328,8 @@ std::string bropt::encodeResponse(const ServiceResponse &Response) {
   putString(Out, Response.Output);
   putVar(Out, Response.TotalInsts);
   putVar(Out, Response.CondBranches);
+  putVar(Out, Response.PredictedBranches);
+  putVar(Out, Response.Mispredictions);
   putString(Out, formatString("%.17g", Response.BranchDeltaPercent));
   putBool(Out, Response.OutputsMatch);
   putVar(Out, Response.QueueMicros);
@@ -343,6 +368,8 @@ bool bropt::decodeResponse(const std::string &Payload,
   Response.Output = In.str();
   Response.TotalInsts = In.var();
   Response.CondBranches = In.var();
+  Response.PredictedBranches = In.var();
+  Response.Mispredictions = In.var();
   Response.BranchDeltaPercent = std::atof(In.str().c_str());
   Response.OutputsMatch = In.boolean();
   Response.QueueMicros = In.var();
@@ -445,7 +472,8 @@ namespace {
 std::string specOptionsTag(const CompileSpec &Spec) {
   return formatString("set=%u;cs=%d;ms=%d;", Spec.HeuristicSet,
                       Spec.CommonSuccessor ? 1 : 0,
-                      Spec.MethodSelection ? 1 : 0);
+                      Spec.MethodSelection ? 1 : 0) +
+         "pred=" + Spec.Predictor + ";";
 }
 
 } // namespace

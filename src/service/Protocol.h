@@ -63,6 +63,11 @@ struct CompileSpec {
   /// into the pass-2 profile: traffic other clients already served
   /// warm-starts this compile (docs/SERVICE.md).
   bool WarmStart = false;
+  /// Zoo name of the predictor the compile targets and execute requests
+  /// measure under (predict/Zoo.h, docs/PREDICT.md).  Empty: prediction
+  /// stays unmodeled.  Part of the program key — aware and unaware builds
+  /// of one source are different programs to the profile shards.
+  std::string Predictor;
 };
 
 /// One request frame.
@@ -117,6 +122,18 @@ struct ServiceStats {
   uint64_t LearnedExports = 0;    ///< adaptive profiles exported to shards
   uint64_t ActiveConnections = 0; ///< gauge
   uint64_t TierTwoCancellations = 0; ///< native compiles cancelled at drain
+
+  /// Cumulative per-predictor measurement traffic across execute requests
+  /// (one zoo entry per scheme that served at least one run).  Every run
+  /// gets its own fresh instance — these aggregates are the only state
+  /// that survives a request.
+  struct PredictorUsage {
+    std::string Name;
+    uint64_t Runs = 0;
+    uint64_t Branches = 0;
+    uint64_t Mispredictions = 0;
+  };
+  std::vector<PredictorUsage> Zoo;
 };
 
 /// One response frame.
@@ -140,6 +157,10 @@ struct ServiceResponse {
   std::string Output;
   uint64_t TotalInsts = 0;
   uint64_t CondBranches = 0;
+  /// Filled when the spec names a predictor and an interpreter engine ran:
+  /// what this run's fresh instance measured.
+  uint64_t PredictedBranches = 0;
+  uint64_t Mispredictions = 0;
 
   // Evaluate:
   double BranchDeltaPercent = 0.0; ///< reordered vs baseline branches

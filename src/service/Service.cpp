@@ -6,6 +6,7 @@
 #include "driver/Driver.h"
 #include "driver/Evaluator.h"
 #include "exec/ExecBackend.h"
+#include "predict/Zoo.h"
 #include "sim/Decoded.h"
 #include "sim/Fuse.h"
 #include "support/Strings.h"
@@ -69,6 +70,7 @@ CompileOptions compileOptionsFor(const CompileSpec &Spec) {
       std::min<unsigned>(Spec.HeuristicSet, 3));
   O.EnableCommonSuccessorReordering = Spec.CommonSuccessor;
   O.Reorder.EnableMethodSelection = Spec.MethodSelection;
+  O.Predictor = Spec.Predictor;
   return O;
 }
 
@@ -255,6 +257,11 @@ ServiceStats BroptService::stats() const {
       C.ActiveConnections.load(std::memory_order_relaxed);
   S.TierTwoCancellations =
       C.TierTwoCancellations.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(ZooMutex);
+    for (const auto &[Name, Usage] : ZooUsage)
+      S.Zoo.push_back({Name, Usage[0], Usage[1], Usage[2]});
+  }
   ProfileShardStats PS = Shards.stats();
   S.ProfileMerges = PS.Merges;
   S.ProfileMergeConflicts = PS.Conflicts;
@@ -504,6 +511,13 @@ void BroptService::buildArtifact(ServiceArtifact &A,
                                  const CompileSpec &Spec) {
   A.BuildDone = true; // even a failed build is final for this artifact
   CompileOptions O = compileOptionsFor(Spec);
+  // Diagnose a bad zoo name up front: without training inputs nothing
+  // downstream would validate it.
+  if (!Spec.Predictor.empty() && !makePredictor(Spec.Predictor)) {
+    A.BuildError = "unknown predictor '" + Spec.Predictor +
+                   "' (see docs/PREDICT.md for the zoo)";
+    return;
+  }
   ProfileDB Profile;
   bool HaveProfile = false;
   if (!Spec.ProfileData.empty()) {
@@ -588,6 +602,14 @@ void BroptService::handleExecute(const ServiceRequest &Request,
   ExecRequest ER;
   ER.Input = Request.Input;
   ER.InstructionLimit = Request.InstructionLimit;
+  // Per-request predictor: each run measures on its own fresh instance,
+  // so one client's branch history never leaks into another's numbers.
+  // An unknown name is diagnosed by the build below.
+  std::unique_ptr<Predictor> Measured;
+  if (!Request.Spec.Predictor.empty()) {
+    Measured = makePredictor(Request.Spec.Predictor);
+    ER.AttachedPredictor = Measured.get();
+  }
   std::shared_ptr<AdaptiveController> Ctl;
   {
     std::lock_guard<std::mutex> Lock(A->BuildMutex);
@@ -685,6 +707,16 @@ void BroptService::handleExecute(const ServiceRequest &Request,
   R.Output = RR.Output;
   R.TotalInsts = RR.Counts.TotalInsts;
   R.CondBranches = RR.Counts.CondBranches;
+  if (Measured) {
+    const PredictorStats &PS = Measured->getStats();
+    R.PredictedBranches = PS.Branches;
+    R.Mispredictions = PS.Mispredictions;
+    std::lock_guard<std::mutex> Lock(ZooMutex);
+    auto &Usage = ZooUsage[Measured->name()];
+    Usage[0] += 1;
+    Usage[1] += PS.Branches;
+    Usage[2] += PS.Mispredictions;
+  }
 }
 
 void BroptService::exportLearnedProfile(ServiceArtifact &A,

@@ -43,10 +43,12 @@
 #include "support/LruCache.h"
 #include "support/ThreadPool.h"
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -213,6 +215,12 @@ private:
     std::atomic<uint64_t> TierTwoCancellations{0};
   };
   mutable Counters C;
+
+  /// Cumulative measurement traffic per zoo predictor (Runs, Branches,
+  /// Mispredictions keyed by scheme name).  Each execute request runs a
+  /// fresh predictor instance; only these aggregates outlive the request.
+  mutable std::mutex ZooMutex;
+  std::map<std::string, std::array<uint64_t, 3>> ZooUsage;
 };
 
 } // namespace bropt

@@ -4,6 +4,7 @@
 
 #include "core/Range.h"
 #include "core/SequenceDetection.h"
+#include "cost/BranchCostModel.h"
 #include "profile/ProfileDB.h"
 #include "support/Debug.h"
 
@@ -221,7 +222,12 @@ bool layoutHotFirst(DecodedFunction &DF, std::vector<uint32_t> &StartOf,
         Sum += weightBetween(O[I], O[I + 1]);
       return Sum;
     };
-    if (adjacentWeight(Candidate) > adjacentWeight(Order)) {
+    // Keep-best via the shared layout tie-break (cost/BranchCostModel.h):
+    // the merged chain must be strictly better or the hot-first order —
+    // the deterministic incumbent — stays.
+    if (BranchCostModel::layoutPrefers(
+            static_cast<double>(adjacentWeight(Candidate)),
+            static_cast<double>(adjacentWeight(Order)))) {
       Order = std::move(Candidate);
       ++Stats.ChainMergedLayouts;
     }

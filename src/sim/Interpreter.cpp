@@ -92,8 +92,8 @@ RunResult Interpreter::run(const std::string &EntryName,
     Result.ExitValue = ExecutionMode == Mode::Fused
                            ? execFused(*DM, *Entry, Args, 0)
                            : execDecoded(*DM, *Entry, Args, 0);
-    if (Predictor)
-      Result.Prediction = Predictor->getStats();
+    if (AttachedPredictor)
+      Result.Prediction = AttachedPredictor->getStats();
     return Result;
   }
 
@@ -108,8 +108,8 @@ RunResult Interpreter::run(const std::string &EntryName,
   }
 
   Result.ExitValue = execFunction(*Entry, Args, 0);
-  if (Predictor)
-    Result.Prediction = Predictor->getStats();
+  if (AttachedPredictor)
+    Result.Prediction = AttachedPredictor->getStats();
   return Result;
 }
 
@@ -399,8 +399,8 @@ int64_t Interpreter::execDecoded(const DecodedModule &DM,
       bool Taken = evalCC(static_cast<CondCode>(Inst.SubOp), CCLhs, CCRhs);
       if (Taken)
         ++LC.TakenBranches;
-      if (Predictor)
-        Predictor->observe(Inst.Dest, Taken);
+      if (AttachedPredictor)
+        AttachedPredictor->observe(Inst.Dest, Taken);
       Index = Taken ? Inst.Target0 : Inst.Target1;
       BROPT_ADAPTIVE_CHECK(Inst.Dest, Taken, CCLhs);
       continue;
@@ -709,8 +709,8 @@ int64_t Interpreter::execFunction(const Function &F,
       bool Taken = evalCondCode(Br->getPred(), CCLhs, CCRhs);
       if (Taken)
         ++Counts.TakenBranches;
-      if (Predictor)
-        Predictor->observe(BranchIds.find(Inst)->second, Taken);
+      if (AttachedPredictor)
+        AttachedPredictor->observe(BranchIds.find(Inst)->second, Taken);
       const BasicBlock *Target = Taken ? Br->getTaken() : Br->getFallThrough();
       if (OnEdge)
         OnEdge(F, Block->getId(), Target->getId());

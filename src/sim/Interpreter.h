@@ -20,9 +20,9 @@
 #ifndef BROPT_SIM_INTERPRETER_H
 #define BROPT_SIM_INTERPRETER_H
 
+#include "cost/MachineModel.h"
 #include "ir/Module.h"
-#include "predict/BranchPredictor.h"
-#include "sim/CostModel.h"
+#include "predict/Predictor.h"
 #include "sim/Decoded.h"
 
 #include <cstdint>
@@ -34,19 +34,8 @@
 
 namespace bropt {
 
-/// Dynamic event counters for one run.
-struct DynamicCounts {
-  uint64_t TotalInsts = 0;    ///< all executed instructions except Profile
-  uint64_t CondBranches = 0;  ///< executed CondBr instructions
-  uint64_t TakenBranches = 0; ///< CondBr executions that were taken
-  uint64_t UncondJumps = 0;   ///< executed Jump instructions
-  uint64_t IndirectJumps = 0; ///< executed IndirectJump instructions
-  uint64_t Compares = 0;      ///< executed Cmp instructions
-  uint64_t Loads = 0;
-  uint64_t Stores = 0;
-  uint64_t Calls = 0;
-  uint64_t ProfileHooks = 0; ///< instrumentation executions (not in TotalInsts)
-};
+// DynamicCounts — the event vector one run fills — lives with the machine
+// models that price it (cost/MachineModel.h).
 
 /// Outcome of interpreting a program.
 struct RunResult {
@@ -142,9 +131,9 @@ public:
   /// the duration of run().
   void setInput(std::string_view Bytes) { Input = Bytes; }
 
-  /// Attaches a branch predictor; every executed CondBr is fed to it.
-  /// Pass null to detach.
-  void attachPredictor(BranchPredictor *P) { Predictor = P; }
+  /// Attaches a branch predictor (any zoo member, predict/Zoo.h); every
+  /// executed CondBr is fed to it.  Pass null to detach.
+  void attachPredictor(Predictor *P) { AttachedPredictor = P; }
 
   /// Installs the profiling callback invoked for each executed ProfileInst
   /// with (sequence id, current value of the profiled register).
@@ -218,7 +207,7 @@ private:
   Mode ExecutionMode;
   std::string_view Input;
   size_t InputCursor = 0;
-  BranchPredictor *Predictor = nullptr;
+  Predictor *AttachedPredictor = nullptr;
   const DecodedModule *Prepared = nullptr;
   AdaptiveHooks *Hooks = nullptr;
   ProfileCallback OnProfile;

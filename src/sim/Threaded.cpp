@@ -202,7 +202,7 @@ int64_t Interpreter::execFused(const DecodedModule &DM,
   // members after every store the handlers make.
   int64_t *const Mem = Memory.data();
   const uint64_t MemSize = Memory.size();
-  BranchPredictor *const Pred = Predictor;
+  Predictor *const Pred = AttachedPredictor;
   size_t Index = StartIndex;
 
   // Adaptive-runtime hooks: null (one dead test per branch handler) unless

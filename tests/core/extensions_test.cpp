@@ -403,7 +403,7 @@ TEST(MethodSelectionTest, UniformDenseSwitchBecomesJumpTable) {
   CompileOptions Options;
   Options.HeuristicSet = SwitchHeuristicSet::SetIII; // forces linear source
   Options.Reorder.EnableMethodSelection = true;
-  Options.Reorder.IndirectJumpCost = 2; // IPC-like: cheap dispatch
+  Options.Reorder.Cost.IndirectJumpCost = 2; // IPC-like: cheap dispatch
   std::string Train = uniformBytes(5, 4000, 8);
   CompileResult Result =
       compileWithReordering(DenseSwitchSource, Train, Options);
@@ -423,7 +423,7 @@ TEST(MethodSelectionTest, ExpensiveIndirectJumpKeepsLinearSearch) {
   CompileOptions Options;
   Options.HeuristicSet = SwitchHeuristicSet::SetIII;
   Options.Reorder.EnableMethodSelection = true;
-  Options.Reorder.IndirectJumpCost = 8; // Ultra-like: 4x dispatch cost
+  Options.Reorder.Cost.IndirectJumpCost = 8; // Ultra-like: 4x dispatch cost
   std::string Train = uniformBytes(7, 4000, 8);
   CompileResult Result =
       compileWithReordering(DenseSwitchSource, Train, Options);
@@ -440,7 +440,7 @@ TEST(MethodSelectionTest, SkewedProfileKeepsLinearSearch) {
   CompileOptions Options;
   Options.HeuristicSet = SwitchHeuristicSet::SetIII;
   Options.Reorder.EnableMethodSelection = true;
-  Options.Reorder.IndirectJumpCost = 2;
+  Options.Reorder.Cost.IndirectJumpCost = 2;
   std::string Train(4000, static_cast<char>(3));
   CompileResult Result =
       compileWithReordering(DenseSwitchSource, Train, Options);
@@ -453,7 +453,7 @@ TEST(MethodSelectionTest, JumpTableRunsFasterOnUniformInput) {
   Linear.HeuristicSet = SwitchHeuristicSet::SetIII;
   CompileOptions Table = Linear;
   Table.Reorder.EnableMethodSelection = true;
-  Table.Reorder.IndirectJumpCost = 2;
+  Table.Reorder.Cost.IndirectJumpCost = 2;
 
   std::string Train = uniformBytes(8, 4000, 8);
   std::string Test = uniformBytes(9, 4000, 8);

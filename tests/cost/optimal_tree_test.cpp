@@ -20,7 +20,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "opt/OptimalTree.h"
+#include "cost/OptimalTree.h"
 
 #include "driver/Driver.h"
 #include "ir/IRBuilder.h"

@@ -4,6 +4,7 @@
 
 #include "driver/Report.h"
 #include "ir/Printer.h"
+#include "predict/BranchPredictor.h"
 #include "sim/Interpreter.h"
 #include "workloads/Workloads.h"
 

@@ -68,6 +68,38 @@ TEST(EvaluatorTest, CachesBaselineAndReorderedCompiles) {
   expectSameMeasurement(First.Eval.Reordered, Second.Eval.Reordered);
 }
 
+TEST(EvaluatorTest, CachedRunsShareModulesButNotPredictorState) {
+  Evaluator Eval;
+  Workload W = tinyWorkload();
+  CompileOptions Options;
+  Options.Predictor = "paper";
+
+  // The second evaluation reuses the cached baseline and reordered
+  // modules — but each measureBuild spins up a fresh zoo instance, so a
+  // predictor warmed by the first run can never flatter the second.
+  // Identical misprediction counts are the observable proof.
+  WorkloadRecord First = Eval.evaluateWorkload(W, Options);
+  ASSERT_TRUE(First.Eval.ok()) << First.Eval.Error;
+  WorkloadRecord Second = Eval.evaluateWorkload(W, Options);
+  ASSERT_TRUE(Second.Eval.ok()) << Second.Eval.Error;
+  EXPECT_TRUE(Second.BaselineCacheHit);
+  EXPECT_TRUE(Second.ReorderedCacheHit);
+
+  EXPECT_GT(First.Eval.Baseline.Mispredictions, 0u);
+  EXPECT_EQ(First.Eval.Baseline.Mispredictions,
+            Second.Eval.Baseline.Mispredictions);
+  EXPECT_EQ(First.Eval.Reordered.Mispredictions,
+            Second.Eval.Reordered.Mispredictions);
+
+  // Targeting a different scheme is a different reordered build (the
+  // cost model arms differently), not a cache hit with new numbers.
+  CompileOptions Tage = Options;
+  Tage.Predictor = "tage";
+  WorkloadRecord Third = Eval.evaluateWorkload(W, Tage);
+  ASSERT_TRUE(Third.Eval.ok()) << Third.Eval.Error;
+  EXPECT_FALSE(Third.ReorderedCacheHit);
+}
+
 TEST(EvaluatorTest, OptionChangesMissTheCache) {
   Evaluator Eval;
   Workload W = tinyWorkload();

@@ -13,6 +13,7 @@
 
 #include "driver/Driver.h"
 #include "ir/IRBuilder.h"
+#include "predict/BranchPredictor.h"
 #include "runtime/AdaptiveController.h"
 #include "runtime/DriftDetector.h"
 #include "runtime/HotnessSampler.h"

@@ -107,6 +107,7 @@ TEST(ServiceProtocol, RequestRoundTripsEveryField) {
   Request.Spec.CommonSuccessor = true;
   Request.Spec.MethodSelection = true;
   Request.Spec.WarmStart = true;
+  Request.Spec.Predictor = "tage";
   Request.Input = "stdin bytes";
   Request.Mode = (uint8_t)Interpreter::Mode::AdaptiveNative;
   Request.InstructionLimit = 123456789;
@@ -124,6 +125,7 @@ TEST(ServiceProtocol, RequestRoundTripsEveryField) {
   EXPECT_EQ(Decoded.Spec.CommonSuccessor, Request.Spec.CommonSuccessor);
   EXPECT_EQ(Decoded.Spec.MethodSelection, Request.Spec.MethodSelection);
   EXPECT_EQ(Decoded.Spec.WarmStart, Request.Spec.WarmStart);
+  EXPECT_EQ(Decoded.Spec.Predictor, Request.Spec.Predictor);
   EXPECT_EQ(Decoded.Input, Request.Input);
   EXPECT_EQ(Decoded.Mode, Request.Mode);
   EXPECT_EQ(Decoded.InstructionLimit, Request.InstructionLimit);
@@ -173,6 +175,8 @@ TEST(ServiceProtocol, ResponseRoundTripsEveryField) {
   Response.Output = std::string("out\x00put", 7);
   Response.TotalInsts = 99999;
   Response.CondBranches = 1234;
+  Response.PredictedBranches = 1200;
+  Response.Mispredictions = 56;
   Response.BranchDeltaPercent = -12.5;
   Response.OutputsMatch = true;
   Response.QueueMicros = 777;
@@ -182,6 +186,7 @@ TEST(ServiceProtocol, ResponseRoundTripsEveryField) {
   Response.MergeSkipped = 3;
   Response.Stats.RequestsAccepted = 10;
   Response.Stats.TierTwoCancellations = 4;
+  Response.Stats.Zoo = {{"paper", 3, 4000, 120}, {"tage", 1, 900, 7}};
 
   ServiceResponse Decoded;
   std::string Error;
@@ -202,6 +207,8 @@ TEST(ServiceProtocol, ResponseRoundTripsEveryField) {
   EXPECT_EQ(Decoded.Output, Response.Output);
   EXPECT_EQ(Decoded.TotalInsts, Response.TotalInsts);
   EXPECT_EQ(Decoded.CondBranches, Response.CondBranches);
+  EXPECT_EQ(Decoded.PredictedBranches, Response.PredictedBranches);
+  EXPECT_EQ(Decoded.Mispredictions, Response.Mispredictions);
   EXPECT_DOUBLE_EQ(Decoded.BranchDeltaPercent, Response.BranchDeltaPercent);
   EXPECT_EQ(Decoded.OutputsMatch, Response.OutputsMatch);
   EXPECT_EQ(Decoded.QueueMicros, Response.QueueMicros);
@@ -213,6 +220,17 @@ TEST(ServiceProtocol, ResponseRoundTripsEveryField) {
             Response.Stats.RequestsAccepted);
   EXPECT_EQ(Decoded.Stats.TierTwoCancellations,
             Response.Stats.TierTwoCancellations);
+  ASSERT_EQ(Decoded.Stats.Zoo.size(), Response.Stats.Zoo.size());
+  for (size_t Index = 0; Index < Response.Stats.Zoo.size(); ++Index) {
+    EXPECT_EQ(Decoded.Stats.Zoo[Index].Name,
+              Response.Stats.Zoo[Index].Name);
+    EXPECT_EQ(Decoded.Stats.Zoo[Index].Runs,
+              Response.Stats.Zoo[Index].Runs);
+    EXPECT_EQ(Decoded.Stats.Zoo[Index].Branches,
+              Response.Stats.Zoo[Index].Branches);
+    EXPECT_EQ(Decoded.Stats.Zoo[Index].Mispredictions,
+              Response.Stats.Zoo[Index].Mispredictions);
+  }
 }
 
 TEST(ServiceProtocol, TruncatedPayloadsRejectedAtEveryLength) {
@@ -414,6 +432,63 @@ TEST(ServiceExecute, BadModeAndBadSourceAreRequestLevelErrors) {
   // Request-level failures never poison the connection or the daemon.
   ASSERT_TRUE(Client->roundTrip(executeRequest(ChainSource, "x"), Response));
   EXPECT_TRUE(Response.ok()) << Response.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-request predictor isolation (docs/PREDICT.md)
+//===----------------------------------------------------------------------===//
+
+TEST(ServicePredict, PerRequestPredictorIsolationAndZooStats) {
+  InProcessService Daemon;
+  ASSERT_TRUE(Daemon.ok()) << Daemon.error();
+  auto Client = Daemon.connect();
+  ASSERT_TRUE(Client);
+
+  ServiceRequest Request =
+      executeRequest(ChainSource, "abcabcaaab", Interpreter::Mode::Tree);
+  Request.Spec.Predictor = "paper";
+
+  // Two identical requests: the second hits the artifact cache, which is
+  // exactly where a shared predictor would leak — its warmed counters
+  // would predict the second run better than the first.  Fresh instances
+  // make the measurements identical.
+  ServiceResponse First, Second;
+  ASSERT_TRUE(Client->roundTrip(Request, First));
+  ASSERT_TRUE(First.ok()) << First.Error;
+  ASSERT_TRUE(Client->roundTrip(Request, Second));
+  ASSERT_TRUE(Second.ok()) << Second.Error;
+  EXPECT_TRUE(Second.CompileCacheHit);
+  EXPECT_GT(First.PredictedBranches, 0u);
+  EXPECT_GT(First.Mispredictions, 0u); // cold counters always miss some
+  EXPECT_EQ(First.PredictedBranches, Second.PredictedBranches);
+  EXPECT_EQ(First.Mispredictions, Second.Mispredictions);
+
+  // The cumulative zoo usage is the service-level audit trail.
+  ServiceRequest StatsRequest;
+  StatsRequest.Kind = RequestKind::Stats;
+  ServiceResponse StatsResponse;
+  ASSERT_TRUE(Client->roundTrip(StatsRequest, StatsResponse));
+  ASSERT_TRUE(StatsResponse.ok()) << StatsResponse.Error;
+  bool Found = false;
+  for (const ServiceStats::PredictorUsage &Usage : StatsResponse.Stats.Zoo)
+    if (Usage.Name == "paper") {
+      Found = true;
+      EXPECT_EQ(Usage.Runs, 2u);
+      EXPECT_EQ(Usage.Branches,
+                First.PredictedBranches + Second.PredictedBranches);
+      EXPECT_EQ(Usage.Mispredictions,
+                First.Mispredictions + Second.Mispredictions);
+    }
+  EXPECT_TRUE(Found);
+
+  // An unknown zoo name is a request-level error, not a silent unaware
+  // run.
+  Request.Spec.Predictor = "oracle";
+  ServiceResponse Bad;
+  ASSERT_TRUE(Client->roundTrip(Request, Bad));
+  EXPECT_EQ(Bad.Status, ResponseStatus::Error);
+  EXPECT_NE(Bad.Error.find("unknown predictor"), std::string::npos)
+      << Bad.Error;
 }
 
 //===----------------------------------------------------------------------===//

@@ -13,6 +13,7 @@
 
 #include "driver/Driver.h"
 #include "ir/IRBuilder.h"
+#include "predict/BranchPredictor.h"
 #include "sim/Interpreter.h"
 #include "workloads/Workloads.h"
 

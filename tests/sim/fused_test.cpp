@@ -13,6 +13,7 @@
 
 #include "driver/Driver.h"
 #include "ir/IRBuilder.h"
+#include "predict/BranchPredictor.h"
 #include "profile/ProfileDB.h"
 #include "runtime/HotnessSampler.h"
 #include "sim/Fuse.h"

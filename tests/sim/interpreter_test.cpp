@@ -3,7 +3,7 @@
 #include "sim/Interpreter.h"
 
 #include "ir/IRBuilder.h"
-#include "sim/CostModel.h"
+#include "cost/MachineModel.h"
 
 #include <gtest/gtest.h>
 

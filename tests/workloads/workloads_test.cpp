@@ -3,6 +3,7 @@
 #include "workloads/Workloads.h"
 
 #include "driver/Report.h"
+#include "predict/BranchPredictor.h"
 
 #include <gtest/gtest.h>
 

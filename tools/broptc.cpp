@@ -18,6 +18,12 @@
 //   --common-successor    also reorder common-successor chains (paper §10)
 //   --method-selection    allow profile-guided jump tables (paper §10)
 //   --ijmp-cost N         indirect-jump cost estimate for method selection
+//   --predictor NAME      compile misprediction-aware against a zoo
+//                         predictor (paper, gshare, twobit, local, tage,
+//                         tage-poor; docs/PREDICT.md): training runs
+//                         measure per-branch mispredictions and shape
+//                         selection charges them.  With --run, also
+//                         reports mispredictions under that predictor
 //   --emit-ir             print the final IR
 //   --profile-in FILE     load a saved profile (text or binary; see
 //                         docs/PROFILE.md) and feed it into pass 2; may be
@@ -30,7 +36,9 @@
 //   --profile-binary      write --profile-out in the binary format
 //   --stats               print detection/reordering statistics
 //   --run                 interpret the program and echo its output
-//   --predict             with --run: report (0,2)/2048 mispredictions
+//   --predict             with --run: report mispredictions (under the
+//                         --predictor scheme, default the paper's
+//                         (0,2)/2048)
 //   --interp MODE         execution engine for --run: 'fused' (default),
 //                         'decoded' (pre-decoded flat dispatch), 'tree'
 //                         (reference tree-walking interpreter), 'adaptive'
@@ -56,6 +64,7 @@
 #include "driver/Driver.h"
 #include "exec/ExecBackend.h"
 #include "ir/Printer.h"
+#include "predict/Zoo.h"
 #include "runtime/AdaptiveController.h"
 #include "service/ServeMain.h"
 #include "sim/Interpreter.h"
@@ -75,7 +84,7 @@ namespace {
                "usage: broptc FILE.mc [--train FILE] [--input FILE] "
                "[--set I|II|III|IV] [--lowering set1..set4]\n"
                "              [--common-successor] [--method-selection] "
-               "[--ijmp-cost N]\n"
+               "[--ijmp-cost N] [--predictor NAME]\n"
                "              [--emit-ir] [--profile-in FILE] "
                "[--profile-out FILE] [--profile-binary]\n"
                "              [--stats] [--run] [--predict]\n"
@@ -148,8 +157,13 @@ CliOptions parseArgs(int Argc, char **Argv) {
     } else if (Arg == "--method-selection") {
       Options.Compile.Reorder.EnableMethodSelection = true;
     } else if (Arg == "--ijmp-cost") {
-      Options.Compile.Reorder.IndirectJumpCost =
-          static_cast<unsigned>(std::atoi(nextValue().c_str()));
+      Options.Compile.Reorder.Cost.IndirectJumpCost =
+          std::atof(nextValue().c_str());
+    } else if (Arg == "--predictor") {
+      Options.Compile.Predictor = nextValue();
+      if (!makePredictor(Options.Compile.Predictor))
+        usageError("--predictor expects a zoo name: paper, gshare, "
+                   "twobit, local, tage, or tage-poor");
     } else if (Arg == "--emit-ir") {
       Options.EmitIR = true;
     } else if (Arg == "--profile" || Arg == "--profile-out") {
@@ -339,15 +353,23 @@ int main(int Argc, char **Argv) {
         RO.Trace = [](const std::string &Event) {
           std::fprintf(stderr, "[adaptive] %s\n", Event.c_str());
         };
+      // The tier-2 rebuild must select shapes under the same model as the
+      // offline compile (Set IV preset, armed cost model included).
+      RO.Reorder = effectiveReorderOptions(Options.Compile);
+      RO.Predictor = Options.Compile.Predictor;
       Adaptive = std::make_unique<AdaptiveController>(*Result.M, RO);
       if (HaveProfile)
         Adaptive->importProfile(Profile);
       Req.Adaptive = Adaptive.get();
     }
-    std::optional<BranchPredictor> Predictor;
-    if (Options.Predict) {
-      Predictor.emplace(PredictorConfig::ultraSparc());
-      Req.Predictor = &*Predictor;
+    std::unique_ptr<Predictor> Measured;
+    if (Options.Predict || !Options.Compile.Predictor.empty()) {
+      // Measure under the targeted predictor; plain --predict keeps the
+      // paper's (0,2)/2048 hardware scheme.
+      Measured = makePredictor(Options.Compile.Predictor.empty()
+                                   ? "paper"
+                                   : Options.Compile.Predictor);
+      Req.AttachedPredictor = Measured.get();
     }
     RunResult Run = executeModule(*Result.M, Options.InterpMode, Req);
     if (Adaptive)
@@ -369,12 +391,13 @@ int main(int Argc, char **Argv) {
     if (Options.InterpMode == Interpreter::Mode::Native)
       std::fprintf(stderr,
                    "(native: dynamic counters are not collected)\n");
-    if (Predictor)
-      std::fprintf(stderr, "mispredictions: %llu of %llu branches\n",
+    if (Measured)
+      std::fprintf(stderr, "mispredictions (%s): %llu of %llu branches\n",
+                   Measured->name(),
                    static_cast<unsigned long long>(
-                       Predictor->getStats().Mispredictions),
+                       Measured->getStats().Mispredictions),
                    static_cast<unsigned long long>(
-                       Predictor->getStats().Branches));
+                       Measured->getStats().Branches));
     if (Adaptive && Options.AdaptiveStats) {
       RuntimeStats RS = Adaptive->stats();
       std::fprintf(
